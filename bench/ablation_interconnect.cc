@@ -1,0 +1,128 @@
+// Ablation: the inter-PU fabric choice. Compares the (pruned) Benes
+// network the paper adopts against a full crossbar and against no
+// reconfigurable fabric at all (fixed neighbour chain), in area,
+// transfer energy, and pattern coverage across the segment patterns
+// real segmentations produce.
+
+#include <map>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "noc/benes.h"
+#include "noc/crossbar.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+/** Collects the per-segment comm patterns of a segmented model. */
+std::vector<std::vector<noc::RouteRequest>>
+SegmentPatterns(const char* model, int segments, int pus)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+    seg::HeuristicSegmenter segmenter;
+    seg::Assignment a;
+    std::vector<std::vector<noc::RouteRequest>> patterns;
+    if (!segmenter.Solve(w, segments, pus, a))
+        return patterns;
+    for (int s = 0; s < segments; ++s) {
+        std::map<int, std::vector<int>> fanout;
+        for (const auto& comm : seg::SegmentComms(w, a, s))
+            fanout[comm.src_pu].push_back(comm.dst_pu);
+        std::vector<noc::RouteRequest> requests;
+        for (auto& [src, dsts] : fanout)
+            requests.push_back({src, dsts});
+        if (!requests.empty())
+            patterns.push_back(requests);
+    }
+    return patterns;
+}
+
+void
+PrintAblation()
+{
+    bench::PrintHeader("Ablation: inter-PU fabric choice");
+    bench::PrintRow("ports",
+                    {"benes mm2", "pruned mm2", "xbar mm2", "benes nodes"});
+    for (int n : {4, 8, 16, 32}) {
+        noc::BenesNetwork benes(n);
+        noc::Crossbar xbar(n);
+        // Prune against the patterns of a real segmented model (pad the
+        // PU count pattern set with the neighbour chain).
+        std::vector<noc::BenesConfig> configs;
+        if (n == 4) {
+            for (const auto& pattern : SegmentPatterns("squeezenet", 4, 4)) {
+                std::vector<noc::BenesConfig> phases;
+                if (benes.RoutePhased(pattern, phases))
+                    for (const auto& cfg : phases)
+                        configs.push_back(cfg);
+            }
+        }
+        std::vector<noc::RouteRequest> chain;
+        for (int i = 0; i + 1 < n; ++i)
+            chain.push_back({i, {i + 1}});
+        noc::BenesConfig chain_cfg;
+        if (benes.Route(chain, chain_cfg))
+            configs.push_back(chain_cfg);
+        const auto prune = benes.Prune(configs);
+        const double full_area =
+            benes.NumNodes() * hw::DefaultTech().benes_node_area_um2 / 1e6;
+        bench::PrintRow(std::to_string(n),
+                        {bench::Fmt(full_area, "%.4f"),
+                         bench::Fmt(benes.PrunedAreaMm2(prune), "%.4f"),
+                         bench::Fmt(xbar.AreaMm2(), "%.4f"),
+                         std::to_string(benes.NumNodes())});
+    }
+
+    bench::PrintHeader("Ablation: transfer energy (pJ per KB)");
+    bench::PrintRow("ports", {"benes", "crossbar"});
+    for (int n : {4, 8, 16, 32}) {
+        noc::BenesNetwork benes(n);
+        noc::Crossbar xbar(n);
+        bench::PrintRow(std::to_string(n),
+                        {bench::Fmt(benes.TransferEnergyPj(1024.0), "%.1f"),
+                         bench::Fmt(xbar.TransferEnergyPj(1024.0), "%.1f")});
+    }
+
+    // Pattern coverage: the fixed neighbour chain cannot express the
+    // branchy patterns real segmentations need; Benes and the crossbar
+    // route them all.
+    bench::PrintHeader("Ablation: pattern coverage over real segmentations");
+    int total = 0, chain_ok = 0, benes_ok = 0, xbar_ok = 0;
+    for (const char* model : {"squeezenet", "mobilenet_v2", "inception_v1"}) {
+        for (const auto& pattern : SegmentPatterns(model, 4, 4)) {
+            ++total;
+            noc::BenesNetwork benes(4);
+            std::vector<noc::BenesConfig> phases;
+            benes_ok += benes.RoutePhased(pattern, phases);
+            noc::Crossbar xbar(4);
+            std::vector<int> selected;
+            xbar_ok += xbar.Route(pattern, selected);
+            bool chain_covers = true;
+            for (const auto& r : pattern)
+                for (int d : r.dsts)
+                    chain_covers &= (d == r.src + 1);
+            chain_ok += chain_covers;
+        }
+    }
+    std::printf("patterns: %d | neighbour chain: %d | benes: %d | crossbar: %d\n",
+                total, chain_ok, benes_ok, xbar_ok);
+}
+
+void
+BM_BenesVsCrossbarRouting(benchmark::State& state)
+{
+    noc::BenesNetwork benes(8);
+    std::vector<noc::RouteRequest> reqs{{0, {1}}, {1, {2, 3}}, {3, {4}}, {4, {7}}};
+    for (auto _ : state) {
+        noc::BenesConfig cfg;
+        benchmark::DoNotOptimize(benes.Route(reqs, cfg));
+    }
+}
+BENCHMARK(BM_BenesVsCrossbarRouting);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintAblation)

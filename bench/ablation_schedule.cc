@@ -1,0 +1,110 @@
+// Ablation: analytical fill-factor model vs the discrete-event
+// piece-based schedule, plus the sensitivity to the inter-segment
+// reconfiguration cost. Validates that the allocator's closed-form
+// latency (what the whole search optimizes) tracks the cycle-level
+// truth.
+
+#include "alloc/allocator.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "pipe/schedule.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintAblation()
+{
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    seg::HeuristicSegmenter segmenter;
+    pipe::SpaScheduler scheduler(cost_model);
+
+    bench::PrintHeader("Analytical vs discrete-event segment schedule");
+    bench::PrintRow("model (S x N)", {"analytic ms", "simulated ms", "ratio"}, 28);
+    struct Case
+    {
+        const char* model;
+        int segments, pus;
+        hw::Platform budget;
+    };
+    const Case cases[] = {
+        {"squeezenet", 4, 3, hw::NvdlaLargeBudget()},
+        {"squeezenet", 4, 3, hw::EyerissBudget()},
+        {"mobilenet_v1", 6, 2, hw::NvdlaSmallBudget()},
+        {"resnet18", 3, 4, hw::NvdlaLargeBudget()},
+        {"alexnet_conv_tower", 2, 4, hw::Zc7045Budget()},
+    };
+    for (const auto& c : cases) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(c.model));
+        seg::Assignment a;
+        if (!segmenter.Solve(w, c.segments, c.pus, a))
+            continue;
+        auto alloc_result =
+            allocator.Allocate(w, a, c.budget, alloc::DesignGoal::kLatency);
+        if (!alloc_result.ok)
+            continue;
+        std::vector<std::vector<hw::Dataflow>> df;
+        for (const auto& seg_eval : alloc_result.segments)
+            df.push_back(seg_eval.dataflow);
+        auto schedule = scheduler.RunModel(w, a, alloc_result.config, df);
+        const double simulated = schedule.Seconds(alloc_result.config.freq_ghz);
+        bench::PrintRow(std::string(c.model) + " (" + std::to_string(c.segments) +
+                            "x" + std::to_string(c.pus) + ")",
+                        {bench::Fmt(alloc_result.latency_seconds * 1e3, "%.3f"),
+                         bench::Fmt(simulated * 1e3, "%.3f"),
+                         bench::Fmt(simulated / alloc_result.latency_seconds)},
+                        28);
+    }
+
+    bench::PrintHeader("Reconfiguration-cost sensitivity (squeezenet 4x3)");
+    bench::PrintRow("reconfig cycles", {"total ms", "bubble share"});
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a;
+    segmenter.Solve(w, 4, 3, a);
+    auto alloc_result =
+        allocator.Allocate(w, a, hw::NvdlaLargeBudget(), alloc::DesignGoal::kLatency);
+    std::vector<std::vector<hw::Dataflow>> df;
+    for (const auto& seg_eval : alloc_result.segments)
+        df.push_back(seg_eval.dataflow);
+    for (int64_t reconfig : {0LL, 64LL, 1024LL, 16384LL, 262144LL}) {
+        pipe::SpaScheduler s(cost_model, reconfig);
+        auto schedule = s.RunModel(w, a, alloc_result.config, df);
+        bench::PrintRow(std::to_string(reconfig),
+                        {bench::Fmt(schedule.Seconds(alloc_result.config.freq_ghz) *
+                                    1e3, "%.3f"),
+                         bench::Fmt(100.0 *
+                                        static_cast<double>(schedule.reconfig_cycles) /
+                                        static_cast<double>(schedule.total_cycles),
+                                    "%.2f%%")});
+    }
+    std::printf("(single-cycle clockless Benes muxes keep the real bubble tiny)\n");
+}
+
+void
+BM_DiscreteEventSchedule(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    seg::HeuristicSegmenter segmenter;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a;
+    segmenter.Solve(w, 4, 3, a);
+    auto alloc_result =
+        allocator.Allocate(w, a, hw::NvdlaLargeBudget(), alloc::DesignGoal::kLatency);
+    std::vector<std::vector<hw::Dataflow>> df;
+    for (const auto& seg_eval : alloc_result.segments)
+        df.push_back(seg_eval.dataflow);
+    pipe::SpaScheduler scheduler(cost_model);
+    for (auto _ : state) {
+        auto schedule = scheduler.RunModel(w, a, alloc_result.config, df);
+        benchmark::DoNotOptimize(schedule.total_cycles);
+    }
+}
+BENCHMARK(BM_DiscreteEventSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintAblation)

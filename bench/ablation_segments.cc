@@ -1,0 +1,76 @@
+// Ablation: segment count. Sweeps S for fixed N on two contrasting
+// models and reports latency, min CTC and SOD -- showing the paper's
+// core trade-off: too few segments lose nothing to DRAM but balance
+// poorly; too many re-approach layerwise traffic. The co-design engine
+// must pick the knee.
+
+#include "alloc/allocator.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "pipe/schedule.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+void
+SweepModel(const char* model, int num_pus, const hw::Platform& budget)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    seg::HeuristicSegmenter segmenter;
+
+    bench::PrintHeader(std::string("Segment-count sweep: ") + model + " @ " +
+                       budget.name + " (N=" + std::to_string(num_pus) + ")");
+    bench::PrintRow("S", {"latency ms", "min CTC", "SOD", "DRAM MB"});
+    const int max_s = std::min(16, w.NumLayers() / num_pus);
+    for (int s = 1; s <= max_s; s = s < 4 ? s + 1 : s * 2) {
+        seg::Assignment a;
+        if (!segmenter.Solve(w, s, num_pus, a))
+            continue;
+        auto result = allocator.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
+        if (!result.ok)
+            continue;
+        seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+        int64_t dram = 0;
+        for (int i = 0; i < s; ++i)
+            dram += seg::SegmentAccessBytes(w, a, i);
+        bench::PrintRow(std::to_string(s),
+                        {bench::Fmt(result.latency_seconds * 1e3, "%.3f"),
+                         bench::Fmt(m.min_ctc, "%.1f"), bench::Fmt(m.sod, "%.3f"),
+                         bench::Fmt(static_cast<double>(dram) / 1048576.0)});
+    }
+}
+
+void
+PrintAblation()
+{
+    SweepModel("squeezenet", 3, hw::NvdlaSmallBudget());
+    SweepModel("mobilenet_v1", 2, hw::NvdlaSmallBudget());
+    SweepModel("resnet50", 4, hw::NvdlaLargeBudget());
+    std::printf("\n(more segments -> more boundary DRAM traffic but tighter\n"
+                " per-segment balance; the engine picks the knee per budget)\n");
+}
+
+void
+BM_SegmentSweepPoint(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    seg::HeuristicSegmenter segmenter;
+    seg::Assignment a;
+    segmenter.Solve(w, static_cast<int>(state.range(0)), 3, a);
+    for (auto _ : state) {
+        auto r = allocator.Allocate(w, a, hw::NvdlaSmallBudget(),
+                                    alloc::DesignGoal::kLatency);
+        benchmark::DoNotOptimize(r.latency_seconds);
+    }
+}
+BENCHMARK(BM_SegmentSweepPoint)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintAblation)

@@ -1,0 +1,65 @@
+#ifndef SPA_BENCH_BENCH_UTIL_H_
+#define SPA_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: every bench binary
+ * first prints its paper artifact (table / figure series) and then
+ * runs the google-benchmark cases for the kernels involved, so
+ * running every binary under build/bench regenerates the evaluation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace bench {
+
+/** Prints a centered section header for a paper artifact. */
+inline void
+PrintHeader(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Prints one row of right-aligned cells after a left label. */
+inline void
+PrintRow(const std::string& label, const std::vector<std::string>& cells,
+         int label_width = 24, int cell_width = 12)
+{
+    std::printf("%-*s", label_width, label.c_str());
+    for (const auto& c : cells)
+        std::printf("%*s", cell_width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+Fmt(double v, const char* format = "%.2f")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+/** Standard bench main: print the artifact, then run benchmarks. */
+#define SPA_BENCH_MAIN(print_fn)                                   \
+    int main(int argc, char** argv)                                \
+    {                                                              \
+        ::spa::detail::SetQuiet(true);                             \
+        print_fn();                                                \
+        ::benchmark::Initialize(&argc, argv);                      \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \
+            return 1;                                              \
+        ::benchmark::RunSpecifiedBenchmarks();                     \
+        return 0;                                                  \
+    }
+
+}  // namespace bench
+}  // namespace spa
+
+#endif  // SPA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,55 @@
+// Fig. 2: the roofline model. Plots attainable performance vs CTC for
+// the NVDLA-Large-class accelerator and locates the layers of a real
+// model against the ridge point.
+
+#include "bench/bench_util.h"
+#include "hw/platform.h"
+#include "nn/models.h"
+#include "nn/workload.h"
+#include "roofline/roofline.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintRoofline()
+{
+    const hw::Platform p = hw::NvdlaLargeBudget();
+    roofline::Roofline roof{p.PeakGops(), p.bandwidth_gbps};
+    bench::PrintHeader("Fig 2: roofline (NVDLA-Large class)");
+    std::printf("peak = %.0f GOP/s, bandwidth = %.0f GB/s, ridge CTC = %.0f OPs/B\n",
+                roof.peak_gops, roof.bandwidth_gbps, roof.RidgeCtc());
+    bench::PrintRow("CTC (OPs/B)", {"attainable", "regime"});
+    for (double ctc : {1.0, 4.0, 16.0, 64.0, 140.0, 280.0, 560.0, 2240.0}) {
+        bench::PrintRow(bench::Fmt(ctc, "%.0f"),
+                        {bench::Fmt(roof.AttainableGops(ctc), "%.0f"),
+                         roof.IsMemoryBound(ctc) ? "memory" : "compute"});
+    }
+    // Layerwise CTC of SqueezeNet against the ridge: most layers sit
+    // left of it (the motivation for pipelining).
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    int below = 0;
+    for (const auto& l : w.layers)
+        below += l.LayerCtc() < roof.RidgeCtc();
+    std::printf("\nSqueezeNet layers below the ridge: %d / %d\n", below,
+                w.NumLayers());
+}
+
+void
+BM_RooflineEval(benchmark::State& state)
+{
+    const hw::Platform p = hw::NvdlaLargeBudget();
+    roofline::Roofline roof{p.PeakGops(), p.bandwidth_gbps};
+    double acc = 0.0;
+    for (auto _ : state) {
+        for (double ctc = 1.0; ctc < 1000.0; ctc += 1.0)
+            acc += roof.AttainableGops(ctc);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_RooflineEval);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintRoofline)

@@ -1,0 +1,91 @@
+// Fig. 3: CTC ratio of SqueezeNet / MobileNetV2 / GoogleNet /
+// EfficientNet-B0 under no-pipeline, segment-grained pipeline (the
+// paper's even per-model splits: 6/3/6/5 layers), and full pipeline.
+
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "seg/assignment.h"
+
+namespace {
+
+using namespace spa;
+
+struct Fig3Case
+{
+    const char* model;
+    int layers_per_segment;  // the paper's even split
+};
+
+const Fig3Case kCases[] = {
+    {"squeezenet", 6},
+    {"mobilenet_v2", 3},
+    {"inception_v1", 6},
+    {"efficientnet_b0", 5},
+};
+
+double
+NoPipelineCtc(const nn::Workload& w)
+{
+    int64_t ops = 0, access = 0;
+    for (const auto& l : w.layers) {
+        ops += l.ops;
+        access += l.AccessBytes();
+    }
+    return static_cast<double>(ops) / static_cast<double>(access);
+}
+
+double
+SegmentCtc(const nn::Workload& w, int layers_per_segment)
+{
+    seg::Assignment a = seg::EvenSegmentation(w, layers_per_segment, 1);
+    seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+    // Model-level CTC of the segmented execution.
+    int64_t ops = 0, access = 0;
+    for (int s = 0; s < a.num_segments; ++s) {
+        ops += m.seg_ops[static_cast<size_t>(s)];
+        access += m.seg_access[static_cast<size_t>(s)];
+    }
+    return static_cast<double>(ops) / static_cast<double>(access);
+}
+
+double
+FullPipelineCtc(const nn::Workload& w)
+{
+    // Everything in one segment: weights + model IO only.
+    seg::Assignment a = seg::SingleSegmentSinglePu(w);
+    seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+    return m.seg_ctc[0];
+}
+
+void
+PrintFig3()
+{
+    bench::PrintHeader("Fig 3: CTC ratio by implementation (OPs/Byte)");
+    bench::PrintRow("model", {"no-pipe", "segment", "full-pipe", "seg/no-pipe"});
+    for (const auto& c : kCases) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(c.model));
+        const double none = NoPipelineCtc(w);
+        const double segmented = SegmentCtc(w, c.layers_per_segment);
+        const double full = FullPipelineCtc(w);
+        bench::PrintRow(c.model, {bench::Fmt(none), bench::Fmt(segmented),
+                                  bench::Fmt(full), bench::Fmt(segmented / none)});
+    }
+    std::printf("(segment splits: squeezenet=6, mobilenet_v2=3, inception_v1=6, "
+                "efficientnet_b0=5 layers per segment, as in the paper)\n");
+}
+
+void
+BM_SegmentMetrics(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a = seg::EvenSegmentation(w, 6, 2);
+    for (auto _ : state) {
+        auto m = seg::ComputeMetrics(w, a);
+        benchmark::DoNotOptimize(m.min_ctc);
+    }
+}
+BENCHMARK(BM_SegmentMetrics);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig3)

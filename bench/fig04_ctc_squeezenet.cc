@@ -1,0 +1,55 @@
+// Fig. 4: per-layer CTC of SqueezeNet and the effect of 3-layer /
+// 6-layer even segmentations ("segment-grained-1/2"), plus the tuned
+// segmentation the AutoSeg segmenter finds.
+
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig4()
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    bench::PrintHeader("Fig 4: SqueezeNet per-layer CTC (no-pipeline)");
+    bench::PrintRow("layer", {"CTC (OPs/B)"});
+    for (const auto& l : w.layers)
+        bench::PrintRow(l.name, {bench::Fmt(l.LayerCtc())});
+
+    bench::PrintHeader("Fig 4: segment CTC under different segmentations");
+    auto print_segments = [&](const char* label, const seg::Assignment& a) {
+        seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+        std::vector<std::string> cells;
+        for (double ctc : m.seg_ctc)
+            cells.push_back(bench::Fmt(ctc, "%.1f"));
+        bench::PrintRow(label, {"min=" + bench::Fmt(m.min_ctc, "%.1f")});
+        bench::PrintRow("  per-segment", cells, 24, 8);
+    };
+    print_segments("segment-grained-1 (3)", seg::EvenSegmentation(w, 3, 1));
+    print_segments("segment-grained-2 (6)", seg::EvenSegmentation(w, 6, 1));
+
+    seg::Assignment tuned;
+    seg::HeuristicSegmenter segmenter;
+    if (segmenter.Solve(w, 5, 2, tuned))
+        print_segments("AutoSeg segmentation", tuned);
+}
+
+void
+BM_HeuristicSegmentSqueezeNet(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::HeuristicSegmenter segmenter;
+    for (auto _ : state) {
+        seg::Assignment a;
+        segmenter.Solve(w, 5, 2, a);
+        benchmark::DoNotOptimize(a.num_segments);
+    }
+}
+BENCHMARK(BM_HeuristicSegmentSqueezeNet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig4)

@@ -1,0 +1,53 @@
+// Fig. 5: the operation (MAC) counts of SqueezeNet's layers and the
+// per-segment operational distributions after proper layer grouping --
+// similar distributions across segments enable one shared PE quota.
+
+#include "bench/bench_util.h"
+#include "common/util.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig5()
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    bench::PrintHeader("Fig 5: SqueezeNet per-layer MACs");
+    for (const auto& l : w.layers)
+        bench::PrintRow(l.name, {OpsToString(static_cast<double>(l.ops))});
+
+    bench::PrintHeader("Fig 5: operational distributions V_s per segment");
+    seg::Assignment a;
+    seg::HeuristicSegmenter segmenter;
+    if (!segmenter.Solve(w, 4, 3, a))
+        return;
+    seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+    bench::PrintRow("segment", {"V[PU1]", "V[PU2]", "V[PU3]"});
+    for (int s = 0; s < a.num_segments; ++s) {
+        std::vector<std::string> cells;
+        for (int n = 0; n < a.num_pus; ++n)
+            cells.push_back(bench::Fmt(
+                m.v[static_cast<size_t>(s)][static_cast<size_t>(n)], "%.3f"));
+        bench::PrintRow("segment-" + std::to_string(s + 1), cells);
+    }
+    std::printf("SOD (sum of pairwise Manhattan distances): %.4f\n", m.sod);
+}
+
+void
+BM_ComputeDistributions(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a = seg::EvenSegmentation(w, 6, 3);
+    for (auto _ : state) {
+        auto m = seg::ComputeMetrics(w, a);
+        benchmark::DoNotOptimize(m.sod);
+    }
+}
+BENCHMARK(BM_ComputeDistributions);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig5)

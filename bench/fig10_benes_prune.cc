@@ -1,0 +1,92 @@
+// Fig. 10: Benes network pruning. Routes the per-segment inter-PU
+// patterns of a real segmented model, prunes the fabric to the union
+// of used nodes/links, and reports the area saving.
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "nn/models.h"
+#include "noc/benes.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig10()
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a;
+    seg::HeuristicSegmenter segmenter;
+    if (!segmenter.Solve(w, 4, 4, a))
+        return;
+
+    noc::BenesNetwork fabric(4);
+    std::vector<noc::BenesConfig> configs;
+    bench::PrintHeader("Fig 10: per-segment fabric configurations (SqueezeNet, 4 PUs)");
+    for (int s = 0; s < a.num_segments; ++s) {
+        std::map<int, std::vector<int>> fanout;
+        for (const auto& comm : seg::SegmentComms(w, a, s))
+            fanout[comm.src_pu].push_back(comm.dst_pu);
+        std::vector<noc::RouteRequest> requests;
+        std::string pattern;
+        for (auto& [src, dsts] : fanout) {
+            requests.push_back({src, dsts});
+            for (int d : dsts)
+                pattern += std::to_string(src + 1) + "->" + std::to_string(d + 1) + " ";
+        }
+        std::vector<noc::BenesConfig> phases;
+        const bool routed = requests.empty() || fabric.RoutePhased(requests, phases);
+        bench::PrintRow("segment-" + std::to_string(s + 1),
+                        {routed ? "routed (" + std::to_string(phases.size()) +
+                                      " phase)"
+                                : "FAILED"});
+        std::printf("    pattern: %s\n", pattern.empty() ? "(none)" : pattern.c_str());
+        for (const auto& cfg : phases)
+            configs.push_back(cfg);
+    }
+
+    noc::PruneStats stats = fabric.Prune(configs);
+    bench::PrintHeader("Fig 10: pruning outcome");
+    std::printf("nodes: %d used / %d total (%.0f%% removed)\n", stats.used_nodes,
+                stats.total_nodes, 100.0 * stats.NodeReduction());
+    std::printf("links: %d used / %d total\n", stats.used_links, stats.total_links);
+    std::printf("pruned fabric area: %.4f mm^2 (full: %.4f mm^2)\n",
+                fabric.PrunedAreaMm2(stats),
+                fabric.PrunedAreaMm2(noc::PruneStats{0, fabric.NumNodes(), 0, 0, {}}));
+}
+
+void
+BM_BenesRoutePermutation(benchmark::State& state)
+{
+    noc::BenesNetwork net(static_cast<int>(state.range(0)));
+    std::vector<int> perm(static_cast<size_t>(net.width()));
+    for (int i = 0; i < net.width(); ++i)
+        perm[static_cast<size_t>(i)] = (i + 1) % net.width();
+    for (auto _ : state) {
+        auto cfg = net.RoutePermutation(perm);
+        benchmark::DoNotOptimize(cfg.out_sel.data());
+    }
+}
+BENCHMARK(BM_BenesRoutePermutation)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_BenesPropagate(benchmark::State& state)
+{
+    noc::BenesNetwork net(16);
+    std::vector<int> perm(16);
+    for (int i = 0; i < 16; ++i)
+        perm[static_cast<size_t>(i)] = 15 - i;
+    auto cfg = net.RoutePermutation(perm);
+    std::vector<int64_t> inputs(16, 1);
+    for (auto _ : state) {
+        auto out = net.Propagate(cfg, inputs);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_BenesPropagate);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig10)

@@ -1,0 +1,76 @@
+// Fig. 12: speedup of the AutoSeg SPA designs over general DNN
+// processors (no-pipeline models at the Eyeriss / NVDLA-Small /
+// NVDLA-Large / EdgeTPU budgets of Table II), over the nine-model
+// benchmark suite, plus the geometric means the paper quotes
+// (2.71x / 3.55x / 2.21x / 3.89x).
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "common/util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig12()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 3, 4, 6};
+    autoseg::Engine engine(cost_model, options);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    autoseg::SegmentationCache cache;
+
+    const auto budgets = hw::AsicBudgets();
+    bench::PrintHeader("Fig 12: SPA speedup over same-budget general processors");
+    {
+        std::vector<std::string> headers;
+        for (const auto& b : budgets)
+            headers.push_back(b.name);
+        bench::PrintRow("model", headers);
+    }
+    std::vector<std::vector<double>> speedups(budgets.size());
+    for (const std::string& model : nn::ZooModelNames()) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        std::vector<std::string> cells;
+        for (size_t b = 0; b < budgets.size(); ++b) {
+            auto base = no_pipe.Evaluate(w, budgets[b]);
+            auto spa = engine.Run(w, budgets[b], alloc::DesignGoal::kLatency, &cache);
+            if (!spa.ok || !base.ok) {
+                cells.push_back("n/a");
+                continue;
+            }
+            const double speedup = base.latency_seconds / spa.alloc.latency_seconds;
+            speedups[b].push_back(speedup);
+            cells.push_back(bench::Fmt(speedup) + "x");
+        }
+        bench::PrintRow(model, cells);
+    }
+    std::vector<std::string> means;
+    for (auto& v : speedups)
+        means.push_back(bench::Fmt(GeoMean(v)) + "x");
+    bench::PrintRow("geomean", means);
+    std::printf("(paper reports 2.71x / 3.55x / 2.21x / 3.89x averages)\n");
+}
+
+void
+BM_AutoSegSqueezeNetEyeriss(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    autoseg::Engine engine(cost_model, options);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    for (auto _ : state) {
+        auto result = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+        benchmark::DoNotOptimize(result.alloc.latency_seconds);
+    }
+}
+BENCHMARK(BM_AutoSegSqueezeNetEyeriss)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig12)

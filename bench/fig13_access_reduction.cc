@@ -1,0 +1,70 @@
+// Fig. 13: off-chip memory access reduction of the SPA designs over
+// the Eyeriss-budget layerwise baseline. Models with fmap-dominated
+// footprints (MobileNets, SqueezeNet) reduce the most; weight-heavy
+// models (AlexNet, VGG) the least (Amdahl on the weight traffic).
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig13()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 3, 4, 6};
+    autoseg::Engine engine(cost_model, options);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    autoseg::SegmentationCache cache;
+    const hw::Platform budget = hw::EyerissBudget();
+
+    bench::PrintHeader("Fig 13: DRAM access vs Eyeriss-budget baseline");
+    bench::PrintRow("model",
+                    {"base (MB)", "SPA (MB)", "reduction", "fmap share"});
+    for (const std::string& model : nn::ZooModelNames()) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        auto base = no_pipe.Evaluate(w, budget);
+        auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+        if (!spa.ok)
+            continue;
+        int64_t spa_bytes = 0;
+        for (int s = 0; s < spa.assignment.num_segments; ++s)
+            spa_bytes += seg::SegmentAccessBytes(w, spa.assignment, s);
+        int64_t fmap = 0;
+        for (const auto& e : w.edges)
+            fmap += e.bytes;
+        const double share = static_cast<double>(fmap) /
+                             static_cast<double>(fmap + w.TotalWeightBytes());
+        bench::PrintRow(
+            model,
+            {bench::Fmt(static_cast<double>(base.dram_bytes) / 1048576.0),
+             bench::Fmt(static_cast<double>(spa_bytes) / 1048576.0),
+             bench::Fmt(static_cast<double>(base.dram_bytes) /
+                        static_cast<double>(spa_bytes)) + "x",
+             bench::Fmt(100.0 * share, "%.0f%%")});
+    }
+    std::printf("(reduction tracks the intermediate-fmap share, Sec. VI-B)\n");
+}
+
+void
+BM_SegmentAccess(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    seg::Assignment a = seg::EvenSegmentation(w, 4, 2);
+    for (auto _ : state) {
+        int64_t total = 0;
+        for (int s = 0; s < a.num_segments; ++s)
+            total += seg::SegmentAccessBytes(w, a, s);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_SegmentAccess);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig13)

@@ -1,0 +1,70 @@
+// Fig. 15: speedup of the AutoSeg SPA designs over the no-pipeline
+// baselines *with Optimus-style layer fusion* (Sec. VI-D). Fusion
+// narrows the gap but SPA still wins: buffers hold overlap halos and
+// the unified PU still underutilizes on diverse layers.
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "common/util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig15()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 3, 4, 6};
+    autoseg::Engine engine(cost_model, options);
+    baselines::FusedLayerModel fused(cost_model);
+    baselines::NoPipelineModel plain(cost_model);
+    autoseg::SegmentationCache cache;
+
+    const hw::Platform budgets[] = {hw::EyerissBudget(), hw::NvdlaSmallBudget()};
+    for (const auto& budget : budgets) {
+        bench::PrintHeader("Fig 15: SPA speedup over fusion baseline (" +
+                           budget.name + ")");
+        bench::PrintRow("model", {"vs fusion", "vs plain", "fusion gain"});
+        std::vector<double> vs_fusion;
+        for (const std::string& model : nn::ZooModelNames()) {
+            nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+            auto base_fused = fused.Evaluate(w, budget);
+            auto base_plain = plain.Evaluate(w, budget);
+            auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+            if (!spa.ok)
+                continue;
+            const double s_fused =
+                base_fused.latency_seconds / spa.alloc.latency_seconds;
+            const double s_plain =
+                base_plain.latency_seconds / spa.alloc.latency_seconds;
+            vs_fusion.push_back(s_fused);
+            bench::PrintRow(model,
+                            {bench::Fmt(s_fused) + "x", bench::Fmt(s_plain) + "x",
+                             bench::Fmt(base_plain.latency_seconds /
+                                        base_fused.latency_seconds) +
+                                 "x"});
+        }
+        bench::PrintRow("geomean", {bench::Fmt(GeoMean(vs_fusion)) + "x"});
+    }
+}
+
+void
+BM_FusionGrouping(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    baselines::FusedLayerModel fused(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet50());
+    for (auto _ : state) {
+        auto groups = fused.FusionGroups(w, hw::EyerissBudget());
+        benchmark::DoNotOptimize(groups.size());
+    }
+}
+BENCHMARK(BM_FusionGrouping);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig15)

@@ -1,0 +1,82 @@
+// Fig. 16: energy breakdown (DRAM / on-chip buffer / MAC / others) of
+// the no-pipeline baseline, the fusion-optimized baseline, and the
+// AutoSeg SPA design per model, plus the paper's headline efficiency
+// ratios (1.65x over baseline, 1.32x over fusion on average) and the
+// <3% "others" share of the SPA designs.
+
+#include "autoseg/autoseg.h"
+#include "autoseg/energy.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "common/util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+void
+PrintFig16()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 3, 4, 6};
+    autoseg::Engine engine(cost_model, options);
+    baselines::NoPipelineModel plain(cost_model);
+    baselines::FusedLayerModel fused(cost_model);
+    autoseg::SegmentationCache cache;
+    const hw::Platform budget = hw::EyerissBudget();
+
+    bench::PrintHeader("Fig 16: energy breakdown (mJ) at the Eyeriss budget");
+    bench::PrintRow("model / design",
+                    {"DRAM", "buffer", "MAC", "others", "total"});
+    std::vector<double> gain_vs_plain, gain_vs_fused;
+    for (const std::string& model : nn::ZooModelNames()) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        auto base = plain.Evaluate(w, budget);
+        auto fuse = fused.Evaluate(w, budget);
+        auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+        if (!spa.ok)
+            continue;
+        auto spa_energy =
+            autoseg::EvaluateSpaEnergy(cost_model, w, spa.assignment, spa.alloc);
+        auto print_breakdown = [&](const std::string& label,
+                                   const cost::EnergyBreakdown& e) {
+            bench::PrintRow(label, {bench::Fmt(e.dram_pj / 1e9, "%.2f"),
+                                    bench::Fmt(e.buffer_pj / 1e9, "%.2f"),
+                                    bench::Fmt(e.mac_pj / 1e9, "%.2f"),
+                                    bench::Fmt(e.other_pj / 1e9, "%.2f"),
+                                    bench::Fmt(e.TotalPj() / 1e9, "%.2f")});
+        };
+        print_breakdown(model + " baseline", base.energy);
+        print_breakdown(model + " fusion", fuse.energy);
+        print_breakdown(model + " AutoSeg", spa_energy);
+        gain_vs_plain.push_back(base.energy.TotalPj() / spa_energy.TotalPj());
+        gain_vs_fused.push_back(fuse.energy.TotalPj() / spa_energy.TotalPj());
+        std::printf("    others share of AutoSeg total: %.1f%%\n",
+                    100.0 * spa_energy.other_pj / spa_energy.TotalPj());
+    }
+    std::printf("\nenergy efficiency gain geomean: %.2fx vs baseline, %.2fx vs "
+                "fusion (paper: 1.65x / 1.32x)\n",
+                GeoMean(gain_vs_plain), GeoMean(gain_vs_fused));
+}
+
+void
+BM_SpaEnergyEvaluation(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    autoseg::Engine engine(cost_model, options);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    auto spa = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    for (auto _ : state) {
+        auto e = autoseg::EvaluateSpaEnergy(cost_model, w, spa.assignment, spa.alloc);
+        benchmark::DoNotOptimize(e.dram_pj);
+    }
+}
+BENCHMARK(BM_SpaEnergyEvaluation);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig16)

@@ -1,0 +1,138 @@
+// Fig. 17: generality analysis. A dedicated SPA accelerator is built
+// per model; every other model is then remapped onto it (hardware and
+// pruned fabric fixed, segmentation re-targeted to latency). Reported
+// as speedup over the NVDLA-Small-budget no-pipeline baseline (the
+// bandwidth regime where pipelining pays; see EXPERIMENTS.md): dedicated
+// designs win, but non-dedicated mappings still beat the baseline.
+
+#include <map>
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+const char* kModels[] = {"alexnet", "squeezenet", "mobilenet_v1", "resnet18"};
+
+void
+PrintFig17()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {4};
+    autoseg::Engine engine(cost_model, options);
+    const hw::Platform budget = hw::NvdlaSmallBudget();
+    baselines::NoPipelineModel no_pipe(cost_model);
+    autoseg::SegmentationCache cache;
+
+    // Build the dedicated designs and their pruned fabrics.
+    struct Dedicated
+    {
+        autoseg::CoDesignResult result;
+        noc::PruneStats prune;
+    };
+    std::map<std::string, Dedicated> dedicated;
+    noc::BenesNetwork fabric(4);
+    for (const char* model : kModels) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        Dedicated d;
+        d.result = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+        if (!d.result.ok)
+            continue;
+        std::vector<noc::BenesConfig> configs;
+        for (int s = 0; s < d.result.assignment.num_segments; ++s) {
+            std::map<int, std::vector<int>> fanout;
+            for (const auto& comm :
+                 seg::SegmentComms(w, d.result.assignment, s)) {
+                fanout[comm.src_pu].push_back(comm.dst_pu);
+            }
+            std::vector<noc::RouteRequest> requests;
+            for (auto& [src, dsts] : fanout)
+                requests.push_back({src, dsts});
+            std::vector<noc::BenesConfig> phases;
+            if (!requests.empty() && fabric.RoutePhased(requests, phases))
+                for (const auto& cfg : phases)
+                    configs.push_back(cfg);
+        }
+        // Dedicated designs always keep the default neighbour chain
+        // (PU i -> i+1) wired: it is the fallback path every
+        // segmentation can use, so remapped models stay routable.
+        {
+            std::vector<noc::RouteRequest> chain;
+            for (int i = 0; i + 1 < 4; ++i)
+                chain.push_back({i, {i + 1}});
+            noc::BenesConfig cfg;
+            if (fabric.Route(chain, cfg))
+                configs.push_back(cfg);
+        }
+        d.prune = fabric.Prune(configs);
+        dedicated[model] = d;
+    }
+
+    bench::PrintHeader("Fig 17: speedup over no-pipeline baseline");
+    {
+        std::vector<std::string> headers;
+        for (const char* m : kModels)
+            headers.push_back(std::string("on ") + m);
+        bench::PrintRow("workload \\ accel", headers, 20, 14);
+    }
+    for (const char* workload : kModels) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(workload));
+        auto base = no_pipe.Evaluate(w, budget);
+        std::vector<std::string> cells;
+        for (const char* accel : kModels) {
+            auto it = dedicated.find(accel);
+            if (it == dedicated.end()) {
+                cells.push_back("n/a");
+                continue;
+            }
+            double latency;
+            if (std::string(workload) == accel) {
+                latency = it->second.result.alloc.latency_seconds;  // dedicated
+            } else {
+                auto remapped = engine.Remap(w, it->second.result.alloc.config,
+                                             fabric, it->second.prune.link_mask,
+                                             alloc::DesignGoal::kLatency);
+                if (!remapped.ok) {
+                    cells.push_back("unroutable");
+                    continue;
+                }
+                latency = remapped.alloc.latency_seconds;
+            }
+            cells.push_back(bench::Fmt(base.latency_seconds / latency) + "x");
+        }
+        bench::PrintRow(workload, cells, 20, 14);
+    }
+    std::printf("(diagonal = model-dedicated accelerator)\n");
+}
+
+void
+BM_RemapSqueezeNetOntoAlexNetDesign(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {4};
+    autoseg::Engine engine(cost_model, options);
+    nn::Workload alex = nn::ExtractWorkload(nn::BuildAlexNet());
+    auto design = engine.Run(alex, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    noc::BenesNetwork fabric(4);
+    std::vector<std::array<bool, 2>> all_links(
+        static_cast<size_t>(fabric.NumNodes()), {true, true});
+    nn::Workload squeeze = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    for (auto _ : state) {
+        auto remapped = engine.Remap(squeeze, design.alloc.config, fabric, all_links,
+                                     alloc::DesignGoal::kLatency);
+        benchmark::DoNotOptimize(remapped.ok);
+    }
+}
+BENCHMARK(BM_RemapSqueezeNetOntoAlexNetDesign)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig17)

@@ -1,0 +1,275 @@
+// Fig. 18: co-design method comparison on AlexNet and MobileNetV1 at
+// two hardware budgets. Methods: MIP-Random, MIP-Baye (our MIP
+// segmentation + random / Bayesian hardware search), Baye-Heuristic
+// (Bayesian segmentation + Alg. 1 allocation), Baye-Baye (nested
+// Bayesian loops, as in [60]), and AutoSeg (MIP segmentation + the
+// Alg. 1 heuristic). Reports each method's best latency and energy.
+
+#include <functional>
+
+#include "autoseg/autoseg.h"
+#include "autoseg/energy.h"
+#include "bench/bench_util.h"
+#include "common/util.h"
+#include "nn/models.h"
+#include "opt/optimizer.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+constexpr double kInfeasible = 1e9;
+constexpr int kNumPus = 4;
+
+/** Decodes a hardware point: per-PU PE exponents + weight-buffer scale. */
+hw::SpaConfig
+DecodeHardware(const std::vector<int>& x, const nn::Workload& w,
+               const seg::Assignment& a, const hw::Platform& budget)
+{
+    hw::SpaConfig cfg;
+    cfg.freq_ghz = budget.freq_ghz;
+    cfg.bandwidth_gbps = budget.bandwidth_gbps;
+    cfg.pus.resize(static_cast<size_t>(kNumPus));
+    for (int n = 0; n < kNumPus; ++n) {
+        const int64_t pes = 1LL << (2 + x[static_cast<size_t>(n)]);  // 4..512
+        int64_t rows = 1;
+        while (rows * rows < pes)
+            rows *= 2;
+        if (rows * rows > pes)
+            rows /= 2;
+        hw::PuConfig& pu = cfg.pus[static_cast<size_t>(n)];
+        pu.rows = rows;
+        pu.cols = pes / rows;
+        int64_t ab = 256, wb = 256;
+        for (int l = 0; l < w.NumLayers(); ++l) {
+            if (a.pu_of[static_cast<size_t>(l)] != n)
+                continue;
+            const auto& layer = w.layers[static_cast<size_t>(l)];
+            ab = std::max(ab, cost::CostModel::MinActBufferBytes(layer, rows, 1));
+            wb = std::max(wb, cost::CostModel::MinWeightBufferBytes(layer, pes, 1));
+        }
+        pu.act_buffer_bytes = ab;
+        pu.weight_buffer_bytes = wb * (1 + x[static_cast<size_t>(kNumPus)]);
+    }
+    return cfg;
+}
+
+/** Decodes a segmentation point: S and jittered cut positions. */
+bool
+DecodeSegmentation(const std::vector<int>& x, const nn::Workload& w,
+                   seg::Assignment& a)
+{
+    const int num_layers = w.NumLayers();
+    const int num_segments = 1 + x[0];
+    if (num_layers < num_segments * kNumPus)
+        return false;
+    // Quantile cuts with jitter.
+    std::vector<int> cuts{0};
+    for (int s = 1; s < num_segments; ++s) {
+        int cut = s * num_layers / num_segments;
+        if (static_cast<size_t>(s) < x.size())
+            cut += x[static_cast<size_t>(s)] - 3;
+        cut = std::clamp(cut, cuts.back() + kNumPus,
+                         num_layers - (num_segments - s) * kNumPus);
+        if (cut <= cuts.back())
+            return false;
+        cuts.push_back(cut);
+    }
+    a.num_segments = num_segments;
+    a.num_pus = kNumPus;
+    a.segment_of.assign(static_cast<size_t>(num_layers), 0);
+    a.pu_of.assign(static_cast<size_t>(num_layers), 0);
+    for (int l = 0; l < num_layers; ++l) {
+        int s = 0;
+        while (s + 1 < num_segments && l >= cuts[static_cast<size_t>(s) + 1])
+            ++s;
+        a.segment_of[static_cast<size_t>(l)] = s;
+        const int lo = cuts[static_cast<size_t>(s)];
+        const int hi = (s + 1 < num_segments) ? cuts[static_cast<size_t>(s) + 1]
+                                              : num_layers;
+        const int len = hi - lo;
+        int pu = static_cast<int>(static_cast<int64_t>(l - lo) * kNumPus / len);
+        a.pu_of[static_cast<size_t>(l)] = std::min(pu, kNumPus - 1);
+    }
+    return seg::CheckConstraints(w, a).empty();
+}
+
+struct MethodResult
+{
+    std::string name;
+    double latency_ms = 1e30;
+    double energy_e10pj = 0.0;  // 1e10 pJ, the Fig. 18 axis unit
+    int evaluations = 0;
+};
+
+void
+RunCase(const char* model, const hw::Platform& budget)
+{
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+    std::vector<MethodResult> rows;
+
+    auto energy_of = [&](const seg::Assignment& a,
+                         const alloc::AllocationResult& r) {
+        return autoseg::EvaluateSpaEnergy(cost_model, w, a, r).TotalPj() / 1e10;
+    };
+
+    // Shared MIP/heuristic segmentation for the MIP-* methods.
+    seg::Assignment mip_assignment;
+    bool have_mip = seg::SolveSegmentation(
+        w, std::max(1, std::min(4, w.NumLayers() / kNumPus)), kNumPus,
+        mip_assignment);
+    if (!have_mip)
+        return;
+
+    // Hardware-search objective over the fixed segmentation.
+    opt::Space hw_space;
+    hw_space.cardinalities.assign(kNumPus, 8);  // PE exponent
+    hw_space.cardinalities.push_back(4);        // WB scale
+    alloc::AllocationResult best_hw_alloc;
+    auto hw_objective = [&](const std::vector<int>& x) {
+        hw::SpaConfig cfg = DecodeHardware(x, w, mip_assignment, budget);
+        if (!hw::FitsBudget(cfg, budget))
+            return kInfeasible;
+        auto r = allocator.Evaluate(w, mip_assignment, cfg);
+        return r.latency_seconds * 1e3;
+    };
+    auto finish_hw = [&](const char* name, const opt::OptResult& r) {
+        MethodResult m;
+        m.name = name;
+        m.evaluations = static_cast<int>(r.evaluations.size());
+        if (r.best_value < kInfeasible) {
+            m.latency_ms = r.best_value;
+            hw::SpaConfig cfg = DecodeHardware(r.best_x, w, mip_assignment, budget);
+            m.energy_e10pj =
+                energy_of(mip_assignment, allocator.Evaluate(w, mip_assignment, cfg));
+        }
+        rows.push_back(m);
+    };
+    finish_hw("MIP-Random", opt::RandomSearch(hw_space, hw_objective, 500, 11));
+    finish_hw("MIP-Baye", opt::BayesianOptimize(hw_space, hw_objective, 150, 12));
+
+    // Baye-Heuristic: Bayesian over segmentation, Alg. 1 allocation.
+    opt::Space seg_space;
+    seg_space.cardinalities = {6, 7, 7, 7, 7, 7};  // S-1 and cut jitters
+    seg::Assignment tmp;
+    auto seg_objective = [&](const std::vector<int>& x) {
+        if (!DecodeSegmentation(x, w, tmp))
+            return kInfeasible;
+        auto r = allocator.Allocate(w, tmp, budget, alloc::DesignGoal::kLatency);
+        return r.ok ? r.latency_seconds * 1e3 : kInfeasible;
+    };
+    {
+        auto r = opt::BayesianOptimize(seg_space, seg_objective, 200, 13);
+        MethodResult m;
+        m.name = "Baye-Heuristic";
+        m.evaluations = static_cast<int>(r.evaluations.size());
+        if (r.best_value < kInfeasible && DecodeSegmentation(r.best_x, w, tmp)) {
+            m.latency_ms = r.best_value;
+            auto alloc_r = allocator.Allocate(w, tmp, budget,
+                                              alloc::DesignGoal::kLatency);
+            m.energy_e10pj = energy_of(tmp, alloc_r);
+        }
+        rows.push_back(m);
+    }
+
+    // Baye-Baye: nested loops per [60] -- outer hardware, inner
+    // segmentation, only latency feedback crossing the boundary.
+    {
+        int evals = 0;
+        seg::Assignment best_inner;
+        hw::SpaConfig best_cfg;
+        auto outer_objective = [&](const std::vector<int>& hx) {
+            seg::Assignment probe = mip_assignment;  // shape source only
+            hw::SpaConfig cfg = DecodeHardware(hx, w, probe, budget);
+            if (!hw::FitsBudget(cfg, budget))
+                return kInfeasible;
+            seg::Assignment inner_tmp;
+            auto inner_objective = [&](const std::vector<int>& sx) {
+                ++evals;
+                if (!DecodeSegmentation(sx, w, inner_tmp))
+                    return kInfeasible;
+                return allocator.Evaluate(w, inner_tmp, cfg).latency_seconds * 1e3;
+            };
+            auto inner = opt::BayesianOptimize(seg_space, inner_objective, 40,
+                                               17 + evals);
+            if (inner.best_value < kInfeasible &&
+                DecodeSegmentation(inner.best_x, w, inner_tmp)) {
+                best_inner = inner_tmp;
+                best_cfg = cfg;
+            }
+            return inner.best_value;
+        };
+        auto r = opt::BayesianOptimize(hw_space, outer_objective, 20, 19);
+        MethodResult m;
+        m.name = "Baye-Baye";
+        m.evaluations = evals;
+        if (r.best_value < kInfeasible && !best_inner.segment_of.empty()) {
+            m.latency_ms = r.best_value;
+            m.energy_e10pj =
+                energy_of(best_inner, allocator.Evaluate(w, best_inner, best_cfg));
+        }
+        rows.push_back(m);
+    }
+
+    // AutoSeg: MIP/heuristic segmentation + Alg. 1 ("MIP-Heuristic").
+    {
+        cost::CostModel cm;
+        autoseg::CoDesignOptions options;
+        options.pu_candidates = {kNumPus};
+        autoseg::Engine engine(cm, options);
+        auto result = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+        MethodResult m;
+        m.name = "AutoSeg";
+        m.evaluations = static_cast<int>(result.explored.size());
+        if (result.ok) {
+            m.latency_ms = result.alloc.latency_seconds * 1e3;
+            m.energy_e10pj = energy_of(result.assignment, result.alloc);
+        }
+        rows.push_back(m);
+    }
+
+    bench::PrintHeader(std::string("Fig 18: ") + model + " @ " + budget.name);
+    bench::PrintRow("method", {"latency(ms)", "energy(e10pJ)", "evals"});
+    for (const auto& m : rows) {
+        bench::PrintRow(m.name,
+                        {m.latency_ms < 1e29 ? bench::Fmt(m.latency_ms, "%.3f")
+                                             : "fail",
+                         bench::Fmt(m.energy_e10pj, "%.3f"),
+                         std::to_string(m.evaluations)});
+    }
+}
+
+void
+PrintFig18()
+{
+    RunCase("alexnet", hw::EyerissBudget());
+    RunCase("alexnet", hw::NvdlaSmallBudget());
+    RunCase("mobilenet_v1", hw::EyerissBudget());
+    RunCase("mobilenet_v1", hw::NvdlaSmallBudget());
+    std::printf("\n(AutoSeg should dominate or match every baseline method; the "
+                "bi-loop Baye-Baye gets the weakest feedback, Sec. VI-G)\n");
+}
+
+void
+BM_HardwareSearchEvaluation(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    seg::Assignment a;
+    seg::HeuristicSegmenter segmenter;
+    segmenter.Solve(w, 2, kNumPus, a);
+    hw::SpaConfig cfg = DecodeHardware({4, 4, 4, 4, 1}, w, a, hw::EyerissBudget());
+    for (auto _ : state) {
+        auto r = allocator.Evaluate(w, a, cfg);
+        benchmark::DoNotOptimize(r.latency_seconds);
+    }
+}
+BENCHMARK(BM_HardwareSearchEvaluation);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig18)

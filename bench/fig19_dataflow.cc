@@ -1,0 +1,78 @@
+// Fig. 19: on-chip data-moving cost of WS-only vs OS-only vs the
+// dataflow-hybrid PU selection, on AlexNet / ResNet18 / MobileNetV1 /
+// SqueezeNet. Big-weight models prefer WS, big-fmap models prefer OS,
+// and the hybrid never loses.
+
+#include "bench/bench_util.h"
+#include "cost/cost.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+/** Total on-chip buffer energy of a model under a fixed dataflow. */
+double
+BufferEnergy(const cost::CostModel& cost_model, const nn::Workload& w,
+             const hw::PuConfig& pu, hw::Dataflow df)
+{
+    double pj = 0.0;
+    for (const auto& l : w.layers) {
+        pj += cost_model.BufferEnergyPj(cost_model.OnChipTraffic(l, pu, df), pu,
+                                        l.weight_bytes);
+        pj += cost_model.ArrayControlEnergyPj(l, pu, df);
+    }
+    return pj;
+}
+
+double
+HybridEnergy(const cost::CostModel& cost_model, const nn::Workload& w,
+             const hw::PuConfig& pu)
+{
+    double pj = 0.0;
+    for (const auto& l : w.layers) {
+        const hw::Dataflow df = cost_model.BestDataflowByEnergy(l, pu);
+        pj += cost_model.BufferEnergyPj(cost_model.OnChipTraffic(l, pu, df), pu,
+                                        l.weight_bytes);
+        pj += cost_model.ArrayControlEnergyPj(l, pu, df);
+    }
+    return pj;
+}
+
+void
+PrintFig19()
+{
+    cost::CostModel cost_model;
+    const hw::PuConfig pu{16, 16, 64 * 1024, 64 * 1024};
+    bench::PrintHeader("Fig 19: on-chip data moving cost (mJ per inference)");
+    bench::PrintRow("model", {"WS-only", "OS-only", "Hybrid", "best fixed"});
+    for (const char* model : {"alexnet", "resnet18", "mobilenet_v1", "squeezenet"}) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        const double ws =
+            BufferEnergy(cost_model, w, pu, hw::Dataflow::kWeightStationary) / 1e9;
+        const double os =
+            BufferEnergy(cost_model, w, pu, hw::Dataflow::kOutputStationary) / 1e9;
+        const double hybrid = HybridEnergy(cost_model, w, pu) / 1e9;
+        bench::PrintRow(model, {bench::Fmt(ws, "%.3f"), bench::Fmt(os, "%.3f"),
+                                bench::Fmt(hybrid, "%.3f"),
+                                ws < os ? "WS" : "OS"});
+    }
+    std::printf("(hybrid <= min(WS, OS) per layer by construction)\n");
+}
+
+void
+BM_DataflowSelection(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    const hw::PuConfig pu{16, 16, 64 * 1024, 64 * 1024};
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    for (auto _ : state) {
+        double pj = HybridEnergy(cost_model, w, pu);
+        benchmark::DoNotOptimize(pj);
+    }
+}
+BENCHMARK(BM_DataflowSelection);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintFig19)

@@ -1,0 +1,106 @@
+// Table III: FPGA comparison. AutoSeg regenerates a throughput-goal
+// SPA design per (model, device) and prints it next to the published
+// baseline rows and the paper's own numbers. Absolute GOP/s depends on
+// our analytic substrate; the comparison shape (who wins, DSP
+// efficiency ordering) is the reproduction target.
+
+#include "autoseg/autoseg.h"
+#include "baselines/published.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+struct OursCase
+{
+    const char* model;
+    const char* device;
+};
+
+const OursCase kOurs[] = {
+    {"alexnet", "7z045"},      {"alexnet", "ku115"},
+    {"vgg16", "zu3eg"},        {"vgg16", "ku115"},
+    {"resnet152", "ku115"},    {"mobilenet_v2", "zu3eg"},
+    {"mobilenet_v2", "7z045"}, {"mobilenet_v2", "ku115"},
+    {"inception_v1", "zu3eg"}, {"inception_v1", "ku115"},
+    {"squeezenet", "zu3eg"},   {"squeezenet", "7z045"},
+    {"squeezenet", "ku115"},
+};
+
+void
+PrintTable3()
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 3, 4, 6};
+    autoseg::Engine engine(cost_model, options);
+    autoseg::SegmentationCache cache;
+
+    bench::PrintHeader("Table III: regenerated SPA designs (ours)");
+    bench::PrintRow("model@device",
+                    {"DSPs", "BRAM36", "GOP/s", "DSP eff", "batch"}, 28);
+    for (const auto& c : kOurs) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(c.model));
+        const hw::Platform device = hw::PlatformByName(c.device);
+        auto result = engine.Run(w, device, alloc::DesignGoal::kThroughput, &cache);
+        if (!result.ok) {
+            bench::PrintRow(std::string(c.model) + "@" + c.device, {"n/a"}, 28);
+            continue;
+        }
+        const auto usage = hw::FpgaResourceUsage(result.alloc.config);
+        const double gops = result.alloc.throughput_fps *
+                            static_cast<double>(w.TotalOps()) * 2.0 / 1e9;
+        const double peak = static_cast<double>(usage.dsps) * device.freq_ghz * 4.0;
+        bench::PrintRow(std::string(c.model) + "@" + c.device,
+                        {std::to_string(usage.dsps), std::to_string(usage.bram36),
+                         bench::Fmt(gops, "%.0f"),
+                         bench::Fmt(100.0 * gops / peak, "%.1f%%"),
+                         std::to_string(result.alloc.config.batch)},
+                        28);
+    }
+
+    bench::PrintHeader("Table III: published baseline rows (literature)");
+    bench::PrintRow("design / model@device",
+                    {"MHz", "DSPs", "GOP/s", "DSP eff"}, 36);
+    for (const auto& r : baselines::PublishedFpgaRows()) {
+        const double eff = r.dsp_eff > 0.0 ? r.dsp_eff : r.DerivedDspEff();
+        bench::PrintRow(r.design + " / " + r.model + "@" + r.device,
+                        {bench::Fmt(r.freq_mhz, "%.0f"), std::to_string(r.dsps),
+                         bench::Fmt(r.perf_gops, "%.0f"),
+                         bench::Fmt(100.0 * eff, "%.1f%%")},
+                        36);
+    }
+
+    bench::PrintHeader("Table III: the paper's SPA rows (reference)");
+    bench::PrintRow("model@device", {"MHz", "DSPs", "GOP/s", "DSP eff"}, 36);
+    for (const auto& r : baselines::PaperSpaRows()) {
+        const double eff = r.dsp_eff > 0.0 ? r.dsp_eff : r.DerivedDspEff();
+        bench::PrintRow(r.model + "@" + r.device,
+                        {bench::Fmt(r.freq_mhz, "%.0f"), std::to_string(r.dsps),
+                         bench::Fmt(r.perf_gops, "%.0f"),
+                         bench::Fmt(100.0 * eff, "%.1f%%")},
+                        36);
+    }
+}
+
+void
+BM_ThroughputDesignVgg(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {4};
+    autoseg::Engine engine(cost_model, options);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildVgg16());
+    for (auto _ : state) {
+        auto result =
+            engine.Run(w, hw::Ku115Budget(), alloc::DesignGoal::kThroughput);
+        benchmark::DoNotOptimize(result.alloc.throughput_fps);
+    }
+}
+BENCHMARK(BM_ThroughputDesignVgg)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintTable3)

@@ -1,0 +1,142 @@
+// Tables IV / V / VI and Fig. 14: the AlexNet (conv-only, two-tower)
+// case study on ZC706 @ 200 MHz with 768 PEs. Compares the customized
+// no-pipeline, full-pipeline and SPA accelerators: layer binding,
+// per-PU latency, PE utilization, and the memory access of each design.
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "bench/bench_util.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace spa;
+
+hw::Platform
+Zc706With768Pes()
+{
+    hw::Platform p = hw::Zc7045Budget();
+    p.name = "zc706_768pe";
+    p.kind = hw::PlatformKind::kAsic;  // count raw PEs like the case study
+    p.pes = 768;
+    return p;
+}
+
+void
+PrintCaseStudy()
+{
+    cost::CostModel cost_model;
+    nn::Graph graph = nn::BuildAlexNetConvTower();
+    nn::Workload w = nn::ExtractWorkload(graph);
+    const hw::Platform budget = Zc706With768Pes();
+
+    // ---- Table IV: customized no-pipeline accelerator. ----
+    baselines::NoPipelineModel no_pipe(cost_model);
+    // The paper's Table IV design point: a 96x8 (cols x rows) unified PU.
+    auto base = no_pipe.Evaluate(w, budget, /*rows_override=*/8);
+    bench::PrintHeader("Table IV: no-pipeline accelerator (96x8 unified PU, 768 PEs)");
+    bench::PrintRow("layer", {"latency (ms)"});
+    for (int l = 0; l < w.NumLayers(); ++l)
+        bench::PrintRow(w.layers[static_cast<size_t>(l)].name,
+                        {bench::Fmt(base.stage_latency_seconds[static_cast<size_t>(l)] *
+                                    1e3, "%.3f")});
+    std::printf("overall: %.2f ms, PE utilization %.1f%% (paper: 6.45 ms, 71.0%%)\n",
+                base.latency_seconds * 1e3, 100.0 * base.pe_utilization);
+
+    // ---- Table V: customized full-pipeline accelerator. ----
+    baselines::FullPipelineModel full(cost_model);
+    auto pipe = full.Evaluate(w, budget);
+    bench::PrintHeader("Table V: full-pipeline accelerator (one PU per layer)");
+    if (pipe.ok) {
+        double max_stage = 0.0;
+        for (int l = 0; l < w.NumLayers(); ++l) {
+            bench::PrintRow(
+                w.layers[static_cast<size_t>(l)].name,
+                {bench::Fmt(pipe.stage_latency_seconds[static_cast<size_t>(l)] * 1e3,
+                            "%.3f")});
+            max_stage = std::max(max_stage,
+                                 pipe.stage_latency_seconds[static_cast<size_t>(l)]);
+        }
+        std::printf("dominant stage: %.2f ms, PE utilization %.1f%% "
+                    "(paper: 5.83 ms, 78.1%%)\n",
+                    max_stage * 1e3, 100.0 * pipe.pe_utilization);
+    } else {
+        std::printf("infeasible at this budget\n");
+    }
+
+    // ---- Table VI: the AutoSeg SPA accelerator. ----
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {4};
+    options.extra_segment_candidates = {1, 2};
+    autoseg::Engine engine(cost_model, options);
+    auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+    bench::PrintHeader("Table VI: AutoSeg SPA accelerator (4 PUs)");
+    if (spa.ok) {
+        std::printf("config: %s\n", spa.alloc.config.ToString().c_str());
+        for (int s = 0; s < spa.assignment.num_segments; ++s) {
+            std::printf("segment %d:\n", s + 1);
+            for (int n = 0; n < spa.assignment.num_pus; ++n) {
+                std::string layers;
+                for (int l = 0; l < w.NumLayers(); ++l) {
+                    if (spa.assignment.segment_of[static_cast<size_t>(l)] == s &&
+                        spa.assignment.pu_of[static_cast<size_t>(l)] == n) {
+                        layers += w.layers[static_cast<size_t>(l)].name + " ";
+                    }
+                }
+                const auto& eval = spa.alloc.segments[static_cast<size_t>(s)];
+                std::printf("  PU-%d (%s): cycles=%lld  layers: %s\n", n + 1,
+                            hw::DataflowName(
+                                eval.dataflow[static_cast<size_t>(n)]),
+                            static_cast<long long>(
+                                eval.pu_cycles[static_cast<size_t>(n)]),
+                            layers.c_str());
+            }
+        }
+        std::printf("overall: %.2f ms, PE utilization %.1f%% "
+                    "(paper: 5.11 ms, 89.6%%)\n",
+                    spa.alloc.latency_seconds * 1e3,
+                    100.0 * spa.alloc.pe_utilization);
+        std::printf("speedup vs no-pipeline: %.2fx (paper: 1.26x)\n",
+                    base.latency_seconds / spa.alloc.latency_seconds);
+        if (pipe.ok)
+            std::printf("speedup vs full-pipeline: %.2fx (paper: 1.14x)\n",
+                        pipe.latency_seconds / spa.alloc.latency_seconds);
+    }
+
+    // ---- Fig. 14: memory access of the three designs. ----
+    bench::PrintHeader("Fig 14: DRAM access per frame (MB)");
+    bench::PrintRow("design", {"MB"});
+    bench::PrintRow("no-pipeline",
+                    {bench::Fmt(static_cast<double>(base.dram_bytes) / 1048576.0)});
+    if (pipe.ok)
+        bench::PrintRow("full-pipeline", {bench::Fmt(
+                            static_cast<double>(pipe.dram_bytes) / 1048576.0)});
+    if (spa.ok) {
+        int64_t spa_bytes = 0;
+        for (int s = 0; s < spa.assignment.num_segments; ++s)
+            spa_bytes += seg::SegmentAccessBytes(w, spa.assignment, s);
+        bench::PrintRow("SPA", {bench::Fmt(static_cast<double>(spa_bytes) /
+                                           1048576.0)});
+    }
+}
+
+void
+BM_CaseStudyEngine(benchmark::State& state)
+{
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {4};
+    autoseg::Engine engine(cost_model, options);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNetConvTower());
+    autoseg::SegmentationCache cache;
+    for (auto _ : state) {
+        auto result = engine.Run(w, Zc706With768Pes(), alloc::DesignGoal::kLatency,
+                                 &cache);
+        benchmark::DoNotOptimize(result.alloc.latency_seconds);
+    }
+}
+BENCHMARK(BM_CaseStudyEngine)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintCaseStudy)

@@ -1,0 +1,90 @@
+// Custom-model frontend: describe a DNN in the JSON format (the
+// "high-level DNN description" input of Fig. 6), load it, and run the
+// whole AutoSeg flow on it -- the path a user with their own network
+// takes. Also dumps the design record as JSON for downstream tooling.
+//
+//   ./build/examples/custom_model [model.json]
+
+#include <cstdio>
+
+#include "autoseg/autoseg.h"
+#include "json/json.h"
+#include "nn/loader.h"
+
+using namespace spa;
+
+namespace {
+
+// A small detector backbone with a residual block and a two-branch
+// head, written in the JSON frontend format.
+const char* kModelJson = R"({
+  "name": "tiny_detector",
+  "input": {"c": 3, "h": 96, "w": 96},
+  "layers": [
+    {"name": "stem",   "type": "conv", "out": 16, "k": 3, "stride": 2, "pad": 1},
+    {"name": "c1",     "type": "conv", "out": 32, "k": 3, "stride": 2, "pad": 1},
+    {"name": "b1a",    "type": "conv", "out": 32, "k": 3, "pad": 1},
+    {"name": "b1b",    "type": "conv", "out": 32, "k": 3, "pad": 1, "inputs": ["b1a"]},
+    {"name": "res",    "type": "add",  "inputs": ["b1b", "c1"]},
+    {"name": "down",   "type": "conv", "out": 64, "k": 3, "stride": 2, "pad": 1,
+     "inputs": ["res"]},
+    {"name": "head1",  "type": "conv", "out": 32, "k": 1, "pad": 0},
+    {"name": "head3",  "type": "conv", "out": 32, "k": 3, "pad": 1, "inputs": ["down"]},
+    {"name": "fuse",   "type": "concat", "inputs": ["head1", "head3"]},
+    {"name": "boxes",  "type": "conv", "out": 24, "k": 1, "pad": 0, "inputs": ["fuse"]}
+  ]
+})";
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    nn::Graph graph = argc > 1 ? nn::LoadGraph(argv[1])
+                               : nn::GraphFromJson(json::ParseOrDie(kModelJson));
+    nn::Workload workload = nn::ExtractWorkload(graph);
+    std::printf("loaded '%s': %d compute layers, %.1f MMACs, %.1f KB weights\n",
+                workload.name.c_str(), workload.NumLayers(),
+                static_cast<double>(workload.TotalOps()) / 1e6,
+                static_cast<double>(workload.TotalWeightBytes()) / 1024.0);
+
+    cost::CostModel cost_model;
+    autoseg::Engine engine(cost_model);
+    auto result = engine.Run(workload, hw::NvdlaSmallBudget(),
+                             alloc::DesignGoal::kLatency);
+    if (!result.ok) {
+        std::printf("no feasible design\n");
+        return 1;
+    }
+    std::printf("design: %d segments x %d PUs, latency %.3f ms\n",
+                result.assignment.num_segments, result.assignment.num_pus,
+                result.alloc.latency_seconds * 1e3);
+
+    // Dump a machine-readable design record.
+    json::Value record;
+    record["model"] = workload.name;
+    record["segments"] = result.assignment.num_segments;
+    record["pus"] = result.assignment.num_pus;
+    record["latency_ms"] = result.alloc.latency_seconds * 1e3;
+    json::Array pus;
+    for (const auto& pu : result.alloc.config.pus) {
+        json::Value jp;
+        jp["rows"] = pu.rows;
+        jp["cols"] = pu.cols;
+        jp["act_buffer_bytes"] = pu.act_buffer_bytes;
+        jp["weight_buffer_bytes"] = pu.weight_buffer_bytes;
+        pus.push_back(jp);
+    }
+    record["hardware"] = json::Value(std::move(pus));
+    json::Array binding;
+    for (int l = 0; l < workload.NumLayers(); ++l) {
+        json::Value jb;
+        jb["layer"] = workload.layers[static_cast<size_t>(l)].name;
+        jb["segment"] = result.assignment.segment_of[static_cast<size_t>(l)];
+        jb["pu"] = result.assignment.pu_of[static_cast<size_t>(l)];
+        binding.push_back(jb);
+    }
+    record["binding"] = json::Value(std::move(binding));
+    std::printf("\ndesign record:\n%s\n", record.Pretty().c_str());
+    return 0;
+}

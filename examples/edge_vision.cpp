@@ -1,0 +1,59 @@
+// Edge-vision scenario: deploy MobileNetV2 on the small Ultra96 FPGA
+// (ZU3EG) for a camera pipeline. Shows the FPGA resource accounting
+// (DSP packing, BRAM quantization), the throughput-goal batching, and
+// a comparison against the layerwise overlay the board would otherwise
+// run.
+//
+//   ./build/examples/edge_vision
+
+#include <cstdio>
+
+#include "autoseg/autoseg.h"
+#include "baselines/models.h"
+#include "nn/models.h"
+
+using namespace spa;
+
+int
+main()
+{
+    nn::Workload workload = nn::ExtractWorkload(nn::BuildMobileNetV2());
+    const hw::Platform board = hw::Zu3egBudget();
+    std::printf("deploying %s on %s (%ld DSPs, %ld BRAM36, %.1f GB/s)\n",
+                workload.name.c_str(), board.name.c_str(),
+                static_cast<long>(board.dsps),
+                static_cast<long>(board.onchip_bytes / hw::kBytesPerBram36),
+                board.bandwidth_gbps);
+
+    cost::CostModel cost_model;
+    autoseg::Engine engine(cost_model);
+
+    // Camera pipelines care about frames per second: throughput goal.
+    auto spa = engine.Run(workload, board, alloc::DesignGoal::kThroughput);
+    if (!spa.ok) {
+        std::printf("no feasible design\n");
+        return 1;
+    }
+    const auto usage = hw::FpgaResourceUsage(spa.alloc.config);
+    const double gops = spa.alloc.throughput_fps *
+                        static_cast<double>(workload.TotalOps()) * 2.0 / 1e9;
+    std::printf("\nSPA design: %d segments x %d PUs, batch %ld\n",
+                spa.assignment.num_segments, spa.assignment.num_pus,
+                static_cast<long>(spa.alloc.config.batch));
+    std::printf("resources: %ld DSPs (%.0f%%), %ld BRAM36\n",
+                static_cast<long>(usage.dsps),
+                100.0 * static_cast<double>(usage.dsps) / board.dsps,
+                static_cast<long>(usage.bram36));
+    std::printf("throughput: %.1f fps (%.0f GOP/s, DSP efficiency %.0f%%)\n",
+                spa.alloc.throughput_fps, gops,
+                100.0 * gops / (static_cast<double>(usage.dsps) * board.freq_ghz * 4.0));
+
+    // What a generic layerwise overlay would deliver on the same board.
+    baselines::NoPipelineModel overlay(cost_model);
+    auto base = overlay.Evaluate(workload, board);
+    std::printf("\nlayerwise overlay on the same board: %.1f fps\n",
+                base.throughput_fps);
+    std::printf("SPA speedup: %.2fx\n",
+                spa.alloc.throughput_fps / base.throughput_fps);
+    return 0;
+}

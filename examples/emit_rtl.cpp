@@ -1,0 +1,63 @@
+// RTL emission: run the full AutoSeg flow on a model, then render the
+// generated accelerator as SystemVerilog -- the "DeepBurning" output a
+// hardware team would take into a synthesis flow. Writes the bundle to
+// ./spa_rtl_out (or the directory given as argv[1]).
+//
+//   ./build/examples/emit_rtl [output_dir]
+
+#include <cstdio>
+#include <map>
+
+#include "autoseg/autoseg.h"
+#include "nn/models.h"
+#include "rtl/emit.h"
+
+using namespace spa;
+
+int
+main(int argc, char** argv)
+{
+    const std::string out_dir = argc > 1 ? argv[1] : "spa_rtl_out";
+
+    nn::Workload workload = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    autoseg::Engine engine(cost_model);
+    auto design = engine.Run(workload, hw::Zc7045Budget(),
+                             alloc::DesignGoal::kLatency);
+    if (!design.ok) {
+        std::printf("no feasible design\n");
+        return 1;
+    }
+    std::printf("designed %d segments x %d PUs for %s\n",
+                design.assignment.num_segments, design.assignment.num_pus,
+                workload.name.c_str());
+
+    // Route each segment's inter-PU pattern; the union drives pruning.
+    noc::BenesNetwork fabric(std::max(2, design.assignment.num_pus));
+    std::vector<noc::BenesConfig> segment_configs;
+    for (int s = 0; s < design.assignment.num_segments; ++s) {
+        std::map<int, std::vector<int>> fanout;
+        for (const auto& comm : seg::SegmentComms(workload, design.assignment, s))
+            fanout[comm.src_pu].push_back(comm.dst_pu);
+        std::vector<noc::RouteRequest> requests;
+        for (auto& [src, dsts] : fanout)
+            requests.push_back({src, dsts});
+        noc::BenesConfig cfg;
+        if (!requests.empty() && fabric.Route(requests, cfg))
+            segment_configs.push_back(cfg);
+    }
+    const auto prune = fabric.Prune(segment_configs);
+    std::printf("fabric: %d/%d Benes nodes kept after pruning\n", prune.used_nodes,
+                prune.total_nodes);
+
+    rtl::RtlBundle bundle =
+        rtl::GenerateRtl(design.alloc.config, design.assignment.num_segments,
+                         fabric, segment_configs);
+    rtl::WriteBundle(bundle, out_dir);
+    std::printf("wrote %zu SystemVerilog files (%lld lines) to %s/\n",
+                bundle.files.size(), static_cast<long long>(bundle.TotalLines()),
+                out_dir.c_str());
+    for (const auto& f : bundle.files)
+        std::printf("  %s\n", f.name.c_str());
+    return 0;
+}

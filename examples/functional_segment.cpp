@@ -1,0 +1,79 @@
+// Functional segment execution: drives real int8 tensors through the
+// cycle-level systolic PUs in their assigned dataflows, routes the
+// inter-PU traffic on the Benes fabric, and verifies the result
+// bit-for-bit against the golden reference — the "does the generated
+// hardware actually compute the network" demonstration.
+//
+//   ./build/examples/functional_segment
+
+#include <cstdio>
+
+#include "pipe/sim.h"
+#include "pu/reference.h"
+#include "seg/segmenter.h"
+
+using namespace spa;
+
+int
+main()
+{
+    // A fire-module-like branchy segment across three PUs.
+    nn::Graph graph("fire_segment");
+    nn::LayerId in = graph.AddInput("input", {8, 20, 20});
+    nn::LayerId squeeze = graph.AddConv("squeeze", in, 8, 1, 1, 0);
+    nn::LayerId e1 = graph.AddConv("expand1", squeeze, 8, 1, 1, 0);
+    nn::LayerId e3 = graph.AddConv("expand3", squeeze, 8, 3, 1, 1);
+    nn::LayerId cat = graph.AddConcat("cat", {e1, e3});
+    graph.AddConv("post", cat, 8, 3, 1, 1);
+    nn::Workload workload = nn::ExtractWorkload(graph);
+
+    seg::Assignment assignment;
+    assignment.num_segments = 1;
+    assignment.num_pus = 3;
+    assignment.segment_of = {0, 0, 0, 0};
+    assignment.pu_of = {0, 1, 1, 2};
+    std::printf("constraint check: %s\n",
+                seg::CheckConstraints(workload, assignment).empty() ? "valid"
+                                                                    : "INVALID");
+
+    hw::SpaConfig config;
+    config.pus = {hw::PuConfig{8, 8, 8192, 8192}, hw::PuConfig{8, 8, 8192, 8192},
+                  hw::PuConfig{8, 8, 8192, 8192}};
+    std::vector<hw::Dataflow> dataflow = {hw::Dataflow::kWeightStationary,
+                                          hw::Dataflow::kOutputStationary,
+                                          hw::Dataflow::kWeightStationary};
+
+    // Route the segment traffic on a 3-port Benes fabric.
+    noc::BenesNetwork fabric(3);
+    auto functional = pipe::RunSegmentFunctional(graph, workload, assignment, 0,
+                                                 config, dataflow, fabric, 2024);
+    if (!functional.ok) {
+        std::printf("functional run failed: %s\n", functional.error.c_str());
+        return 1;
+    }
+    // Reference: same seed, but no layer executes on a PU (segment 1).
+    auto reference = pipe::RunSegmentFunctional(graph, workload, assignment, 1,
+                                                config, dataflow, fabric, 2024);
+    bool all_match = true;
+    for (size_t l = 0; l < workload.layers.size(); ++l) {
+        const bool match = functional.outputs[l] == reference.outputs[l];
+        std::printf("layer %-10s : %s\n", workload.layers[l].name.c_str(),
+                    match ? "bit-exact" : "MISMATCH");
+        all_match &= match;
+    }
+
+    // Cycle-level pipeline view of the same segment.
+    cost::CostModel cost_model;
+    pipe::SegmentSimulator sim(cost_model);
+    auto timing = sim.Simulate(workload, assignment, 0, config, dataflow);
+    std::printf("\npiece-based pipeline: %lld cycles, %lld pieces, "
+                "efficiency %.1f%%\n",
+                static_cast<long long>(timing.total_cycles),
+                static_cast<long long>(timing.pieces_executed),
+                100.0 * timing.PipelineEfficiency());
+    for (size_t n = 0; n < timing.pu_busy_cycles.size(); ++n)
+        std::printf("  PU%zu: busy %lld, stalled %lld\n", n + 1,
+                    static_cast<long long>(timing.pu_busy_cycles[n]),
+                    static_cast<long long>(timing.pu_stall_cycles[n]));
+    return all_match ? 0 : 1;
+}

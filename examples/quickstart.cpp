@@ -1,0 +1,78 @@
+// Quickstart: generate a SPA accelerator for SqueezeNet under the
+// Eyeriss-class resource budget and print everything AutoSeg decided --
+// the segmentation, the per-PU hardware, the dataflow schedule and the
+// predicted performance.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "autoseg/autoseg.h"
+#include "autoseg/energy.h"
+#include "nn/models.h"
+
+using namespace spa;
+
+int
+main()
+{
+    // 1. Pick a workload from the model zoo (or load your own JSON
+    //    description with nn::LoadGraph).
+    nn::Graph graph = nn::BuildSqueezeNet();
+    nn::Workload workload = nn::ExtractWorkload(graph);
+    std::printf("workload: %s, %d compute layers, %.2f GMACs\n",
+                workload.name.c_str(), workload.NumLayers(),
+                static_cast<double>(workload.TotalOps()) / 1e9);
+
+    // 2. Pick a resource budget (Table II) and a design goal.
+    const hw::Platform budget = hw::EyerissBudget();
+    std::printf("budget: %s (%ld PEs, %ld KB on-chip, %.1f GB/s)\n",
+                budget.name.c_str(), static_cast<long>(budget.pes),
+                static_cast<long>(budget.onchip_bytes / 1024),
+                budget.bandwidth_gbps);
+
+    // 3. Run the co-design engine.
+    cost::CostModel cost_model;
+    autoseg::Engine engine(cost_model);
+    autoseg::CoDesignResult result =
+        engine.Run(workload, budget, alloc::DesignGoal::kLatency);
+    if (!result.ok) {
+        std::printf("no feasible SPA design found\n");
+        return 1;
+    }
+
+    // 4. Inspect the decision.
+    std::printf("\nchosen: %d segments x %d PUs\n", result.assignment.num_segments,
+                result.assignment.num_pus);
+    std::printf("hardware: %s\n", result.alloc.config.ToString().c_str());
+    std::printf("min segment CTC: %.1f OPs/B, SOD: %.3f\n", result.metrics.min_ctc,
+                result.metrics.sod);
+    for (int s = 0; s < result.assignment.num_segments; ++s) {
+        std::printf("segment %d:", s + 1);
+        for (int n = 0; n < result.assignment.num_pus; ++n) {
+            std::printf("  PU%d(%s):", n + 1,
+                        hw::DataflowName(result.alloc.segments[static_cast<size_t>(s)]
+                                             .dataflow[static_cast<size_t>(n)]));
+            for (int l = 0; l < workload.NumLayers(); ++l) {
+                if (result.assignment.segment_of[static_cast<size_t>(l)] == s &&
+                    result.assignment.pu_of[static_cast<size_t>(l)] == n) {
+                    std::printf(" %s", workload.layers[static_cast<size_t>(l)].name.c_str());
+                }
+            }
+        }
+        std::printf("\n");
+    }
+
+    // 5. Predicted performance and energy.
+    std::printf("\nlatency: %.3f ms  (%.1f fps)\n",
+                result.alloc.latency_seconds * 1e3, result.alloc.throughput_fps);
+    std::printf("PE utilization: %.1f%%\n", 100.0 * result.alloc.pe_utilization);
+    auto energy = autoseg::EvaluateSpaEnergy(cost_model, workload, result.assignment,
+                                             result.alloc);
+    std::printf("energy: %.2f mJ (DRAM %.2f, buffers %.2f, MACs %.2f, other %.2f)\n",
+                energy.TotalPj() / 1e9, energy.dram_pj / 1e9, energy.buffer_pj / 1e9,
+                energy.mac_pj / 1e9, energy.other_pj / 1e9);
+    return 0;
+}

@@ -1,0 +1,449 @@
+#include "alloc/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace alloc {
+
+namespace {
+
+/**
+ * Power-of-two array shape for a PE count. WS rows map input channels
+ * (Sec. IV-B), so the row count is capped by the largest cin the PU's
+ * layers present -- shallow-input layers on a tall array would starve
+ * (this per-PU shaping is a core SPA advantage over a unified PU).
+ */
+void
+ShapeArray(int64_t pes, int64_t max_cin, int64_t& rows, int64_t& cols)
+{
+    pes = std::max<int64_t>(1, FloorPow2(pes));
+    rows = 1;
+    while (rows * rows < pes)
+        rows *= 2;
+    // rows >= sqrt(pes); prefer wider-than-tall (cout dim benefits).
+    if (rows * rows > pes)
+        rows /= 2;
+    if (max_cin > 0)
+        rows = std::min(rows, CeilPow2(max_cin));
+    rows = std::max<int64_t>(rows, 1);
+    cols = pes / rows;
+}
+
+/** Largest input-channel count among the PU's layers. */
+int64_t
+MaxCinOf(const nn::Workload& w, const seg::Assignment& a, int pu)
+{
+    int64_t max_cin = 0;
+    for (int l = 0; l < w.NumLayers(); ++l)
+        if (a.pu_of[static_cast<size_t>(l)] == pu)
+            max_cin = std::max(max_cin, w.layers[static_cast<size_t>(l)].cin /
+                                            w.layers[static_cast<size_t>(l)].groups);
+    return max_cin;
+}
+
+/** Minimum buffers for the layers a PU hosts (Alg. 1 line 10). */
+void
+MinBuffers(const nn::Workload& w, const seg::Assignment& a, int pu, int64_t rows,
+           int64_t num_pes, int bytes_per_elem, int64_t& ab, int64_t& wb)
+{
+    ab = 0;
+    wb = 0;
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        if (a.pu_of[static_cast<size_t>(l)] != pu)
+            continue;
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        ab = std::max(ab, cost::CostModel::MinActBufferBytes(layer, rows,
+                                                             bytes_per_elem));
+        wb = std::max(wb, cost::CostModel::MinWeightBufferBytes(layer, num_pes,
+                                                                bytes_per_elem));
+    }
+    ab = std::max<int64_t>(ab, 256);
+    wb = std::max<int64_t>(wb, 256);
+}
+
+/** Fabric cost in PE-equivalents (Link_Res of Alg. 1 line 17). */
+double
+FabricPeEquivalents(int num_pus, const hw::TechnologyModel& tech)
+{
+    int width = 2;
+    while (width < num_pus)
+        width *= 2;
+    int k = 0;
+    while ((1 << k) < width)
+        ++k;
+    const int nodes = (2 * k - 1) * width / 2;
+    return nodes * tech.benes_node_area_um2 / tech.pe_area_um2;
+}
+
+}  // namespace
+
+void
+Allocator::EvaluateInto(const nn::Workload& w, const seg::Assignment& a,
+                        AllocationResult& result) const
+{
+    const int num_segments = a.num_segments;
+    const int num_pus = a.num_pus;
+    const hw::SpaConfig& cfg = result.config;
+
+    result.segments.assign(static_cast<size_t>(num_segments), SegmentEval{});
+    double total_latency = 0.0;
+    double total_busy_macs = 0.0;
+    double total_offered = 0.0;
+
+    for (int s = 0; s < num_segments; ++s) {
+        SegmentEval& eval = result.segments[static_cast<size_t>(s)];
+        eval.pu_cycles.assign(static_cast<size_t>(num_pus), 0);
+        eval.dataflow.assign(static_cast<size_t>(num_pus),
+                             hw::Dataflow::kWeightStationary);
+        int64_t min_hout = INT64_MAX;
+        for (int n = 0; n < num_pus; ++n) {
+            const hw::PuConfig& pu = cfg.pus[static_cast<size_t>(n)];
+            // Dataflow per (PU, segment): the one minimizing the PU's
+            // busy cycles over its layers in this segment (line 12).
+            int64_t ws_cycles = 0, os_cycles = 0;
+            for (int l = 0; l < w.NumLayers(); ++l) {
+                if (a.segment_of[static_cast<size_t>(l)] != s ||
+                    a.pu_of[static_cast<size_t>(l)] != n) {
+                    continue;
+                }
+                const auto& layer = w.layers[static_cast<size_t>(l)];
+                ws_cycles +=
+                    cost_.ComputeCycles(layer, pu, hw::Dataflow::kWeightStationary);
+                os_cycles +=
+                    cost_.ComputeCycles(layer, pu, hw::Dataflow::kOutputStationary);
+                min_hout = std::min(min_hout, layer.hout);
+            }
+            const bool ws_wins = ws_cycles <= os_cycles;
+            eval.dataflow[static_cast<size_t>(n)] =
+                ws_wins ? hw::Dataflow::kWeightStationary
+                        : hw::Dataflow::kOutputStationary;
+            eval.pu_cycles[static_cast<size_t>(n)] = ws_wins ? ws_cycles : os_cycles;
+            eval.max_pu_cycles =
+                std::max(eval.max_pu_cycles, eval.pu_cycles[static_cast<size_t>(n)]);
+        }
+        eval.access_bytes = seg::SegmentAccessBytes(w, a, s);
+        const double freq_hz = cfg.freq_ghz * 1e9;
+        eval.compute_seconds = static_cast<double>(eval.max_pu_cycles) / freq_hz;
+        eval.memory_seconds =
+            static_cast<double>(eval.access_bytes) / (cfg.bandwidth_gbps * 1e9);
+        // Piece-based pipelining overlaps compute and DRAM streaming;
+        // the pipeline fill adds ~depth/pieces of the segment time.
+        const int64_t pieces = std::max<int64_t>(
+            pipeline_.min_pieces, min_hout == INT64_MAX ? 1 : min_hout);
+        const double fill =
+            1.0 + static_cast<double>(num_pus - 1) / static_cast<double>(pieces);
+        eval.latency_seconds =
+            std::max(eval.compute_seconds, eval.memory_seconds) * fill;
+        const int64_t seg_ops = seg::SegmentOps(w, a, s);
+        eval.bandwidth_usage = seg_ops > 0 ? static_cast<double>(eval.access_bytes) /
+                                                 static_cast<double>(seg_ops)
+                                           : 0.0;
+        total_latency += eval.latency_seconds;
+        total_busy_macs += static_cast<double>(seg_ops);
+        total_offered += eval.latency_seconds * freq_hz *
+                         static_cast<double>(cfg.TotalPes());
+    }
+    result.latency_seconds = total_latency;
+    result.throughput_fps =
+        total_latency > 0.0
+            ? static_cast<double>(cfg.batch) / total_latency
+            : 0.0;
+    result.pe_utilization = total_offered > 0.0 ? total_busy_macs / total_offered : 0.0;
+    result.ok = true;
+}
+
+AllocationResult
+Allocator::Evaluate(const nn::Workload& w, const seg::Assignment& a,
+                    const hw::SpaConfig& config) const
+{
+    AllocationResult result;
+    result.config = config;
+    SPA_ASSERT(static_cast<int>(config.pus.size()) == a.num_pus,
+               "config PU count does not match assignment");
+    EvaluateInto(w, a, result);
+    return result;
+}
+
+AllocationResult
+Allocator::Allocate(const nn::Workload& w, const seg::Assignment& a,
+                    const hw::Platform& budget, DesignGoal goal) const
+{
+    AllocationResult result;
+    const int num_segments = a.num_segments;
+    const int num_pus = a.num_pus;
+    const seg::SegmentMetrics metrics = seg::ComputeMetrics(w, a);
+
+    // ---- Step 1: normalized distribution and bandwidth usage. ----
+    std::vector<double> v_hat(static_cast<size_t>(num_pus), 0.0);
+    for (int n = 0; n < num_pus; ++n) {
+        double sum = 0.0;
+        for (int s = 0; s < num_segments; ++s)
+            sum += metrics.v[static_cast<size_t>(s)][static_cast<size_t>(n)];
+        v_hat[static_cast<size_t>(n)] = sum / num_segments;
+    }
+    v_hat = Normalize(v_hat);
+    result.v_hat = v_hat;
+    // Eq. 12 bandwidth usage per segment (bytes per MAC), maximized.
+    double bw_hat_max = 0.0;
+    for (int s = 0; s < num_segments; ++s) {
+        const double usage =
+            static_cast<double>(metrics.seg_access[static_cast<size_t>(s)]) /
+            std::max<double>(1.0,
+                             static_cast<double>(metrics.seg_ops[static_cast<size_t>(s)]));
+        bw_hat_max = std::max(bw_hat_max, usage);
+    }
+
+    // ---- Step 2: bandwidth-matched PE provisioning. ----
+    const double freq_hz = budget.freq_ghz * 1e9;
+    const double bw_bytes = budget.bandwidth_gbps * 1e9;
+    // Total MACs/cycle the bandwidth can feed at the worst segment.
+    double total_pes = bw_bytes / (bw_hat_max * freq_hz);
+    const int64_t budget_pes = budget.MacsPerCycle();
+    total_pes = std::min(total_pes, static_cast<double>(budget_pes));
+
+    hw::SpaConfig cfg;
+    cfg.freq_ghz = budget.freq_ghz;
+    cfg.bandwidth_gbps = budget.bandwidth_gbps;
+    cfg.pus.resize(static_cast<size_t>(num_pus));
+    const int bpe = w.bytes_per_elem;
+    for (int n = 0; n < num_pus; ++n) {
+        int64_t pes = static_cast<int64_t>(v_hat[static_cast<size_t>(n)] * total_pes);
+        pes = std::max<int64_t>(pes, 4);
+        int64_t rows, cols;
+        ShapeArray(pes, MaxCinOf(w, a, n), rows, cols);
+        hw::PuConfig& pu = cfg.pus[static_cast<size_t>(n)];
+        pu.rows = rows;
+        pu.cols = cols;
+        MinBuffers(w, a, n, rows, rows * cols, bpe, pu.act_buffer_bytes,
+                   pu.weight_buffer_bytes);
+    }
+    // Fabric overhead in PE equivalents (line 17's Link_Res).
+    const double link_res = FabricPeEquivalents(num_pus, cost_.tech());
+
+    // Fabric nodes are counted in area/energy but not against the PE
+    // count (the case-study designs all use exactly 768 PEs + fabric).
+    (void)link_res;
+    auto pes_used = [&](const hw::SpaConfig& c) {
+        return static_cast<double>(c.TotalPes());
+    };
+    auto mem_used = [&](const hw::SpaConfig& c) { return c.TotalBufferBytes(); };
+    auto fits = [&](const hw::SpaConfig& c, int64_t batch) {
+        return pes_used(c) * static_cast<double>(batch) <=
+                   static_cast<double>(budget_pes) &&
+               mem_used(c) * batch <= budget.onchip_bytes;
+    };
+
+    // Shrink until the initial provision fits (bandwidth-rich budgets
+    // can overshoot the PE budget; tiny memory budgets bind too).
+    for (int guard = 0; guard < 64 && !fits(cfg, 1); ++guard) {
+        // Halve the largest PU.
+        int big = 0;
+        for (int n = 1; n < num_pus; ++n)
+            if (cfg.pus[static_cast<size_t>(n)].NumPes() >
+                cfg.pus[static_cast<size_t>(big)].NumPes())
+                big = n;
+        hw::PuConfig& pu = cfg.pus[static_cast<size_t>(big)];
+        if (pu.NumPes() <= 1)
+            break;
+        if (pu.cols >= pu.rows)
+            pu.cols /= 2;
+        else
+            pu.rows /= 2;
+        MinBuffers(w, a, big, pu.rows, pu.NumPes(), bpe, pu.act_buffer_bytes,
+                   pu.weight_buffer_bytes);
+    }
+    if (!fits(cfg, 1)) {
+        result.ok = false;
+        return result;
+    }
+
+    // Refinement: power-of-two flooring strands budget; repeatedly
+    // double the PU furthest below its v-hat quota while it fits, so
+    // the allocation tracks the distribution (Eqs. 8-9).
+    for (bool grew = true; grew;) {
+        grew = false;
+        int best = -1;
+        double best_deficit = 1.0;
+        for (int n = 0; n < num_pus; ++n) {
+            const double quota = v_hat[static_cast<size_t>(n)] *
+                                 static_cast<double>(budget_pes);
+            const double deficit =
+                quota / static_cast<double>(cfg.pus[static_cast<size_t>(n)].NumPes());
+            if (deficit > best_deficit) {
+                hw::SpaConfig trial = cfg;
+                hw::PuConfig& pu = trial.pus[static_cast<size_t>(n)];
+                if (pu.rows <= pu.cols)
+                    pu.rows *= 2;
+                else
+                    pu.cols *= 2;
+                MinBuffers(w, a, n, pu.rows, pu.NumPes(), bpe, pu.act_buffer_bytes,
+                           pu.weight_buffer_bytes);
+                if (fits(trial, 1)) {
+                    best = n;
+                    best_deficit = deficit;
+                }
+            }
+        }
+        if (best >= 0) {
+            hw::PuConfig& pu = cfg.pus[static_cast<size_t>(best)];
+            if (pu.rows <= pu.cols)
+                pu.rows *= 2;
+            else
+                pu.cols *= 2;
+            MinBuffers(w, a, best, pu.rows, pu.NumPes(), bpe, pu.act_buffer_bytes,
+                       pu.weight_buffer_bytes);
+            grew = true;
+        }
+    }
+
+    // ---- Batch for throughput goals (lines 13-16). ----
+    cfg.batch = 1;
+    // Snapshot the bandwidth-matched pipeline: under a throughput goal
+    // replicating this small design often beats growing a single one
+    // (line 14's Batch = ResConstr / (sum Res + Link_Res)).
+    const hw::SpaConfig bandwidth_matched = cfg;
+
+    // ---- Step 3: scale up / down against the budget (lines 17-30). ----
+    std::set<int> locked;  // the Q set of Alg. 1
+    result.config = cfg;
+    EvaluateInto(w, a, result);
+    while (static_cast<int>(locked.size()) < num_segments) {
+        // Most compute-bound unlocked segment (min bandwidth usage).
+        int target = -1;
+        for (int s = 0; s < num_segments; ++s) {
+            if (locked.count(s))
+                continue;
+            if (target < 0 ||
+                result.segments[static_cast<size_t>(s)].bandwidth_usage <
+                    result.segments[static_cast<size_t>(target)].bandwidth_usage) {
+                target = s;
+            }
+        }
+        if (target < 0)
+            break;
+        // Latency-dominating PU of that segment.
+        const auto& eval = result.segments[static_cast<size_t>(target)];
+        int n_hat = 0;
+        for (int n = 1; n < num_pus; ++n)
+            if (eval.pu_cycles[static_cast<size_t>(n)] >
+                eval.pu_cycles[static_cast<size_t>(n_hat)])
+                n_hat = n;
+        // Try PE[n]*2, WB[n]*2.
+        hw::SpaConfig trial = result.config;
+        hw::PuConfig& pu = trial.pus[static_cast<size_t>(n_hat)];
+        if (pu.rows <= pu.cols)
+            pu.rows *= 2;
+        else
+            pu.cols *= 2;
+        pu.weight_buffer_bytes *= 2;
+        MinBuffers(w, a, n_hat, pu.rows, pu.NumPes(), bpe, pu.act_buffer_bytes,
+                   pu.weight_buffer_bytes);
+        if (fits(trial, trial.batch)) {
+            result.config = trial;
+            EvaluateInto(w, a, result);
+            continue;
+        }
+        // Doubling alone does not fit: try funding it by halving the
+        // least-loaded PU of the same segment (rebalance move).
+        if (num_pus > 1) {
+            int n_min = n_hat == 0 ? 1 : 0;
+            for (int n = 0; n < num_pus; ++n)
+                if (n != n_hat && eval.pu_cycles[static_cast<size_t>(n)] <
+                                      eval.pu_cycles[static_cast<size_t>(n_min)])
+                    n_min = n;
+            hw::PuConfig& donor = trial.pus[static_cast<size_t>(n_min)];
+            if (donor.NumPes() >= 8) {
+                if (donor.rows >= donor.cols)
+                    donor.rows /= 2;
+                else
+                    donor.cols /= 2;
+                MinBuffers(w, a, n_min, donor.rows, donor.NumPes(), bpe,
+                           donor.act_buffer_bytes, donor.weight_buffer_bytes);
+                if (fits(trial, trial.batch)) {
+                    AllocationResult probe = result;
+                    probe.config = trial;
+                    EvaluateInto(w, a, probe);
+                    if (probe.latency_seconds < result.latency_seconds) {
+                        result = probe;
+                        continue;
+                    }
+                }
+            }
+        }
+        locked.insert(target);
+    }
+    // Final sweep: try every remaining doubling and keep those that
+    // reduce latency (covers quota corners Alg. 1's targeted move
+    // cannot reach under power-of-two rounding).
+    for (bool improved = true; improved;) {
+        improved = false;
+        for (int n = 0; n < num_pus; ++n) {
+            hw::SpaConfig trial = result.config;
+            hw::PuConfig& pu = trial.pus[static_cast<size_t>(n)];
+            if (pu.rows <= pu.cols)
+                pu.rows *= 2;
+            else
+                pu.cols *= 2;
+            pu.weight_buffer_bytes *= 2;
+            MinBuffers(w, a, n, pu.rows, pu.NumPes(), bpe, pu.act_buffer_bytes,
+                       pu.weight_buffer_bytes);
+            if (!fits(trial, trial.batch))
+                continue;
+            AllocationResult probe = result;
+            probe.config = trial;
+            EvaluateInto(w, a, probe);
+            if (probe.latency_seconds < result.latency_seconds * 0.999) {
+                result = probe;
+                improved = true;
+            }
+        }
+    }
+
+    if (goal == DesignGoal::kThroughput) {
+        // Replicate the pipeline while the budget allows (line 14).
+        int64_t batch = 1;
+        while (fits(result.config, batch + 1))
+            ++batch;
+        result.config.batch = batch;
+        EvaluateInto(w, a, result);
+        // Alternative: replicate the bandwidth-matched small pipeline.
+        AllocationResult replicated = result;
+        replicated.config = bandwidth_matched;
+        int64_t small_batch = 1;
+        while (fits(bandwidth_matched, small_batch + 1))
+            ++small_batch;
+        replicated.config.batch = small_batch;
+        EvaluateInto(w, a, replicated);
+        // Replicas share the memory bandwidth: cap aggregate throughput
+        // at what the DRAM interface can feed.
+        double mem_s = 0.0;
+        for (const auto& seg_eval : replicated.segments)
+            mem_s += seg_eval.memory_seconds;
+        const double bw_cap = mem_s > 0.0 ? 1.0 / mem_s : 1e30;
+        replicated.throughput_fps = std::min(replicated.throughput_fps, bw_cap);
+        if (replicated.throughput_fps > result.throughput_fps)
+            result = replicated;
+    }
+
+    // Record the pruned-fabric estimate for area accounting.
+    {
+        int width = 2;
+        while (width < num_pus)
+            width *= 2;
+        int k = 0;
+        while ((1 << k) < width)
+            ++k;
+        result.config.fabric_nodes = (2 * k - 1) * width / 2;
+    }
+    EvaluateInto(w, a, result);
+    result.ok = true;
+    return result;
+}
+
+}  // namespace alloc
+}  // namespace spa

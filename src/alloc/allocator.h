@@ -1,0 +1,104 @@
+#ifndef SPA_ALLOC_ALLOCATOR_H_
+#define SPA_ALLOC_ALLOCATOR_H_
+
+/**
+ * @file
+ * Heuristic SPA resource allocation — Algorithm 1 of the paper.
+ *
+ * Given the segmentation result (lambda, V) and a platform budget, the
+ * allocator
+ *  1. normalizes the operational distribution V-hat and the per-segment
+ *     bandwidth usage (Eq. 12),
+ *  2. provisions PEs so the bandwidth-feasible compute rate is met
+ *     (PE[n] = V-hat[n] * BW_max / BW-hat_max / freq, floored to a
+ *     power of two) plus the minimum buffers (line 9-10),
+ *  3. re-adjusts to the budget: scale up the latency-dominating PU of
+ *     the most compute-bound segment while resources remain (lines
+ *     17-25), or shave the least-utilized PU when over budget (lines
+ *     26-30); throughput-goal designs replicate the whole pipeline by
+ *     batch (lines 13-16).
+ *
+ * Per-PU, per-segment dataflows are chosen by the cost model (line 12).
+ */
+
+#include <vector>
+
+#include "cost/cost.h"
+#include "hw/config.h"
+#include "hw/platform.h"
+#include "nn/workload.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace alloc {
+
+/** Optimization target of the design run (Sec. III). */
+enum class DesignGoal { kLatency, kThroughput };
+
+/** Evaluation of one segment on the allocated hardware. */
+struct SegmentEval
+{
+    std::vector<int64_t> pu_cycles;       ///< busy compute cycles per PU
+    int64_t max_pu_cycles = 0;            ///< Eq. 7
+    int64_t access_bytes = 0;             ///< DRAM traffic of the segment
+    double compute_seconds = 0.0;
+    double memory_seconds = 0.0;
+    double latency_seconds = 0.0;         ///< max(compute, memory) + fill
+    double bandwidth_usage = 0.0;         ///< bytes per op (Eq. 12 realized)
+    std::vector<hw::Dataflow> dataflow;   ///< chosen per PU (line 12)
+};
+
+/** Full allocation outcome. */
+struct AllocationResult
+{
+    bool ok = false;
+    hw::SpaConfig config;
+    std::vector<SegmentEval> segments;
+    double latency_seconds = 0.0;     ///< one frame through all segments
+    double throughput_fps = 0.0;      ///< with batch replication
+    double pe_utilization = 0.0;      ///< useful MACs over offered MAC slots
+    std::vector<double> v_hat;        ///< the Step-1 PE quota indicator
+};
+
+/** Pipeline fill/drain model: segments stream in pieces (Fig. 8). */
+struct PipelineModel
+{
+    /** Assumed pieces per segment for the fill-overhead estimate. */
+    int64_t min_pieces = 16;
+};
+
+/** Algorithm 1. */
+class Allocator
+{
+  public:
+    Allocator(const cost::CostModel& cost_model, PipelineModel pipeline = {})
+        : cost_(cost_model), pipeline_(pipeline)
+    {
+    }
+
+    /**
+     * Runs Alg. 1 for `assignment` under `budget`.
+     * @param goal kLatency keeps batch = 1; kThroughput replicates.
+     */
+    AllocationResult Allocate(const nn::Workload& w, const seg::Assignment& assignment,
+                              const hw::Platform& budget, DesignGoal goal) const;
+
+    /**
+     * Evaluates a *given* configuration (used by the co-design baseline
+     * methods of Fig. 18, which search hardware parameters directly).
+     */
+    AllocationResult Evaluate(const nn::Workload& w, const seg::Assignment& assignment,
+                              const hw::SpaConfig& config) const;
+
+  private:
+    void EvaluateInto(const nn::Workload& w, const seg::Assignment& assignment,
+                      AllocationResult& result) const;
+
+    cost::CostModel cost_;
+    PipelineModel pipeline_;
+};
+
+}  // namespace alloc
+}  // namespace spa
+
+#endif  // SPA_ALLOC_ALLOCATOR_H_

@@ -1,0 +1,180 @@
+#include "autoseg/autoseg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/util.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace autoseg {
+
+double
+CoDesignResult::GoalValue(alloc::DesignGoal goal) const
+{
+    if (!ok)
+        return 1e30;
+    return goal == alloc::DesignGoal::kLatency
+               ? alloc.latency_seconds
+               : (alloc.throughput_fps > 0.0 ? 1.0 / alloc.throughput_fps : 1e30);
+}
+
+std::vector<int>
+Engine::SegmentCandidates(int num_layers, int num_pus) const
+{
+    const int max_s = std::min(options_.max_segments,
+                               std::max(1, num_layers / std::max(1, num_pus)));
+    std::set<int> candidates;
+    for (int s : {1, 2, 3, 4, 6, 8, 12, 16})
+        if (s <= max_s)
+            candidates.insert(s);
+    candidates.insert(max_s);
+    for (int s : options_.extra_segment_candidates)
+        if (s >= 1 && s <= max_s)
+            candidates.insert(s);
+    return {candidates.begin(), candidates.end()};
+}
+
+CoDesignResult
+Engine::Run(const nn::Workload& w, const hw::Platform& budget,
+            alloc::DesignGoal goal, SegmentationCache* cache) const
+{
+    CoDesignResult best;
+    for (int num_pus : options_.pu_candidates) {
+        if (num_pus > w.NumLayers())
+            continue;
+        for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus)) {
+            CandidateRecord record;
+            record.num_segments = num_segments;
+            record.num_pus = num_pus;
+            // Candidate assignments for this (S, N): different pow2-
+            // friendly distribution shapes; the allocator decides which
+            // one the budget realizes best. The cache keeps the shape
+            // list's best-scoring member to seed other budgets.
+            std::vector<seg::Assignment> candidates;
+            std::optional<seg::Assignment> cached;
+            if (cache != nullptr &&
+                cache->Lookup(w.name, num_segments, num_pus, cached)) {
+                if (cached.has_value())
+                    candidates.push_back(*cached);
+            } else {
+                candidates =
+                    seg::SolveSegmentationCandidates(w, num_segments, num_pus);
+                if (cache != nullptr) {
+                    cache->Store(w.name, num_segments, num_pus,
+                                 candidates.empty()
+                                     ? std::nullopt
+                                     : std::optional<seg::Assignment>(
+                                           candidates.front()));
+                }
+                // The cache keeps only the first candidate; evaluate
+                // all of them this time around.
+            }
+            if (candidates.empty()) {
+                best.explored.push_back(record);
+                continue;
+            }
+            bool any = false;
+            for (const seg::Assignment& assignment : candidates) {
+                alloc::AllocationResult alloc_result =
+                    allocator_.Allocate(w, assignment, budget, goal);
+                if (!alloc_result.ok)
+                    continue;
+                const seg::SegmentMetrics metrics =
+                    seg::ComputeMetrics(w, assignment);
+                if (!any || alloc_result.latency_seconds < record.latency_seconds) {
+                    record.feasible = true;
+                    record.latency_seconds = alloc_result.latency_seconds;
+                    record.throughput_fps = alloc_result.throughput_fps;
+                    record.min_ctc = metrics.min_ctc;
+                    record.sod = metrics.sod;
+                }
+                any = true;
+
+                CoDesignResult candidate;
+                candidate.ok = true;
+                candidate.assignment = assignment;
+                candidate.metrics = metrics;
+                candidate.alloc = alloc_result;
+                if (!best.ok || candidate.GoalValue(goal) < best.GoalValue(goal)) {
+                    auto explored = std::move(best.explored);
+                    best = std::move(candidate);
+                    best.explored = std::move(explored);
+                }
+            }
+            best.explored.push_back(record);
+            if (!any)
+                continue;
+        }
+    }
+    return best;
+}
+
+CoDesignResult
+Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
+              const noc::BenesNetwork& fabric,
+              const std::vector<std::array<bool, 2>>& allowed_links,
+              alloc::DesignGoal goal) const
+{
+    CoDesignResult best;
+    const int num_pus = config.NumPus();
+    auto routable_on_pruned_fabric = [&](const seg::Assignment& assignment) {
+        for (int s = 0; s < assignment.num_segments; ++s) {
+            std::map<int, std::vector<int>> fanout;
+            for (const auto& comm : seg::SegmentComms(w, assignment, s))
+                fanout[comm.src_pu].push_back(comm.dst_pu);
+            std::vector<noc::RouteRequest> requests;
+            for (auto& [src, dsts] : fanout)
+                requests.push_back({src, dsts});
+            std::vector<noc::BenesConfig> phases;
+            if (!requests.empty() &&
+                !fabric.RoutePhased(requests, phases, 1, &allowed_links)) {
+                return false;
+            }
+        }
+        return true;
+    };
+    for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus)) {
+        CandidateRecord record;
+        record.num_segments = num_segments;
+        record.num_pus = num_pus;
+        // Every segment's traffic must route on the pruned fabric; try
+        // each candidate binding until one fits the kept connectivity
+        // (the Sec. VI-F "connection constraints").
+        bool any = false;
+        for (const seg::Assignment& assignment :
+             seg::SolveSegmentationCandidates(w, num_segments, num_pus)) {
+            if (!routable_on_pruned_fabric(assignment))
+                continue;
+            alloc::AllocationResult alloc_result =
+                allocator_.Evaluate(w, assignment, config);
+            const seg::SegmentMetrics metrics = seg::ComputeMetrics(w, assignment);
+            if (!any || alloc_result.latency_seconds < record.latency_seconds) {
+                record.feasible = true;
+                record.latency_seconds = alloc_result.latency_seconds;
+                record.throughput_fps = alloc_result.throughput_fps;
+                record.min_ctc = metrics.min_ctc;
+                record.sod = metrics.sod;
+            }
+            any = true;
+
+            CoDesignResult candidate;
+            candidate.ok = true;
+            candidate.assignment = assignment;
+            candidate.metrics = metrics;
+            candidate.alloc = alloc_result;
+            if (!best.ok || candidate.GoalValue(goal) < best.GoalValue(goal)) {
+                auto explored = std::move(best.explored);
+                best = std::move(candidate);
+                best.explored = std::move(explored);
+            }
+        }
+        best.explored.push_back(record);
+    }
+    return best;
+}
+
+}  // namespace autoseg
+}  // namespace spa

@@ -1,0 +1,144 @@
+#ifndef SPA_AUTOSEG_AUTOSEG_H_
+#define SPA_AUTOSEG_AUTOSEG_H_
+
+/**
+ * @file
+ * The AutoSeg HW/SW co-design engine (Sec. III / Fig. 6).
+ *
+ * For a DNN workload and a platform budget it enumerates (S, N) pairs,
+ * runs the MIP/heuristic model segmentation per pair, feeds the
+ * segmentation's CTC and operational-distribution metrics to the
+ * Alg. 1 resource allocator, and returns the best SPA design under the
+ * user's goal (latency or throughput). No iterative loop couples the
+ * two stages: segmentation results are reused across budgets.
+ *
+ * It also implements the Sec. VI-F generality mode: remapping a new
+ * model onto an existing SPA accelerator, keeping the hardware fixed
+ * and constraining inter-PU traffic to the pruned fabric.
+ */
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "hw/platform.h"
+#include "noc/benes.h"
+#include "nn/workload.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace autoseg {
+
+/** One explored (S, N) candidate, for method-comparison plots. */
+struct CandidateRecord
+{
+    int num_segments = 0;
+    int num_pus = 0;
+    bool feasible = false;
+    double latency_seconds = 0.0;
+    double throughput_fps = 0.0;
+    double min_ctc = 0.0;
+    double sod = 0.0;
+};
+
+/** Final co-design outcome. */
+struct CoDesignResult
+{
+    bool ok = false;
+    seg::Assignment assignment;
+    seg::SegmentMetrics metrics;
+    alloc::AllocationResult alloc;
+    std::vector<CandidateRecord> explored;
+
+    /** Goal value (seconds for latency designs, 1/fps for throughput). */
+    double GoalValue(alloc::DesignGoal goal) const;
+};
+
+/** Engine knobs. */
+struct CoDesignOptions
+{
+    std::vector<int> pu_candidates{1, 2, 3, 4, 6, 8};
+    int max_segments = 16;
+    /** Extra segment-count candidates besides the built-in spread. */
+    std::vector<int> extra_segment_candidates;
+};
+
+/**
+ * Memo of segmentation solutions keyed by (workload name, S, N).
+ * Sec. V: "the results of model segmentation can be repeatedly used to
+ * generate SPA designs under different hardware constraints" -- share
+ * one cache across budgets to get exactly that reuse.
+ */
+class SegmentationCache
+{
+  public:
+    /** @return true when an entry exists; `out` empty means infeasible. */
+    bool
+    Lookup(const std::string& model, int s, int n,
+           std::optional<seg::Assignment>& out) const
+    {
+        auto it = entries_.find({model, s, n});
+        if (it == entries_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    Store(const std::string& model, int s, int n,
+          std::optional<seg::Assignment> assignment)
+    {
+        entries_[{model, s, n}] = std::move(assignment);
+    }
+
+  private:
+    std::map<std::tuple<std::string, int, int>, std::optional<seg::Assignment>>
+        entries_;
+};
+
+/** The co-design engine. */
+class Engine
+{
+  public:
+    explicit Engine(const cost::CostModel& cost_model,
+                    CoDesignOptions options = CoDesignOptions())
+        : cost_(cost_model), allocator_(cost_model), options_(std::move(options))
+    {
+    }
+
+    /**
+     * Full AutoSeg run: segmentation x allocation over (S, N).
+     * @param cache optional cross-budget segmentation memo.
+     */
+    CoDesignResult Run(const nn::Workload& w, const hw::Platform& budget,
+                       alloc::DesignGoal goal,
+                       SegmentationCache* cache = nullptr) const;
+
+    /**
+     * Generality mode (Sec. VI-F): maps `w` onto an existing design.
+     * The PU count and resources are fixed by `config`; segment counts
+     * are swept; comm patterns must route on `fabric` restricted to
+     * `allowed_links` (the pruned network of the dedicated model).
+     */
+    CoDesignResult Remap(const nn::Workload& w, const hw::SpaConfig& config,
+                         const noc::BenesNetwork& fabric,
+                         const std::vector<std::array<bool, 2>>& allowed_links,
+                         alloc::DesignGoal goal) const;
+
+    const alloc::Allocator& allocator() const { return allocator_; }
+
+  private:
+    std::vector<int> SegmentCandidates(int num_layers, int num_pus) const;
+
+    cost::CostModel cost_;
+    alloc::Allocator allocator_;
+    CoDesignOptions options_;
+};
+
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_AUTOSEG_AUTOSEG_H_

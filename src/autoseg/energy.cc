@@ -1,0 +1,51 @@
+#include "autoseg/energy.h"
+
+#include "common/logging.h"
+#include "noc/benes.h"
+
+namespace spa {
+namespace autoseg {
+
+cost::EnergyBreakdown
+EvaluateSpaEnergy(const cost::CostModel& cost_model, const nn::Workload& w,
+                  const seg::Assignment& a, const alloc::AllocationResult& alloc_result)
+{
+    cost::EnergyBreakdown energy;
+    const auto& tech = cost_model.tech();
+    SPA_ASSERT(alloc_result.ok, "energy evaluation needs a valid allocation");
+    const hw::SpaConfig& cfg = alloc_result.config;
+
+    // DRAM: segment boundary traffic.
+    int64_t dram_bytes = 0;
+    for (int s = 0; s < a.num_segments; ++s)
+        dram_bytes += seg::SegmentAccessBytes(w, a, s);
+    energy.dram_pj = static_cast<double>(dram_bytes) * tech.dram_energy_pj_per_byte;
+
+    // Buffers and MACs per layer, under the dataflow picked for its
+    // (PU, segment) slot.
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        const int s = a.segment_of[static_cast<size_t>(l)];
+        const int n = a.pu_of[static_cast<size_t>(l)];
+        const hw::PuConfig& pu = cfg.pus[static_cast<size_t>(n)];
+        const hw::Dataflow df =
+            alloc_result.segments[static_cast<size_t>(s)].dataflow[static_cast<size_t>(n)];
+        energy.buffer_pj += cost_model.BufferEnergyPj(
+            cost_model.OnChipTraffic(layer, pu, df), pu, layer.weight_bytes);
+        energy.mac_pj += cost_model.MacEnergyPj(layer);
+        // Dataflow-hybrid PE muxes toggle once per MAC.
+        energy.other_pj += static_cast<double>(layer.ops) * tech.pe_mux_energy_pj;
+    }
+
+    // Inter-PU fabric traversal for intra-segment traffic.
+    noc::BenesNetwork fabric(std::max(2, a.num_pus));
+    for (int s = 0; s < a.num_segments; ++s)
+        for (const auto& comm : seg::SegmentComms(w, a, s))
+            energy.other_pj +=
+                fabric.TransferEnergyPj(static_cast<double>(comm.bytes), tech);
+
+    return energy;
+}
+
+}  // namespace autoseg
+}  // namespace spa

@@ -1,0 +1,29 @@
+#ifndef SPA_AUTOSEG_ENERGY_H_
+#define SPA_AUTOSEG_ENERGY_H_
+
+/**
+ * @file
+ * Energy accounting for a complete SPA execution (the Fig. 16
+ * breakdown): DRAM, on-chip buffers, MACs, and the "others" bucket
+ * (inter-PU fabric traversal + dataflow-hybrid PE muxes), which the
+ * paper reports at under 3% of the total.
+ */
+
+#include "alloc/allocator.h"
+#include "cost/cost.h"
+#include "nn/workload.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace autoseg {
+
+/** Full-inference energy of an allocated SPA design. */
+cost::EnergyBreakdown EvaluateSpaEnergy(const cost::CostModel& cost_model,
+                                        const nn::Workload& w,
+                                        const seg::Assignment& assignment,
+                                        const alloc::AllocationResult& alloc_result);
+
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_AUTOSEG_ENERGY_H_

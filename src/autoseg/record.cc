@@ -1,0 +1,99 @@
+#include "autoseg/record.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace autoseg {
+
+json::Value
+RecordToJson(const nn::Workload& w, const CoDesignResult& result)
+{
+    SPA_ASSERT(result.ok, "cannot serialize a failed co-design result");
+    json::Value record;
+    record["model"] = w.name;
+    record["num_segments"] = result.assignment.num_segments;
+    record["num_pus"] = result.assignment.num_pus;
+    record["min_ctc"] = result.metrics.min_ctc;
+    record["sod"] = result.metrics.sod;
+    record["latency_ms"] = result.alloc.latency_seconds * 1e3;
+    record["throughput_fps"] = result.alloc.throughput_fps;
+    record["pe_utilization"] = result.alloc.pe_utilization;
+
+    json::Value hw;
+    hw["freq_ghz"] = result.alloc.config.freq_ghz;
+    hw["bandwidth_gbps"] = result.alloc.config.bandwidth_gbps;
+    hw["batch"] = result.alloc.config.batch;
+    hw["fabric_nodes"] = result.alloc.config.fabric_nodes;
+    json::Array pus;
+    for (const auto& pu : result.alloc.config.pus) {
+        json::Value jp;
+        jp["rows"] = pu.rows;
+        jp["cols"] = pu.cols;
+        jp["act_buffer_bytes"] = pu.act_buffer_bytes;
+        jp["weight_buffer_bytes"] = pu.weight_buffer_bytes;
+        pus.push_back(std::move(jp));
+    }
+    hw["pus"] = json::Value(std::move(pus));
+    record["hardware"] = std::move(hw);
+
+    json::Array binding;
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        json::Value jb;
+        jb["layer"] = w.layers[static_cast<size_t>(l)].name;
+        jb["segment"] = result.assignment.segment_of[static_cast<size_t>(l)];
+        jb["pu"] = result.assignment.pu_of[static_cast<size_t>(l)];
+        binding.push_back(std::move(jb));
+    }
+    record["binding"] = json::Value(std::move(binding));
+
+    json::Array dataflows;
+    for (const auto& seg_eval : result.alloc.segments) {
+        json::Array per_pu;
+        for (hw::Dataflow df : seg_eval.dataflow)
+            per_pu.push_back(json::Value(std::string(hw::DataflowName(df))));
+        dataflows.push_back(json::Value(std::move(per_pu)));
+    }
+    record["dataflow"] = json::Value(std::move(dataflows));
+    return record;
+}
+
+void
+RecordFromJson(const json::Value& record, seg::Assignment& assignment,
+               hw::SpaConfig& config)
+{
+    assignment.num_segments = static_cast<int>(record.At("num_segments").AsInt());
+    assignment.num_pus = static_cast<int>(record.At("num_pus").AsInt());
+    assignment.segment_of.clear();
+    assignment.pu_of.clear();
+    for (const json::Value& jb : record.At("binding").AsArray()) {
+        assignment.segment_of.push_back(static_cast<int>(jb.At("segment").AsInt()));
+        assignment.pu_of.push_back(static_cast<int>(jb.At("pu").AsInt()));
+    }
+
+    const json::Value& hw = record.At("hardware");
+    config.freq_ghz = hw.At("freq_ghz").AsDouble();
+    config.bandwidth_gbps = hw.At("bandwidth_gbps").AsDouble();
+    config.batch = hw.At("batch").AsInt();
+    config.fabric_nodes = hw.At("fabric_nodes").AsInt();
+    config.pus.clear();
+    for (const json::Value& jp : hw.At("pus").AsArray()) {
+        hw::PuConfig pu;
+        pu.rows = jp.At("rows").AsInt();
+        pu.cols = jp.At("cols").AsInt();
+        pu.act_buffer_bytes = jp.At("act_buffer_bytes").AsInt();
+        pu.weight_buffer_bytes = jp.At("weight_buffer_bytes").AsInt();
+        config.pus.push_back(pu);
+    }
+    SPA_ASSERT(static_cast<int>(config.pus.size()) == assignment.num_pus,
+               "design record: PU count mismatch");
+}
+
+void
+SaveRecord(const std::string& path, const nn::Workload& w,
+           const CoDesignResult& result)
+{
+    json::SaveFile(path, RecordToJson(w, result));
+}
+
+}  // namespace autoseg
+}  // namespace spa

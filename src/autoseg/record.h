@@ -1,0 +1,37 @@
+#ifndef SPA_AUTOSEG_RECORD_H_
+#define SPA_AUTOSEG_RECORD_H_
+
+/**
+ * @file
+ * Machine-readable design records: serializes a complete co-design
+ * outcome (segmentation, PU hardware, dataflow programs, predicted
+ * performance) to JSON and back, so downstream tooling — RTL flows,
+ * compilers, dashboards — can consume AutoSeg results without linking
+ * the engine.
+ */
+
+#include "autoseg/autoseg.h"
+#include "json/json.h"
+
+namespace spa {
+namespace autoseg {
+
+/** Serializes a co-design result (with its workload names) to JSON. */
+json::Value RecordToJson(const nn::Workload& w, const CoDesignResult& result);
+
+/**
+ * Restores the assignment and hardware configuration from a record.
+ * Performance fields are re-derived by the caller (they depend on the
+ * cost model); fatal()s on malformed records.
+ */
+void RecordFromJson(const json::Value& record, seg::Assignment& assignment,
+                    hw::SpaConfig& config);
+
+/** Writes a record file. */
+void SaveRecord(const std::string& path, const nn::Workload& w,
+                const CoDesignResult& result);
+
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_AUTOSEG_RECORD_H_

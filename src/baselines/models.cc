@@ -1,0 +1,334 @@
+#include "baselines/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace baselines {
+
+namespace {
+
+/** Near-square power-of-two unified PU from a platform budget. */
+hw::PuConfig
+UnifiedPu(const hw::Platform& budget, int64_t rows_override = 0)
+{
+    hw::PuConfig pu;
+    // Power-of-two rows, free column count: the unified PU uses the
+    // whole PE budget (e.g. 192 PEs -> 8 x 24).
+    const int64_t pes = budget.MacsPerCycle();
+    int64_t rows = 1;
+    while (rows * rows < pes)
+        rows *= 2;
+    if (rows * rows > pes)
+        rows /= 2;
+    while (rows > 1 && pes % rows != 0)
+        rows /= 2;
+    if (rows_override > 0)
+        rows = rows_override;
+    pu.rows = rows;
+    pu.cols = pes / rows;
+    pu.act_buffer_bytes = budget.onchip_bytes / 2;
+    pu.weight_buffer_bytes = budget.onchip_bytes / 2;
+    return pu;
+}
+
+double
+MacEnergy(const cost::CostModel& cost_model, const nn::Workload& w)
+{
+    double pj = 0.0;
+    for (const auto& l : w.layers)
+        pj += cost_model.MacEnergyPj(l);
+    return pj;
+}
+
+/**
+ * Picks the single dataflow minimizing whole-model compute cycles (the
+ * joint optimization a fixed-dataflow general processor embodies).
+ */
+hw::Dataflow
+FixedModelDataflow(const cost::CostModel& cost_model, const nn::Workload& w,
+                   const hw::PuConfig& pu)
+{
+    int64_t ws = 0, os = 0;
+    for (const auto& layer : w.layers) {
+        ws += cost_model.ComputeCycles(layer, pu, hw::Dataflow::kWeightStationary);
+        os += cost_model.ComputeCycles(layer, pu, hw::Dataflow::kOutputStationary);
+    }
+    return ws <= os ? hw::Dataflow::kWeightStationary
+                    : hw::Dataflow::kOutputStationary;
+}
+
+}  // namespace
+
+BaselineResult
+NoPipelineModel::Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                          int64_t rows_override, DataflowPolicy policy) const
+{
+    BaselineResult result;
+    const hw::PuConfig pu = UnifiedPu(budget, rows_override);
+    const double freq_hz = budget.freq_ghz * 1e9;
+    const double bw = budget.bandwidth_gbps * 1e9;
+    const hw::Dataflow fixed_df = FixedModelDataflow(cost_, w, pu);
+
+    double latency = 0.0;
+    double busy_macs = 0.0;
+    double offered = 0.0;
+    for (const auto& layer : w.layers) {
+        const hw::Dataflow df = policy == DataflowPolicy::kPerLayer
+                                    ? cost_.BestDataflow(layer, pu)
+                                    : fixed_df;
+        const auto eval = cost_.Evaluate(layer, pu, df, w.bytes_per_elem);
+        const double compute_s = static_cast<double>(eval.compute_cycles) / freq_hz;
+        const double memory_s = static_cast<double>(eval.dram_bytes_layerwise) / bw;
+        const double stage = std::max(compute_s, memory_s);
+        result.stage_latency_seconds.push_back(stage);
+        latency += stage;
+        result.dram_bytes += eval.dram_bytes_layerwise;
+        busy_macs += static_cast<double>(layer.ops);
+        offered += stage * freq_hz * static_cast<double>(pu.NumPes());
+        result.energy.buffer_pj +=
+            cost_.BufferEnergyPj(eval.traffic, pu, layer.weight_bytes);
+    }
+    result.latency_seconds = latency;
+    result.throughput_fps = latency > 0.0 ? 1.0 / latency : 0.0;
+    result.pe_utilization = offered > 0.0 ? busy_macs / offered : 0.0;
+    result.energy.dram_pj = static_cast<double>(result.dram_bytes) *
+                            cost_.tech().dram_energy_pj_per_byte;
+    result.energy.mac_pj = MacEnergy(cost_, w);
+    result.ok = true;
+    return result;
+}
+
+BaselineResult
+FullPipelineModel::Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                            int64_t min_pes_per_layer) const
+{
+    BaselineResult result;
+    const int num_layers = w.NumLayers();
+    const int64_t budget_pes = budget.MacsPerCycle();
+    if (budget_pes < num_layers * min_pes_per_layer)
+        return result;  // resource scalability wall (Sec. I)
+
+    // PEs follow the ops share with power-of-two rounding (Table V).
+    const double total_ops = static_cast<double>(w.TotalOps());
+    std::vector<hw::PuConfig> pus(static_cast<size_t>(num_layers));
+    int64_t used_pes = 0;
+    int64_t used_mem = 0;
+    for (int l = 0; l < num_layers; ++l) {
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        const double share = static_cast<double>(layer.ops) / total_ops;
+        int64_t pes = FloorPow2(std::max<int64_t>(
+            min_pes_per_layer,
+            static_cast<int64_t>(share * static_cast<double>(budget_pes))));
+        int64_t rows = 1;
+        while (rows * rows < pes)
+            rows *= 2;
+        if (rows * rows > pes)
+            rows /= 2;
+        hw::PuConfig& pu = pus[static_cast<size_t>(l)];
+        pu.rows = rows;
+        pu.cols = pes / rows;
+        pu.act_buffer_bytes = cost::CostModel::MinActBufferBytes(layer, rows,
+                                                                 w.bytes_per_elem);
+        // Weights stream through a K^2 x PE tile buffer (holding whole
+        // models on chip is exactly what deep pipelines cannot afford).
+        pu.weight_buffer_bytes =
+            cost::CostModel::MinWeightBufferBytes(layer, pes, w.bytes_per_elem);
+        used_pes += pes;
+        used_mem += pu.BufferBytes();
+    }
+    if (used_pes > budget_pes || used_mem > budget.onchip_bytes)
+        return result;  // cannot fit the dedicated pipeline
+
+    // Hand leftover budget to the PUs furthest below their ops share
+    // (power-of-two flooring strands up to half the budget otherwise).
+    for (bool grew = true; grew;) {
+        grew = false;
+        int best = -1;
+        double best_deficit = 0.0;
+        for (int l = 0; l < num_layers; ++l) {
+            const hw::PuConfig& pu = pus[static_cast<size_t>(l)];
+            const double share =
+                static_cast<double>(w.layers[static_cast<size_t>(l)].ops) / total_ops;
+            const double deficit =
+                share / static_cast<double>(pu.NumPes());
+            if (used_pes + pu.NumPes() <= budget_pes &&
+                (best < 0 || deficit > best_deficit)) {
+                best = l;
+                best_deficit = deficit;
+            }
+        }
+        if (best >= 0) {
+            hw::PuConfig& pu = pus[static_cast<size_t>(best)];
+            used_pes += pu.NumPes();
+            used_mem -= pu.BufferBytes();
+            if (pu.rows <= pu.cols)
+                pu.rows *= 2;
+            else
+                pu.cols *= 2;
+            const auto& layer = w.layers[static_cast<size_t>(best)];
+            pu.act_buffer_bytes = cost::CostModel::MinActBufferBytes(
+                layer, pu.rows, w.bytes_per_elem);
+            pu.weight_buffer_bytes = cost::CostModel::MinWeightBufferBytes(
+                layer, pu.NumPes(), w.bytes_per_elem);
+            used_mem += pu.BufferBytes();
+            if (used_mem > budget.onchip_bytes) {
+                // Revert: memory bound.
+                used_pes -= pu.NumPes() / 2;
+                used_mem -= pu.BufferBytes();
+                if (pu.rows >= pu.cols)
+                    pu.rows /= 2;
+                else
+                    pu.cols /= 2;
+                pu.act_buffer_bytes = cost::CostModel::MinActBufferBytes(
+                    layer, pu.rows, w.bytes_per_elem);
+                pu.weight_buffer_bytes = cost::CostModel::MinWeightBufferBytes(
+                    layer, pu.NumPes(), w.bytes_per_elem);
+                used_mem += pu.BufferBytes();
+            } else {
+                grew = true;
+            }
+        }
+    }
+
+    const double freq_hz = budget.freq_ghz * 1e9;
+    const double bw = budget.bandwidth_gbps * 1e9;
+    // All intermediates stay on chip: DRAM carries weights + model IO.
+    int64_t dram = w.TotalWeightBytes();
+    int64_t min_hout = INT64_MAX;
+    for (int l = 0; l < num_layers; ++l) {
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        min_hout = std::min(min_hout, layer.hout);
+        for (int e : w.in_edges[static_cast<size_t>(l)])
+            if (w.edges[static_cast<size_t>(e)].src < 0)
+                dram += w.edges[static_cast<size_t>(e)].bytes;
+        if (w.out_edges[static_cast<size_t>(l)].empty())
+            dram += layer.output_bytes;
+    }
+    result.dram_bytes = dram;
+
+    double max_stage = 0.0;
+    double busy_macs = 0.0;
+    for (int l = 0; l < num_layers; ++l) {
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        const hw::PuConfig& pu = pus[static_cast<size_t>(l)];
+        const hw::Dataflow df = cost_.BestDataflow(layer, pu);
+        const auto eval = cost_.Evaluate(layer, pu, df, w.bytes_per_elem);
+        const double stage = static_cast<double>(eval.compute_cycles) / freq_hz;
+        result.stage_latency_seconds.push_back(stage);
+        max_stage = std::max(max_stage, stage);
+        busy_macs += static_cast<double>(layer.ops);
+        result.energy.buffer_pj +=
+            cost_.BufferEnergyPj(eval.traffic, pu, layer.weight_bytes);
+    }
+    const double memory_s = static_cast<double>(dram) / bw;
+    const int64_t pieces =
+        std::max<int64_t>(16, min_hout == INT64_MAX ? 1 : min_hout);
+    const double fill = 1.0 + static_cast<double>(num_layers - 1) /
+                                  static_cast<double>(pieces);
+    result.latency_seconds = std::max(max_stage, memory_s) * fill;
+    result.throughput_fps = 1.0 / std::max(max_stage, memory_s);
+    result.pe_utilization =
+        busy_macs / (result.latency_seconds * freq_hz *
+                     static_cast<double>(used_pes));
+    result.energy.dram_pj =
+        static_cast<double>(dram) * cost_.tech().dram_energy_pj_per_byte;
+    result.energy.mac_pj = MacEnergy(cost_, w);
+    result.ok = true;
+    return result;
+}
+
+std::vector<int>
+FusedLayerModel::FusionGroups(const nn::Workload& w, const hw::Platform& budget) const
+{
+    // Greedy: extend the cascade while the pyramid of active rows
+    // (line window + downstream halo) fits the activation buffer.
+    const int64_t act_budget = budget.onchip_bytes / 2;
+    std::vector<int> group_starts{0};
+    int start = 0;
+    for (int l = 1; l < w.NumLayers(); ++l) {
+        // Working set of [start, l]: each member holds K+S rows plus a
+        // halo of (K_j - 1) rows per downstream member of the cascade.
+        int64_t bytes = 0;
+        for (int i = start; i <= l; ++i) {
+            const auto& layer = w.layers[static_cast<size_t>(i)];
+            int64_t halo_rows = 0;
+            for (int j = i + 1; j <= l; ++j)
+                halo_rows += w.layers[static_cast<size_t>(j)].kernel - 1;
+            const int64_t rows = layer.kernel + layer.stride + halo_rows;
+            bytes += std::min<int64_t>(rows, layer.hin) * layer.win * layer.cin *
+                     w.bytes_per_elem;
+        }
+        if (bytes > act_budget) {
+            group_starts.push_back(l);
+            start = l;
+        }
+    }
+    return group_starts;
+}
+
+BaselineResult
+FusedLayerModel::Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                          DataflowPolicy policy) const
+{
+    BaselineResult result;
+    const hw::PuConfig pu = UnifiedPu(budget);
+    const double freq_hz = budget.freq_ghz * 1e9;
+    const double bw = budget.bandwidth_gbps * 1e9;
+    const hw::Dataflow fixed_df = FixedModelDataflow(cost_, w, pu);
+
+    const std::vector<int> starts = FusionGroups(w, budget);
+    double latency = 0.0;
+    double busy_macs = 0.0;
+    double offered = 0.0;
+    for (size_t g = 0; g < starts.size(); ++g) {
+        const int lo = starts[g];
+        const int hi = (g + 1 < starts.size()) ? starts[g + 1] - 1 : w.NumLayers() - 1;
+        int64_t group_dram = 0;
+        double compute_s = 0.0;
+        for (int l = lo; l <= hi; ++l) {
+            const auto& layer = w.layers[static_cast<size_t>(l)];
+            const hw::Dataflow df = policy == DataflowPolicy::kPerLayer
+                                        ? cost_.BestDataflow(layer, pu)
+                                        : fixed_df;
+            const auto eval = cost_.Evaluate(layer, pu, df, w.bytes_per_elem);
+            compute_s += static_cast<double>(eval.compute_cycles) / freq_hz;
+            group_dram += layer.weight_bytes;
+            // Boundary feature maps only.
+            for (int e : w.in_edges[static_cast<size_t>(l)]) {
+                const auto& edge = w.edges[static_cast<size_t>(e)];
+                if (edge.src < 0 || edge.src < lo)
+                    group_dram += edge.bytes;
+            }
+            bool writes_out = w.out_edges[static_cast<size_t>(l)].empty();
+            for (int e : w.out_edges[static_cast<size_t>(l)])
+                if (w.edges[static_cast<size_t>(e)].dst > hi)
+                    writes_out = true;
+            if (writes_out)
+                group_dram += layer.output_bytes;
+            busy_macs += static_cast<double>(layer.ops);
+            result.energy.buffer_pj +=
+            cost_.BufferEnergyPj(eval.traffic, pu, layer.weight_bytes);
+        }
+        const double memory_s = static_cast<double>(group_dram) / bw;
+        const double stage = std::max(compute_s, memory_s);
+        result.stage_latency_seconds.push_back(stage);
+        latency += stage;
+        result.dram_bytes += group_dram;
+        offered += stage * freq_hz * static_cast<double>(pu.NumPes());
+    }
+    result.latency_seconds = latency;
+    result.throughput_fps = latency > 0.0 ? 1.0 / latency : 0.0;
+    result.pe_utilization = offered > 0.0 ? busy_macs / offered : 0.0;
+    result.energy.dram_pj = static_cast<double>(result.dram_bytes) *
+                            cost_.tech().dram_energy_pj_per_byte;
+    result.energy.mac_pj = MacEnergy(cost_, w);
+    result.ok = true;
+    return result;
+}
+
+}  // namespace baselines
+}  // namespace spa

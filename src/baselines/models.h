@@ -1,0 +1,105 @@
+#ifndef SPA_BASELINES_MODELS_H_
+#define SPA_BASELINES_MODELS_H_
+
+/**
+ * @file
+ * Behavioural models of the comparison architectures:
+ *
+ *  - NoPipelineModel: one unified PU executes layers sequentially
+ *    (DianNao / NVDLA / Eyeriss-class, Fig. 1(a)); intermediate fmaps
+ *    round-trip through DRAM.
+ *  - FullPipelineModel: one dedicated PU per layer (DNNBuilder / TGPA
+ *    class, Fig. 1(b)); PE counts follow the ops share with the
+ *    power-of-two rounding the paper highlights; infeasible for deep
+ *    models on small budgets.
+ *  - FusedLayerModel: Optimus-style layer fusion on the unified PU
+ *    (Sec. VI-D): consecutive layers execute in cascade keeping
+ *    intermediates on chip, paying buffer space for overlapping tile
+ *    halos.
+ */
+
+#include "cost/cost.h"
+#include "hw/platform.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace baselines {
+
+/**
+ * Dataflow policy of a baseline machine. General DNN processors
+ * (Eyeriss / NVDLA / EdgeTPU class) run one fixed dataflow, jointly
+ * chosen for the whole model -- they cannot switch per layer the way
+ * SPA's dataflow-hybrid PUs do (Sec. II-A: "it is difficult to
+ * optimize a unified PU for DNN models with diverse layers").
+ */
+enum class DataflowPolicy { kFixedBestForModel, kPerLayer };
+
+/** Common result record for every baseline architecture. */
+struct BaselineResult
+{
+    bool ok = false;
+    double latency_seconds = 0.0;
+    double throughput_fps = 0.0;
+    int64_t dram_bytes = 0;
+    double pe_utilization = 0.0;
+    cost::EnergyBreakdown energy;
+    /** Informational: per-layer or per-group latencies. */
+    std::vector<double> stage_latency_seconds;
+};
+
+/** Unified-PU layerwise execution. */
+class NoPipelineModel
+{
+  public:
+    explicit NoPipelineModel(const cost::CostModel& cost_model) : cost_(cost_model) {}
+
+    /**
+     * @param rows_override force the unified PU's row count (0 = pick a
+     *        near-square shape). The Sec. VI-C case study evaluates the
+     *        paper's published 96x8 configuration, i.e. rows = 8.
+     */
+    BaselineResult Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                            int64_t rows_override = 0,
+                            DataflowPolicy policy =
+                                DataflowPolicy::kFixedBestForModel) const;
+
+  private:
+    cost::CostModel cost_;
+};
+
+/** Per-layer dedicated pipeline. */
+class FullPipelineModel
+{
+  public:
+    explicit FullPipelineModel(const cost::CostModel& cost_model) : cost_(cost_model) {}
+
+    /** @param min_pes_per_layer report infeasible below this. */
+    BaselineResult Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                            int64_t min_pes_per_layer = 4) const;
+
+  private:
+    cost::CostModel cost_;
+};
+
+/** Optimus-style fusion groups on the unified PU. */
+class FusedLayerModel
+{
+  public:
+    explicit FusedLayerModel(const cost::CostModel& cost_model) : cost_(cost_model) {}
+
+    BaselineResult Evaluate(const nn::Workload& w, const hw::Platform& budget,
+                            DataflowPolicy policy =
+                                DataflowPolicy::kFixedBestForModel) const;
+
+    /** The fusion groups chosen for a budget (first layer index of each). */
+    std::vector<int> FusionGroups(const nn::Workload& w,
+                                  const hw::Platform& budget) const;
+
+  private:
+    cost::CostModel cost_;
+};
+
+}  // namespace baselines
+}  // namespace spa
+
+#endif  // SPA_BASELINES_MODELS_H_

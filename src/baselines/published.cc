@@ -1,0 +1,52 @@
+#include "baselines/published.h"
+
+namespace spa {
+namespace baselines {
+
+std::vector<PublishedDesign>
+PublishedFpgaRows()
+{
+    // Table III, literature columns. BRAM 0 = not reported; dsp_eff 0 =
+    // derive from perf/dsps/freq with the [11] int8 packing.
+    return {
+        {"alexnet", "DNNBuilder", "7Z045", 200, 808, 90.0, 303, 494, 0.764},
+        {"alexnet", "DNNBuilder", "KU115", 220, 4854, 88.0, 986, 3265, 0.764},
+        {"alexnet", "TGPA", "VU9P", 200, 4480, 66.0, 1682, 2864, 0.80},
+        {"vgg16", "HybridDNN", "7Z020", 100, 220, 100.0, 0, 83.3, 0.946},
+        {"vgg16", "HybridDNN", "VU9P", 167, 5163, 75.9, 0, 3376, 0.979},
+        {"vgg16", "DNNBuilder", "KU115", 235, 4318, 78.0, 1578, 4022, 0.991},
+        {"vgg16", "TGPA", "VU9P", 210, 4096, 60.0, 1690, 3020, 0.877},
+        {"vgg16", "DNNExplorer", "KU115", 200, 4444, 80.5, 1648, 3405, 0.958},
+        {"resnet152", "TGPA", "VU9P", 200, 4096, 60.0, 2960, 2926, 0.893},
+        {"mobilenet_v2", "DPU", "ZU3EG", 287, 282, 78.3, 0, 123, 0.0},
+        {"mobilenet_v2", "Light-OPU", "K325T", 200, 704, 83.8, 0, 194, 0.0},
+        {"inception_v1", "DPU", "ZU3EG", 287, 282, 78.3, 0, 123, 0.0},
+        {"inception_v1", "Dynamap", "U200", 286, 6239, 91.0, 0, 2000, 0.0},
+        {"squeezenet", "DPU", "ZU3EG", 287, 282, 78.3, 0, 123, 0.0},
+        {"squeezenet", "Light-OPU", "K325T", 200, 704, 83.8, 0, 193.5, 0.0},
+        {"squeezenet", "Multi-CLP", "KU115", 170, 3238, 58.7, 0, 524, 0.0},
+    };
+}
+
+std::vector<PublishedDesign>
+PaperSpaRows()
+{
+    return {
+        {"alexnet", "SPA (paper)", "7Z045", 200, 840, 93.3, 509, 635, 0.945},
+        {"alexnet", "SPA (paper)", "KU115", 200, 5192, 94.1, 1834, 3955, 0.952},
+        {"vgg16", "SPA (paper)", "ZU3EG", 200, 264, 73.3, 209, 203, 0.961},
+        {"vgg16", "SPA (paper)", "KU115", 235, 5128, 92.9, 1486, 4778, 0.992},
+        {"resnet152", "SPA (paper)", "KU115", 200, 4390, 79.5, 2136, 3166, 0.901},
+        {"mobilenet_v2", "SPA (paper)", "ZU3EG", 300, 312, 86.7, 0, 188, 0.0},
+        {"mobilenet_v2", "SPA (paper)", "7Z045", 200, 744, 82.7, 0, 380, 0.0},
+        {"mobilenet_v2", "SPA (paper)", "KU115", 200, 4776, 86.5, 0, 2125, 0.0},
+        {"inception_v1", "SPA (paper)", "ZU3EG", 300, 336, 93.3, 0, 205, 0.0},
+        {"inception_v1", "SPA (paper)", "KU115", 250, 5192, 94.1, 0, 1896, 0.0},
+        {"squeezenet", "SPA (paper)", "ZU3EG", 300, 340, 94.4, 0, 158, 0.0},
+        {"squeezenet", "SPA (paper)", "7Z045", 200, 832, 92.4, 0, 245, 0.0},
+        {"squeezenet", "SPA (paper)", "KU115", 200, 5192, 94.1, 0, 1054, 0.0},
+    };
+}
+
+}  // namespace baselines
+}  // namespace spa

@@ -1,0 +1,50 @@
+#ifndef SPA_BASELINES_PUBLISHED_H_
+#define SPA_BASELINES_PUBLISHED_H_
+
+/**
+ * @file
+ * Literature-reported FPGA accelerator results used by Table III.
+ * The paper compares against these *published* numbers (16-bit designs
+ * doubled per the int8 packing argument of [11]); we store the same
+ * rows so the bench can print the full comparison next to the designs
+ * AutoSeg regenerates.
+ */
+
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace baselines {
+
+/** One comparison row of Table III. */
+struct PublishedDesign
+{
+    std::string model;    ///< zoo model name
+    std::string design;   ///< accelerator / framework name
+    std::string device;
+    double freq_mhz = 0;
+    int dsps = 0;
+    double dsp_pct = 0;   ///< device DSP utilization (%)
+    int bram36 = 0;       ///< 0 = not reported
+    double perf_gops = 0; ///< int8-equivalent GOP/s as the paper reports
+    double dsp_eff = 0;   ///< reported DSP efficiency (0 = derive)
+
+    /** DSP efficiency per the DNNExplorer metric and [11] packing. */
+    double
+    DerivedDspEff() const
+    {
+        const double peak = static_cast<double>(dsps) * freq_mhz / 1000.0 * 4.0;
+        return peak > 0.0 ? perf_gops / peak : 0.0;
+    }
+};
+
+/** All non-"ours" rows of Table III. */
+std::vector<PublishedDesign> PublishedFpgaRows();
+
+/** The paper's own ("ours") rows, for shape comparison in benches. */
+std::vector<PublishedDesign> PaperSpaRows();
+
+}  // namespace baselines
+}  // namespace spa
+
+#endif  // SPA_BASELINES_PUBLISHED_H_

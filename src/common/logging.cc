@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace spa {
+namespace detail {
+
+namespace {
+std::atomic<bool> g_quiet{false};
+}  // namespace
+
+void
+SetQuiet(bool quiet)
+{
+    g_quiet.store(quiet);
+}
+
+bool
+IsQuiet()
+{
+    return g_quiet.load();
+}
+
+void
+PanicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    std::abort();
+}
+
+void
+FatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    std::exit(1);
+}
+
+void
+InformImpl(const std::string& msg)
+{
+    if (!g_quiet.load())
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+WarnImpl(const std::string& msg)
+{
+    if (!g_quiet.load())
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+}  // namespace detail
+}  // namespace spa

@@ -1,0 +1,72 @@
+#ifndef SPA_COMMON_LOGGING_H_
+#define SPA_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (a bug in this library);
+ * fatal() is for user errors that make continuing impossible (bad model
+ * description, infeasible constraints). inform()/warn() report status
+ * without stopping.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spa {
+
+namespace detail {
+
+/** Formats the variadic tail of a log call into one string. */
+template <typename... Args>
+std::string
+FormatMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void FatalImpl(const char* file, int line, const std::string& msg);
+void InformImpl(const std::string& msg);
+void WarnImpl(const std::string& msg);
+
+/** Globally silences inform()/warn() output (used by benches). */
+void SetQuiet(bool quiet);
+bool IsQuiet();
+
+}  // namespace detail
+
+}  // namespace spa
+
+/** Aborts: something happened that indicates a bug in this library. */
+#define SPA_PANIC(...) \
+    ::spa::detail::PanicImpl(__FILE__, __LINE__, ::spa::detail::FormatMessage(__VA_ARGS__))
+
+/** Exits with an error: the user supplied an impossible configuration. */
+#define SPA_FATAL(...) \
+    ::spa::detail::FatalImpl(__FILE__, __LINE__, ::spa::detail::FormatMessage(__VA_ARGS__))
+
+/** Informative status message. */
+#define SPA_INFORM(...) \
+    ::spa::detail::InformImpl(::spa::detail::FormatMessage(__VA_ARGS__))
+
+/** Warning about suspicious but survivable conditions. */
+#define SPA_WARN(...) \
+    ::spa::detail::WarnImpl(::spa::detail::FormatMessage(__VA_ARGS__))
+
+/** Checked invariant: panics with the stringified condition on failure. */
+#define SPA_ASSERT(cond, ...)                                                        \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            ::spa::detail::PanicImpl(__FILE__, __LINE__,                             \
+                ::spa::detail::FormatMessage("assertion failed: " #cond " ",         \
+                                             ##__VA_ARGS__));                        \
+        }                                                                            \
+    } while (0)
+
+#endif  // SPA_COMMON_LOGGING_H_

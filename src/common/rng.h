@@ -1,0 +1,102 @@
+#ifndef SPA_COMMON_RNG_H_
+#define SPA_COMMON_RNG_H_
+
+/**
+ * @file
+ * Deterministic PRNG used across the library so every experiment is
+ * reproducible bit-for-bit. Wraps a fixed xoshiro256** implementation
+ * rather than std::mt19937 so the stream is stable across standard
+ * library versions.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spa {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x5eedf00dULL) { Seed(seed); }
+
+    /** Re-seeds the generator via splitmix64 expansion. */
+    void
+    Seed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto& si : s_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            si = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = Rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    Uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    Uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * Uniform();
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    UniformInt(int64_t lo, int64_t hi)
+    {
+        if (lo >= hi)
+            return lo;
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>((*this)() % span);
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    Normal()
+    {
+        double u1 = Uniform();
+        double u2 = Uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(6.283185307179586 * u2);
+    }
+
+  private:
+    static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    uint64_t s_[4];
+};
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_RNG_H_

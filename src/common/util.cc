@@ -1,0 +1,38 @@
+#include "common/util.h"
+
+#include <cstdio>
+
+namespace spa {
+
+namespace {
+
+std::string
+WithUnit(double value, const char* const* units, int num_units, double step)
+{
+    int u = 0;
+    while (value >= step && u + 1 < num_units) {
+        value /= step;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[u]);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+BytesToString(double bytes)
+{
+    static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+    return WithUnit(bytes, kUnits, 5, 1024.0);
+}
+
+std::string
+OpsToString(double ops)
+{
+    static const char* kUnits[] = {"OPs", "KOPs", "MOPs", "GOPs", "TOPs"};
+    return WithUnit(ops, kUnits, 5, 1000.0);
+}
+
+}  // namespace spa

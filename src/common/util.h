@@ -1,0 +1,109 @@
+#ifndef SPA_COMMON_UTIL_H_
+#define SPA_COMMON_UTIL_H_
+
+/**
+ * @file
+ * Small numeric and container helpers shared by every module.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+CeilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds down to the nearest power of two (>= 1 for any positive input). */
+constexpr int64_t
+FloorPow2(int64_t v)
+{
+    int64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+/** Rounds up to the nearest power of two. */
+constexpr int64_t
+CeilPow2(int64_t v)
+{
+    int64_t p = 1;
+    while (p < v)
+        p *= 2;
+    return p;
+}
+
+/** True if v is a power of two. */
+constexpr bool
+IsPow2(int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** Sum of a vector of doubles. */
+inline double
+Sum(const std::vector<double>& v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/** Sum of a vector of int64. */
+inline int64_t
+Sum(const std::vector<int64_t>& v)
+{
+    return std::accumulate(v.begin(), v.end(), int64_t{0});
+}
+
+/** Normalizes a non-negative vector to sum to one; leaves zeros untouched. */
+inline std::vector<double>
+Normalize(const std::vector<double>& v)
+{
+    const double s = Sum(v);
+    std::vector<double> out(v.size(), 0.0);
+    if (s <= 0.0)
+        return out;
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = v[i] / s;
+    return out;
+}
+
+/** Manhattan (L1) distance between two same-length vectors. */
+inline double
+ManhattanDistance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double d = 0.0;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i)
+        d += (a[i] > b[i]) ? (a[i] - b[i]) : (b[i] - a[i]);
+    return d;
+}
+
+/** Geometric mean of positive values; returns 0 for an empty input. */
+inline double
+GeoMean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+/** Human-readable byte count ("1.5 MB"). */
+std::string BytesToString(double bytes);
+
+/** Human-readable op count ("3.2 GOPs"). */
+std::string OpsToString(double ops);
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_UTIL_H_

@@ -1,0 +1,237 @@
+#include "cost/cost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace cost {
+
+namespace {
+
+/** Dimension bundle shared by every formula. */
+struct Dims
+{
+    int64_t red;      ///< reduction depth per group: cin_pg * k * k
+    int64_t m;        ///< output pixels: hout * wout
+    int64_t cout_pg;  ///< output channels per group
+    int64_t groups;
+    bool depthwise;
+};
+
+Dims
+DimsOf(const nn::WorkloadLayer& l)
+{
+    Dims d;
+    d.groups = l.groups;
+    const int64_t cin_pg = l.cin / l.groups;
+    d.red = cin_pg * l.kernel * l.kernel;
+    d.m = l.hout * l.wout;
+    d.cout_pg = l.cout / l.groups;
+    d.depthwise = (cin_pg == 1 && l.groups > 1);
+    return d;
+}
+
+}  // namespace
+
+int64_t
+CostModel::ComputeCycles(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                         hw::Dataflow df) const
+{
+    const Dims d = DimsOf(l);
+    const int64_t r = pu.rows;
+    const int64_t c = pu.cols;
+    if (df == hw::Dataflow::kWeightStationary) {
+        // Paper Sec. IV-B: WS preloads R_n x C_n weights along the
+        // *input-channel* and output-channel dims; the k x k taps are
+        // temporal. Per (cin-tile x cout-tile x tap): preload R +
+        // stream m with skew. Layers with cin < R_n underfill the rows
+        // -- the structural inefficiency SPA's per-PU shaping fixes.
+        const int64_t cin_pg = l.cin / l.groups;
+        const int64_t taps = l.kernel * l.kernel;
+        const int64_t tiles =
+            d.groups * CeilDiv(cin_pg, r) * CeilDiv(d.cout_pg, c) * taps;
+        return tiles * (r + d.m + r + c - 2);
+    }
+    if (d.depthwise) {
+        // Fig. 9(b) per-column mode: pixels x channels tiles.
+        const int64_t tiles = CeilDiv(d.m, r) * CeilDiv(d.groups, c);
+        return tiles * (d.red + r + c - 2 + r);
+    }
+    const int64_t tiles = d.groups * CeilDiv(d.m, r) * CeilDiv(d.cout_pg, c);
+    return tiles * (d.red + r + c - 2 + r);
+}
+
+double
+CostModel::Utilization(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                       hw::Dataflow df) const
+{
+    const int64_t cycles = ComputeCycles(l, pu, df);
+    if (cycles <= 0)
+        return 0.0;
+    return static_cast<double>(l.ops) /
+           (static_cast<double>(cycles) * static_cast<double>(pu.NumPes()));
+}
+
+BufferTraffic
+CostModel::OnChipTraffic(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                         hw::Dataflow df) const
+{
+    const Dims d = DimsOf(l);
+    const int64_t r = pu.rows;
+    const int64_t c = pu.cols;
+    BufferTraffic t;
+    if (df == hw::Dataflow::kWeightStationary) {
+        const int64_t cin_pg = l.cin / l.groups;
+        const int64_t taps = l.kernel * l.kernel;
+        const int64_t n_rtile = CeilDiv(cin_pg, r);
+        const int64_t n_ctile = CeilDiv(d.cout_pg, c);
+        // Each weight fetched once per residency (one tap at a time).
+        t.weight_reads = d.groups * d.red * d.cout_pg;
+        // Activations stream once per (cout tile, tap).
+        t.act_reads = d.groups * d.m * d.red * n_ctile;
+        // Partial sums accumulate across taps and cin tiles; all but
+        // the first pass read-modify-write the accumulator.
+        t.psum_accesses = d.groups * d.m * d.cout_pg * (taps * n_rtile - 1);
+        t.out_writes = d.groups * d.m * d.cout_pg;
+        return t;
+    }
+    if (d.depthwise) {
+        t.act_reads = d.m * d.red * d.groups;
+        t.weight_reads = d.red * d.groups * CeilDiv(d.m, r);
+        t.out_writes = d.m * d.groups;
+        return t;
+    }
+    const int64_t n_ptile = CeilDiv(d.m, r);
+    const int64_t n_ctile = CeilDiv(d.cout_pg, c);
+    // Outputs stay in place; weights stream per pixel tile.
+    t.act_reads = d.groups * d.m * d.red * n_ctile;
+    t.weight_reads = d.groups * d.red * d.cout_pg * n_ptile;
+    t.out_writes = d.groups * d.m * d.cout_pg;
+    return t;
+}
+
+int64_t
+CostModel::DramBytesLayerwise(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                              hw::Dataflow df, int bytes_per_elem) const
+{
+    const Dims d = DimsOf(l);
+    const int64_t ifmap_bytes = l.input_bytes;
+    const bool act_fits = pu.act_buffer_bytes >= ifmap_bytes;
+    const bool weights_fit = pu.weight_buffer_bytes >= l.weight_bytes;
+    (void)bytes_per_elem;
+
+    int64_t act_refetch = 1;
+    int64_t weight_refetch = 1;
+    if (df == hw::Dataflow::kWeightStationary) {
+        // Activations re-stream per (cin-tile x cout-tile); the k x k
+        // taps reuse the circular row window on chip.
+        if (!act_fits)
+            act_refetch = CeilDiv(l.cin / l.groups, pu.rows) *
+                          CeilDiv(d.cout_pg, pu.cols);
+    } else if (!d.depthwise) {
+        if (!weights_fit)
+            weight_refetch = CeilDiv(d.m, pu.rows);
+        if (!act_fits)
+            act_refetch = CeilDiv(d.cout_pg, pu.cols);
+    }
+    return ifmap_bytes * act_refetch + l.weight_bytes * weight_refetch +
+           l.output_bytes;
+}
+
+double
+CostModel::BufferEnergyPj(const BufferTraffic& traffic, const hw::PuConfig& pu,
+                          int64_t layer_weight_bytes) const
+{
+    const double ab_kb = static_cast<double>(pu.act_buffer_bytes) / 1024.0;
+    const double wb_kb = static_cast<double>(pu.weight_buffer_bytes) / 1024.0;
+    const double ab_pj = tech_.SramEnergyPjPerByte(ab_kb);
+    double wb_pj = tech_.SramEnergyPjPerByte(wb_kb);
+    // Layers whose whole weight set fits the PE-adjacent FIFO restream
+    // weights at the FIFO's (much lower) energy after the first pass.
+    if (layer_weight_bytes > 0 &&
+        static_cast<double>(layer_weight_bytes) <= tech_.weight_fifo_bytes) {
+        wb_pj = tech_.weight_fifo_pj_per_byte;
+    }
+    // Partial sums live in a small accumulator SRAM; every spill is a
+    // 32-bit read + write of short local wiring.
+    const double psum_pj = tech_.SramEnergyPjPerByte(2.0) * 4.0;
+    return static_cast<double>(traffic.act_reads) * ab_pj +
+           static_cast<double>(traffic.weight_reads) * wb_pj +
+           static_cast<double>(traffic.psum_accesses) * psum_pj +
+           static_cast<double>(traffic.out_writes) * ab_pj;
+}
+
+double
+CostModel::MacEnergyPj(const nn::WorkloadLayer& l) const
+{
+    return static_cast<double>(l.ops) * tech_.mac_energy_pj;
+}
+
+double
+CostModel::ArrayControlEnergyPj(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                                hw::Dataflow df) const
+{
+    return static_cast<double>(ComputeCycles(l, pu, df)) *
+           static_cast<double>(pu.NumPes()) * tech_.pe_control_energy_pj;
+}
+
+LayerOnPuCost
+CostModel::Evaluate(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                    hw::Dataflow df, int bytes_per_elem) const
+{
+    LayerOnPuCost cost;
+    cost.compute_cycles = ComputeCycles(l, pu, df);
+    cost.utilization = Utilization(l, pu, df);
+    cost.traffic = OnChipTraffic(l, pu, df);
+    cost.dram_bytes_layerwise = DramBytesLayerwise(l, pu, df, bytes_per_elem);
+    return cost;
+}
+
+hw::Dataflow
+CostModel::BestDataflow(const nn::WorkloadLayer& l, const hw::PuConfig& pu) const
+{
+    const int64_t ws = ComputeCycles(l, pu, hw::Dataflow::kWeightStationary);
+    const int64_t os = ComputeCycles(l, pu, hw::Dataflow::kOutputStationary);
+    if (ws != os)
+        return ws < os ? hw::Dataflow::kWeightStationary
+                       : hw::Dataflow::kOutputStationary;
+    const double ws_e = BufferEnergyPj(OnChipTraffic(l, pu, hw::Dataflow::kWeightStationary), pu);
+    const double os_e = BufferEnergyPj(OnChipTraffic(l, pu, hw::Dataflow::kOutputStationary), pu);
+    return ws_e <= os_e ? hw::Dataflow::kWeightStationary
+                        : hw::Dataflow::kOutputStationary;
+}
+
+hw::Dataflow
+CostModel::BestDataflowByEnergy(const nn::WorkloadLayer& l,
+                                const hw::PuConfig& pu) const
+{
+    const double ws_e =
+        BufferEnergyPj(OnChipTraffic(l, pu, hw::Dataflow::kWeightStationary), pu) +
+        ArrayControlEnergyPj(l, pu, hw::Dataflow::kWeightStationary);
+    const double os_e =
+        BufferEnergyPj(OnChipTraffic(l, pu, hw::Dataflow::kOutputStationary), pu) +
+        ArrayControlEnergyPj(l, pu, hw::Dataflow::kOutputStationary);
+    return ws_e <= os_e ? hw::Dataflow::kWeightStationary
+                        : hw::Dataflow::kOutputStationary;
+}
+
+int64_t
+CostModel::MinActBufferBytes(const nn::WorkloadLayer& l, int64_t rows,
+                             int bytes_per_elem)
+{
+    // (K+S) circular rows of the ifmap at the Eq. 1 word layout.
+    const int64_t words_per_col = CeilDiv(l.cin, rows);
+    return (l.kernel + l.stride) * l.win * words_per_col * rows * bytes_per_elem;
+}
+
+int64_t
+CostModel::MinWeightBufferBytes(const nn::WorkloadLayer& l, int64_t num_pes,
+                                int bytes_per_elem)
+{
+    return l.kernel * l.kernel * num_pes * bytes_per_elem;
+}
+
+}  // namespace cost
+}  // namespace spa

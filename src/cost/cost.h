@@ -1,0 +1,144 @@
+#ifndef SPA_COST_COST_H_
+#define SPA_COST_COST_H_
+
+/**
+ * @file
+ * Analytical per-layer cost model — the role Timeloop [49] plays in the
+ * paper's design-generation stage (Alg. 1 line 12). For a layer mapped
+ * onto one dataflow-hybrid PU it reports:
+ *
+ *  - exact compute cycles (the closed forms match the cycle-level
+ *    systolic emulation in src/pu tile for tile),
+ *  - mapping utilization,
+ *  - on-chip buffer traffic per dataflow (the Fig. 19 quantities),
+ *  - DRAM traffic with tiling-induced refetch, and
+ *  - energy.
+ */
+
+#include <cstdint>
+
+#include "hw/config.h"
+#include "hw/tech.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace cost {
+
+/** On-chip movement counts of one layer pass, in elements. */
+struct BufferTraffic
+{
+    int64_t act_reads = 0;     ///< activation-buffer fetches
+    int64_t weight_reads = 0;  ///< weight-buffer fetches
+    int64_t psum_accesses = 0; ///< partial-sum buffer read+write pairs
+    int64_t out_writes = 0;    ///< output writes into the consumer buffer
+};
+
+/** Energy of one layer pass, split the way Fig. 16 reports it. */
+struct EnergyBreakdown
+{
+    double dram_pj = 0.0;
+    double buffer_pj = 0.0;
+    double mac_pj = 0.0;
+    double other_pj = 0.0;  ///< inter-PU fabric + dataflow muxes
+
+    double TotalPj() const { return dram_pj + buffer_pj + mac_pj + other_pj; }
+};
+
+/** Everything the allocator needs to know about (layer, PU, dataflow). */
+struct LayerOnPuCost
+{
+    int64_t compute_cycles = 0;
+    double utilization = 0.0;
+    BufferTraffic traffic;
+    int64_t dram_bytes_layerwise = 0;  ///< executed stand-alone (no pipeline)
+};
+
+/** Analytical model over a fixed technology. */
+class CostModel
+{
+  public:
+    explicit CostModel(const hw::TechnologyModel& tech = hw::DefaultTech())
+        : tech_(tech)
+    {
+    }
+
+    const hw::TechnologyModel& tech() const { return tech_; }
+
+    /**
+     * Exact systolic compute cycles of the layer on an RxC PU. Matches
+     * pu::PuDriver::RunConv cycle counts exactly (tested).
+     */
+    int64_t ComputeCycles(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                          hw::Dataflow df) const;
+
+    /** Useful MACs over PE-cycles offered. */
+    double Utilization(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                       hw::Dataflow df) const;
+
+    /** On-chip traffic of the pass (matches the driver's counters). */
+    BufferTraffic OnChipTraffic(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                                hw::Dataflow df) const;
+
+    /**
+     * DRAM bytes of a stand-alone layerwise execution, including
+     * activation refetch when the buffers cannot hold the working set.
+     */
+    int64_t DramBytesLayerwise(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                               hw::Dataflow df, int bytes_per_elem) const;
+
+    /** Full (layer, PU, dataflow) evaluation. */
+    LayerOnPuCost Evaluate(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                           hw::Dataflow df, int bytes_per_elem) const;
+
+    /** Dataflow with fewer compute cycles (ties: less buffer energy). */
+    hw::Dataflow BestDataflow(const nn::WorkloadLayer& l, const hw::PuConfig& pu) const;
+
+    /**
+     * Dataflow with lower on-chip movement energy (the Fig. 19 metric);
+     * used when latency is bandwidth-bound and energy is the tiebreak.
+     */
+    hw::Dataflow BestDataflowByEnergy(const nn::WorkloadLayer& l,
+                                      const hw::PuConfig& pu) const;
+
+    /**
+     * Buffer-access energy of a traffic record on this PU.
+     * @param layer_weight_bytes when > 0 and the layer's weights fit
+     *        the PE-adjacent weight FIFO, repeat weight reads cost the
+     *        FIFO energy instead of the big weight buffer's (small-
+     *        weight layers restream cheaply under OS -- the Fig. 19
+     *        asymmetry between MobileNet/SqueezeNet and AlexNet/ResNet).
+     */
+    double BufferEnergyPj(const BufferTraffic& traffic, const hw::PuConfig& pu,
+                          int64_t layer_weight_bytes = 0) const;
+
+    /** MAC energy of the layer (+ dataflow-hybrid mux overhead). */
+    double MacEnergyPj(const nn::WorkloadLayer& l) const;
+
+    /**
+     * Clock/control energy of the whole array for the layer's pass:
+     * cycles x PEs x per-PE control energy. Idle PEs still burn this,
+     * which is what penalizes low-utilization dataflow choices
+     * (e.g. WS on depthwise layers) in the Fig. 19 comparison.
+     */
+    double ArrayControlEnergyPj(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                                hw::Dataflow df) const;
+
+    /**
+     * Minimum activation buffer: the circular (K+S)-row window of the
+     * ifmap at the PU's word width (Sec. IV-B, Eq. 1 layout).
+     */
+    static int64_t MinActBufferBytes(const nn::WorkloadLayer& l, int64_t rows,
+                                     int bytes_per_elem);
+
+    /** Minimum weight buffer: K^2 x PE[n] weights (Alg. 1 line 10). */
+    static int64_t MinWeightBufferBytes(const nn::WorkloadLayer& l, int64_t num_pes,
+                                        int bytes_per_elem);
+
+  private:
+    hw::TechnologyModel tech_;
+};
+
+}  // namespace cost
+}  // namespace spa
+
+#endif  // SPA_COST_COST_H_

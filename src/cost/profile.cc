@@ -1,0 +1,78 @@
+#include "cost/profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/util.h"
+
+namespace spa {
+namespace cost {
+
+WorkloadProfile
+ProfileWorkload(const CostModel& cost_model, const nn::Workload& w,
+                const hw::Platform& platform, const hw::PuConfig& reference_pu)
+{
+    WorkloadProfile profile;
+    profile.ridge_ctc = platform.RidgeCtc();
+    int64_t total_access = 0;
+    for (const auto& l : w.layers) {
+        LayerProfile row;
+        row.name = l.name;
+        row.ops = l.ops;
+        row.weight_bytes = l.weight_bytes;
+        row.fmap_bytes = l.input_bytes + l.output_bytes;
+        row.ctc = l.LayerCtc();
+        row.memory_bound = row.ctc < profile.ridge_ctc;
+        row.preferred = cost_model.BestDataflow(l, reference_pu);
+        row.utilization = cost_model.Utilization(l, reference_pu, row.preferred);
+        profile.memory_bound_layers += row.memory_bound;
+        profile.total_ops += l.ops;
+        profile.total_weight_bytes += l.weight_bytes;
+        profile.total_fmap_bytes += row.fmap_bytes;
+        total_access += l.AccessBytes();
+        profile.layers.push_back(std::move(row));
+    }
+    profile.model_ctc = total_access > 0
+                            ? static_cast<double>(profile.total_ops) /
+                                  static_cast<double>(total_access)
+                            : 0.0;
+    const double fw = static_cast<double>(profile.total_fmap_bytes);
+    profile.fmap_share =
+        fw > 0.0 ? fw / (fw + static_cast<double>(profile.total_weight_bytes)) : 0.0;
+    return profile;
+}
+
+std::string
+WorkloadProfile::ToTable() const
+{
+    std::ostringstream os;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-22s %10s %10s %10s %8s %5s %5s %6s\n",
+                  "layer", "MACs", "weights", "fmaps", "CTC", "bound", "DF",
+                  "util");
+    os << buf;
+    for (const auto& l : layers) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-22s %10s %10s %10s %8.1f %5s %5s %5.0f%%\n",
+                      l.name.c_str(),
+                      OpsToString(static_cast<double>(l.ops)).c_str(),
+                      BytesToString(static_cast<double>(l.weight_bytes)).c_str(),
+                      BytesToString(static_cast<double>(l.fmap_bytes)).c_str(),
+                      l.ctc, l.memory_bound ? "mem" : "comp",
+                      hw::DataflowName(l.preferred), 100.0 * l.utilization);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "total: %s MACs, %s weights, %s fmaps (fmap share %.0f%%), "
+                  "model CTC %.1f vs ridge %.1f, %d/%zu layers memory-bound\n",
+                  OpsToString(static_cast<double>(total_ops)).c_str(),
+                  BytesToString(static_cast<double>(total_weight_bytes)).c_str(),
+                  BytesToString(static_cast<double>(total_fmap_bytes)).c_str(),
+                  100.0 * fmap_share, model_ctc, ridge_ctc, memory_bound_layers,
+                  layers.size());
+    os << buf;
+    return os.str();
+}
+
+}  // namespace cost
+}  // namespace spa

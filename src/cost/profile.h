@@ -1,0 +1,65 @@
+#ifndef SPA_COST_PROFILE_H_
+#define SPA_COST_PROFILE_H_
+
+/**
+ * @file
+ * Workload profiler: the per-layer report a designer reads before
+ * trusting any automated decision — MACs, weight/fmap bytes, layerwise
+ * CTC against a platform's ridge point, and the preferred dataflow with
+ * its utilization on a reference PU.
+ */
+
+#include <string>
+#include <vector>
+
+#include "cost/cost.h"
+#include "hw/platform.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace cost {
+
+/** One profiled layer row. */
+struct LayerProfile
+{
+    std::string name;
+    int64_t ops = 0;
+    int64_t weight_bytes = 0;
+    int64_t fmap_bytes = 0;      ///< in + out feature-map bytes
+    double ctc = 0.0;            ///< layerwise OPs/B
+    bool memory_bound = false;   ///< vs the platform ridge
+    hw::Dataflow preferred = hw::Dataflow::kWeightStationary;
+    double utilization = 0.0;    ///< on the reference PU, preferred dataflow
+};
+
+/** Whole-model profile. */
+struct WorkloadProfile
+{
+    std::vector<LayerProfile> layers;
+    int64_t total_ops = 0;
+    int64_t total_weight_bytes = 0;
+    int64_t total_fmap_bytes = 0;
+    double model_ctc = 0.0;          ///< layerwise model CTC
+    double fmap_share = 0.0;         ///< fmap bytes over fmap + weights
+    int memory_bound_layers = 0;
+    double ridge_ctc = 0.0;
+
+    /** Formats the profile as an aligned text table. */
+    std::string ToTable() const;
+};
+
+/**
+ * Profiles every layer of the workload against a platform budget.
+ * @param reference_pu the PU used for dataflow preference and
+ *        utilization (default: a 16x16 array with 64 KB buffers).
+ */
+WorkloadProfile ProfileWorkload(const CostModel& cost_model, const nn::Workload& w,
+                                const hw::Platform& platform,
+                                const hw::PuConfig& reference_pu = {16, 16,
+                                                                    64 * 1024,
+                                                                    64 * 1024});
+
+}  // namespace cost
+}  // namespace spa
+
+#endif  // SPA_COST_PROFILE_H_

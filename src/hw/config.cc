@@ -1,0 +1,74 @@
+#include "hw/config.h"
+
+#include <sstream>
+
+#include "common/util.h"
+
+namespace spa {
+namespace hw {
+
+const char*
+DataflowName(Dataflow df)
+{
+    return df == Dataflow::kWeightStationary ? "WS" : "OS";
+}
+
+std::string
+SpaConfig::ToString() const
+{
+    std::ostringstream os;
+    os << "SPA{";
+    for (size_t i = 0; i < pus.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << "PU" << i + 1 << ":" << pus[i].cols << "x" << pus[i].rows
+           << " AB=" << BytesToString(static_cast<double>(pus[i].act_buffer_bytes))
+           << " WB=" << BytesToString(static_cast<double>(pus[i].weight_buffer_bytes));
+    }
+    os << "; batch=" << batch << ", " << freq_ghz * 1000 << " MHz, "
+       << bandwidth_gbps << " GB/s}";
+    return os.str();
+}
+
+double
+AsicAreaMm2(const SpaConfig& cfg, const TechnologyModel& tech)
+{
+    double um2 = 0.0;
+    for (const auto& pu : cfg.pus) {
+        um2 += static_cast<double>(pu.NumPes()) * tech.pe_area_um2;
+        um2 += static_cast<double>(pu.BufferBytes()) * tech.sram_area_um2_per_byte;
+    }
+    um2 += static_cast<double>(cfg.fabric_nodes) * tech.benes_node_area_um2;
+    um2 *= static_cast<double>(cfg.batch);
+    return um2 / 1e6;
+}
+
+FpgaUsage
+FpgaResourceUsage(const SpaConfig& cfg)
+{
+    FpgaUsage usage;
+    for (const auto& pu : cfg.pus) {
+        usage.dsps += CeilDiv(pu.NumPes(), kMacsPerDsp);
+        // Each buffer is built from whole BRAM36 blocks.
+        usage.bram36 += CeilDiv(pu.act_buffer_bytes, kBytesPerBram36);
+        usage.bram36 += CeilDiv(pu.weight_buffer_bytes, kBytesPerBram36);
+    }
+    usage.dsps *= cfg.batch;
+    usage.bram36 *= cfg.batch;
+    return usage;
+}
+
+bool
+FitsBudget(const SpaConfig& cfg, const Platform& budget)
+{
+    if (budget.kind == PlatformKind::kAsic) {
+        return cfg.TotalPes() * cfg.batch <= budget.pes &&
+               cfg.TotalBufferBytes() * cfg.batch <= budget.onchip_bytes;
+    }
+    const FpgaUsage usage = FpgaResourceUsage(cfg);
+    return usage.dsps <= budget.dsps &&
+           usage.bram36 * kBytesPerBram36 <= budget.onchip_bytes;
+}
+
+}  // namespace hw
+}  // namespace spa

@@ -1,0 +1,95 @@
+#ifndef SPA_HW_CONFIG_H_
+#define SPA_HW_CONFIG_H_
+
+/**
+ * @file
+ * Parameter records of one SPA accelerator instance: the dataflow-hybrid
+ * PUs (Fig. 7), their buffers, and the fabric port count. These are the
+ * "hardware design parameters" the AutoSeg co-design engine emits.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.h"
+#include "hw/tech.h"
+
+namespace spa {
+namespace hw {
+
+/** Systolic dataflow of a PU (Sec. IV-B). */
+enum class Dataflow { kWeightStationary, kOutputStationary };
+
+const char* DataflowName(Dataflow df);
+
+/** One dataflow-hybrid processing unit: R_n x C_n PEs plus local buffers. */
+struct PuConfig
+{
+    int64_t rows = 8;                 ///< R_n (input-channel / ofmap-column dim)
+    int64_t cols = 8;                 ///< C_n (output-channel dim)
+    int64_t act_buffer_bytes = 0;     ///< activation buffer (circular rows)
+    int64_t weight_buffer_bytes = 0;  ///< weight buffer
+
+    int64_t NumPes() const { return rows * cols; }
+    int64_t BufferBytes() const { return act_buffer_bytes + weight_buffer_bytes; }
+};
+
+/** A complete SPA accelerator instance. */
+struct SpaConfig
+{
+    std::vector<PuConfig> pus;
+    double freq_ghz = 0.2;
+    double bandwidth_gbps = 5.0;
+    int64_t batch = 1;              ///< frames processed in parallel
+    int64_t fabric_nodes = 0;       ///< Benes nodes kept after pruning
+
+    int NumPus() const { return static_cast<int>(pus.size()); }
+
+    int64_t
+    TotalPes() const
+    {
+        int64_t t = 0;
+        for (const auto& pu : pus)
+            t += pu.NumPes();
+        return t;
+    }
+
+    int64_t
+    TotalBufferBytes() const
+    {
+        int64_t t = 0;
+        for (const auto& pu : pus)
+            t += pu.BufferBytes();
+        return t;
+    }
+
+    /** Peak int8 performance of one batch replica, GOP/s. */
+    double PeakGops() const { return static_cast<double>(TotalPes()) * 2.0 * freq_ghz; }
+
+    std::string ToString() const;
+};
+
+/** FPGA resource consumption of a design. */
+struct FpgaUsage
+{
+    int64_t dsps = 0;
+    int64_t bram36 = 0;
+};
+
+/**
+ * ASIC silicon area of the design in mm^2: PEs, SRAM buffers and the
+ * (pruned) interconnect fabric.
+ */
+double AsicAreaMm2(const SpaConfig& cfg, const TechnologyModel& tech = DefaultTech());
+
+/** DSP / BRAM36 consumption with per-buffer BRAM quantization. */
+FpgaUsage FpgaResourceUsage(const SpaConfig& cfg);
+
+/** True if `cfg` (times its batch replication) fits inside `budget`. */
+bool FitsBudget(const SpaConfig& cfg, const Platform& budget);
+
+}  // namespace hw
+}  // namespace spa
+
+#endif  // SPA_HW_CONFIG_H_

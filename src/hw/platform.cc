@@ -1,0 +1,143 @@
+#include "hw/platform.h"
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace hw {
+
+int64_t
+Platform::MacsPerCycle() const
+{
+    return kind == PlatformKind::kAsic ? pes : dsps * kMacsPerDsp;
+}
+
+double
+Platform::PeakGops() const
+{
+    return static_cast<double>(MacsPerCycle()) * 2.0 * freq_ghz;
+}
+
+double
+Platform::RidgeCtc() const
+{
+    return PeakGops() / bandwidth_gbps;
+}
+
+Platform
+EyerissBudget()
+{
+    Platform p;
+    p.name = "eyeriss";
+    p.kind = PlatformKind::kAsic;
+    p.pes = 192;
+    p.onchip_bytes = 123 * 1024;
+    p.bandwidth_gbps = 25.0;
+    p.freq_ghz = 0.2;
+    return p;
+}
+
+Platform
+NvdlaSmallBudget()
+{
+    Platform p;
+    p.name = "nvdla_small";
+    p.kind = PlatformKind::kAsic;
+    p.pes = 256;
+    p.onchip_bytes = 256 * 1024;
+    p.bandwidth_gbps = 5.0;
+    p.freq_ghz = 1.0;
+    return p;
+}
+
+Platform
+NvdlaLargeBudget()
+{
+    Platform p;
+    p.name = "nvdla_large";
+    p.kind = PlatformKind::kAsic;
+    p.pes = 2048;
+    p.onchip_bytes = 512 * 1024;
+    p.bandwidth_gbps = 20.0;
+    p.freq_ghz = 1.4;  // 2048 MACs x 2 x 1.4 GHz ~ the 5.6 TOPs of [47]
+    return p;
+}
+
+Platform
+EdgeTpuBudget()
+{
+    Platform p;
+    p.name = "edgetpu";
+    p.kind = PlatformKind::kAsic;
+    p.pes = 8192;
+    p.onchip_bytes = 8192 * 1024;
+    p.bandwidth_gbps = 0.5;
+    p.freq_ghz = 0.25;  // 8192 MACs x 2 x 0.25 GHz ~ the 4 TOPs of [42]
+    return p;
+}
+
+Platform
+Zu3egBudget()
+{
+    Platform p;
+    p.name = "zu3eg";
+    p.kind = PlatformKind::kFpga;
+    p.dsps = 360;
+    p.onchip_bytes = 216 * kBytesPerBram36;
+    p.bandwidth_gbps = 3.5;
+    p.freq_ghz = 0.2;
+    return p;
+}
+
+Platform
+Zc7045Budget()
+{
+    Platform p;
+    p.name = "7z045";
+    p.kind = PlatformKind::kFpga;
+    p.dsps = 900;
+    p.onchip_bytes = 545 * kBytesPerBram36;
+    p.bandwidth_gbps = 5.3;
+    p.freq_ghz = 0.2;
+    return p;
+}
+
+Platform
+Ku115Budget()
+{
+    Platform p;
+    p.name = "ku115";
+    p.kind = PlatformKind::kFpga;
+    p.dsps = 5520;
+    p.onchip_bytes = 2160 * kBytesPerBram36;
+    p.bandwidth_gbps = 19.2;
+    p.freq_ghz = 0.2;
+    return p;
+}
+
+std::vector<Platform>
+AsicBudgets()
+{
+    return {EyerissBudget(), NvdlaSmallBudget(), NvdlaLargeBudget(), EdgeTpuBudget()};
+}
+
+std::vector<Platform>
+FpgaBudgets()
+{
+    return {Zu3egBudget(), Zc7045Budget(), Ku115Budget()};
+}
+
+Platform
+PlatformByName(const std::string& name)
+{
+    for (const auto& p : AsicBudgets())
+        if (p.name == name)
+            return p;
+    for (const auto& p : FpgaBudgets())
+        if (p.name == name)
+            return p;
+    SPA_FATAL("unknown platform '", name, "'");
+}
+
+}  // namespace hw
+}  // namespace spa

@@ -1,0 +1,72 @@
+#ifndef SPA_HW_PLATFORM_H_
+#define SPA_HW_PLATFORM_H_
+
+/**
+ * @file
+ * Hardware resource budgets of Table II: the four ASIC scenarios
+ * (Eyeriss, NVDLA-Small, NVDLA-Large, EdgeTPU) and the three FPGA
+ * devices (ZU3EG, 7Z045, KU115), plus the DSP/BRAM accounting rules
+ * used by the FPGA comparisons (two int8 MACs per DSP following the
+ * Xilinx int8 packing white paper [11]; one BRAM36K = 4.5 KB).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace hw {
+
+/** Whether a budget counts PEs directly (ASIC) or DSPs (FPGA). */
+enum class PlatformKind { kAsic, kFpga };
+
+/** One row of Table II. */
+struct Platform
+{
+    std::string name;
+    PlatformKind kind = PlatformKind::kAsic;
+
+    int64_t pes = 0;           ///< ASIC: #PEs (int8 MACs per cycle)
+    int64_t dsps = 0;          ///< FPGA: #DSP48 slices
+    int64_t onchip_bytes = 0;  ///< total on-chip memory budget
+    double bandwidth_gbps = 0; ///< off-chip memory bandwidth, GB/s
+    double freq_ghz = 0;       ///< nominal clock
+
+    /** int8 MACs issued per cycle at full utilization. */
+    int64_t MacsPerCycle() const;
+
+    /** Peak int8 performance in GOP/s (2 ops per MAC). */
+    double PeakGops() const;
+
+    /** Roofline ridge point: minimum CTC (OPs/B) for peak performance. */
+    double RidgeCtc() const;
+};
+
+/** Two int8 MACs fit one DSP48 with the [11] packing trick. */
+constexpr int64_t kMacsPerDsp = 2;
+/** One BRAM36K block holds 36 Kbit = 4.5 KB. */
+constexpr int64_t kBytesPerBram36 = 4608;
+
+/** Table II ASIC budget rows. */
+Platform EyerissBudget();
+Platform NvdlaSmallBudget();
+Platform NvdlaLargeBudget();
+Platform EdgeTpuBudget();
+
+/** Table II FPGA device rows. */
+Platform Zu3egBudget();
+Platform Zc7045Budget();
+Platform Ku115Budget();
+
+/** All four ASIC scenarios in the Fig. 12 order. */
+std::vector<Platform> AsicBudgets();
+/** All three FPGA devices in the Table II order. */
+std::vector<Platform> FpgaBudgets();
+
+/** Looks a budget up by name; fatal()s on unknown names. */
+Platform PlatformByName(const std::string& name);
+
+}  // namespace hw
+}  // namespace spa
+
+#endif  // SPA_HW_PLATFORM_H_

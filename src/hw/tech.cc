@@ -1,0 +1,24 @@
+#include "hw/tech.h"
+
+#include <cmath>
+
+namespace spa {
+namespace hw {
+
+double
+TechnologyModel::SramEnergyPjPerByte(double kb) const
+{
+    if (kb < 0.5)
+        kb = 0.5;
+    return sram_base_pj_per_byte * std::sqrt(kb / sram_ref_kb);
+}
+
+const TechnologyModel&
+DefaultTech()
+{
+    static const TechnologyModel kTech{};
+    return kTech;
+}
+
+}  // namespace hw
+}  // namespace spa

@@ -1,0 +1,51 @@
+#ifndef SPA_HW_TECH_H_
+#define SPA_HW_TECH_H_
+
+/**
+ * @file
+ * Technology model standing in for the paper's TSMC 28 nm synthesis
+ * flow. Per-operation energies and per-unit areas are calibrated to the
+ * public literature (Eyeriss / Horowitz ISSCC'14 energy tables scaled
+ * to 28 nm, int8 arithmetic); every experiment in the paper depends
+ * only on the *ratios* between these constants, which the calibration
+ * preserves.
+ */
+
+#include <cstdint>
+
+namespace spa {
+namespace hw {
+
+/** Energy and area constants of the implementation technology. */
+struct TechnologyModel
+{
+    // --- Energy (picojoules) ---
+    double mac_energy_pj = 0.2;          ///< one int8 MAC incl. local regs
+    double dram_energy_pj_per_byte = 40.0;  ///< LPDDR4-class access energy
+    double sram_base_pj_per_byte = 0.6;  ///< read/write at the 8 KB reference
+    double sram_ref_kb = 8.0;            ///< reference size for SRAM scaling
+    double benes_node_energy_pj_per_byte = 0.02;  ///< one 2x2 node traversal
+    double pe_mux_energy_pj = 0.004;     ///< dataflow-hybrid PE mux per MAC
+    double pe_control_energy_pj = 0.005; ///< clock/control per PE-cycle (idle too)
+    double weight_fifo_bytes = 32 * 1024; ///< PE-adjacent weight FIFO capacity
+    double weight_fifo_pj_per_byte = 0.25; ///< re-stream cost when weights fit it
+
+    // --- Area (square micrometers, 28 nm) ---
+    double pe_area_um2 = 500.0;          ///< int8 MAC + pipeline regs
+    double sram_area_um2_per_byte = 4.0;
+    double benes_node_area_um2 = 120.0;  ///< two 2-input muxes + control bits
+
+    /**
+     * SRAM access energy grows ~sqrt(capacity) (longer bit/word lines).
+     * @param kb buffer capacity in kilobytes.
+     */
+    double SramEnergyPjPerByte(double kb) const;
+};
+
+/** The default 28 nm model used across the evaluation. */
+const TechnologyModel& DefaultTech();
+
+}  // namespace hw
+}  // namespace spa
+
+#endif  // SPA_HW_TECH_H_

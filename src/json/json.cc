@@ -1,0 +1,568 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace json {
+
+bool
+Value::AsBool() const
+{
+    SPA_ASSERT(type_ == Type::kBool, "json value is not a bool");
+    return bool_;
+}
+
+double
+Value::AsDouble() const
+{
+    SPA_ASSERT(type_ == Type::kNumber, "json value is not a number");
+    return num_;
+}
+
+int64_t
+Value::AsInt() const
+{
+    SPA_ASSERT(type_ == Type::kNumber, "json value is not a number");
+    return static_cast<int64_t>(num_);
+}
+
+const std::string&
+Value::AsString() const
+{
+    SPA_ASSERT(type_ == Type::kString, "json value is not a string");
+    return str_;
+}
+
+const Array&
+Value::AsArray() const
+{
+    SPA_ASSERT(type_ == Type::kArray, "json value is not an array");
+    return arr_;
+}
+
+Array&
+Value::AsArray()
+{
+    SPA_ASSERT(type_ == Type::kArray, "json value is not an array");
+    return arr_;
+}
+
+const Object&
+Value::AsObject() const
+{
+    SPA_ASSERT(type_ == Type::kObject, "json value is not an object");
+    return obj_;
+}
+
+Object&
+Value::AsObject()
+{
+    SPA_ASSERT(type_ == Type::kObject, "json value is not an object");
+    return obj_;
+}
+
+const Value&
+Value::At(const std::string& key) const
+{
+    SPA_ASSERT(type_ == Type::kObject, "json value is not an object (key '", key, "')");
+    auto it = obj_.find(key);
+    SPA_ASSERT(it != obj_.end(), "json object missing key '", key, "'");
+    return it->second;
+}
+
+bool
+Value::Has(const std::string& key) const
+{
+    return type_ == Type::kObject && obj_.count(key) > 0;
+}
+
+int64_t
+Value::GetInt(const std::string& key, int64_t fallback) const
+{
+    return Has(key) ? At(key).AsInt() : fallback;
+}
+
+double
+Value::GetDouble(const std::string& key, double fallback) const
+{
+    return Has(key) ? At(key).AsDouble() : fallback;
+}
+
+std::string
+Value::GetString(const std::string& key, const std::string& fallback) const
+{
+    return Has(key) ? At(key).AsString() : fallback;
+}
+
+bool
+Value::GetBool(const std::string& key, bool fallback) const
+{
+    return Has(key) ? At(key).AsBool() : fallback;
+}
+
+const Value&
+Value::operator[](size_t idx) const
+{
+    SPA_ASSERT(type_ == Type::kArray, "json value is not an array");
+    SPA_ASSERT(idx < arr_.size(), "json array index ", idx, " out of range ", arr_.size());
+    return arr_[idx];
+}
+
+Value&
+Value::operator[](const std::string& key)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    SPA_ASSERT(type_ == Type::kObject, "json value is not an object");
+    return obj_[key];
+}
+
+size_t
+Value::size() const
+{
+    if (type_ == Type::kArray)
+        return arr_.size();
+    if (type_ == Type::kObject)
+        return obj_.size();
+    return 0;
+}
+
+bool
+Value::operator==(const Value& other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::kNull: return true;
+      case Type::kBool: return bool_ == other.bool_;
+      case Type::kNumber: return num_ == other.num_;
+      case Type::kString: return str_ == other.str_;
+      case Type::kArray: return arr_ == other.arr_;
+      case Type::kObject: return obj_ == other.obj_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+EscapeString(const std::string& s, std::string& out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+NumberToString(double d, std::string& out)
+{
+    // Integers are printed without a fraction so round trips look natural.
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+    }
+}
+
+void
+Indent(std::string& out, int indent, int depth)
+{
+    if (indent > 0) {
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent) * depth, ' ');
+    }
+}
+
+}  // namespace
+
+void
+Value::DumpTo(std::string& out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kNumber:
+        NumberToString(num_, out);
+        break;
+      case Type::kString:
+        EscapeString(str_, out);
+        break;
+      case Type::kArray: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto& v : arr_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            Indent(out, indent, depth + 1);
+            v.DumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            Indent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::kObject: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [k, v] : obj_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            Indent(out, indent, depth + 1);
+            EscapeString(k, out);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            v.DumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            Indent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Value::Dump() const
+{
+    std::string out;
+    DumpTo(out, 0, 0);
+    return out;
+}
+
+std::string
+Value::Pretty() const
+{
+    std::string out;
+    DumpTo(out, 2, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view into the source text. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    ParseResult
+    Run()
+    {
+        ParseResult result;
+        SkipWs();
+        if (!ParseValue(result.value)) {
+            result.ok = false;
+            result.error = error_;
+            result.error_pos = pos_;
+            return result;
+        }
+        SkipWs();
+        if (pos_ != text_.size()) {
+            result.ok = false;
+            result.error = "trailing characters after JSON value";
+            result.error_pos = pos_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool
+    Fail(const std::string& msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    SkipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    Consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    ConsumeLiteral(const char* lit)
+    {
+        size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    ParseValue(Value& out)
+    {
+        if (pos_ >= text_.size())
+            return Fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return ParseObject(out);
+          case '[': return ParseArray(out);
+          case '"': return ParseString(out);
+          case 't':
+            if (ConsumeLiteral("true")) { out = Value(true); return true; }
+            return Fail("invalid literal");
+          case 'f':
+            if (ConsumeLiteral("false")) { out = Value(false); return true; }
+            return Fail("invalid literal");
+          case 'n':
+            if (ConsumeLiteral("null")) { out = Value(nullptr); return true; }
+            return Fail("invalid literal");
+          default:
+            return ParseNumber(out);
+        }
+    }
+
+    bool
+    ParseObject(Value& out)
+    {
+        ++pos_;  // '{'
+        Object obj;
+        SkipWs();
+        if (Consume('}')) {
+            out = Value(std::move(obj));
+            return true;
+        }
+        while (true) {
+            SkipWs();
+            Value key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return Fail("expected string key in object");
+            if (!ParseString(key))
+                return false;
+            SkipWs();
+            if (!Consume(':'))
+                return Fail("expected ':' in object");
+            SkipWs();
+            Value val;
+            if (!ParseValue(val))
+                return false;
+            obj[key.AsString()] = std::move(val);
+            SkipWs();
+            if (Consume(','))
+                continue;
+            if (Consume('}'))
+                break;
+            return Fail("expected ',' or '}' in object");
+        }
+        out = Value(std::move(obj));
+        return true;
+    }
+
+    bool
+    ParseArray(Value& out)
+    {
+        ++pos_;  // '['
+        Array arr;
+        SkipWs();
+        if (Consume(']')) {
+            out = Value(std::move(arr));
+            return true;
+        }
+        while (true) {
+            SkipWs();
+            Value val;
+            if (!ParseValue(val))
+                return false;
+            arr.push_back(std::move(val));
+            SkipWs();
+            if (Consume(','))
+                continue;
+            if (Consume(']'))
+                break;
+            return Fail("expected ',' or ']' in array");
+        }
+        out = Value(std::move(arr));
+        return true;
+    }
+
+    bool
+    ParseString(Value& out)
+    {
+        ++pos_;  // '"'
+        std::string s;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"') {
+                out = Value(std::move(s));
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return Fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': s.push_back('"'); break;
+                  case '\\': s.push_back('\\'); break;
+                  case '/': s.push_back('/'); break;
+                  case 'n': s.push_back('\n'); break;
+                  case 't': s.push_back('\t'); break;
+                  case 'r': s.push_back('\r'); break;
+                  case 'b': s.push_back('\b'); break;
+                  case 'f': s.push_back('\f'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return Fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return Fail("invalid hex digit in \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (surrogates unsupported).
+                    if (code < 0x80) {
+                        s.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                  }
+                  default:
+                    return Fail("invalid escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return Fail("unescaped control character in string");
+            } else {
+                s.push_back(c);
+            }
+        }
+        return Fail("unterminated string");
+    }
+
+    bool
+    ParseNumber(Value& out)
+    {
+        size_t start = pos_;
+        if (Consume('-')) {}
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return Fail("invalid number");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return Fail("invalid number '" + tok + "'");
+        if (!std::isfinite(d))
+            return Fail("non-finite number");
+        out = Value(d);
+        return true;
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+ParseResult
+Parse(const std::string& text)
+{
+    return Parser(text).Run();
+}
+
+Value
+ParseOrDie(const std::string& text)
+{
+    ParseResult r = Parse(text);
+    if (!r.ok)
+        SPA_FATAL("json parse error at offset ", r.error_pos, ": ", r.error);
+    return std::move(r.value);
+}
+
+Value
+LoadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SPA_FATAL("cannot open json file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ParseOrDie(ss.str());
+}
+
+void
+SaveFile(const std::string& path, const Value& value)
+{
+    std::ofstream out(path);
+    if (!out)
+        SPA_FATAL("cannot write json file '", path, "'");
+    out << value.Pretty() << "\n";
+}
+
+}  // namespace json
+}  // namespace spa

@@ -1,0 +1,133 @@
+#ifndef SPA_JSON_JSON_H_
+#define SPA_JSON_JSON_H_
+
+/**
+ * @file
+ * Minimal self-contained JSON value, parser and serializer.
+ *
+ * Used by the AutoSeg frontend to read high-level DNN model descriptions
+ * and to dump design records / experiment results. Supports the full JSON
+ * grammar except \u surrogate pairs (kept as-is) and NaN/Inf (rejected).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/** Tag for the dynamic type held by a Value. */
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/**
+ * A dynamically typed JSON value.
+ *
+ * Numbers are stored as double (JSON has a single number type); integral
+ * accessors round-trip exactly for |v| < 2^53.
+ */
+class Value
+{
+  public:
+    Value() : type_(Type::kNull) {}
+    Value(std::nullptr_t) : type_(Type::kNull) {}
+    Value(bool b) : type_(Type::kBool), bool_(b) {}
+    Value(int i) : type_(Type::kNumber), num_(i) {}
+    Value(int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+    Value(double d) : type_(Type::kNumber), num_(d) {}
+    Value(const char* s) : type_(Type::kString), str_(s) {}
+    Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+    Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+    Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool IsNull() const { return type_ == Type::kNull; }
+    bool IsBool() const { return type_ == Type::kBool; }
+    bool IsNumber() const { return type_ == Type::kNumber; }
+    bool IsString() const { return type_ == Type::kString; }
+    bool IsArray() const { return type_ == Type::kArray; }
+    bool IsObject() const { return type_ == Type::kObject; }
+
+    /** Boolean content; panics on type mismatch. */
+    bool AsBool() const;
+    /** Numeric content as double; panics on type mismatch. */
+    double AsDouble() const;
+    /** Numeric content truncated to int64; panics on type mismatch. */
+    int64_t AsInt() const;
+    /** String content; panics on type mismatch. */
+    const std::string& AsString() const;
+    /** Array content; panics on type mismatch. */
+    const Array& AsArray() const;
+    Array& AsArray();
+    /** Object content; panics on type mismatch. */
+    const Object& AsObject() const;
+    Object& AsObject();
+
+    /** Object member access; panics if not an object or key missing. */
+    const Value& At(const std::string& key) const;
+    /** True if this is an object containing key. */
+    bool Has(const std::string& key) const;
+    /** Object member or fallback when absent. */
+    int64_t GetInt(const std::string& key, int64_t fallback) const;
+    double GetDouble(const std::string& key, double fallback) const;
+    std::string GetString(const std::string& key, const std::string& fallback) const;
+    bool GetBool(const std::string& key, bool fallback) const;
+
+    /** Array element access; panics if not an array or out of range. */
+    const Value& operator[](size_t idx) const;
+    /** Mutable object member access; creates the key if missing. */
+    Value& operator[](const std::string& key);
+
+    /** Number of elements (array) or members (object); 0 otherwise. */
+    size_t size() const;
+
+    /** Serializes to compact JSON text. */
+    std::string Dump() const;
+    /** Serializes with 2-space indentation. */
+    std::string Pretty() const;
+
+    bool operator==(const Value& other) const;
+
+  private:
+    void DumpTo(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** Outcome of a Parse() call: either a value or a position-tagged error. */
+struct ParseResult
+{
+    bool ok = false;
+    Value value;
+    std::string error;   ///< empty when ok
+    size_t error_pos = 0;
+};
+
+/** Parses JSON text; never throws, reports errors in the result. */
+ParseResult Parse(const std::string& text);
+
+/** Parses JSON text; fatal()s with the error message on failure. */
+Value ParseOrDie(const std::string& text);
+
+/** Reads and parses a JSON file; fatal()s on IO or parse failure. */
+Value LoadFile(const std::string& path);
+
+/** Serializes value to a file; fatal()s on IO failure. */
+void SaveFile(const std::string& path, const Value& value);
+
+}  // namespace json
+}  // namespace spa
+
+#endif  // SPA_JSON_JSON_H_

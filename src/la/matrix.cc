@@ -1,0 +1,203 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace la {
+
+Matrix
+Matrix::Identity(size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator*(const Matrix& rhs) const
+{
+    SPA_ASSERT(cols_ == rhs.rows_, "matmul dimension mismatch");
+    Matrix out(rows_, rhs.cols_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0)
+                continue;
+            for (size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += aik * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double>& v) const
+{
+    SPA_ASSERT(cols_ == v.size(), "matvec dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix& rhs) const
+{
+    SPA_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix add dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& rhs) const
+{
+    SPA_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix sub dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::Transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+double
+Matrix::FrobeniusNorm() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+bool
+Cholesky(const Matrix& a, Matrix& l, double jitter)
+{
+    SPA_ASSERT(a.rows() == a.cols(), "cholesky requires a square matrix");
+    const size_t n = a.rows();
+    l = Matrix(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            if (i == j)
+                sum += jitter;
+            for (size_t k = 0; k < j; ++k)
+                sum -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (sum <= 0.0)
+                    return false;
+                l(i, j) = std::sqrt(sum);
+            } else {
+                l(i, j) = sum / l(j, j);
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+SolveLower(const Matrix& l, const std::vector<double>& b)
+{
+    const size_t n = l.rows();
+    SPA_ASSERT(b.size() == n, "solve dimension mismatch");
+    std::vector<double> y(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= l(i, k) * y[k];
+        y[i] = sum / l(i, i);
+    }
+    return y;
+}
+
+std::vector<double>
+SolveLowerTransposed(const Matrix& l, const std::vector<double>& y)
+{
+    const size_t n = l.rows();
+    SPA_ASSERT(y.size() == n, "solve dimension mismatch");
+    std::vector<double> x(n, 0.0);
+    for (size_t ii = 0; ii < n; ++ii) {
+        const size_t i = n - 1 - ii;
+        double sum = y[i];
+        for (size_t k = i + 1; k < n; ++k)
+            sum -= l(k, i) * x[k];
+        x[i] = sum / l(i, i);
+    }
+    return x;
+}
+
+bool
+SolveLinear(Matrix a, std::vector<double> b, std::vector<double>& x)
+{
+    SPA_ASSERT(a.rows() == a.cols() && a.rows() == b.size(), "solve dimension mismatch");
+    const size_t n = a.rows();
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (size_t j = 0; j < n; ++j)
+                std::swap(a(col, j), a(pivot, j));
+            std::swap(b[col], b[pivot]);
+        }
+        for (size_t r = col + 1; r < n; ++r) {
+            const double f = a(r, col) / a(col, col);
+            if (f == 0.0)
+                continue;
+            for (size_t j = col; j < n; ++j)
+                a(r, j) -= f * a(col, j);
+            b[r] -= f * b[col];
+        }
+    }
+    x.assign(n, 0.0);
+    for (size_t ii = 0; ii < n; ++ii) {
+        const size_t i = n - 1 - ii;
+        double sum = b[i];
+        for (size_t j = i + 1; j < n; ++j)
+            sum -= a(i, j) * x[j];
+        x[i] = sum / a(i, i);
+    }
+    return true;
+}
+
+double
+Dot(const std::vector<double>& a, const std::vector<double>& b)
+{
+    SPA_ASSERT(a.size() == b.size(), "dot dimension mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+}  // namespace la
+}  // namespace spa

@@ -1,0 +1,84 @@
+#ifndef SPA_LA_MATRIX_H_
+#define SPA_LA_MATRIX_H_
+
+/**
+ * @file
+ * Small dense linear algebra: row-major Matrix, Cholesky factorization,
+ * triangular and general solves, Gaussian elimination with partial
+ * pivoting. Sized for the Gaussian-process optimizer (a few hundred
+ * rows) and the simplex LP core — not a BLAS replacement.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace spa {
+namespace la {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    /** Identity matrix of order n. */
+    static Matrix Identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Matrix product; panics on dimension mismatch. */
+    Matrix operator*(const Matrix& rhs) const;
+    /** Matrix-vector product; panics on dimension mismatch. */
+    std::vector<double> operator*(const std::vector<double>& v) const;
+    /** Elementwise sum; panics on dimension mismatch. */
+    Matrix operator+(const Matrix& rhs) const;
+    /** Elementwise difference; panics on dimension mismatch. */
+    Matrix operator-(const Matrix& rhs) const;
+    /** Transposed copy. */
+    Matrix Transposed() const;
+
+    /** Frobenius norm. */
+    double FrobeniusNorm() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+ *
+ * Adds `jitter` to the diagonal before factorizing (GP kernels are often
+ * near-singular). Returns false if the matrix is not positive definite
+ * even with the jitter.
+ */
+bool Cholesky(const Matrix& a, Matrix& l, double jitter = 0.0);
+
+/** Solves L y = b for lower-triangular L (forward substitution). */
+std::vector<double> SolveLower(const Matrix& l, const std::vector<double>& b);
+
+/** Solves L^T x = y for lower-triangular L (backward substitution). */
+std::vector<double> SolveLowerTransposed(const Matrix& l, const std::vector<double>& y);
+
+/**
+ * Solves A x = b via Gaussian elimination with partial pivoting.
+ * Returns false when A is singular to working precision.
+ */
+bool SolveLinear(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+/** Dot product; panics on length mismatch. */
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace la
+}  // namespace spa
+
+#endif  // SPA_LA_MATRIX_H_

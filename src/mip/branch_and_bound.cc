@@ -1,0 +1,188 @@
+#include "mip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "mip/simplex.h"
+
+namespace spa {
+namespace mip {
+
+namespace {
+
+/** Index of the most fractional integral variable, or -1 if integral. */
+int
+MostFractional(const Problem& p, const std::vector<double>& x, double tol)
+{
+    int best = -1;
+    double best_dist = tol;
+    for (int j = 0; j < p.NumVars(); ++j) {
+        if (!p.integral(j))
+            continue;
+        const double v = x[static_cast<size_t>(j)];
+        const double frac = v - std::floor(v);
+        const double dist = std::min(frac, 1.0 - frac);
+        if (dist > best_dist) {
+            best_dist = dist;
+            best = j;
+        }
+    }
+    return best;
+}
+
+/** Tries rounding the relaxation to a feasible integral point. */
+bool
+TryRounding(const Problem& p, const std::vector<double>& x, std::vector<double>& out)
+{
+    out = x;
+    for (int j = 0; j < p.NumVars(); ++j)
+        if (p.integral(j))
+            out[static_cast<size_t>(j)] = std::round(out[static_cast<size_t>(j)]);
+    return p.IsFeasible(out);
+}
+
+struct Search
+{
+    const MipOptions& options;
+    Problem working;  // bounds mutated along the DFS
+    Solution best;
+    bool have_incumbent = false;
+    int64_t nodes = 0;
+    bool budget_hit = false;
+
+    void
+    Dfs()
+    {
+        if (nodes >= options.max_nodes) {
+            budget_hit = true;
+            return;
+        }
+        ++nodes;
+        Solution relax = SolveLp(working);
+        if (relax.status == SolveStatus::kInfeasible)
+            return;
+        if (relax.status == SolveStatus::kLimit) {
+            // The relaxation could not be solved within budget: abandon
+            // the whole search rather than risk a wrong bound.
+            budget_hit = true;
+            return;
+        }
+        if (relax.status == SolveStatus::kUnbounded) {
+            // Unbounded relaxation of a node: treat as no useful bound;
+            // only sensible at the root of genuinely unbounded MIPs.
+            best.status = SolveStatus::kUnbounded;
+            budget_hit = true;
+            return;
+        }
+        if (have_incumbent && relax.objective >= best.objective - options.gap_tol)
+            return;  // bound prune
+        const int branch_var = MostFractional(working, relax.x,
+                                              options.integrality_tol);
+        if (branch_var < 0) {
+            // Integral solution.
+            if (!have_incumbent || relax.objective < best.objective) {
+                best = relax;
+                best.status = SolveStatus::kOptimal;
+                have_incumbent = true;
+            }
+            return;
+        }
+        // Rounding heuristic to tighten the incumbent early.
+        std::vector<double> rounded;
+        if (!have_incumbent && TryRounding(working, relax.x, rounded)) {
+            best.x = rounded;
+            best.objective = working.Evaluate(rounded);
+            best.status = SolveStatus::kOptimal;
+            have_incumbent = true;
+        }
+        const double v = relax.x[static_cast<size_t>(branch_var)];
+        const double lo = working.lo(branch_var);
+        const double hi = working.hi(branch_var);
+        const double floor_v = std::floor(v);
+        // Explore the closer child first.
+        const bool down_first = (v - floor_v) <= 0.5;
+        for (int child = 0; child < 2; ++child) {
+            const bool down = (child == 0) == down_first;
+            if (down) {
+                if (floor_v < lo - 1e-12)
+                    continue;
+                working.SetBounds(branch_var, lo, floor_v);
+            } else {
+                if (floor_v + 1.0 > hi + 1e-12)
+                    continue;
+                working.SetBounds(branch_var, floor_v + 1.0, hi);
+            }
+            Dfs();
+            working.SetBounds(branch_var, lo, hi);
+            if (budget_hit)
+                return;
+        }
+    }
+};
+
+}  // namespace
+
+double
+Problem::Evaluate(const std::vector<double>& x) const
+{
+    SPA_ASSERT(static_cast<int>(x.size()) == NumVars(), "point size mismatch");
+    double v = 0.0;
+    for (int j = 0; j < NumVars(); ++j)
+        v += obj(j) * x[static_cast<size_t>(j)];
+    return v;
+}
+
+bool
+Problem::IsFeasible(const std::vector<double>& x, double tol) const
+{
+    if (static_cast<int>(x.size()) != NumVars())
+        return false;
+    for (int j = 0; j < NumVars(); ++j) {
+        const double v = x[static_cast<size_t>(j)];
+        if (v < lo(j) - tol || v > hi(j) + tol)
+            return false;
+        if (integral(j) && std::fabs(v - std::round(v)) > tol)
+            return false;
+    }
+    for (const Row& r : rows_) {
+        double lhs = 0.0;
+        for (const auto& [j, a] : r.terms)
+            lhs += a * x[static_cast<size_t>(j)];
+        switch (r.sense) {
+          case Sense::kLe:
+            if (lhs > r.rhs + tol)
+                return false;
+            break;
+          case Sense::kGe:
+            if (lhs < r.rhs - tol)
+                return false;
+            break;
+          case Sense::kEq:
+            if (std::fabs(lhs - r.rhs) > tol)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+Solution
+SolveMip(const Problem& p, const MipOptions& options)
+{
+    Search search{options, p, Solution{}, false, 0, false};
+    search.Dfs();
+    Solution result = search.best;
+    result.nodes = search.nodes;
+    if (!search.have_incumbent) {
+        if (result.status != SolveStatus::kUnbounded)
+            result.status = search.budget_hit ? SolveStatus::kLimit
+                                              : SolveStatus::kInfeasible;
+    } else if (search.budget_hit) {
+        result.status = SolveStatus::kLimit;  // incumbent without proof
+    }
+    return result;
+}
+
+}  // namespace mip
+}  // namespace spa

@@ -1,0 +1,32 @@
+#ifndef SPA_MIP_BRANCH_AND_BOUND_H_
+#define SPA_MIP_BRANCH_AND_BOUND_H_
+
+/**
+ * @file
+ * Branch-and-bound MIP solver over the simplex LP relaxation. Branches
+ * on the most fractional integral variable, explores depth-first
+ * (round-toward-incumbent child first) and prunes by LP bound. A node
+ * budget keeps runtime deterministic; when it is exhausted the best
+ * incumbent is returned with status kLimit.
+ */
+
+#include "mip/problem.h"
+
+namespace spa {
+namespace mip {
+
+/** Solver knobs. */
+struct MipOptions
+{
+    int64_t max_nodes = 200000;
+    double integrality_tol = 1e-6;
+    double gap_tol = 1e-9;  ///< stop when bound and incumbent meet
+};
+
+/** Solves the MIP; status kOptimal requires proof within the budget. */
+Solution SolveMip(const Problem& p, const MipOptions& options = MipOptions());
+
+}  // namespace mip
+}  // namespace spa
+
+#endif  // SPA_MIP_BRANCH_AND_BOUND_H_

@@ -1,0 +1,129 @@
+#ifndef SPA_MIP_PROBLEM_H_
+#define SPA_MIP_PROBLEM_H_
+
+/**
+ * @file
+ * Mixed-integer program description shared by the simplex core and the
+ * branch-and-bound driver. This module stands in for the Gurobi solver
+ * the paper uses for model segmentation (Sec. V-A).
+ *
+ * Problems are minimization over variables with finite lower bounds:
+ *     min c^T x   s.t.  each row: sum(a_j x_j) {<=,>=,=} b,
+ *                       lo <= x <= hi (hi may be +inf),
+ *                       x_j integral for marked variables.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace mip {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Row sense. */
+enum class Sense { kLe, kGe, kEq };
+
+/** One sparse constraint row. */
+struct Row
+{
+    std::vector<std::pair<int, double>> terms;  ///< (variable, coefficient)
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+    std::string name;  ///< for diagnostics
+};
+
+/** The full problem. */
+class Problem
+{
+  public:
+    /** Adds a variable; returns its index. */
+    int
+    AddVariable(double lo, double hi, double obj, bool integral = false,
+                const std::string& name = "")
+    {
+        lo_.push_back(lo);
+        hi_.push_back(hi);
+        obj_.push_back(obj);
+        integral_.push_back(integral);
+        names_.push_back(name);
+        return static_cast<int>(lo_.size()) - 1;
+    }
+
+    /** Adds a binary 0/1 variable. */
+    int
+    AddBinary(double obj, const std::string& name = "")
+    {
+        return AddVariable(0.0, 1.0, obj, true, name);
+    }
+
+    /** Adds a constraint row. */
+    void
+    AddRow(Row row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    /** Convenience: sum(terms) sense rhs. */
+    void
+    AddConstraint(std::vector<std::pair<int, double>> terms, Sense sense, double rhs,
+                  const std::string& name = "")
+    {
+        Row r;
+        r.terms = std::move(terms);
+        r.sense = sense;
+        r.rhs = rhs;
+        r.name = name;
+        rows_.push_back(std::move(r));
+    }
+
+    int NumVars() const { return static_cast<int>(lo_.size()); }
+    int NumRows() const { return static_cast<int>(rows_.size()); }
+    const std::vector<Row>& rows() const { return rows_; }
+    double lo(int j) const { return lo_[static_cast<size_t>(j)]; }
+    double hi(int j) const { return hi_[static_cast<size_t>(j)]; }
+    double obj(int j) const { return obj_[static_cast<size_t>(j)]; }
+    bool integral(int j) const { return integral_[static_cast<size_t>(j)]; }
+    const std::string& name(int j) const { return names_[static_cast<size_t>(j)]; }
+
+    /** Overrides a variable's bounds (used by branch-and-bound). */
+    void
+    SetBounds(int j, double lo, double hi)
+    {
+        lo_[static_cast<size_t>(j)] = lo;
+        hi_[static_cast<size_t>(j)] = hi;
+    }
+
+    /** Objective value of a point. */
+    double Evaluate(const std::vector<double>& x) const;
+
+    /** True when x satisfies all rows and bounds within tolerance. */
+    bool IsFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  private:
+    std::vector<double> lo_, hi_, obj_;
+    std::vector<bool> integral_;
+    std::vector<std::string> names_;
+    std::vector<Row> rows_;
+};
+
+/** Solver outcome classification. */
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+
+/** LP / MIP result. */
+struct Solution
+{
+    SolveStatus status = SolveStatus::kInfeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+    int64_t nodes = 0;  ///< branch-and-bound nodes explored
+
+    bool ok() const { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace mip
+}  // namespace spa
+
+#endif  // SPA_MIP_PROBLEM_H_

@@ -1,0 +1,343 @@
+#include "mip/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace mip {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense tableau for phase-1/phase-2 simplex over the standard form
+ * min c'y, Ay = b, y >= 0 obtained from the user problem by
+ *  - shifting x by its finite lower bound,
+ *  - adding explicit upper-bound rows,
+ *  - adding slack / surplus / artificial columns.
+ */
+class Tableau
+{
+  public:
+    explicit Tableau(const Problem& p) : p_(p) {}
+
+    Solution
+    Solve()
+    {
+        Build();
+        // Phase 1: minimize artificial sum.
+        if (num_artificials_ > 0) {
+            SetPhase1Objective();
+            const SolveStatus p1 = Iterate();
+            if (p1 == SolveStatus::kLimit)
+                return Finish(SolveStatus::kLimit);
+            if (ObjectiveValue() > 1e-7)
+                return Finish(SolveStatus::kInfeasible);
+            PinArtificials();
+        }
+        SetPhase2Objective();
+        const SolveStatus p2 = Iterate();
+        if (p2 != SolveStatus::kOptimal)
+            return Finish(p2);
+        return Finish(SolveStatus::kOptimal);
+    }
+
+  private:
+    void
+    Build()
+    {
+        const int n = p_.NumVars();
+        // Count rows: user rows + finite upper bounds.
+        struct NormRow
+        {
+            std::vector<double> coef;  // dense over structural vars
+            Sense sense;
+            double rhs;
+        };
+        std::vector<NormRow> norm;
+        for (const Row& r : p_.rows()) {
+            NormRow nr;
+            nr.coef.assign(static_cast<size_t>(n), 0.0);
+            for (const auto& [j, a] : r.terms)
+                nr.coef[static_cast<size_t>(j)] += a;
+            nr.sense = r.sense;
+            // Shift by lower bounds: b' = b - A*lo.
+            double shift = 0.0;
+            for (int j = 0; j < n; ++j)
+                shift += nr.coef[static_cast<size_t>(j)] * p_.lo(j);
+            nr.rhs = r.rhs - shift;
+            norm.push_back(std::move(nr));
+        }
+        for (int j = 0; j < n; ++j) {
+            if (p_.hi(j) < kInf) {
+                NormRow nr;
+                nr.coef.assign(static_cast<size_t>(n), 0.0);
+                nr.coef[static_cast<size_t>(j)] = 1.0;
+                nr.sense = Sense::kLe;
+                nr.rhs = p_.hi(j) - p_.lo(j);
+                norm.push_back(std::move(nr));
+            }
+        }
+        // Make all rhs >= 0.
+        for (auto& nr : norm) {
+            if (nr.rhs < 0.0) {
+                for (double& c : nr.coef)
+                    c = -c;
+                nr.rhs = -nr.rhs;
+                nr.sense = nr.sense == Sense::kLe
+                               ? Sense::kGe
+                               : (nr.sense == Sense::kGe ? Sense::kLe : Sense::kEq);
+            }
+        }
+        m_ = static_cast<int>(norm.size());
+        // Column layout: [structural n][slack/surplus][artificials].
+        int num_slack = 0;
+        for (const auto& nr : norm)
+            num_slack += nr.sense != Sense::kEq;
+        num_artificials_ = 0;
+        for (const auto& nr : norm)
+            num_artificials_ += nr.sense != Sense::kLe;
+        total_cols_ = n + num_slack + num_artificials_;
+        a_.assign(static_cast<size_t>(m_),
+                  std::vector<double>(static_cast<size_t>(total_cols_), 0.0));
+        b_.assign(static_cast<size_t>(m_), 0.0);
+        basis_.assign(static_cast<size_t>(m_), -1);
+        artificial_start_ = n + num_slack;
+
+        int slack_idx = n;
+        int art_idx = artificial_start_;
+        for (int i = 0; i < m_; ++i) {
+            const auto& nr = norm[static_cast<size_t>(i)];
+            for (int j = 0; j < n; ++j)
+                a_[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                    nr.coef[static_cast<size_t>(j)];
+            b_[static_cast<size_t>(i)] = nr.rhs;
+            switch (nr.sense) {
+              case Sense::kLe:
+                a_[static_cast<size_t>(i)][static_cast<size_t>(slack_idx)] = 1.0;
+                basis_[static_cast<size_t>(i)] = slack_idx++;
+                break;
+              case Sense::kGe:
+                a_[static_cast<size_t>(i)][static_cast<size_t>(slack_idx)] = -1.0;
+                ++slack_idx;
+                a_[static_cast<size_t>(i)][static_cast<size_t>(art_idx)] = 1.0;
+                basis_[static_cast<size_t>(i)] = art_idx++;
+                break;
+              case Sense::kEq:
+                a_[static_cast<size_t>(i)][static_cast<size_t>(art_idx)] = 1.0;
+                basis_[static_cast<size_t>(i)] = art_idx++;
+                break;
+            }
+        }
+        obj_row_.assign(static_cast<size_t>(total_cols_), 0.0);
+        obj_rhs_ = 0.0;
+    }
+
+    void
+    SetPhase1Objective()
+    {
+        // min sum(artificials): reduced costs start as -(sum of rows
+        // containing each artificial's basis).
+        std::fill(obj_row_.begin(), obj_row_.end(), 0.0);
+        obj_rhs_ = 0.0;
+        for (int j = artificial_start_; j < total_cols_; ++j)
+            obj_row_[static_cast<size_t>(j)] = 1.0;
+        // Price out basic artificials.
+        for (int i = 0; i < m_; ++i) {
+            if (basis_[static_cast<size_t>(i)] >= artificial_start_) {
+                for (int j = 0; j < total_cols_; ++j)
+                    obj_row_[static_cast<size_t>(j)] -=
+                        a_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+                obj_rhs_ -= b_[static_cast<size_t>(i)];
+            }
+        }
+        phase1_ = true;
+    }
+
+    void
+    PinArtificials()
+    {
+        // Drive basic artificials (at value 0) out of the basis when a
+        // structural pivot exists; otherwise the row is redundant.
+        for (int i = 0; i < m_; ++i) {
+            if (basis_[static_cast<size_t>(i)] < artificial_start_)
+                continue;
+            for (int j = 0; j < artificial_start_; ++j) {
+                if (std::fabs(a_[static_cast<size_t>(i)][static_cast<size_t>(j)]) >
+                    1e-7) {
+                    Pivot(i, j);
+                    break;
+                }
+            }
+        }
+        pinned_ = true;
+    }
+
+    void
+    SetPhase2Objective()
+    {
+        std::fill(obj_row_.begin(), obj_row_.end(), 0.0);
+        obj_rhs_ = 0.0;
+        for (int j = 0; j < p_.NumVars(); ++j)
+            obj_row_[static_cast<size_t>(j)] = p_.obj(j);
+        // Price out the current basis.
+        for (int i = 0; i < m_; ++i) {
+            const int bj = basis_[static_cast<size_t>(i)];
+            const double cb = obj_row_[static_cast<size_t>(bj)];
+            if (std::fabs(cb) > 0.0) {
+                for (int j = 0; j < total_cols_; ++j)
+                    obj_row_[static_cast<size_t>(j)] -=
+                        cb * a_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+                obj_rhs_ -= cb * b_[static_cast<size_t>(i)];
+            }
+        }
+        phase1_ = false;
+    }
+
+    double ObjectiveValue() const { return -obj_rhs_; }
+
+    bool
+    ColumnAllowed(int j) const
+    {
+        // After phase 1, artificials may not re-enter.
+        if (!phase1_ && pinned_ && j >= artificial_start_)
+            return false;
+        return true;
+    }
+
+    /**
+     * Simplex loop: Dantzig pricing for speed, switching to Bland's
+     * rule after a degenerate stall so termination is guaranteed.
+     * @return kOptimal, kUnbounded, or kLimit on budget exhaustion.
+     */
+    SolveStatus
+    Iterate()
+    {
+        const int64_t max_iters = 20000 + 200LL * (total_cols_ + m_);
+        int64_t degenerate_run = 0;
+        for (int64_t iter = 0; iter < max_iters; ++iter) {
+            const bool bland = degenerate_run > 2 * (m_ + 1);
+            int enter = -1;
+            if (bland) {
+                for (int j = 0; j < total_cols_; ++j) {
+                    if (!ColumnAllowed(j))
+                        continue;
+                    if (obj_row_[static_cast<size_t>(j)] < -kEps) {
+                        enter = j;
+                        break;
+                    }
+                }
+            } else {
+                double most_negative = -kEps;
+                for (int j = 0; j < total_cols_; ++j) {
+                    if (!ColumnAllowed(j))
+                        continue;
+                    if (obj_row_[static_cast<size_t>(j)] < most_negative) {
+                        most_negative = obj_row_[static_cast<size_t>(j)];
+                        enter = j;
+                    }
+                }
+            }
+            if (enter < 0)
+                return SolveStatus::kOptimal;
+            // Leaving row: min ratio, ties by smallest basis index.
+            int leave = -1;
+            double best_ratio = 0.0;
+            for (int i = 0; i < m_; ++i) {
+                const double aij = a_[static_cast<size_t>(i)][static_cast<size_t>(enter)];
+                if (aij > kEps) {
+                    const double ratio = b_[static_cast<size_t>(i)] / aij;
+                    if (leave < 0 || ratio < best_ratio - kEps ||
+                        (ratio < best_ratio + kEps &&
+                         basis_[static_cast<size_t>(i)] <
+                             basis_[static_cast<size_t>(leave)])) {
+                        leave = i;
+                        best_ratio = ratio;
+                    }
+                }
+            }
+            if (leave < 0)
+                return SolveStatus::kUnbounded;
+            degenerate_run = (best_ratio < kEps) ? degenerate_run + 1 : 0;
+            Pivot(leave, enter);
+        }
+        return SolveStatus::kLimit;
+    }
+
+    void
+    Pivot(int row, int col)
+    {
+        const double piv = a_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+        SPA_ASSERT(std::fabs(piv) > 1e-12, "pivot on a zero element");
+        for (int j = 0; j < total_cols_; ++j)
+            a_[static_cast<size_t>(row)][static_cast<size_t>(j)] /= piv;
+        b_[static_cast<size_t>(row)] /= piv;
+        for (int i = 0; i < m_; ++i) {
+            if (i == row)
+                continue;
+            const double f = a_[static_cast<size_t>(i)][static_cast<size_t>(col)];
+            if (std::fabs(f) < 1e-13)
+                continue;
+            for (int j = 0; j < total_cols_; ++j)
+                a_[static_cast<size_t>(i)][static_cast<size_t>(j)] -=
+                    f * a_[static_cast<size_t>(row)][static_cast<size_t>(j)];
+            b_[static_cast<size_t>(i)] -= f * b_[static_cast<size_t>(row)];
+        }
+        const double fo = obj_row_[static_cast<size_t>(col)];
+        if (std::fabs(fo) > 0.0) {
+            for (int j = 0; j < total_cols_; ++j)
+                obj_row_[static_cast<size_t>(j)] -=
+                    fo * a_[static_cast<size_t>(row)][static_cast<size_t>(j)];
+            obj_rhs_ -= fo * b_[static_cast<size_t>(row)];
+        }
+        basis_[static_cast<size_t>(row)] = col;
+    }
+
+    Solution
+    Finish(SolveStatus status)
+    {
+        Solution sol;
+        sol.status = status;
+        if (status != SolveStatus::kOptimal)
+            return sol;
+        std::vector<double> y(static_cast<size_t>(total_cols_), 0.0);
+        for (int i = 0; i < m_; ++i)
+            y[static_cast<size_t>(basis_[static_cast<size_t>(i)])] =
+                b_[static_cast<size_t>(i)];
+        sol.x.resize(static_cast<size_t>(p_.NumVars()));
+        for (int j = 0; j < p_.NumVars(); ++j)
+            sol.x[static_cast<size_t>(j)] = y[static_cast<size_t>(j)] + p_.lo(j);
+        sol.objective = p_.Evaluate(sol.x);
+        return sol;
+    }
+
+    const Problem& p_;
+    int m_ = 0;
+    int total_cols_ = 0;
+    int num_artificials_ = 0;
+    int artificial_start_ = 0;
+    bool phase1_ = false;
+    bool pinned_ = false;
+    std::vector<std::vector<double>> a_;
+    std::vector<double> b_;
+    std::vector<int> basis_;
+    std::vector<double> obj_row_;
+    double obj_rhs_ = 0.0;
+};
+
+}  // namespace
+
+Solution
+SolveLp(const Problem& p)
+{
+    for (int j = 0; j < p.NumVars(); ++j)
+        SPA_ASSERT(p.lo(j) > -kInf, "simplex requires finite lower bounds (var ", j,
+                   ")");
+    return Tableau(p).Solve();
+}
+
+}  // namespace mip
+}  // namespace spa

@@ -1,0 +1,23 @@
+#ifndef SPA_MIP_SIMPLEX_H_
+#define SPA_MIP_SIMPLEX_H_
+
+/**
+ * @file
+ * Two-phase dense tableau simplex for the LP relaxations inside the
+ * branch-and-bound MIP solver. Bland's anti-cycling rule keeps it
+ * finite; the dense tableau is appropriate for the few-hundred-variable
+ * relaxations the segmentation formulations produce.
+ */
+
+#include "mip/problem.h"
+
+namespace spa {
+namespace mip {
+
+/** Solves the LP relaxation of `p` (integrality ignored). */
+Solution SolveLp(const Problem& p);
+
+}  // namespace mip
+}  // namespace spa
+
+#endif  // SPA_MIP_SIMPLEX_H_

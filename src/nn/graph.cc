@@ -1,0 +1,236 @@
+#include "nn/graph.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+int64_t
+OutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    SPA_ASSERT(out > 0, "non-positive spatial output dim (in=", in, " k=", kernel,
+               " s=", stride, " p=", pad, ")");
+    return out;
+}
+
+}  // namespace
+
+LayerId
+Graph::Append(const std::string& name, LayerType type, LayerParams params,
+              std::vector<LayerId> inputs, Shape out_shape)
+{
+    SPA_ASSERT(by_name_.find(name) == by_name_.end(), "duplicate layer name '", name, "'");
+    const LayerId id = static_cast<LayerId>(layers_.size());
+    std::vector<Shape> in_shapes;
+    for (LayerId in : inputs) {
+        SPA_ASSERT(in >= 0 && in < id, "layer '", name, "' references invalid input ", in);
+        in_shapes.push_back(layers_[static_cast<size_t>(in)].out_shape());
+    }
+    layers_.emplace_back(id, name, type, params, std::move(inputs), std::move(in_shapes),
+                         out_shape);
+    by_name_[name] = id;
+    return id;
+}
+
+Shape
+Graph::InShape(LayerId id) const
+{
+    return layers_.at(static_cast<size_t>(id)).out_shape();
+}
+
+LayerId
+Graph::AddInput(const std::string& name, Shape shape)
+{
+    return Append(name, LayerType::kInput, LayerParams{}, {}, shape);
+}
+
+LayerId
+Graph::AddConv(const std::string& name, LayerId input, int64_t out_channels,
+               int64_t kernel, int64_t stride, int64_t pad, int64_t groups)
+{
+    if (pad < 0)
+        pad = kernel / 2;  // "same"-style default
+    const Shape in = InShape(input);
+    SPA_ASSERT(in.c % groups == 0 && out_channels % groups == 0,
+               "conv '", name, "': channels not divisible by groups");
+    Shape out{out_channels, OutDim(in.h, kernel, stride, pad),
+              OutDim(in.w, kernel, stride, pad)};
+    LayerParams p;
+    p.out_channels = out_channels;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.pad = pad;
+    p.groups = groups;
+    return Append(name, LayerType::kConv, p, {input}, out);
+}
+
+LayerId
+Graph::AddDepthwiseConv(const std::string& name, LayerId input, int64_t kernel,
+                        int64_t stride, int64_t pad)
+{
+    const Shape in = InShape(input);
+    return AddConv(name, input, in.c, kernel, stride, pad, in.c);
+}
+
+LayerId
+Graph::AddPointwiseConv(const std::string& name, LayerId input, int64_t out_channels)
+{
+    return AddConv(name, input, out_channels, 1, 1, 0, 1);
+}
+
+LayerId
+Graph::AddFullyConnected(const std::string& name, LayerId input, int64_t out_features)
+{
+    LayerParams p;
+    p.out_channels = out_features;
+    return Append(name, LayerType::kFullyConnected, p, {input},
+                  Shape{out_features, 1, 1});
+}
+
+LayerId
+Graph::AddMaxPool(const std::string& name, LayerId input, int64_t kernel,
+                  int64_t stride, int64_t pad)
+{
+    if (stride < 0)
+        stride = kernel;
+    const Shape in = InShape(input);
+    Shape out{in.c, OutDim(in.h, kernel, stride, pad), OutDim(in.w, kernel, stride, pad)};
+    LayerParams p;
+    p.out_channels = in.c;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.pad = pad;
+    return Append(name, LayerType::kMaxPool, p, {input}, out);
+}
+
+LayerId
+Graph::AddAvgPool(const std::string& name, LayerId input, int64_t kernel,
+                  int64_t stride, int64_t pad)
+{
+    if (stride < 0)
+        stride = kernel;
+    const Shape in = InShape(input);
+    Shape out{in.c, OutDim(in.h, kernel, stride, pad), OutDim(in.w, kernel, stride, pad)};
+    LayerParams p;
+    p.out_channels = in.c;
+    p.kernel = kernel;
+    p.stride = stride;
+    p.pad = pad;
+    return Append(name, LayerType::kAvgPool, p, {input}, out);
+}
+
+LayerId
+Graph::AddGlobalAvgPool(const std::string& name, LayerId input)
+{
+    const Shape in = InShape(input);
+    LayerParams p;
+    p.out_channels = in.c;
+    p.kernel = in.h;
+    p.stride = in.h;
+    return Append(name, LayerType::kGlobalAvgPool, p, {input}, Shape{in.c, 1, 1});
+}
+
+LayerId
+Graph::AddAdd(const std::string& name, LayerId a, LayerId b)
+{
+    const Shape sa = InShape(a);
+    const Shape sb = InShape(b);
+    SPA_ASSERT(sa == sb, "add '", name, "': shape mismatch ", sa.ToString(), " vs ",
+               sb.ToString());
+    LayerParams p;
+    p.out_channels = sa.c;
+    return Append(name, LayerType::kAdd, p, {a, b}, sa);
+}
+
+LayerId
+Graph::AddConcat(const std::string& name, const std::vector<LayerId>& inputs)
+{
+    SPA_ASSERT(!inputs.empty(), "concat '", name, "' needs inputs");
+    Shape first = InShape(inputs[0]);
+    int64_t channels = 0;
+    for (LayerId in : inputs) {
+        const Shape s = InShape(in);
+        SPA_ASSERT(s.h == first.h && s.w == first.w,
+                   "concat '", name, "': spatial mismatch");
+        channels += s.c;
+    }
+    LayerParams p;
+    p.out_channels = channels;
+    return Append(name, LayerType::kConcat, p, inputs, Shape{channels, first.h, first.w});
+}
+
+LayerId
+Graph::FindLayer(const std::string& name) const
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        SPA_FATAL("graph '", name_, "' has no layer named '", name, "'");
+    return it->second;
+}
+
+std::vector<LayerId>
+Graph::ComputeLayerIds() const
+{
+    std::vector<LayerId> out;
+    for (const auto& l : layers_)
+        if (l.IsCompute())
+            out.push_back(l.id());
+    return out;
+}
+
+std::vector<std::vector<LayerId>>
+Graph::BuildConsumers() const
+{
+    std::vector<std::vector<LayerId>> consumers(layers_.size());
+    for (const auto& l : layers_)
+        for (LayerId in : l.inputs())
+            consumers[static_cast<size_t>(in)].push_back(l.id());
+    return consumers;
+}
+
+int64_t
+Graph::TotalMacs() const
+{
+    int64_t total = 0;
+    for (const auto& l : layers_)
+        total += l.Macs();
+    return total;
+}
+
+int64_t
+Graph::TotalWeightElems() const
+{
+    int64_t total = 0;
+    for (const auto& l : layers_)
+        total += l.WeightElems();
+    return total;
+}
+
+void
+Graph::Validate() const
+{
+    SPA_ASSERT(!layers_.empty(), "graph '", name_, "' is empty");
+    SPA_ASSERT(layers_[0].type() == LayerType::kInput,
+               "graph '", name_, "' must start with an input layer");
+    // Compute layers without consumers are graph outputs (multi-output
+    // models are legal); dangling *glue* layers indicate a build bug.
+    auto consumers = BuildConsumers();
+    for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+        const auto& l = layers_[i];
+        const bool glue = !l.IsCompute() && l.type() != LayerType::kInput;
+        if (glue && consumers[i].empty() &&
+            (l.type() == LayerType::kAdd || l.type() == LayerType::kConcat)) {
+            SPA_WARN("dangling glue layer '", l.name(), "'");
+        }
+    }
+    for (const auto& l : layers_) {
+        if (l.type() != LayerType::kInput)
+            SPA_ASSERT(!l.inputs().empty(), "layer '", l.name(), "' has no inputs");
+    }
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,103 @@
+#ifndef SPA_NN_GRAPH_H_
+#define SPA_NN_GRAPH_H_
+
+/**
+ * @file
+ * The DNN model DAG G = (L, E) of the paper (Sec. III). Nodes are
+ * layers, edges are data dependencies. Shapes are inferred as layers
+ * are appended; inputs must precede consumers, so insertion order is a
+ * topological order by construction.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace spa {
+namespace nn {
+
+/** Directed acyclic model graph with insertion-order topology. */
+class Graph
+{
+  public:
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    /** Appends the graph input placeholder; must be the only input used. */
+    LayerId AddInput(const std::string& name, Shape shape);
+
+    /**
+     * Appends a convolution.
+     * @param groups 1 for dense conv, in-channels for depthwise.
+     */
+    LayerId AddConv(const std::string& name, LayerId input, int64_t out_channels,
+                    int64_t kernel, int64_t stride = 1, int64_t pad = -1,
+                    int64_t groups = 1);
+
+    /** Appends a depthwise convolution (groups = input channels). */
+    LayerId AddDepthwiseConv(const std::string& name, LayerId input, int64_t kernel,
+                             int64_t stride = 1, int64_t pad = -1);
+
+    /** Appends a pointwise (1x1) convolution. */
+    LayerId AddPointwiseConv(const std::string& name, LayerId input, int64_t out_channels);
+
+    /** Appends a dense layer over the flattened input. */
+    LayerId AddFullyConnected(const std::string& name, LayerId input, int64_t out_features);
+
+    /** Appends a max pooling layer. */
+    LayerId AddMaxPool(const std::string& name, LayerId input, int64_t kernel,
+                       int64_t stride = -1, int64_t pad = 0);
+
+    /** Appends an average pooling layer. */
+    LayerId AddAvgPool(const std::string& name, LayerId input, int64_t kernel,
+                       int64_t stride = -1, int64_t pad = 0);
+
+    /** Appends a global average pooling layer (output HxW = 1x1). */
+    LayerId AddGlobalAvgPool(const std::string& name, LayerId input);
+
+    /** Appends an elementwise residual add; shapes must match. */
+    LayerId AddAdd(const std::string& name, LayerId a, LayerId b);
+
+    /** Appends a channel concatenation; H and W must match. */
+    LayerId AddConcat(const std::string& name, const std::vector<LayerId>& inputs);
+
+    const std::vector<Layer>& layers() const { return layers_; }
+    const Layer& layer(LayerId id) const { return layers_.at(static_cast<size_t>(id)); }
+    size_t size() const { return layers_.size(); }
+
+    /** Layer id by unique name; fatal()s when absent. */
+    LayerId FindLayer(const std::string& name) const;
+
+    /** Ids of the compute layers (conv / fc) in topological order. */
+    std::vector<LayerId> ComputeLayerIds() const;
+
+    /** Consumers of each layer (reverse adjacency). */
+    std::vector<std::vector<LayerId>> BuildConsumers() const;
+
+    /** Total MACs of one inference pass. */
+    int64_t TotalMacs() const;
+
+    /** Total weight elements of the model. */
+    int64_t TotalWeightElems() const;
+
+    /** Checks internal invariants; panics on violation. */
+    void Validate() const;
+
+  private:
+    LayerId Append(const std::string& name, LayerType type, LayerParams params,
+                   std::vector<LayerId> inputs, Shape out_shape);
+    Shape InShape(LayerId id) const;
+
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::map<std::string, LayerId> by_name_;
+};
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_GRAPH_H_

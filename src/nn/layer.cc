@@ -1,0 +1,94 @@
+#include "nn/layer.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+const char*
+LayerTypeName(LayerType t)
+{
+    switch (t) {
+      case LayerType::kInput: return "input";
+      case LayerType::kConv: return "conv";
+      case LayerType::kFullyConnected: return "fc";
+      case LayerType::kMaxPool: return "maxpool";
+      case LayerType::kAvgPool: return "avgpool";
+      case LayerType::kGlobalAvgPool: return "globalavgpool";
+      case LayerType::kAdd: return "add";
+      case LayerType::kConcat: return "concat";
+    }
+    return "?";
+}
+
+LayerType
+LayerTypeFromName(const std::string& name)
+{
+    if (name == "input") return LayerType::kInput;
+    if (name == "conv") return LayerType::kConv;
+    if (name == "fc") return LayerType::kFullyConnected;
+    if (name == "maxpool") return LayerType::kMaxPool;
+    if (name == "avgpool") return LayerType::kAvgPool;
+    if (name == "globalavgpool") return LayerType::kGlobalAvgPool;
+    if (name == "add") return LayerType::kAdd;
+    if (name == "concat") return LayerType::kConcat;
+    SPA_FATAL("unknown layer type '", name, "'");
+}
+
+bool
+Layer::IsDepthwise() const
+{
+    return type_ == LayerType::kConv && !in_shapes_.empty() &&
+           params_.groups == in_shapes_[0].c && params_.groups > 1;
+}
+
+int64_t
+Layer::Macs() const
+{
+    switch (type_) {
+      case LayerType::kConv: {
+        const Shape& in = in_shapes_[0];
+        const int64_t cin_per_group = in.c / params_.groups;
+        return out_shape_.Elems() * cin_per_group * params_.kernel * params_.kernel;
+      }
+      case LayerType::kFullyConnected:
+        return in_shapes_[0].Elems() * params_.out_channels;
+      default:
+        return 0;
+    }
+}
+
+int64_t
+Layer::WeightElems() const
+{
+    switch (type_) {
+      case LayerType::kConv: {
+        const Shape& in = in_shapes_[0];
+        const int64_t cin_per_group = in.c / params_.groups;
+        return params_.out_channels * cin_per_group * params_.kernel * params_.kernel +
+               params_.out_channels;  // bias
+      }
+      case LayerType::kFullyConnected:
+        return in_shapes_[0].Elems() * params_.out_channels + params_.out_channels;
+      default:
+        return 0;
+    }
+}
+
+int64_t
+Layer::InputElems() const
+{
+    int64_t total = 0;
+    for (const auto& s : in_shapes_)
+        total += s.Elems();
+    return total;
+}
+
+int64_t
+Layer::OutputElems() const
+{
+    return out_shape_.Elems();
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,101 @@
+#ifndef SPA_NN_LAYER_H_
+#define SPA_NN_LAYER_H_
+
+/**
+ * @file
+ * Layer node of the DNN DAG: operator type, hyper-parameters and
+ * inferred shapes, plus the per-layer analytics (MAC count, weight and
+ * feature-map footprints) that drive the whole cost stack.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/shape.h"
+
+namespace spa {
+namespace nn {
+
+/** Operator kind of a graph node. */
+enum class LayerType {
+    kInput,           ///< graph input placeholder
+    kConv,            ///< 2-D convolution (groups=channels makes it depthwise)
+    kFullyConnected,  ///< dense layer over a flattened input
+    kMaxPool,
+    kAvgPool,
+    kGlobalAvgPool,
+    kAdd,             ///< elementwise residual sum
+    kConcat,          ///< channel concatenation
+};
+
+/** Human-readable operator name ("conv", "add", ...). */
+const char* LayerTypeName(LayerType t);
+/** Inverse of LayerTypeName; fatal()s on unknown names. */
+LayerType LayerTypeFromName(const std::string& name);
+
+/** Hyper-parameters of a layer; fields not relevant to a type are ignored. */
+struct LayerParams
+{
+    int64_t out_channels = 0;
+    int64_t kernel = 1;
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t groups = 1;
+};
+
+using LayerId = int32_t;
+
+/** One node of the model DAG, with shapes resolved at insertion time. */
+class Layer
+{
+  public:
+    Layer(LayerId id, std::string name, LayerType type, LayerParams params,
+          std::vector<LayerId> inputs, std::vector<Shape> in_shapes, Shape out_shape)
+        : id_(id), name_(std::move(name)), type_(type), params_(params),
+          inputs_(std::move(inputs)), in_shapes_(std::move(in_shapes)),
+          out_shape_(out_shape)
+    {
+    }
+
+    LayerId id() const { return id_; }
+    const std::string& name() const { return name_; }
+    LayerType type() const { return type_; }
+    const LayerParams& params() const { return params_; }
+    const std::vector<LayerId>& inputs() const { return inputs_; }
+    const std::vector<Shape>& in_shapes() const { return in_shapes_; }
+    const Shape& in_shape(size_t i = 0) const { return in_shapes_.at(i); }
+    const Shape& out_shape() const { return out_shape_; }
+
+    /** True for the layer kinds that carry weights and dominate compute. */
+    bool IsCompute() const { return type_ == LayerType::kConv || type_ == LayerType::kFullyConnected; }
+
+    /** True for a convolution whose groups equal its input channels. */
+    bool IsDepthwise() const;
+
+    /** Multiply-accumulate count of one inference pass. */
+    int64_t Macs() const;
+
+    /** Weight (plus bias) footprint in elements. */
+    int64_t WeightElems() const;
+
+    /** Total input feature-map elements (all inputs). */
+    int64_t InputElems() const;
+
+    /** Output feature-map elements. */
+    int64_t OutputElems() const;
+
+  private:
+    LayerId id_;
+    std::string name_;
+    LayerType type_;
+    LayerParams params_;
+    std::vector<LayerId> inputs_;
+    std::vector<Shape> in_shapes_;
+    Shape out_shape_;
+};
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_LAYER_H_

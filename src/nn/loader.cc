@@ -1,0 +1,112 @@
+#include "nn/loader.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+Graph
+GraphFromJson(const json::Value& doc)
+{
+    const std::string model_name = doc.GetString("name", "model");
+    Graph g(model_name);
+
+    const json::Value& input = doc.At("input");
+    Shape in_shape{input.At("c").AsInt(), input.At("h").AsInt(), input.At("w").AsInt()};
+    LayerId prev = g.AddInput(doc.GetString("input_name", "input"), in_shape);
+
+    for (const json::Value& jl : doc.At("layers").AsArray()) {
+        const std::string name = jl.At("name").AsString();
+        const std::string type = jl.At("type").AsString();
+
+        std::vector<LayerId> inputs;
+        if (jl.Has("inputs")) {
+            for (const json::Value& in : jl.At("inputs").AsArray())
+                inputs.push_back(g.FindLayer(in.AsString()));
+        } else {
+            inputs.push_back(prev);
+        }
+        SPA_ASSERT(!inputs.empty(), "layer '", name, "' has no inputs");
+
+        const int64_t k = jl.GetInt("k", 1);
+        const int64_t stride = jl.GetInt("stride", type == "conv" ? 1 : -1);
+        const int64_t pad = jl.GetInt("pad", type == "conv" ? -1 : 0);
+
+        LayerId id;
+        if (type == "conv") {
+            id = g.AddConv(name, inputs[0], jl.At("out").AsInt(), k, stride, pad,
+                           jl.GetInt("groups", 1));
+        } else if (type == "dwconv") {
+            id = g.AddDepthwiseConv(name, inputs[0], k, stride, pad);
+        } else if (type == "fc") {
+            id = g.AddFullyConnected(name, inputs[0], jl.At("out").AsInt());
+        } else if (type == "maxpool") {
+            id = g.AddMaxPool(name, inputs[0], k, stride, pad);
+        } else if (type == "avgpool") {
+            id = g.AddAvgPool(name, inputs[0], k, stride, pad);
+        } else if (type == "globalavgpool") {
+            id = g.AddGlobalAvgPool(name, inputs[0]);
+        } else if (type == "add") {
+            SPA_ASSERT(inputs.size() == 2, "add '", name, "' needs exactly 2 inputs");
+            id = g.AddAdd(name, inputs[0], inputs[1]);
+        } else if (type == "concat") {
+            id = g.AddConcat(name, inputs);
+        } else {
+            SPA_FATAL("unsupported layer type '", type, "' for layer '", name, "'");
+        }
+        prev = id;
+    }
+    g.Validate();
+    return g;
+}
+
+Graph
+LoadGraph(const std::string& path)
+{
+    return GraphFromJson(json::LoadFile(path));
+}
+
+json::Value
+GraphToJson(const Graph& graph)
+{
+    json::Value doc;
+    doc["name"] = graph.name();
+    json::Array layers;
+    for (const Layer& l : graph.layers()) {
+        if (l.type() == LayerType::kInput) {
+            json::Value in;
+            in["c"] = l.out_shape().c;
+            in["h"] = l.out_shape().h;
+            in["w"] = l.out_shape().w;
+            doc["input"] = in;
+            doc["input_name"] = l.name();
+            continue;
+        }
+        json::Value jl;
+        jl["name"] = l.name();
+        jl["type"] = std::string(LayerTypeName(l.type()));
+        if (l.type() == LayerType::kConv) {
+            jl["out"] = l.params().out_channels;
+            jl["k"] = l.params().kernel;
+            jl["stride"] = l.params().stride;
+            jl["pad"] = l.params().pad;
+            jl["groups"] = l.params().groups;
+        } else if (l.type() == LayerType::kFullyConnected) {
+            jl["out"] = l.params().out_channels;
+        } else if (l.type() == LayerType::kMaxPool || l.type() == LayerType::kAvgPool) {
+            jl["k"] = l.params().kernel;
+            jl["stride"] = l.params().stride;
+            jl["pad"] = l.params().pad;
+        }
+        json::Array inputs;
+        for (LayerId in : l.inputs())
+            inputs.push_back(json::Value(graph.layer(in).name()));
+        jl["inputs"] = json::Value(std::move(inputs));
+        layers.push_back(std::move(jl));
+    }
+    doc["layers"] = json::Value(std::move(layers));
+    return doc;
+}
+
+}  // namespace nn
+}  // namespace spa

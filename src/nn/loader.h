@@ -1,0 +1,45 @@
+#ifndef SPA_NN_LOADER_H_
+#define SPA_NN_LOADER_H_
+
+/**
+ * @file
+ * High-level DNN description frontend (the "DNN model description" input
+ * of Fig. 6). Models are JSON documents:
+ *
+ * {
+ *   "name": "tiny",
+ *   "input": {"c": 3, "h": 32, "w": 32},
+ *   "layers": [
+ *     {"name": "c1", "type": "conv", "out": 16, "k": 3, "stride": 1,
+ *      "pad": 1, "groups": 1, "inputs": ["input"]},
+ *     {"name": "p1", "type": "maxpool", "k": 2, "inputs": ["c1"]},
+ *     {"name": "fc", "type": "fc", "out": 10, "inputs": ["p1"]}
+ *   ]
+ * }
+ *
+ * "inputs" may be omitted for purely sequential models (defaults to the
+ * previous layer). Supported types: conv, fc, maxpool, avgpool,
+ * globalavgpool, add, concat.
+ */
+
+#include <string>
+
+#include "json/json.h"
+#include "nn/graph.h"
+
+namespace spa {
+namespace nn {
+
+/** Builds a Graph from a parsed JSON description; fatal()s on bad input. */
+Graph GraphFromJson(const json::Value& doc);
+
+/** Loads a model description file. */
+Graph LoadGraph(const std::string& path);
+
+/** Serializes a graph back to the JSON description format. */
+json::Value GraphToJson(const Graph& graph);
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_LOADER_H_

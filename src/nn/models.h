@@ -1,0 +1,43 @@
+#ifndef SPA_NN_MODELS_H_
+#define SPA_NN_MODELS_H_
+
+/**
+ * @file
+ * Built-in model zoo: the nine benchmark networks of the paper's
+ * evaluation (Sec. VI-A) plus EfficientNet-B0 (used by Fig. 3) and the
+ * grouped conv-only AlexNet tower of the Sec. VI-C case study.
+ *
+ * All models use ImageNet-sized 3x224x224 inputs except AlexNet (227).
+ */
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace spa {
+namespace nn {
+
+Graph BuildAlexNet();
+/** Conv-only grouped AlexNet (conv1_a/b ... conv5_a/b) for Tables IV-VI. */
+Graph BuildAlexNetConvTower();
+Graph BuildVgg16();
+Graph BuildMobileNetV1();
+Graph BuildMobileNetV2();
+Graph BuildResNet18();
+Graph BuildResNet50();
+Graph BuildResNet152();
+Graph BuildSqueezeNet();
+Graph BuildInceptionV1();  ///< a.k.a. GoogleNet
+Graph BuildEfficientNetB0();
+
+/** Names accepted by BuildModel, in the paper's evaluation order. */
+std::vector<std::string> ZooModelNames();
+
+/** Builds a zoo model by name; fatal()s on unknown names. */
+Graph BuildModel(const std::string& name);
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_MODELS_H_

@@ -1,0 +1,59 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+Graph
+BuildAlexNet()
+{
+    Graph g("alexnet");
+    LayerId x = g.AddInput("input", {3, 227, 227});
+    x = g.AddConv("conv1", x, 96, 11, 4, 0);
+    x = g.AddMaxPool("pool1", x, 3, 2);
+    x = g.AddConv("conv2", x, 256, 5, 1, 2, 2);
+    x = g.AddMaxPool("pool2", x, 3, 2);
+    x = g.AddConv("conv3", x, 384, 3, 1, 1);
+    x = g.AddConv("conv4", x, 384, 3, 1, 1, 2);
+    x = g.AddConv("conv5", x, 256, 3, 1, 1, 2);
+    x = g.AddMaxPool("pool5", x, 3, 2);
+    x = g.AddFullyConnected("fc6", x, 4096);
+    x = g.AddFullyConnected("fc7", x, 4096);
+    g.AddFullyConnected("fc8", x, 1000);
+    return g;
+}
+
+Graph
+BuildAlexNetConvTower()
+{
+    // The two-tower grouped AlexNet of the case study (Tables IV-VI):
+    // each conv is split into an _a and _b half, conv-only workload.
+    Graph g("alexnet_conv_tower");
+    LayerId in = g.AddInput("input", {3, 227, 227});
+
+    LayerId c1a = g.AddConv("conv1_a", in, 48, 11, 4, 0);
+    LayerId c1b = g.AddConv("conv1_b", in, 48, 11, 4, 0);
+    LayerId p1a = g.AddMaxPool("pool1_a", c1a, 3, 2);
+    LayerId p1b = g.AddMaxPool("pool1_b", c1b, 3, 2);
+
+    LayerId c2a = g.AddConv("conv2_a", p1a, 128, 5, 1, 2);
+    LayerId c2b = g.AddConv("conv2_b", p1b, 128, 5, 1, 2);
+    LayerId p2a = g.AddMaxPool("pool2_a", c2a, 3, 2);
+    LayerId p2b = g.AddMaxPool("pool2_b", c2b, 3, 2);
+    LayerId cat2 = g.AddConcat("cross2", {p2a, p2b});
+
+    LayerId c3a = g.AddConv("conv3_a", cat2, 192, 3, 1, 1);
+    LayerId c3b = g.AddConv("conv3_b", cat2, 192, 3, 1, 1);
+
+    LayerId c4a = g.AddConv("conv4_a", c3a, 192, 3, 1, 1);
+    LayerId c4b = g.AddConv("conv4_b", c3b, 192, 3, 1, 1);
+
+    LayerId c5a = g.AddConv("conv5_a", c4a, 128, 3, 1, 1);
+    LayerId c5b = g.AddConv("conv5_b", c4b, 128, 3, 1, 1);
+    LayerId p5a = g.AddMaxPool("pool5_a", c5a, 3, 2);
+    LayerId p5b = g.AddMaxPool("pool5_b", c5b, 3, 2);
+    g.AddConcat("out", {p5a, p5b});
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,58 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/**
+ * MBConv inverted-bottleneck block. Squeeze-excitation is omitted: its
+ * compute is negligible (<0.5% of model MACs) and it does not change
+ * the CTC / segmentation structure Fig. 3 analyses.
+ */
+LayerId
+MbConv(Graph& g, const std::string& prefix, LayerId x, int64_t expand,
+       int64_t out_channels, int64_t kernel, int64_t stride)
+{
+    const int64_t in_channels = g.layer(x).out_shape().c;
+    const int64_t hidden = in_channels * expand;
+    LayerId residual = x;
+    LayerId y = x;
+    if (expand != 1)
+        y = g.AddPointwiseConv(prefix + "_expand", y, hidden);
+    y = g.AddDepthwiseConv(prefix + "_dw", y, kernel, stride, kernel / 2);
+    y = g.AddPointwiseConv(prefix + "_project", y, out_channels);
+    if (stride == 1 && in_channels == out_channels)
+        y = g.AddAdd(prefix + "_add", y, residual);
+    return y;
+}
+
+}  // namespace
+
+Graph
+BuildEfficientNetB0()
+{
+    Graph g("efficientnet_b0");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("stem", x, 32, 3, 2, 1);
+
+    // (expand, channels, repeats, stride, kernel) per stage.
+    const struct { int64_t t, c, n, s, k; } kStages[] = {
+        {1, 16, 1, 1, 3},  {6, 24, 2, 2, 3},  {6, 40, 2, 2, 5}, {6, 80, 3, 2, 3},
+        {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5}, {6, 320, 1, 1, 3},
+    };
+    int block = 0;
+    for (const auto& st : kStages) {
+        for (int64_t i = 0; i < st.n; ++i) {
+            const int64_t stride = (i == 0) ? st.s : 1;
+            x = MbConv(g, "mb" + std::to_string(++block), x, st.t, st.c, st.k, stride);
+        }
+    }
+    x = g.AddPointwiseConv("head", x, 1280);
+    x = g.AddGlobalAvgPool("gap", x);
+    g.AddFullyConnected("fc", x, 1000);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

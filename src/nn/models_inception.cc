@@ -1,0 +1,58 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/**
+ * GoogleNet inception block: four parallel branches (1x1; 1x1->3x3;
+ * 1x1->5x5; 3x3 maxpool->1x1) concatenated over channels.
+ */
+LayerId
+Inception(Graph& g, const std::string& prefix, LayerId x, int64_t b1, int64_t b3r,
+          int64_t b3, int64_t b5r, int64_t b5, int64_t pool_proj)
+{
+    LayerId br1 = g.AddPointwiseConv(prefix + "_1x1", x, b1);
+    LayerId br3 = g.AddPointwiseConv(prefix + "_3x3r", x, b3r);
+    br3 = g.AddConv(prefix + "_3x3", br3, b3, 3, 1, 1);
+    LayerId br5 = g.AddPointwiseConv(prefix + "_5x5r", x, b5r);
+    br5 = g.AddConv(prefix + "_5x5", br5, b5, 5, 1, 2);
+    LayerId brp = g.AddMaxPool(prefix + "_pool", x, 3, 1, 1);
+    brp = g.AddPointwiseConv(prefix + "_poolproj", brp, pool_proj);
+    return g.AddConcat(prefix + "_concat", {br1, br3, br5, brp});
+}
+
+}  // namespace
+
+Graph
+BuildInceptionV1()
+{
+    Graph g("inception_v1");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("conv1", x, 64, 7, 2, 3);
+    x = g.AddMaxPool("pool1", x, 3, 2, 1);
+    x = g.AddPointwiseConv("conv2r", x, 64);
+    x = g.AddConv("conv2", x, 192, 3, 1, 1);
+    x = g.AddMaxPool("pool2", x, 3, 2, 1);
+
+    x = Inception(g, "inc3a", x, 64, 96, 128, 16, 32, 32);
+    x = Inception(g, "inc3b", x, 128, 128, 192, 32, 96, 64);
+    x = g.AddMaxPool("pool3", x, 3, 2, 1);
+
+    x = Inception(g, "inc4a", x, 192, 96, 208, 16, 48, 64);
+    x = Inception(g, "inc4b", x, 160, 112, 224, 24, 64, 64);
+    x = Inception(g, "inc4c", x, 128, 128, 256, 24, 64, 64);
+    x = Inception(g, "inc4d", x, 112, 144, 288, 32, 64, 64);
+    x = Inception(g, "inc4e", x, 256, 160, 320, 32, 128, 128);
+    x = g.AddMaxPool("pool4", x, 3, 2, 1);
+
+    x = Inception(g, "inc5a", x, 256, 160, 320, 32, 128, 128);
+    x = Inception(g, "inc5b", x, 384, 192, 384, 48, 128, 128);
+    x = g.AddGlobalAvgPool("gap", x);
+    g.AddFullyConnected("fc", x, 1000);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,67 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+Graph
+BuildMobileNetV1()
+{
+    Graph g("mobilenet_v1");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("conv1", x, 32, 3, 2, 1);
+
+    const struct { int64_t out; int64_t stride; } kBlocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+        {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+    };
+    int idx = 1;
+    for (const auto& b : kBlocks) {
+        const std::string suffix = std::to_string(idx++);
+        x = g.AddDepthwiseConv("dw" + suffix, x, 3, b.stride, 1);
+        x = g.AddPointwiseConv("pw" + suffix, x, b.out);
+    }
+    x = g.AddGlobalAvgPool("gap", x);
+    g.AddFullyConnected("fc", x, 1000);
+    return g;
+}
+
+Graph
+BuildMobileNetV2()
+{
+    Graph g("mobilenet_v2");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("conv1", x, 32, 3, 2, 1);
+
+    // Inverted residual settings: expansion t, output channels c, repeats
+    // n, first stride s (the standard MobileNetV2 table).
+    const struct { int64_t t, c, n, s; } kSettings[] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2},  {6, 32, 3, 2},  {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    int block = 0;
+    int64_t in_channels = 32;
+    for (const auto& cfg : kSettings) {
+        for (int64_t i = 0; i < cfg.n; ++i) {
+            const std::string p = "b" + std::to_string(++block) + "_";
+            const int64_t stride = (i == 0) ? cfg.s : 1;
+            const int64_t hidden = in_channels * cfg.t;
+            LayerId residual = x;
+            LayerId y = x;
+            if (cfg.t != 1)
+                y = g.AddPointwiseConv(p + "expand", y, hidden);
+            y = g.AddDepthwiseConv(p + "dw", y, 3, stride, 1);
+            y = g.AddPointwiseConv(p + "project", y, cfg.c);
+            if (stride == 1 && in_channels == cfg.c)
+                y = g.AddAdd(p + "add", y, residual);
+            x = y;
+            in_channels = cfg.c;
+        }
+    }
+    x = g.AddPointwiseConv("conv_last", x, 1280);
+    x = g.AddGlobalAvgPool("gap", x);
+    g.AddFullyConnected("fc", x, 1000);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

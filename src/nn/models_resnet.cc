@@ -1,0 +1,85 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/** Two 3x3 convs with an identity / projection shortcut. */
+LayerId
+BasicBlock(Graph& g, const std::string& prefix, LayerId x, int64_t channels,
+           int64_t stride)
+{
+    LayerId shortcut = x;
+    const bool needs_proj = stride != 1 || g.layer(x).out_shape().c != channels;
+    if (needs_proj)
+        shortcut = g.AddConv(prefix + "_down", x, channels, 1, stride, 0);
+    LayerId y = g.AddConv(prefix + "_conv1", x, channels, 3, stride, 1);
+    y = g.AddConv(prefix + "_conv2", y, channels, 3, 1, 1);
+    return g.AddAdd(prefix + "_add", y, shortcut);
+}
+
+/** 1x1 -> 3x3 -> 1x1 bottleneck with 4x channel expansion. */
+LayerId
+BottleneckBlock(Graph& g, const std::string& prefix, LayerId x, int64_t channels,
+                int64_t stride)
+{
+    const int64_t out_channels = channels * 4;
+    LayerId shortcut = x;
+    const bool needs_proj = stride != 1 || g.layer(x).out_shape().c != out_channels;
+    if (needs_proj)
+        shortcut = g.AddConv(prefix + "_down", x, out_channels, 1, stride, 0);
+    LayerId y = g.AddConv(prefix + "_conv1", x, channels, 1, 1, 0);
+    y = g.AddConv(prefix + "_conv2", y, channels, 3, stride, 1);
+    y = g.AddConv(prefix + "_conv3", y, out_channels, 1, 1, 0);
+    return g.AddAdd(prefix + "_add", y, shortcut);
+}
+
+Graph
+BuildResNet(const std::string& name, const int64_t (&blocks)[4], bool bottleneck)
+{
+    Graph g(name);
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("conv1", x, 64, 7, 2, 3);
+    x = g.AddMaxPool("pool1", x, 3, 2, 1);
+
+    const int64_t kStageChannels[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int64_t b = 0; b < blocks[stage]; ++b) {
+            const std::string prefix =
+                "s" + std::to_string(stage + 2) + "b" + std::to_string(b + 1);
+            const int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+            x = bottleneck ? BottleneckBlock(g, prefix, x, kStageChannels[stage], stride)
+                           : BasicBlock(g, prefix, x, kStageChannels[stage], stride);
+        }
+    }
+    x = g.AddGlobalAvgPool("gap", x);
+    g.AddFullyConnected("fc", x, 1000);
+    return g;
+}
+
+}  // namespace
+
+Graph
+BuildResNet18()
+{
+    const int64_t blocks[4] = {2, 2, 2, 2};
+    return BuildResNet("resnet18", blocks, false);
+}
+
+Graph
+BuildResNet50()
+{
+    const int64_t blocks[4] = {3, 4, 6, 3};
+    return BuildResNet("resnet50", blocks, true);
+}
+
+Graph
+BuildResNet152()
+{
+    const int64_t blocks[4] = {3, 8, 36, 3};
+    return BuildResNet("resnet152", blocks, true);
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,45 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/** Fire module: squeeze 1x1, then parallel expand 1x1 / 3x3, concatenated. */
+LayerId
+Fire(Graph& g, const std::string& prefix, LayerId x, int64_t squeeze,
+     int64_t expand1, int64_t expand3)
+{
+    LayerId s = g.AddPointwiseConv(prefix + "_squeeze", x, squeeze);
+    LayerId e1 = g.AddPointwiseConv(prefix + "_expand1", s, expand1);
+    LayerId e3 = g.AddConv(prefix + "_expand3", s, expand3, 3, 1, 1);
+    return g.AddConcat(prefix + "_concat", {e1, e3});
+}
+
+}  // namespace
+
+Graph
+BuildSqueezeNet()
+{
+    // SqueezeNet 1.0 (Iandola et al.).
+    Graph g("squeezenet");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    x = g.AddConv("conv1", x, 96, 7, 2, 0);
+    x = g.AddMaxPool("pool1", x, 3, 2);
+    x = Fire(g, "fire2", x, 16, 64, 64);
+    x = Fire(g, "fire3", x, 16, 64, 64);
+    x = Fire(g, "fire4", x, 32, 128, 128);
+    x = g.AddMaxPool("pool4", x, 3, 2);
+    x = Fire(g, "fire5", x, 32, 128, 128);
+    x = Fire(g, "fire6", x, 48, 192, 192);
+    x = Fire(g, "fire7", x, 48, 192, 192);
+    x = Fire(g, "fire8", x, 64, 256, 256);
+    x = g.AddMaxPool("pool8", x, 3, 2);
+    x = Fire(g, "fire9", x, 64, 256, 256);
+    x = g.AddPointwiseConv("conv10", x, 1000);
+    g.AddGlobalAvgPool("gap", x);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

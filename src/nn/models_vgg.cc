@@ -1,0 +1,28 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+Graph
+BuildVgg16()
+{
+    Graph g("vgg16");
+    LayerId x = g.AddInput("input", {3, 224, 224});
+    const struct { int block; int convs; int64_t channels; } kStages[] = {
+        {1, 2, 64}, {2, 2, 128}, {3, 3, 256}, {4, 3, 512}, {5, 3, 512},
+    };
+    for (const auto& st : kStages) {
+        for (int i = 1; i <= st.convs; ++i) {
+            x = g.AddConv("conv" + std::to_string(st.block) + "_" + std::to_string(i),
+                          x, st.channels, 3, 1, 1);
+        }
+        x = g.AddMaxPool("pool" + std::to_string(st.block), x, 2, 2);
+    }
+    x = g.AddFullyConnected("fc6", x, 4096);
+    x = g.AddFullyConnected("fc7", x, 4096);
+    g.AddFullyConnected("fc8", x, 1000);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

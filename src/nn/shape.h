@@ -1,0 +1,38 @@
+#ifndef SPA_NN_SHAPE_H_
+#define SPA_NN_SHAPE_H_
+
+/**
+ * @file
+ * Tensor shape for single-sample (batch handled at the design level)
+ * CHW feature maps.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+namespace nn {
+
+/** Channel-height-width shape of one feature map. */
+struct Shape
+{
+    int64_t c = 0;  ///< channels
+    int64_t h = 0;  ///< height
+    int64_t w = 0;  ///< width
+
+    int64_t Elems() const { return c * h * w; }
+
+    bool operator==(const Shape& o) const { return c == o.c && h == o.h && w == o.w; }
+    bool operator!=(const Shape& o) const { return !(*this == o); }
+
+    std::string
+    ToString() const
+    {
+        return std::to_string(c) + "x" + std::to_string(h) + "x" + std::to_string(w);
+    }
+};
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_SHAPE_H_

@@ -1,0 +1,210 @@
+#include "nn/workload.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/** (origin graph-layer, bytes the consumer reads along this branch). */
+struct Source
+{
+    LayerId origin;   ///< compute layer or graph input
+    double elems;     ///< effective element count after fused pooling
+};
+
+/**
+ * Expands a graph layer into the compute/input layers it derives from.
+ * Pooling scales the branch bytes by its reduction ratio (the producer
+ * streams the pooled tensor); add/concat forward all operand branches,
+ * since the consumer reads every operand.
+ */
+void
+ExpandSources(const Graph& g, LayerId id, double scale, std::vector<Source>& out)
+{
+    const Layer& l = g.layer(id);
+    if (l.type() == LayerType::kInput || l.IsCompute()) {
+        out.push_back({id, scale * static_cast<double>(l.OutputElems())});
+        return;
+    }
+    switch (l.type()) {
+      case LayerType::kMaxPool:
+      case LayerType::kAvgPool:
+      case LayerType::kGlobalAvgPool: {
+        const double ratio = static_cast<double>(l.OutputElems()) /
+                             static_cast<double>(l.in_shape().Elems());
+        ExpandSources(g, l.inputs()[0], scale * ratio, out);
+        return;
+      }
+      case LayerType::kAdd:
+      case LayerType::kConcat: {
+        for (LayerId in : l.inputs())
+            ExpandSources(g, in, scale, out);
+        return;
+      }
+      default:
+        SPA_PANIC("unexpected glue layer type");
+    }
+}
+
+/**
+ * Materialized output elements of a compute layer: its tensor after the
+ * chain of pools that are its sole consumers (pooling is fused into the
+ * producer PU, so only the pooled tensor ever reaches a buffer or DRAM).
+ */
+int64_t
+MaterializedOutputElems(const Graph& g, LayerId id,
+                        const std::vector<std::vector<LayerId>>& consumers)
+{
+    LayerId cur = id;
+    while (true) {
+        const auto& cons = consumers[static_cast<size_t>(cur)];
+        if (cons.size() != 1)
+            break;
+        const Layer& next = g.layer(cons[0]);
+        const bool is_pool = next.type() == LayerType::kMaxPool ||
+                             next.type() == LayerType::kAvgPool ||
+                             next.type() == LayerType::kGlobalAvgPool;
+        if (!is_pool)
+            break;
+        cur = next.id();
+    }
+    return g.layer(cur).OutputElems();
+}
+
+}  // namespace
+
+bool
+Workload::HasPath(int src, int dst) const
+{
+    if (src == dst)
+        return true;
+    std::vector<int> stack{src};
+    std::vector<bool> seen(layers.size(), false);
+    while (!stack.empty()) {
+        const int cur = stack.back();
+        stack.pop_back();
+        for (int e : out_edges[static_cast<size_t>(cur)]) {
+            const int next = edges[static_cast<size_t>(e)].dst;
+            if (next == dst)
+                return true;
+            if (!seen[static_cast<size_t>(next)]) {
+                seen[static_cast<size_t>(next)] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+Workload
+ExtractWorkload(const Graph& graph, int bytes_per_elem)
+{
+    graph.Validate();
+    Workload w;
+    w.name = graph.name();
+    w.bytes_per_elem = bytes_per_elem;
+
+    // Map graph compute-layer id -> workload index.
+    std::map<LayerId, int> index_of;
+    for (LayerId id : graph.ComputeLayerIds()) {
+        const Layer& l = graph.layer(id);
+        WorkloadLayer wl;
+        wl.name = l.name();
+        wl.graph_id = id;
+        wl.is_fc = l.type() == LayerType::kFullyConnected;
+        wl.is_depthwise = l.IsDepthwise();
+        const Shape& in = l.in_shape();
+        const Shape& out = l.out_shape();
+        if (wl.is_fc) {
+            wl.cin = in.Elems();
+            wl.hin = wl.win = 1;
+            wl.cout = l.params().out_channels;
+            wl.hout = wl.wout = 1;
+            wl.kernel = 1;
+            wl.stride = 1;
+            wl.groups = 1;
+        } else {
+            wl.cin = in.c;
+            wl.hin = in.h;
+            wl.win = in.w;
+            wl.cout = out.c;
+            wl.hout = out.h;
+            wl.wout = out.w;
+            wl.kernel = l.params().kernel;
+            wl.stride = l.params().stride;
+            wl.groups = l.params().groups;
+        }
+        wl.ops = l.Macs();
+        wl.weight_bytes = l.WeightElems() * bytes_per_elem;
+        index_of[id] = static_cast<int>(w.layers.size());
+        w.layers.push_back(wl);
+    }
+
+    const auto consumers = graph.BuildConsumers();
+
+    // Build edges: for every compute layer, trace each of its graph inputs
+    // back through the glue to the originating compute layers / graph input.
+    std::map<std::pair<int, int>, double> edge_elems;  // (src,dst) -> elems
+    std::vector<double> external_in_elems(w.layers.size(), 0.0);
+
+    for (const auto& [gid, widx] : index_of) {
+        const Layer& l = graph.layer(gid);
+        std::vector<Source> sources;
+        for (LayerId in : l.inputs())
+            ExpandSources(graph, in, 1.0, sources);
+        for (const Source& s : sources) {
+            const Layer& src_layer = graph.layer(s.origin);
+            if (src_layer.type() == LayerType::kInput) {
+                external_in_elems[static_cast<size_t>(widx)] += s.elems;
+            } else {
+                const int src_idx = index_of.at(s.origin);
+                edge_elems[{src_idx, widx}] += s.elems;
+            }
+        }
+    }
+
+    w.out_edges.assign(w.layers.size(), {});
+    w.in_edges.assign(w.layers.size(), {});
+    for (const auto& [key, elems] : edge_elems) {
+        WorkloadEdge e;
+        e.src = key.first;
+        e.dst = key.second;
+        e.bytes = static_cast<int64_t>(elems) * bytes_per_elem;
+        const int eidx = static_cast<int>(w.edges.size());
+        w.edges.push_back(e);
+        w.out_edges[static_cast<size_t>(e.src)].push_back(eidx);
+        w.in_edges[static_cast<size_t>(e.dst)].push_back(eidx);
+    }
+    // External input edges (src = -1).
+    for (size_t i = 0; i < w.layers.size(); ++i) {
+        if (external_in_elems[i] > 0.0) {
+            WorkloadEdge e;
+            e.src = -1;
+            e.dst = static_cast<int>(i);
+            e.bytes = static_cast<int64_t>(external_in_elems[i]) * bytes_per_elem;
+            const int eidx = static_cast<int>(w.edges.size());
+            w.edges.push_back(e);
+            w.in_edges[i].push_back(eidx);
+        }
+    }
+
+    // Per-layer byte totals.
+    for (size_t i = 0; i < w.layers.size(); ++i) {
+        int64_t in_bytes = 0;
+        for (int e : w.in_edges[i])
+            in_bytes += w.edges[static_cast<size_t>(e)].bytes;
+        w.layers[i].input_bytes = in_bytes;
+        w.layers[i].output_bytes =
+            MaterializedOutputElems(graph, w.layers[i].graph_id, consumers) *
+            bytes_per_elem;
+    }
+    return w;
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,104 @@
+#ifndef SPA_NN_WORKLOAD_H_
+#define SPA_NN_WORKLOAD_H_
+
+/**
+ * @file
+ * Compute-layer view of a model graph.
+ *
+ * The segmentation engine (Sec. V-A) reasons about the compute layers
+ * (conv / fc) only; pooling chains are fused into their producer and
+ * elementwise add / concat glue is executed at the consumer's input.
+ * Extraction collapses the full graph into a DAG over compute layers
+ * whose edges carry the feature-map bytes a consumer actually reads,
+ * and precomputes the paper's per-layer constants ops(l) and access(l).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace spa {
+namespace nn {
+
+/** One compute layer of the workload, with everything cost models need. */
+struct WorkloadLayer
+{
+    std::string name;
+    LayerId graph_id = -1;   ///< id in the originating Graph
+    bool is_fc = false;
+    bool is_depthwise = false;
+
+    // Dimensions (for fc: cin = flattened input, hout = wout = 1).
+    int64_t cin = 0, hin = 0, win = 0;
+    int64_t cout = 0, hout = 0, wout = 0;
+    int64_t kernel = 1, stride = 1, groups = 1;
+
+    int64_t ops = 0;            ///< MACs: the paper's ops(l)
+    int64_t weight_bytes = 0;   ///< weights + bias at the workload's precision
+    int64_t input_bytes = 0;    ///< sum of incoming edge bytes (+ external input)
+    int64_t output_bytes = 0;   ///< materialized output (after fused pooling)
+
+    /** The paper's access(l): layerwise DRAM traffic (in + weights + out). */
+    int64_t AccessBytes() const { return input_bytes + weight_bytes + output_bytes; }
+
+    /** CTC ratio of this layer executed layerwise (OPs per byte). */
+    double LayerCtc() const { return static_cast<double>(ops) / AccessBytes(); }
+};
+
+/** Data dependency between two compute layers (or from the graph input). */
+struct WorkloadEdge
+{
+    int src = -1;        ///< producer workload index; -1 = external graph input
+    int dst = -1;        ///< consumer workload index
+    int64_t bytes = 0;   ///< feature-map bytes the consumer reads from this edge
+};
+
+/** Compute-layer DAG of one model at a fixed precision. */
+struct Workload
+{
+    std::string name;
+    int bytes_per_elem = 1;  ///< precision (1 = int8)
+    std::vector<WorkloadLayer> layers;
+    std::vector<WorkloadEdge> edges;
+
+    /** Outgoing edge indices per layer (by workload index). */
+    std::vector<std::vector<int>> out_edges;
+    /** Incoming edge indices per layer. */
+    std::vector<std::vector<int>> in_edges;
+
+    int NumLayers() const { return static_cast<int>(layers.size()); }
+
+    int64_t
+    TotalOps() const
+    {
+        int64_t t = 0;
+        for (const auto& l : layers)
+            t += l.ops;
+        return t;
+    }
+
+    int64_t
+    TotalWeightBytes() const
+    {
+        int64_t t = 0;
+        for (const auto& l : layers)
+            t += l.weight_bytes;
+        return t;
+    }
+
+    /** True if there is a directed path src -> ... -> dst over workload edges. */
+    bool HasPath(int src, int dst) const;
+};
+
+/**
+ * Collapses a full model graph into its workload view.
+ * @param bytes_per_elem precision of weights and activations (1 = int8).
+ */
+Workload ExtractWorkload(const Graph& graph, int bytes_per_elem = 1);
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_WORKLOAD_H_

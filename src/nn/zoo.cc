@@ -1,0 +1,35 @@
+#include "nn/models.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+std::vector<std::string>
+ZooModelNames()
+{
+    return {
+        "alexnet",   "vgg16",    "mobilenet_v1", "mobilenet_v2",    "resnet18",
+        "resnet50",  "resnet152", "squeezenet",  "inception_v1",    "efficientnet_b0",
+    };
+}
+
+Graph
+BuildModel(const std::string& name)
+{
+    if (name == "alexnet") return BuildAlexNet();
+    if (name == "alexnet_conv_tower") return BuildAlexNetConvTower();
+    if (name == "vgg16") return BuildVgg16();
+    if (name == "mobilenet_v1") return BuildMobileNetV1();
+    if (name == "mobilenet_v2") return BuildMobileNetV2();
+    if (name == "resnet18") return BuildResNet18();
+    if (name == "resnet50") return BuildResNet50();
+    if (name == "resnet152") return BuildResNet152();
+    if (name == "squeezenet") return BuildSqueezeNet();
+    if (name == "inception_v1" || name == "googlenet") return BuildInceptionV1();
+    if (name == "efficientnet_b0") return BuildEfficientNetB0();
+    SPA_FATAL("unknown model '", name, "'");
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,500 @@
+#include "noc/benes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace noc {
+
+BenesNetwork::BenesNetwork(int num_ports) : num_ports_(num_ports)
+{
+    SPA_ASSERT(num_ports >= 2, "benes network needs at least 2 ports");
+    width_ = static_cast<int>(CeilPow2(num_ports));
+    int k = 0;
+    while ((1 << k) < width_)
+        ++k;
+    num_stages_ = 2 * k - 1;
+    nodes_.assign(static_cast<size_t>(NumNodes()), Node{});
+    Build(0, num_stages_ - 1, 0, width_);
+
+    // Reverse map: which node input consumes each rail at each boundary.
+    consumer_.assign(static_cast<size_t>(num_stages_),
+                     std::vector<std::pair<int, int>>(static_cast<size_t>(width_),
+                                                      {-1, -1}));
+    for (int s = 0; s < num_stages_; ++s) {
+        for (int n = 0; n < width_ / 2; ++n) {
+            const Node& node = nodes_[static_cast<size_t>(NodeIndex(s, n))];
+            for (int p = 0; p < 2; ++p)
+                consumer_[static_cast<size_t>(s)][static_cast<size_t>(node.in_rail[
+                    static_cast<size_t>(p)])] = {n, p};
+        }
+    }
+}
+
+void
+BenesNetwork::Build(int stage_lo, int stage_hi, int rail_lo, int m)
+{
+    if (m == 2) {
+        SPA_ASSERT(stage_lo == stage_hi, "benes recursion imbalance");
+        Node& node = nodes_[static_cast<size_t>(NodeIndex(stage_lo, rail_lo / 2))];
+        node.in_rail = {rail_lo, rail_lo + 1};
+        node.out_rail = {rail_lo, rail_lo + 1};
+        return;
+    }
+    const int half = m / 2;
+    for (int j = 0; j < half; ++j) {
+        // Entry stage: node outputs split between the two subnetworks.
+        Node& in_node = nodes_[static_cast<size_t>(NodeIndex(stage_lo, rail_lo / 2 + j))];
+        in_node.in_rail = {rail_lo + 2 * j, rail_lo + 2 * j + 1};
+        in_node.out_rail = {rail_lo + j, rail_lo + half + j};
+        // Exit stage: node inputs merge the two subnetworks.
+        Node& out_node =
+            nodes_[static_cast<size_t>(NodeIndex(stage_hi, rail_lo / 2 + j))];
+        out_node.in_rail = {rail_lo + j, rail_lo + half + j};
+        out_node.out_rail = {rail_lo + 2 * j, rail_lo + 2 * j + 1};
+    }
+    Build(stage_lo + 1, stage_hi - 1, rail_lo, half);
+    Build(stage_lo + 1, stage_hi - 1, rail_lo + half, half);
+}
+
+bool
+BenesNetwork::TryRouteGreedy(const std::vector<RouteRequest>& requests, Rng& rng,
+                             const std::vector<std::array<bool, 2>>* allowed_links,
+                             BenesConfig& config) const
+{
+    // owner[b][r]: request id owning the rail at boundary b, or -1.
+    std::vector<std::vector<int>> owner(
+        static_cast<size_t>(num_stages_) + 1,
+        std::vector<int>(static_cast<size_t>(width_), -1));
+
+    std::vector<int> req_order(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i)
+        req_order[i] = static_cast<int>(i);
+    std::shuffle(req_order.begin(), req_order.end(), rng);
+
+    for (int req : req_order) {
+        const RouteRequest& r = requests[static_cast<size_t>(req)];
+        SPA_ASSERT(r.src >= 0 && r.src < num_ports_, "route src out of range");
+        if (owner[0][static_cast<size_t>(r.src)] != -1 &&
+            owner[0][static_cast<size_t>(r.src)] != req) {
+            return false;  // two requests share an input port
+        }
+        owner[0][static_cast<size_t>(r.src)] = req;
+
+        std::vector<int> dsts = r.dsts;
+        std::shuffle(dsts.begin(), dsts.end(), rng);
+        for (int dst : dsts) {
+            SPA_ASSERT(dst >= 0 && dst < num_ports_, "route dst out of range");
+            // Backward DFS from (num_stages_, dst) to any rail already
+            // owned by this request; claim the path.
+            struct Frame
+            {
+                int b, r;
+                int next_pred;  // 0, 1, or 2 (exhausted)
+                int order;      // randomized predecessor order bit
+            };
+            std::vector<Frame> stack;
+            std::vector<std::vector<bool>> visited(
+                static_cast<size_t>(num_stages_) + 1,
+                std::vector<bool>(static_cast<size_t>(width_), false));
+            const int own_dst = owner[static_cast<size_t>(num_stages_)]
+                                     [static_cast<size_t>(dst)];
+            if (own_dst == req)
+                continue;  // already reached (duplicate dst)
+            if (own_dst != -1)
+                return false;  // someone else drives this output
+            stack.push_back({num_stages_, dst, 0, static_cast<int>(rng() & 1)});
+            visited[static_cast<size_t>(num_stages_)][static_cast<size_t>(dst)] = true;
+            bool reached = false;
+            while (!stack.empty()) {
+                Frame& f = stack.back();
+                if (f.b == 0) {
+                    // At an input rail: connected iff this request owns it.
+                    if (owner[0][static_cast<size_t>(f.r)] == req) {
+                        reached = true;
+                        break;
+                    }
+                    stack.pop_back();
+                    continue;
+                }
+                if (owner[static_cast<size_t>(f.b)][static_cast<size_t>(f.r)] == req &&
+                    static_cast<int>(stack.size()) > 1) {
+                    reached = true;  // merged into the existing multicast tree
+                    break;
+                }
+                if (f.next_pred >= 2) {
+                    stack.pop_back();
+                    continue;
+                }
+                // Rail (b, r) is driven by exactly one node in stage b-1;
+                // its two inputs are the candidate predecessors.
+                const int pred_port = f.next_pred ^ f.order;
+                ++f.next_pred;
+                // Find the driving node: search the stage for the node
+                // whose out_rail contains r (precomputable; width is small).
+                const int stage = f.b - 1;
+                int drv_node = -1, drv_out = -1;
+                for (int n = 0; n < width_ / 2 && drv_node < 0; ++n) {
+                    const Node& nd = nodes_[static_cast<size_t>(NodeIndex(stage, n))];
+                    for (int p = 0; p < 2; ++p) {
+                        if (nd.out_rail[static_cast<size_t>(p)] == f.r) {
+                            drv_node = n;
+                            drv_out = p;
+                            break;
+                        }
+                    }
+                }
+                SPA_ASSERT(drv_node >= 0, "rail without a driver");
+                if (allowed_links != nullptr &&
+                    !(*allowed_links)[static_cast<size_t>(NodeIndex(stage, drv_node))]
+                                     [static_cast<size_t>(drv_out)]) {
+                    continue;  // pruned away in the dedicated design
+                }
+                const Node& nd = nodes_[static_cast<size_t>(NodeIndex(stage, drv_node))];
+                const int prev_rail = nd.in_rail[static_cast<size_t>(pred_port)];
+                const int prev_owner =
+                    owner[static_cast<size_t>(stage)][static_cast<size_t>(prev_rail)];
+                if (prev_owner != -1 && prev_owner != req)
+                    continue;  // occupied by another signal
+                if (visited[static_cast<size_t>(stage)][static_cast<size_t>(prev_rail)])
+                    continue;
+                visited[static_cast<size_t>(stage)][static_cast<size_t>(prev_rail)] =
+                    true;
+                stack.push_back({stage, prev_rail, 0, static_cast<int>(rng() & 1)});
+            }
+            if (!reached)
+                return false;
+            for (const Frame& f : stack)
+                owner[static_cast<size_t>(f.b)][static_cast<size_t>(f.r)] = req;
+        }
+    }
+
+    // Derive mux settings from rail ownership.
+    config.out_sel.assign(static_cast<size_t>(NumNodes()), {-1, -1});
+    for (int s = 0; s < num_stages_; ++s) {
+        for (int n = 0; n < width_ / 2; ++n) {
+            const Node& nd = nodes_[static_cast<size_t>(NodeIndex(s, n))];
+            for (int p = 0; p < 2; ++p) {
+                const int out_owner = owner[static_cast<size_t>(s) + 1]
+                                           [static_cast<size_t>(
+                                               nd.out_rail[static_cast<size_t>(p)])];
+                if (out_owner == -1)
+                    continue;
+                for (int q = 0; q < 2; ++q) {
+                    if (owner[static_cast<size_t>(s)]
+                             [static_cast<size_t>(nd.in_rail[static_cast<size_t>(q)])] ==
+                        out_owner) {
+                        config.out_sel[static_cast<size_t>(NodeIndex(s, n))]
+                                      [static_cast<size_t>(p)] = q;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+BenesNetwork::Route(const std::vector<RouteRequest>& requests, BenesConfig& config,
+                    uint64_t seed) const
+{
+    Rng rng(seed);
+    constexpr int kMaxAttempts = 400;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        if (TryRouteGreedy(requests, rng, nullptr, config))
+            return true;
+    }
+    // Unicast full/partial permutations have an exact fallback.
+    bool unicast = true;
+    std::vector<int> perm(static_cast<size_t>(width_), -1);
+    std::vector<bool> dst_used(static_cast<size_t>(width_), false);
+    for (const auto& r : requests) {
+        if (r.dsts.size() != 1 || perm[static_cast<size_t>(r.src)] != -1 ||
+            dst_used[static_cast<size_t>(r.dsts[0])]) {
+            unicast = false;
+            break;
+        }
+        perm[static_cast<size_t>(r.src)] = r.dsts[0];
+        dst_used[static_cast<size_t>(r.dsts[0])] = true;
+    }
+    if (unicast) {
+        config = RoutePermutation(perm);
+        return true;
+    }
+    return false;
+}
+
+void
+BenesNetwork::RouteRec(const std::vector<int>& perm, int stage_lo, int stage_hi,
+                       int rail_lo, int m, BenesConfig& config) const
+{
+    if (m == 2) {
+        const int node = NodeIndex(stage_lo, rail_lo / 2);
+        for (int q = 0; q < 2; ++q) {
+            const int d = perm[static_cast<size_t>(rail_lo + q)];
+            if (d < 0)
+                continue;
+            config.out_sel[static_cast<size_t>(node)][static_cast<size_t>(d - rail_lo)] =
+                q;
+        }
+        return;
+    }
+    const int half = m / 2;
+    // Looping algorithm: 2-color active inputs so that siblings at an
+    // entry node differ and inputs targeting sibling outputs differ.
+    std::vector<int> subnet(static_cast<size_t>(m), -1);  // indexed by i - rail_lo
+    std::vector<int> src_of(static_cast<size_t>(m), -1);  // dst - rail_lo -> src index
+    for (int i = 0; i < m; ++i) {
+        const int d = perm[static_cast<size_t>(rail_lo + i)];
+        if (d >= 0)
+            src_of[static_cast<size_t>(d - rail_lo)] = i;
+    }
+    auto in_sibling = [&](int i) {
+        const int sib = i ^ 1;
+        return perm[static_cast<size_t>(rail_lo + sib)] >= 0 ? sib : -1;
+    };
+    auto out_sibling = [&](int i) {
+        const int d = perm[static_cast<size_t>(rail_lo + i)] - rail_lo;
+        return src_of[static_cast<size_t>(d ^ 1)];
+    };
+    for (int start = 0; start < m; ++start) {
+        if (perm[static_cast<size_t>(rail_lo + start)] < 0 ||
+            subnet[static_cast<size_t>(start)] != -1) {
+            continue;
+        }
+        // Walk the loop alternating colors across both sibling relations.
+        std::vector<std::pair<int, int>> frontier{{start, 0}};
+        subnet[static_cast<size_t>(start)] = 0;
+        while (!frontier.empty()) {
+            auto [i, color] = frontier.back();
+            frontier.pop_back();
+            for (int neighbor : {in_sibling(i), out_sibling(i)}) {
+                if (neighbor < 0)
+                    continue;
+                int& nb = subnet[static_cast<size_t>(neighbor)];
+                if (nb == -1) {
+                    nb = 1 - color;
+                    frontier.push_back({neighbor, 1 - color});
+                } else {
+                    SPA_ASSERT(nb == 1 - color, "looping 2-coloring conflict; "
+                               "permutation is not collision-free");
+                }
+            }
+        }
+    }
+    // Program the entry / exit stages and build the sub-permutations.
+    std::vector<int> sub_perm(perm.size(), -1);
+    for (int i = 0; i < m; ++i) {
+        const int d = perm[static_cast<size_t>(rail_lo + i)];
+        if (d < 0)
+            continue;
+        const int s = subnet[static_cast<size_t>(i)];
+        const int j_in = i / 2;
+        const int j_out = (d - rail_lo) / 2;
+        const int entry_node = NodeIndex(stage_lo, rail_lo / 2 + j_in);
+        const int exit_node = NodeIndex(stage_hi, rail_lo / 2 + j_out);
+        // Entry: output port s (upper/lower subnet) selects input i%2.
+        config.out_sel[static_cast<size_t>(entry_node)][static_cast<size_t>(s)] = i % 2;
+        // Exit: output port (d parity) selects input port s.
+        config.out_sel[static_cast<size_t>(exit_node)]
+                      [static_cast<size_t>((d - rail_lo) % 2)] = s;
+        sub_perm[static_cast<size_t>(rail_lo + s * half + j_in)] =
+            rail_lo + s * half + j_out;
+    }
+    RouteRec(sub_perm, stage_lo + 1, stage_hi - 1, rail_lo, half, config);
+    RouteRec(sub_perm, stage_lo + 1, stage_hi - 1, rail_lo + half, half, config);
+}
+
+bool
+BenesNetwork::RouteRestricted(const std::vector<RouteRequest>& requests,
+                              const std::vector<std::array<bool, 2>>& allowed_links,
+                              BenesConfig& config, uint64_t seed) const
+{
+    SPA_ASSERT(static_cast<int>(allowed_links.size()) == NumNodes(),
+               "allowed-links mask size mismatch");
+    Rng rng(seed);
+    constexpr int kMaxAttempts = 400;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        if (TryRouteGreedy(requests, rng, &allowed_links, config))
+            return true;
+    }
+    return false;
+}
+
+bool
+BenesNetwork::RoutePhased(const std::vector<RouteRequest>& requests,
+                          std::vector<BenesConfig>& configs, uint64_t seed,
+                          const std::vector<std::array<bool, 2>>* allowed_links) const
+{
+    configs.clear();
+    // Greedy phase partition: a phase holds requests with disjoint
+    // destination sets (each output port carries one stream per phase).
+    std::vector<std::vector<RouteRequest>> phases;
+    for (const RouteRequest& r : requests) {
+        bool placed = false;
+        for (auto& phase : phases) {
+            bool conflict = false;
+            for (const auto& other : phase) {
+                if (other.src == r.src)
+                    conflict = true;
+                for (int d : other.dsts)
+                    for (int rd : r.dsts)
+                        conflict |= d == rd;
+            }
+            if (!conflict) {
+                phase.push_back(r);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            phases.push_back({r});
+    }
+    for (size_t i = 0; i < phases.size(); ++i) {
+        BenesConfig cfg;
+        bool ok;
+        if (allowed_links != nullptr) {
+            ok = RouteRestricted(phases[i], *allowed_links, cfg, seed + i);
+        } else {
+            ok = Route(phases[i], cfg, seed + i);
+        }
+        if (!ok) {
+            // Splitting a failed phase into singletons is the fallback:
+            // a single (possibly multicast) request always routes on an
+            // unpruned Benes network.
+            if (phases[i].size() > 1) {
+                for (size_t j = 1; j < phases[i].size(); ++j)
+                    phases.push_back({phases[i][j]});
+                phases[i].resize(1);
+                if (allowed_links != nullptr) {
+                    ok = RouteRestricted(phases[i], *allowed_links, cfg, seed + i);
+                } else {
+                    ok = Route(phases[i], cfg, seed + i);
+                }
+            }
+            if (!ok)
+                return false;
+        }
+        configs.push_back(std::move(cfg));
+    }
+    return true;
+}
+
+BenesConfig
+BenesNetwork::RoutePermutation(const std::vector<int>& perm) const
+{
+    SPA_ASSERT(static_cast<int>(perm.size()) <= width_, "permutation too wide");
+    std::vector<int> full(static_cast<size_t>(width_), -1);
+    std::vector<bool> dst_used(static_cast<size_t>(width_), false);
+    for (size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] < 0)
+            continue;
+        SPA_ASSERT(perm[i] < width_, "permutation target out of range");
+        SPA_ASSERT(!dst_used[static_cast<size_t>(perm[i])],
+                   "permutation has a destination collision");
+        dst_used[static_cast<size_t>(perm[i])] = true;
+        full[i] = perm[i];
+    }
+    BenesConfig config;
+    config.out_sel.assign(static_cast<size_t>(NumNodes()), {-1, -1});
+    RouteRec(full, 0, num_stages_ - 1, 0, width_, config);
+    return config;
+}
+
+std::vector<int64_t>
+BenesNetwork::Propagate(const BenesConfig& config,
+                        const std::vector<int64_t>& inputs) const
+{
+    SPA_ASSERT(static_cast<int>(config.out_sel.size()) == NumNodes(),
+               "configuration size mismatch");
+    std::vector<int64_t> vals(static_cast<size_t>(width_), -1);
+    for (size_t i = 0; i < inputs.size() && i < static_cast<size_t>(width_); ++i)
+        vals[i] = inputs[i];
+    for (int s = 0; s < num_stages_; ++s) {
+        std::vector<int64_t> next(static_cast<size_t>(width_), -1);
+        for (int n = 0; n < width_ / 2; ++n) {
+            const Node& nd = nodes_[static_cast<size_t>(NodeIndex(s, n))];
+            for (int p = 0; p < 2; ++p) {
+                const int sel =
+                    config.out_sel[static_cast<size_t>(NodeIndex(s, n))]
+                                  [static_cast<size_t>(p)];
+                if (sel < 0)
+                    continue;
+                next[static_cast<size_t>(nd.out_rail[static_cast<size_t>(p)])] =
+                    vals[static_cast<size_t>(nd.in_rail[static_cast<size_t>(sel)])];
+            }
+        }
+        vals.swap(next);
+    }
+    vals.resize(static_cast<size_t>(num_ports_), -1);
+    return vals;
+}
+
+PruneStats
+BenesNetwork::Prune(const std::vector<BenesConfig>& configs) const
+{
+    PruneStats stats;
+    stats.total_nodes = NumNodes();
+    stats.total_links = NumNodes() * 2;
+    std::vector<bool> node_used(static_cast<size_t>(NumNodes()), false);
+    std::vector<std::array<bool, 2>> link_used(static_cast<size_t>(NumNodes()),
+                                               {false, false});
+    for (const BenesConfig& cfg : configs) {
+        if (cfg.Empty())
+            continue;
+        // Propagate liveness: each port carries its own token.
+        std::vector<int64_t> tokens(static_cast<size_t>(num_ports_));
+        for (int i = 0; i < num_ports_; ++i)
+            tokens[static_cast<size_t>(i)] = i;
+        std::vector<int64_t> vals(static_cast<size_t>(width_), -1);
+        for (int i = 0; i < num_ports_; ++i)
+            vals[static_cast<size_t>(i)] = i;
+        for (int s = 0; s < num_stages_; ++s) {
+            std::vector<int64_t> next(static_cast<size_t>(width_), -1);
+            for (int n = 0; n < width_ / 2; ++n) {
+                const int idx = NodeIndex(s, n);
+                const Node& nd = nodes_[static_cast<size_t>(idx)];
+                for (int p = 0; p < 2; ++p) {
+                    const int sel =
+                        cfg.out_sel[static_cast<size_t>(idx)][static_cast<size_t>(p)];
+                    if (sel < 0)
+                        continue;
+                    const int64_t v =
+                        vals[static_cast<size_t>(nd.in_rail[static_cast<size_t>(sel)])];
+                    if (v < 0)
+                        continue;
+                    next[static_cast<size_t>(nd.out_rail[static_cast<size_t>(p)])] = v;
+                    node_used[static_cast<size_t>(idx)] = true;
+                    link_used[static_cast<size_t>(idx)][static_cast<size_t>(p)] = true;
+                }
+            }
+            vals.swap(next);
+        }
+    }
+    for (int i = 0; i < NumNodes(); ++i) {
+        stats.used_nodes += node_used[static_cast<size_t>(i)];
+        stats.used_links += link_used[static_cast<size_t>(i)][0];
+        stats.used_links += link_used[static_cast<size_t>(i)][1];
+    }
+    stats.link_mask = link_used;
+    return stats;
+}
+
+double
+BenesNetwork::PrunedAreaMm2(const PruneStats& stats,
+                            const hw::TechnologyModel& tech) const
+{
+    return static_cast<double>(stats.used_nodes) * tech.benes_node_area_um2 / 1e6;
+}
+
+double
+BenesNetwork::TransferEnergyPj(double bytes, const hw::TechnologyModel& tech) const
+{
+    return bytes * static_cast<double>(num_stages_) * tech.benes_node_energy_pj_per_byte;
+}
+
+}  // namespace noc
+}  // namespace spa

@@ -1,0 +1,167 @@
+#ifndef SPA_NOC_BENES_H_
+#define SPA_NOC_BENES_H_
+
+/**
+ * @file
+ * Reconfigurable inter-PU fabric (Sec. IV-C): an N-input N-output Benes
+ * network of 2x2 clockless mux nodes. Supports
+ *
+ *  - unicast permutation routing via the classic looping algorithm
+ *    ([33]; rearrangeably non-blocking),
+ *  - multicast / partial request routing via randomized-restart layered
+ *    search (the redundant links make common multicasts routable),
+ *  - functional value propagation for verification, and
+ *  - pruning to the union of the per-segment configurations actually
+ *    used by a model (Fig. 10), with area / energy statistics.
+ *
+ * Port counts are rounded up to the next power of two internally.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/tech.h"
+
+namespace spa {
+namespace noc {
+
+/** One source port fanning out to one or more destination ports. */
+struct RouteRequest
+{
+    int src = 0;
+    std::vector<int> dsts;
+};
+
+/**
+ * Mux settings for every node: out_sel[p] is the input port (0/1)
+ * selected by output p, or -1 when the output is idle.
+ */
+struct BenesConfig
+{
+    std::vector<std::array<int, 2>> out_sel;
+
+    bool Empty() const { return out_sel.empty(); }
+};
+
+/** Outcome of pruning a network against a set of configurations. */
+struct PruneStats
+{
+    int total_nodes = 0;
+    int used_nodes = 0;
+    int total_links = 0;   ///< node output wires
+    int used_links = 0;
+    /** Per-node output-port liveness mask (the kept fabric). */
+    std::vector<std::array<bool, 2>> link_mask;
+
+    double NodeReduction() const
+    {
+        return total_nodes ? 1.0 - static_cast<double>(used_nodes) / total_nodes : 0.0;
+    }
+};
+
+/** The Benes topology plus routing / simulation / costing entry points. */
+class BenesNetwork
+{
+  public:
+    /** Builds the network for at least `num_ports` endpoints. */
+    explicit BenesNetwork(int num_ports);
+
+    int num_ports() const { return num_ports_; }
+    /** Internal (power-of-two) width. */
+    int width() const { return width_; }
+    int num_stages() const { return num_stages_; }
+    int NumNodes() const { return num_stages_ * (width_ / 2); }
+
+    /**
+     * Routes a set of (possibly multicast) requests.
+     * @return true and fills `config` on success; false when unroutable
+     *         within the retry budget.
+     */
+    bool Route(const std::vector<RouteRequest>& requests, BenesConfig& config,
+               uint64_t seed = 1) const;
+
+    /**
+     * Routes on the pruned fabric: only node outputs whose
+     * allowed_links mask is true may carry signals (Sec. VI-F's
+     * "connection constraints of the pruned Benes network").
+     */
+    bool RouteRestricted(const std::vector<RouteRequest>& requests,
+                         const std::vector<std::array<bool, 2>>& allowed_links,
+                         BenesConfig& config, uint64_t seed = 1) const;
+
+    /**
+     * Time-multiplexed routing: requests whose destinations collide
+     * (several producer PUs feeding one consumer's port) are split into
+     * phases; the clockless muxes reconfigure between phases within a
+     * segment timeslot. Always succeeds for valid PU traffic unless the
+     * optional pruning mask removes the needed links.
+     * @param configs one fabric configuration per phase.
+     */
+    bool RoutePhased(const std::vector<RouteRequest>& requests,
+                     std::vector<BenesConfig>& configs, uint64_t seed = 1,
+                     const std::vector<std::array<bool, 2>>* allowed_links =
+                         nullptr) const;
+
+    /**
+     * Routes a full or partial unicast permutation with the looping
+     * algorithm; perm[i] = destination of input i, or -1 when idle.
+     * Always succeeds for valid (collision-free) permutations.
+     */
+    BenesConfig RoutePermutation(const std::vector<int>& perm) const;
+
+    /**
+     * Pushes values through a configuration.
+     * @param inputs value per input port (tokens chosen by the caller).
+     * @return value per output port; -1 where no signal arrives.
+     */
+    std::vector<int64_t> Propagate(const BenesConfig& config,
+                                   const std::vector<int64_t>& inputs) const;
+
+    /** Computes the pruning statistics over a set of configurations. */
+    PruneStats Prune(const std::vector<BenesConfig>& configs) const;
+
+    /** Silicon area of the *pruned* fabric, mm^2. */
+    double PrunedAreaMm2(const PruneStats& stats,
+                         const hw::TechnologyModel& tech = hw::DefaultTech()) const;
+
+    /** Energy of moving `bytes` through the full fabric depth, pJ. */
+    double TransferEnergyPj(double bytes,
+                            const hw::TechnologyModel& tech = hw::DefaultTech()) const;
+
+  private:
+    struct Node
+    {
+        // Rail index at boundary `stage` feeding each input port.
+        std::array<int, 2> in_rail{{-1, -1}};
+        // Rail index at boundary `stage + 1` driven by each output port.
+        std::array<int, 2> out_rail{{-1, -1}};
+    };
+
+    void Build(int stage_lo, int stage_hi, int rail_lo, int m);
+    int NodeIndex(int stage, int node_in_stage) const
+    {
+        return stage * (width_ / 2) + node_in_stage;
+    }
+
+    bool TryRouteGreedy(const std::vector<RouteRequest>& requests, Rng& rng,
+                        const std::vector<std::array<bool, 2>>* allowed_links,
+                        BenesConfig& config) const;
+    void RouteRec(const std::vector<int>& perm, int stage_lo, int stage_hi, int rail_lo,
+                  int m, BenesConfig& config) const;
+
+    int num_ports_;
+    int width_;
+    int num_stages_;
+    std::vector<Node> nodes_;
+    // consumer_[b][r]: node-in-stage index consuming rail r at boundary b,
+    // and which input port of that node it is.
+    std::vector<std::vector<std::pair<int, int>>> consumer_;
+};
+
+}  // namespace noc
+}  // namespace spa
+
+#endif  // SPA_NOC_BENES_H_

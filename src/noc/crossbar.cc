@@ -1,0 +1,49 @@
+#include "noc/crossbar.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace noc {
+
+bool
+Crossbar::Route(const std::vector<RouteRequest>& requests,
+                std::vector<int>& selected) const
+{
+    selected.assign(static_cast<size_t>(num_ports_), -1);
+    for (const auto& r : requests) {
+        SPA_ASSERT(r.src >= 0 && r.src < num_ports_, "crossbar src out of range");
+        for (int dst : r.dsts) {
+            SPA_ASSERT(dst >= 0 && dst < num_ports_, "crossbar dst out of range");
+            if (selected[static_cast<size_t>(dst)] != -1 &&
+                selected[static_cast<size_t>(dst)] != r.src) {
+                return false;  // output contention
+            }
+            selected[static_cast<size_t>(dst)] = r.src;
+        }
+    }
+    return true;
+}
+
+double
+Crossbar::AreaMm2(const hw::TechnologyModel& tech) const
+{
+    // An N-input mux decomposes into N-1 2-input muxes; a Benes node
+    // holds two of them, so one crosspoint column costs
+    // (N-1)/2 node-equivalents.
+    const double node_equivalents =
+        static_cast<double>(num_ports_) * (num_ports_ - 1) / 2.0;
+    return node_equivalents * tech.benes_node_area_um2 / 1e6;
+}
+
+double
+Crossbar::TransferEnergyPj(double bytes, const hw::TechnologyModel& tech) const
+{
+    // Mux-tree depth log2(N) of 2-input stages.
+    const double depth = std::ceil(std::log2(std::max(2, num_ports_)));
+    return bytes * depth * tech.benes_node_energy_pj_per_byte;
+}
+
+}  // namespace noc
+}  // namespace spa

@@ -1,0 +1,59 @@
+#ifndef SPA_NOC_CROSSBAR_H_
+#define SPA_NOC_CROSSBAR_H_
+
+/**
+ * @file
+ * Full N x N crossbar — the obvious alternative to the Benes fabric.
+ * Strictly non-blocking with native multicast and a single-mux delay,
+ * but O(N^2) crosspoints against the Benes network's O(N log N) nodes:
+ * the ablation `bench/ablation_interconnect` quantifies where the
+ * paper's choice pays off.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/tech.h"
+#include "noc/benes.h"
+
+namespace spa {
+namespace noc {
+
+/** Output-multiplexer crossbar over `num_ports` endpoints. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(int num_ports) : num_ports_(num_ports) {}
+
+    int num_ports() const { return num_ports_; }
+
+    /** Crosspoint count (one N-input mux per output). */
+    int64_t
+    NumCrosspoints() const
+    {
+        return static_cast<int64_t>(num_ports_) * num_ports_;
+    }
+
+    /**
+     * Routes requests: every destination selects its source. Always
+     * succeeds unless two requests drive the same output.
+     * @param selected out: per-output source port (-1 idle).
+     */
+    bool Route(const std::vector<RouteRequest>& requests,
+               std::vector<int>& selected) const;
+
+    /** Silicon area (mm^2): an N-input mux tree per output. */
+    double AreaMm2(const hw::TechnologyModel& tech = hw::DefaultTech()) const;
+
+    /** Energy of moving `bytes` through one crosspoint column, pJ. */
+    double TransferEnergyPj(double bytes,
+                            const hw::TechnologyModel& tech = hw::DefaultTech()) const;
+
+  private:
+    int num_ports_;
+};
+
+}  // namespace noc
+}  // namespace spa
+
+#endif  // SPA_NOC_CROSSBAR_H_

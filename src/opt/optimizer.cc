@@ -1,0 +1,228 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace spa {
+namespace opt {
+
+namespace {
+
+std::vector<int>
+RandomPoint(const Space& space, Rng& rng)
+{
+    std::vector<int> x(static_cast<size_t>(space.dims()));
+    for (int i = 0; i < space.dims(); ++i)
+        x[static_cast<size_t>(i)] = static_cast<int>(
+            rng.UniformInt(0, space.cardinalities[static_cast<size_t>(i)] - 1));
+    return x;
+}
+
+void
+Record(OptResult& result, const std::vector<int>& x, double value)
+{
+    result.evaluations.push_back({x, value});
+    if (value < result.best_value) {
+        result.best_value = value;
+        result.best_x = x;
+    }
+    result.history.push_back(result.best_value);
+}
+
+/** Maps a point into the unit cube for the GP kernel. */
+std::vector<double>
+ToUnit(const Space& space, const std::vector<int>& x)
+{
+    std::vector<double> u(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        const int card = space.cardinalities[i];
+        u[i] = card > 1 ? static_cast<double>(x[i]) / (card - 1) : 0.0;
+    }
+    return u;
+}
+
+double
+RbfKernel(const std::vector<double>& a, const std::vector<double>& b,
+          double length_scale)
+{
+    double d2 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return std::exp(-0.5 * d2 / (length_scale * length_scale));
+}
+
+/** Standard normal pdf / cdf for expected improvement. */
+double
+NormPdf(double z)
+{
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.141592653589793);
+}
+
+double
+NormCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+int64_t
+Space::NumPoints() const
+{
+    int64_t total = 1;
+    for (int c : cardinalities) {
+        if (total > (INT64_MAX / 2) / std::max(c, 1))
+            return INT64_MAX / 2;
+        total *= c;
+    }
+    return total;
+}
+
+OptResult
+RandomSearch(const Space& space, const Objective& objective, int iterations,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    OptResult result;
+    for (int i = 0; i < iterations; ++i) {
+        const auto x = RandomPoint(space, rng);
+        Record(result, x, objective(x));
+    }
+    return result;
+}
+
+OptResult
+SimulatedAnnealing(const Space& space, const Objective& objective, int iterations,
+                   uint64_t seed, double t0, double cooling)
+{
+    Rng rng(seed);
+    OptResult result;
+    std::vector<int> current = RandomPoint(space, rng);
+    double current_value = objective(current);
+    Record(result, current, current_value);
+    double temperature = t0;
+    for (int i = 1; i < iterations; ++i) {
+        std::vector<int> next = current;
+        const int dim = static_cast<int>(rng.UniformInt(0, space.dims() - 1));
+        const int card = space.cardinalities[static_cast<size_t>(dim)];
+        if (card > 1) {
+            int step = rng.Uniform() < 0.5 ? -1 : 1;
+            int v = next[static_cast<size_t>(dim)] + step;
+            if (v < 0 || v >= card)
+                v = next[static_cast<size_t>(dim)] - step;
+            next[static_cast<size_t>(dim)] = std::clamp(v, 0, card - 1);
+        }
+        const double next_value = objective(next);
+        Record(result, next, next_value);
+        const double delta = next_value - current_value;
+        if (delta <= 0.0 ||
+            rng.Uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+            current = next;
+            current_value = next_value;
+        }
+        temperature *= cooling;
+    }
+    return result;
+}
+
+OptResult
+BayesianOptimize(const Space& space, const Objective& objective, int iterations,
+                 uint64_t seed, const BayesOptions& options)
+{
+    Rng rng(seed);
+    OptResult result;
+    std::vector<std::vector<double>> xs_unit;
+    std::vector<double> ys;
+
+    auto evaluate = [&](const std::vector<int>& x) {
+        const double y = objective(x);
+        Record(result, x, y);
+        xs_unit.push_back(ToUnit(space, x));
+        ys.push_back(y);
+    };
+
+    const int warmup = std::min(options.initial_samples, iterations);
+    for (int i = 0; i < warmup; ++i)
+        evaluate(RandomPoint(space, rng));
+
+    for (int iter = warmup; iter < iterations; ++iter) {
+        // Window the conditioning set so the Cholesky stays tractable
+        // at hundreds of iterations (keep the most recent points; the
+        // incumbent is re-appended if it would fall out).
+        if (static_cast<int>(ys.size()) > options.max_gp_points) {
+            size_t best_idx = 0;
+            for (size_t i = 1; i < ys.size(); ++i)
+                if (ys[i] < ys[best_idx])
+                    best_idx = i;
+            const auto best_x_unit = xs_unit[best_idx];
+            const double best_y = ys[best_idx];
+            const size_t keep = static_cast<size_t>(options.max_gp_points) - 1;
+            xs_unit.erase(xs_unit.begin(),
+                          xs_unit.end() - static_cast<long>(keep));
+            ys.erase(ys.begin(), ys.end() - static_cast<long>(keep));
+            xs_unit.push_back(best_x_unit);
+            ys.push_back(best_y);
+        }
+        // Normalize observations for GP conditioning.
+        const size_t n = ys.size();
+        double mean = 0.0;
+        for (double y : ys)
+            mean += y;
+        mean /= static_cast<double>(n);
+        double var = 1e-12;
+        for (double y : ys)
+            var += (y - mean) * (y - mean);
+        var /= static_cast<double>(n);
+        const double stddev = std::sqrt(var);
+        std::vector<double> yn(n);
+        for (size_t i = 0; i < n; ++i)
+            yn[i] = (ys[i] - mean) / stddev;
+
+        la::Matrix kmat(n, n);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                kmat(i, j) = RbfKernel(xs_unit[i], xs_unit[j], options.length_scale);
+        la::Matrix lmat;
+        if (!la::Cholesky(kmat, lmat, options.noise + 1e-8)) {
+            // Degenerate kernel: fall back to a random probe.
+            evaluate(RandomPoint(space, rng));
+            continue;
+        }
+        const auto alpha =
+            la::SolveLowerTransposed(lmat, la::SolveLower(lmat, yn));
+
+        // Expected improvement over random candidates.
+        double best_norm = *std::min_element(yn.begin(), yn.end());
+        std::vector<int> best_candidate;
+        double best_ei = -1.0;
+        for (int c = 0; c < options.acquisition_samples; ++c) {
+            const auto candidate = RandomPoint(space, rng);
+            const auto cu = ToUnit(space, candidate);
+            std::vector<double> kvec(n);
+            for (size_t i = 0; i < n; ++i)
+                kvec[i] = RbfKernel(cu, xs_unit[i], options.length_scale);
+            const double mu = la::Dot(kvec, alpha);
+            const auto v = la::SolveLower(lmat, kvec);
+            double sigma2 = 1.0 - la::Dot(v, v);
+            sigma2 = std::max(sigma2, 1e-10);
+            const double sigma = std::sqrt(sigma2);
+            const double z = (best_norm - mu) / sigma;
+            const double ei = sigma * (z * NormCdf(z) + NormPdf(z));
+            if (ei > best_ei) {
+                best_ei = ei;
+                best_candidate = candidate;
+            }
+        }
+        evaluate(best_candidate);
+    }
+    return result;
+}
+
+}  // namespace opt
+}  // namespace spa

@@ -1,0 +1,76 @@
+#ifndef SPA_OPT_OPTIMIZER_H_
+#define SPA_OPT_OPTIMIZER_H_
+
+/**
+ * @file
+ * Black-box optimizers over small discrete spaces. These implement the
+ * co-design baselines of Sec. VI-G: random search ("MIP-Random"),
+ * Bayesian optimization with a Gaussian-process surrogate and expected
+ * improvement ("MIP-Baye", "Baye-Heuristic", "Baye-Baye"), plus
+ * simulated annealing as an extra reference point.
+ *
+ * A candidate is an index vector x with x[i] in [0, cardinality_i).
+ * Objectives are minimized; return a large value for invalid points.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spa {
+namespace opt {
+
+/** Discrete box search space. */
+struct Space
+{
+    std::vector<int> cardinalities;
+
+    int dims() const { return static_cast<int>(cardinalities.size()); }
+
+    /** Total number of points (saturates at INT64_MAX/2). */
+    int64_t NumPoints() const;
+};
+
+/** Objective to minimize. */
+using Objective = std::function<double(const std::vector<int>&)>;
+
+/** Optimization trace. */
+struct OptResult
+{
+    std::vector<int> best_x;
+    double best_value = 1e30;
+    /** Best-so-far objective after each evaluation. */
+    std::vector<double> history;
+    /** Every evaluated (point, value) pair, in order. */
+    std::vector<std::pair<std::vector<int>, double>> evaluations;
+};
+
+/** Uniform random sampling. */
+OptResult RandomSearch(const Space& space, const Objective& objective, int iterations,
+                       uint64_t seed);
+
+/** Simulated annealing with single-coordinate moves. */
+OptResult SimulatedAnnealing(const Space& space, const Objective& objective,
+                             int iterations, uint64_t seed, double t0 = 1.0,
+                             double cooling = 0.97);
+
+/** Knobs for the GP Bayesian optimizer. */
+struct BayesOptions
+{
+    int initial_samples = 8;       ///< random warm-up evaluations
+    int acquisition_samples = 256; ///< EI candidates per iteration
+    double length_scale = 0.3;     ///< RBF kernel length scale (unit cube)
+    double noise = 1e-6;
+    /** GP conditioning set cap: most recent observations kept. */
+    int max_gp_points = 160;
+};
+
+/** Gaussian-process (RBF kernel) expected-improvement optimizer. */
+OptResult BayesianOptimize(const Space& space, const Objective& objective,
+                           int iterations, uint64_t seed,
+                           const BayesOptions& options = BayesOptions());
+
+}  // namespace opt
+}  // namespace spa
+
+#endif  // SPA_OPT_OPTIMIZER_H_

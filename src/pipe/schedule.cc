@@ -1,0 +1,38 @@
+#include "pipe/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace pipe {
+
+SpaScheduleResult
+SpaScheduler::RunModel(const nn::Workload& w, const seg::Assignment& a,
+                       const hw::SpaConfig& config,
+                       const std::vector<std::vector<hw::Dataflow>>& dataflow) const
+{
+    SPA_ASSERT(static_cast<int>(dataflow.size()) == a.num_segments,
+               "need one dataflow program per segment");
+    SpaScheduleResult result;
+    for (int s = 0; s < a.num_segments; ++s) {
+        SegmentSlot slot;
+        slot.sim = sim_.Simulate(w, a, s, config, dataflow[static_cast<size_t>(s)]);
+        const double bytes = static_cast<double>(seg::SegmentAccessBytes(w, a, s));
+        const double seconds = bytes / (config.bandwidth_gbps * 1e9);
+        slot.memory_cycles =
+            static_cast<int64_t>(seconds * config.freq_ghz * 1e9);
+        slot.slot_cycles = std::max(slot.sim.total_cycles, slot.memory_cycles);
+        slot.memory_bound = slot.memory_cycles > slot.sim.total_cycles;
+        result.total_cycles += slot.slot_cycles;
+        if (s > 0) {
+            result.reconfig_cycles += reconfig_cycles_;
+            result.total_cycles += reconfig_cycles_;
+        }
+        result.slots.push_back(std::move(slot));
+    }
+    return result;
+}
+
+}  // namespace pipe
+}  // namespace spa

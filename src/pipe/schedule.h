@@ -1,0 +1,77 @@
+#ifndef SPA_PIPE_SCHEDULE_H_
+#define SPA_PIPE_SCHEDULE_H_
+
+/**
+ * @file
+ * Whole-model SPA execution schedule: the segment-grained timeslots of
+ * Fig. 8(a). Segments run back to back on the shared PUs; between
+ * segments the sequencer reprograms the fabric muxes and the PU
+ * dataflow modes (a short reconfiguration bubble), and each segment's
+ * piece-level behaviour comes from the discrete-event SegmentSimulator,
+ * stretched by the DRAM time when the segment is memory bound.
+ */
+
+#include "hw/config.h"
+#include "pipe/sim.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace pipe {
+
+/** Timing of one segment timeslot. */
+struct SegmentSlot
+{
+    SegmentSimResult sim;            ///< piece-level compute schedule
+    int64_t memory_cycles = 0;       ///< DRAM traffic at the configured BW
+    int64_t slot_cycles = 0;         ///< max(compute, memory)
+    bool memory_bound = false;
+};
+
+/** Whole-model schedule. */
+struct SpaScheduleResult
+{
+    std::vector<SegmentSlot> slots;
+    int64_t reconfig_cycles = 0;  ///< total inter-segment bubbles
+    int64_t total_cycles = 0;
+
+    double
+    Seconds(double freq_ghz) const
+    {
+        return static_cast<double>(total_cycles) / (freq_ghz * 1e9);
+    }
+};
+
+/** Sequencer model. */
+class SpaScheduler
+{
+  public:
+    /**
+     * @param reconfig_cycles bubble per segment switch (fabric mux
+     *        reprogramming + dataflow mode switch + drain).
+     */
+    explicit SpaScheduler(const cost::CostModel& cost_model,
+                          int64_t reconfig_cycles = 64)
+        : cost_(cost_model), sim_(cost_model), reconfig_cycles_(reconfig_cycles)
+    {
+    }
+
+    /**
+     * Runs every segment of the assignment in order on `config`.
+     * @param dataflow per-segment, per-PU dataflow programs (e.g. from
+     *        alloc::AllocationResult::segments[s].dataflow).
+     */
+    SpaScheduleResult RunModel(const nn::Workload& w, const seg::Assignment& a,
+                               const hw::SpaConfig& config,
+                               const std::vector<std::vector<hw::Dataflow>>&
+                                   dataflow) const;
+
+  private:
+    const cost::CostModel& cost_;
+    SegmentSimulator sim_;
+    int64_t reconfig_cycles_;
+};
+
+}  // namespace pipe
+}  // namespace spa
+
+#endif  // SPA_PIPE_SCHEDULE_H_

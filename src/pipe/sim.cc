@@ -1,0 +1,254 @@
+#include "pipe/sim.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/util.h"
+#include "pu/driver.h"
+#include "pu/reference.h"
+
+namespace spa {
+namespace pipe {
+
+namespace {
+
+/** Per-layer piece bookkeeping for the discrete-event schedule. */
+struct LayerState
+{
+    int layer = -1;           ///< workload index
+    int pu = -1;
+    int64_t pieces = 0;       ///< = hout
+    int64_t piece_cycles = 0;
+    int64_t next_piece = 0;   ///< first unscheduled piece
+    std::vector<int64_t> done_time;
+    std::vector<int> producers;  ///< intra-segment producer layer indices
+};
+
+/** Producer piece that must be finished before consumer piece p. */
+int64_t
+RequiredProducerPiece(const nn::WorkloadLayer& consumer,
+                      const nn::WorkloadLayer& producer, int64_t p)
+{
+    // Consumer output row p consumes input rows up to
+    // p*stride + k - 1 - pad (pad ~ k/2); map through any resolution
+    // change between producer output and consumer input.
+    const int64_t pad = consumer.kernel / 2;
+    int64_t in_row = p * consumer.stride + consumer.kernel - 1 - pad;
+    in_row = std::clamp<int64_t>(in_row, 0, std::max<int64_t>(0, consumer.hin - 1));
+    int64_t prod_row = consumer.hin > 0
+                           ? in_row * producer.hout / consumer.hin
+                           : 0;
+    prod_row = std::clamp<int64_t>(prod_row, 0,
+                                   std::max<int64_t>(0, producer.hout - 1));
+    return prod_row;
+}
+
+}  // namespace
+
+SegmentSimResult
+SegmentSimulator::Simulate(const nn::Workload& w, const seg::Assignment& a, int s,
+                           const hw::SpaConfig& config,
+                           const std::vector<hw::Dataflow>& dataflow_per_pu) const
+{
+    SPA_ASSERT(static_cast<int>(config.pus.size()) == a.num_pus,
+               "config does not match the assignment");
+    SPA_ASSERT(static_cast<int>(dataflow_per_pu.size()) == a.num_pus,
+               "dataflow list does not match the assignment");
+
+    std::vector<LayerState> states;
+    std::map<int, int> state_of;  // workload layer -> state index
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        if (a.segment_of[static_cast<size_t>(l)] != s)
+            continue;
+        LayerState st;
+        st.layer = l;
+        st.pu = a.pu_of[static_cast<size_t>(l)];
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        st.pieces = std::max<int64_t>(1, layer.hout);
+        const int64_t total = cost_.ComputeCycles(
+            layer, config.pus[static_cast<size_t>(st.pu)],
+            dataflow_per_pu[static_cast<size_t>(st.pu)]);
+        st.piece_cycles = CeilDiv(total, st.pieces);
+        st.done_time.assign(static_cast<size_t>(st.pieces), -1);
+        state_of[l] = static_cast<int>(states.size());
+        states.push_back(std::move(st));
+    }
+    for (auto& st : states) {
+        for (int e : w.in_edges[static_cast<size_t>(st.layer)]) {
+            const auto& edge = w.edges[static_cast<size_t>(e)];
+            if (edge.src >= 0 && state_of.count(edge.src))
+                st.producers.push_back(edge.src);
+        }
+    }
+
+    SegmentSimResult result;
+    result.pu_busy_cycles.assign(static_cast<size_t>(a.num_pus), 0);
+    result.pu_stall_cycles.assign(static_cast<size_t>(a.num_pus), 0);
+
+    std::vector<int64_t> pu_free(static_cast<size_t>(a.num_pus), 0);
+    int64_t remaining = 0;
+    for (const auto& st : states)
+        remaining += st.pieces;
+    result.pieces_executed = remaining;
+
+    while (remaining > 0) {
+        // Globally earliest-start piece (greedy list scheduling).
+        int best_state = -1;
+        int64_t best_start = 0;
+        for (size_t i = 0; i < states.size(); ++i) {
+            LayerState& st = states[i];
+            if (st.next_piece >= st.pieces)
+                continue;
+            int64_t deps_ready = 0;
+            bool ready_known = true;
+            for (int prod : st.producers) {
+                const LayerState& ps =
+                    states[static_cast<size_t>(state_of.at(prod))];
+                const int64_t need = RequiredProducerPiece(
+                    w.layers[static_cast<size_t>(st.layer)],
+                    w.layers[static_cast<size_t>(ps.layer)], st.next_piece);
+                if (ps.done_time[static_cast<size_t>(need)] < 0) {
+                    ready_known = false;  // producer piece not yet scheduled
+                    break;
+                }
+                deps_ready = std::max(deps_ready,
+                                      ps.done_time[static_cast<size_t>(need)]);
+            }
+            if (!ready_known)
+                continue;
+            const int64_t start =
+                std::max(deps_ready, pu_free[static_cast<size_t>(st.pu)]);
+            if (best_state < 0 || start < best_start) {
+                best_state = static_cast<int>(i);
+                best_start = start;
+            }
+        }
+        SPA_ASSERT(best_state >= 0,
+                   "segment schedule deadlock: cyclic piece dependencies");
+        LayerState& st = states[static_cast<size_t>(best_state)];
+        const int64_t end = best_start + st.piece_cycles;
+        st.done_time[static_cast<size_t>(st.next_piece)] = end;
+        ++st.next_piece;
+        result.pu_busy_cycles[static_cast<size_t>(st.pu)] += st.piece_cycles;
+        pu_free[static_cast<size_t>(st.pu)] = end;
+        result.total_cycles = std::max(result.total_cycles, end);
+        --remaining;
+    }
+    for (int n = 0; n < a.num_pus; ++n)
+        result.pu_stall_cycles[static_cast<size_t>(n)] =
+            result.total_cycles - result.pu_busy_cycles[static_cast<size_t>(n)];
+    return result;
+}
+
+FunctionalResult
+RunSegmentFunctional(const nn::Graph& graph, const nn::Workload& w,
+                     const seg::Assignment& a, int s, const hw::SpaConfig& config,
+                     const std::vector<hw::Dataflow>& dataflow_per_pu,
+                     const noc::BenesNetwork& fabric, uint64_t seed,
+                     int requant_shift)
+{
+    FunctionalResult result;
+
+    // Route the segment's inter-PU traffic on the fabric first.
+    std::map<int, std::vector<int>> fanout;  // src pu -> dst pus
+    for (const auto& comm : seg::SegmentComms(w, a, s))
+        fanout[comm.src_pu].push_back(comm.dst_pu);
+    std::vector<noc::RouteRequest> requests;
+    for (auto& [src, dsts] : fanout) {
+        std::sort(dsts.begin(), dsts.end());
+        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+        requests.push_back({src, dsts});
+    }
+    std::vector<noc::BenesConfig> phases;
+    if (!fabric.RoutePhased(requests, phases, seed)) {
+        result.error = "inter-PU traffic is unroutable on the fabric";
+        return result;
+    }
+    if (!phases.empty())
+        result.fabric_config = phases.front();
+
+    // Functional execution over the *graph* (glue included); layers of
+    // segment s run on their PU's systolic driver.
+    Rng rng(seed);
+    std::map<nn::LayerId, int> workload_of;
+    for (int l = 0; l < w.NumLayers(); ++l)
+        workload_of[w.layers[static_cast<size_t>(l)].graph_id] = l;
+
+    std::vector<pu::Tensor3> values(graph.size());
+    result.outputs.resize(w.layers.size());
+    for (const nn::Layer& layer : graph.layers()) {
+        switch (layer.type()) {
+          case nn::LayerType::kInput: {
+            pu::Tensor3 t(layer.out_shape().c, layer.out_shape().h,
+                          layer.out_shape().w);
+            t.FillRandom(rng);
+            values[static_cast<size_t>(layer.id())] = std::move(t);
+            break;
+          }
+          case nn::LayerType::kConv: {
+            const pu::Tensor3& input =
+                values[static_cast<size_t>(layer.inputs()[0])];
+            pu::Weights4 weights(layer.params().out_channels,
+                                 layer.in_shape().c / layer.params().groups,
+                                 layer.params().kernel);
+            weights.FillRandom(rng);
+            const int widx = workload_of.at(layer.id());
+            pu::Tensor3i32 acc;
+            if (a.segment_of[static_cast<size_t>(widx)] == s) {
+                const int pu_idx = a.pu_of[static_cast<size_t>(widx)];
+                const auto& pu_cfg = config.pus[static_cast<size_t>(pu_idx)];
+                pu::PuDriver driver(pu_cfg.rows, pu_cfg.cols);
+                acc = driver
+                          .RunConv(input, weights, layer.params().stride,
+                                   layer.params().pad, layer.params().groups,
+                                   dataflow_per_pu[static_cast<size_t>(pu_idx)])
+                          .out;
+            } else {
+                acc = pu::ReferenceConv(input, weights, layer.params().stride,
+                                        layer.params().pad, layer.params().groups);
+            }
+            pu::Tensor3 out = pu::Requantize(acc, requant_shift);
+            result.outputs[static_cast<size_t>(widx)] = out;
+            values[static_cast<size_t>(layer.id())] = std::move(out);
+            break;
+          }
+          case nn::LayerType::kMaxPool: {
+            values[static_cast<size_t>(layer.id())] = pu::ReferenceMaxPool(
+                values[static_cast<size_t>(layer.inputs()[0])],
+                layer.params().kernel, layer.params().stride, layer.params().pad);
+            break;
+          }
+          case nn::LayerType::kAdd: {
+            values[static_cast<size_t>(layer.id())] = pu::ReferenceAdd(
+                values[static_cast<size_t>(layer.inputs()[0])],
+                values[static_cast<size_t>(layer.inputs()[1])]);
+            break;
+          }
+          case nn::LayerType::kConcat: {
+            const auto& out_shape = layer.out_shape();
+            pu::Tensor3 out(out_shape.c, out_shape.h, out_shape.w);
+            int64_t offset = 0;
+            for (nn::LayerId in : layer.inputs()) {
+                const pu::Tensor3& part = values[static_cast<size_t>(in)];
+                for (int64_t c = 0; c < part.c(); ++c)
+                    for (int64_t hh = 0; hh < part.h(); ++hh)
+                        for (int64_t ww = 0; ww < part.w(); ++ww)
+                            out.at(offset + c, hh, ww) = part.at(c, hh, ww);
+                offset += part.c();
+            }
+            values[static_cast<size_t>(layer.id())] = std::move(out);
+            break;
+          }
+          default:
+            result.error = std::string("functional path does not support '") +
+                           nn::LayerTypeName(layer.type()) + "'";
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+}  // namespace pipe
+}  // namespace spa

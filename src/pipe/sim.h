@@ -1,0 +1,103 @@
+#ifndef SPA_PIPE_SIM_H_
+#define SPA_PIPE_SIM_H_
+
+/**
+ * @file
+ * Piece-based segment pipeline simulation (Sec. IV-A, Fig. 8).
+ *
+ * The discrete-event simulator executes one segment at piece (ofmap
+ * row-group) granularity: every layer's work is split into pieces, a
+ * consumer piece becomes ready once the producer rows inside its K+S
+ * input window exist, and pieces sharing a PU serialize (alternating
+ * layers, Fig. 8's L6/L7). It reports exact cycle counts with stalls,
+ * so the allocator's analytical fill-factor model can be validated.
+ *
+ * RunSegmentFunctional additionally pushes real int8 tensors through
+ * the per-PU systolic drivers in the assigned dataflows and checks the
+ * inter-PU transfers route on the Benes fabric — the end-to-end
+ * functional proof of a segment.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost.h"
+#include "hw/config.h"
+#include "noc/benes.h"
+#include "nn/graph.h"
+#include "nn/workload.h"
+#include "pu/tensor.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace pipe {
+
+/** Cycle-level outcome of one segment. */
+struct SegmentSimResult
+{
+    int64_t total_cycles = 0;
+    std::vector<int64_t> pu_busy_cycles;
+    std::vector<int64_t> pu_stall_cycles;  ///< idle while the segment runs
+    int64_t pieces_executed = 0;
+
+    double
+    PipelineEfficiency() const
+    {
+        int64_t busy = 0, total = 0;
+        for (size_t n = 0; n < pu_busy_cycles.size(); ++n) {
+            busy += pu_busy_cycles[n];
+            total += total_cycles;
+        }
+        return total > 0 ? static_cast<double>(busy) / static_cast<double>(total) : 0.0;
+    }
+};
+
+/** Piece-based discrete-event simulator for one segment. */
+class SegmentSimulator
+{
+  public:
+    explicit SegmentSimulator(const cost::CostModel& cost_model) : cost_(cost_model) {}
+
+    /**
+     * Simulates segment `s` of the assignment on `config`.
+     * Piece = one ofmap row per layer; per-piece cycles come from the
+     * analytical model divided evenly over rows.
+     */
+    SegmentSimResult Simulate(const nn::Workload& w, const seg::Assignment& a, int s,
+                              const hw::SpaConfig& config,
+                              const std::vector<hw::Dataflow>& dataflow_per_pu) const;
+
+  private:
+    const cost::CostModel& cost_;
+};
+
+/** Functional segment execution result. */
+struct FunctionalResult
+{
+    bool ok = false;
+    std::string error;
+    /** Output tensor per workload layer index (int8, requantized). */
+    std::vector<pu::Tensor3> outputs;
+    /** Benes configurations used for the inter-PU traffic. */
+    noc::BenesConfig fabric_config;
+};
+
+/**
+ * Executes all layers of segment `s` functionally: each conv runs on
+ * its assigned PU's systolic driver in the given dataflow; inter-PU
+ * edges are routed on `fabric`. Inputs are generated deterministically
+ * from `seed`. Only conv layers are supported (the case-study tower).
+ *
+ * @param requant_shift right-shift applied between layers.
+ */
+FunctionalResult RunSegmentFunctional(const nn::Graph& graph, const nn::Workload& w,
+                                      const seg::Assignment& a, int s,
+                                      const hw::SpaConfig& config,
+                                      const std::vector<hw::Dataflow>& dataflow_per_pu,
+                                      const noc::BenesNetwork& fabric,
+                                      uint64_t seed = 7, int requant_shift = 6);
+
+}  // namespace pipe
+}  // namespace spa
+
+#endif  // SPA_PIPE_SIM_H_

@@ -1,0 +1,48 @@
+#include "pu/actbuf.h"
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace pu {
+
+ActivationBuffer::ActivationBuffer(int64_t rn, int64_t channels, int64_t width,
+                                   int64_t kernel, int64_t stride)
+    : rn_(rn), channels_(channels), width_(width), kernel_(kernel), stride_(stride),
+      words_per_col_(CeilDiv(channels, rn))
+{
+    SPA_ASSERT(rn >= 1 && channels >= 1 && width >= 1, "bad activation buffer shape");
+    data_.assign(static_cast<size_t>(CapacityBytes()), 0);
+}
+
+int64_t
+ActivationBuffer::CapacityBytes() const
+{
+    // (K+S) rows of W_i columns, each ceil(C_i/R_n) words of R_n bytes.
+    return ActiveRows() * width_ * words_per_col_ * rn_;
+}
+
+int64_t
+ActivationBuffer::Offset(int64_t c, int64_t w, int64_t h) const
+{
+    SPA_ASSERT(c >= 0 && c < channels_, "channel out of range");
+    SPA_ASSERT(w >= 0 && w < width_, "column out of range");
+    return c / rn_ + w * words_per_col_ + (h % ActiveRows()) * width_ * words_per_col_;
+}
+
+void
+ActivationBuffer::Write(int64_t c, int64_t w, int64_t h, int8_t value)
+{
+    const int64_t byte = Offset(c, w, h) * rn_ + c % rn_;
+    data_[static_cast<size_t>(byte)] = value;
+}
+
+int8_t
+ActivationBuffer::Read(int64_t c, int64_t w, int64_t h) const
+{
+    const int64_t byte = Offset(c, w, h) * rn_ + c % rn_;
+    return data_[static_cast<size_t>(byte)];
+}
+
+}  // namespace pu
+}  // namespace spa

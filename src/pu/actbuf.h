@@ -1,0 +1,65 @@
+#ifndef SPA_PU_ACTBUF_H_
+#define SPA_PU_ACTBUF_H_
+
+/**
+ * @file
+ * PU local activation memory (Sec. IV-B "PU Local Memory"). Feature
+ * maps are stored channel-first in R_n-wide words and the buffer is
+ * reused in a circular-shifted manner over the K+S active rows, per
+ * Eq. 1 of the paper:
+ *
+ *   offset = floor(c / R_n) + w * ceil(C_i / R_n)
+ *          + (h % (K+S)) * W_i * ceil(C_i / R_n)
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace spa {
+namespace pu {
+
+/** Circular row-buffer for one layer's input feature map slice. */
+class ActivationBuffer
+{
+  public:
+    /**
+     * @param rn       R_n, the PU row count (channels packed per word).
+     * @param channels C_i of the stored ifmap.
+     * @param width    W_i of the stored ifmap.
+     * @param kernel   K of the consuming layer.
+     * @param stride   S of the consuming layer.
+     */
+    ActivationBuffer(int64_t rn, int64_t channels, int64_t width, int64_t kernel,
+                     int64_t stride);
+
+    /** Active row window (K + S). */
+    int64_t ActiveRows() const { return kernel_ + stride_; }
+
+    /** Total capacity in int8 words required by the circular layout. */
+    int64_t CapacityBytes() const;
+
+    /** Eq. 1 word offset of element (c, w, h). */
+    int64_t Offset(int64_t c, int64_t w, int64_t h) const;
+
+    /** Writes one element; overwrites whatever row aliases to this slot. */
+    void Write(int64_t c, int64_t w, int64_t h, int8_t value);
+
+    /**
+     * Reads one element. The caller must respect the circular window:
+     * reading a row that has been overwritten returns the newer row's
+     * data (exactly as the hardware would).
+     */
+    int8_t Read(int64_t c, int64_t w, int64_t h) const;
+
+    int64_t rn() const { return rn_; }
+
+  private:
+    int64_t rn_, channels_, width_, kernel_, stride_;
+    int64_t words_per_col_;   ///< ceil(C_i / R_n)
+    std::vector<int8_t> data_;
+};
+
+}  // namespace pu
+}  // namespace spa
+
+#endif  // SPA_PU_ACTBUF_H_

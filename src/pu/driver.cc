@@ -1,0 +1,197 @@
+#include "pu/driver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace pu {
+
+namespace {
+
+/**
+ * im2col row for output pixel (oh, ow) of one group: the cin_pg*k*k
+ * reduction vector in (ci, kh, kw) order.
+ */
+void
+FillIm2ColRow(const Tensor3& input, int64_t group, int64_t cin_pg, int64_t k,
+              int64_t stride, int64_t pad, int64_t oh, int64_t ow,
+              std::vector<int8_t>& row)
+{
+    int64_t idx = 0;
+    for (int64_t ci = 0; ci < cin_pg; ++ci) {
+        const int64_t ic = group * cin_pg + ci;
+        for (int64_t kh = 0; kh < k; ++kh) {
+            for (int64_t kw = 0; kw < k; ++kw) {
+                row[static_cast<size_t>(idx++)] =
+                    input.PaddedAt(ic, oh * stride - pad + kh, ow * stride - pad + kw);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+ConvRunResult
+PuDriver::RunConv(const Tensor3& input, const Weights4& weights, int64_t stride,
+                  int64_t pad, int64_t groups, hw::Dataflow dataflow) const
+{
+    SPA_ASSERT(input.c() % groups == 0, "pu conv: cin not divisible by groups");
+    SPA_ASSERT(weights.cout() % groups == 0, "pu conv: cout not divisible by groups");
+    const int64_t cin_pg = input.c() / groups;
+    SPA_ASSERT(weights.cin_pg() == cin_pg, "pu conv: weight cin mismatch");
+    const int64_t k = weights.k();
+    const int64_t hout = (input.h() + 2 * pad - k) / stride + 1;
+    const int64_t wout = (input.w() + 2 * pad - k) / stride + 1;
+    const int64_t cout_pg = weights.cout() / groups;
+    const int64_t red = cin_pg * k * k;  // reduction depth per group
+    const int64_t m = hout * wout;       // output pixels
+
+    const int64_t rows = array_.rows();
+    const int64_t cols = array_.cols();
+
+    ConvRunResult result;
+    result.out = Tensor3i32(weights.cout(), hout, wout);
+    result.macs = weights.cout() * hout * wout * red;  // exact useful MACs
+
+    std::vector<int8_t> red_row(static_cast<size_t>(red));
+
+    // Depthwise layers in OS use the Fig. 9(b) per-column loading mode:
+    // output pixels map to rows and *channels* (one per group) map to
+    // columns, each column streaming its own channel. This is the
+    // mapping that makes OS efficient for depthwise (Sec. VI-H).
+    if (dataflow == hw::Dataflow::kOutputStationary && cin_pg == 1 && groups > 1) {
+        for (int64_t p0 = 0; p0 < m; p0 += rows) {
+            const int64_t pt = std::min(rows, m - p0);
+            for (int64_t g0 = 0; g0 < groups; g0 += cols) {
+                const int64_t gt = std::min(cols, groups - g0);
+                std::vector<std::vector<std::vector<int8_t>>> a(
+                    static_cast<size_t>(gt));
+                std::vector<std::vector<int8_t>> b(static_cast<size_t>(gt));
+                for (int64_t c = 0; c < gt; ++c) {
+                    const int64_t ch = g0 + c;
+                    a[static_cast<size_t>(c)].assign(
+                        static_cast<size_t>(pt),
+                        std::vector<int8_t>(static_cast<size_t>(red), 0));
+                    b[static_cast<size_t>(c)].assign(static_cast<size_t>(red), 0);
+                    for (int64_t r = 0; r < red; ++r)
+                        b[static_cast<size_t>(c)][static_cast<size_t>(r)] =
+                            weights.at(ch, 0, r / k, r % k);
+                    for (int64_t p = 0; p < pt; ++p) {
+                        FillIm2ColRow(input, ch, 1, k, stride, pad, (p0 + p) / wout,
+                                      (p0 + p) % wout, red_row);
+                        a[static_cast<size_t>(c)][static_cast<size_t>(p)] = red_row;
+                    }
+                }
+                result.act_reads += pt * red * gt;
+                result.weight_reads += red * gt;
+                SystolicResult pass = array_.RunOutputStationaryPerColumn(a, b);
+                result.cycles += pass.cycles;
+                for (int64_t p = 0; p < pt; ++p)
+                    for (int64_t c = 0; c < gt; ++c)
+                        result.out.at(g0 + c, (p0 + p) / wout, (p0 + p) % wout) +=
+                            pass.out[static_cast<size_t>(p)][static_cast<size_t>(c)];
+            }
+        }
+        return result;
+    }
+
+    for (int64_t g = 0; g < groups; ++g) {
+        if (dataflow == hw::Dataflow::kWeightStationary) {
+            // Paper WS: rows hold a tile of *input channels*, columns a
+            // tile of output channels; the k x k taps run temporally,
+            // accumulating into the output buffer (Fig. 9(a)).
+            for (int64_t ci0 = 0; ci0 < cin_pg; ci0 += rows) {
+                const int64_t rt = std::min(rows, cin_pg - ci0);
+                for (int64_t c0 = 0; c0 < cout_pg; c0 += cols) {
+                    const int64_t ct = std::min(cols, cout_pg - c0);
+                    for (int64_t kh = 0; kh < k; ++kh) {
+                        for (int64_t kw = 0; kw < k; ++kw) {
+                            // Stationary weight tile for this tap.
+                            std::vector<std::vector<int8_t>> wt(
+                                static_cast<size_t>(rows),
+                                std::vector<int8_t>(static_cast<size_t>(cols), 0));
+                            for (int64_t r = 0; r < rt; ++r)
+                                for (int64_t c = 0; c < ct; ++c)
+                                    wt[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+                                        weights.at(g * cout_pg + c0 + c, ci0 + r, kh,
+                                                   kw);
+                            result.weight_reads += rt * ct;
+                            // Stream every output pixel's input slice at
+                            // this tap across the cin tile.
+                            std::vector<std::vector<int8_t>> a(
+                                static_cast<size_t>(m),
+                                std::vector<int8_t>(static_cast<size_t>(rows), 0));
+                            for (int64_t p = 0; p < m; ++p) {
+                                const int64_t oh = p / wout;
+                                const int64_t ow = p % wout;
+                                for (int64_t r = 0; r < rt; ++r) {
+                                    a[static_cast<size_t>(p)][static_cast<size_t>(r)] =
+                                        input.PaddedAt(g * cin_pg + ci0 + r,
+                                                       oh * stride - pad + kh,
+                                                       ow * stride - pad + kw);
+                                }
+                            }
+                            result.act_reads += m * rt;
+                            SystolicResult pass = array_.RunWeightStationary(a, wt);
+                            result.cycles += pass.cycles;
+                            for (int64_t p = 0; p < m; ++p)
+                                for (int64_t c = 0; c < ct; ++c)
+                                    result.out.at(g * cout_pg + c0 + c, p / wout,
+                                                  p % wout) +=
+                                        pass.out[static_cast<size_t>(p)]
+                                                [static_cast<size_t>(c)];
+                        }
+                    }
+                }
+            }
+        } else {
+            // Output stationary: tile (m x cout_pg) outputs over
+            // (rows x cols); the whole reduction streams per tile.
+            for (int64_t p0 = 0; p0 < m; p0 += rows) {
+                const int64_t pt = std::min(rows, m - p0);
+                // Activations: rows x red (shared across cout tiles).
+                std::vector<std::vector<int8_t>> a(
+                    static_cast<size_t>(rows),
+                    std::vector<int8_t>(static_cast<size_t>(red), 0));
+                for (int64_t p = 0; p < pt; ++p) {
+                    FillIm2ColRow(input, g, cin_pg, k, stride, pad, (p0 + p) / wout,
+                                  (p0 + p) % wout, red_row);
+                    for (int64_t r = 0; r < red; ++r)
+                        a[static_cast<size_t>(p)][static_cast<size_t>(r)] =
+                            red_row[static_cast<size_t>(r)];
+                }
+                for (int64_t c0 = 0; c0 < cout_pg; c0 += cols) {
+                    const int64_t ct = std::min(cols, cout_pg - c0);
+                    std::vector<std::vector<int8_t>> b(
+                        static_cast<size_t>(red),
+                        std::vector<int8_t>(static_cast<size_t>(cols), 0));
+                    for (int64_t r = 0; r < red; ++r) {
+                        const int64_t ci = r / (k * k);
+                        const int64_t kh = (r / k) % k;
+                        const int64_t kw = r % k;
+                        for (int64_t c = 0; c < ct; ++c)
+                            b[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+                                weights.at(g * cout_pg + c0 + c, ci, kh, kw);
+                    }
+                    result.act_reads += pt * red;
+                    result.weight_reads += red * ct;
+                    SystolicResult pass = array_.RunOutputStationary(a, b);
+                    result.cycles += pass.cycles;
+                    for (int64_t p = 0; p < pt; ++p) {
+                        for (int64_t c = 0; c < ct; ++c) {
+                            result.out.at(g * cout_pg + c0 + c, (p0 + p) / wout,
+                                          (p0 + p) % wout) +=
+                                pass.out[static_cast<size_t>(p)][static_cast<size_t>(c)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace pu
+}  // namespace spa

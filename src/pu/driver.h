@@ -1,0 +1,66 @@
+#ifndef SPA_PU_DRIVER_H_
+#define SPA_PU_DRIVER_H_
+
+/**
+ * @file
+ * PU driver: lowers a full convolution (or fc) onto the RxC systolic
+ * array as a sequence of GEMM tiles in either dataflow, accumulating
+ * the exact int32 outputs and the exact cycle count. This is the
+ * functional model of one dataflow-hybrid PU.
+ */
+
+#include "hw/config.h"
+#include "pu/systolic.h"
+#include "pu/tensor.h"
+
+namespace spa {
+namespace pu {
+
+/** Functional conv result plus the measured hardware cost. */
+struct ConvRunResult
+{
+    Tensor3i32 out;
+    int64_t cycles = 0;
+    int64_t macs = 0;           ///< useful MACs performed
+    int64_t weight_reads = 0;   ///< elements fetched from the weight buffer
+    int64_t act_reads = 0;      ///< elements fetched from the activation buffer
+
+    /** PE-seconds actually used divided by PE-seconds available. */
+    double
+    Utilization(int64_t num_pes) const
+    {
+        return cycles > 0 ? static_cast<double>(macs) /
+                                (static_cast<double>(cycles) * num_pes)
+                          : 0.0;
+    }
+};
+
+/** Drives one systolic PU through a whole layer in a chosen dataflow. */
+class PuDriver
+{
+  public:
+    PuDriver(int64_t rows, int64_t cols) : array_(rows, cols) {}
+
+    /**
+     * Runs a grouped convolution.
+     *
+     * WS: the reduction dimension (cin_pg * k * k) maps to array rows
+     * and output channels to columns; every output pixel streams
+     * through per weight tile.
+     *
+     * OS: output pixels map to rows, output channels to columns, and
+     * the reduction dimension streams.
+     */
+    ConvRunResult RunConv(const Tensor3& input, const Weights4& weights, int64_t stride,
+                          int64_t pad, int64_t groups, hw::Dataflow dataflow) const;
+
+    const SystolicArray& array() const { return array_; }
+
+  private:
+    SystolicArray array_;
+};
+
+}  // namespace pu
+}  // namespace spa
+
+#endif  // SPA_PU_DRIVER_H_

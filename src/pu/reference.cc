@@ -1,0 +1,135 @@
+#include "pu/reference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace pu {
+
+Tensor3
+Requantize(const Tensor3i32& acc, int shift)
+{
+    Tensor3 out(acc.c(), acc.h(), acc.w());
+    for (int64_t c = 0; c < acc.c(); ++c) {
+        for (int64_t h = 0; h < acc.h(); ++h) {
+            for (int64_t w = 0; w < acc.w(); ++w) {
+                int32_t v = acc.at(c, h, w) >> shift;
+                v = std::clamp<int32_t>(v, -128, 127);
+                out.at(c, h, w) = static_cast<int8_t>(v);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor3i32
+ReferenceConv(const Tensor3& input, const Weights4& weights, int64_t stride,
+              int64_t pad, int64_t groups)
+{
+    SPA_ASSERT(input.c() % groups == 0, "reference conv: cin not divisible by groups");
+    SPA_ASSERT(weights.cout() % groups == 0,
+               "reference conv: cout not divisible by groups");
+    const int64_t cin_pg = input.c() / groups;
+    SPA_ASSERT(weights.cin_pg() == cin_pg, "reference conv: weight cin mismatch");
+    const int64_t k = weights.k();
+    const int64_t hout = (input.h() + 2 * pad - k) / stride + 1;
+    const int64_t wout = (input.w() + 2 * pad - k) / stride + 1;
+    const int64_t cout_pg = weights.cout() / groups;
+
+    Tensor3i32 out(weights.cout(), hout, wout);
+    for (int64_t g = 0; g < groups; ++g) {
+        for (int64_t co = 0; co < cout_pg; ++co) {
+            const int64_t oc = g * cout_pg + co;
+            for (int64_t oh = 0; oh < hout; ++oh) {
+                for (int64_t ow = 0; ow < wout; ++ow) {
+                    int32_t acc = 0;
+                    for (int64_t ci = 0; ci < cin_pg; ++ci) {
+                        const int64_t ic = g * cin_pg + ci;
+                        for (int64_t kh = 0; kh < k; ++kh) {
+                            for (int64_t kw = 0; kw < k; ++kw) {
+                                const int64_t ih = oh * stride - pad + kh;
+                                const int64_t iw = ow * stride - pad + kw;
+                                acc += static_cast<int32_t>(
+                                           input.PaddedAt(ic, ih, iw)) *
+                                       weights.at(oc, ci, kh, kw);
+                            }
+                        }
+                    }
+                    out.at(oc, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor3
+ReferenceMaxPool(const Tensor3& input, int64_t kernel, int64_t stride, int64_t pad)
+{
+    const int64_t hout = (input.h() + 2 * pad - kernel) / stride + 1;
+    const int64_t wout = (input.w() + 2 * pad - kernel) / stride + 1;
+    Tensor3 out(input.c(), hout, wout);
+    for (int64_t c = 0; c < input.c(); ++c) {
+        for (int64_t oh = 0; oh < hout; ++oh) {
+            for (int64_t ow = 0; ow < wout; ++ow) {
+                int8_t best = -128;
+                for (int64_t kh = 0; kh < kernel; ++kh) {
+                    for (int64_t kw = 0; kw < kernel; ++kw) {
+                        const int64_t ih = oh * stride - pad + kh;
+                        const int64_t iw = ow * stride - pad + kw;
+                        if (ih < 0 || ih >= input.h() || iw < 0 || iw >= input.w())
+                            continue;
+                        best = std::max(best, input.at(c, ih, iw));
+                    }
+                }
+                out.at(c, oh, ow) = best;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<int32_t>
+ReferenceFullyConnected(const Tensor3& input, const std::vector<int8_t>& weights,
+                        int64_t out_features)
+{
+    const int64_t in_features = input.size();
+    SPA_ASSERT(static_cast<int64_t>(weights.size()) == in_features * out_features,
+               "reference fc: weight size mismatch");
+    std::vector<int32_t> out(static_cast<size_t>(out_features), 0);
+    std::vector<int8_t> flat;
+    flat.reserve(static_cast<size_t>(in_features));
+    for (int64_t c = 0; c < input.c(); ++c)
+        for (int64_t h = 0; h < input.h(); ++h)
+            for (int64_t w = 0; w < input.w(); ++w)
+                flat.push_back(input.at(c, h, w));
+    for (int64_t o = 0; o < out_features; ++o) {
+        int32_t acc = 0;
+        for (int64_t i = 0; i < in_features; ++i)
+            acc += static_cast<int32_t>(flat[static_cast<size_t>(i)]) *
+                   weights[static_cast<size_t>(o * in_features + i)];
+        out[static_cast<size_t>(o)] = acc;
+    }
+    return out;
+}
+
+Tensor3
+ReferenceAdd(const Tensor3& a, const Tensor3& b)
+{
+    SPA_ASSERT(a.c() == b.c() && a.h() == b.h() && a.w() == b.w(),
+               "reference add: shape mismatch");
+    Tensor3 out(a.c(), a.h(), a.w());
+    for (int64_t c = 0; c < a.c(); ++c) {
+        for (int64_t h = 0; h < a.h(); ++h) {
+            for (int64_t w = 0; w < a.w(); ++w) {
+                const int32_t v = static_cast<int32_t>(a.at(c, h, w)) + b.at(c, h, w);
+                out.at(c, h, w) = static_cast<int8_t>(std::clamp<int32_t>(v, -128, 127));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace pu
+}  // namespace spa

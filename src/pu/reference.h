@@ -1,0 +1,34 @@
+#ifndef SPA_PU_REFERENCE_H_
+#define SPA_PU_REFERENCE_H_
+
+/**
+ * @file
+ * Naive golden-model operators. Every hardware simulation path
+ * (systolic array, pipeline) is validated against these.
+ */
+
+#include "pu/tensor.h"
+
+namespace spa {
+namespace pu {
+
+/** Direct int8 convolution into int32 accumulators. */
+Tensor3i32 ReferenceConv(const Tensor3& input, const Weights4& weights, int64_t stride,
+                         int64_t pad, int64_t groups = 1);
+
+/** Max pooling over int8 maps. */
+Tensor3 ReferenceMaxPool(const Tensor3& input, int64_t kernel, int64_t stride,
+                         int64_t pad = 0);
+
+/** int8 fully-connected layer (flattened input) into int32. */
+std::vector<int32_t> ReferenceFullyConnected(const Tensor3& input,
+                                             const std::vector<int8_t>& weights,
+                                             int64_t out_features);
+
+/** Elementwise saturating int8 add. */
+Tensor3 ReferenceAdd(const Tensor3& a, const Tensor3& b);
+
+}  // namespace pu
+}  // namespace spa
+
+#endif  // SPA_PU_REFERENCE_H_

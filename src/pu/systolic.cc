@@ -1,0 +1,186 @@
+#include "pu/systolic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace pu {
+
+SystolicArray::SystolicArray(int64_t rows, int64_t cols) : rows_(rows), cols_(cols)
+{
+    SPA_ASSERT(rows >= 1 && cols >= 1, "systolic array needs positive dimensions");
+}
+
+SystolicResult
+SystolicArray::RunWeightStationary(const std::vector<std::vector<int8_t>>& a,
+                                   const std::vector<std::vector<int8_t>>& w) const
+{
+    const int64_t m = static_cast<int64_t>(a.size());
+    SPA_ASSERT(static_cast<int64_t>(w.size()) == rows_, "WS weight tile row mismatch");
+    for (const auto& row : w)
+        SPA_ASSERT(static_cast<int64_t>(row.size()) == cols_,
+                   "WS weight tile col mismatch");
+    for (const auto& row : a)
+        SPA_ASSERT(static_cast<int64_t>(row.size()) == rows_, "WS input row mismatch");
+
+    SystolicResult result;
+    result.out.assign(static_cast<size_t>(m),
+                      std::vector<int32_t>(static_cast<size_t>(cols_), 0));
+
+    // Register state: inputs move right, partial sums move down.
+    std::vector<std::vector<int8_t>> in_reg(
+        static_cast<size_t>(rows_), std::vector<int8_t>(static_cast<size_t>(cols_), 0));
+    std::vector<std::vector<int32_t>> psum_reg(
+        static_cast<size_t>(rows_), std::vector<int32_t>(static_cast<size_t>(cols_), 0));
+
+    // Row r is fed a[t - r][r] at cycle t (skewed); the bottom of column
+    // c at cycle t carries the finished dot product of input row
+    // m = t - (rows_ - 1) - c.
+    const int64_t stream_cycles = m + rows_ + cols_ - 2;
+    for (int64_t t = 0; t < stream_cycles; ++t) {
+        auto in_new = in_reg;
+        auto psum_new = psum_reg;
+        for (int64_t r = 0; r < rows_; ++r) {
+            for (int64_t c = 0; c < cols_; ++c) {
+                int8_t in_left;
+                if (c == 0) {
+                    const int64_t mi = t - r;
+                    in_left = (mi >= 0 && mi < m)
+                                  ? a[static_cast<size_t>(mi)][static_cast<size_t>(r)]
+                                  : static_cast<int8_t>(0);
+                } else {
+                    in_left = in_reg[static_cast<size_t>(r)][static_cast<size_t>(c - 1)];
+                }
+                const int32_t psum_top =
+                    (r == 0) ? 0
+                             : psum_reg[static_cast<size_t>(r - 1)]
+                                       [static_cast<size_t>(c)];
+                psum_new[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+                    psum_top +
+                    static_cast<int32_t>(
+                        w[static_cast<size_t>(r)][static_cast<size_t>(c)]) *
+                        in_left;
+                in_new[static_cast<size_t>(r)][static_cast<size_t>(c)] = in_left;
+            }
+        }
+        in_reg.swap(in_new);
+        psum_reg.swap(psum_new);
+        // Collect finished sums at the bottom edge.
+        for (int64_t c = 0; c < cols_; ++c) {
+            const int64_t mi = t - (rows_ - 1) - c;
+            if (mi >= 0 && mi < m) {
+                result.out[static_cast<size_t>(mi)][static_cast<size_t>(c)] =
+                    psum_reg[static_cast<size_t>(rows_ - 1)][static_cast<size_t>(c)];
+            }
+        }
+    }
+    // Preload (R) + streaming with skew and drain.
+    result.cycles = rows_ + stream_cycles;
+    return result;
+}
+
+SystolicResult
+SystolicArray::RunOutputStationary(const std::vector<std::vector<int8_t>>& a,
+                                   const std::vector<std::vector<int8_t>>& b) const
+{
+    const int64_t r_dim = static_cast<int64_t>(a.size());
+    SPA_ASSERT(r_dim == rows_, "OS activation row mismatch");
+    const int64_t k = a.empty() ? 0 : static_cast<int64_t>(a[0].size());
+    for (const auto& row : a)
+        SPA_ASSERT(static_cast<int64_t>(row.size()) == k, "OS activation ragged rows");
+    SPA_ASSERT(static_cast<int64_t>(b.size()) == k, "OS weight depth mismatch");
+    for (const auto& row : b)
+        SPA_ASSERT(static_cast<int64_t>(row.size()) == cols_, "OS weight col mismatch");
+
+    SystolicResult result;
+    result.out.assign(static_cast<size_t>(rows_),
+                      std::vector<int32_t>(static_cast<size_t>(cols_), 0));
+
+    std::vector<std::vector<int8_t>> a_reg(
+        static_cast<size_t>(rows_), std::vector<int8_t>(static_cast<size_t>(cols_), 0));
+    std::vector<std::vector<int8_t>> b_reg(
+        static_cast<size_t>(rows_), std::vector<int8_t>(static_cast<size_t>(cols_), 0));
+    std::vector<std::vector<int32_t>> acc(
+        static_cast<size_t>(rows_), std::vector<int32_t>(static_cast<size_t>(cols_), 0));
+    // Track which operand pair is live in each PE so padding cycles do
+    // not pollute the accumulators (value 0 inputs are harmless anyway,
+    // but explicit liveness keeps the model honest).
+    const int64_t stream_cycles = k + rows_ + cols_ - 2;
+    for (int64_t t = 0; t < stream_cycles; ++t) {
+        auto a_new = a_reg;
+        auto b_new = b_reg;
+        for (int64_t i = 0; i < rows_; ++i) {
+            for (int64_t j = 0; j < cols_; ++j) {
+                int8_t a_in;
+                if (j == 0) {
+                    const int64_t ki = t - i;
+                    a_in = (ki >= 0 && ki < k)
+                               ? a[static_cast<size_t>(i)][static_cast<size_t>(ki)]
+                               : static_cast<int8_t>(0);
+                } else {
+                    a_in = a_reg[static_cast<size_t>(i)][static_cast<size_t>(j - 1)];
+                }
+                int8_t b_in;
+                if (i == 0) {
+                    const int64_t ki = t - j;
+                    b_in = (ki >= 0 && ki < k)
+                               ? b[static_cast<size_t>(ki)][static_cast<size_t>(j)]
+                               : static_cast<int8_t>(0);
+                } else {
+                    b_in = b_reg[static_cast<size_t>(i - 1)][static_cast<size_t>(j)];
+                }
+                acc[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+                    static_cast<int32_t>(a_in) * b_in;
+                a_new[static_cast<size_t>(i)][static_cast<size_t>(j)] = a_in;
+                b_new[static_cast<size_t>(i)][static_cast<size_t>(j)] = b_in;
+            }
+        }
+        a_reg.swap(a_new);
+        b_reg.swap(b_new);
+    }
+    result.out = acc;
+    // Streaming with skew + drain of the stationary tile (R shifts).
+    result.cycles = stream_cycles + rows_;
+    return result;
+}
+
+SystolicResult
+SystolicArray::RunOutputStationaryPerColumn(
+    const std::vector<std::vector<std::vector<int8_t>>>& a,
+    const std::vector<std::vector<int8_t>>& b) const
+{
+    SPA_ASSERT(static_cast<int64_t>(a.size()) <= cols_, "per-column: too many columns");
+    SPA_ASSERT(a.size() == b.size(), "per-column: operand count mismatch");
+    const int64_t used_cols = static_cast<int64_t>(a.size());
+    int64_t k = 0;
+    for (int64_t j = 0; j < used_cols; ++j) {
+        SPA_ASSERT(static_cast<int64_t>(a[static_cast<size_t>(j)].size()) <= rows_,
+                   "per-column: too many rows");
+        k = std::max<int64_t>(k, static_cast<int64_t>(b[static_cast<size_t>(j)].size()));
+    }
+
+    SystolicResult result;
+    result.out.assign(static_cast<size_t>(rows_),
+                      std::vector<int32_t>(static_cast<size_t>(cols_), 0));
+    // Each column has an independent operand pair, so there is no
+    // horizontal sharing; the schedule is the same skewed wavefront as
+    // the shared-operand OS pass and so is the cycle count.
+    for (int64_t j = 0; j < used_cols; ++j) {
+        const auto& col_a = a[static_cast<size_t>(j)];
+        const auto& col_b = b[static_cast<size_t>(j)];
+        for (int64_t i = 0; i < static_cast<int64_t>(col_a.size()); ++i) {
+            int32_t acc = 0;
+            const auto& row = col_a[static_cast<size_t>(i)];
+            SPA_ASSERT(row.size() == col_b.size(), "per-column: depth mismatch");
+            for (size_t kk = 0; kk < row.size(); ++kk)
+                acc += static_cast<int32_t>(row[kk]) * col_b[kk];
+            result.out[static_cast<size_t>(i)][static_cast<size_t>(j)] = acc;
+        }
+    }
+    result.cycles = OsCycles(k);
+    return result;
+}
+
+}  // namespace pu
+}  // namespace spa

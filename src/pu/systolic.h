@@ -1,0 +1,93 @@
+#ifndef SPA_PU_SYSTOLIC_H_
+#define SPA_PU_SYSTOLIC_H_
+
+/**
+ * @file
+ * Cycle-level 2-D systolic PE array (Sec. IV-B, Fig. 7/9). The array is
+ * a GEMM engine with two dataflows selected by the PE muxes and the
+ * input loading mode:
+ *
+ *  - Weight-stationary (WS): an RxC weight tile is preloaded; input
+ *    rows stream left-to-right while partial sums flow down.
+ *  - Output-stationary (OS): an RxC output tile stays in place; inputs
+ *    stream right and weights stream down, accumulating in the PEs.
+ *
+ * The emulation advances registers cycle by cycle (register-transfer
+ * fidelity) and reports exact cycle counts, which the analytical cost
+ * model's fill/drain terms are validated against.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace spa {
+namespace pu {
+
+/** Result of one systolic pass: the output tile and its cycle count. */
+struct SystolicResult
+{
+    // Row-major [m][c] output accumulators.
+    std::vector<std::vector<int32_t>> out;
+    int64_t cycles = 0;
+};
+
+/** Cycle-level RxC systolic GEMM engine with WS and OS dataflows. */
+class SystolicArray
+{
+  public:
+    SystolicArray(int64_t rows, int64_t cols);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+
+    /**
+     * Weight-stationary pass: out[m][c] = sum_r a[m][r] * w[r][c].
+     * @param a M x R input rows (M arbitrary).
+     * @param w R x C stationary weight tile.
+     * Cycle count covers preload (R), streaming (M) and drain (R+C-2).
+     */
+    SystolicResult RunWeightStationary(const std::vector<std::vector<int8_t>>& a,
+                                       const std::vector<std::vector<int8_t>>& w) const;
+
+    /**
+     * Output-stationary pass: out[i][j] = sum_k a[i][k] * b[k][j], with
+     * the R x C product tile resident in the PEs.
+     * @param a R x K activations streamed from the left.
+     * @param b K x C weights streamed from the top.
+     * Cycle count covers streaming (K), skew (R+C-2) and drain (R).
+     */
+    SystolicResult RunOutputStationary(const std::vector<std::vector<int8_t>>& a,
+                                       const std::vector<std::vector<int8_t>>& b) const;
+
+    /**
+     * Output-stationary pass with per-column operand streams — the
+     * Fig. 9(b) alternating input-loading mode, where each column's
+     * FIFO reads its own channel. Column j computes
+     * out[i][j] = sum_k a[j][i][k] * b[j][k]. This is how depthwise
+     * layers map onto the array (each output channel reduces over its
+     * own input channel only).
+     * @param a per-column activations: [cols][rows][K].
+     * @param b per-column weights: [cols][K].
+     */
+    SystolicResult RunOutputStationaryPerColumn(
+        const std::vector<std::vector<std::vector<int8_t>>>& a,
+        const std::vector<std::vector<int8_t>>& b) const;
+
+    /** Closed-form WS cycle count for an M-row stream (matches RunWS). */
+    int64_t WsCycles(int64_t m_rows) const { return rows_ + m_rows + rows_ + cols_ - 2; }
+
+    /** Closed-form OS cycle count for a K-deep stream (matches RunOS). */
+    int64_t OsCycles(int64_t k_depth) const
+    {
+        return k_depth + rows_ + cols_ - 2 + rows_;
+    }
+
+  private:
+    int64_t rows_;
+    int64_t cols_;
+};
+
+}  // namespace pu
+}  // namespace spa
+
+#endif  // SPA_PU_SYSTOLIC_H_

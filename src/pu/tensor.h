@@ -1,0 +1,154 @@
+#ifndef SPA_PU_TENSOR_H_
+#define SPA_PU_TENSOR_H_
+
+/**
+ * @file
+ * Minimal int8 / int32 tensor containers used by the functional
+ * simulation path (reference operators, systolic array, pipeline).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace spa {
+namespace pu {
+
+/** CHW feature map of int8 activations. */
+class Tensor3
+{
+  public:
+    Tensor3() = default;
+    Tensor3(int64_t c, int64_t h, int64_t w)
+        : c_(c), h_(h), w_(w), data_(static_cast<size_t>(c * h * w), 0)
+    {
+    }
+
+    int64_t c() const { return c_; }
+    int64_t h() const { return h_; }
+    int64_t w() const { return w_; }
+    int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+    int8_t&
+    at(int64_t c, int64_t h, int64_t w)
+    {
+        return data_[static_cast<size_t>((c * h_ + h) * w_ + w)];
+    }
+
+    int8_t
+    at(int64_t c, int64_t h, int64_t w) const
+    {
+        return data_[static_cast<size_t>((c * h_ + h) * w_ + w)];
+    }
+
+    /** Zero-padded read: coordinates outside the map return 0. */
+    int8_t
+    PaddedAt(int64_t c, int64_t h, int64_t w) const
+    {
+        if (h < 0 || h >= h_ || w < 0 || w >= w_)
+            return 0;
+        return at(c, h, w);
+    }
+
+    /** Fills with deterministic small values. */
+    void
+    FillRandom(Rng& rng, int8_t lo = -8, int8_t hi = 8)
+    {
+        for (auto& v : data_)
+            v = static_cast<int8_t>(rng.UniformInt(lo, hi));
+    }
+
+    bool operator==(const Tensor3& o) const
+    {
+        return c_ == o.c_ && h_ == o.h_ && w_ == o.w_ && data_ == o.data_;
+    }
+
+  private:
+    int64_t c_ = 0, h_ = 0, w_ = 0;
+    std::vector<int8_t> data_;
+};
+
+/** CHW map of int32 accumulator values. */
+class Tensor3i32
+{
+  public:
+    Tensor3i32() = default;
+    Tensor3i32(int64_t c, int64_t h, int64_t w)
+        : c_(c), h_(h), w_(w), data_(static_cast<size_t>(c * h * w), 0)
+    {
+    }
+
+    int64_t c() const { return c_; }
+    int64_t h() const { return h_; }
+    int64_t w() const { return w_; }
+
+    int32_t&
+    at(int64_t c, int64_t h, int64_t w)
+    {
+        return data_[static_cast<size_t>((c * h_ + h) * w_ + w)];
+    }
+
+    int32_t
+    at(int64_t c, int64_t h, int64_t w) const
+    {
+        return data_[static_cast<size_t>((c * h_ + h) * w_ + w)];
+    }
+
+    bool operator==(const Tensor3i32& o) const
+    {
+        return c_ == o.c_ && h_ == o.h_ && w_ == o.w_ && data_ == o.data_;
+    }
+
+  private:
+    int64_t c_ = 0, h_ = 0, w_ = 0;
+    std::vector<int32_t> data_;
+};
+
+/** Convolution weights: [cout][cin_per_group][k][k] of int8. */
+class Weights4
+{
+  public:
+    Weights4() = default;
+    Weights4(int64_t cout, int64_t cin_pg, int64_t k)
+        : cout_(cout), cin_pg_(cin_pg), k_(k),
+          data_(static_cast<size_t>(cout * cin_pg * k * k), 0)
+    {
+    }
+
+    int64_t cout() const { return cout_; }
+    int64_t cin_pg() const { return cin_pg_; }
+    int64_t k() const { return k_; }
+
+    int8_t&
+    at(int64_t co, int64_t ci, int64_t kh, int64_t kw)
+    {
+        return data_[static_cast<size_t>(((co * cin_pg_ + ci) * k_ + kh) * k_ + kw)];
+    }
+
+    int8_t
+    at(int64_t co, int64_t ci, int64_t kh, int64_t kw) const
+    {
+        return data_[static_cast<size_t>(((co * cin_pg_ + ci) * k_ + kh) * k_ + kw)];
+    }
+
+    void
+    FillRandom(Rng& rng, int8_t lo = -4, int8_t hi = 4)
+    {
+        for (auto& v : data_)
+            v = static_cast<int8_t>(rng.UniformInt(lo, hi));
+    }
+
+  private:
+    int64_t cout_ = 0, cin_pg_ = 0, k_ = 0;
+    std::vector<int8_t> data_;
+};
+
+/** Requantizes an int32 accumulator map back to int8 (shift + clamp). */
+Tensor3 Requantize(const Tensor3i32& acc, int shift);
+
+}  // namespace pu
+}  // namespace spa
+
+#endif  // SPA_PU_TENSOR_H_

@@ -1,0 +1,45 @@
+#ifndef SPA_ROOFLINE_ROOFLINE_H_
+#define SPA_ROOFLINE_ROOFLINE_H_
+
+/**
+ * @file
+ * The roofline model of Fig. 2 ([73]): attainable performance of a
+ * kernel given its CTC ratio (OPs/Byte), the platform's peak compute
+ * rate and its memory bandwidth.
+ */
+
+namespace spa {
+namespace roofline {
+
+/** One roofline: a horizontal compute roof and a diagonal bandwidth roof. */
+struct Roofline
+{
+    double peak_gops = 0.0;        ///< horizontal roof, GOP/s
+    double bandwidth_gbps = 0.0;   ///< slope of the diagonal roof, GB/s
+
+    /** X-coordinate of the ridge point: minimum CTC for peak performance. */
+    double RidgeCtc() const { return peak_gops / bandwidth_gbps; }
+
+    /** Attainable GOP/s at the given CTC ratio (OPs per byte). */
+    double
+    AttainableGops(double ctc) const
+    {
+        const double mem_bound = bandwidth_gbps * ctc;
+        return mem_bound < peak_gops ? mem_bound : peak_gops;
+    }
+
+    /** True when a kernel with this CTC is limited by the diagonal roof. */
+    bool IsMemoryBound(double ctc) const { return ctc < RidgeCtc(); }
+
+    /** Fraction of peak reached at this CTC, in (0, 1]. */
+    double
+    ComputeUtilization(double ctc) const
+    {
+        return AttainableGops(ctc) / peak_gops;
+    }
+};
+
+}  // namespace roofline
+}  // namespace spa
+
+#endif  // SPA_ROOFLINE_ROOFLINE_H_

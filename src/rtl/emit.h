@@ -1,0 +1,103 @@
+#ifndef SPA_RTL_EMIT_H_
+#define SPA_RTL_EMIT_H_
+
+/**
+ * @file
+ * SystemVerilog emission for a generated SPA accelerator instance —
+ * the "DeepBurning" half of the framework: once AutoSeg fixes the
+ * design parameters, this module renders the parameterized hardware
+ * template (Sec. IV) into RTL:
+ *
+ *  - spa_pkg.sv          shared types and opcode encodings
+ *  - spa_pe.sv           int8 MAC PE with the WS/OS mode muxes (Fig. 7)
+ *  - spa_systolic_array.sv  generate-grid R x C array
+ *  - spa_line_buffer.sv  circular activation buffer with Eq. 1 addressing
+ *  - spa_weight_buffer.sv
+ *  - spa_benes_node.sv   2x2 clockless mux node (two selection bits)
+ *  - spa_benes_fabric.sv stage wiring emitted from the routed topology
+ *  - spa_pu.sv           one dataflow-hybrid PU (array + buffers + ctrl)
+ *  - spa_top.sv          PU instances + fabric + segment sequencer
+ *
+ * The emitted code is template-grade synthesizable SystemVerilog: the
+ * structural skeleton a hardware team would take to a flow, with the
+ * design-specific numbers (array shapes, buffer depths, fabric wiring,
+ * per-segment mux programs) baked in as parameters and tables.
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "noc/benes.h"
+
+namespace spa {
+namespace rtl {
+
+/** One emitted source file. */
+struct RtlFile
+{
+    std::string name;     ///< e.g. "spa_pu.sv"
+    std::string content;
+};
+
+/** The complete RTL bundle of one accelerator instance. */
+struct RtlBundle
+{
+    std::vector<RtlFile> files;
+
+    /** Finds a file by name; nullptr when absent. */
+    const RtlFile* Find(const std::string& name) const;
+
+    /** Total emitted source lines. */
+    int64_t TotalLines() const;
+};
+
+/** Shared package (types, dataflow encoding). */
+std::string EmitPackage();
+
+/** The dataflow-hybrid PE (Fig. 7's muxed MAC cell). */
+std::string EmitPe();
+
+/** Parameterized R x C systolic array with WS/OS loading modes. */
+std::string EmitSystolicArray();
+
+/** Circular line buffer implementing the Eq. 1 address generator. */
+std::string EmitLineBuffer();
+
+/** Double-banked weight buffer. */
+std::string EmitWeightBuffer();
+
+/** One 2x2 Benes node: two 2-input muxes with two selection bits. */
+std::string EmitBenesNode();
+
+/**
+ * The inter-PU fabric: node instances and stage wiring generated from
+ * the Benes topology, with per-segment configuration words. Nodes
+ * pruned away (dead in every segment configuration) are omitted and
+ * their live inputs forwarded as wires (Fig. 10(c)).
+ */
+std::string EmitBenesFabric(const noc::BenesNetwork& fabric,
+                            const std::vector<noc::BenesConfig>& segment_configs);
+
+/** One PU instance with its design-point parameters. */
+std::string EmitPu(const hw::PuConfig& pu, int index);
+
+/** Top level: PUs, fabric, and the segment sequencer. */
+std::string EmitTop(const hw::SpaConfig& config, int num_segments);
+
+/**
+ * Full bundle for an accelerator instance.
+ * @param segment_configs one fabric configuration per segment (may be
+ *        empty; then the unpruned fabric is emitted).
+ */
+RtlBundle GenerateRtl(const hw::SpaConfig& config, int num_segments,
+                      const noc::BenesNetwork& fabric,
+                      const std::vector<noc::BenesConfig>& segment_configs);
+
+/** Writes every file of the bundle into `directory` (created if needed). */
+void WriteBundle(const RtlBundle& bundle, const std::string& directory);
+
+}  // namespace rtl
+}  // namespace spa
+
+#endif  // SPA_RTL_EMIT_H_

@@ -1,0 +1,268 @@
+#include "seg/assignment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace seg {
+
+namespace {
+
+/** True if the directed graph over PU indices has a cycle. */
+bool
+PuGraphHasCycle(int num_pus, const std::set<std::pair<int, int>>& edges)
+{
+    std::vector<std::vector<int>> adj(static_cast<size_t>(num_pus));
+    for (const auto& [a, b] : edges)
+        adj[static_cast<size_t>(a)].push_back(b);
+    std::vector<int> state(static_cast<size_t>(num_pus), 0);  // 0 new, 1 open, 2 done
+    for (int start = 0; start < num_pus; ++start) {
+        if (state[static_cast<size_t>(start)] != 0)
+            continue;
+        // Iterative DFS with explicit color marking.
+        std::vector<std::pair<int, size_t>> frames{{start, 0}};
+        state[static_cast<size_t>(start)] = 1;
+        while (!frames.empty()) {
+            auto& [node, idx] = frames.back();
+            if (idx < adj[static_cast<size_t>(node)].size()) {
+                const int next = adj[static_cast<size_t>(node)][idx++];
+                if (state[static_cast<size_t>(next)] == 1)
+                    return true;
+                if (state[static_cast<size_t>(next)] == 0) {
+                    state[static_cast<size_t>(next)] = 1;
+                    frames.push_back({next, 0});
+                }
+            } else {
+                state[static_cast<size_t>(node)] = 2;
+                frames.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string
+CheckConstraints(const nn::Workload& w, const Assignment& a)
+{
+    if (!a.SizedFor(w))
+        return "assignment size does not match workload";
+    if (a.num_segments < 1 || a.num_pus < 1)
+        return "assignment needs at least one segment and one PU";
+
+    // Ranges.
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        const int s = a.segment_of[static_cast<size_t>(l)];
+        const int n = a.pu_of[static_cast<size_t>(l)];
+        if (s < 0 || s >= a.num_segments)
+            return "layer '" + w.layers[static_cast<size_t>(l)].name +
+                   "' has an out-of-range segment";
+        if (n < 0 || n >= a.num_pus)
+            return "layer '" + w.layers[static_cast<size_t>(l)].name +
+                   "' has an out-of-range PU";
+    }
+
+    // Eq. 2 (second half): every PU hosts at least one layer per segment.
+    std::vector<std::vector<int>> count(
+        static_cast<size_t>(a.num_segments),
+        std::vector<int>(static_cast<size_t>(a.num_pus), 0));
+    for (int l = 0; l < w.NumLayers(); ++l)
+        count[static_cast<size_t>(a.segment_of[static_cast<size_t>(l)])]
+             [static_cast<size_t>(a.pu_of[static_cast<size_t>(l)])]++;
+    for (int s = 0; s < a.num_segments; ++s) {
+        bool segment_nonempty = false;
+        for (int n = 0; n < a.num_pus; ++n)
+            segment_nonempty |= count[static_cast<size_t>(s)][static_cast<size_t>(n)] > 0;
+        if (!segment_nonempty)
+            return "segment " + std::to_string(s) + " is empty";
+        for (int n = 0; n < a.num_pus; ++n) {
+            if (count[static_cast<size_t>(s)][static_cast<size_t>(n)] == 0)
+                return "PU " + std::to_string(n) + " idles in segment " +
+                       std::to_string(s);
+        }
+    }
+
+    // Eq. 3: dependencies must not run backwards across segments.
+    for (const auto& e : w.edges) {
+        if (e.src < 0)
+            continue;
+        if (a.segment_of[static_cast<size_t>(e.src)] >
+            a.segment_of[static_cast<size_t>(e.dst)]) {
+            return "edge " + w.layers[static_cast<size_t>(e.src)].name + " -> " +
+                   w.layers[static_cast<size_t>(e.dst)].name +
+                   " runs backwards across segments";
+        }
+    }
+
+    // Eq. 4 (generalized): the per-segment PU quotient graph is acyclic.
+    for (int s = 0; s < a.num_segments; ++s) {
+        std::set<std::pair<int, int>> pu_edges;
+        for (const auto& e : w.edges) {
+            if (e.src < 0)
+                continue;
+            if (a.segment_of[static_cast<size_t>(e.src)] != s ||
+                a.segment_of[static_cast<size_t>(e.dst)] != s) {
+                continue;
+            }
+            const int n1 = a.pu_of[static_cast<size_t>(e.src)];
+            const int n2 = a.pu_of[static_cast<size_t>(e.dst)];
+            if (n1 != n2)
+                pu_edges.insert({n1, n2});
+        }
+        if (PuGraphHasCycle(a.num_pus, pu_edges))
+            return "segment " + std::to_string(s) + " has a cyclic PU pipeline";
+    }
+    return "";
+}
+
+int64_t
+SegmentOps(const nn::Workload& w, const Assignment& a, int s)
+{
+    int64_t ops = 0;
+    for (int l = 0; l < w.NumLayers(); ++l)
+        if (a.segment_of[static_cast<size_t>(l)] == s)
+            ops += w.layers[static_cast<size_t>(l)].ops;
+    return ops;
+}
+
+int64_t
+SegmentAccessBytes(const nn::Workload& w, const Assignment& a, int s)
+{
+    int64_t bytes = 0;
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        if (a.segment_of[static_cast<size_t>(l)] != s)
+            continue;
+        bytes += w.layers[static_cast<size_t>(l)].weight_bytes;
+        // Output write: once, if any consumer lives outside this segment
+        // or the layer produces a final output.
+        bool writes_out = w.out_edges[static_cast<size_t>(l)].empty();
+        for (int e : w.out_edges[static_cast<size_t>(l)]) {
+            if (a.segment_of[static_cast<size_t>(w.edges[static_cast<size_t>(e)].dst)] !=
+                s) {
+                writes_out = true;
+            }
+        }
+        if (writes_out)
+            bytes += w.layers[static_cast<size_t>(l)].output_bytes;
+        // Input reads: every in-edge whose producer ran in an earlier
+        // segment (or the external graph input).
+        for (int e : w.in_edges[static_cast<size_t>(l)]) {
+            const auto& edge = w.edges[static_cast<size_t>(e)];
+            if (edge.src < 0 || a.segment_of[static_cast<size_t>(edge.src)] != s)
+                bytes += edge.bytes;
+        }
+    }
+    return bytes;
+}
+
+SegmentMetrics
+ComputeMetrics(const nn::Workload& w, const Assignment& a)
+{
+    SegmentMetrics m;
+    m.seg_ops.resize(static_cast<size_t>(a.num_segments), 0);
+    m.seg_access.resize(static_cast<size_t>(a.num_segments), 0);
+    m.seg_ctc.resize(static_cast<size_t>(a.num_segments), 0.0);
+    m.op.assign(static_cast<size_t>(a.num_pus),
+                std::vector<int64_t>(static_cast<size_t>(a.num_segments), 0));
+    m.v.assign(static_cast<size_t>(a.num_segments),
+               std::vector<double>(static_cast<size_t>(a.num_pus), 0.0));
+
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        const int s = a.segment_of[static_cast<size_t>(l)];
+        const int n = a.pu_of[static_cast<size_t>(l)];
+        m.op[static_cast<size_t>(n)][static_cast<size_t>(s)] +=
+            w.layers[static_cast<size_t>(l)].ops;
+    }
+    m.min_ctc = 1e30;
+    for (int s = 0; s < a.num_segments; ++s) {
+        m.seg_ops[static_cast<size_t>(s)] = SegmentOps(w, a, s);
+        m.seg_access[static_cast<size_t>(s)] = SegmentAccessBytes(w, a, s);
+        m.seg_ctc[static_cast<size_t>(s)] =
+            m.seg_access[static_cast<size_t>(s)] > 0
+                ? static_cast<double>(m.seg_ops[static_cast<size_t>(s)]) /
+                      static_cast<double>(m.seg_access[static_cast<size_t>(s)])
+                : 0.0;
+        m.min_ctc = std::min(m.min_ctc, m.seg_ctc[static_cast<size_t>(s)]);
+        // Eq. 10 distribution.
+        const double total = static_cast<double>(m.seg_ops[static_cast<size_t>(s)]);
+        for (int n = 0; n < a.num_pus; ++n) {
+            m.v[static_cast<size_t>(s)][static_cast<size_t>(n)] =
+                total > 0.0 ? static_cast<double>(
+                                  m.op[static_cast<size_t>(n)][static_cast<size_t>(s)]) /
+                                  total
+                            : 0.0;
+        }
+    }
+    // Eq. 11 over unordered segment pairs.
+    m.sod = 0.0;
+    for (int s1 = 0; s1 < a.num_segments; ++s1)
+        for (int s2 = s1 + 1; s2 < a.num_segments; ++s2)
+            m.sod += ManhattanDistance(m.v[static_cast<size_t>(s1)],
+                                       m.v[static_cast<size_t>(s2)]);
+    return m;
+}
+
+std::vector<PuComm>
+SegmentComms(const nn::Workload& w, const Assignment& a, int s)
+{
+    std::map<std::pair<int, int>, int64_t> acc;
+    for (const auto& e : w.edges) {
+        if (e.src < 0)
+            continue;
+        if (a.segment_of[static_cast<size_t>(e.src)] != s ||
+            a.segment_of[static_cast<size_t>(e.dst)] != s) {
+            continue;
+        }
+        const int n1 = a.pu_of[static_cast<size_t>(e.src)];
+        const int n2 = a.pu_of[static_cast<size_t>(e.dst)];
+        if (n1 != n2)
+            acc[{n1, n2}] += e.bytes;
+    }
+    std::vector<PuComm> comms;
+    for (const auto& [key, bytes] : acc)
+        comms.push_back({key.first, key.second, bytes});
+    return comms;
+}
+
+Assignment
+SingleSegmentSinglePu(const nn::Workload& w)
+{
+    Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 1;
+    a.segment_of.assign(static_cast<size_t>(w.NumLayers()), 0);
+    a.pu_of.assign(static_cast<size_t>(w.NumLayers()), 0);
+    return a;
+}
+
+Assignment
+EvenSegmentation(const nn::Workload& w, int layers_per_segment, int num_pus)
+{
+    SPA_ASSERT(layers_per_segment >= 1, "need at least one layer per segment");
+    const int num_layers = w.NumLayers();
+    Assignment a;
+    a.num_segments = static_cast<int>(CeilDiv(num_layers, layers_per_segment));
+    a.num_pus = num_pus;
+    a.segment_of.resize(static_cast<size_t>(num_layers));
+    a.pu_of.resize(static_cast<size_t>(num_layers));
+    for (int l = 0; l < num_layers; ++l) {
+        const int s = l / layers_per_segment;
+        const int pos = l % layers_per_segment;
+        const int seg_size = std::min(layers_per_segment,
+                                      num_layers - s * layers_per_segment);
+        // Contiguous blocks within the segment keep the PU graph acyclic.
+        int pu = static_cast<int>(static_cast<int64_t>(pos) * num_pus / seg_size);
+        pu = std::min(pu, num_pus - 1);
+        a.segment_of[static_cast<size_t>(l)] = s;
+        a.pu_of[static_cast<size_t>(l)] = pu;
+    }
+    return a;
+}
+
+}  // namespace seg
+}  // namespace spa

@@ -1,0 +1,110 @@
+#ifndef SPA_SEG_ASSIGNMENT_H_
+#define SPA_SEG_ASSIGNMENT_H_
+
+/**
+ * @file
+ * Model-segmentation solution encoding and metrics (Sec. V-A).
+ *
+ * An Assignment is the dense form of the paper's binary matrix
+ * lambda_{l,n,s}: every compute layer carries a segment index and a PU
+ * index. The metrics computed here are the two objective ingredients:
+ *
+ *  - per-segment CTC ratio (Eq. 5): segment MACs over segment DRAM
+ *    traffic, where intra-segment feature maps ride the inter-PU
+ *    fabric instead of DRAM;
+ *  - SOD (Eqs. 10-11): the summed Manhattan distance between the
+ *    per-segment operational distributions V_s.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/workload.h"
+
+namespace spa {
+namespace seg {
+
+/** Dense lambda: layer -> (segment, PU). */
+struct Assignment
+{
+    int num_segments = 0;
+    int num_pus = 0;
+    std::vector<int> segment_of;  ///< per workload layer
+    std::vector<int> pu_of;       ///< per workload layer
+
+    bool
+    SizedFor(const nn::Workload& w) const
+    {
+        return static_cast<int>(segment_of.size()) == w.NumLayers() &&
+               static_cast<int>(pu_of.size()) == w.NumLayers();
+    }
+};
+
+/** Inter-PU transfer of one segment (an omega_{n1,n2,s} = 1 entry). */
+struct PuComm
+{
+    int src_pu = 0;
+    int dst_pu = 0;
+    int64_t bytes = 0;
+};
+
+/** All objective-relevant quantities of an assignment. */
+struct SegmentMetrics
+{
+    std::vector<int64_t> seg_ops;          ///< MACs per segment
+    std::vector<int64_t> seg_access;       ///< DRAM bytes per segment
+    std::vector<double> seg_ctc;           ///< ops/access per segment
+    double min_ctc = 0.0;                  ///< Eq. 5 target
+    double sod = 0.0;                      ///< Eq. 11
+    std::vector<std::vector<double>> v;    ///< V_s distributions [s][n] (Eq. 10)
+    std::vector<std::vector<int64_t>> op;  ///< op[n][s]
+
+    /** The paper's overall objective: 1/CTC + SOD (Sec. V-A). */
+    double
+    Objective() const
+    {
+        return (min_ctc > 0.0 ? 1.0 / min_ctc : 1e18) + sod;
+    }
+};
+
+/**
+ * Validates the Eq. 2-4 design rules plus pipeline acyclicity (the
+ * paper's Eq. 4 forbids 2-cycles between PUs; any longer cycle would
+ * equally deadlock the pipeline, so we check full acyclicity of the
+ * per-segment PU quotient graph).
+ *
+ * @return empty string when valid, else a description of the violation.
+ */
+std::string CheckConstraints(const nn::Workload& w, const Assignment& a);
+
+/** DRAM bytes of segment s: weights + boundary-crossing feature maps. */
+int64_t SegmentAccessBytes(const nn::Workload& w, const Assignment& a, int s);
+
+/** MACs of segment s. */
+int64_t SegmentOps(const nn::Workload& w, const Assignment& a, int s);
+
+/** Full metric bundle. */
+SegmentMetrics ComputeMetrics(const nn::Workload& w, const Assignment& a);
+
+/** The omega entries of segment s: PU pairs with live transfers. */
+std::vector<PuComm> SegmentComms(const nn::Workload& w, const Assignment& a, int s);
+
+/**
+ * Everything-on-one-PU single-segment assignment (the degenerate
+ * no-pipeline point, useful as a baseline and in tests).
+ */
+Assignment SingleSegmentSinglePu(const nn::Workload& w);
+
+/**
+ * Even round-robin segmentation: `layers_per_segment` consecutive
+ * layers (topological order) per segment, PU = index within segment
+ * modulo num_pus. The Fig. 3/4 "segment-grained-k" strawman.
+ */
+Assignment EvenSegmentation(const nn::Workload& w, int layers_per_segment,
+                            int num_pus);
+
+}  // namespace seg
+}  // namespace spa
+
+#endif  // SPA_SEG_ASSIGNMENT_H_

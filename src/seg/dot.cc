@@ -1,0 +1,89 @@
+#include "seg/dot.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace seg {
+
+namespace {
+
+const char* kSegmentPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                 "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+                                 "#e31a1c", "#ff7f00", "#6a3d9a", "#b15928"};
+
+std::string
+Escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+GraphToDot(const nn::Graph& graph)
+{
+    std::ostringstream os;
+    os << "digraph \"" << Escape(graph.name()) << "\" {\n"
+       << "  rankdir=TB;\n  node [fontsize=10];\n";
+    for (const nn::Layer& l : graph.layers()) {
+        const char* shape = "box";
+        switch (l.type()) {
+          case nn::LayerType::kInput: shape = "ellipse"; break;
+          case nn::LayerType::kConv:
+          case nn::LayerType::kFullyConnected: shape = "box"; break;
+          case nn::LayerType::kAdd:
+          case nn::LayerType::kConcat: shape = "diamond"; break;
+          default: shape = "oval"; break;
+        }
+        os << "  n" << l.id() << " [label=\"" << Escape(l.name()) << "\\n"
+           << nn::LayerTypeName(l.type()) << " " << l.out_shape().ToString()
+           << "\" shape=" << shape << "];\n";
+    }
+    for (const nn::Layer& l : graph.layers())
+        for (nn::LayerId in : l.inputs())
+            os << "  n" << in << " -> n" << l.id() << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+SegmentationToDot(const nn::Workload& w, const Assignment& a)
+{
+    SPA_ASSERT(a.SizedFor(w), "assignment does not match workload");
+    std::ostringstream os;
+    os << "digraph \"" << Escape(w.name) << "_segmented\" {\n"
+       << "  rankdir=TB;\n  node [fontsize=10 style=filled];\n";
+    constexpr int kPaletteSize =
+        static_cast<int>(sizeof(kSegmentPalette) / sizeof(kSegmentPalette[0]));
+    for (int l = 0; l < w.NumLayers(); ++l) {
+        const int s = a.segment_of[static_cast<size_t>(l)];
+        const int n = a.pu_of[static_cast<size_t>(l)];
+        os << "  n" << l << " [label=\"" << Escape(w.layers[static_cast<size_t>(l)].name)
+           << "\\nseg " << s + 1 << " / PU " << n + 1 << "\" fillcolor=\""
+           << kSegmentPalette[s % kPaletteSize] << "\"];\n";
+    }
+    for (const auto& e : w.edges) {
+        if (e.src < 0)
+            continue;
+        const bool cross =
+            a.segment_of[static_cast<size_t>(e.src)] !=
+            a.segment_of[static_cast<size_t>(e.dst)];
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (cross)
+            os << " [style=dashed color=red]";  // DRAM round trip
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace seg
+}  // namespace spa

@@ -1,0 +1,31 @@
+#ifndef SPA_SEG_DOT_H_
+#define SPA_SEG_DOT_H_
+
+/**
+ * @file
+ * Graphviz DOT export: the quickest way to eyeball a model graph and
+ * what AutoSeg decided for it (layers colored by segment, labelled
+ * with their PU binding).
+ */
+
+#include <string>
+
+#include "nn/graph.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace seg {
+
+/** DOT text of the full layer graph (shapes by operator kind). */
+std::string GraphToDot(const nn::Graph& graph);
+
+/**
+ * DOT text of the workload DAG with the segmentation overlaid: nodes
+ * labelled "name | seg s | PU n" and filled per segment.
+ */
+std::string SegmentationToDot(const nn::Workload& w, const Assignment& a);
+
+}  // namespace seg
+}  // namespace spa
+
+#endif  // SPA_SEG_DOT_H_

@@ -1,0 +1,544 @@
+#include "seg/segmenter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace seg {
+
+namespace {
+
+/**
+ * Access bytes of every contiguous (topological) layer range, built
+ * incrementally in O(L^2 + L*E).  acc[i][j] = DRAM bytes of a segment
+ * holding layers [i, j].
+ */
+std::vector<std::vector<int64_t>>
+RangeAccess(const nn::Workload& w)
+{
+    const int num_layers = w.NumLayers();
+    std::vector<std::vector<int64_t>> acc(
+        static_cast<size_t>(num_layers),
+        std::vector<int64_t>(static_cast<size_t>(num_layers), 0));
+    for (int i = 0; i < num_layers; ++i) {
+        int64_t bytes = 0;
+        // consumers of each in-range producer still outside the range
+        std::vector<int> outside(static_cast<size_t>(num_layers), 0);
+        for (int j = i; j < num_layers; ++j) {
+            const auto& layer = w.layers[static_cast<size_t>(j)];
+            bytes += layer.weight_bytes;
+            // Reads from outside the range (earlier layers / input).
+            for (int e : w.in_edges[static_cast<size_t>(j)]) {
+                const auto& edge = w.edges[static_cast<size_t>(e)];
+                if (edge.src < 0 || edge.src < i) {
+                    bytes += edge.bytes;
+                } else {
+                    // Internal edge: the producer has one fewer outside
+                    // consumer; drop its output write when none remain.
+                    outside[static_cast<size_t>(edge.src)]--;
+                    if (outside[static_cast<size_t>(edge.src)] == 0)
+                        bytes -= w.layers[static_cast<size_t>(edge.src)].output_bytes;
+                }
+            }
+            // j writes its output (final layers always do; producers
+            // until their last consumer joins the range).
+            bytes += layer.output_bytes;
+            outside[static_cast<size_t>(j)] =
+                static_cast<int>(w.out_edges[static_cast<size_t>(j)].size());
+            if (!w.out_edges[static_cast<size_t>(j)].empty() &&
+                outside[static_cast<size_t>(j)] == 0) {
+                bytes -= layer.output_bytes;
+            }
+            acc[static_cast<size_t>(i)][static_cast<size_t>(j)] = bytes;
+        }
+    }
+    return acc;
+}
+
+/** Min-max 1/CTC partition of [0, L) into S contiguous ranges. */
+std::vector<int>
+DpCuts(const nn::Workload& w, int num_segments, int min_per_segment,
+       const std::vector<std::vector<int64_t>>& acc)
+{
+    const int num_layers = w.NumLayers();
+    std::vector<int64_t> ops_prefix(static_cast<size_t>(num_layers) + 1, 0);
+    for (int l = 0; l < num_layers; ++l)
+        ops_prefix[static_cast<size_t>(l) + 1] =
+            ops_prefix[static_cast<size_t>(l)] + w.layers[static_cast<size_t>(l)].ops;
+
+    auto inv_ctc = [&](int i, int j) {
+        const int64_t ops = ops_prefix[static_cast<size_t>(j) + 1] -
+                            ops_prefix[static_cast<size_t>(i)];
+        if (ops <= 0)
+            return 1e18;
+        return static_cast<double>(acc[static_cast<size_t>(i)][static_cast<size_t>(j)]) /
+               static_cast<double>(ops);
+    };
+
+    constexpr double kInfCost = 1e30;
+    // f[j][s]: best max-inv-ctc covering the first j layers with s segments.
+    std::vector<std::vector<double>> f(
+        static_cast<size_t>(num_layers) + 1,
+        std::vector<double>(static_cast<size_t>(num_segments) + 1, kInfCost));
+    std::vector<std::vector<int>> choice(
+        static_cast<size_t>(num_layers) + 1,
+        std::vector<int>(static_cast<size_t>(num_segments) + 1, -1));
+    f[0][0] = 0.0;
+    for (int s = 1; s <= num_segments; ++s) {
+        for (int j = s * min_per_segment; j <= num_layers; ++j) {
+            for (int t = (s - 1) * min_per_segment; t <= j - min_per_segment; ++t) {
+                if (f[static_cast<size_t>(t)][static_cast<size_t>(s) - 1] >=
+                    kInfCost) {
+                    continue;
+                }
+                const double cand =
+                    std::max(f[static_cast<size_t>(t)][static_cast<size_t>(s) - 1],
+                             inv_ctc(t, j - 1));
+                if (cand <
+                    f[static_cast<size_t>(j)][static_cast<size_t>(s)] - 1e-15) {
+                    f[static_cast<size_t>(j)][static_cast<size_t>(s)] = cand;
+                    choice[static_cast<size_t>(j)][static_cast<size_t>(s)] = t;
+                }
+            }
+        }
+    }
+    // Backtrack segment start indices.
+    std::vector<int> cuts;  // cuts[s] = first layer of segment s
+    int j = num_layers;
+    for (int s = num_segments; s >= 1; --s) {
+        const int t = choice[static_cast<size_t>(j)][static_cast<size_t>(s)];
+        SPA_ASSERT(t >= 0, "segmentation DP failed to cover the model");
+        cuts.push_back(t);
+        j = t;
+    }
+    std::reverse(cuts.begin(), cuts.end());
+    return cuts;
+}
+
+/** Equal-MACs contiguous cuts (balance-first seed). */
+std::vector<int>
+BalancedCuts(const nn::Workload& w, int num_segments, int min_per_segment)
+{
+    const int num_layers = w.NumLayers();
+    const int64_t total = w.TotalOps();
+    std::vector<int> cuts{0};
+    int64_t running = 0;
+    for (int l = 0; l < num_layers && static_cast<int>(cuts.size()) < num_segments;
+         ++l) {
+        running += w.layers[static_cast<size_t>(l)].ops;
+        const int64_t target = total * static_cast<int64_t>(cuts.size()) /
+                               num_segments;
+        const int remaining_layers = num_layers - (l + 1);
+        const int remaining_segments = num_segments - static_cast<int>(cuts.size());
+        const int current_len = (l + 1) - cuts.back();
+        if (((running >= target && current_len >= min_per_segment) ||
+             remaining_layers == remaining_segments * min_per_segment) &&
+            remaining_layers >= remaining_segments * min_per_segment) {
+            cuts.push_back(l + 1);
+        }
+    }
+    while (static_cast<int>(cuts.size()) < num_segments) {
+        const int missing = num_segments - static_cast<int>(cuts.size());
+        cuts.push_back(num_layers - missing * min_per_segment);
+    }
+    return cuts;
+}
+
+/** Segment labels from cut starts. */
+std::vector<int>
+SegmentsFromCuts(int num_layers, const std::vector<int>& cuts)
+{
+    std::vector<int> seg(static_cast<size_t>(num_layers), 0);
+    for (int l = 0; l < num_layers; ++l) {
+        int s = 0;
+        while (s + 1 < static_cast<int>(cuts.size()) &&
+               l >= cuts[static_cast<size_t>(s) + 1]) {
+            ++s;
+        }
+        seg[static_cast<size_t>(l)] = s;
+    }
+    return seg;
+}
+
+/**
+ * Binds the layers of every segment to PUs, targeting the shared
+ * operational distribution `h`. Monotone-along-edges labels keep the
+ * PU pipeline acyclic (a sufficient condition for Eq. 4).
+ */
+void
+BindPus(const nn::Workload& w, const std::vector<int>& segment_of, int num_segments,
+        int num_pus, const std::vector<double>& h, std::vector<int>& pu_of)
+{
+    const int num_layers = w.NumLayers();
+    pu_of.assign(static_cast<size_t>(num_layers), 0);
+    std::vector<double> h_prefix(static_cast<size_t>(num_pus) + 1, 0.0);
+    for (int n = 0; n < num_pus; ++n)
+        h_prefix[static_cast<size_t>(n) + 1] =
+            h_prefix[static_cast<size_t>(n)] + h[static_cast<size_t>(n)];
+
+    // Guaranteed-valid fallback: split a segment's members (topological
+    // order) into num_pus contiguous chunks targeting the h shares.
+    // Chunk labels are monotone along every edge, hence acyclic, and
+    // every PU is non-empty whenever |members| >= num_pus.
+    auto chunk_bind = [&](const std::vector<int>& members, int64_t seg_ops) {
+        const int count = static_cast<int>(members.size());
+        int64_t assigned = 0;
+        int pu = 0;
+        for (int idx = 0; idx < count; ++idx) {
+            const int l = members[static_cast<size_t>(idx)];
+            // Advance when the current PU met its share, keeping enough
+            // layers for the remaining PUs.
+            const double share = h_prefix[static_cast<size_t>(pu) + 1];
+            if (pu + 1 < num_pus &&
+                static_cast<double>(assigned) >
+                    share * static_cast<double>(seg_ops) - 1e-9 &&
+                count - idx > num_pus - 1 - pu) {
+                ++pu;
+            }
+            if (count - idx <= num_pus - 1 - pu)
+                pu = num_pus - (count - idx);  // force-fill the tail PUs
+            pu_of[static_cast<size_t>(l)] = pu;
+            assigned += w.layers[static_cast<size_t>(l)].ops;
+        }
+    };
+
+    for (int s = 0; s < num_segments; ++s) {
+        std::vector<int> members;
+        int64_t seg_ops = 0;
+        for (int l = 0; l < num_layers; ++l) {
+            if (segment_of[static_cast<size_t>(l)] == s) {
+                members.push_back(l);
+                seg_ops += w.layers[static_cast<size_t>(l)].ops;
+            }
+        }
+        int64_t assigned = 0;
+        int used = 0;  // highest PU index assigned so far + 1
+        for (size_t idx = 0; idx < members.size(); ++idx) {
+            const int l = members[idx];
+            // Earliest PU: after every in-segment predecessor.
+            int earliest = 0;
+            for (int e : w.in_edges[static_cast<size_t>(l)]) {
+                const auto& edge = w.edges[static_cast<size_t>(e)];
+                if (edge.src >= 0 && segment_of[static_cast<size_t>(edge.src)] == s)
+                    earliest = std::max(earliest,
+                                        pu_of[static_cast<size_t>(edge.src)]);
+            }
+            // Ideal PU by cumulative ops share.
+            const double mid =
+                (static_cast<double>(assigned) +
+                 static_cast<double>(w.layers[static_cast<size_t>(l)].ops) / 2.0) /
+                std::max<double>(1.0, static_cast<double>(seg_ops));
+            int ideal = 0;
+            while (ideal + 1 < num_pus &&
+                   h_prefix[static_cast<size_t>(ideal) + 1] < mid) {
+                ++ideal;
+            }
+            int pu = std::max(earliest, ideal);
+            // Leave room so that every remaining PU still gets a layer.
+            const int layers_left = static_cast<int>(members.size() - idx);
+            const int pus_unstarted = num_pus - used;
+            if (layers_left <= pus_unstarted)
+                pu = std::max(pu, num_pus - layers_left);
+            pu = std::min(pu, num_pus - 1);
+            pu = std::max(pu, earliest);  // dependency wins over balance
+            pu_of[static_cast<size_t>(l)] = pu;
+            assigned += w.layers[static_cast<size_t>(l)].ops;
+            used = std::max(used, pu + 1);
+        }
+        // Repair: if the dependency-aware greedy left a PU empty (tight
+        // instances), fall back to the chunk binding for this segment.
+        std::vector<int> per_pu(static_cast<size_t>(num_pus), 0);
+        for (int l : members)
+            per_pu[static_cast<size_t>(pu_of[static_cast<size_t>(l)])]++;
+        const bool any_empty =
+            std::any_of(per_pu.begin(), per_pu.end(), [](int c) { return c == 0; });
+        if (any_empty && static_cast<int>(members.size()) >= num_pus)
+            chunk_bind(members, seg_ops);
+    }
+}
+
+/**
+ * Search score: the paper's objective (1/CTC + SOD) plus a small
+ * intra-segment load-balance term. The MIP objective leaves balance to
+ * the V-hat-proportional PE allocation (Eqs. 7-9), but power-of-two
+ * array rounding cannot follow arbitrarily skewed distributions, so the
+ * search prefers flatter ones when the paper objective ties (S = 1
+ * makes SOD vacuous, which is exactly where this matters).
+ */
+double
+SearchScore(const SegmentMetrics& m, int num_pus)
+{
+    // Mean distribution across segments (the allocator's V-hat).
+    std::vector<double> v_hat(static_cast<size_t>(num_pus), 0.0);
+    for (const auto& vs : m.v)
+        for (int n = 0; n < num_pus; ++n)
+            v_hat[static_cast<size_t>(n)] += vs[static_cast<size_t>(n)];
+    double total = 0.0;
+    for (double v : v_hat)
+        total += v;
+    if (total <= 0.0)
+        return m.Objective();
+    for (double& v : v_hat)
+        v /= total;
+    // Quantize to the power-of-two PE allocation the hardware can build
+    // (256 granularity units), greedy largest-deficit doubling.
+    std::vector<int64_t> q(static_cast<size_t>(num_pus), 0);
+    int64_t used = 0;
+    for (int n = 0; n < num_pus; ++n) {
+        q[static_cast<size_t>(n)] = std::max<int64_t>(
+            1, FloorPow2(static_cast<int64_t>(v_hat[static_cast<size_t>(n)] * 256.0)));
+        used += q[static_cast<size_t>(n)];
+    }
+    while (true) {
+        int best = -1;
+        double best_deficit = 1.0;
+        for (int n = 0; n < num_pus; ++n) {
+            if (used + q[static_cast<size_t>(n)] > 256)
+                continue;
+            const double deficit = v_hat[static_cast<size_t>(n)] * 256.0 /
+                                   static_cast<double>(q[static_cast<size_t>(n)]);
+            if (deficit > best_deficit) {
+                best = n;
+                best_deficit = deficit;
+            }
+        }
+        if (best < 0)
+            break;
+        used += q[static_cast<size_t>(best)];
+        q[static_cast<size_t>(best)] *= 2;
+    }
+    // Achievable latency factor under this quantized allocation: the
+    // worst per-segment max of V / share (Eqs. 7-9 with rounding).
+    double latency_factor = 0.0;
+    for (const auto& vs : m.v) {
+        double seg_max = 0.0;
+        for (int n = 0; n < num_pus; ++n) {
+            const double share = static_cast<double>(q[static_cast<size_t>(n)]) /
+                                 static_cast<double>(used);
+            seg_max = std::max(seg_max, vs[static_cast<size_t>(n)] / share);
+        }
+        latency_factor += seg_max;
+    }
+    latency_factor /= static_cast<double>(m.v.size());
+    return m.Objective() + 0.5 * (latency_factor - 1.0);
+}
+
+/**
+ * Local search: single-layer PU moves and segment-boundary shifts,
+ * accepting search-score improvements.
+ */
+void
+LocalSearch(const nn::Workload& w, Assignment& a, int max_rounds = 6)
+{
+    SegmentMetrics metrics = ComputeMetrics(w, a);
+    double best = SearchScore(metrics, a.num_pus);
+    for (int round = 0; round < max_rounds; ++round) {
+        bool improved = false;
+        for (int l = 0; l < w.NumLayers(); ++l) {
+            const int old_pu = a.pu_of[static_cast<size_t>(l)];
+            const int old_seg = a.segment_of[static_cast<size_t>(l)];
+            for (int dn = -1; dn <= 1; ++dn) {
+                for (int ds = -1; ds <= 1; ++ds) {
+                    if (dn == 0 && ds == 0)
+                        continue;
+                    const int pu = old_pu + dn;
+                    const int s = old_seg + ds;
+                    if (pu < 0 || pu >= a.num_pus || s < 0 || s >= a.num_segments)
+                        continue;
+                    a.pu_of[static_cast<size_t>(l)] = pu;
+                    a.segment_of[static_cast<size_t>(l)] = s;
+                    if (CheckConstraints(w, a).empty()) {
+                        const double obj = SearchScore(ComputeMetrics(w, a),
+                                                       a.num_pus);
+                        if (obj < best - 1e-12) {
+                            best = obj;
+                            improved = true;
+                            goto next_layer;
+                        }
+                    }
+                    a.pu_of[static_cast<size_t>(l)] = old_pu;
+                    a.segment_of[static_cast<size_t>(l)] = old_seg;
+                }
+            }
+          next_layer:;
+        }
+        if (!improved)
+            break;
+    }
+}
+
+}  // namespace
+
+std::vector<Assignment>
+HeuristicSegmenter::SolveCandidates(const nn::Workload& w, int num_segments,
+                                    int num_pus, int max_candidates)
+{
+    std::vector<Assignment> result;
+    const int num_layers = w.NumLayers();
+    if (num_layers < num_segments * num_pus)
+        return result;  // Eq. 2 cannot hold
+
+    const auto acc = RangeAccess(w);
+    std::vector<std::vector<int>> cut_seeds;
+    cut_seeds.push_back(DpCuts(w, num_segments, num_pus, acc));
+    cut_seeds.push_back(BalancedCuts(w, num_segments, num_pus));
+
+    // Power-of-two-friendly target shapes for the PU quota (which one
+    // is realizable depends on the budget the allocator sees).
+    std::vector<std::vector<double>> shapes;
+    shapes.emplace_back(static_cast<size_t>(num_pus), 1.0);  // uniform
+    if (num_pus >= 3) {
+        std::vector<double> center(static_cast<size_t>(num_pus), 1.0);
+        for (int n = 1; n + 1 < num_pus; ++n)
+            center[static_cast<size_t>(n)] = 2.0;
+        shapes.push_back(center);  // e.g. 1:2:2:1
+        std::vector<double> front(static_cast<size_t>(num_pus), 1.0);
+        for (int n = 0; n < num_pus / 2; ++n)
+            front[static_cast<size_t>(n)] = 2.0;
+        shapes.push_back(front);   // e.g. 2:2:1:1
+        std::vector<double> back(static_cast<size_t>(num_pus), 1.0);
+        for (int n = num_pus / 2; n < num_pus; ++n)
+            back[static_cast<size_t>(n)] = 2.0;
+        shapes.push_back(back);    // e.g. 1:1:2:2
+    }
+
+    struct Scored
+    {
+        double score;
+        Assignment assignment;
+    };
+    std::vector<Scored> scored;
+    for (const auto& cuts : cut_seeds) {
+        std::vector<int> segment_of = SegmentsFromCuts(num_layers, cuts);
+        for (size_t shape_idx = 0; shape_idx <= shapes.size(); ++shape_idx) {
+            Assignment a;
+            a.num_segments = num_segments;
+            a.num_pus = num_pus;
+            a.segment_of = segment_of;
+            std::vector<double> h;
+            if (shape_idx < shapes.size()) {
+                h = Normalize(shapes[shape_idx]);
+                BindPus(w, a.segment_of, num_segments, num_pus, h, a.pu_of);
+            } else {
+                // Self-consistent target: iterate toward the achieved
+                // mean distribution (Sec. V-B Step 1 in reverse).
+                h.assign(static_cast<size_t>(num_pus),
+                         1.0 / static_cast<double>(num_pus));
+                for (int iter = 0; iter < 3; ++iter) {
+                    BindPus(w, a.segment_of, num_segments, num_pus, h, a.pu_of);
+                    SegmentMetrics metrics = ComputeMetrics(w, a);
+                    for (int n = 0; n < num_pus; ++n) {
+                        double sum = 0.0;
+                        for (int s = 0; s < num_segments; ++s)
+                            sum += metrics.v[static_cast<size_t>(s)]
+                                            [static_cast<size_t>(n)];
+                        h[static_cast<size_t>(n)] = sum / num_segments;
+                    }
+                }
+            }
+            if (!CheckConstraints(w, a).empty())
+                continue;
+            scored.push_back({SearchScore(ComputeMetrics(w, a), num_pus), a});
+        }
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& x, const Scored& y) { return x.score < y.score; });
+    // Polish the best few with local search, dropping duplicates.
+    for (const auto& cand : scored) {
+        if (static_cast<int>(result.size()) >= max_candidates)
+            break;
+        Assignment a = cand.assignment;
+        LocalSearch(w, a);
+        bool duplicate = false;
+        for (const auto& prev : result)
+            duplicate |= prev.segment_of == a.segment_of && prev.pu_of == a.pu_of;
+        if (!duplicate)
+            result.push_back(std::move(a));
+    }
+    return result;
+}
+
+void
+PolishAssignment(const nn::Workload& w, Assignment& a, int max_rounds)
+{
+    double best = ComputeMetrics(w, a).Objective();
+    for (int round = 0; round < max_rounds; ++round) {
+        bool improved = false;
+        for (int l = 0; l < w.NumLayers(); ++l) {
+            const int old_pu = a.pu_of[static_cast<size_t>(l)];
+            const int old_seg = a.segment_of[static_cast<size_t>(l)];
+            for (int pu = 0; pu < a.num_pus; ++pu) {
+                for (int s = std::max(0, old_seg - 1);
+                     s <= std::min(a.num_segments - 1, old_seg + 1); ++s) {
+                    if (pu == old_pu && s == old_seg)
+                        continue;
+                    a.pu_of[static_cast<size_t>(l)] = pu;
+                    a.segment_of[static_cast<size_t>(l)] = s;
+                    if (CheckConstraints(w, a).empty()) {
+                        const double obj = ComputeMetrics(w, a).Objective();
+                        if (obj < best - 1e-12) {
+                            best = obj;
+                            improved = true;
+                            goto next_layer;
+                        }
+                    }
+                    a.pu_of[static_cast<size_t>(l)] = old_pu;
+                    a.segment_of[static_cast<size_t>(l)] = old_seg;
+                }
+            }
+          next_layer:;
+        }
+        // Pairwise swap moves reach the out-of-order bindings (Fig. 6
+        // Segment-3) that single-layer moves cannot.
+        for (int l1 = 0; l1 < w.NumLayers(); ++l1) {
+            for (int l2 = l1 + 1; l2 < w.NumLayers(); ++l2) {
+                std::swap(a.pu_of[static_cast<size_t>(l1)],
+                          a.pu_of[static_cast<size_t>(l2)]);
+                std::swap(a.segment_of[static_cast<size_t>(l1)],
+                          a.segment_of[static_cast<size_t>(l2)]);
+                bool keep = false;
+                if (CheckConstraints(w, a).empty()) {
+                    const double obj = ComputeMetrics(w, a).Objective();
+                    if (obj < best - 1e-12) {
+                        best = obj;
+                        improved = true;
+                        keep = true;
+                    }
+                }
+                if (!keep) {
+                    std::swap(a.pu_of[static_cast<size_t>(l1)],
+                              a.pu_of[static_cast<size_t>(l2)]);
+                    std::swap(a.segment_of[static_cast<size_t>(l1)],
+                              a.segment_of[static_cast<size_t>(l2)]);
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+}
+
+bool
+HeuristicSegmenter::Solve(const nn::Workload& w, int num_segments, int num_pus,
+                          Assignment& out)
+{
+    std::vector<Assignment> candidates =
+        SolveCandidates(w, num_segments, num_pus, 3);
+    if (candidates.empty())
+        return false;
+    double best = 1e30;
+    for (auto& a : candidates) {
+        const double score = SearchScore(ComputeMetrics(w, a), num_pus);
+        if (score < best) {
+            best = score;
+            out = a;
+        }
+    }
+    return true;
+}
+
+}  // namespace seg
+}  // namespace spa

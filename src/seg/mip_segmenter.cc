@@ -1,0 +1,477 @@
+#include "seg/segmenter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "mip/branch_and_bound.h"
+
+namespace spa {
+namespace seg {
+
+namespace {
+
+/**
+ * Phase A: layer -> segment boundaries.
+ *
+ * For a fixed CTC target q the Eq. 5 constraint is linear:
+ *     sum_l (w_l - ops_l / q) y_{l,s} + cross/write terms <= 0.
+ * We bisect q, keeping the best feasible assignment; the secondary
+ * objective balances segment MAC totals (the precondition for low SOD).
+ */
+struct PhaseA
+{
+    const nn::Workload& w;
+    int num_segments;
+    int64_t node_budget;
+
+    /** Builds and solves the feasibility MIP for target CTC q. */
+    bool
+    SolveForTarget(double q, std::vector<int>& segment_of) const
+    {
+        const int num_layers = w.NumLayers();
+        mip::Problem p;
+        // y[l][s]
+        std::vector<std::vector<int>> y(static_cast<size_t>(num_layers));
+        for (int l = 0; l < num_layers; ++l)
+            for (int s = 0; s < num_segments; ++s)
+                y[static_cast<size_t>(l)].push_back(p.AddBinary(0.0));
+        // cross[e][s]: consumer reads edge e from DRAM in segment s.
+        std::vector<std::vector<int>> cross(w.edges.size());
+        for (size_t e = 0; e < w.edges.size(); ++e)
+            for (int s = 0; s < num_segments; ++s)
+                cross[e].push_back(p.AddVariable(0.0, 1.0, 0.0));
+        // write[l][s]: layer l materializes its output to DRAM in s.
+        std::vector<std::vector<int>> write(static_cast<size_t>(num_layers));
+        for (int l = 0; l < num_layers; ++l)
+            for (int s = 0; s < num_segments; ++s)
+                write[static_cast<size_t>(l)].push_back(p.AddVariable(0.0, 1.0, 0.0));
+        // Balance deviations per segment (the objective).
+        const double total_ops = static_cast<double>(w.TotalOps());
+        const double mean_ops = total_ops / num_segments;
+        std::vector<int> dev(static_cast<size_t>(num_segments));
+        for (int s = 0; s < num_segments; ++s)
+            dev[static_cast<size_t>(s)] =
+                p.AddVariable(0.0, mip::kInf, 1.0 / total_ops);
+
+        // Each layer in exactly one segment.
+        for (int l = 0; l < num_layers; ++l) {
+            std::vector<std::pair<int, double>> terms;
+            for (int s = 0; s < num_segments; ++s)
+                terms.push_back({y[static_cast<size_t>(l)][static_cast<size_t>(s)], 1.0});
+            p.AddConstraint(terms, mip::Sense::kEq, 1.0);
+        }
+        // Segments hold >= 1 layer; with N PUs each will need >= N
+        // layers downstream, enforced in phase B.
+        for (int s = 0; s < num_segments; ++s) {
+            std::vector<std::pair<int, double>> terms;
+            for (int l = 0; l < num_layers; ++l)
+                terms.push_back({y[static_cast<size_t>(l)][static_cast<size_t>(s)], 1.0});
+            p.AddConstraint(terms, mip::Sense::kGe, 1.0);
+        }
+        // Eq. 3 ordering (aggregated): seg(src) <= seg(dst).
+        for (const auto& e : w.edges) {
+            if (e.src < 0)
+                continue;
+            std::vector<std::pair<int, double>> terms;
+            for (int s = 0; s < num_segments; ++s) {
+                terms.push_back(
+                    {y[static_cast<size_t>(e.dst)][static_cast<size_t>(s)],
+                     static_cast<double>(s)});
+                terms.push_back(
+                    {y[static_cast<size_t>(e.src)][static_cast<size_t>(s)],
+                     -static_cast<double>(s)});
+            }
+            p.AddConstraint(terms, mip::Sense::kGe, 0.0);
+        }
+        // cross and write lower bounds.
+        for (size_t e = 0; e < w.edges.size(); ++e) {
+            const auto& edge = w.edges[e];
+            for (int s = 0; s < num_segments; ++s) {
+                if (edge.src < 0) {
+                    // External input always read from DRAM.
+                    p.AddConstraint(
+                        {{cross[e][static_cast<size_t>(s)], 1.0},
+                         {y[static_cast<size_t>(edge.dst)][static_cast<size_t>(s)],
+                          -1.0}},
+                        mip::Sense::kGe, 0.0);
+                } else {
+                    // cross >= y_dst,s - y_src,s.
+                    p.AddConstraint(
+                        {{cross[e][static_cast<size_t>(s)], 1.0},
+                         {y[static_cast<size_t>(edge.dst)][static_cast<size_t>(s)],
+                          -1.0},
+                         {y[static_cast<size_t>(edge.src)][static_cast<size_t>(s)],
+                          1.0}},
+                        mip::Sense::kGe, 0.0);
+                }
+            }
+        }
+        for (int l = 0; l < num_layers; ++l) {
+            const auto& outs = w.out_edges[static_cast<size_t>(l)];
+            for (int s = 0; s < num_segments; ++s) {
+                if (outs.empty()) {
+                    // Final outputs always written.
+                    p.AddConstraint(
+                        {{write[static_cast<size_t>(l)][static_cast<size_t>(s)], 1.0},
+                         {y[static_cast<size_t>(l)][static_cast<size_t>(s)], -1.0}},
+                        mip::Sense::kGe, 0.0);
+                    continue;
+                }
+                for (int e : outs) {
+                    const int dst = w.edges[static_cast<size_t>(e)].dst;
+                    // write >= y_l,s - y_dst,s (any consumer elsewhere).
+                    p.AddConstraint(
+                        {{write[static_cast<size_t>(l)][static_cast<size_t>(s)], 1.0},
+                         {y[static_cast<size_t>(l)][static_cast<size_t>(s)], -1.0},
+                         {y[static_cast<size_t>(dst)][static_cast<size_t>(s)], 1.0}},
+                        mip::Sense::kGe, 0.0);
+                }
+            }
+        }
+        // Eq. 5 for fixed target q: access_s <= ops_s / q.
+        for (int s = 0; s < num_segments; ++s) {
+            std::vector<std::pair<int, double>> terms;
+            for (int l = 0; l < num_layers; ++l) {
+                const auto& layer = w.layers[static_cast<size_t>(l)];
+                terms.push_back(
+                    {y[static_cast<size_t>(l)][static_cast<size_t>(s)],
+                     static_cast<double>(layer.weight_bytes) -
+                         static_cast<double>(layer.ops) / q});
+                terms.push_back(
+                    {write[static_cast<size_t>(l)][static_cast<size_t>(s)],
+                     static_cast<double>(layer.output_bytes)});
+            }
+            for (size_t e = 0; e < w.edges.size(); ++e)
+                terms.push_back({cross[e][static_cast<size_t>(s)],
+                                 static_cast<double>(w.edges[e].bytes)});
+            p.AddConstraint(terms, mip::Sense::kLe, 0.0);
+        }
+        // |ops_s - mean| <= dev_s.
+        for (int s = 0; s < num_segments; ++s) {
+            std::vector<std::pair<int, double>> pos, neg;
+            for (int l = 0; l < num_layers; ++l) {
+                const double o =
+                    static_cast<double>(w.layers[static_cast<size_t>(l)].ops);
+                pos.push_back({y[static_cast<size_t>(l)][static_cast<size_t>(s)], o});
+                neg.push_back({y[static_cast<size_t>(l)][static_cast<size_t>(s)], -o});
+            }
+            pos.push_back({dev[static_cast<size_t>(s)], -1.0});
+            neg.push_back({dev[static_cast<size_t>(s)], -1.0});
+            p.AddConstraint(pos, mip::Sense::kLe, mean_ops);
+            p.AddConstraint(neg, mip::Sense::kLe, -mean_ops);
+        }
+
+        mip::MipOptions options;
+        options.max_nodes = node_budget;
+        mip::Solution sol = mip::SolveMip(p, options);
+        if (sol.status != mip::SolveStatus::kOptimal &&
+            !(sol.status == mip::SolveStatus::kLimit && !sol.x.empty())) {
+            return false;
+        }
+        segment_of.assign(static_cast<size_t>(num_layers), 0);
+        for (int l = 0; l < num_layers; ++l) {
+            for (int s = 0; s < num_segments; ++s) {
+                if (sol.x[static_cast<size_t>(
+                        y[static_cast<size_t>(l)][static_cast<size_t>(s)])] > 0.5) {
+                    segment_of[static_cast<size_t>(l)] = s;
+                }
+            }
+        }
+        return true;
+    }
+};
+
+/**
+ * Phase B: layer -> PU binding given fixed segments.
+ *
+ * Minimizes sum |op[n][s] - T_s * h_n| with a shared continuous
+ * distribution h (Eqs. 9-11), subject to every PU hosting a layer in
+ * every segment (Eq. 2) and pipeline acyclicity via topological
+ * potentials r (a strengthening of Eq. 4's pairwise rule).
+ */
+bool
+SolvePhaseB(const nn::Workload& w, const std::vector<int>& segment_of,
+            int num_segments, int num_pus, int64_t node_budget,
+            std::vector<int>& pu_of)
+{
+    const int num_layers = w.NumLayers();
+    mip::Problem p;
+    std::vector<std::vector<int>> x(static_cast<size_t>(num_layers));
+    for (int l = 0; l < num_layers; ++l)
+        for (int n = 0; n < num_pus; ++n)
+            x[static_cast<size_t>(l)].push_back(p.AddBinary(0.0));
+    std::vector<int> h(static_cast<size_t>(num_pus));
+    for (int n = 0; n < num_pus; ++n)
+        h[static_cast<size_t>(n)] = p.AddVariable(0.0, 1.0, 0.0);
+    // Segment MAC totals (constants under fixed segments).
+    std::vector<double> seg_ops(static_cast<size_t>(num_segments), 0.0);
+    for (int l = 0; l < num_layers; ++l)
+        seg_ops[static_cast<size_t>(segment_of[static_cast<size_t>(l)])] +=
+            static_cast<double>(w.layers[static_cast<size_t>(l)].ops);
+    const double total_ops = static_cast<double>(w.TotalOps());
+
+    // sum_n h_n = 1.
+    {
+        std::vector<std::pair<int, double>> terms;
+        for (int n = 0; n < num_pus; ++n)
+            terms.push_back({h[static_cast<size_t>(n)], 1.0});
+        p.AddConstraint(terms, mip::Sense::kEq, 1.0);
+    }
+    // One PU per layer.
+    for (int l = 0; l < num_layers; ++l) {
+        std::vector<std::pair<int, double>> terms;
+        for (int n = 0; n < num_pus; ++n)
+            terms.push_back({x[static_cast<size_t>(l)][static_cast<size_t>(n)], 1.0});
+        p.AddConstraint(terms, mip::Sense::kEq, 1.0);
+    }
+    // Eq. 2: every PU gets >= 1 layer in every segment.
+    for (int s = 0; s < num_segments; ++s) {
+        for (int n = 0; n < num_pus; ++n) {
+            std::vector<std::pair<int, double>> terms;
+            for (int l = 0; l < num_layers; ++l)
+                if (segment_of[static_cast<size_t>(l)] == s)
+                    terms.push_back(
+                        {x[static_cast<size_t>(l)][static_cast<size_t>(n)], 1.0});
+            if (terms.empty())
+                return false;
+            p.AddConstraint(terms, mip::Sense::kGe, 1.0);
+        }
+    }
+    // Eq. 4, exactly as the paper states it: omega_{n1,n2,s} marks PU
+    // traffic and opposite directions are mutually exclusive (forbids
+    // 2-cycles; longer cycles are screened post-hoc by the caller).
+    std::vector<std::vector<std::vector<int>>> omega(
+        static_cast<size_t>(num_segments),
+        std::vector<std::vector<int>>(static_cast<size_t>(num_pus),
+                                      std::vector<int>(static_cast<size_t>(num_pus),
+                                                       -1)));
+    auto omega_var = [&](int s, int n1, int n2) {
+        int& v = omega[static_cast<size_t>(s)][static_cast<size_t>(n1)]
+                      [static_cast<size_t>(n2)];
+        if (v < 0)
+            v = p.AddVariable(0.0, 1.0, 0.0);
+        return v;
+    };
+    std::set<std::pair<int, int>> intra;  // (src, dst) layer pairs per edge
+    for (const auto& e : w.edges) {
+        if (e.src < 0)
+            continue;
+        const int s = segment_of[static_cast<size_t>(e.src)];
+        if (segment_of[static_cast<size_t>(e.dst)] != s)
+            continue;
+        intra.insert({e.src, e.dst});
+        for (int n1 = 0; n1 < num_pus; ++n1) {
+            for (int n2 = 0; n2 < num_pus; ++n2) {
+                if (n1 == n2)
+                    continue;
+                // omega >= x_src,n1 + x_dst,n2 - 1.
+                p.AddConstraint(
+                    {{omega_var(s, n1, n2), 1.0},
+                     {x[static_cast<size_t>(e.src)][static_cast<size_t>(n1)], -1.0},
+                     {x[static_cast<size_t>(e.dst)][static_cast<size_t>(n2)], -1.0}},
+                    mip::Sense::kGe, -1.0);
+            }
+        }
+    }
+    for (int s = 0; s < num_segments; ++s) {
+        for (int n1 = 0; n1 < num_pus; ++n1) {
+            for (int n2 = n1 + 1; n2 < num_pus; ++n2) {
+                const int f = omega[static_cast<size_t>(s)][static_cast<size_t>(n1)]
+                                   [static_cast<size_t>(n2)];
+                const int b = omega[static_cast<size_t>(s)][static_cast<size_t>(n2)]
+                                   [static_cast<size_t>(n1)];
+                if (f >= 0 && b >= 0)
+                    p.AddConstraint({{f, 1.0}, {b, 1.0}}, mip::Sense::kLe, 1.0);
+            }
+        }
+    }
+    (void)intra;
+    // Deviation terms: |op[n][s] - T_s h_n| <= d[n][s]; minimize sum d.
+    for (int s = 0; s < num_segments; ++s) {
+        for (int n = 0; n < num_pus; ++n) {
+            const int d = p.AddVariable(0.0, mip::kInf, 1.0 / total_ops);
+            std::vector<std::pair<int, double>> pos, neg;
+            for (int l = 0; l < num_layers; ++l) {
+                if (segment_of[static_cast<size_t>(l)] != s)
+                    continue;
+                const double o =
+                    static_cast<double>(w.layers[static_cast<size_t>(l)].ops);
+                pos.push_back({x[static_cast<size_t>(l)][static_cast<size_t>(n)], o});
+                neg.push_back({x[static_cast<size_t>(l)][static_cast<size_t>(n)], -o});
+            }
+            pos.push_back({h[static_cast<size_t>(n)],
+                           -seg_ops[static_cast<size_t>(s)]});
+            neg.push_back({h[static_cast<size_t>(n)],
+                           seg_ops[static_cast<size_t>(s)]});
+            pos.push_back({d, -1.0});
+            neg.push_back({d, -1.0});
+            p.AddConstraint(pos, mip::Sense::kLe, 0.0);
+            p.AddConstraint(neg, mip::Sense::kLe, 0.0);
+        }
+    }
+    mip::MipOptions options;
+    options.max_nodes = node_budget;
+    mip::Solution sol = mip::SolveMip(p, options);
+    if (sol.x.empty())
+        return false;
+    pu_of.assign(static_cast<size_t>(num_layers), 0);
+    for (int l = 0; l < num_layers; ++l)
+        for (int n = 0; n < num_pus; ++n)
+            if (sol.x[static_cast<size_t>(
+                    x[static_cast<size_t>(l)][static_cast<size_t>(n)])] > 0.5)
+                pu_of[static_cast<size_t>(l)] = n;
+    return true;
+}
+
+}  // namespace
+
+bool
+MipSegmenter::Solve(const nn::Workload& w, int num_segments, int num_pus,
+                    Assignment& out)
+{
+    if (w.NumLayers() < num_segments * num_pus)
+        return false;
+
+    PhaseA phase_a{w, num_segments, node_budget_};
+    // CTC bisection bounds: worst layerwise CTC .. full-pipeline CTC.
+    double lo = 1e30, hi;
+    {
+        int64_t weights = w.TotalWeightBytes();
+        int64_t io = 0;
+        for (const auto& e : w.edges)
+            if (e.src < 0)
+                io += e.bytes;
+        for (int l = 0; l < w.NumLayers(); ++l)
+            if (w.out_edges[static_cast<size_t>(l)].empty())
+                io += w.layers[static_cast<size_t>(l)].output_bytes;
+        hi = static_cast<double>(w.TotalOps()) / static_cast<double>(weights + io);
+        for (const auto& l : w.layers)
+            lo = std::min(lo, l.LayerCtc());
+    }
+    std::vector<int> best_segments;
+    if (!phase_a.SolveForTarget(lo * 0.999, best_segments))
+        return false;  // even the trivial target fails
+    for (int iter = 0; iter < 7; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        std::vector<int> candidate;
+        if (phase_a.SolveForTarget(mid, candidate)) {
+            best_segments = candidate;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    std::vector<int> pu_of;
+    if (!SolvePhaseB(w, best_segments, num_segments, num_pus, node_budget_, pu_of))
+        return false;
+    out.num_segments = num_segments;
+    out.num_pus = num_pus;
+    out.segment_of = best_segments;
+    out.pu_of = pu_of;
+    return CheckConstraints(w, out).empty();
+}
+
+namespace {
+
+/**
+ * Exhaustive enumeration of the (segment, PU) label space. Exact, and
+ * affordable only when (S*N)^L stays small -- the gate below.
+ */
+bool
+ExhaustiveSolve(const nn::Workload& w, int num_segments, int num_pus,
+                Assignment& out)
+{
+    const int n = w.NumLayers();
+    const int radix = num_segments * num_pus;
+    double states = 1.0;
+    for (int l = 0; l < n; ++l) {
+        states *= radix;
+        if (states > 2e6)
+            return false;
+    }
+    std::vector<int> digits(static_cast<size_t>(n), 0);
+    Assignment a;
+    a.num_segments = num_segments;
+    a.num_pus = num_pus;
+    a.segment_of.assign(static_cast<size_t>(n), 0);
+    a.pu_of.assign(static_cast<size_t>(n), 0);
+    bool found = false;
+    double best = 1e30;
+    while (true) {
+        for (int l = 0; l < n; ++l) {
+            a.segment_of[static_cast<size_t>(l)] =
+                digits[static_cast<size_t>(l)] / num_pus;
+            a.pu_of[static_cast<size_t>(l)] = digits[static_cast<size_t>(l)] % num_pus;
+        }
+        if (CheckConstraints(w, a).empty()) {
+            const double obj = ComputeMetrics(w, a).Objective();
+            if (obj < best) {
+                best = obj;
+                out = a;
+                found = true;
+            }
+        }
+        int pos = 0;
+        while (pos < n) {
+            if (++digits[static_cast<size_t>(pos)] < radix)
+                break;
+            digits[static_cast<size_t>(pos)] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    return found;
+}
+
+}  // namespace
+
+std::vector<Assignment>
+SolveSegmentationCandidates(const nn::Workload& w, int num_segments, int num_pus)
+{
+    // Tiny instances are solved exactly by enumeration.
+    Assignment exact;
+    if (ExhaustiveSolve(w, num_segments, num_pus, exact))
+        return {exact};
+    HeuristicSegmenter heuristic;
+    std::vector<Assignment> candidates =
+        heuristic.SolveCandidates(w, num_segments, num_pus);
+    const int64_t binaries =
+        static_cast<int64_t>(w.NumLayers()) * (num_segments + num_pus);
+    if (binaries <= 64) {
+        MipSegmenter exact;
+        Assignment b;
+        if (exact.Solve(w, num_segments, num_pus, b))
+            candidates.push_back(std::move(b));
+    }
+    return candidates;
+}
+
+bool
+SolveSegmentation(const nn::Workload& w, int num_segments, int num_pus,
+                  Assignment& out)
+{
+    // Best candidate by the paper objective (1/CTC + SOD); the engine
+    // path evaluates the whole candidate set through the allocator
+    // instead, where pow2-friendliness matters.
+    std::vector<Assignment> candidates =
+        SolveSegmentationCandidates(w, num_segments, num_pus);
+    bool found = false;
+    double best_obj = 1e30;
+    for (Assignment& a : candidates) {
+        const double obj = ComputeMetrics(w, a).Objective();
+        if (!found || obj < best_obj) {
+            best_obj = obj;
+            out = std::move(a);
+            found = true;
+        }
+    }
+    if (found)
+        PolishAssignment(w, out);
+    return found;
+}
+
+}  // namespace seg
+}  // namespace spa

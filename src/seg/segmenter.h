@@ -1,0 +1,106 @@
+#ifndef SPA_SEG_SEGMENTER_H_
+#define SPA_SEG_SEGMENTER_H_
+
+/**
+ * @file
+ * Model-segmentation solvers for a fixed (S, N) pair (the co-design
+ * engine enumerates the pairs, Sec. V-A).
+ *
+ *  - MipSegmenter solves the paper's MIP with the branch-and-bound
+ *    core: phase A picks segment boundaries by bisecting the CTC
+ *    target over feasibility MIPs (Eq. 5 linearizes once the target is
+ *    fixed) with an ops-balance objective; phase B binds layers to PUs
+ *    minimizing the deviation from a shared operational distribution
+ *    (Eqs. 9-11) under the Eq. 2/4 rules (acyclicity via topological
+ *    potentials). Exact for case-study-sized instances.
+ *
+ *  - HeuristicSegmenter scales to ResNet-152-sized graphs: a min-max
+ *    CTC partition DP over contiguous topological cuts, reachability-
+ *    monotone PU binding toward a shared distribution, and local
+ *    search on the true objective.
+ *
+ *  - SolveSegmentation picks the MIP when the instance is small enough
+ *    to prove optimality within budget and falls back to the heuristic,
+ *    returning whichever assignment scores better.
+ */
+
+#include "seg/assignment.h"
+
+namespace spa {
+namespace seg {
+
+/** Common solver interface. */
+class Segmenter
+{
+  public:
+    virtual ~Segmenter() = default;
+
+    /**
+     * Finds a constraint-satisfying assignment for (S, N).
+     * @return false when no valid assignment exists (e.g. fewer layers
+     *         than S*N) or the solver failed within budget.
+     */
+    virtual bool Solve(const nn::Workload& w, int num_segments, int num_pus,
+                       Assignment& out) = 0;
+
+    virtual const char* name() const = 0;
+};
+
+/** Exact (budgeted) MIP solver over the paper's formulation. */
+class MipSegmenter : public Segmenter
+{
+  public:
+    explicit MipSegmenter(int64_t node_budget = 4000) : node_budget_(node_budget) {}
+    bool Solve(const nn::Workload& w, int num_segments, int num_pus,
+               Assignment& out) override;
+    const char* name() const override { return "mip"; }
+
+  private:
+    int64_t node_budget_;
+};
+
+/** Scalable DP + local-search solver. */
+class HeuristicSegmenter : public Segmenter
+{
+  public:
+    bool Solve(const nn::Workload& w, int num_segments, int num_pus,
+               Assignment& out) override;
+
+    /**
+     * Produces several distinct valid assignments: the best-score one
+     * plus bindings targeting different power-of-two-friendly PU
+     * shapes. The co-design engine allocates each and keeps the best
+     * (PE arrays are power-of-two, so which distribution is realizable
+     * depends on the budget the segmenter cannot see).
+     */
+    std::vector<Assignment> SolveCandidates(const nn::Workload& w, int num_segments,
+                                            int num_pus, int max_candidates = 4);
+
+    const char* name() const override { return "heuristic"; }
+};
+
+/**
+ * Production entry point: MIP for small instances, heuristic always,
+ * best objective wins. Returns false if neither finds a valid point.
+ */
+bool SolveSegmentation(const nn::Workload& w, int num_segments, int num_pus,
+                       Assignment& out);
+
+/**
+ * Candidate set for the engine: heuristic shape variants plus the MIP
+ * solution on small instances. Empty when the shape is infeasible.
+ */
+std::vector<Assignment> SolveSegmentationCandidates(const nn::Workload& w,
+                                                    int num_segments, int num_pus);
+
+/**
+ * Pure-objective local polish: greedy single-layer segment/PU moves
+ * accepting strict improvements of the paper objective (1/CTC + SOD)
+ * only. Used as the final step of SolveSegmentation.
+ */
+void PolishAssignment(const nn::Workload& w, Assignment& a, int max_rounds = 8);
+
+}  // namespace seg
+}  // namespace spa
+
+#endif  // SPA_SEG_SEGMENTER_H_

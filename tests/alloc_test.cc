@@ -1,0 +1,154 @@
+// Tests for the Alg. 1 resource allocator.
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+
+#include "common/util.h"
+#include "hw/platform.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace alloc {
+namespace {
+
+struct AllocCase
+{
+    nn::Workload w;
+    seg::Assignment a;
+};
+
+AllocCase
+MakeCase(const char* model, int segments, int pus)
+{
+    AllocCase s{nn::ExtractWorkload(nn::BuildModel(model)), {}};
+    seg::HeuristicSegmenter segmenter;
+    EXPECT_TRUE(segmenter.Solve(s.w, segments, pus, s.a));
+    return s;
+}
+
+TEST(AllocatorTest, FitsEyerissBudget)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 3);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::EyerissBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    EXPECT_LE(result.config.TotalPes(), hw::EyerissBudget().pes);
+    EXPECT_LE(result.config.TotalBufferBytes(), hw::EyerissBudget().onchip_bytes);
+    EXPECT_GT(result.latency_seconds, 0.0);
+    EXPECT_GT(result.throughput_fps, 0.0);
+}
+
+TEST(AllocatorTest, PowerOfTwoArrays)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 3);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::NvdlaLargeBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    for (const auto& pu : result.config.pus) {
+        EXPECT_TRUE(IsPow2(pu.rows)) << pu.rows;
+        EXPECT_TRUE(IsPow2(pu.cols)) << pu.cols;
+    }
+}
+
+TEST(AllocatorTest, PeQuotaFollowsDistribution)
+{
+    AllocCase s = MakeCase("mobilenet_v1", 6, 2);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::NvdlaLargeBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    // The PU with the larger v_hat share gets at least as many PEs.
+    const int big = result.v_hat[0] >= result.v_hat[1] ? 0 : 1;
+    EXPECT_GE(result.config.pus[static_cast<size_t>(big)].NumPes(),
+              result.config.pus[static_cast<size_t>(1 - big)].NumPes());
+}
+
+TEST(AllocatorTest, ScaleUpConsumesBudget)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 3);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::NvdlaLargeBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    // Step 3 should push PE usage well past the bandwidth-matched seed.
+    EXPECT_GT(result.config.TotalPes(), hw::NvdlaLargeBudget().pes / 4);
+}
+
+TEST(AllocatorTest, ThroughputGoalBatches)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 2);
+    Allocator allocator{cost::CostModel()};
+    // EdgeTPU: huge PE budget, tiny bandwidth -> small pipeline, room
+    // for batch replication.
+    auto latency = allocator.Allocate(s.w, s.a, hw::EdgeTpuBudget(),
+                                      DesignGoal::kLatency);
+    auto throughput = allocator.Allocate(s.w, s.a, hw::EdgeTpuBudget(),
+                                         DesignGoal::kThroughput);
+    ASSERT_TRUE(latency.ok);
+    ASSERT_TRUE(throughput.ok);
+    EXPECT_EQ(latency.config.batch, 1);
+    EXPECT_GE(throughput.config.batch, 1);
+    EXPECT_GE(throughput.throughput_fps, latency.throughput_fps * 0.99);
+}
+
+TEST(AllocatorTest, DataflowChosenPerPuPerSegment)
+{
+    AllocCase s = MakeCase("mobilenet_v1", 6, 2);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::NvdlaLargeBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    // MobileNet mixes depthwise and pointwise: at least one PU-segment
+    // slot should pick OS (depthwise) and at least one WS or OS mix.
+    int os_count = 0, total = 0;
+    for (const auto& seg_eval : result.segments) {
+        for (auto df : seg_eval.dataflow) {
+            os_count += df == hw::Dataflow::kOutputStationary;
+            ++total;
+        }
+    }
+    EXPECT_GT(os_count, 0);
+    EXPECT_GT(total, os_count);  // not everything OS
+}
+
+TEST(AllocatorTest, LatencyAccountsForMemoryBound)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 2);
+    Allocator allocator{cost::CostModel()};
+    // EdgeTPU's 0.5 GB/s: segments must be memory bound.
+    auto result = allocator.Allocate(s.w, s.a, hw::EdgeTpuBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    for (const auto& seg_eval : result.segments)
+        EXPECT_GE(seg_eval.latency_seconds, seg_eval.memory_seconds);
+}
+
+TEST(AllocatorTest, EvaluateMatchesAllocateConfig)
+{
+    AllocCase s = MakeCase("squeezenet", 4, 3);
+    Allocator allocator{cost::CostModel()};
+    auto allocated = allocator.Allocate(s.w, s.a, hw::EyerissBudget(),
+                                        DesignGoal::kLatency);
+    ASSERT_TRUE(allocated.ok);
+    auto evaluated = allocator.Evaluate(s.w, s.a, allocated.config);
+    EXPECT_NEAR(evaluated.latency_seconds, allocated.latency_seconds, 1e-12);
+}
+
+TEST(AllocatorTest, UtilizationInUnitRange)
+{
+    AllocCase s = MakeCase("resnet18", 3, 4);
+    Allocator allocator{cost::CostModel()};
+    auto result = allocator.Allocate(s.w, s.a, hw::NvdlaLargeBudget(),
+                                     DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.pe_utilization, 0.0);
+    EXPECT_LE(result.pe_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace alloc
+}  // namespace spa

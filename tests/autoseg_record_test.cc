@@ -1,0 +1,98 @@
+// Tests for design-record serialization and the DOT exports.
+
+#include <gtest/gtest.h>
+
+#include "autoseg/record.h"
+#include "nn/models.h"
+#include "seg/dot.h"
+
+namespace spa {
+namespace autoseg {
+namespace {
+
+CoDesignResult
+MakeResult(const nn::Workload& w)
+{
+    cost::CostModel cost_model;
+    CoDesignOptions options;
+    options.pu_candidates = {3};
+    Engine engine(cost_model, options);
+    return engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+}
+
+TEST(RecordTest, RoundTripPreservesDesign)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    CoDesignResult result = MakeResult(w);
+    ASSERT_TRUE(result.ok);
+
+    json::Value record = RecordToJson(w, result);
+    seg::Assignment assignment;
+    hw::SpaConfig config;
+    RecordFromJson(record, assignment, config);
+
+    EXPECT_EQ(assignment.num_segments, result.assignment.num_segments);
+    EXPECT_EQ(assignment.num_pus, result.assignment.num_pus);
+    EXPECT_EQ(assignment.segment_of, result.assignment.segment_of);
+    EXPECT_EQ(assignment.pu_of, result.assignment.pu_of);
+    ASSERT_EQ(config.pus.size(), result.alloc.config.pus.size());
+    for (size_t n = 0; n < config.pus.size(); ++n) {
+        EXPECT_EQ(config.pus[n].rows, result.alloc.config.pus[n].rows);
+        EXPECT_EQ(config.pus[n].cols, result.alloc.config.pus[n].cols);
+        EXPECT_EQ(config.pus[n].act_buffer_bytes,
+                  result.alloc.config.pus[n].act_buffer_bytes);
+    }
+    EXPECT_EQ(config.batch, result.alloc.config.batch);
+}
+
+TEST(RecordTest, RestoredDesignEvaluatesIdentically)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    CoDesignResult result = MakeResult(w);
+    ASSERT_TRUE(result.ok);
+
+    seg::Assignment assignment;
+    hw::SpaConfig config;
+    RecordFromJson(RecordToJson(w, result), assignment, config);
+
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    auto replay = allocator.Evaluate(w, assignment, config);
+    EXPECT_NEAR(replay.latency_seconds, result.alloc.latency_seconds, 1e-12);
+}
+
+TEST(RecordTest, JsonTextRoundTrips)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    CoDesignResult result = MakeResult(w);
+    ASSERT_TRUE(result.ok);
+    json::Value record = RecordToJson(w, result);
+    json::Value reparsed = json::ParseOrDie(record.Pretty());
+    EXPECT_TRUE(record == reparsed);
+    EXPECT_EQ(reparsed.At("model").AsString(), "alexnet");
+    EXPECT_EQ(reparsed.At("binding").size(), static_cast<size_t>(w.NumLayers()));
+}
+
+TEST(DotTest, GraphExportMentionsEveryLayer)
+{
+    nn::Graph g = nn::BuildSqueezeNet();
+    const std::string dot = seg::GraphToDot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    for (const nn::Layer& l : g.layers())
+        EXPECT_NE(dot.find(l.name()), std::string::npos) << l.name();
+}
+
+TEST(DotTest, SegmentationExportColorsAndCrossEdges)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::Assignment a = seg::EvenSegmentation(w, 6, 2);
+    const std::string dot = seg::SegmentationToDot(w, a);
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+    EXPECT_NE(dot.find("seg 1 / PU 1"), std::string::npos);
+    // Cross-segment edges are dashed red (DRAM round trips).
+    EXPECT_NE(dot.find("style=dashed color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autoseg
+}  // namespace spa

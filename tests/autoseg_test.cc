@@ -1,0 +1,161 @@
+// Integration tests for the AutoSeg co-design engine: end-to-end runs,
+// the paper's headline comparisons in miniature, energy accounting and
+// the generality (remap) mode.
+
+#include <gtest/gtest.h>
+
+#include "autoseg/autoseg.h"
+#include "autoseg/energy.h"
+#include "baselines/models.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace autoseg {
+namespace {
+
+CoDesignOptions
+FastOptions()
+{
+    CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    return options;
+}
+
+TEST(EngineTest, SqueezeNetOnEyeriss)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    auto result = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.alloc.latency_seconds, 0.0);
+    EXPECT_GE(result.assignment.num_segments, 1);
+    EXPECT_FALSE(result.explored.empty());
+}
+
+TEST(EngineTest, SpaBeatsNoPipelineOnSqueezeNet)
+{
+    // Fig. 12's core claim, in miniature: the AutoSeg SPA design beats
+    // the unified-PU baseline at the same budget.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    const hw::Platform budget = hw::NvdlaSmallBudget();
+    auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(spa.ok);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    auto base = no_pipe.Evaluate(w, budget);
+    ASSERT_TRUE(base.ok);
+    EXPECT_LT(spa.alloc.latency_seconds, base.latency_seconds);
+}
+
+TEST(EngineTest, SpaBeatsNoPipelineOnMobileNet)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    const hw::Platform budget = hw::NvdlaSmallBudget();
+    auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(spa.ok);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    auto base = no_pipe.Evaluate(w, budget);
+    // MobileNet: intermediate fmaps dominate -> big win expected.
+    EXPECT_LT(spa.alloc.latency_seconds, base.latency_seconds / 1.5);
+}
+
+TEST(EngineTest, SegmentAccessBelowLayerwiseAccess)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    auto result = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    int64_t seg_access = 0;
+    for (int s = 0; s < result.assignment.num_segments; ++s)
+        seg_access += seg::SegmentAccessBytes(w, result.assignment, s);
+    int64_t layerwise = 0;
+    for (const auto& l : w.layers)
+        layerwise += l.AccessBytes();
+    EXPECT_LT(seg_access, layerwise);
+}
+
+TEST(EnergyTest, BreakdownPositiveAndOthersSmall)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    auto result = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(result.ok);
+    auto energy = EvaluateSpaEnergy(cost_model, w, result.assignment, result.alloc);
+    EXPECT_GT(energy.dram_pj, 0.0);
+    EXPECT_GT(energy.buffer_pj, 0.0);
+    EXPECT_GT(energy.mac_pj, 0.0);
+    EXPECT_GT(energy.other_pj, 0.0);
+    // The paper reports interconnect + muxes < 3% of total energy.
+    EXPECT_LT(energy.other_pj / energy.TotalPj(), 0.05);
+}
+
+TEST(EnergyTest, SpaUsesLessDramEnergyThanNoPipeline)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    const hw::Platform budget = hw::EyerissBudget();
+    auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(spa.ok);
+    auto spa_energy = EvaluateSpaEnergy(cost_model, w, spa.assignment, spa.alloc);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    auto base = no_pipe.Evaluate(w, budget);
+    EXPECT_LT(spa_energy.dram_pj, base.energy.dram_pj);
+}
+
+TEST(RemapTest, OtherModelRunsOnDedicatedDesign)
+{
+    // Sec. VI-F: build for SqueezeNet, remap MobileNetV1 onto it.
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions());
+    nn::Workload squeeze = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    auto dedicated = engine.Run(squeeze, hw::EyerissBudget(),
+                                alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(dedicated.ok);
+
+    // Pruned fabric of the dedicated design.
+    noc::BenesNetwork fabric(std::max(2, dedicated.assignment.num_pus));
+    std::vector<noc::BenesConfig> configs;
+    for (int s = 0; s < dedicated.assignment.num_segments; ++s) {
+        std::map<int, std::vector<int>> fanout;
+        for (const auto& comm : seg::SegmentComms(squeeze, dedicated.assignment, s))
+            fanout[comm.src_pu].push_back(comm.dst_pu);
+        std::vector<noc::RouteRequest> requests;
+        for (auto& [src, dsts] : fanout)
+            requests.push_back({src, dsts});
+        noc::BenesConfig cfg;
+        if (!requests.empty() && fabric.Route(requests, cfg))
+            configs.push_back(cfg);
+    }
+    auto prune = fabric.Prune(configs);
+
+    nn::Workload mobilenet = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    auto remapped = engine.Remap(mobilenet, dedicated.alloc.config, fabric,
+                                 prune.link_mask, alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(remapped.ok);
+
+    // Non-dedicated performance is worse than (or equal to) dedicated,
+    // but stays in the same league as the no-pipeline baseline (the
+    // Fig. 17 shape; our layerwise baseline is dataflow-hybrid and
+    // full-budget, i.e. stronger than the paper's, so "close to" rather
+    // than "strictly above" is the reproducible property here).
+    auto mobile_dedicated = engine.Run(mobilenet, hw::EyerissBudget(),
+                                       alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(mobile_dedicated.ok);
+    EXPECT_GE(remapped.alloc.latency_seconds,
+              mobile_dedicated.alloc.latency_seconds * 0.95);
+    baselines::NoPipelineModel no_pipe(cost_model);
+    auto base = no_pipe.Evaluate(mobilenet, hw::EyerissBudget());
+    EXPECT_LT(remapped.alloc.latency_seconds, 1.6 * base.latency_seconds);
+}
+
+}  // namespace
+}  // namespace autoseg
+}  // namespace spa

@@ -1,0 +1,168 @@
+// Tests for the baseline architecture models and the published rows.
+
+#include <gtest/gtest.h>
+
+#include "baselines/models.h"
+#include "baselines/published.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace baselines {
+namespace {
+
+TEST(NoPipelineTest, EvaluatesAllZooModels)
+{
+    cost::CostModel cost_model;
+    NoPipelineModel model(cost_model);
+    for (const std::string& name : nn::ZooModelNames()) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(name));
+        auto result = model.Evaluate(w, hw::EyerissBudget());
+        ASSERT_TRUE(result.ok) << name;
+        EXPECT_GT(result.latency_seconds, 0.0) << name;
+        EXPECT_GT(result.dram_bytes, 0) << name;
+        EXPECT_EQ(result.stage_latency_seconds.size(),
+                  static_cast<size_t>(w.NumLayers()))
+            << name;
+    }
+}
+
+TEST(NoPipelineTest, DramCoversEveryLayerRoundTrip)
+{
+    cost::CostModel cost_model;
+    NoPipelineModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    auto result = model.Evaluate(w, hw::EyerissBudget());
+    int64_t floor_bytes = 0;
+    for (const auto& l : w.layers)
+        floor_bytes += l.AccessBytes();
+    EXPECT_GE(result.dram_bytes, floor_bytes);
+}
+
+TEST(NoPipelineTest, MemoryBoundOnLowBandwidth)
+{
+    // EdgeTPU budget: 8192 PEs but 0.5 GB/s -> layers memory bound, so
+    // utilization collapses (the paper's Fig. 12 EdgeTPU story).
+    cost::CostModel cost_model;
+    NoPipelineModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    auto slow = model.Evaluate(w, hw::EdgeTpuBudget());
+    auto fast = model.Evaluate(w, hw::EyerissBudget());
+    EXPECT_LT(slow.pe_utilization, fast.pe_utilization);
+}
+
+TEST(FullPipelineTest, InfeasibleForDeepModelOnSmallBudget)
+{
+    // ResNet-152: 156 compute layers cannot get dedicated PUs from
+    // Eyeriss's 192 PEs (the scalability wall of Sec. I).
+    cost::CostModel cost_model;
+    FullPipelineModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet152());
+    auto result = model.Evaluate(w, hw::EyerissBudget());
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(FullPipelineTest, FeasibleForAlexNetTowerOnLargeBudget)
+{
+    cost::CostModel cost_model;
+    FullPipelineModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNetConvTower());
+    auto result = model.Evaluate(w, hw::NvdlaLargeBudget());
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.throughput_fps, 0.0);
+    // All intermediates on chip: DRAM is weights + model IO only.
+    nn::Workload w2 = w;
+    int64_t weights = w2.TotalWeightBytes();
+    EXPECT_LT(result.dram_bytes, weights * 2);
+}
+
+TEST(FullPipelineTest, LowerDramThanNoPipeline)
+{
+    cost::CostModel cost_model;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    auto full = FullPipelineModel(cost_model).Evaluate(w, hw::NvdlaLargeBudget());
+    auto none = NoPipelineModel(cost_model).Evaluate(w, hw::NvdlaLargeBudget());
+    ASSERT_TRUE(full.ok);
+    EXPECT_LT(full.dram_bytes, none.dram_bytes);
+}
+
+TEST(FusedLayerTest, GroupsRespectBufferBudget)
+{
+    cost::CostModel cost_model;
+    FusedLayerModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    auto groups = model.FusionGroups(w, hw::EyerissBudget());
+    EXPECT_GE(groups.size(), 1u);
+    EXPECT_EQ(groups.front(), 0);
+    for (size_t i = 1; i < groups.size(); ++i)
+        EXPECT_GT(groups[i], groups[i - 1]);
+}
+
+TEST(FusedLayerTest, BetweenNoPipelineAndSpaOnDram)
+{
+    // Fusion reduces DRAM vs plain layerwise execution (Fig. 16), but
+    // keeps more traffic than full pipelining.
+    cost::CostModel cost_model;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    auto fused = FusedLayerModel(cost_model).Evaluate(w, hw::EyerissBudget());
+    auto none = NoPipelineModel(cost_model).Evaluate(w, hw::EyerissBudget());
+    ASSERT_TRUE(fused.ok);
+    EXPECT_LT(fused.dram_bytes, none.dram_bytes);
+    EXPECT_LE(fused.latency_seconds, none.latency_seconds * 1.001);
+}
+
+TEST(FusedLayerTest, SmallBufferForcesMoreGroups)
+{
+    cost::CostModel cost_model;
+    FusedLayerModel model(cost_model);
+    nn::Workload w = nn::ExtractWorkload(nn::BuildVgg16());
+    hw::Platform small = hw::EyerissBudget();
+    hw::Platform big = hw::EdgeTpuBudget();
+    EXPECT_GE(model.FusionGroups(w, small).size(),
+              model.FusionGroups(w, big).size());
+}
+
+TEST(PublishedTest, RowsPresentForEveryTableModel)
+{
+    auto rows = PublishedFpgaRows();
+    for (const char* model : {"alexnet", "vgg16", "resnet152", "mobilenet_v2",
+                              "inception_v1", "squeezenet"}) {
+        bool found = false;
+        for (const auto& r : rows)
+            found |= r.model == model;
+        EXPECT_TRUE(found) << model;
+    }
+}
+
+TEST(PublishedTest, DerivedEfficiencyMatchesReported)
+{
+    // Where the paper reports DSP efficiency, our derivation from
+    // perf / DSPs / freq must agree (same [11] packing formula).
+    for (const auto& r : PublishedFpgaRows()) {
+        if (r.dsp_eff <= 0.0)
+            continue;
+        EXPECT_NEAR(r.DerivedDspEff(), r.dsp_eff, 0.06)
+            << r.design << " " << r.model << " on " << r.device;
+    }
+}
+
+TEST(PublishedTest, PaperSpaRowsCoverSixModels)
+{
+    auto rows = PaperSpaRows();
+    EXPECT_GE(rows.size(), 12u);
+    for (const auto& r : rows)
+        EXPECT_GT(r.perf_gops, 0.0);
+}
+
+TEST(EnergyBreakdownTest, TotalsSum)
+{
+    cost::EnergyBreakdown e;
+    e.dram_pj = 1;
+    e.buffer_pj = 2;
+    e.mac_pj = 3;
+    e.other_pj = 4;
+    EXPECT_DOUBLE_EQ(e.TotalPj(), 10.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace spa

@@ -1,0 +1,150 @@
+// Unit tests for src/common: numeric helpers, PRNG determinism, logging.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/util.h"
+
+namespace spa {
+namespace {
+
+TEST(UtilTest, CeilDiv)
+{
+    EXPECT_EQ(CeilDiv(10, 3), 4);
+    EXPECT_EQ(CeilDiv(9, 3), 3);
+    EXPECT_EQ(CeilDiv(1, 3), 1);
+    EXPECT_EQ(CeilDiv(0, 3), 0);
+}
+
+TEST(UtilTest, Pow2Helpers)
+{
+    EXPECT_EQ(FloorPow2(1), 1);
+    EXPECT_EQ(FloorPow2(2), 2);
+    EXPECT_EQ(FloorPow2(3), 2);
+    EXPECT_EQ(FloorPow2(1023), 512);
+    EXPECT_EQ(CeilPow2(1), 1);
+    EXPECT_EQ(CeilPow2(3), 4);
+    EXPECT_EQ(CeilPow2(1024), 1024);
+    EXPECT_TRUE(IsPow2(64));
+    EXPECT_FALSE(IsPow2(65));
+    EXPECT_FALSE(IsPow2(0));
+}
+
+TEST(UtilTest, FloorCeilPow2Agree)
+{
+    for (int64_t v = 1; v < 5000; ++v) {
+        EXPECT_LE(FloorPow2(v), v);
+        EXPECT_GE(CeilPow2(v), v);
+        EXPECT_TRUE(IsPow2(FloorPow2(v)));
+        EXPECT_TRUE(IsPow2(CeilPow2(v)));
+    }
+}
+
+TEST(UtilTest, Normalize)
+{
+    auto n = Normalize({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(n[0], 0.25);
+    EXPECT_DOUBLE_EQ(n[1], 0.75);
+    auto z = Normalize({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(z[0], 0.0);
+    EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+TEST(UtilTest, ManhattanDistance)
+{
+    EXPECT_DOUBLE_EQ(ManhattanDistance({1, 2}, {3, 0}), 4.0);
+    EXPECT_DOUBLE_EQ(ManhattanDistance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(UtilTest, GeoMean)
+{
+    EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+}
+
+TEST(UtilTest, HumanReadable)
+{
+    EXPECT_EQ(BytesToString(1536.0), "1.50 KB");
+    EXPECT_EQ(OpsToString(2.5e9), "2.50 GOPs");
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = r.UniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRange)
+{
+    Rng r(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.UniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng r(3);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.Normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    SPA_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(SPA_PANIC("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(SPA_ASSERT(false, "ctx"), "assertion failed");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(SPA_FATAL("bad config"), testing::ExitedWithCode(1), "bad config");
+}
+
+}  // namespace
+}  // namespace spa

@@ -1,0 +1,89 @@
+// Tests for the workload profiler.
+
+#include <gtest/gtest.h>
+
+#include "cost/profile.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace cost {
+namespace {
+
+TEST(ProfileTest, TotalsMatchWorkload)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    CostModel model;
+    auto profile = ProfileWorkload(model, w, hw::NvdlaSmallBudget());
+    EXPECT_EQ(profile.layers.size(), static_cast<size_t>(w.NumLayers()));
+    EXPECT_EQ(profile.total_ops, w.TotalOps());
+    EXPECT_EQ(profile.total_weight_bytes, w.TotalWeightBytes());
+    EXPECT_GT(profile.total_fmap_bytes, 0);
+    EXPECT_GT(profile.model_ctc, 0.0);
+}
+
+TEST(ProfileTest, MemoryBoundnessFollowsRidge)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    CostModel model;
+    // EdgeTPU (huge ridge): everything memory bound. Eyeriss (tiny
+    // ridge): nothing is.
+    auto starved = ProfileWorkload(model, w, hw::EdgeTpuBudget());
+    auto rich = ProfileWorkload(model, w, hw::EyerissBudget());
+    EXPECT_EQ(starved.memory_bound_layers, w.NumLayers());
+    // At Eyeriss's 3 OPs/B ridge only the worst depthwise layers bind.
+    EXPECT_LT(rich.memory_bound_layers, w.NumLayers() / 4);
+}
+
+TEST(ProfileTest, DepthwiseLayersPreferOs)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV1());
+    CostModel model;
+    auto profile = ProfileWorkload(model, w, hw::NvdlaSmallBudget());
+    for (size_t i = 0; i < profile.layers.size(); ++i) {
+        if (w.layers[i].is_depthwise) {
+            EXPECT_EQ(profile.layers[i].preferred,
+                      hw::Dataflow::kOutputStationary)
+                << profile.layers[i].name;
+        }
+    }
+}
+
+TEST(ProfileTest, FmapShareOrdersModelsAsFigThirteen)
+{
+    CostModel model;
+    auto share = [&](const char* name) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(name));
+        return ProfileWorkload(model, w, hw::EyerissBudget()).fmap_share;
+    };
+    // AlexNet weight-heavy, MobileNet/SqueezeNet fmap-heavy (Sec. VI-B).
+    EXPECT_LT(share("alexnet"), 0.1);
+    EXPECT_GT(share("mobilenet_v2"), 0.5);
+    EXPECT_GT(share("squeezenet"), 0.5);
+}
+
+TEST(ProfileTest, TableContainsEveryLayerAndSummary)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    CostModel model;
+    auto profile = ProfileWorkload(model, w, hw::NvdlaSmallBudget());
+    const std::string table = profile.ToTable();
+    for (const auto& l : w.layers)
+        EXPECT_NE(table.find(l.name), std::string::npos) << l.name;
+    EXPECT_NE(table.find("total:"), std::string::npos);
+    EXPECT_NE(table.find("memory-bound"), std::string::npos);
+}
+
+TEST(ProfileTest, UtilizationWithinUnitInterval)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet50());
+    CostModel model;
+    auto profile = ProfileWorkload(model, w, hw::NvdlaLargeBudget());
+    for (const auto& l : profile.layers) {
+        EXPECT_GT(l.utilization, 0.0) << l.name;
+        EXPECT_LE(l.utilization, 1.0) << l.name;
+    }
+}
+
+}  // namespace
+}  // namespace cost
+}  // namespace spa

@@ -1,0 +1,179 @@
+// Randomized structural tests: generated DAGs through workload
+// extraction and segmentation, plus exhaustive-enumeration optimality
+// checks for the solvers on tiny instances.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/workload.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace {
+
+/** Random branchy conv DAG with adds/concats/pools sprinkled in. */
+nn::Graph
+RandomGraph(Rng& rng, int num_convs)
+{
+    nn::Graph g("fuzz");
+    std::vector<nn::LayerId> frontier;
+    // Channel counts kept small and uniform so add/concat shapes match.
+    nn::LayerId in = g.AddInput("input", {4, 16, 16});
+    frontier.push_back(g.AddConv("c0", in, 8, 3, 1, 1));
+    for (int i = 1; i < num_convs; ++i) {
+        const nn::LayerId src =
+            frontier[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(frontier.size()) - 1))];
+        const std::string name = "c" + std::to_string(i);
+        const int kind = static_cast<int>(rng.UniformInt(0, 9));
+        nn::LayerId next;
+        if (kind < 6) {
+            next = g.AddConv(name, src, 8, 3, 1, 1);
+        } else if (kind < 8 && frontier.size() >= 2) {
+            // Residual add between two same-shape frontier tensors.
+            nn::LayerId other =
+                frontier[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(frontier.size()) - 1))];
+            if (g.layer(other).out_shape() == g.layer(src).out_shape() &&
+                other != src) {
+                nn::LayerId sum = g.AddAdd("add" + std::to_string(i), src, other);
+                next = g.AddConv(name, sum, 8, 3, 1, 1);
+            } else {
+                next = g.AddConv(name, src, 8, 3, 1, 1);
+            }
+        } else {
+            next = g.AddConv(name, src, 8, 1, 1, 0);
+        }
+        frontier.push_back(next);
+        if (frontier.size() > 3)
+            frontier.erase(frontier.begin());
+    }
+    return g;
+}
+
+TEST(WorkloadFuzzTest, ExtractionInvariantsHoldOnRandomDags)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 4 + static_cast<int>(rng.UniformInt(0, 12));
+        nn::Graph g = RandomGraph(rng, n);
+        nn::Workload w = nn::ExtractWorkload(g);
+        ASSERT_EQ(w.NumLayers(), n) << "trial " << trial;
+        EXPECT_EQ(w.TotalOps(), g.TotalMacs());
+        for (const auto& e : w.edges) {
+            EXPECT_GT(e.bytes, 0);
+            EXPECT_LT(e.dst, w.NumLayers());
+            if (e.src >= 0)
+                EXPECT_LT(e.src, e.dst);  // workload order is topological
+        }
+        for (const auto& l : w.layers) {
+            EXPECT_GT(l.ops, 0) << l.name;
+            EXPECT_GT(l.input_bytes, 0) << l.name;
+            EXPECT_GT(l.output_bytes, 0) << l.name;
+        }
+        // HasPath is antisymmetric on a DAG.
+        for (int a = 0; a < w.NumLayers(); ++a) {
+            for (int b = a + 1; b < std::min(w.NumLayers(), a + 4); ++b) {
+                if (w.HasPath(a, b)) {
+                    EXPECT_FALSE(w.HasPath(b, a));
+                }
+            }
+        }
+    }
+}
+
+TEST(SegmenterFuzzTest, ValidAssignmentsOnRandomDags)
+{
+    Rng rng(77);
+    seg::HeuristicSegmenter segmenter;
+    for (int trial = 0; trial < 15; ++trial) {
+        nn::Graph g = RandomGraph(rng, 8 + static_cast<int>(rng.UniformInt(0, 8)));
+        nn::Workload w = nn::ExtractWorkload(g);
+        const int pus = 2 + static_cast<int>(rng.UniformInt(0, 1));
+        const int segments =
+            1 + static_cast<int>(rng.UniformInt(0, w.NumLayers() / pus - 1));
+        seg::Assignment a;
+        if (segmenter.Solve(w, segments, pus, a)) {
+            EXPECT_EQ(seg::CheckConstraints(w, a), "") << "trial " << trial;
+        }
+    }
+}
+
+/** Exhaustive optimum of the segmentation objective on tiny instances. */
+double
+BruteForceBest(const nn::Workload& w, int segments, int pus)
+{
+    const int n = w.NumLayers();
+    std::vector<int> seg_of(static_cast<size_t>(n), 0);
+    std::vector<int> pu_of(static_cast<size_t>(n), 0);
+    double best = 1e30;
+    // Odometer over (segment, pu) per layer.
+    const int radix = segments * pus;
+    std::vector<int> digits(static_cast<size_t>(n), 0);
+    while (true) {
+        for (int l = 0; l < n; ++l) {
+            seg_of[static_cast<size_t>(l)] = digits[static_cast<size_t>(l)] / pus;
+            pu_of[static_cast<size_t>(l)] = digits[static_cast<size_t>(l)] % pus;
+        }
+        seg::Assignment a;
+        a.num_segments = segments;
+        a.num_pus = pus;
+        a.segment_of = seg_of;
+        a.pu_of = pu_of;
+        if (seg::CheckConstraints(w, a).empty()) {
+            best = std::min(best, seg::ComputeMetrics(w, a).Objective());
+        }
+        // Increment odometer.
+        int pos = 0;
+        while (pos < n) {
+            if (++digits[static_cast<size_t>(pos)] < radix)
+                break;
+            digits[static_cast<size_t>(pos)] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    return best;
+}
+
+TEST(SegmenterOptimalityTest, SolversNearExhaustiveOptimumOnTinyChains)
+{
+    // 5-layer chain, S=2, N=2: 10^5 odometer states, exhaustible.
+    nn::Graph g("tiny");
+    nn::LayerId x = g.AddInput("input", {4, 12, 12});
+    for (int i = 0; i < 5; ++i)
+        x = g.AddConv("c" + std::to_string(i), x, 4 + 2 * (i % 2), 3, 1, 1);
+    nn::Workload w = nn::ExtractWorkload(g);
+
+    const double optimum = BruteForceBest(w, 2, 2);
+    ASSERT_LT(optimum, 1e29);
+
+    seg::Assignment a;
+    ASSERT_TRUE(seg::SolveSegmentation(w, 2, 2, a));
+    const double found = seg::ComputeMetrics(w, a).Objective();
+    // The production path must land within 10% of the true optimum of
+    // the paper objective (it may trade a sliver for pow2 balance).
+    EXPECT_LE(found, optimum * 1.10 + 1e-9);
+}
+
+TEST(SegmenterOptimalityTest, MipMatchesExhaustiveOnBranchyGraph)
+{
+    nn::Graph g("branchy");
+    nn::LayerId in = g.AddInput("input", {4, 12, 12});
+    nn::LayerId a1 = g.AddConv("a1", in, 4, 3, 1, 1);
+    nn::LayerId b1 = g.AddConv("b1", a1, 4, 3, 1, 1);
+    nn::LayerId b2 = g.AddConv("b2", a1, 4, 3, 1, 1);
+    nn::LayerId j = g.AddAdd("j", b1, b2);
+    g.AddConv("c1", j, 4, 3, 1, 1);
+    nn::Workload w = nn::ExtractWorkload(g);
+
+    const double optimum = BruteForceBest(w, 2, 2);
+    seg::MipSegmenter mip;
+    seg::Assignment a;
+    ASSERT_TRUE(mip.Solve(w, 2, 2, a));
+    EXPECT_LE(seg::ComputeMetrics(w, a).Objective(), optimum * 1.15 + 1e-9);
+}
+
+}  // namespace
+}  // namespace spa

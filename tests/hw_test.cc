@@ -1,0 +1,138 @@
+// Unit tests for platform budgets, technology model and SPA configs.
+
+#include <gtest/gtest.h>
+
+#include "hw/config.h"
+#include "hw/platform.h"
+#include "hw/tech.h"
+#include "roofline/roofline.h"
+
+namespace spa {
+namespace hw {
+namespace {
+
+TEST(PlatformTest, TableTwoRows)
+{
+    EXPECT_EQ(EyerissBudget().pes, 192);
+    EXPECT_EQ(EyerissBudget().onchip_bytes, 123 * 1024);
+    EXPECT_DOUBLE_EQ(EyerissBudget().bandwidth_gbps, 25.0);
+    EXPECT_EQ(NvdlaSmallBudget().pes, 256);
+    EXPECT_EQ(NvdlaLargeBudget().pes, 2048);
+    EXPECT_EQ(EdgeTpuBudget().pes, 8192);
+    EXPECT_EQ(Zu3egBudget().dsps, 360);
+    EXPECT_EQ(Zc7045Budget().dsps, 900);
+    EXPECT_EQ(Ku115Budget().dsps, 5520);
+}
+
+TEST(PlatformTest, NvdlaLargeRidgeNearPaperValue)
+{
+    // The paper quotes NVDLA: 5.6 TOPs/s over 20 GB/s => 280 OPs/B.
+    const Platform p = NvdlaLargeBudget();
+    EXPECT_NEAR(p.PeakGops(), 5600.0, 200.0);
+    EXPECT_NEAR(p.RidgeCtc(), 280.0, 10.0);
+}
+
+TEST(PlatformTest, FpgaMacsUsePacking)
+{
+    const Platform p = Zu3egBudget();
+    EXPECT_EQ(p.MacsPerCycle(), 360 * kMacsPerDsp);
+}
+
+TEST(PlatformTest, LookupByName)
+{
+    EXPECT_EQ(PlatformByName("edgetpu").pes, 8192);
+    EXPECT_EQ(PlatformByName("ku115").dsps, 5520);
+    EXPECT_EXIT(PlatformByName("tpu9000"), testing::ExitedWithCode(1),
+                "unknown platform");
+}
+
+TEST(TechTest, SramEnergyGrowsWithSize)
+{
+    const TechnologyModel& t = DefaultTech();
+    EXPECT_LT(t.SramEnergyPjPerByte(8.0), t.SramEnergyPjPerByte(64.0));
+    EXPECT_NEAR(t.SramEnergyPjPerByte(8.0), t.sram_base_pj_per_byte, 1e-12);
+    // DRAM must dominate SRAM at any practical size (the premise of the
+    // paper's memory-access-reduction argument).
+    EXPECT_GT(t.dram_energy_pj_per_byte, t.SramEnergyPjPerByte(8192.0));
+}
+
+TEST(ConfigTest, Totals)
+{
+    SpaConfig cfg;
+    cfg.pus = {PuConfig{8, 16, 4096, 8192}, PuConfig{4, 8, 2048, 2048}};
+    EXPECT_EQ(cfg.NumPus(), 2);
+    EXPECT_EQ(cfg.TotalPes(), 8 * 16 + 4 * 8);
+    EXPECT_EQ(cfg.TotalBufferBytes(), 4096 + 8192 + 2048 + 2048);
+    EXPECT_GT(cfg.ToString().size(), 10u);
+}
+
+TEST(ConfigTest, FpgaUsageQuantizesBrams)
+{
+    SpaConfig cfg;
+    cfg.pus = {PuConfig{8, 8, 100, 5000}};  // 100 B -> 1 BRAM, 5000 B -> 2 BRAMs
+    FpgaUsage u = FpgaResourceUsage(cfg);
+    EXPECT_EQ(u.dsps, 32);  // 64 PEs / 2 per DSP
+    EXPECT_EQ(u.bram36, 3);
+}
+
+TEST(ConfigTest, BatchMultipliesResources)
+{
+    SpaConfig cfg;
+    cfg.pus = {PuConfig{8, 8, 4096, 4096}};
+    cfg.batch = 3;
+    EXPECT_EQ(FpgaResourceUsage(cfg).dsps, 3 * 32);
+    SpaConfig one = cfg;
+    one.batch = 1;
+    EXPECT_NEAR(AsicAreaMm2(cfg), 3.0 * AsicAreaMm2(one), 1e-12);
+}
+
+TEST(ConfigTest, FitsBudgetAsic)
+{
+    SpaConfig cfg;
+    cfg.pus = {PuConfig{8, 16, 30000, 30000}};
+    EXPECT_TRUE(FitsBudget(cfg, EyerissBudget()));
+    cfg.pus.push_back(PuConfig{8, 16, 40000, 40000});
+    EXPECT_FALSE(FitsBudget(cfg, EyerissBudget()));  // PEs over 192
+}
+
+TEST(ConfigTest, AreaIncludesFabric)
+{
+    SpaConfig cfg;
+    cfg.pus = {PuConfig{8, 8, 0, 0}};
+    const double base = AsicAreaMm2(cfg);
+    cfg.fabric_nodes = 1000;
+    EXPECT_GT(AsicAreaMm2(cfg), base);
+}
+
+TEST(RooflineTest, RidgeAndRegimes)
+{
+    roofline::Roofline r{1000.0, 10.0};
+    EXPECT_DOUBLE_EQ(r.RidgeCtc(), 100.0);
+    EXPECT_TRUE(r.IsMemoryBound(50.0));
+    EXPECT_FALSE(r.IsMemoryBound(200.0));
+    EXPECT_DOUBLE_EQ(r.AttainableGops(50.0), 500.0);
+    EXPECT_DOUBLE_EQ(r.AttainableGops(100.0), 1000.0);
+    EXPECT_DOUBLE_EQ(r.AttainableGops(1e9), 1000.0);
+    EXPECT_DOUBLE_EQ(r.ComputeUtilization(25.0), 0.25);
+}
+
+TEST(RooflineTest, MonotoneInCtc)
+{
+    roofline::Roofline r{500.0, 5.0};
+    double prev = 0.0;
+    for (double ctc = 1.0; ctc < 1000.0; ctc *= 2) {
+        const double a = r.AttainableGops(ctc);
+        EXPECT_GE(a, prev);
+        prev = a;
+    }
+}
+
+TEST(DataflowTest, Names)
+{
+    EXPECT_STREQ(DataflowName(Dataflow::kWeightStationary), "WS");
+    EXPECT_STREQ(DataflowName(Dataflow::kOutputStationary), "OS");
+}
+
+}  // namespace
+}  // namespace hw
+}  // namespace spa

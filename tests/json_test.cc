@@ -1,0 +1,153 @@
+// Unit tests for the minimal JSON parser / serializer.
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace spa {
+namespace json {
+namespace {
+
+TEST(JsonParseTest, Scalars)
+{
+    EXPECT_TRUE(ParseOrDie("null").IsNull());
+    EXPECT_TRUE(ParseOrDie("true").AsBool());
+    EXPECT_FALSE(ParseOrDie("false").AsBool());
+    EXPECT_DOUBLE_EQ(ParseOrDie("3.5").AsDouble(), 3.5);
+    EXPECT_EQ(ParseOrDie("-17").AsInt(), -17);
+    EXPECT_DOUBLE_EQ(ParseOrDie("1e3").AsDouble(), 1000.0);
+    EXPECT_EQ(ParseOrDie("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParseTest, Containers)
+{
+    Value v = ParseOrDie(R"({"a": [1, 2, 3], "b": {"c": true}})");
+    ASSERT_TRUE(v.IsObject());
+    EXPECT_EQ(v.At("a").size(), 3u);
+    EXPECT_EQ(v.At("a")[1].AsInt(), 2);
+    EXPECT_TRUE(v.At("b").At("c").AsBool());
+}
+
+TEST(JsonParseTest, NestedDeep)
+{
+    Value v = ParseOrDie(R"([[[[[42]]]]])");
+    EXPECT_EQ(v[size_t{0}][size_t{0}][size_t{0}][size_t{0}][size_t{0}].AsInt(), 42);
+}
+
+TEST(JsonParseTest, StringEscapes)
+{
+    Value v = ParseOrDie(R"("a\nb\t\"q\"\\A")");
+    EXPECT_EQ(v.AsString(), "a\nb\t\"q\"\\A");
+}
+
+TEST(JsonParseTest, UnicodeEscapesUtf8)
+{
+    EXPECT_EQ(ParseOrDie(R"("é")").AsString(), "\xc3\xa9");      // e-acute
+    EXPECT_EQ(ParseOrDie(R"("中")").AsString(), "\xe4\xb8\xad");  // CJK
+}
+
+TEST(JsonParseTest, WhitespaceTolerant)
+{
+    Value v = ParseOrDie("  {\n\t\"k\" :\r 1 }  ");
+    EXPECT_EQ(v.At("k").AsInt(), 1);
+}
+
+TEST(JsonParseTest, EmptyContainers)
+{
+    EXPECT_EQ(ParseOrDie("[]").size(), 0u);
+    EXPECT_EQ(ParseOrDie("{}").size(), 0u);
+}
+
+TEST(JsonParseTest, ErrorsReported)
+{
+    EXPECT_FALSE(Parse("").ok);
+    EXPECT_FALSE(Parse("{").ok);
+    EXPECT_FALSE(Parse("[1,]").ok);
+    EXPECT_FALSE(Parse("{\"a\":}").ok);
+    EXPECT_FALSE(Parse("\"unterminated").ok);
+    EXPECT_FALSE(Parse("tru").ok);
+    EXPECT_FALSE(Parse("1 2").ok);
+    EXPECT_FALSE(Parse("{'a':1}").ok);
+    EXPECT_FALSE(Parse("[0x10]").ok);
+}
+
+TEST(JsonParseTest, ErrorPositionIsUseful)
+{
+    ParseResult r = Parse("[1, 2, oops]");
+    ASSERT_FALSE(r.ok);
+    EXPECT_GE(r.error_pos, 7u);
+}
+
+TEST(JsonDumpTest, RoundTripCompact)
+{
+    const std::string src = R"({"arr":[1,2.5,"x"],"flag":true,"n":null})";
+    Value v = ParseOrDie(src);
+    Value v2 = ParseOrDie(v.Dump());
+    EXPECT_TRUE(v == v2);
+}
+
+TEST(JsonDumpTest, RoundTripPretty)
+{
+    Value v = ParseOrDie(R"({"a":{"b":[1,{"c":"deep"}]}})");
+    Value v2 = ParseOrDie(v.Pretty());
+    EXPECT_TRUE(v == v2);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutFraction)
+{
+    Value v(static_cast<int64_t>(123456789));
+    EXPECT_EQ(v.Dump(), "123456789");
+}
+
+TEST(JsonDumpTest, EscapesInOutput)
+{
+    Value v(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(v.Dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonValueTest, Accessors)
+{
+    Value v;
+    v["x"] = Value(5);
+    v["y"] = Value("s");
+    EXPECT_TRUE(v.Has("x"));
+    EXPECT_FALSE(v.Has("z"));
+    EXPECT_EQ(v.GetInt("x", -1), 5);
+    EXPECT_EQ(v.GetInt("z", -1), -1);
+    EXPECT_EQ(v.GetString("y", ""), "s");
+    EXPECT_EQ(v.GetString("z", "dflt"), "dflt");
+    EXPECT_EQ(v.GetDouble("z", 2.5), 2.5);
+    EXPECT_TRUE(v.GetBool("z", true));
+}
+
+TEST(JsonValueTest, TypePredicates)
+{
+    EXPECT_TRUE(Value().IsNull());
+    EXPECT_TRUE(Value(true).IsBool());
+    EXPECT_TRUE(Value(1.0).IsNumber());
+    EXPECT_TRUE(Value("s").IsString());
+    EXPECT_TRUE(Value(Array{}).IsArray());
+    EXPECT_TRUE(Value(Object{}).IsObject());
+}
+
+TEST(JsonValueDeathTest, TypeMismatchPanics)
+{
+    Value v(1.5);
+    EXPECT_DEATH(v.AsString(), "not a string");
+    EXPECT_DEATH(v.At("k"), "not an object");
+}
+
+TEST(JsonFileTest, SaveAndLoad)
+{
+    Value v;
+    v["model"] = Value("tiny");
+    v["layers"] = Value(Array{Value(1), Value(2)});
+    const std::string path = testing::TempDir() + "/spa_json_test.json";
+    SaveFile(path, v);
+    Value loaded = LoadFile(path);
+    EXPECT_TRUE(v == loaded);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace spa

@@ -1,0 +1,162 @@
+// Unit tests for the dense linear-algebra kernel set.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace spa {
+namespace la {
+namespace {
+
+TEST(MatrixTest, IdentityMultiply)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix i3 = Matrix::Identity(3);
+    Matrix prod = a * i3;
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(MatrixTest, MatVec)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 3; a(1, 1) = 4;
+    auto y = a * std::vector<double>{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeInvolution)
+{
+    Rng rng(5);
+    Matrix a(4, 7);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 7; ++c)
+            a(r, c) = rng.Uniform(-1, 1);
+    Matrix att = a.Transposed().Transposed();
+    EXPECT_NEAR((a - att).FrobeniusNorm(), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, AddSub)
+{
+    Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+    EXPECT_DOUBLE_EQ((a + b)(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ((b - a)(0, 0), 1.0);
+}
+
+TEST(CholeskyTest, FactorizesSpdMatrix)
+{
+    // A = M M^T + n*I is SPD for any M.
+    Rng rng(17);
+    const size_t n = 8;
+    Matrix m(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            m(r, c) = rng.Uniform(-1, 1);
+    Matrix a = m * m.Transposed() + Matrix::Identity(n) * Matrix::Identity(n);
+    Matrix l;
+    ASSERT_TRUE(Cholesky(a, l));
+    Matrix rec = l * l.Transposed();
+    EXPECT_NEAR((a - rec).FrobeniusNorm(), 0.0, 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3 and -1
+    Matrix l;
+    EXPECT_FALSE(Cholesky(a, l));
+}
+
+TEST(CholeskyTest, JitterRescuesNearSingular)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 1;  // rank 1
+    Matrix l;
+    EXPECT_FALSE(Cholesky(a, l));
+    EXPECT_TRUE(Cholesky(a, l, 1e-6));
+}
+
+TEST(CholeskyTest, SolveRoundTrip)
+{
+    Rng rng(23);
+    const size_t n = 10;
+    Matrix m(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            m(r, c) = rng.Uniform(-1, 1);
+    Matrix a = m * m.Transposed();
+    for (size_t i = 0; i < n; ++i)
+        a(i, i) += 1.0;
+    std::vector<double> x_true(n);
+    for (size_t i = 0; i < n; ++i)
+        x_true[i] = rng.Uniform(-2, 2);
+    std::vector<double> b = a * x_true;
+
+    Matrix l;
+    ASSERT_TRUE(Cholesky(a, l));
+    auto y = SolveLower(l, b);
+    auto x = SolveLowerTransposed(l, y);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(SolveLinearTest, RandomSystemsRoundTrip)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t n = 1 + static_cast<size_t>(rng.UniformInt(1, 12));
+        Matrix a(n, n);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < n; ++c)
+                a(r, c) = rng.Uniform(-5, 5);
+        for (size_t i = 0; i < n; ++i)
+            a(i, i) += 10.0;  // diagonal dominance -> nonsingular
+        std::vector<double> x_true(n);
+        for (size_t i = 0; i < n; ++i)
+            x_true[i] = rng.Uniform(-3, 3);
+        std::vector<double> x;
+        ASSERT_TRUE(SolveLinear(a, a * x_true, x));
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+TEST(SolveLinearTest, SingularDetected)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    std::vector<double> x;
+    EXPECT_FALSE(SolveLinear(a, {1.0, 2.0}, x));
+}
+
+TEST(SolveLinearTest, NeedsPivoting)
+{
+    // Zero leading pivot requires a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    std::vector<double> x;
+    ASSERT_TRUE(SolveLinear(a, {3.0, 7.0}, x));
+    EXPECT_DOUBLE_EQ(x[0], 7.0);
+    EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(DotTest, Basic)
+{
+    EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace spa

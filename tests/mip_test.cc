@@ -1,0 +1,250 @@
+// Tests for the LP simplex and branch-and-bound MIP solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mip/branch_and_bound.h"
+#include "mip/simplex.h"
+
+namespace spa {
+namespace mip {
+namespace {
+
+TEST(SimplexTest, TextbookTwoVariable)
+{
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative)
+    Problem p;
+    const int x = p.AddVariable(0, kInf, -3.0);
+    const int y = p.AddVariable(0, kInf, -5.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+    p.AddConstraint({{y, 2.0}}, Sense::kLe, 12.0);
+    p.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+    Solution s = SolveLp(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.x[static_cast<size_t>(x)], 2.0, 1e-7);
+    EXPECT_NEAR(s.x[static_cast<size_t>(y)], 6.0, 1e-7);
+    EXPECT_NEAR(s.objective, -36.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityAndGeRows)
+{
+    // min x + 2y s.t. x + y = 10, x >= 3, y >= 2.
+    Problem p;
+    const int x = p.AddVariable(0, kInf, 1.0);
+    const int y = p.AddVariable(0, kInf, 2.0);
+    p.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 10.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kGe, 3.0);
+    p.AddConstraint({{y, 1.0}}, Sense::kGe, 2.0);
+    Solution s = SolveLp(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.x[static_cast<size_t>(x)], 8.0, 1e-7);
+    EXPECT_NEAR(s.x[static_cast<size_t>(y)], 2.0, 1e-7);
+    EXPECT_NEAR(s.objective, 12.0, 1e-7);
+}
+
+TEST(SimplexTest, VariableBoundsRespected)
+{
+    // min -x with 1 <= x <= 5.
+    Problem p;
+    const int x = p.AddVariable(1.0, 5.0, -1.0);
+    Solution s = SolveLp(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.x[static_cast<size_t>(x)], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, NonzeroLowerBoundShift)
+{
+    // min x + y with x >= 2, y >= 3, x + y >= 7.
+    Problem p;
+    const int x = p.AddVariable(2.0, kInf, 1.0);
+    const int y = p.AddVariable(3.0, kInf, 1.0);
+    p.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 7.0);
+    Solution s = SolveLp(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 7.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible)
+{
+    Problem p;
+    const int x = p.AddVariable(0, kInf, 1.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kGe, 5.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kLe, 3.0);
+    EXPECT_EQ(SolveLp(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded)
+{
+    Problem p;
+    const int x = p.AddVariable(0, kInf, -1.0);  // max x, no constraint
+    p.AddConstraint({{x, -1.0}}, Sense::kLe, 0.0);
+    EXPECT_EQ(SolveLp(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates)
+{
+    // Classic cycling-prone instance (Beale); Bland's rule must finish.
+    Problem p;
+    const int x1 = p.AddVariable(0, kInf, -0.75);
+    const int x2 = p.AddVariable(0, kInf, 150.0);
+    const int x3 = p.AddVariable(0, kInf, -0.02);
+    const int x4 = p.AddVariable(0, kInf, 6.0);
+    p.AddConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, Sense::kLe, 0.0);
+    p.AddConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, Sense::kLe, 0.0);
+    p.AddConstraint({{x3, 1.0}}, Sense::kLe, 1.0);
+    Solution s = SolveLp(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, -0.05, 1e-6);
+}
+
+TEST(SimplexTest, RandomLpsSatisfyConstraints)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 30; ++trial) {
+        Problem p;
+        const int n = 2 + static_cast<int>(rng.UniformInt(0, 4));
+        for (int j = 0; j < n; ++j)
+            p.AddVariable(0.0, rng.Uniform(1.0, 10.0), rng.Uniform(-5.0, 5.0));
+        const int m = 1 + static_cast<int>(rng.UniformInt(0, 4));
+        for (int i = 0; i < m; ++i) {
+            std::vector<std::pair<int, double>> terms;
+            for (int j = 0; j < n; ++j)
+                terms.push_back({j, rng.Uniform(0.1, 3.0)});
+            p.AddConstraint(terms, Sense::kLe, rng.Uniform(2.0, 20.0));
+        }
+        Solution s = SolveLp(p);
+        ASSERT_EQ(s.status, SolveStatus::kOptimal) << "trial " << trial;
+        EXPECT_TRUE(p.IsFeasible(s.x, 1e-6)) << "trial " << trial;
+    }
+}
+
+TEST(MipTest, SmallKnapsack)
+{
+    // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 => a=0? best: a+c (17)? ...
+    // weights: a=3,b=4,c=2; optimal subset {a,c} value 17.
+    Problem p;
+    const int a = p.AddBinary(-10.0);
+    const int b = p.AddBinary(-13.0);
+    const int c = p.AddBinary(-7.0);
+    p.AddConstraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Sense::kLe, 6.0);
+    Solution s = SolveMip(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, -20.0, 1e-6);  // {b, c}: 13 + 7
+    EXPECT_NEAR(s.x[static_cast<size_t>(b)], 1.0, 1e-6);
+    EXPECT_NEAR(s.x[static_cast<size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(MipTest, KnapsackSweep)
+{
+    // Cross-check against exhaustive enumeration on random knapsacks.
+    Rng rng(7);
+    for (int trial = 0; trial < 15; ++trial) {
+        const int n = 6;
+        std::vector<double> value(n), weight(n);
+        for (int j = 0; j < n; ++j) {
+            value[static_cast<size_t>(j)] = rng.Uniform(1.0, 20.0);
+            weight[static_cast<size_t>(j)] = rng.Uniform(1.0, 10.0);
+        }
+        const double cap = rng.Uniform(8.0, 25.0);
+        Problem p;
+        std::vector<std::pair<int, double>> terms;
+        for (int j = 0; j < n; ++j) {
+            p.AddBinary(-value[static_cast<size_t>(j)]);
+            terms.push_back({j, weight[static_cast<size_t>(j)]});
+        }
+        p.AddConstraint(terms, Sense::kLe, cap);
+        Solution s = SolveMip(p);
+        ASSERT_EQ(s.status, SolveStatus::kOptimal);
+        double best = 0.0;
+        for (int mask = 0; mask < (1 << n); ++mask) {
+            double v = 0.0, wsum = 0.0;
+            for (int j = 0; j < n; ++j) {
+                if (mask & (1 << j)) {
+                    v += value[static_cast<size_t>(j)];
+                    wsum += weight[static_cast<size_t>(j)];
+                }
+            }
+            if (wsum <= cap)
+                best = std::max(best, v);
+        }
+        EXPECT_NEAR(-s.objective, best, 1e-6) << "trial " << trial;
+    }
+}
+
+TEST(MipTest, AssignmentProblem)
+{
+    // 3x3 assignment: cost matrix with known optimum 5 (1+1+3? compute).
+    const double cost[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+    // Optimal: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+    Problem p;
+    int var[3][3];
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            var[i][j] = p.AddBinary(cost[i][j]);
+    for (int i = 0; i < 3; ++i) {
+        std::vector<std::pair<int, double>> row, col;
+        for (int j = 0; j < 3; ++j) {
+            row.push_back({var[i][j], 1.0});
+            col.push_back({var[j][i], 1.0});
+        }
+        p.AddConstraint(row, Sense::kEq, 1.0);
+        p.AddConstraint(col, Sense::kEq, 1.0);
+    }
+    Solution s = SolveMip(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 5.0, 1e-6);
+}
+
+TEST(MipTest, InfeasibleIntegral)
+{
+    // x + y = 1 with x, y binary and x >= 1, y >= 1 is infeasible.
+    Problem p;
+    const int x = p.AddVariable(1.0, 1.0, 0.0, true);
+    const int y = p.AddVariable(1.0, 1.0, 0.0, true);
+    p.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 1.0);
+    EXPECT_EQ(SolveMip(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(MipTest, MixedIntegerContinuous)
+{
+    // min y s.t. y >= 2.5 - x, y >= x - 2.5, x integer in [0, 5]:
+    // best integer x is 2 or 3 -> y = 0.5.
+    Problem p;
+    const int x = p.AddVariable(0.0, 5.0, 0.0, true);
+    const int y = p.AddVariable(0.0, kInf, 1.0);
+    p.AddConstraint({{y, 1.0}, {x, 1.0}}, Sense::kGe, 2.5);
+    p.AddConstraint({{y, 1.0}, {x, -1.0}}, Sense::kGe, -2.5);
+    Solution s = SolveMip(p);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, 0.5, 1e-6);
+}
+
+TEST(MipTest, NodeBudgetReportsLimit)
+{
+    // A MIP that needs more than one node with a budget of one.
+    Problem p;
+    const int a = p.AddBinary(-1.0);
+    const int b = p.AddBinary(-1.0);
+    p.AddConstraint({{a, 1.0}, {b, 1.0}}, Sense::kLe, 1.5);
+    MipOptions options;
+    options.max_nodes = 1;
+    Solution s = SolveMip(p, options);
+    EXPECT_NE(s.status, SolveStatus::kOptimal);
+}
+
+TEST(ProblemTest, EvaluateAndFeasible)
+{
+    Problem p;
+    const int x = p.AddVariable(0.0, 2.0, 3.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kLe, 1.5);
+    EXPECT_DOUBLE_EQ(p.Evaluate({1.0}), 3.0);
+    EXPECT_TRUE(p.IsFeasible({1.0}));
+    EXPECT_FALSE(p.IsFeasible({1.8}));   // violates the row
+    EXPECT_FALSE(p.IsFeasible({-0.5}));  // violates bounds
+}
+
+}  // namespace
+}  // namespace mip
+}  // namespace spa

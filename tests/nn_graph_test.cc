@@ -1,0 +1,166 @@
+// Unit tests for the DNN graph IR: shape inference, MAC/weight analytics.
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+
+namespace spa {
+namespace nn {
+namespace {
+
+TEST(ShapeTest, Elems)
+{
+    Shape s{3, 224, 224};
+    EXPECT_EQ(s.Elems(), 3 * 224 * 224);
+    EXPECT_EQ(s.ToString(), "3x224x224");
+}
+
+TEST(GraphTest, ConvShapeInference)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {3, 224, 224});
+    LayerId c = g.AddConv("c1", in, 64, 7, 2, 3);
+    EXPECT_EQ(g.layer(c).out_shape(), (Shape{64, 112, 112}));
+}
+
+TEST(GraphTest, ConvDefaultSamePad)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {8, 32, 32});
+    LayerId c = g.AddConv("c1", in, 16, 3);  // default pad = k/2
+    EXPECT_EQ(g.layer(c).out_shape(), (Shape{16, 32, 32}));
+}
+
+TEST(GraphTest, PoolShapes)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {96, 55, 55});
+    LayerId p = g.AddMaxPool("p", in, 3, 2);
+    EXPECT_EQ(g.layer(p).out_shape(), (Shape{96, 27, 27}));
+    LayerId gap = g.AddGlobalAvgPool("gap", p);
+    EXPECT_EQ(g.layer(gap).out_shape(), (Shape{96, 1, 1}));
+}
+
+TEST(GraphTest, ConvMacs)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {16, 10, 10});
+    LayerId c = g.AddConv("c", in, 32, 3, 1, 1);
+    // 32*10*10 outputs x 16 cin x 9 taps
+    EXPECT_EQ(g.layer(c).Macs(), 32LL * 10 * 10 * 16 * 9);
+    EXPECT_EQ(g.layer(c).WeightElems(), 32LL * 16 * 9 + 32);
+}
+
+TEST(GraphTest, GroupedConvMacs)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {16, 10, 10});
+    LayerId c = g.AddConv("c", in, 32, 3, 1, 1, 2);
+    EXPECT_EQ(g.layer(c).Macs(), 32LL * 10 * 10 * 8 * 9);
+}
+
+TEST(GraphTest, DepthwiseConv)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {32, 14, 14});
+    LayerId c = g.AddDepthwiseConv("dw", in, 3, 1, 1);
+    EXPECT_TRUE(g.layer(c).IsDepthwise());
+    EXPECT_EQ(g.layer(c).out_shape(), (Shape{32, 14, 14}));
+    EXPECT_EQ(g.layer(c).Macs(), 32LL * 14 * 14 * 9);
+}
+
+TEST(GraphTest, FullyConnected)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {256, 6, 6});
+    LayerId fc = g.AddFullyConnected("fc", in, 4096);
+    EXPECT_EQ(g.layer(fc).Macs(), 256LL * 6 * 6 * 4096);
+    EXPECT_EQ(g.layer(fc).out_shape(), (Shape{4096, 1, 1}));
+}
+
+TEST(GraphTest, AddRequiresMatchingShapes)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {8, 8, 8});
+    LayerId a = g.AddConv("a", in, 8, 3);
+    LayerId b = g.AddConv("b", in, 8, 3);
+    LayerId s = g.AddAdd("sum", a, b);
+    EXPECT_EQ(g.layer(s).out_shape(), (Shape{8, 8, 8}));
+}
+
+TEST(GraphDeathTest, AddShapeMismatchPanics)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {8, 8, 8});
+    LayerId a = g.AddConv("a", in, 8, 3);
+    LayerId b = g.AddConv("b", in, 16, 3);
+    EXPECT_DEATH(g.AddAdd("sum", a, b), "shape mismatch");
+}
+
+TEST(GraphTest, ConcatSumsChannels)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {8, 8, 8});
+    LayerId a = g.AddConv("a", in, 8, 1, 1, 0);
+    LayerId b = g.AddConv("b", in, 24, 1, 1, 0);
+    LayerId c = g.AddConcat("cat", {a, b});
+    EXPECT_EQ(g.layer(c).out_shape(), (Shape{32, 8, 8}));
+}
+
+TEST(GraphDeathTest, DuplicateNamePanics)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {3, 8, 8});
+    g.AddConv("c", in, 4, 3);
+    EXPECT_DEATH(g.AddConv("c", in, 4, 3), "duplicate layer name");
+}
+
+TEST(GraphTest, FindLayerAndComputeIds)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {3, 8, 8});
+    LayerId c1 = g.AddConv("c1", in, 4, 3);
+    LayerId p = g.AddMaxPool("p", c1, 2);
+    LayerId fc = g.AddFullyConnected("fc", p, 10);
+    EXPECT_EQ(g.FindLayer("c1"), c1);
+    auto ids = g.ComputeLayerIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], c1);
+    EXPECT_EQ(ids[1], fc);
+}
+
+TEST(GraphTest, ConsumersReverseAdjacency)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {3, 8, 8});
+    LayerId a = g.AddConv("a", in, 4, 3);
+    LayerId b = g.AddConv("b", a, 4, 3);
+    LayerId c = g.AddConv("c", a, 4, 3);
+    g.AddAdd("s", b, c);
+    auto consumers = g.BuildConsumers();
+    EXPECT_EQ(consumers[static_cast<size_t>(a)].size(), 2u);
+    EXPECT_EQ(consumers[static_cast<size_t>(in)].size(), 1u);
+}
+
+TEST(GraphTest, TotalsAccumulate)
+{
+    Graph g("t");
+    LayerId in = g.AddInput("input", {3, 8, 8});
+    LayerId a = g.AddConv("a", in, 4, 3);
+    g.AddFullyConnected("fc", a, 10);
+    EXPECT_EQ(g.TotalMacs(), g.layer(a).Macs() + g.layer(g.FindLayer("fc")).Macs());
+    EXPECT_GT(g.TotalWeightElems(), 0);
+}
+
+TEST(LayerTypeTest, NameRoundTrip)
+{
+    for (LayerType t : {LayerType::kInput, LayerType::kConv, LayerType::kFullyConnected,
+                        LayerType::kMaxPool, LayerType::kAvgPool,
+                        LayerType::kGlobalAvgPool, LayerType::kAdd, LayerType::kConcat}) {
+        EXPECT_EQ(LayerTypeFromName(LayerTypeName(t)), t);
+    }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace spa

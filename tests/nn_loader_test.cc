@@ -1,0 +1,110 @@
+// Unit tests for the JSON model-description frontend.
+
+#include <gtest/gtest.h>
+
+#include "nn/loader.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+namespace {
+
+const char* kTinyModel = R"({
+  "name": "tiny",
+  "input": {"c": 3, "h": 32, "w": 32},
+  "layers": [
+    {"name": "c1", "type": "conv", "out": 16, "k": 3, "stride": 1, "pad": 1},
+    {"name": "p1", "type": "maxpool", "k": 2},
+    {"name": "c2a", "type": "conv", "out": 8, "k": 1, "pad": 0, "inputs": ["p1"]},
+    {"name": "c2b", "type": "conv", "out": 8, "k": 3, "pad": 1, "inputs": ["p1"]},
+    {"name": "cat", "type": "concat", "inputs": ["c2a", "c2b"]},
+    {"name": "fc", "type": "fc", "out": 10, "inputs": ["cat"]}
+  ]
+})";
+
+TEST(LoaderTest, BuildsTinyModel)
+{
+    Graph g = GraphFromJson(json::ParseOrDie(kTinyModel));
+    EXPECT_EQ(g.name(), "tiny");
+    EXPECT_EQ(g.layer(g.FindLayer("c1")).out_shape(), (Shape{16, 32, 32}));
+    EXPECT_EQ(g.layer(g.FindLayer("p1")).out_shape(), (Shape{16, 16, 16}));
+    EXPECT_EQ(g.layer(g.FindLayer("cat")).out_shape(), (Shape{16, 16, 16}));
+    EXPECT_EQ(g.layer(g.FindLayer("fc")).out_shape(), (Shape{10, 1, 1}));
+}
+
+TEST(LoaderTest, SequentialDefaultInputs)
+{
+    Graph g = GraphFromJson(json::ParseOrDie(kTinyModel));
+    // p1's implicit input is c1.
+    const Layer& p1 = g.layer(g.FindLayer("p1"));
+    EXPECT_EQ(p1.inputs()[0], g.FindLayer("c1"));
+}
+
+TEST(LoaderTest, DepthwiseType)
+{
+    const char* doc = R"({
+      "input": {"c": 8, "h": 16, "w": 16},
+      "layers": [{"name": "dw", "type": "dwconv", "k": 3, "stride": 1, "pad": 1}]
+    })";
+    Graph g = GraphFromJson(json::ParseOrDie(doc));
+    EXPECT_TRUE(g.layer(g.FindLayer("dw")).IsDepthwise());
+}
+
+TEST(LoaderTest, GroupsParsed)
+{
+    const char* doc = R"({
+      "input": {"c": 8, "h": 16, "w": 16},
+      "layers": [{"name": "c", "type": "conv", "out": 8, "k": 3, "pad": 1, "groups": 2}]
+    })";
+    Graph g = GraphFromJson(json::ParseOrDie(doc));
+    EXPECT_EQ(g.layer(g.FindLayer("c")).params().groups, 2);
+}
+
+TEST(LoaderDeathTest, UnknownTypeFatals)
+{
+    const char* doc = R"({
+      "input": {"c": 3, "h": 8, "w": 8},
+      "layers": [{"name": "x", "type": "warp", "out": 3}]
+    })";
+    EXPECT_EXIT(GraphFromJson(json::ParseOrDie(doc)), testing::ExitedWithCode(1),
+                "unsupported layer type");
+}
+
+TEST(LoaderDeathTest, UnknownInputFatals)
+{
+    const char* doc = R"({
+      "input": {"c": 3, "h": 8, "w": 8},
+      "layers": [{"name": "c", "type": "conv", "out": 4, "k": 3,
+                  "inputs": ["missing"]}]
+    })";
+    EXPECT_EXIT(GraphFromJson(json::ParseOrDie(doc)), testing::ExitedWithCode(1),
+                "no layer named");
+}
+
+TEST(LoaderTest, RoundTripThroughJson)
+{
+    Graph g = GraphFromJson(json::ParseOrDie(kTinyModel));
+    json::Value serialized = GraphToJson(g);
+    Graph g2 = GraphFromJson(serialized);
+    ASSERT_EQ(g.size(), g2.size());
+    for (size_t i = 0; i < g.size(); ++i) {
+        EXPECT_EQ(g.layers()[i].name(), g2.layers()[i].name());
+        EXPECT_EQ(g.layers()[i].type(), g2.layers()[i].type());
+        EXPECT_EQ(g.layers()[i].out_shape(), g2.layers()[i].out_shape());
+        EXPECT_EQ(g.layers()[i].Macs(), g2.layers()[i].Macs());
+    }
+}
+
+TEST(LoaderTest, ZooModelsSurviveRoundTrip)
+{
+    for (const char* name : {"alexnet", "squeezenet", "mobilenet_v2"}) {
+        Graph g = BuildModel(name);
+        Graph g2 = GraphFromJson(GraphToJson(g));
+        EXPECT_EQ(g.TotalMacs(), g2.TotalMacs()) << name;
+        EXPECT_EQ(g.TotalWeightElems(), g2.TotalWeightElems()) << name;
+    }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,138 @@
+// Model-zoo sanity tests: every benchmark model validates, and its
+// MAC / parameter totals land near the published figures.
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace nn {
+namespace {
+
+/** Published (approximate) MACs and parameters for ImageNet models. */
+struct ModelExpectation
+{
+    const char* name;
+    double macs;        ///< multiply-accumulates per inference
+    double params;      ///< weight elements
+    double tolerance;   ///< relative tolerance
+};
+
+class ZooTest : public testing::TestWithParam<ModelExpectation>
+{
+};
+
+TEST_P(ZooTest, MacsAndParamsNearPublished)
+{
+    const auto& exp = GetParam();
+    Graph g = BuildModel(exp.name);
+    g.Validate();
+    const double macs = static_cast<double>(g.TotalMacs());
+    const double params = static_cast<double>(g.TotalWeightElems());
+    EXPECT_NEAR(macs / exp.macs, 1.0, exp.tolerance) << exp.name << " macs=" << macs;
+    EXPECT_NEAR(params / exp.params, 1.0, exp.tolerance) << exp.name << " params=" << params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooTest,
+    testing::Values(
+        // Reference values from the original papers / torchvision profiles.
+        ModelExpectation{"alexnet", 0.72e9, 61e6, 0.10},
+        ModelExpectation{"vgg16", 15.5e9, 138e6, 0.05},
+        ModelExpectation{"mobilenet_v1", 0.57e9, 4.2e6, 0.10},
+        ModelExpectation{"mobilenet_v2", 0.30e9, 3.5e6, 0.15},
+        ModelExpectation{"resnet18", 1.8e9, 11.7e6, 0.10},
+        ModelExpectation{"resnet50", 4.1e9, 25.6e6, 0.10},
+        ModelExpectation{"resnet152", 11.5e9, 60.2e6, 0.10},
+        ModelExpectation{"squeezenet", 0.85e9, 1.25e6, 0.15},
+        ModelExpectation{"inception_v1", 1.5e9, 7.0e6, 0.15},
+        ModelExpectation{"efficientnet_b0", 0.39e9, 5.3e6, 0.20}),
+    [](const testing::TestParamInfo<ModelExpectation>& info) {
+        return std::string(info.param.name);
+    });
+
+TEST(ZooTest, AllNamesBuild)
+{
+    for (const std::string& name : ZooModelNames()) {
+        Graph g = BuildModel(name);
+        g.Validate();
+        EXPECT_GT(g.TotalMacs(), 0) << name;
+    }
+}
+
+TEST(ZooDeathTest, UnknownModelFatals)
+{
+    EXPECT_EXIT(BuildModel("notanet"), testing::ExitedWithCode(1), "unknown model");
+}
+
+TEST(AlexNetTest, ClassicLayerShapes)
+{
+    Graph g = BuildAlexNet();
+    EXPECT_EQ(g.layer(g.FindLayer("conv1")).out_shape(), (Shape{96, 55, 55}));
+    EXPECT_EQ(g.layer(g.FindLayer("conv2")).out_shape(), (Shape{256, 27, 27}));
+    EXPECT_EQ(g.layer(g.FindLayer("conv5")).out_shape(), (Shape{256, 13, 13}));
+    EXPECT_EQ(g.layer(g.FindLayer("fc6")).in_shape().Elems(), 256 * 6 * 6);
+}
+
+TEST(AlexNetConvTowerTest, TenConvLayers)
+{
+    Graph g = BuildAlexNetConvTower();
+    auto ids = g.ComputeLayerIds();
+    EXPECT_EQ(ids.size(), 10u);  // conv1_a/b ... conv5_a/b
+    // Total conv MACs of the split tower with the restricted cross
+    // connectivity of the original two-tower AlexNet.
+    EXPECT_GT(g.TotalMacs(), 0.4e9);
+    EXPECT_LT(g.TotalMacs(), 1.2e9);
+}
+
+TEST(SqueezeNetTest, FireModuleStructure)
+{
+    Graph g = BuildSqueezeNet();
+    // Each fire module contributes 3 convs; 8 fires + conv1 + conv10.
+    EXPECT_EQ(g.ComputeLayerIds().size(), 8u * 3 + 2);
+    EXPECT_EQ(g.layer(g.FindLayer("fire2_concat")).out_shape().c, 128);
+    EXPECT_EQ(g.layer(g.FindLayer("fire9_concat")).out_shape().c, 512);
+}
+
+TEST(ResNetTest, BlockCounts)
+{
+    EXPECT_EQ(BuildResNet18().ComputeLayerIds().size(), 18u + 3);  // incl. 3 downsamples
+    // ResNet50: 1 stem + 16*3 block convs + 4 downsample + 1 fc = 54.
+    EXPECT_EQ(BuildResNet50().ComputeLayerIds().size(), 54u);
+    // ResNet152: 1 + 50*3 + 4 + 1.
+    EXPECT_EQ(BuildResNet152().ComputeLayerIds().size(), 156u);
+}
+
+TEST(MobileNetV2Test, ResidualAddsPresent)
+{
+    Graph g = BuildMobileNetV2();
+    int adds = 0;
+    for (const auto& l : g.layers())
+        adds += l.type() == LayerType::kAdd;
+    EXPECT_EQ(adds, 10);  // standard MobileNetV2 has 10 residual connections
+}
+
+TEST(InceptionTest, BlockOutputChannels)
+{
+    Graph g = BuildInceptionV1();
+    EXPECT_EQ(g.layer(g.FindLayer("inc3a_concat")).out_shape().c, 256);
+    EXPECT_EQ(g.layer(g.FindLayer("inc5b_concat")).out_shape().c, 1024);
+}
+
+TEST(ZooTest, IntermediateFmapShareIsLargeForMobileNets)
+{
+    // The paper (Sec. VI-B) notes intermediate fmaps are ~65% of
+    // MobileNet's memory footprint -- the property that makes SPA win.
+    Workload w = ExtractWorkload(BuildMobileNetV1());
+    int64_t fmap_bytes = 0;
+    for (const auto& e : w.edges)
+        fmap_bytes += e.bytes;
+    const double share = static_cast<double>(fmap_bytes) /
+                         static_cast<double>(fmap_bytes + w.TotalWeightBytes());
+    EXPECT_GT(share, 0.5);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace spa

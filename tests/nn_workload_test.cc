@@ -1,0 +1,182 @@
+// Unit tests for workload extraction: glue fusion, edge bytes, paths.
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace nn {
+namespace {
+
+int
+IndexOf(const Workload& w, const std::string& name)
+{
+    for (int i = 0; i < w.NumLayers(); ++i)
+        if (w.layers[static_cast<size_t>(i)].name == name)
+            return i;
+    return -1;
+}
+
+Graph
+ChainGraph()
+{
+    Graph g("chain");
+    LayerId in = g.AddInput("input", {3, 32, 32});
+    LayerId c1 = g.AddConv("c1", in, 16, 3, 1, 1);
+    LayerId p1 = g.AddMaxPool("p1", c1, 2, 2);
+    LayerId c2 = g.AddConv("c2", p1, 32, 3, 1, 1);
+    g.AddFullyConnected("fc", c2, 10);
+    return g;
+}
+
+TEST(WorkloadTest, ChainStructure)
+{
+    Workload w = ExtractWorkload(ChainGraph());
+    ASSERT_EQ(w.NumLayers(), 3);
+    EXPECT_EQ(w.layers[0].name, "c1");
+    EXPECT_EQ(w.layers[1].name, "c2");
+    EXPECT_EQ(w.layers[2].name, "fc");
+    // Edges: input->c1 (external), c1->c2, c2->fc.
+    int external = 0, internal = 0;
+    for (const auto& e : w.edges)
+        (e.src < 0 ? external : internal)++;
+    EXPECT_EQ(external, 1);
+    EXPECT_EQ(internal, 2);
+}
+
+TEST(WorkloadTest, PoolingFusedIntoProducer)
+{
+    Workload w = ExtractWorkload(ChainGraph());
+    const auto& c1 = w.layers[static_cast<size_t>(IndexOf(w, "c1"))];
+    // c1 output is 16x32x32, but the pool reduces it to 16x16x16 before
+    // anything is materialized.
+    EXPECT_EQ(c1.output_bytes, 16 * 16 * 16);
+    // c2 reads the pooled tensor.
+    const auto& c2 = w.layers[static_cast<size_t>(IndexOf(w, "c2"))];
+    EXPECT_EQ(c2.input_bytes, 16 * 16 * 16);
+}
+
+TEST(WorkloadTest, ExternalInputBytes)
+{
+    Workload w = ExtractWorkload(ChainGraph());
+    const auto& c1 = w.layers[static_cast<size_t>(IndexOf(w, "c1"))];
+    EXPECT_EQ(c1.input_bytes, 3 * 32 * 32);
+}
+
+TEST(WorkloadTest, BytesPerElemScales)
+{
+    Workload w8 = ExtractWorkload(ChainGraph(), 1);
+    Workload w16 = ExtractWorkload(ChainGraph(), 2);
+    for (int i = 0; i < w8.NumLayers(); ++i) {
+        EXPECT_EQ(2 * w8.layers[static_cast<size_t>(i)].input_bytes,
+                  w16.layers[static_cast<size_t>(i)].input_bytes);
+        EXPECT_EQ(2 * w8.layers[static_cast<size_t>(i)].weight_bytes,
+                  w16.layers[static_cast<size_t>(i)].weight_bytes);
+        EXPECT_EQ(w8.layers[static_cast<size_t>(i)].ops,
+                  w16.layers[static_cast<size_t>(i)].ops);
+    }
+}
+
+TEST(WorkloadTest, ResidualAddReadsBothOperands)
+{
+    Graph g("res");
+    LayerId in = g.AddInput("input", {8, 16, 16});
+    LayerId a = g.AddConv("a", in, 8, 3, 1, 1);
+    LayerId b = g.AddConv("b", a, 8, 3, 1, 1);
+    LayerId s = g.AddAdd("s", b, a);
+    g.AddConv("c", s, 8, 3, 1, 1);
+    Workload w = ExtractWorkload(g);
+    const auto& c = w.layers[static_cast<size_t>(IndexOf(w, "c"))];
+    // c reads both add operands: 2 x 8x16x16.
+    EXPECT_EQ(c.input_bytes, 2 * 8 * 16 * 16);
+    // c has two in-edges, from a and from b.
+    EXPECT_EQ(w.in_edges[static_cast<size_t>(IndexOf(w, "c"))].size(), 2u);
+}
+
+TEST(WorkloadTest, ConcatSplitsIntoBranchEdges)
+{
+    Graph g("cat");
+    LayerId in = g.AddInput("input", {8, 16, 16});
+    LayerId a = g.AddConv("a", in, 8, 1, 1, 0);
+    LayerId b = g.AddConv("b", in, 24, 1, 1, 0);
+    LayerId cat = g.AddConcat("cat", {a, b});
+    g.AddConv("c", cat, 8, 1, 1, 0);
+    Workload w = ExtractWorkload(g);
+    const int c = IndexOf(w, "c");
+    int64_t from_a = 0, from_b = 0;
+    for (int e : w.in_edges[static_cast<size_t>(c)]) {
+        const auto& edge = w.edges[static_cast<size_t>(e)];
+        if (edge.src == IndexOf(w, "a"))
+            from_a = edge.bytes;
+        if (edge.src == IndexOf(w, "b"))
+            from_b = edge.bytes;
+    }
+    EXPECT_EQ(from_a, 8 * 16 * 16);
+    EXPECT_EQ(from_b, 24 * 16 * 16);
+}
+
+TEST(WorkloadTest, HasPathFollowsDag)
+{
+    Workload w = ExtractWorkload(BuildSqueezeNet());
+    const int squeeze = IndexOf(w, "fire2_squeeze");
+    const int e1 = IndexOf(w, "fire2_expand1");
+    const int late = IndexOf(w, "conv10");
+    ASSERT_GE(squeeze, 0);
+    EXPECT_TRUE(w.HasPath(squeeze, e1));
+    EXPECT_TRUE(w.HasPath(squeeze, late));
+    EXPECT_FALSE(w.HasPath(late, squeeze));
+    // Parallel expand branches are independent.
+    EXPECT_FALSE(w.HasPath(e1, IndexOf(w, "fire2_expand3")));
+}
+
+TEST(WorkloadTest, LayerCtcMatchesDefinition)
+{
+    Workload w = ExtractWorkload(ChainGraph());
+    for (const auto& l : w.layers) {
+        EXPECT_NEAR(l.LayerCtc(),
+                    static_cast<double>(l.ops) /
+                        static_cast<double>(l.input_bytes + l.weight_bytes +
+                                            l.output_bytes),
+                    1e-12);
+    }
+}
+
+TEST(WorkloadTest, TotalsConsistent)
+{
+    Graph g = BuildSqueezeNet();
+    Workload w = ExtractWorkload(g);
+    EXPECT_EQ(w.TotalOps(), g.TotalMacs());
+    EXPECT_EQ(w.TotalWeightBytes(), g.TotalWeightElems());
+}
+
+TEST(WorkloadTest, DepthwiseLayersTagged)
+{
+    Workload w = ExtractWorkload(BuildMobileNetV1());
+    int dw = 0, pw = 0;
+    for (const auto& l : w.layers) {
+        dw += l.is_depthwise;
+        pw += (!l.is_depthwise && !l.is_fc && l.kernel == 1);
+    }
+    EXPECT_EQ(dw, 13);
+    EXPECT_EQ(pw, 13);
+}
+
+TEST(WorkloadTest, AlternatingCtcPatternInSqueezeNet)
+{
+    // Motivation (Sec. II-B): layers alternate between low and high CTC.
+    Workload w = ExtractWorkload(BuildSqueezeNet());
+    int flips = 0;
+    for (int i = 2; i < w.NumLayers(); ++i) {
+        const double prev = w.layers[static_cast<size_t>(i - 1)].LayerCtc();
+        const double prev2 = w.layers[static_cast<size_t>(i - 2)].LayerCtc();
+        const double cur = w.layers[static_cast<size_t>(i)].LayerCtc();
+        if ((prev > prev2 && prev > cur) || (prev < prev2 && prev < cur))
+            ++flips;
+    }
+    EXPECT_GT(flips, w.NumLayers() / 3);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,263 @@
+// Tests for the Benes inter-PU fabric: topology, routing (looping and
+// randomized multicast), functional propagation and pruning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "noc/benes.h"
+
+namespace spa {
+namespace noc {
+namespace {
+
+TEST(BenesTopologyTest, StageAndNodeCounts)
+{
+    // N=2^k ports -> 2k-1 stages of N/2 nodes: O(N log N) nodes.
+    EXPECT_EQ(BenesNetwork(2).num_stages(), 1);
+    EXPECT_EQ(BenesNetwork(4).num_stages(), 3);
+    EXPECT_EQ(BenesNetwork(8).num_stages(), 5);
+    EXPECT_EQ(BenesNetwork(16).num_stages(), 7);
+    EXPECT_EQ(BenesNetwork(8).NumNodes(), 5 * 4);
+}
+
+TEST(BenesTopologyTest, NonPowerOfTwoRoundsUp)
+{
+    BenesNetwork net(6);
+    EXPECT_EQ(net.num_ports(), 6);
+    EXPECT_EQ(net.width(), 8);
+}
+
+/** Checks a routed permutation functionally. */
+void
+ExpectPermutationWorks(BenesNetwork& net, const std::vector<int>& perm,
+                       const BenesConfig& config)
+{
+    std::vector<int64_t> inputs(static_cast<size_t>(net.num_ports()));
+    for (size_t i = 0; i < inputs.size(); ++i)
+        inputs[i] = 100 + static_cast<int64_t>(i);
+    auto outputs = net.Propagate(config, inputs);
+    for (size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] < 0)
+            continue;
+        EXPECT_EQ(outputs[static_cast<size_t>(perm[i])], 100 + static_cast<int64_t>(i))
+            << "input " << i << " -> output " << perm[i];
+    }
+}
+
+TEST(BenesLoopingTest, AllPermutationsOfFour)
+{
+    BenesNetwork net(4);
+    std::vector<int> perm{0, 1, 2, 3};
+    do {
+        BenesConfig config = net.RoutePermutation(perm);
+        ExpectPermutationWorks(net, perm, config);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(BenesLoopingTest, RandomPermutationsOfSixteen)
+{
+    BenesNetwork net(16);
+    Rng rng(99);
+    std::vector<int> perm(16);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::shuffle(perm.begin(), perm.end(), rng);
+        BenesConfig config = net.RoutePermutation(perm);
+        ExpectPermutationWorks(net, perm, config);
+    }
+}
+
+TEST(BenesLoopingTest, PartialPermutation)
+{
+    BenesNetwork net(8);
+    std::vector<int> perm{3, -1, 5, -1, 0, -1, -1, 1};
+    BenesConfig config = net.RoutePermutation(perm);
+    ExpectPermutationWorks(net, perm, config);
+    // Idle outputs carry nothing.
+    std::vector<int64_t> inputs{10, 11, 12, 13, 14, 15, 16, 17};
+    auto out = net.Propagate(config, inputs);
+    EXPECT_EQ(out[2], -1);
+    EXPECT_EQ(out[4], -1);
+}
+
+TEST(BenesLoopingDeathTest, CollidingPermutationPanics)
+{
+    BenesNetwork net(4);
+    EXPECT_DEATH(net.RoutePermutation({1, 1, 2, 3}), "collision");
+}
+
+TEST(BenesRouteTest, UnicastRequests)
+{
+    BenesNetwork net(8);
+    std::vector<RouteRequest> reqs{{0, {4}}, {1, {2}}, {5, {7}}, {6, {0}}};
+    BenesConfig config;
+    ASSERT_TRUE(net.Route(reqs, config));
+    std::vector<int64_t> inputs{10, 11, 12, 13, 14, 15, 16, 17};
+    auto out = net.Propagate(config, inputs);
+    EXPECT_EQ(out[4], 10);
+    EXPECT_EQ(out[2], 11);
+    EXPECT_EQ(out[7], 15);
+    EXPECT_EQ(out[0], 16);
+}
+
+TEST(BenesRouteTest, MulticastFanout)
+{
+    BenesNetwork net(8);
+    std::vector<RouteRequest> reqs{{0, {1, 2, 3}}, {4, {5, 6}}};
+    BenesConfig config;
+    ASSERT_TRUE(net.Route(reqs, config));
+    std::vector<int64_t> inputs{10, 11, 12, 13, 14, 15, 16, 17};
+    auto out = net.Propagate(config, inputs);
+    EXPECT_EQ(out[1], 10);
+    EXPECT_EQ(out[2], 10);
+    EXPECT_EQ(out[3], 10);
+    EXPECT_EQ(out[5], 14);
+    EXPECT_EQ(out[6], 14);
+}
+
+TEST(BenesRouteTest, PipelineNeighborPattern)
+{
+    // The common SPA pattern: PU i feeds PU i+1 (reading ports = PU
+    // inputs, writing ports = PU outputs on the same index space).
+    for (int n : {4, 8, 16}) {
+        BenesNetwork net(n);
+        std::vector<RouteRequest> reqs;
+        for (int i = 0; i + 1 < n; ++i)
+            reqs.push_back({i, {i + 1}});
+        BenesConfig config;
+        ASSERT_TRUE(net.Route(reqs, config)) << "n=" << n;
+        std::vector<int64_t> inputs(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            inputs[static_cast<size_t>(i)] = i * 10;
+        auto out = net.Propagate(config, inputs);
+        for (int i = 0; i + 1 < n; ++i)
+            EXPECT_EQ(out[static_cast<size_t>(i + 1)], i * 10);
+    }
+}
+
+TEST(BenesRouteTest, RandomPermutationsViaRoute)
+{
+    BenesNetwork net(8);
+    Rng rng(5);
+    std::vector<int> perm(8);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::shuffle(perm.begin(), perm.end(), rng);
+        std::vector<RouteRequest> reqs;
+        for (int i = 0; i < 8; ++i)
+            reqs.push_back({i, {perm[static_cast<size_t>(i)]}});
+        BenesConfig config;
+        ASSERT_TRUE(net.Route(reqs, config, 1000 + static_cast<uint64_t>(trial)));
+        ExpectPermutationWorks(net, perm, config);
+    }
+}
+
+TEST(BenesRouteTest, ConflictingOutputsFail)
+{
+    BenesNetwork net(4);
+    std::vector<RouteRequest> reqs{{0, {2}}, {1, {2}}};  // both drive port 2
+    BenesConfig config;
+    EXPECT_FALSE(net.Route(reqs, config));
+}
+
+TEST(BenesPhasedTest, ConflictingOutputsSplitIntoPhases)
+{
+    // Two producers feeding one consumer time-multiplex the port.
+    BenesNetwork net(4);
+    std::vector<RouteRequest> reqs{{0, {2}}, {1, {2}}};
+    std::vector<BenesConfig> phases;
+    ASSERT_TRUE(net.RoutePhased(reqs, phases));
+    EXPECT_EQ(phases.size(), 2u);
+    // Each phase delivers its producer's token to port 2.
+    std::vector<int64_t> inputs{10, 11, 12, 13};
+    int seen0 = 0, seen1 = 0;
+    for (const auto& cfg : phases) {
+        auto out = net.Propagate(cfg, inputs);
+        seen0 += out[2] == 10;
+        seen1 += out[2] == 11;
+    }
+    EXPECT_EQ(seen0, 1);
+    EXPECT_EQ(seen1, 1);
+}
+
+TEST(BenesPhasedTest, ConflictFreeStaysSinglePhase)
+{
+    BenesNetwork net(8);
+    std::vector<RouteRequest> reqs{{0, {1}}, {2, {3, 4}}, {5, {6}}};
+    std::vector<BenesConfig> phases;
+    ASSERT_TRUE(net.RoutePhased(reqs, phases));
+    EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST(BenesPhasedTest, RespectsPrunedMask)
+{
+    BenesNetwork net(8);
+    // Prune to a single 0 -> 3 path; 1 -> 5 becomes unroutable.
+    std::vector<int> perm{3, -1, -1, -1, -1, -1, -1, -1};
+    auto prune = net.Prune({net.RoutePermutation(perm)});
+    std::vector<BenesConfig> phases;
+    EXPECT_TRUE(net.RoutePhased({{0, {3}}}, phases, 1, &prune.link_mask));
+    EXPECT_FALSE(net.RoutePhased({{1, {5}}}, phases, 1, &prune.link_mask));
+}
+
+TEST(BenesPruneTest, FullPermutationUsesEveryStage)
+{
+    // With all 8 ports live, every stage carries all signals: no
+    // reduction is possible (the win comes from *restricted* patterns).
+    BenesNetwork net(8);
+    std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7};
+    BenesConfig config = net.RoutePermutation(ident);
+    PruneStats stats = net.Prune({config});
+    EXPECT_EQ(stats.total_nodes, net.NumNodes());
+    EXPECT_EQ(stats.used_nodes, stats.total_nodes);
+}
+
+TEST(BenesPruneTest, PartialPatternPrunesNodes)
+{
+    // A single point-to-point path only touches one node per stage.
+    BenesNetwork net(8);
+    std::vector<int> perm{3, -1, -1, -1, -1, -1, -1, -1};
+    BenesConfig config = net.RoutePermutation(perm);
+    PruneStats stats = net.Prune({config});
+    EXPECT_EQ(stats.used_nodes, net.num_stages());
+    EXPECT_GT(stats.NodeReduction(), 0.5);
+}
+
+TEST(BenesPruneTest, UnionOverSegments)
+{
+    BenesNetwork net(8);
+    BenesConfig a = net.RoutePermutation({1, 2, 3, 4, 5, 6, 7, 0});
+    BenesConfig b = net.RoutePermutation({7, 0, 1, 2, 3, 4, 5, 6});
+    PruneStats sa = net.Prune({a});
+    PruneStats sab = net.Prune({a, b});
+    EXPECT_GE(sab.used_nodes, sa.used_nodes);
+    EXPECT_LE(sab.used_nodes, net.NumNodes());
+}
+
+TEST(BenesPruneTest, EmptyConfigsUseNothing)
+{
+    BenesNetwork net(8);
+    PruneStats stats = net.Prune({});
+    EXPECT_EQ(stats.used_nodes, 0);
+    EXPECT_EQ(stats.used_links, 0);
+}
+
+TEST(BenesCostTest, AreaAndEnergyScale)
+{
+    BenesNetwork net(8);
+    // Only four ports live: part of the fabric idles and gets pruned.
+    BenesConfig config = net.RoutePermutation({1, 0, 3, 2, -1, -1, -1, -1});
+    PruneStats stats = net.Prune({config});
+    EXPECT_GT(net.PrunedAreaMm2(stats), 0.0);
+    EXPECT_LT(net.PrunedAreaMm2(stats),
+              net.PrunedAreaMm2(PruneStats{0, net.NumNodes(), 0, 0, {}}));
+    EXPECT_GT(net.TransferEnergyPj(1024.0), 0.0);
+    EXPECT_NEAR(net.TransferEnergyPj(2048.0), 2.0 * net.TransferEnergyPj(1024.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace noc
+}  // namespace spa

@@ -1,0 +1,73 @@
+// Tests for the crossbar comparison fabric and its cost scaling
+// against the Benes network.
+
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.h"
+
+namespace spa {
+namespace noc {
+namespace {
+
+TEST(CrossbarTest, RoutesNonConflictingRequests)
+{
+    Crossbar xbar(8);
+    std::vector<int> selected;
+    ASSERT_TRUE(xbar.Route({{0, {3}}, {1, {2, 5}}, {7, {0}}}, selected));
+    EXPECT_EQ(selected[3], 0);
+    EXPECT_EQ(selected[2], 1);
+    EXPECT_EQ(selected[5], 1);  // native multicast
+    EXPECT_EQ(selected[0], 7);
+    EXPECT_EQ(selected[1], -1);
+}
+
+TEST(CrossbarTest, OutputContentionFails)
+{
+    Crossbar xbar(4);
+    std::vector<int> selected;
+    EXPECT_FALSE(xbar.Route({{0, {2}}, {1, {2}}}, selected));
+}
+
+TEST(CrossbarTest, AnyPermutationRoutes)
+{
+    Crossbar xbar(6);
+    std::vector<RouteRequest> reqs;
+    for (int i = 0; i < 6; ++i)
+        reqs.push_back({i, {(i * 5 + 1) % 6}});
+    std::vector<int> selected;
+    EXPECT_TRUE(xbar.Route(reqs, selected));
+}
+
+TEST(CrossbarTest, CrosspointsQuadratic)
+{
+    EXPECT_EQ(Crossbar(4).NumCrosspoints(), 16);
+    EXPECT_EQ(Crossbar(16).NumCrosspoints(), 256);
+}
+
+TEST(CrossbarVsBenesTest, BenesAreaWinsAtScale)
+{
+    // O(N^2) vs O(N log N): the crossbar is fine tiny, loses big.
+    for (int n : {16, 32, 64}) {
+        Crossbar xbar(n);
+        BenesNetwork benes(n);
+        const double benes_area =
+            benes.NumNodes() * hw::DefaultTech().benes_node_area_um2 / 1e6;
+        EXPECT_GT(xbar.AreaMm2(), benes_area) << "n=" << n;
+    }
+    // At the very small end the crossbar is competitive.
+    EXPECT_LT(Crossbar(2).AreaMm2(),
+              BenesNetwork(2).NumNodes() * hw::DefaultTech().benes_node_area_um2 /
+                  1e6 * 2.0);
+}
+
+TEST(CrossbarTest, EnergyScalesWithBytes)
+{
+    Crossbar xbar(8);
+    EXPECT_NEAR(xbar.TransferEnergyPj(2048.0), 2.0 * xbar.TransferEnergyPj(1024.0),
+                1e-9);
+    EXPECT_GT(xbar.TransferEnergyPj(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace noc
+}  // namespace spa

@@ -1,0 +1,124 @@
+// Tests for the black-box optimizers (random / SA / Bayesian).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/optimizer.h"
+
+namespace spa {
+namespace opt {
+namespace {
+
+/** Convex bowl with minimum at the center of each dimension. */
+Objective
+Bowl(const Space& space)
+{
+    return [space](const std::vector<int>& x) {
+        double v = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            const double center = (space.cardinalities[i] - 1) / 2.0;
+            const double d = x[i] - center;
+            v += d * d;
+        }
+        return v;
+    };
+}
+
+TEST(SpaceTest, NumPoints)
+{
+    Space s{{4, 5, 2}};
+    EXPECT_EQ(s.NumPoints(), 40);
+    EXPECT_EQ(s.dims(), 3);
+}
+
+TEST(RandomSearchTest, FindsGoodPointOnSmallSpace)
+{
+    Space space{{9, 9}};
+    auto result = RandomSearch(space, Bowl(space), 200, 1);
+    EXPECT_LE(result.best_value, 2.0);
+    EXPECT_EQ(result.history.size(), 200u);
+    EXPECT_EQ(result.evaluations.size(), 200u);
+}
+
+TEST(RandomSearchTest, HistoryIsMonotone)
+{
+    Space space{{9, 9, 9}};
+    auto result = RandomSearch(space, Bowl(space), 100, 3);
+    for (size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_LE(result.history[i], result.history[i - 1]);
+}
+
+TEST(SimulatedAnnealingTest, ConvergesOnBowl)
+{
+    Space space{{21, 21}};
+    auto result = SimulatedAnnealing(space, Bowl(space), 400, 5);
+    EXPECT_LE(result.best_value, 2.0);
+}
+
+TEST(SimulatedAnnealingTest, BeatsRandomOnStructuredObjective)
+{
+    // Separable bowl over a large space: coordinate descent exploits
+    // the structure, random sampling rarely lands near (40, 25).
+    Space space{{64, 64}};
+    auto objective = [](const std::vector<int>& x) {
+        const double a = x[0] - 40.0;
+        const double b = x[1] - 25.0;
+        return a * a + 20.0 * b * b;
+    };
+    double sa_total = 0.0, rnd_total = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        sa_total += SimulatedAnnealing(space, objective, 300, seed).best_value;
+        rnd_total += RandomSearch(space, objective, 300, seed + 100).best_value;
+    }
+    EXPECT_LE(sa_total, rnd_total + 1e-9);
+}
+
+TEST(BayesianTest, ConvergesOnBowl)
+{
+    Space space{{15, 15}};
+    auto result = BayesianOptimize(space, Bowl(space), 40, 7);
+    EXPECT_LE(result.best_value, 4.0);
+    EXPECT_EQ(result.evaluations.size(), 40u);
+}
+
+TEST(BayesianTest, BeatsRandomAtEqualBudget)
+{
+    // Smooth objective where the surrogate pays off; average over seeds.
+    Space space{{31, 31, 31}};
+    auto objective = [](const std::vector<int>& x) {
+        double v = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            const double d = (x[i] - 22.0) / 31.0;
+            v += d * d;
+        }
+        return v;
+    };
+    double bayes_total = 0.0, rnd_total = 0.0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        bayes_total += BayesianOptimize(space, objective, 35, seed).best_value;
+        rnd_total += RandomSearch(space, objective, 35, seed + 50).best_value;
+    }
+    EXPECT_LT(bayes_total, rnd_total);
+}
+
+TEST(OptimizersTest, Deterministic)
+{
+    Space space{{9, 9}};
+    auto a = BayesianOptimize(space, Bowl(space), 20, 11);
+    auto b = BayesianOptimize(space, Bowl(space), 20, 11);
+    EXPECT_EQ(a.best_x, b.best_x);
+    EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+}
+
+TEST(OptimizersTest, SingleCardinalityDims)
+{
+    Space space{{1, 5, 1}};
+    auto result = RandomSearch(space, Bowl(space), 30, 2);
+    EXPECT_EQ(result.best_x[0], 0);
+    EXPECT_EQ(result.best_x[2], 0);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace spa

@@ -1,0 +1,127 @@
+// Tests for the whole-model SPA schedule: segment sequencing,
+// reconfiguration bubbles, memory-bound stretching, and agreement with
+// the allocator's analytical latency.
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "nn/models.h"
+#include "pipe/schedule.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace pipe {
+namespace {
+
+struct Design
+{
+    nn::Workload w;
+    seg::Assignment a;
+    alloc::AllocationResult alloc;
+};
+
+Design
+MakeDesign(const char* model, int segments, int pus, const hw::Platform& budget)
+{
+    cost::CostModel cost_model;
+    Design d{nn::ExtractWorkload(nn::BuildModel(model)), {}, {}};
+    seg::HeuristicSegmenter segmenter;
+    EXPECT_TRUE(segmenter.Solve(d.w, segments, pus, d.a));
+    alloc::Allocator allocator(cost_model);
+    d.alloc = allocator.Allocate(d.w, d.a, budget, alloc::DesignGoal::kLatency);
+    EXPECT_TRUE(d.alloc.ok);
+    return d;
+}
+
+std::vector<std::vector<hw::Dataflow>>
+DataflowsOf(const alloc::AllocationResult& alloc_result)
+{
+    std::vector<std::vector<hw::Dataflow>> df;
+    for (const auto& seg_eval : alloc_result.segments)
+        df.push_back(seg_eval.dataflow);
+    return df;
+}
+
+TEST(SpaSchedulerTest, SlotsCoverEverySegment)
+{
+    Design d = MakeDesign("squeezenet", 4, 3, hw::EyerissBudget());
+    cost::CostModel cost_model;
+    SpaScheduler scheduler(cost_model);
+    auto schedule = scheduler.RunModel(d.w, d.a, d.alloc.config,
+                                       DataflowsOf(d.alloc));
+    EXPECT_EQ(schedule.slots.size(), 4u);
+    EXPECT_GT(schedule.total_cycles, 0);
+}
+
+TEST(SpaSchedulerTest, ReconfigurationBubblesCounted)
+{
+    Design d = MakeDesign("squeezenet", 4, 3, hw::EyerissBudget());
+    cost::CostModel cost_model;
+    SpaScheduler fast(cost_model, /*reconfig_cycles=*/0);
+    SpaScheduler slow(cost_model, /*reconfig_cycles=*/1000);
+    auto df = DataflowsOf(d.alloc);
+    auto a = fast.RunModel(d.w, d.a, d.alloc.config, df);
+    auto b = slow.RunModel(d.w, d.a, d.alloc.config, df);
+    EXPECT_EQ(a.reconfig_cycles, 0);
+    EXPECT_EQ(b.reconfig_cycles, 3 * 1000);  // S-1 switches
+    EXPECT_EQ(b.total_cycles - a.total_cycles, 3 * 1000);
+}
+
+TEST(SpaSchedulerTest, TotalIsSumOfSlotsAndBubbles)
+{
+    Design d = MakeDesign("mobilenet_v1", 6, 2, hw::NvdlaSmallBudget());
+    cost::CostModel cost_model;
+    SpaScheduler scheduler(cost_model, 64);
+    auto schedule = scheduler.RunModel(d.w, d.a, d.alloc.config,
+                                       DataflowsOf(d.alloc));
+    int64_t sum = schedule.reconfig_cycles;
+    for (const auto& slot : schedule.slots)
+        sum += slot.slot_cycles;
+    EXPECT_EQ(schedule.total_cycles, sum);
+}
+
+TEST(SpaSchedulerTest, MemoryBoundSegmentsStretched)
+{
+    // EdgeTPU: 0.5 GB/s starves the pipeline; slots go memory bound.
+    Design d = MakeDesign("squeezenet", 4, 2, hw::EdgeTpuBudget());
+    cost::CostModel cost_model;
+    SpaScheduler scheduler(cost_model);
+    auto schedule = scheduler.RunModel(d.w, d.a, d.alloc.config,
+                                       DataflowsOf(d.alloc));
+    int memory_bound = 0;
+    for (const auto& slot : schedule.slots) {
+        EXPECT_GE(slot.slot_cycles, slot.sim.total_cycles);
+        EXPECT_GE(slot.slot_cycles, slot.memory_cycles);
+        memory_bound += slot.memory_bound;
+    }
+    EXPECT_GT(memory_bound, 0);
+}
+
+TEST(SpaSchedulerTest, AgreesWithAnalyticalLatency)
+{
+    // The discrete-event schedule should land within ~35% of the
+    // allocator's closed-form estimate (fill-factor approximation).
+    Design d = MakeDesign("squeezenet", 4, 3, hw::NvdlaLargeBudget());
+    cost::CostModel cost_model;
+    SpaScheduler scheduler(cost_model);
+    auto schedule = scheduler.RunModel(d.w, d.a, d.alloc.config,
+                                       DataflowsOf(d.alloc));
+    const double simulated = schedule.Seconds(d.alloc.config.freq_ghz);
+    const double analytic = d.alloc.latency_seconds;
+    EXPECT_GT(simulated, 0.6 * analytic);
+    EXPECT_LT(simulated, 1.6 * analytic);
+}
+
+TEST(SpaSchedulerTest, SecondsScalesWithFrequency)
+{
+    Design d = MakeDesign("squeezenet", 4, 2, hw::EyerissBudget());
+    cost::CostModel cost_model;
+    SpaScheduler scheduler(cost_model);
+    auto schedule = scheduler.RunModel(d.w, d.a, d.alloc.config,
+                                       DataflowsOf(d.alloc));
+    EXPECT_NEAR(schedule.Seconds(0.2), 2.0 * schedule.Seconds(0.4), 1e-12);
+}
+
+}  // namespace
+}  // namespace pipe
+}  // namespace spa

@@ -1,0 +1,240 @@
+// Cross-module property tests: invariants that must hold over wide
+// parameter sweeps (every zoo model, grids of (S, N), every platform
+// budget), rather than at hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "autoseg/autoseg.h"
+#include "autoseg/energy.h"
+#include "baselines/models.h"
+#include "common/rng.h"
+#include "common/util.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace {
+
+// ---------------------------------------------------------------------
+// Segmentation invariants over a model x (S, N) grid.
+// ---------------------------------------------------------------------
+
+class SegmentationGridTest
+    : public testing::TestWithParam<std::tuple<const char*, int, int>>
+{
+};
+
+TEST_P(SegmentationGridTest, SolverInvariants)
+{
+    const auto& [model, segments, pus] = GetParam();
+    nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+    seg::HeuristicSegmenter segmenter;
+    seg::Assignment a;
+    if (w.NumLayers() < segments * pus) {
+        EXPECT_FALSE(segmenter.Solve(w, segments, pus, a));
+        return;
+    }
+    ASSERT_TRUE(segmenter.Solve(w, segments, pus, a));
+    // 1. Constraints (Eqs. 2-4) always hold.
+    EXPECT_EQ(seg::CheckConstraints(w, a), "");
+    seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
+    // 2. MACs partition exactly.
+    int64_t ops = 0;
+    for (int64_t v : m.seg_ops)
+        ops += v;
+    EXPECT_EQ(ops, w.TotalOps());
+    // 3. Segment DRAM never exceeds layerwise DRAM and never drops
+    //    below the irreducible floor (weights + model IO).
+    int64_t seg_access = 0;
+    for (int64_t v : m.seg_access)
+        seg_access += v;
+    int64_t layerwise = 0;
+    for (const auto& l : w.layers)
+        layerwise += l.AccessBytes();
+    int64_t floor = w.TotalWeightBytes();
+    for (const auto& e : w.edges)
+        if (e.src < 0)
+            floor += e.bytes;
+    for (int l = 0; l < w.NumLayers(); ++l)
+        if (w.out_edges[static_cast<size_t>(l)].empty())
+            floor += w.layers[static_cast<size_t>(l)].output_bytes;
+    EXPECT_LE(seg_access, layerwise);
+    EXPECT_GE(seg_access, floor);
+    // 4. Distributions are stochastic vectors.
+    for (const auto& vs : m.v) {
+        double sum = 0.0;
+        for (double v : vs) {
+            EXPECT_GE(v, 0.0);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+    // 5. SOD is bounded by 2 per segment pair.
+    EXPECT_LE(m.sod, 2.0 * segments * (segments - 1) / 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SegmentationGridTest,
+    testing::Combine(testing::Values("squeezenet", "mobilenet_v2", "resnet50",
+                                     "inception_v1"),
+                     testing::Values(1, 2, 4, 8), testing::Values(2, 3, 4)),
+    [](const testing::TestParamInfo<std::tuple<const char*, int, int>>& info) {
+        return std::string(std::get<0>(info.param)) + "_S" +
+               std::to_string(std::get<1>(info.param)) + "_N" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Allocator invariants over every platform budget.
+// ---------------------------------------------------------------------
+
+class AllocatorBudgetTest : public testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(AllocatorBudgetTest, RespectsEveryBudget)
+{
+    const hw::Platform budget = hw::PlatformByName(GetParam());
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    seg::HeuristicSegmenter segmenter;
+    seg::Assignment a;
+    ASSERT_TRUE(segmenter.Solve(w, 4, 3, a));
+    cost::CostModel cost_model;
+    alloc::Allocator allocator(cost_model);
+    for (auto goal : {alloc::DesignGoal::kLatency, alloc::DesignGoal::kThroughput}) {
+        auto result = allocator.Allocate(w, a, budget, goal);
+        ASSERT_TRUE(result.ok) << budget.name;
+        EXPECT_LE(result.config.TotalPes() * result.config.batch,
+                  budget.MacsPerCycle())
+            << budget.name;
+        EXPECT_LE(result.config.TotalBufferBytes() * result.config.batch,
+                  budget.onchip_bytes)
+            << budget.name;
+        for (const auto& pu : result.config.pus) {
+            EXPECT_TRUE(IsPow2(pu.rows));
+            EXPECT_TRUE(IsPow2(pu.cols));
+            EXPECT_GT(pu.act_buffer_bytes, 0);
+            EXPECT_GT(pu.weight_buffer_bytes, 0);
+        }
+        EXPECT_GT(result.latency_seconds, 0.0);
+        EXPECT_GT(result.pe_utilization, 0.0);
+        EXPECT_LE(result.pe_utilization, 1.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, AllocatorBudgetTest,
+                         testing::Values("eyeriss", "nvdla_small", "nvdla_large",
+                                         "edgetpu", "zu3eg", "7z045", "ku115"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                             return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Cost-model monotonicity properties.
+// ---------------------------------------------------------------------
+
+TEST(CostMonotonicityTest, MorePesNeverSlower)
+{
+    cost::CostModel model;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    for (const auto& l : w.layers) {
+        for (hw::Dataflow df :
+             {hw::Dataflow::kWeightStationary, hw::Dataflow::kOutputStationary}) {
+            int64_t prev = INT64_MAX;
+            for (int64_t size = 4; size <= 32; size *= 2) {
+                hw::PuConfig pu{size, size, 1 << 16, 1 << 16};
+                const int64_t cycles = model.ComputeCycles(l, pu, df);
+                EXPECT_LE(cycles, prev) << l.name << " size " << size;
+                prev = cycles;
+            }
+        }
+    }
+}
+
+TEST(CostMonotonicityTest, BiggerBuffersNeverMoreDram)
+{
+    cost::CostModel model;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet18());
+    for (const auto& l : w.layers) {
+        for (hw::Dataflow df :
+             {hw::Dataflow::kWeightStationary, hw::Dataflow::kOutputStationary}) {
+            int64_t prev = INT64_MAX;
+            for (int64_t bytes = 1 << 10; bytes <= 1 << 22; bytes <<= 3) {
+                hw::PuConfig pu{8, 8, bytes, bytes};
+                const int64_t dram = model.DramBytesLayerwise(l, pu, df, 1);
+                EXPECT_LE(dram, prev) << l.name;
+                prev = dram;
+            }
+        }
+    }
+}
+
+TEST(CostMonotonicityTest, CyclesTimesPesBoundedBelowByOps)
+{
+    // No configuration can beat the ideal ops/PE bound.
+    cost::CostModel model;
+    nn::Workload w = nn::ExtractWorkload(nn::BuildMobileNetV2());
+    Rng rng(3);
+    for (const auto& l : w.layers) {
+        for (int trial = 0; trial < 4; ++trial) {
+            const int64_t rows = 1LL << rng.UniformInt(1, 5);
+            const int64_t cols = 1LL << rng.UniformInt(1, 5);
+            hw::PuConfig pu{rows, cols, 1 << 16, 1 << 16};
+            for (hw::Dataflow df : {hw::Dataflow::kWeightStationary,
+                                    hw::Dataflow::kOutputStationary}) {
+                EXPECT_GE(model.ComputeCycles(l, pu, df) * pu.NumPes(), l.ops)
+                    << l.name;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end invariants per zoo model.
+// ---------------------------------------------------------------------
+
+class EndToEndModelTest : public testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(EndToEndModelTest, EngineAndBaselinesConsistent)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildModel(GetParam()));
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    autoseg::Engine engine(cost_model, options);
+    const hw::Platform budget = hw::NvdlaSmallBudget();
+    auto spa = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(spa.ok) << GetParam();
+
+    // Energy breakdown sane; fabric share small.
+    auto energy =
+        autoseg::EvaluateSpaEnergy(cost_model, w, spa.assignment, spa.alloc);
+    EXPECT_GT(energy.TotalPj(), 0.0);
+    EXPECT_LT(energy.other_pj / energy.TotalPj(), 0.08) << GetParam();
+
+    // The SPA design's DRAM traffic beats the layerwise baseline's.
+    baselines::NoPipelineModel no_pipe(cost_model);
+    auto base = no_pipe.Evaluate(w, budget);
+    int64_t spa_dram = 0;
+    for (int s = 0; s < spa.assignment.num_segments; ++s)
+        spa_dram += seg::SegmentAccessBytes(w, spa.assignment, s);
+    EXPECT_LE(spa_dram, base.dram_bytes) << GetParam();
+
+    // At this bandwidth-starved budget SPA must win end to end.
+    EXPECT_LT(spa.alloc.latency_seconds, base.latency_seconds) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, EndToEndModelTest,
+                         testing::Values("alexnet", "vgg16", "mobilenet_v1",
+                                         "mobilenet_v2", "resnet18", "squeezenet",
+                                         "inception_v1", "efficientnet_b0"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                             return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spa

@@ -1,0 +1,91 @@
+// Tests for the Eq. 1 circular activation buffer.
+
+#include <gtest/gtest.h>
+
+#include "pu/actbuf.h"
+
+namespace spa {
+namespace pu {
+namespace {
+
+TEST(ActBufTest, OffsetMatchesEquationOne)
+{
+    // offset = floor(c/Rn) + w*ceil(Ci/Rn) + (h % (K+S)) * Wi * ceil(Ci/Rn)
+    const int64_t rn = 4, ci = 10, wi = 7, k = 3, s = 2;
+    ActivationBuffer buf(rn, ci, wi, k, s);
+    const int64_t wpc = (ci + rn - 1) / rn;  // ceil(10/4) = 3
+    for (int64_t c = 0; c < ci; ++c) {
+        for (int64_t w = 0; w < wi; ++w) {
+            for (int64_t h = 0; h < 12; ++h) {
+                EXPECT_EQ(buf.Offset(c, w, h),
+                          c / rn + w * wpc + (h % (k + s)) * wi * wpc);
+            }
+        }
+    }
+}
+
+TEST(ActBufTest, ActiveRowWindowIsKPlusS)
+{
+    ActivationBuffer buf(2, 4, 5, 3, 2);
+    EXPECT_EQ(buf.ActiveRows(), 5);
+}
+
+TEST(ActBufTest, CapacityCoversActiveWindow)
+{
+    const int64_t rn = 4, ci = 10, wi = 7, k = 3, s = 1;
+    ActivationBuffer buf(rn, ci, wi, k, s);
+    // (K+S) rows x Wi cols x ceil(Ci/Rn) words x Rn bytes.
+    EXPECT_EQ(buf.CapacityBytes(), (k + s) * wi * 3 * rn);
+}
+
+TEST(ActBufTest, ReadBackWithinWindow)
+{
+    ActivationBuffer buf(4, 8, 6, 3, 1);
+    for (int64_t h = 0; h < buf.ActiveRows(); ++h)
+        for (int64_t c = 0; c < 8; ++c)
+            for (int64_t w = 0; w < 6; ++w)
+                buf.Write(c, w, h, static_cast<int8_t>((h * 48 + c * 6 + w) % 100));
+    for (int64_t h = 0; h < buf.ActiveRows(); ++h)
+        for (int64_t c = 0; c < 8; ++c)
+            for (int64_t w = 0; w < 6; ++w)
+                EXPECT_EQ(buf.Read(c, w, h),
+                          static_cast<int8_t>((h * 48 + c * 6 + w) % 100));
+}
+
+TEST(ActBufTest, CircularOverwriteAliasesRows)
+{
+    // Writing row h + (K+S) lands on the same storage as row h: the
+    // hardware streams rows in and old rows expire.
+    ActivationBuffer buf(2, 4, 4, 3, 2);
+    const int64_t window = buf.ActiveRows();
+    buf.Write(1, 2, 0, 42);
+    EXPECT_EQ(buf.Read(1, 2, 0), 42);
+    buf.Write(1, 2, window, 77);  // aliases row 0
+    EXPECT_EQ(buf.Read(1, 2, 0), 77);
+    EXPECT_EQ(buf.Read(1, 2, window), 77);
+}
+
+TEST(ActBufTest, DistinctElementsWithinWindowDontCollide)
+{
+    // Within one active window, every (c, w, h) maps to a distinct byte.
+    const int64_t rn = 4, ci = 6, wi = 5, k = 3, s = 1;
+    ActivationBuffer buf(rn, ci, wi, k, s);
+    std::vector<int> seen(static_cast<size_t>(buf.CapacityBytes()), 0);
+    for (int64_t h = 0; h < buf.ActiveRows(); ++h)
+        for (int64_t c = 0; c < ci; ++c)
+            for (int64_t w = 0; w < wi; ++w)
+                seen[static_cast<size_t>(buf.Offset(c, w, h) * rn + c % rn)]++;
+    for (int v : seen)
+        EXPECT_LE(v, 1);
+}
+
+TEST(ActBufDeathTest, OutOfRangePanics)
+{
+    ActivationBuffer buf(2, 4, 4, 3, 1);
+    EXPECT_DEATH(buf.Offset(4, 0, 0), "channel out of range");
+    EXPECT_DEATH(buf.Offset(0, 4, 0), "column out of range");
+}
+
+}  // namespace
+}  // namespace pu
+}  // namespace spa

@@ -1,0 +1,214 @@
+// Tests for the cycle-level systolic array and the PU conv driver:
+// functional equivalence with the golden reference in both dataflows.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pu/driver.h"
+#include "pu/reference.h"
+#include "pu/systolic.h"
+
+namespace spa {
+namespace pu {
+namespace {
+
+std::vector<std::vector<int8_t>>
+RandomMat(Rng& rng, int64_t rows, int64_t cols)
+{
+    std::vector<std::vector<int8_t>> m(static_cast<size_t>(rows),
+                                       std::vector<int8_t>(static_cast<size_t>(cols)));
+    for (auto& row : m)
+        for (auto& v : row)
+            v = static_cast<int8_t>(rng.UniformInt(-8, 8));
+    return m;
+}
+
+std::vector<std::vector<int32_t>>
+MatMul(const std::vector<std::vector<int8_t>>& a,
+       const std::vector<std::vector<int8_t>>& b)
+{
+    const size_t m = a.size(), k = b.size(), n = b[0].size();
+    std::vector<std::vector<int32_t>> out(m, std::vector<int32_t>(n, 0));
+    for (size_t i = 0; i < m; ++i)
+        for (size_t kk = 0; kk < k; ++kk)
+            for (size_t j = 0; j < n; ++j)
+                out[i][j] += static_cast<int32_t>(a[i][kk]) * b[kk][j];
+    return out;
+}
+
+TEST(SystolicWsTest, MatchesMatMul)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int64_t r = rng.UniformInt(1, 8);
+        const int64_t c = rng.UniformInt(1, 8);
+        const int64_t m = rng.UniformInt(1, 20);
+        SystolicArray array(r, c);
+        auto a = RandomMat(rng, m, r);
+        auto w = RandomMat(rng, r, c);
+        SystolicResult res = array.RunWeightStationary(a, w);
+        EXPECT_EQ(res.out, MatMul(a, w)) << "r=" << r << " c=" << c << " m=" << m;
+        EXPECT_EQ(res.cycles, array.WsCycles(m));
+    }
+}
+
+TEST(SystolicOsTest, MatchesMatMul)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int64_t r = rng.UniformInt(1, 8);
+        const int64_t c = rng.UniformInt(1, 8);
+        const int64_t k = rng.UniformInt(1, 30);
+        SystolicArray array(r, c);
+        auto a = RandomMat(rng, r, k);
+        auto b = RandomMat(rng, k, c);
+        SystolicResult res = array.RunOutputStationary(a, b);
+        EXPECT_EQ(res.out, MatMul(a, b)) << "r=" << r << " c=" << c << " k=" << k;
+        EXPECT_EQ(res.cycles, array.OsCycles(k));
+    }
+}
+
+TEST(SystolicTest, SingleElementArray)
+{
+    SystolicArray array(1, 1);
+    auto res = array.RunWeightStationary({{3}, {5}}, {{2}});
+    EXPECT_EQ(res.out[0][0], 6);
+    EXPECT_EQ(res.out[1][0], 10);
+}
+
+struct ConvCase
+{
+    const char* label;
+    int64_t cin, h, w, cout, k, stride, pad, groups;
+    int64_t rows, cols;
+};
+
+class PuDriverConvTest : public testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(PuDriverConvTest, BothDataflowsMatchReference)
+{
+    const ConvCase& cc = GetParam();
+    Rng rng(7);
+    Tensor3 input(cc.cin, cc.h, cc.w);
+    input.FillRandom(rng);
+    Weights4 weights(cc.cout, cc.cin / cc.groups, cc.k);
+    weights.FillRandom(rng);
+
+    Tensor3i32 golden = ReferenceConv(input, weights, cc.stride, cc.pad, cc.groups);
+    PuDriver driver(cc.rows, cc.cols);
+    for (hw::Dataflow df :
+         {hw::Dataflow::kWeightStationary, hw::Dataflow::kOutputStationary}) {
+        ConvRunResult res = driver.RunConv(input, weights, cc.stride, cc.pad,
+                                           cc.groups, df);
+        EXPECT_TRUE(res.out == golden)
+            << cc.label << " dataflow=" << hw::DataflowName(df);
+        EXPECT_GT(res.cycles, 0);
+        EXPECT_GT(res.Utilization(cc.rows * cc.cols), 0.0);
+        EXPECT_LE(res.Utilization(cc.rows * cc.cols), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Convs, PuDriverConvTest,
+    testing::Values(
+        ConvCase{"pointwise", 8, 6, 6, 16, 1, 1, 0, 1, 4, 4},
+        ConvCase{"k3_same", 4, 8, 8, 8, 3, 1, 1, 1, 4, 4},
+        ConvCase{"k3_stride2", 6, 9, 9, 10, 3, 2, 1, 1, 4, 4},
+        ConvCase{"k5_pad2", 3, 10, 10, 6, 5, 1, 2, 1, 8, 4},
+        ConvCase{"grouped", 8, 6, 6, 8, 3, 1, 1, 2, 4, 4},
+        ConvCase{"depthwise", 6, 8, 8, 6, 3, 1, 1, 6, 4, 4},
+        ConvCase{"tall_array", 8, 5, 5, 4, 3, 1, 1, 1, 16, 2},
+        ConvCase{"wide_array", 8, 5, 5, 32, 3, 1, 1, 1, 2, 16}),
+    [](const testing::TestParamInfo<ConvCase>& info) { return info.param.label; });
+
+TEST(PuDriverTest, DepthwiseUtilizationWsMuchWorseThanOs)
+{
+    // The structural reason for dataflow-hybrid PUs (Sec. VI-H):
+    // depthwise convs starve a WS array whose rows map input channels.
+    Rng rng(3);
+    Tensor3 input(16, 12, 12);
+    input.FillRandom(rng);
+    Weights4 weights(16, 1, 3);
+    weights.FillRandom(rng);
+    PuDriver driver(8, 8);
+    auto ws = driver.RunConv(input, weights, 1, 1, 16, hw::Dataflow::kWeightStationary);
+    auto os = driver.RunConv(input, weights, 1, 1, 16, hw::Dataflow::kOutputStationary);
+    EXPECT_LT(ws.Utilization(64), os.Utilization(64));
+}
+
+TEST(PuDriverTest, WeightReadsFavorWsForLargeOutputMaps)
+{
+    // WS fetches each weight once per residency; OS streams weights for
+    // every output tile.
+    Rng rng(4);
+    Tensor3 input(8, 16, 16);
+    input.FillRandom(rng);
+    Weights4 weights(8, 8, 3);
+    weights.FillRandom(rng);
+    PuDriver driver(8, 8);
+    auto ws = driver.RunConv(input, weights, 1, 1, 1, hw::Dataflow::kWeightStationary);
+    auto os = driver.RunConv(input, weights, 1, 1, 1, hw::Dataflow::kOutputStationary);
+    EXPECT_LT(ws.weight_reads, os.weight_reads);
+}
+
+TEST(ReferenceTest, KnownTinyConv)
+{
+    // 1x2x2 input, identity-ish 1x1 kernel.
+    Tensor3 input(1, 2, 2);
+    input.at(0, 0, 0) = 1;
+    input.at(0, 0, 1) = 2;
+    input.at(0, 1, 0) = 3;
+    input.at(0, 1, 1) = 4;
+    Weights4 w(1, 1, 1);
+    w.at(0, 0, 0, 0) = 2;
+    Tensor3i32 out = ReferenceConv(input, w, 1, 0, 1);
+    EXPECT_EQ(out.at(0, 0, 0), 2);
+    EXPECT_EQ(out.at(0, 1, 1), 8);
+}
+
+TEST(ReferenceTest, MaxPool)
+{
+    Tensor3 input(1, 4, 4);
+    for (int64_t h = 0; h < 4; ++h)
+        for (int64_t w = 0; w < 4; ++w)
+            input.at(0, h, w) = static_cast<int8_t>(h * 4 + w);
+    Tensor3 out = ReferenceMaxPool(input, 2, 2);
+    EXPECT_EQ(out.h(), 2);
+    EXPECT_EQ(out.at(0, 0, 0), 5);
+    EXPECT_EQ(out.at(0, 1, 1), 15);
+}
+
+TEST(ReferenceTest, AddSaturates)
+{
+    Tensor3 a(1, 1, 1), b(1, 1, 1);
+    a.at(0, 0, 0) = 100;
+    b.at(0, 0, 0) = 100;
+    EXPECT_EQ(ReferenceAdd(a, b).at(0, 0, 0), 127);
+}
+
+TEST(ReferenceTest, FullyConnected)
+{
+    Tensor3 input(2, 1, 1);
+    input.at(0, 0, 0) = 3;
+    input.at(1, 0, 0) = -2;
+    std::vector<int8_t> weights{1, 2, 5, -1};  // 2 outputs x 2 inputs
+    auto out = ReferenceFullyConnected(input, weights, 2);
+    EXPECT_EQ(out[0], 3 * 1 + (-2) * 2);
+    EXPECT_EQ(out[1], 3 * 5 + (-2) * (-1));
+}
+
+TEST(RequantizeTest, ShiftAndClamp)
+{
+    Tensor3i32 acc(1, 1, 2);
+    acc.at(0, 0, 0) = 1024;
+    acc.at(0, 0, 1) = -100000;
+    Tensor3 q = Requantize(acc, 4);
+    EXPECT_EQ(q.at(0, 0, 0), 64);
+    EXPECT_EQ(q.at(0, 0, 1), -128);
+}
+
+}  // namespace
+}  // namespace pu
+}  // namespace spa

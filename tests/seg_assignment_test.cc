@@ -1,0 +1,201 @@
+// Tests for the segmentation encoding, constraints and metrics.
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace seg {
+namespace {
+
+nn::Workload
+ChainWorkload(int num_layers)
+{
+    nn::Graph g("chain");
+    nn::LayerId x = g.AddInput("input", {4, 16, 16});
+    for (int i = 0; i < num_layers; ++i)
+        x = g.AddConv("c" + std::to_string(i), x, 4, 3, 1, 1);
+    return nn::ExtractWorkload(g);
+}
+
+TEST(AssignmentTest, SingleSegmentSinglePuValid)
+{
+    nn::Workload w = ChainWorkload(4);
+    Assignment a = SingleSegmentSinglePu(w);
+    EXPECT_EQ(CheckConstraints(w, a), "");
+}
+
+TEST(AssignmentTest, EvenSegmentationValid)
+{
+    nn::Workload w = ChainWorkload(8);
+    Assignment a = EvenSegmentation(w, 4, 2);
+    EXPECT_EQ(a.num_segments, 2);
+    EXPECT_EQ(CheckConstraints(w, a), "");
+}
+
+TEST(AssignmentTest, BackwardsEdgeRejected)
+{
+    nn::Workload w = ChainWorkload(2);
+    Assignment a;
+    a.num_segments = 2;
+    a.num_pus = 1;
+    a.segment_of = {1, 0};  // consumer before producer
+    a.pu_of = {0, 0};
+    EXPECT_NE(CheckConstraints(w, a), "");
+}
+
+TEST(AssignmentTest, IdlePuRejected)
+{
+    nn::Workload w = ChainWorkload(4);
+    Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 3;
+    a.segment_of = {0, 0, 0, 0};
+    a.pu_of = {0, 0, 1, 1};  // PU 2 idles
+    EXPECT_NE(CheckConstraints(w, a), "");
+}
+
+TEST(AssignmentTest, CyclicPuPipelineRejected)
+{
+    nn::Workload w = ChainWorkload(4);
+    Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 2;
+    a.segment_of = {0, 0, 0, 0};
+    a.pu_of = {0, 1, 0, 1};  // 0 -> 1 -> 0 cycle
+    EXPECT_NE(CheckConstraints(w, a), "");
+    EXPECT_NE(CheckConstraints(w, a).find("cyclic"), std::string::npos);
+}
+
+TEST(AssignmentTest, AlternatingLayersOnSamePuAllowed)
+{
+    // Multiple layers per PU (Fig. 8: L6 and L7 alternate on a PU):
+    // consecutive layers on PU 0, then the rest on PU 1.
+    nn::Workload w = ChainWorkload(4);
+    Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 2;
+    a.segment_of = {0, 0, 0, 0};
+    a.pu_of = {0, 0, 1, 1};
+    EXPECT_EQ(CheckConstraints(w, a), "");
+}
+
+TEST(MetricsTest, PipelineRemovesIntermediateTraffic)
+{
+    nn::Workload w = ChainWorkload(4);
+    Assignment no_pipe = SingleSegmentSinglePu(w);
+    // Layerwise access (sum over layers of in+w+out) vs segment access.
+    int64_t layerwise = 0;
+    for (const auto& l : w.layers)
+        layerwise += l.AccessBytes();
+    const int64_t pipelined = SegmentAccessBytes(w, no_pipe, 0);
+    EXPECT_LT(pipelined, layerwise);
+    // Pipelined = weights + external input + final output.
+    int64_t expect = 0;
+    for (const auto& l : w.layers)
+        expect += l.weight_bytes;
+    expect += w.layers[0].input_bytes;
+    expect += w.layers.back().output_bytes;
+    EXPECT_EQ(pipelined, expect);
+}
+
+TEST(MetricsTest, CrossSegmentEdgeCountedOnBothSides)
+{
+    nn::Workload w = ChainWorkload(2);
+    Assignment a;
+    a.num_segments = 2;
+    a.num_pus = 1;
+    a.segment_of = {0, 1};
+    a.pu_of = {0, 0};
+    const int64_t mid = w.layers[0].output_bytes;
+    // Segment 0: input + weights + write mid. Segment 1: read mid +
+    // weights + write out.
+    EXPECT_EQ(SegmentAccessBytes(w, a, 0),
+              w.layers[0].input_bytes + w.layers[0].weight_bytes + mid);
+    EXPECT_EQ(SegmentAccessBytes(w, a, 1),
+              mid + w.layers[1].weight_bytes + w.layers[1].output_bytes);
+}
+
+TEST(MetricsTest, OpsPartitionTotal)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    Assignment a = EvenSegmentation(w, 6, 2);
+    SegmentMetrics m = ComputeMetrics(w, a);
+    int64_t total = 0;
+    for (int s = 0; s < a.num_segments; ++s)
+        total += m.seg_ops[static_cast<size_t>(s)];
+    EXPECT_EQ(total, w.TotalOps());
+}
+
+TEST(MetricsTest, DistributionsSumToOne)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    Assignment a = EvenSegmentation(w, 6, 3);
+    SegmentMetrics m = ComputeMetrics(w, a);
+    for (const auto& vs : m.v) {
+        double sum = 0.0;
+        for (double x : vs)
+            sum += x;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(MetricsTest, SodZeroForIdenticalDistributions)
+{
+    nn::Workload w = ChainWorkload(4);  // identical layers
+    Assignment a;
+    a.num_segments = 2;
+    a.num_pus = 2;
+    a.segment_of = {0, 0, 1, 1};
+    a.pu_of = {0, 1, 0, 1};
+    SegmentMetrics m = ComputeMetrics(w, a);
+    EXPECT_NEAR(m.sod, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, ObjectiveCombinesBothTerms)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    Assignment a = EvenSegmentation(w, 6, 2);
+    SegmentMetrics m = ComputeMetrics(w, a);
+    EXPECT_NEAR(m.Objective(), 1.0 / m.min_ctc + m.sod, 1e-12);
+    EXPECT_GT(m.min_ctc, 0.0);
+}
+
+TEST(MetricsTest, SegmentationRaisesMinCtcOverLayerwise)
+{
+    // The Fig. 3 story: segment CTC beats the worst layerwise CTC.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    double worst_layer = 1e30;
+    for (const auto& l : w.layers)
+        worst_layer = std::min(worst_layer, l.LayerCtc());
+    Assignment a = EvenSegmentation(w, 6, 1);
+    SegmentMetrics m = ComputeMetrics(w, a);
+    EXPECT_GT(m.min_ctc, worst_layer);
+}
+
+TEST(CommsTest, IntraSegmentCrossPuEdgesReported)
+{
+    nn::Workload w = ChainWorkload(4);
+    Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 2;
+    a.segment_of = {0, 0, 0, 0};
+    a.pu_of = {0, 0, 1, 1};
+    auto comms = SegmentComms(w, a, 0);
+    ASSERT_EQ(comms.size(), 1u);
+    EXPECT_EQ(comms[0].src_pu, 0);
+    EXPECT_EQ(comms[0].dst_pu, 1);
+    EXPECT_EQ(comms[0].bytes, w.layers[1].output_bytes);
+}
+
+TEST(CommsTest, SamePuEdgesExcluded)
+{
+    nn::Workload w = ChainWorkload(3);
+    Assignment a = SingleSegmentSinglePu(w);
+    EXPECT_TRUE(SegmentComms(w, a, 0).empty());
+}
+
+}  // namespace
+}  // namespace seg
+}  // namespace spa

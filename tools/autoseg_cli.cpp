@@ -1,0 +1,175 @@
+// autoseg: command-line front end for the whole flow.
+//
+//   autoseg --model squeezenet --platform eyeriss --goal latency
+//   autoseg --model-json my_net.json --platform ku115 --goal throughput
+//           --record design.json --dot design.dot --rtl rtl_out/
+//
+// Runs segmentation + allocation, prints the design summary, and
+// optionally writes the machine-readable record, a Graphviz view of the
+// segmentation, and the generated SystemVerilog bundle.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "autoseg/autoseg.h"
+#include "common/logging.h"
+#include "autoseg/energy.h"
+#include "autoseg/record.h"
+#include "cost/profile.h"
+#include "nn/loader.h"
+#include "nn/models.h"
+#include "rtl/emit.h"
+#include "seg/dot.h"
+
+using namespace spa;
+
+namespace {
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: autoseg --model <zoo-name> | --model-json <file.json>\n"
+        "               --platform <eyeriss|nvdla_small|nvdla_large|edgetpu|\n"
+        "                           zu3eg|7z045|ku115>\n"
+        "               [--goal latency|throughput]   (default latency)\n"
+        "               [--pus N[,N...]]              PU-count candidates\n"
+        "               [--record out.json]           design record\n"
+        "               [--dot out.dot]               segmentation graph\n"
+        "               [--rtl out_dir/]              SystemVerilog bundle\n"
+        "               [--profile]                   per-layer profile table\n"
+        "               [--quiet]\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    bool quiet = false;
+    bool profile = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--quiet") {
+            quiet = true;
+        } else if (key == "--profile") {
+            profile = true;
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (quiet)
+        spa::detail::SetQuiet(true);
+    if (!args.count("model") && !args.count("model-json")) {
+        PrintUsage();
+        return 1;
+    }
+
+    nn::Graph graph = args.count("model-json")
+                          ? nn::LoadGraph(args["model-json"])
+                          : nn::BuildModel(args["model"]);
+    nn::Workload workload = nn::ExtractWorkload(graph);
+    const hw::Platform platform =
+        hw::PlatformByName(args.count("platform") ? args["platform"] : "eyeriss");
+    const alloc::DesignGoal goal = args["goal"] == "throughput"
+                                       ? alloc::DesignGoal::kThroughput
+                                       : alloc::DesignGoal::kLatency;
+
+    cost::CostModel cost_model;
+    if (profile) {
+        std::printf("%s\n",
+                    cost::ProfileWorkload(cost_model, workload, platform)
+                        .ToTable()
+                        .c_str());
+    }
+    autoseg::CoDesignOptions options;
+    if (args.count("pus")) {
+        options.pu_candidates.clear();
+        const std::string& list = args["pus"];
+        size_t pos = 0;
+        while (pos < list.size()) {
+            size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            options.pu_candidates.push_back(std::stoi(list.substr(pos, comma - pos)));
+            pos = comma + 1;
+        }
+    }
+    autoseg::Engine engine(cost_model, options);
+    autoseg::CoDesignResult result = engine.Run(workload, platform, goal);
+    if (!result.ok) {
+        std::fprintf(stderr, "no feasible SPA design for %s on %s\n",
+                     workload.name.c_str(), platform.name.c_str());
+        return 2;
+    }
+
+    std::printf("model:      %s (%d compute layers, %.2f GMACs)\n",
+                workload.name.c_str(), workload.NumLayers(),
+                static_cast<double>(workload.TotalOps()) / 1e9);
+    std::printf("platform:   %s\n", platform.name.c_str());
+    std::printf("design:     %d segments x %d PUs\n", result.assignment.num_segments,
+                result.assignment.num_pus);
+    std::printf("hardware:   %s\n", result.alloc.config.ToString().c_str());
+    std::printf("metrics:    min CTC %.1f OPs/B, SOD %.3f\n", result.metrics.min_ctc,
+                result.metrics.sod);
+    std::printf("latency:    %.3f ms\n", result.alloc.latency_seconds * 1e3);
+    std::printf("throughput: %.1f fps (batch %ld)\n", result.alloc.throughput_fps,
+                static_cast<long>(result.alloc.config.batch));
+    std::printf("PE util:    %.1f%%\n", 100.0 * result.alloc.pe_utilization);
+    auto energy =
+        autoseg::EvaluateSpaEnergy(cost_model, workload, result.assignment,
+                                   result.alloc);
+    std::printf("energy:     %.3f mJ/frame (DRAM %.0f%%, buffers %.0f%%, "
+                "MACs %.0f%%, other %.1f%%)\n",
+                energy.TotalPj() / 1e9, 100.0 * energy.dram_pj / energy.TotalPj(),
+                100.0 * energy.buffer_pj / energy.TotalPj(),
+                100.0 * energy.mac_pj / energy.TotalPj(),
+                100.0 * energy.other_pj / energy.TotalPj());
+
+    if (args.count("record")) {
+        autoseg::SaveRecord(args["record"], workload, result);
+        std::printf("record:     %s\n", args["record"].c_str());
+    }
+    if (args.count("dot")) {
+        std::ofstream out(args["dot"]);
+        out << seg::SegmentationToDot(workload, result.assignment);
+        std::printf("dot:        %s\n", args["dot"].c_str());
+    }
+    if (args.count("rtl")) {
+        noc::BenesNetwork fabric(std::max(2, result.assignment.num_pus));
+        std::vector<noc::BenesConfig> configs;
+        for (int s = 0; s < result.assignment.num_segments; ++s) {
+            std::map<int, std::vector<int>> fanout;
+            for (const auto& comm :
+                 seg::SegmentComms(workload, result.assignment, s)) {
+                fanout[comm.src_pu].push_back(comm.dst_pu);
+            }
+            std::vector<noc::RouteRequest> requests;
+            for (auto& [src, dsts] : fanout)
+                requests.push_back({src, dsts});
+            std::vector<noc::BenesConfig> phases;
+            if (!requests.empty() && fabric.RoutePhased(requests, phases))
+                for (const auto& cfg : phases)
+                    configs.push_back(cfg);
+        }
+        rtl::RtlBundle bundle =
+            rtl::GenerateRtl(result.alloc.config, result.assignment.num_segments,
+                             fabric, configs);
+        rtl::WriteBundle(bundle, args["rtl"]);
+        std::printf("rtl:        %s (%zu files, %lld lines)\n", args["rtl"].c_str(),
+                    bundle.files.size(),
+                    static_cast<long long>(bundle.TotalLines()));
+    }
+    return 0;
+}
