@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interconnect.dir/ablation_interconnect.cc.o"
+  "CMakeFiles/ablation_interconnect.dir/ablation_interconnect.cc.o.d"
+  "ablation_interconnect"
+  "ablation_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segments.dir/ablation_segments.cc.o"
+  "CMakeFiles/ablation_segments.dir/ablation_segments.cc.o.d"
+  "ablation_segments"
+  "ablation_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_roofline.dir/fig02_roofline.cc.o"
+  "CMakeFiles/fig02_roofline.dir/fig02_roofline.cc.o.d"
+  "fig02_roofline"
+  "fig02_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ctc_models.dir/fig03_ctc_models.cc.o"
+  "CMakeFiles/fig03_ctc_models.dir/fig03_ctc_models.cc.o.d"
+  "fig03_ctc_models"
+  "fig03_ctc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ctc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ctc_squeezenet.dir/fig04_ctc_squeezenet.cc.o"
+  "CMakeFiles/fig04_ctc_squeezenet.dir/fig04_ctc_squeezenet.cc.o.d"
+  "fig04_ctc_squeezenet"
+  "fig04_ctc_squeezenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ctc_squeezenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

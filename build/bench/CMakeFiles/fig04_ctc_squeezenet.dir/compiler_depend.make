@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_ctc_squeezenet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_ops_distribution.cc" "bench/CMakeFiles/fig05_ops_distribution.dir/fig05_ops_distribution.cc.o" "gcc" "bench/CMakeFiles/fig05_ops_distribution.dir/fig05_ops_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/spa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/spa_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/spa_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/spa_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ops_distribution.dir/fig05_ops_distribution.cc.o"
+  "CMakeFiles/fig05_ops_distribution.dir/fig05_ops_distribution.cc.o.d"
+  "fig05_ops_distribution"
+  "fig05_ops_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ops_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

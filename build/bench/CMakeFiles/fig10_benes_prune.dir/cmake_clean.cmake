@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_benes_prune.dir/fig10_benes_prune.cc.o"
+  "CMakeFiles/fig10_benes_prune.dir/fig10_benes_prune.cc.o.d"
+  "fig10_benes_prune"
+  "fig10_benes_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_benes_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

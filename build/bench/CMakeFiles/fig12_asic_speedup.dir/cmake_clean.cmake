@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_asic_speedup.dir/fig12_asic_speedup.cc.o"
+  "CMakeFiles/fig12_asic_speedup.dir/fig12_asic_speedup.cc.o.d"
+  "fig12_asic_speedup"
+  "fig12_asic_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_asic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_access_reduction.dir/fig13_access_reduction.cc.o"
+  "CMakeFiles/fig13_access_reduction.dir/fig13_access_reduction.cc.o.d"
+  "fig13_access_reduction"
+  "fig13_access_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_access_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

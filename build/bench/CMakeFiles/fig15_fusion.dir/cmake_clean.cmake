@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fusion.dir/fig15_fusion.cc.o"
+  "CMakeFiles/fig15_fusion.dir/fig15_fusion.cc.o.d"
+  "fig15_fusion"
+  "fig15_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_energy.dir/fig16_energy.cc.o"
+  "CMakeFiles/fig16_energy.dir/fig16_energy.cc.o.d"
+  "fig16_energy"
+  "fig16_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_generality.dir/fig17_generality.cc.o"
+  "CMakeFiles/fig17_generality.dir/fig17_generality.cc.o.d"
+  "fig17_generality"
+  "fig17_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_codesign.dir/fig18_codesign.cc.o"
+  "CMakeFiles/fig18_codesign.dir/fig18_codesign.cc.o.d"
+  "fig18_codesign"
+  "fig18_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig19_dataflow.cc" "bench/CMakeFiles/fig19_dataflow.dir/fig19_dataflow.cc.o" "gcc" "bench/CMakeFiles/fig19_dataflow.dir/fig19_dataflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/spa_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/spa_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spa_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dataflow.dir/fig19_dataflow.cc.o"
+  "CMakeFiles/fig19_dataflow.dir/fig19_dataflow.cc.o.d"
+  "fig19_dataflow"
+  "fig19_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

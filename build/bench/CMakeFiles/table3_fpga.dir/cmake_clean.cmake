@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fpga.dir/table3_fpga.cc.o"
+  "CMakeFiles/table3_fpga.dir/table3_fpga.cc.o.d"
+  "table3_fpga"
+  "table3_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

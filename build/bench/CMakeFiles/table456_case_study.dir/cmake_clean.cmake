@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table456_case_study.dir/table456_case_study.cc.o"
+  "CMakeFiles/table456_case_study.dir/table456_case_study.cc.o.d"
+  "table456_case_study"
+  "table456_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table456_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_throughput.dir/datacenter_throughput.cpp.o"
+  "CMakeFiles/datacenter_throughput.dir/datacenter_throughput.cpp.o.d"
+  "datacenter_throughput"
+  "datacenter_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_vision.dir/edge_vision.cpp.o"
+  "CMakeFiles/edge_vision.dir/edge_vision.cpp.o.d"
+  "edge_vision"
+  "edge_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

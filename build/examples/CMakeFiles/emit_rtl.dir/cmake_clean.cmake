@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_rtl.dir/emit_rtl.cpp.o"
+  "CMakeFiles/emit_rtl.dir/emit_rtl.cpp.o.d"
+  "emit_rtl"
+  "emit_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_segment.dir/functional_segment.cpp.o"
+  "CMakeFiles/functional_segment.dir/functional_segment.cpp.o.d"
+  "functional_segment"
+  "functional_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

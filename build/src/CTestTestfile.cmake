@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("la")
+subdirs("nn")
+subdirs("hw")
+subdirs("roofline")
+subdirs("noc")
+subdirs("pu")
+subdirs("cost")
+subdirs("pipe")
+subdirs("mip")
+subdirs("opt")
+subdirs("seg")
+subdirs("alloc")
+subdirs("autoseg")
+subdirs("baselines")
+subdirs("rtl")

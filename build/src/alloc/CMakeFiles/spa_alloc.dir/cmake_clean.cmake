@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_alloc.dir/allocator.cc.o"
+  "CMakeFiles/spa_alloc.dir/allocator.cc.o.d"
+  "libspa_alloc.a"
+  "libspa_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_autoseg.dir/autoseg.cc.o"
+  "CMakeFiles/spa_autoseg.dir/autoseg.cc.o.d"
+  "CMakeFiles/spa_autoseg.dir/energy.cc.o"
+  "CMakeFiles/spa_autoseg.dir/energy.cc.o.d"
+  "CMakeFiles/spa_autoseg.dir/record.cc.o"
+  "CMakeFiles/spa_autoseg.dir/record.cc.o.d"
+  "libspa_autoseg.a"
+  "libspa_autoseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_autoseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_baselines.dir/models.cc.o"
+  "CMakeFiles/spa_baselines.dir/models.cc.o.d"
+  "CMakeFiles/spa_baselines.dir/published.cc.o"
+  "CMakeFiles/spa_baselines.dir/published.cc.o.d"
+  "libspa_baselines.a"
+  "libspa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_common.dir/logging.cc.o"
+  "CMakeFiles/spa_common.dir/logging.cc.o.d"
+  "CMakeFiles/spa_common.dir/util.cc.o"
+  "CMakeFiles/spa_common.dir/util.cc.o.d"
+  "libspa_common.a"
+  "libspa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

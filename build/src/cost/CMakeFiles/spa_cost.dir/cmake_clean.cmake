@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_cost.dir/cost.cc.o"
+  "CMakeFiles/spa_cost.dir/cost.cc.o.d"
+  "CMakeFiles/spa_cost.dir/profile.cc.o"
+  "CMakeFiles/spa_cost.dir/profile.cc.o.d"
+  "libspa_cost.a"
+  "libspa_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

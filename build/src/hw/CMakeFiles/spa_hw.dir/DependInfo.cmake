@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/config.cc" "src/hw/CMakeFiles/spa_hw.dir/config.cc.o" "gcc" "src/hw/CMakeFiles/spa_hw.dir/config.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/spa_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/spa_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/tech.cc" "src/hw/CMakeFiles/spa_hw.dir/tech.cc.o" "gcc" "src/hw/CMakeFiles/spa_hw.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

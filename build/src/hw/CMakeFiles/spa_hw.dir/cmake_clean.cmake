@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_hw.dir/config.cc.o"
+  "CMakeFiles/spa_hw.dir/config.cc.o.d"
+  "CMakeFiles/spa_hw.dir/platform.cc.o"
+  "CMakeFiles/spa_hw.dir/platform.cc.o.d"
+  "CMakeFiles/spa_hw.dir/tech.cc.o"
+  "CMakeFiles/spa_hw.dir/tech.cc.o.d"
+  "libspa_hw.a"
+  "libspa_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_json.dir/json.cc.o"
+  "CMakeFiles/spa_json.dir/json.cc.o.d"
+  "libspa_json.a"
+  "libspa_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

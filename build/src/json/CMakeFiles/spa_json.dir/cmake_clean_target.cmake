@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspa_json.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_la.dir/matrix.cc.o"
+  "CMakeFiles/spa_la.dir/matrix.cc.o.d"
+  "libspa_la.a"
+  "libspa_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mip/branch_and_bound.cc" "src/mip/CMakeFiles/spa_mip.dir/branch_and_bound.cc.o" "gcc" "src/mip/CMakeFiles/spa_mip.dir/branch_and_bound.cc.o.d"
+  "/root/repo/src/mip/simplex.cc" "src/mip/CMakeFiles/spa_mip.dir/simplex.cc.o" "gcc" "src/mip/CMakeFiles/spa_mip.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_mip.dir/branch_and_bound.cc.o"
+  "CMakeFiles/spa_mip.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/spa_mip.dir/simplex.cc.o"
+  "CMakeFiles/spa_mip.dir/simplex.cc.o.d"
+  "libspa_mip.a"
+  "libspa_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/graph.cc" "src/nn/CMakeFiles/spa_nn.dir/graph.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/graph.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/spa_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/loader.cc" "src/nn/CMakeFiles/spa_nn.dir/loader.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/loader.cc.o.d"
+  "/root/repo/src/nn/models_alexnet.cc" "src/nn/CMakeFiles/spa_nn.dir/models_alexnet.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_alexnet.cc.o.d"
+  "/root/repo/src/nn/models_efficientnet.cc" "src/nn/CMakeFiles/spa_nn.dir/models_efficientnet.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_efficientnet.cc.o.d"
+  "/root/repo/src/nn/models_inception.cc" "src/nn/CMakeFiles/spa_nn.dir/models_inception.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_inception.cc.o.d"
+  "/root/repo/src/nn/models_mobilenet.cc" "src/nn/CMakeFiles/spa_nn.dir/models_mobilenet.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_mobilenet.cc.o.d"
+  "/root/repo/src/nn/models_resnet.cc" "src/nn/CMakeFiles/spa_nn.dir/models_resnet.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_resnet.cc.o.d"
+  "/root/repo/src/nn/models_squeezenet.cc" "src/nn/CMakeFiles/spa_nn.dir/models_squeezenet.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_squeezenet.cc.o.d"
+  "/root/repo/src/nn/models_vgg.cc" "src/nn/CMakeFiles/spa_nn.dir/models_vgg.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/models_vgg.cc.o.d"
+  "/root/repo/src/nn/workload.cc" "src/nn/CMakeFiles/spa_nn.dir/workload.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/workload.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/nn/CMakeFiles/spa_nn.dir/zoo.cc.o" "gcc" "src/nn/CMakeFiles/spa_nn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/spa_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_nn.dir/graph.cc.o"
+  "CMakeFiles/spa_nn.dir/graph.cc.o.d"
+  "CMakeFiles/spa_nn.dir/layer.cc.o"
+  "CMakeFiles/spa_nn.dir/layer.cc.o.d"
+  "CMakeFiles/spa_nn.dir/loader.cc.o"
+  "CMakeFiles/spa_nn.dir/loader.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_alexnet.cc.o"
+  "CMakeFiles/spa_nn.dir/models_alexnet.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_efficientnet.cc.o"
+  "CMakeFiles/spa_nn.dir/models_efficientnet.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_inception.cc.o"
+  "CMakeFiles/spa_nn.dir/models_inception.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_mobilenet.cc.o"
+  "CMakeFiles/spa_nn.dir/models_mobilenet.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_resnet.cc.o"
+  "CMakeFiles/spa_nn.dir/models_resnet.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_squeezenet.cc.o"
+  "CMakeFiles/spa_nn.dir/models_squeezenet.cc.o.d"
+  "CMakeFiles/spa_nn.dir/models_vgg.cc.o"
+  "CMakeFiles/spa_nn.dir/models_vgg.cc.o.d"
+  "CMakeFiles/spa_nn.dir/workload.cc.o"
+  "CMakeFiles/spa_nn.dir/workload.cc.o.d"
+  "CMakeFiles/spa_nn.dir/zoo.cc.o"
+  "CMakeFiles/spa_nn.dir/zoo.cc.o.d"
+  "libspa_nn.a"
+  "libspa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_noc.dir/benes.cc.o"
+  "CMakeFiles/spa_noc.dir/benes.cc.o.d"
+  "CMakeFiles/spa_noc.dir/crossbar.cc.o"
+  "CMakeFiles/spa_noc.dir/crossbar.cc.o.d"
+  "libspa_noc.a"
+  "libspa_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_opt.dir/optimizer.cc.o"
+  "CMakeFiles/spa_opt.dir/optimizer.cc.o.d"
+  "libspa_opt.a"
+  "libspa_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_pipe.dir/schedule.cc.o"
+  "CMakeFiles/spa_pipe.dir/schedule.cc.o.d"
+  "CMakeFiles/spa_pipe.dir/sim.cc.o"
+  "CMakeFiles/spa_pipe.dir/sim.cc.o.d"
+  "libspa_pipe.a"
+  "libspa_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pu/actbuf.cc" "src/pu/CMakeFiles/spa_pu.dir/actbuf.cc.o" "gcc" "src/pu/CMakeFiles/spa_pu.dir/actbuf.cc.o.d"
+  "/root/repo/src/pu/driver.cc" "src/pu/CMakeFiles/spa_pu.dir/driver.cc.o" "gcc" "src/pu/CMakeFiles/spa_pu.dir/driver.cc.o.d"
+  "/root/repo/src/pu/reference.cc" "src/pu/CMakeFiles/spa_pu.dir/reference.cc.o" "gcc" "src/pu/CMakeFiles/spa_pu.dir/reference.cc.o.d"
+  "/root/repo/src/pu/systolic.cc" "src/pu/CMakeFiles/spa_pu.dir/systolic.cc.o" "gcc" "src/pu/CMakeFiles/spa_pu.dir/systolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spa_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

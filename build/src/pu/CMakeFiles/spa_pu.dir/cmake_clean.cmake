@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_pu.dir/actbuf.cc.o"
+  "CMakeFiles/spa_pu.dir/actbuf.cc.o.d"
+  "CMakeFiles/spa_pu.dir/driver.cc.o"
+  "CMakeFiles/spa_pu.dir/driver.cc.o.d"
+  "CMakeFiles/spa_pu.dir/reference.cc.o"
+  "CMakeFiles/spa_pu.dir/reference.cc.o.d"
+  "CMakeFiles/spa_pu.dir/systolic.cc.o"
+  "CMakeFiles/spa_pu.dir/systolic.cc.o.d"
+  "libspa_pu.a"
+  "libspa_pu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_pu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_rtl.dir/emit.cc.o"
+  "CMakeFiles/spa_rtl.dir/emit.cc.o.d"
+  "libspa_rtl.a"
+  "libspa_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_seg.dir/assignment.cc.o"
+  "CMakeFiles/spa_seg.dir/assignment.cc.o.d"
+  "CMakeFiles/spa_seg.dir/dot.cc.o"
+  "CMakeFiles/spa_seg.dir/dot.cc.o.d"
+  "CMakeFiles/spa_seg.dir/heuristic_segmenter.cc.o"
+  "CMakeFiles/spa_seg.dir/heuristic_segmenter.cc.o.d"
+  "CMakeFiles/spa_seg.dir/mip_segmenter.cc.o"
+  "CMakeFiles/spa_seg.dir/mip_segmenter.cc.o.d"
+  "libspa_seg.a"
+  "libspa_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoseg_record_test.dir/autoseg_record_test.cc.o"
+  "CMakeFiles/autoseg_record_test.dir/autoseg_record_test.cc.o.d"
+  "autoseg_record_test"
+  "autoseg_record_test.pdb"
+  "autoseg_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoseg_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoseg_test.dir/autoseg_test.cc.o"
+  "CMakeFiles/autoseg_test.dir/autoseg_test.cc.o.d"
+  "autoseg_test"
+  "autoseg_test.pdb"
+  "autoseg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoseg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_profile_test.dir/cost_profile_test.cc.o"
+  "CMakeFiles/cost_profile_test.dir/cost_profile_test.cc.o.d"
+  "cost_profile_test"
+  "cost_profile_test.pdb"
+  "cost_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seg/CMakeFiles/spa_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/spa_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/spa_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_graph_test.dir/nn_graph_test.cc.o"
+  "CMakeFiles/nn_graph_test.dir/nn_graph_test.cc.o.d"
+  "nn_graph_test"
+  "nn_graph_test.pdb"
+  "nn_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_loader_test.dir/nn_loader_test.cc.o"
+  "CMakeFiles/nn_loader_test.dir/nn_loader_test.cc.o.d"
+  "nn_loader_test"
+  "nn_loader_test.pdb"
+  "nn_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_workload_test.dir/nn_workload_test.cc.o"
+  "CMakeFiles/nn_workload_test.dir/nn_workload_test.cc.o.d"
+  "nn_workload_test"
+  "nn_workload_test.pdb"
+  "nn_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

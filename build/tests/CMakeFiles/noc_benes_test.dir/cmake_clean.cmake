@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_benes_test.dir/noc_benes_test.cc.o"
+  "CMakeFiles/noc_benes_test.dir/noc_benes_test.cc.o.d"
+  "noc_benes_test"
+  "noc_benes_test.pdb"
+  "noc_benes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_benes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_crossbar_test.dir/noc_crossbar_test.cc.o"
+  "CMakeFiles/noc_crossbar_test.dir/noc_crossbar_test.cc.o.d"
+  "noc_crossbar_test"
+  "noc_crossbar_test.pdb"
+  "noc_crossbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipe_schedule_test.dir/pipe_schedule_test.cc.o"
+  "CMakeFiles/pipe_schedule_test.dir/pipe_schedule_test.cc.o.d"
+  "pipe_schedule_test"
+  "pipe_schedule_test.pdb"
+  "pipe_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipe_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

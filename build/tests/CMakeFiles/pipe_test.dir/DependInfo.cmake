@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipe_test.cc" "tests/CMakeFiles/pipe_test.dir/pipe_test.cc.o" "gcc" "tests/CMakeFiles/pipe_test.dir/pipe_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipe/CMakeFiles/spa_pipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/spa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/spa_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pu/CMakeFiles/spa_pu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/spa_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/spa_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/spa_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spa_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/spa_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pu_actbuf_test.dir/pu_actbuf_test.cc.o"
+  "CMakeFiles/pu_actbuf_test.dir/pu_actbuf_test.cc.o.d"
+  "pu_actbuf_test"
+  "pu_actbuf_test.pdb"
+  "pu_actbuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pu_actbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

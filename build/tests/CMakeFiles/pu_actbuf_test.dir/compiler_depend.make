@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pu_actbuf_test.
+# This may be replaced when dependencies are built.

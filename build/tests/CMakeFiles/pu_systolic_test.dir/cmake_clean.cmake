@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pu_systolic_test.dir/pu_systolic_test.cc.o"
+  "CMakeFiles/pu_systolic_test.dir/pu_systolic_test.cc.o.d"
+  "pu_systolic_test"
+  "pu_systolic_test.pdb"
+  "pu_systolic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pu_systolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

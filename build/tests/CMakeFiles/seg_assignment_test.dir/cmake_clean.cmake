@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_assignment_test.dir/seg_assignment_test.cc.o"
+  "CMakeFiles/seg_assignment_test.dir/seg_assignment_test.cc.o.d"
+  "seg_assignment_test"
+  "seg_assignment_test.pdb"
+  "seg_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seg_segmenter_test.dir/seg_segmenter_test.cc.o"
+  "CMakeFiles/seg_segmenter_test.dir/seg_segmenter_test.cc.o.d"
+  "seg_segmenter_test"
+  "seg_segmenter_test.pdb"
+  "seg_segmenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seg_segmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_models_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/noc_benes_test[1]_include.cmake")
+include("/root/repo/build/tests/pu_systolic_test[1]_include.cmake")
+include("/root/repo/build/tests/pu_actbuf_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_test[1]_include.cmake")
+include("/root/repo/build/tests/seg_assignment_test[1]_include.cmake")
+include("/root/repo/build/tests/seg_segmenter_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/pipe_test[1]_include.cmake")
+include("/root/repo/build/tests/autoseg_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/pipe_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/noc_crossbar_test[1]_include.cmake")
+include("/root/repo/build/tests/autoseg_record_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_profile_test[1]_include.cmake")

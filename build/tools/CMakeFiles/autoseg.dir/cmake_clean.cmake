@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoseg.dir/autoseg_cli.cpp.o"
+  "CMakeFiles/autoseg.dir/autoseg_cli.cpp.o.d"
+  "autoseg"
+  "autoseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for autoseg.
+# This may be replaced when dependencies are built.
