@@ -4,8 +4,8 @@
 // latency (what the whole search optimizes) tracks the cycle-level
 // truth.
 
-#include "alloc/allocator.h"
 #include "bench/bench_util.h"
+#include "eval/evaluator.h"
 #include "nn/models.h"
 #include "pipe/schedule.h"
 #include "seg/segmenter.h"
@@ -18,7 +18,8 @@ void
 PrintAblation()
 {
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    eval::Evaluator evaluator(cost_model,
+                              eval::EvalOptions{bench::Jobs(), true});
     seg::HeuristicSegmenter segmenter;
     pipe::SpaScheduler scheduler(cost_model);
 
@@ -43,7 +44,7 @@ PrintAblation()
         if (!segmenter.Solve(w, c.segments, c.pus, a))
             continue;
         auto alloc_result =
-            allocator.Allocate(w, a, c.budget, alloc::DesignGoal::kLatency);
+            evaluator.Allocate(w, a, c.budget, alloc::DesignGoal::kLatency);
         if (!alloc_result.ok)
             continue;
         std::vector<std::vector<hw::Dataflow>> df;
@@ -64,8 +65,8 @@ PrintAblation()
     nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
     seg::Assignment a;
     segmenter.Solve(w, 4, 3, a);
-    auto alloc_result =
-        allocator.Allocate(w, a, hw::NvdlaLargeBudget(), alloc::DesignGoal::kLatency);
+    auto alloc_result = evaluator.Allocate(w, a, hw::NvdlaLargeBudget(),
+                                           alloc::DesignGoal::kLatency);
     std::vector<std::vector<hw::Dataflow>> df;
     for (const auto& seg_eval : alloc_result.segments)
         df.push_back(seg_eval.dataflow);
@@ -87,13 +88,13 @@ void
 BM_DiscreteEventSchedule(benchmark::State& state)
 {
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    eval::Evaluator evaluator(cost_model, eval::EvalOptions{1, true});
     seg::HeuristicSegmenter segmenter;
     nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
     seg::Assignment a;
     segmenter.Solve(w, 4, 3, a);
-    auto alloc_result =
-        allocator.Allocate(w, a, hw::NvdlaLargeBudget(), alloc::DesignGoal::kLatency);
+    auto alloc_result = evaluator.Allocate(w, a, hw::NvdlaLargeBudget(),
+                                           alloc::DesignGoal::kLatency);
     std::vector<std::vector<hw::Dataflow>> df;
     for (const auto& seg_eval : alloc_result.segments)
         df.push_back(seg_eval.dataflow);

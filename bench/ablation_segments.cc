@@ -4,8 +4,8 @@
 // poorly; too many re-approach layerwise traffic. The co-design engine
 // must pick the knee.
 
-#include "alloc/allocator.h"
 #include "bench/bench_util.h"
+#include "eval/evaluator.h"
 #include "nn/models.h"
 #include "pipe/schedule.h"
 #include "seg/segmenter.h"
@@ -19,7 +19,8 @@ SweepModel(const char* model, int num_pus, const hw::Platform& budget)
 {
     nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    eval::Evaluator evaluator(cost_model,
+                              eval::EvalOptions{bench::Jobs(), true});
     seg::HeuristicSegmenter segmenter;
 
     bench::PrintHeader(std::string("Segment-count sweep: ") + model + " @ " +
@@ -30,16 +31,17 @@ SweepModel(const char* model, int num_pus, const hw::Platform& budget)
         seg::Assignment a;
         if (!segmenter.Solve(w, s, num_pus, a))
             continue;
-        auto result = allocator.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
-        if (!result.ok)
+        auto result =
+            evaluator.EvaluateCandidate(w, a, budget, alloc::DesignGoal::kLatency);
+        if (!result.ok())
             continue;
-        seg::SegmentMetrics m = seg::ComputeMetrics(w, a);
         int64_t dram = 0;
         for (int i = 0; i < s; ++i)
             dram += seg::SegmentAccessBytes(w, a, i);
         bench::PrintRow(std::to_string(s),
-                        {bench::Fmt(result.latency_seconds * 1e3, "%.3f"),
-                         bench::Fmt(m.min_ctc, "%.1f"), bench::Fmt(m.sod, "%.3f"),
+                        {bench::Fmt(result.alloc.latency_seconds * 1e3, "%.3f"),
+                         bench::Fmt(result.metrics.min_ctc, "%.1f"),
+                         bench::Fmt(result.metrics.sod, "%.3f"),
                          bench::Fmt(static_cast<double>(dram) / 1048576.0)});
     }
 }
@@ -59,12 +61,12 @@ BM_SegmentSweepPoint(benchmark::State& state)
 {
     nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    eval::Evaluator evaluator(cost_model, eval::EvalOptions{1, true});
     seg::HeuristicSegmenter segmenter;
     seg::Assignment a;
     segmenter.Solve(w, static_cast<int>(state.range(0)), 3, a);
     for (auto _ : state) {
-        auto r = allocator.Allocate(w, a, hw::NvdlaSmallBudget(),
+        auto r = evaluator.Allocate(w, a, hw::NvdlaSmallBudget(),
                                     alloc::DesignGoal::kLatency);
         benchmark::DoNotOptimize(r.latency_seconds);
     }

@@ -7,15 +7,22 @@
  * first prints its paper artifact (table / figure series) and then
  * runs the google-benchmark cases for the kernels involved, so
  * running every binary under build/bench regenerates the evaluation.
+ *
+ * Every harness accepts `--jobs N` (default: hardware concurrency) and
+ * feeds it to the evaluation layer; results are bitwise-identical for
+ * any jobs value, only wall time changes.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 
 namespace spa {
 namespace bench {
@@ -46,11 +53,52 @@ Fmt(double v, const char* format = "%.2f")
     return buf;
 }
 
+namespace detail {
+
+inline int&
+JobsStorage()
+{
+    static int jobs = 0;  // 0 = hardware concurrency
+    return jobs;
+}
+
+}  // namespace detail
+
+/** The harness-wide parallel evaluation width (the --jobs flag). */
+inline int
+Jobs()
+{
+    const int jobs = detail::JobsStorage();
+    return jobs > 0 ? jobs : ThreadPool::HardwareJobs();
+}
+
+/**
+ * Consumes `--jobs N` / `--jobs=N` from argv (before google-benchmark
+ * sees the remainder).
+ */
+inline void
+ParseJobs(int* argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < *argc) {
+            detail::JobsStorage() = std::atoi(argv[++i]);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            detail::JobsStorage() = std::atoi(arg + 7);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+}
+
 /** Standard bench main: print the artifact, then run benchmarks. */
 #define SPA_BENCH_MAIN(print_fn)                                   \
     int main(int argc, char** argv)                                \
     {                                                              \
         ::spa::detail::SetQuiet(true);                             \
+        ::spa::bench::ParseJobs(&argc, argv);                      \
         print_fn();                                                \
         ::benchmark::Initialize(&argc, argv);                      \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \

@@ -19,6 +19,7 @@ PrintFig12()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 3, 4, 6};
     autoseg::Engine engine(cost_model, options);
     baselines::NoPipelineModel no_pipe(cost_model);
@@ -61,6 +62,7 @@ BM_AutoSegSqueezeNetEyeriss(benchmark::State& state)
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 4};
     autoseg::Engine engine(cost_model, options);
     nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());

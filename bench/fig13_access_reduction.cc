@@ -17,6 +17,7 @@ PrintFig13()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 3, 4, 6};
     autoseg::Engine engine(cost_model, options);
     baselines::NoPipelineModel no_pipe(cost_model);

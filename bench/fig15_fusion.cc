@@ -18,6 +18,7 @@ PrintFig15()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 3, 4, 6};
     autoseg::Engine engine(cost_model, options);
     baselines::FusedLayerModel fused(cost_model);

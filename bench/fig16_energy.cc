@@ -20,6 +20,7 @@ PrintFig16()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 3, 4, 6};
     autoseg::Engine engine(cost_model, options);
     baselines::NoPipelineModel plain(cost_model);
@@ -66,6 +67,7 @@ BM_SpaEnergyEvaluation(benchmark::State& state)
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 4};
     autoseg::Engine engine(cost_model, options);
     nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());

@@ -23,6 +23,7 @@ PrintFig17()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {4};
     autoseg::Engine engine(cost_model, options);
     const hw::Platform budget = hw::NvdlaSmallBudget();
@@ -115,6 +116,7 @@ BM_RemapSqueezeNetOntoAlexNetDesign(benchmark::State& state)
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {4};
     autoseg::Engine engine(cost_model, options);
     nn::Workload alex = nn::ExtractWorkload(nn::BuildAlexNet());

@@ -11,6 +11,7 @@
 #include "autoseg/energy.h"
 #include "bench/bench_util.h"
 #include "common/util.h"
+#include "eval/evaluator.h"
 #include "nn/models.h"
 #include "opt/optimizer.h"
 #include "seg/segmenter.h"
@@ -106,14 +107,20 @@ struct MethodResult
 void
 RunCase(const char* model, const hw::Platform& budget)
 {
+    // Every method's objective goes through the shared evaluation
+    // layer: one memoized cost model, one pool, --jobs wide. Enabling
+    // the memo here lets the AutoSeg engine below share its entries.
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    cost_model.EnableMemo();
+    eval::Evaluator evaluator(cost_model, eval::EvalOptions{bench::Jobs(), true});
     nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
     std::vector<MethodResult> rows;
 
     auto energy_of = [&](const seg::Assignment& a,
                          const alloc::AllocationResult& r) {
-        return autoseg::EvaluateSpaEnergy(cost_model, w, a, r).TotalPj() / 1e10;
+        return autoseg::EvaluateSpaEnergy(evaluator.cost_model(), w, a, r)
+                   .TotalPj() /
+               1e10;
     };
 
     // Shared MIP/heuristic segmentation for the MIP-* methods.
@@ -128,12 +135,11 @@ RunCase(const char* model, const hw::Platform& budget)
     opt::Space hw_space;
     hw_space.cardinalities.assign(kNumPus, 8);  // PE exponent
     hw_space.cardinalities.push_back(4);        // WB scale
-    alloc::AllocationResult best_hw_alloc;
     auto hw_objective = [&](const std::vector<int>& x) {
         hw::SpaConfig cfg = DecodeHardware(x, w, mip_assignment, budget);
         if (!hw::FitsBudget(cfg, budget))
             return kInfeasible;
-        auto r = allocator.Evaluate(w, mip_assignment, cfg);
+        auto r = evaluator.Evaluate(w, mip_assignment, cfg);
         return r.latency_seconds * 1e3;
     };
     auto finish_hw = [&](const char* name, const opt::OptResult& r) {
@@ -144,33 +150,42 @@ RunCase(const char* model, const hw::Platform& budget)
             m.latency_ms = r.best_value;
             hw::SpaConfig cfg = DecodeHardware(r.best_x, w, mip_assignment, budget);
             m.energy_e10pj =
-                energy_of(mip_assignment, allocator.Evaluate(w, mip_assignment, cfg));
+                energy_of(mip_assignment, evaluator.Evaluate(w, mip_assignment, cfg));
         }
         rows.push_back(m);
     };
-    finish_hw("MIP-Random", opt::RandomSearch(hw_space, hw_objective, 500, 11));
-    finish_hw("MIP-Baye", opt::BayesianOptimize(hw_space, hw_objective, 150, 12));
+    // Batched random search: propose a batch, evaluate it across the
+    // pool, reduce in proposal order (trace identical to serial).
+    const opt::BatchEval parallel_eval{&evaluator.pool(),
+                                       4 * evaluator.jobs()};
+    opt::BayesOptions bayes;
+    bayes.pool = &evaluator.pool();
+    finish_hw("MIP-Random",
+              opt::RandomSearch(hw_space, hw_objective, 500, 11, parallel_eval));
+    finish_hw("MIP-Baye",
+              opt::BayesianOptimize(hw_space, hw_objective, 150, 12, bayes));
 
     // Baye-Heuristic: Bayesian over segmentation, Alg. 1 allocation.
     opt::Space seg_space;
     seg_space.cardinalities = {6, 7, 7, 7, 7, 7};  // S-1 and cut jitters
-    seg::Assignment tmp;
     auto seg_objective = [&](const std::vector<int>& x) {
-        if (!DecodeSegmentation(x, w, tmp))
+        seg::Assignment a;
+        if (!DecodeSegmentation(x, w, a))
             return kInfeasible;
-        auto r = allocator.Allocate(w, tmp, budget, alloc::DesignGoal::kLatency);
+        auto r = evaluator.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
         return r.ok ? r.latency_seconds * 1e3 : kInfeasible;
     };
     {
-        auto r = opt::BayesianOptimize(seg_space, seg_objective, 200, 13);
+        auto r = opt::BayesianOptimize(seg_space, seg_objective, 200, 13, bayes);
         MethodResult m;
         m.name = "Baye-Heuristic";
         m.evaluations = static_cast<int>(r.evaluations.size());
-        if (r.best_value < kInfeasible && DecodeSegmentation(r.best_x, w, tmp)) {
+        seg::Assignment best_seg;
+        if (r.best_value < kInfeasible && DecodeSegmentation(r.best_x, w, best_seg)) {
             m.latency_ms = r.best_value;
-            auto alloc_r = allocator.Allocate(w, tmp, budget,
+            auto alloc_r = evaluator.Allocate(w, best_seg, budget,
                                               alloc::DesignGoal::kLatency);
-            m.energy_e10pj = energy_of(tmp, alloc_r);
+            m.energy_e10pj = energy_of(best_seg, alloc_r);
         }
         rows.push_back(m);
     }
@@ -191,10 +206,10 @@ RunCase(const char* model, const hw::Platform& budget)
                 ++evals;
                 if (!DecodeSegmentation(sx, w, inner_tmp))
                     return kInfeasible;
-                return allocator.Evaluate(w, inner_tmp, cfg).latency_seconds * 1e3;
+                return evaluator.Evaluate(w, inner_tmp, cfg).latency_seconds * 1e3;
             };
             auto inner = opt::BayesianOptimize(seg_space, inner_objective, 40,
-                                               17 + evals);
+                                               17 + evals, bayes);
             if (inner.best_value < kInfeasible &&
                 DecodeSegmentation(inner.best_x, w, inner_tmp)) {
                 best_inner = inner_tmp;
@@ -202,24 +217,24 @@ RunCase(const char* model, const hw::Platform& budget)
             }
             return inner.best_value;
         };
-        auto r = opt::BayesianOptimize(hw_space, outer_objective, 20, 19);
+        auto r = opt::BayesianOptimize(hw_space, outer_objective, 20, 19, bayes);
         MethodResult m;
         m.name = "Baye-Baye";
         m.evaluations = evals;
         if (r.best_value < kInfeasible && !best_inner.segment_of.empty()) {
             m.latency_ms = r.best_value;
             m.energy_e10pj =
-                energy_of(best_inner, allocator.Evaluate(w, best_inner, best_cfg));
+                energy_of(best_inner, evaluator.Evaluate(w, best_inner, best_cfg));
         }
         rows.push_back(m);
     }
 
     // AutoSeg: MIP/heuristic segmentation + Alg. 1 ("MIP-Heuristic").
     {
-        cost::CostModel cm;
         autoseg::CoDesignOptions options;
         options.pu_candidates = {kNumPus};
-        autoseg::Engine engine(cm, options);
+        options.jobs = bench::Jobs();
+        autoseg::Engine engine(cost_model, options);
         auto result = engine.Run(w, budget, alloc::DesignGoal::kLatency);
         MethodResult m;
         m.name = "AutoSeg";
@@ -257,14 +272,14 @@ void
 BM_HardwareSearchEvaluation(benchmark::State& state)
 {
     cost::CostModel cost_model;
-    alloc::Allocator allocator(cost_model);
+    eval::Evaluator evaluator(cost_model, eval::EvalOptions{1, true});
     nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
     seg::Assignment a;
     seg::HeuristicSegmenter segmenter;
     segmenter.Solve(w, 2, kNumPus, a);
     hw::SpaConfig cfg = DecodeHardware({4, 4, 4, 4, 1}, w, a, hw::EyerissBudget());
     for (auto _ : state) {
-        auto r = allocator.Evaluate(w, a, cfg);
+        auto r = evaluator.Evaluate(w, a, cfg);
         benchmark::DoNotOptimize(r.latency_seconds);
     }
 }

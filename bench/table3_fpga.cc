@@ -34,6 +34,7 @@ PrintTable3()
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {2, 3, 4, 6};
     autoseg::Engine engine(cost_model, options);
     autoseg::SegmentationCache cache;
@@ -90,6 +91,7 @@ BM_ThroughputDesignVgg(benchmark::State& state)
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {4};
     autoseg::Engine engine(cost_model, options);
     nn::Workload w = nn::ExtractWorkload(nn::BuildVgg16());

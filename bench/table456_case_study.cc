@@ -66,6 +66,7 @@ PrintCaseStudy()
 
     // ---- Table VI: the AutoSeg SPA accelerator. ----
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {4};
     options.extra_segment_candidates = {1, 2};
     autoseg::Engine engine(cost_model, options);
@@ -125,6 +126,7 @@ BM_CaseStudyEngine(benchmark::State& state)
 {
     cost::CostModel cost_model;
     autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
     options.pu_candidates = {4};
     autoseg::Engine engine(cost_model, options);
     nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNetConvTower());

@@ -37,77 +37,107 @@ Engine::SegmentCandidates(int num_layers, int num_pus) const
     return {candidates.begin(), candidates.end()};
 }
 
+Engine::PairOutcome
+Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
+                     alloc::DesignGoal goal, SegmentationCache* cache,
+                     int num_segments, int num_pus) const
+{
+    PairOutcome outcome;
+    CandidateRecord& record = outcome.record;
+    record.num_segments = num_segments;
+    record.num_pus = num_pus;
+
+    // Candidate assignments for this (S, N): different pow2-friendly
+    // distribution shapes; the allocator decides which one the budget
+    // realizes best. The cache keeps the shape list's best-scoring
+    // member to seed other budgets.
+    std::vector<seg::Assignment> candidates;
+    std::optional<seg::Assignment> cached;
+    if (cache != nullptr && cache->Lookup(w.name, num_segments, num_pus, cached)) {
+        if (cached.has_value())
+            candidates.push_back(*cached);
+    } else {
+        candidates = seg::SolveSegmentationCandidates(w, num_segments, num_pus);
+        if (cache != nullptr) {
+            cache->Store(w.name, num_segments, num_pus,
+                         candidates.empty()
+                             ? std::nullopt
+                             : std::optional<seg::Assignment>(candidates.front()));
+        }
+        // The cache keeps only the first candidate; evaluate all of
+        // them this time around.
+    }
+    if (candidates.empty())
+        return outcome;
+
+    const std::vector<eval::CandidateEval> evals =
+        evaluator_.EvaluateCandidates(w, candidates, budget, goal);
+
+    bool any = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const eval::CandidateEval& e = evals[i];
+        if (!e.alloc.ok)
+            continue;
+        if (!any || e.alloc.latency_seconds < record.latency_seconds) {
+            record.feasible = true;
+            record.latency_seconds = e.alloc.latency_seconds;
+            record.throughput_fps = e.alloc.throughput_fps;
+            record.min_ctc = e.metrics.min_ctc;
+            record.sod = e.metrics.sod;
+        }
+        any = true;
+
+        CoDesignResult candidate;
+        candidate.ok = true;
+        candidate.assignment = candidates[i];
+        candidate.metrics = e.metrics;
+        candidate.alloc = e.alloc;
+        if (!outcome.best ||
+            candidate.GoalValue(goal) < outcome.best->GoalValue(goal)) {
+            outcome.best = std::move(candidate);
+        }
+    }
+    return outcome;
+}
+
 CoDesignResult
 Engine::Run(const nn::Workload& w, const hw::Platform& budget,
             alloc::DesignGoal goal, SegmentationCache* cache) const
 {
-    CoDesignResult best;
+    // Enumerate every (S, N) pair up front, then fan the independent
+    // evaluations out over the pool. The reduction below walks the
+    // outcomes in enumeration order with a strict-< argmin, which is
+    // exactly the serial loop's first-best-wins behavior.
+    struct Pair
+    {
+        int num_segments;
+        int num_pus;
+    };
+    std::vector<Pair> pairs;
     for (int num_pus : options_.pu_candidates) {
         if (num_pus > w.NumLayers())
             continue;
-        for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus)) {
-            CandidateRecord record;
-            record.num_segments = num_segments;
-            record.num_pus = num_pus;
-            // Candidate assignments for this (S, N): different pow2-
-            // friendly distribution shapes; the allocator decides which
-            // one the budget realizes best. The cache keeps the shape
-            // list's best-scoring member to seed other budgets.
-            std::vector<seg::Assignment> candidates;
-            std::optional<seg::Assignment> cached;
-            if (cache != nullptr &&
-                cache->Lookup(w.name, num_segments, num_pus, cached)) {
-                if (cached.has_value())
-                    candidates.push_back(*cached);
-            } else {
-                candidates =
-                    seg::SolveSegmentationCandidates(w, num_segments, num_pus);
-                if (cache != nullptr) {
-                    cache->Store(w.name, num_segments, num_pus,
-                                 candidates.empty()
-                                     ? std::nullopt
-                                     : std::optional<seg::Assignment>(
-                                           candidates.front()));
-                }
-                // The cache keeps only the first candidate; evaluate
-                // all of them this time around.
-            }
-            if (candidates.empty()) {
-                best.explored.push_back(record);
-                continue;
-            }
-            bool any = false;
-            for (const seg::Assignment& assignment : candidates) {
-                alloc::AllocationResult alloc_result =
-                    allocator_.Allocate(w, assignment, budget, goal);
-                if (!alloc_result.ok)
-                    continue;
-                const seg::SegmentMetrics metrics =
-                    seg::ComputeMetrics(w, assignment);
-                if (!any || alloc_result.latency_seconds < record.latency_seconds) {
-                    record.feasible = true;
-                    record.latency_seconds = alloc_result.latency_seconds;
-                    record.throughput_fps = alloc_result.throughput_fps;
-                    record.min_ctc = metrics.min_ctc;
-                    record.sod = metrics.sod;
-                }
-                any = true;
+        for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus))
+            pairs.push_back({num_segments, num_pus});
+    }
 
-                CoDesignResult candidate;
-                candidate.ok = true;
-                candidate.assignment = assignment;
-                candidate.metrics = metrics;
-                candidate.alloc = alloc_result;
-                if (!best.ok || candidate.GoalValue(goal) < best.GoalValue(goal)) {
-                    auto explored = std::move(best.explored);
-                    best = std::move(candidate);
-                    best.explored = std::move(explored);
-                }
-            }
-            best.explored.push_back(record);
-            if (!any)
-                continue;
+    const std::vector<PairOutcome> outcomes =
+        evaluator_.pool().ParallelMap<PairOutcome>(
+            static_cast<int64_t>(pairs.size()), [&](int64_t i) {
+                const Pair& p = pairs[static_cast<size_t>(i)];
+                return EvaluatePair(w, budget, goal, cache, p.num_segments,
+                                    p.num_pus);
+            });
+
+    CoDesignResult best;
+    for (const PairOutcome& outcome : outcomes) {
+        if (outcome.best &&
+            (!best.ok || outcome.best->GoalValue(goal) < best.GoalValue(goal))) {
+            auto explored = std::move(best.explored);
+            best = *outcome.best;
+            best.explored = std::move(explored);
         }
+        best.explored.push_back(outcome.record);
     }
     return best;
 }
@@ -118,7 +148,6 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
               const std::vector<std::array<bool, 2>>& allowed_links,
               alloc::DesignGoal goal) const
 {
-    CoDesignResult best;
     const int num_pus = config.NumPus();
     auto routable_on_pruned_fabric = [&](const seg::Assignment& assignment) {
         for (int s = 0; s < assignment.num_segments; ++s) {
@@ -136,42 +165,61 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
         }
         return true;
     };
-    for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus)) {
-        CandidateRecord record;
-        record.num_segments = num_segments;
-        record.num_pus = num_pus;
-        // Every segment's traffic must route on the pruned fabric; try
-        // each candidate binding until one fits the kept connectivity
-        // (the Sec. VI-F "connection constraints").
-        bool any = false;
-        for (const seg::Assignment& assignment :
-             seg::SolveSegmentationCandidates(w, num_segments, num_pus)) {
-            if (!routable_on_pruned_fabric(assignment))
-                continue;
-            alloc::AllocationResult alloc_result =
-                allocator_.Evaluate(w, assignment, config);
-            const seg::SegmentMetrics metrics = seg::ComputeMetrics(w, assignment);
-            if (!any || alloc_result.latency_seconds < record.latency_seconds) {
-                record.feasible = true;
-                record.latency_seconds = alloc_result.latency_seconds;
-                record.throughput_fps = alloc_result.throughput_fps;
-                record.min_ctc = metrics.min_ctc;
-                record.sod = metrics.sod;
-            }
-            any = true;
 
-            CoDesignResult candidate;
-            candidate.ok = true;
-            candidate.assignment = assignment;
-            candidate.metrics = metrics;
-            candidate.alloc = alloc_result;
-            if (!best.ok || candidate.GoalValue(goal) < best.GoalValue(goal)) {
-                auto explored = std::move(best.explored);
-                best = std::move(candidate);
-                best.explored = std::move(explored);
-            }
+    const std::vector<int> segment_counts =
+        SegmentCandidates(w.NumLayers(), num_pus);
+
+    const std::vector<PairOutcome> outcomes =
+        evaluator_.pool().ParallelMap<PairOutcome>(
+            static_cast<int64_t>(segment_counts.size()), [&](int64_t i) {
+                const int num_segments = segment_counts[static_cast<size_t>(i)];
+                PairOutcome outcome;
+                CandidateRecord& record = outcome.record;
+                record.num_segments = num_segments;
+                record.num_pus = num_pus;
+                // Every segment's traffic must route on the pruned
+                // fabric; try each candidate binding until one fits the
+                // kept connectivity (the Sec. VI-F "connection
+                // constraints").
+                bool any = false;
+                for (const seg::Assignment& assignment :
+                     seg::SolveSegmentationCandidates(w, num_segments, num_pus)) {
+                    if (!routable_on_pruned_fabric(assignment))
+                        continue;
+                    const eval::CandidateEval e =
+                        evaluator_.EvaluateCandidateOn(w, assignment, config);
+                    if (!any ||
+                        e.alloc.latency_seconds < record.latency_seconds) {
+                        record.feasible = true;
+                        record.latency_seconds = e.alloc.latency_seconds;
+                        record.throughput_fps = e.alloc.throughput_fps;
+                        record.min_ctc = e.metrics.min_ctc;
+                        record.sod = e.metrics.sod;
+                    }
+                    any = true;
+
+                    CoDesignResult candidate;
+                    candidate.ok = true;
+                    candidate.assignment = assignment;
+                    candidate.metrics = e.metrics;
+                    candidate.alloc = e.alloc;
+                    if (!outcome.best || candidate.GoalValue(goal) <
+                                             outcome.best->GoalValue(goal)) {
+                        outcome.best = std::move(candidate);
+                    }
+                }
+                return outcome;
+            });
+
+    CoDesignResult best;
+    for (const PairOutcome& outcome : outcomes) {
+        if (outcome.best &&
+            (!best.ok || outcome.best->GoalValue(goal) < best.GoalValue(goal))) {
+            auto explored = std::move(best.explored);
+            best = *outcome.best;
+            best.explored = std::move(explored);
         }
-        best.explored.push_back(record);
+        best.explored.push_back(outcome.record);
     }
     return best;
 }

@@ -12,18 +12,23 @@
  * user's goal (latency or throughput). No iterative loop couples the
  * two stages: segmentation results are reused across budgets.
  *
+ * Candidate (S, N) evaluations fan out over the eval::Evaluator's
+ * thread pool; the argmin reduction runs on the caller in enumeration
+ * order, so results (including the `explored` record order) are
+ * bitwise-identical to a serial run for any jobs value.
+ *
  * It also implements the Sec. VI-F generality mode: remapping a new
  * model onto an existing SPA accelerator, keeping the hardware fixed
  * and constraining inter-PU traffic to the pruned fabric.
  */
 
-#include <map>
 #include <optional>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "eval/evaluator.h"
+#include "eval/seg_cache.h"
 #include "hw/platform.h"
 #include "noc/benes.h"
 #include "nn/workload.h"
@@ -31,6 +36,12 @@
 
 namespace spa {
 namespace autoseg {
+
+/**
+ * Cross-budget segmentation memo (now thread-safe and shared with the
+ * evaluation layer; kept under its historical name for call sites).
+ */
+using SegmentationCache = eval::SegmentationCache;
 
 /** One explored (S, N) candidate, for method-comparison plots. */
 struct CandidateRecord
@@ -64,39 +75,8 @@ struct CoDesignOptions
     int max_segments = 16;
     /** Extra segment-count candidates besides the built-in spread. */
     std::vector<int> extra_segment_candidates;
-};
-
-/**
- * Memo of segmentation solutions keyed by (workload name, S, N).
- * Sec. V: "the results of model segmentation can be repeatedly used to
- * generate SPA designs under different hardware constraints" -- share
- * one cache across budgets to get exactly that reuse.
- */
-class SegmentationCache
-{
-  public:
-    /** @return true when an entry exists; `out` empty means infeasible. */
-    bool
-    Lookup(const std::string& model, int s, int n,
-           std::optional<seg::Assignment>& out) const
-    {
-        auto it = entries_.find({model, s, n});
-        if (it == entries_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    void
-    Store(const std::string& model, int s, int n,
-          std::optional<seg::Assignment> assignment)
-    {
-        entries_[{model, s, n}] = std::move(assignment);
-    }
-
-  private:
-    std::map<std::tuple<std::string, int, int>, std::optional<seg::Assignment>>
-        entries_;
+    /** Parallel evaluation width; <= 0 means hardware concurrency. */
+    int jobs = 0;
 };
 
 /** The co-design engine. */
@@ -105,7 +85,8 @@ class Engine
   public:
     explicit Engine(const cost::CostModel& cost_model,
                     CoDesignOptions options = CoDesignOptions())
-        : cost_(cost_model), allocator_(cost_model), options_(std::move(options))
+        : options_(std::move(options)),
+          evaluator_(cost_model, eval::EvalOptions{options_.jobs, true})
     {
     }
 
@@ -128,14 +109,27 @@ class Engine
                          const std::vector<std::array<bool, 2>>& allowed_links,
                          alloc::DesignGoal goal) const;
 
-    const alloc::Allocator& allocator() const { return allocator_; }
+    const alloc::Allocator& allocator() const { return evaluator_.allocator(); }
+
+    /** The shared evaluation layer this engine runs on. */
+    const eval::Evaluator& evaluator() const { return evaluator_; }
 
   private:
+    /** Outcome of one fully-evaluated (S, N) pair. */
+    struct PairOutcome
+    {
+        CandidateRecord record;
+        std::optional<CoDesignResult> best;
+    };
+
     std::vector<int> SegmentCandidates(int num_layers, int num_pus) const;
 
-    cost::CostModel cost_;
-    alloc::Allocator allocator_;
+    PairOutcome EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
+                             alloc::DesignGoal goal, SegmentationCache* cache,
+                             int num_segments, int num_pus) const;
+
     CoDesignOptions options_;
+    eval::Evaluator evaluator_;
 };
 
 }  // namespace autoseg

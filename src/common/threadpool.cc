@@ -1,0 +1,159 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+namespace spa {
+
+/**
+ * One ParallelFor call. Workers and the caller claim indices in
+ * ascending order; the caller leaves only when every claimed index has
+ * settled and no index remains claimable, so `fn` (owned by the
+ * caller's frame) is never touched after ParallelFor returns.
+ */
+struct ThreadPool::Batch
+{
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t n = 0;
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int64_t next = 0;      ///< first unclaimed index
+    int64_t inflight = 0;  ///< claimed but not yet settled
+    bool cancelled = false;
+    int64_t error_index = std::numeric_limits<int64_t>::max();
+    std::exception_ptr error;
+
+    bool
+    Settled() const
+    {
+        return (next >= n || cancelled) && inflight == 0;
+    }
+};
+
+int
+ThreadPool::HardwareJobs()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+ThreadPool::ThreadPool(int jobs)
+{
+    jobs_ = jobs > 0 ? jobs : HardwareJobs();
+    const int num_workers = jobs_ - 1;
+    workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+    for (int i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_)
+                return;
+            batch = queue_.front();
+            queue_.pop_front();
+        }
+        DrainBatch(batch);
+    }
+}
+
+void
+ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch)
+{
+    for (;;) {
+        int64_t index;
+        {
+            std::lock_guard<std::mutex> lock(batch->mutex);
+            if (batch->cancelled || batch->next >= batch->n)
+                return;
+            index = batch->next++;
+            ++batch->inflight;
+        }
+        std::exception_ptr error;
+        try {
+            (*batch->fn)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(batch->mutex);
+            if (error) {
+                // Keep the lowest-index failure; indices are claimed in
+                // ascending order, so this is the first serial failure.
+                if (index < batch->error_index) {
+                    batch->error_index = index;
+                    batch->error = error;
+                }
+                batch->cancelled = true;
+            }
+            --batch->inflight;
+            if (batch->Settled())
+                batch->done_cv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
+{
+    if (n <= 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // jobs=1 (and trivial batches): exactly the serial loop.
+        for (int64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+
+    // One queue entry per potential helper; late-arriving helpers see
+    // an exhausted batch and return immediately.
+    const int64_t helpers =
+        std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
+    if (helpers > 0) {
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            for (int64_t i = 0; i < helpers; ++i)
+                queue_.push_back(batch);
+        }
+        if (helpers == 1)
+            queue_cv_.notify_one();
+        else
+            queue_cv_.notify_all();
+    }
+
+    // The caller works too: nested ParallelFor from a worker task
+    // drains its own batch even when every other worker is busy.
+    DrainBatch(batch);
+
+    {
+        std::unique_lock<std::mutex> lock(batch->mutex);
+        batch->done_cv.wait(lock, [&] { return batch->Settled(); });
+    }
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+}  // namespace spa

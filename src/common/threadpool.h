@@ -1,0 +1,91 @@
+#ifndef SPA_COMMON_THREADPOOL_H_
+#define SPA_COMMON_THREADPOOL_H_
+
+/**
+ * @file
+ * Fixed-size thread pool with a deterministic ParallelFor/ParallelMap
+ * API. This is the single parallel-evaluation substrate of the library:
+ * the eval::Evaluator, the autoseg engine's candidate fan-out, and the
+ * batched optimizers all run on it.
+ *
+ * Design rules that keep results bitwise-identical to serial runs:
+ *
+ *  - ParallelMap writes result i into slot i, so output ordering never
+ *    depends on thread scheduling.
+ *  - Indices are claimed in ascending order; reductions happen on the
+ *    caller after the batch completes, in index order.
+ *  - The caller participates in the batch. A ParallelFor issued from
+ *    inside a worker task therefore always completes even when every
+ *    other worker is busy (nested submission cannot deadlock).
+ *  - A pool of size 1 spawns no workers and runs every batch inline on
+ *    the caller, making jobs=1 exactly the serial execution.
+ *
+ * Exceptions thrown by batch items are captured; after the batch
+ * settles, the exception of the lowest-index failing item is rethrown
+ * on the caller (remaining unclaimed items are skipped).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spa {
+
+class ThreadPool
+{
+  public:
+    /** @param jobs parallel width including the caller; <= 0 = hardware. */
+    explicit ThreadPool(int jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Parallel width (worker threads + the participating caller). */
+    int jobs() const { return jobs_; }
+
+    /** Hardware concurrency, never less than 1. */
+    static int HardwareJobs();
+
+    /**
+     * Runs fn(i) for every i in [0, n). Blocks until all items settle;
+     * rethrows the lowest-index captured exception, if any.
+     */
+    void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+    /**
+     * ParallelFor that collects fn(i) into slot i of the result, so the
+     * output order is the index order regardless of scheduling.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    ParallelMap(int64_t n, Fn&& fn)
+    {
+        std::vector<T> out(static_cast<size_t>(n));
+        ParallelFor(n, [&](int64_t i) { out[static_cast<size_t>(i)] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** Shared state of one ParallelFor batch. */
+    struct Batch;
+
+    void WorkerLoop();
+    static void DrainBatch(const std::shared_ptr<Batch>& batch);
+
+    int jobs_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::shared_ptr<Batch>> queue_;
+    bool stopping_ = false;
+};
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_THREADPOOL_H_

@@ -1,12 +1,89 @@
 #include "cost/cost.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/util.h"
 
 namespace spa {
 namespace cost {
+
+namespace detail {
+
+/**
+ * Thread-safe memo of ComputeCycles. The formula depends only on the
+ * layer's (cin, cout, hout, wout, kernel, groups), the PU's rows/cols,
+ * and the dataflow, so that tuple is the key; distinct layers with the
+ * same dimensions correctly share an entry.
+ */
+class ComputeCycleMemo
+{
+  public:
+    struct Key
+    {
+        int64_t cin, cout, hout, wout, kernel, groups, rows, cols;
+        int df;
+
+        bool
+        operator==(const Key& o) const
+        {
+            return cin == o.cin && cout == o.cout && hout == o.hout &&
+                   wout == o.wout && kernel == o.kernel && groups == o.groups &&
+                   rows == o.rows && cols == o.cols && df == o.df;
+        }
+    };
+
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key& k) const
+        {
+            uint64_t h = 0xcbf29ce484222325ULL;
+            const int64_t fields[] = {k.cin,    k.cout,   k.hout,
+                                      k.wout,   k.kernel, k.groups,
+                                      k.rows,   k.cols,   k.df};
+            for (int64_t f : fields) {
+                h ^= static_cast<uint64_t>(f);
+                h *= 0x100000001b3ULL;
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+
+    bool
+    Lookup(const Key& key, int64_t& cycles) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return false;
+        cycles = it->second;
+        return true;
+    }
+
+    void
+    Store(const Key& key, int64_t cycles)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        entries_.emplace(key, cycles);
+    }
+
+    size_t
+    Size() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<Key, int64_t, KeyHash> entries_;
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -35,9 +112,40 @@ DimsOf(const nn::WorkloadLayer& l)
 
 }  // namespace
 
+void
+CostModel::EnableMemo()
+{
+    if (!memo_)
+        memo_ = std::make_shared<detail::ComputeCycleMemo>();
+}
+
+size_t
+CostModel::MemoSize() const
+{
+    return memo_ ? memo_->Size() : 0;
+}
+
 int64_t
 CostModel::ComputeCycles(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
                          hw::Dataflow df) const
+{
+    if (memo_) {
+        const detail::ComputeCycleMemo::Key key{
+            l.cin,      l.cout,  l.hout,  l.wout, l.kernel,
+            l.groups,   pu.rows, pu.cols, static_cast<int>(df)};
+        int64_t cycles = 0;
+        if (memo_->Lookup(key, cycles))
+            return cycles;
+        cycles = ComputeCyclesUncached(l, pu, df);
+        memo_->Store(key, cycles);
+        return cycles;
+    }
+    return ComputeCyclesUncached(l, pu, df);
+}
+
+int64_t
+CostModel::ComputeCyclesUncached(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
+                                 hw::Dataflow df) const
 {
     const Dims d = DimsOf(l);
     const int64_t r = pu.rows;

@@ -16,6 +16,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 
 #include "hw/config.h"
 #include "hw/tech.h"
@@ -23,6 +24,10 @@
 
 namespace spa {
 namespace cost {
+
+namespace detail {
+class ComputeCycleMemo;
+}  // namespace detail
 
 /** On-chip movement counts of one layer pass, in elements. */
 struct BufferTraffic
@@ -63,6 +68,20 @@ class CostModel
     }
 
     const hw::TechnologyModel& tech() const { return tech_; }
+
+    /**
+     * Installs a shared, thread-safe memo for ComputeCycles keyed by
+     * (layer dimensions, PU shape, dataflow) — the allocator's hot call.
+     * Copies of a memo-enabled model share one memo, so every component
+     * holding a copy (allocator, engine, baselines) reuses the same
+     * entries. Results are bitwise-identical with or without the memo.
+     */
+    void EnableMemo();
+
+    bool memo_enabled() const { return memo_ != nullptr; }
+
+    /** Entries currently memoized (0 when the memo is disabled). */
+    size_t MemoSize() const;
 
     /**
      * Exact systolic compute cycles of the layer on an RxC PU. Matches
@@ -135,7 +154,11 @@ class CostModel
                                         int bytes_per_elem);
 
   private:
+    int64_t ComputeCyclesUncached(const nn::WorkloadLayer& l,
+                                  const hw::PuConfig& pu, hw::Dataflow df) const;
+
     hw::TechnologyModel tech_;
+    std::shared_ptr<detail::ComputeCycleMemo> memo_;
 };
 
 }  // namespace cost

@@ -1,0 +1,85 @@
+#include "eval/evaluator.h"
+
+namespace spa {
+namespace eval {
+
+namespace {
+
+/** Enables the compute-cycle memo before the allocator copies `cm`. */
+const cost::CostModel&
+WithMemo(cost::CostModel& cm, bool enable)
+{
+    if (enable)
+        cm.EnableMemo();
+    return cm;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const cost::CostModel& cost_model, EvalOptions options)
+    : cost_(cost_model),
+      allocator_(WithMemo(cost_, options.memoize_cost)),
+      pool_(options.jobs)
+{
+}
+
+alloc::AllocationResult
+Evaluator::Allocate(const nn::Workload& w, const seg::Assignment& a,
+                    const hw::Platform& budget, alloc::DesignGoal goal) const
+{
+    return allocator_.Allocate(w, a, budget, goal);
+}
+
+alloc::AllocationResult
+Evaluator::Evaluate(const nn::Workload& w, const seg::Assignment& a,
+                    const hw::SpaConfig& config) const
+{
+    return allocator_.Evaluate(w, a, config);
+}
+
+CandidateEval
+Evaluator::EvaluateCandidate(const nn::Workload& w, const seg::Assignment& a,
+                             const hw::Platform& budget,
+                             alloc::DesignGoal goal) const
+{
+    CandidateEval out;
+    out.alloc = allocator_.Allocate(w, a, budget, goal);
+    out.metrics = seg::ComputeMetrics(w, a);
+    return out;
+}
+
+CandidateEval
+Evaluator::EvaluateCandidateOn(const nn::Workload& w, const seg::Assignment& a,
+                               const hw::SpaConfig& config) const
+{
+    CandidateEval out;
+    out.alloc = allocator_.Evaluate(w, a, config);
+    out.metrics = seg::ComputeMetrics(w, a);
+    return out;
+}
+
+std::vector<CandidateEval>
+Evaluator::EvaluateCandidates(const nn::Workload& w,
+                              const std::vector<seg::Assignment>& assignments,
+                              const hw::Platform& budget,
+                              alloc::DesignGoal goal) const
+{
+    return pool_.ParallelMap<CandidateEval>(
+        static_cast<int64_t>(assignments.size()), [&](int64_t i) {
+            return EvaluateCandidate(w, assignments[static_cast<size_t>(i)],
+                                     budget, goal);
+        });
+}
+
+std::vector<double>
+Evaluator::Objectives(
+    const std::vector<std::vector<int>>& xs,
+    const std::function<double(const std::vector<int>&)>& objective) const
+{
+    return pool_.ParallelMap<double>(
+        static_cast<int64_t>(xs.size()),
+        [&](int64_t i) { return objective(xs[static_cast<size_t>(i)]); });
+}
+
+}  // namespace eval
+}  // namespace spa

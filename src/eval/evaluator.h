@@ -1,0 +1,121 @@
+#ifndef SPA_EVAL_EVALUATOR_H_
+#define SPA_EVAL_EVALUATOR_H_
+
+/**
+ * @file
+ * The unified parallel evaluation layer.
+ *
+ * Every co-design search in the library -- the AutoSeg engine's (S, N)
+ * walk, the Sec. VI-G black-box baselines, and the bench drivers --
+ * funnels its (workload, assignment, platform/config) -> metrics
+ * evaluations through one Evaluator instead of constructing private
+ * allocator + cost-model loops. The Evaluator owns:
+ *
+ *  - a memo-enabled CostModel (thread-safe per-(layer, PU-shape,
+ *    dataflow) compute-cycle cache shared by every component that
+ *    copies the model),
+ *  - the Alg. 1 Allocator built on that model,
+ *  - a thread-safe SegmentationCache for cross-budget reuse, and
+ *  - a fixed-size ThreadPool sized by the jobs knob.
+ *
+ * All batch APIs return results in input order and are bitwise-
+ * deterministic: the same inputs produce the same outputs for any jobs
+ * value, including jobs=1 (which runs inline on the caller).
+ */
+
+#include <functional>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "common/threadpool.h"
+#include "eval/seg_cache.h"
+#include "hw/platform.h"
+#include "nn/workload.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace eval {
+
+/** Evaluation-layer knobs. */
+struct EvalOptions
+{
+    /** Parallel width; <= 0 means hardware concurrency. */
+    int jobs = 0;
+    /** Memoize cost-model compute cycles across evaluations. */
+    bool memoize_cost = true;
+};
+
+/** One candidate design, fully evaluated. */
+struct CandidateEval
+{
+    alloc::AllocationResult alloc;
+    seg::SegmentMetrics metrics;
+
+    bool ok() const { return alloc.ok; }
+};
+
+/** The shared evaluation front end. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const cost::CostModel& cost_model, EvalOptions options = {});
+
+    // ---- Primitive evaluations (no segment metrics). ----
+
+    /** Alg. 1 allocation of `a` under `budget`. */
+    alloc::AllocationResult Allocate(const nn::Workload& w,
+                                     const seg::Assignment& a,
+                                     const hw::Platform& budget,
+                                     alloc::DesignGoal goal) const;
+
+    /** Evaluation of `a` on a fixed configuration (baseline searches). */
+    alloc::AllocationResult Evaluate(const nn::Workload& w,
+                                     const seg::Assignment& a,
+                                     const hw::SpaConfig& config) const;
+
+    // ---- Full candidate evaluations (allocation + metrics). ----
+
+    CandidateEval EvaluateCandidate(const nn::Workload& w, const seg::Assignment& a,
+                                    const hw::Platform& budget,
+                                    alloc::DesignGoal goal) const;
+
+    CandidateEval EvaluateCandidateOn(const nn::Workload& w,
+                                      const seg::Assignment& a,
+                                      const hw::SpaConfig& config) const;
+
+    /**
+     * Evaluates every assignment in parallel; result i corresponds to
+     * assignments[i] regardless of thread scheduling.
+     */
+    std::vector<CandidateEval>
+    EvaluateCandidates(const nn::Workload& w,
+                       const std::vector<seg::Assignment>& assignments,
+                       const hw::Platform& budget, alloc::DesignGoal goal) const;
+
+    /**
+     * Generic deterministic objective batch: objective(xs[i]) for every
+     * i, evaluated on the pool, returned in input order.
+     */
+    std::vector<double>
+    Objectives(const std::vector<std::vector<int>>& xs,
+               const std::function<double(const std::vector<int>&)>& objective) const;
+
+    // ---- Shared infrastructure. ----
+
+    ThreadPool& pool() const { return pool_; }
+    SegmentationCache& segmentation_cache() const { return seg_cache_; }
+    const alloc::Allocator& allocator() const { return allocator_; }
+    const cost::CostModel& cost_model() const { return cost_; }
+    int jobs() const { return pool_.jobs(); }
+
+  private:
+    cost::CostModel cost_;
+    alloc::Allocator allocator_;
+    mutable SegmentationCache seg_cache_;
+    mutable ThreadPool pool_;
+};
+
+}  // namespace eval
+}  // namespace spa
+
+#endif  // SPA_EVAL_EVALUATOR_H_

@@ -1,0 +1,70 @@
+#ifndef SPA_EVAL_SEG_CACHE_H_
+#define SPA_EVAL_SEG_CACHE_H_
+
+/**
+ * @file
+ * Cross-budget segmentation memo, safe for concurrent use.
+ *
+ * Sec. V of the paper: "the results of model segmentation can be
+ * repeatedly used to generate SPA designs under different hardware
+ * constraints" -- one cache shared across budgets gets exactly that
+ * reuse. The co-design engine now evaluates (S, N) candidates on a
+ * thread pool, so Lookup/Store race across worker threads; a shared
+ * mutex serializes writers while letting the read-mostly steady state
+ * proceed concurrently.
+ */
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <tuple>
+
+#include "seg/assignment.h"
+
+namespace spa {
+namespace eval {
+
+/** Memo of segmentation solutions keyed by (workload name, S, N). */
+class SegmentationCache
+{
+  public:
+    /** @return true when an entry exists; `out` empty means infeasible. */
+    bool
+    Lookup(const std::string& model, int s, int n,
+           std::optional<seg::Assignment>& out) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find({model, s, n});
+        if (it == entries_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    Store(const std::string& model, int s, int n,
+          std::optional<seg::Assignment> assignment)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        entries_[{model, s, n}] = std::move(assignment);
+    }
+
+    size_t
+    Size() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::map<std::tuple<std::string, int, int>, std::optional<seg::Assignment>>
+        entries_;
+};
+
+}  // namespace eval
+}  // namespace spa
+
+#endif  // SPA_EVAL_SEG_CACHE_H_

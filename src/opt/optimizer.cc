@@ -70,6 +70,26 @@ NormCdf(double z)
     return 0.5 * std::erfc(-z / std::sqrt(2.0));
 }
 
+/**
+ * Evaluates objective(xs[i]) for every i, on the pool when one is
+ * given; result order is proposal order either way.
+ */
+std::vector<double>
+EvaluateBatch(const std::vector<std::vector<int>>& xs, const Objective& objective,
+              ThreadPool* pool)
+{
+    if (pool == nullptr || pool->jobs() <= 1 || xs.size() <= 1) {
+        std::vector<double> ys;
+        ys.reserve(xs.size());
+        for (const auto& x : xs)
+            ys.push_back(objective(x));
+        return ys;
+    }
+    return pool->ParallelMap<double>(
+        static_cast<int64_t>(xs.size()),
+        [&](int64_t i) { return objective(xs[static_cast<size_t>(i)]); });
+}
+
 }  // namespace
 
 int64_t
@@ -88,11 +108,28 @@ OptResult
 RandomSearch(const Space& space, const Objective& objective, int iterations,
              uint64_t seed)
 {
+    return RandomSearch(space, objective, iterations, seed, BatchEval{});
+}
+
+OptResult
+RandomSearch(const Space& space, const Objective& objective, int iterations,
+             uint64_t seed, const BatchEval& batch_eval)
+{
     Rng rng(seed);
     OptResult result;
-    for (int i = 0; i < iterations; ++i) {
-        const auto x = RandomPoint(space, rng);
-        Record(result, x, objective(x));
+    const int batch = std::max(1, batch_eval.batch);
+    for (int done = 0; done < iterations;) {
+        const int b = std::min(batch, iterations - done);
+        std::vector<std::vector<int>> xs;
+        xs.reserve(static_cast<size_t>(b));
+        for (int i = 0; i < b; ++i)
+            xs.push_back(RandomPoint(space, rng));
+        const std::vector<double> ys =
+            EvaluateBatch(xs, objective, batch_eval.pool);
+        for (int i = 0; i < b; ++i)
+            Record(result, xs[static_cast<size_t>(i)],
+                   ys[static_cast<size_t>(i)]);
+        done += b;
     }
     return result;
 }
@@ -101,14 +138,27 @@ OptResult
 SimulatedAnnealing(const Space& space, const Objective& objective, int iterations,
                    uint64_t seed, double t0, double cooling)
 {
+    return SimulatedAnnealing(space, objective, iterations, seed, BatchEval{}, t0,
+                              cooling);
+}
+
+OptResult
+SimulatedAnnealing(const Space& space, const Objective& objective, int iterations,
+                   uint64_t seed, const BatchEval& batch_eval, double t0,
+                   double cooling)
+{
     Rng rng(seed);
     OptResult result;
+    if (iterations <= 0)
+        return result;
     std::vector<int> current = RandomPoint(space, rng);
     double current_value = objective(current);
     Record(result, current, current_value);
     double temperature = t0;
-    for (int i = 1; i < iterations; ++i) {
-        std::vector<int> next = current;
+    const int batch = std::max(1, batch_eval.batch);
+
+    auto propose = [&](const std::vector<int>& base) {
+        std::vector<int> next = base;
         const int dim = static_cast<int>(rng.UniformInt(0, space.dims() - 1));
         const int card = space.cardinalities[static_cast<size_t>(dim)];
         if (card > 1) {
@@ -118,15 +168,33 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
                 v = next[static_cast<size_t>(dim)] - step;
             next[static_cast<size_t>(dim)] = std::clamp(v, 0, card - 1);
         }
-        const double next_value = objective(next);
-        Record(result, next, next_value);
-        const double delta = next_value - current_value;
-        if (delta <= 0.0 ||
-            rng.Uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
-            current = next;
-            current_value = next_value;
+        return next;
+    };
+
+    for (int done = 1; done < iterations;) {
+        // Speculative round: all proposals are neighbors of the round's
+        // starting point; acceptance is applied in proposal order. With
+        // batch=1 this is exactly the classic serial chain (proposal
+        // and acceptance draws interleave identically).
+        const int b = std::min(batch, iterations - done);
+        std::vector<std::vector<int>> xs;
+        xs.reserve(static_cast<size_t>(b));
+        for (int i = 0; i < b; ++i)
+            xs.push_back(propose(current));
+        const std::vector<double> ys =
+            EvaluateBatch(xs, objective, batch_eval.pool);
+        for (int i = 0; i < b; ++i) {
+            const double next_value = ys[static_cast<size_t>(i)];
+            Record(result, xs[static_cast<size_t>(i)], next_value);
+            const double delta = next_value - current_value;
+            if (delta <= 0.0 ||
+                rng.Uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+                current = xs[static_cast<size_t>(i)];
+                current_value = next_value;
+            }
+            temperature *= cooling;
         }
-        temperature *= cooling;
+        done += b;
     }
     return result;
 }
@@ -197,12 +265,17 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
         const auto alpha =
             la::SolveLowerTransposed(lmat, la::SolveLower(lmat, yn));
 
-        // Expected improvement over random candidates.
-        double best_norm = *std::min_element(yn.begin(), yn.end());
-        std::vector<int> best_candidate;
-        double best_ei = -1.0;
-        for (int c = 0; c < options.acquisition_samples; ++c) {
-            const auto candidate = RandomPoint(space, rng);
+        // Expected improvement over random candidates. Candidates are
+        // proposed sequentially (fixed RNG stream), scored in parallel
+        // (scoring is pure), and reduced by a first-wins argmax in
+        // proposal order — identical selection for any pool width.
+        const double best_norm = *std::min_element(yn.begin(), yn.end());
+        std::vector<std::vector<int>> candidates;
+        candidates.reserve(static_cast<size_t>(options.acquisition_samples));
+        for (int c = 0; c < options.acquisition_samples; ++c)
+            candidates.push_back(RandomPoint(space, rng));
+
+        auto score = [&](const std::vector<int>& candidate) {
             const auto cu = ToUnit(space, candidate);
             std::vector<double> kvec(n);
             for (size_t i = 0; i < n; ++i)
@@ -213,10 +286,16 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
             sigma2 = std::max(sigma2, 1e-10);
             const double sigma = std::sqrt(sigma2);
             const double z = (best_norm - mu) / sigma;
-            const double ei = sigma * (z * NormCdf(z) + NormPdf(z));
-            if (ei > best_ei) {
-                best_ei = ei;
-                best_candidate = candidate;
+            return sigma * (z * NormCdf(z) + NormPdf(z));
+        };
+        const std::vector<double> ei = EvaluateBatch(candidates, score, options.pool);
+
+        std::vector<int> best_candidate;
+        double best_ei = -1.0;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            if (ei[c] > best_ei) {
+                best_ei = ei[c];
+                best_candidate = candidates[c];
             }
         }
         evaluate(best_candidate);

@@ -17,6 +17,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/threadpool.h"
+
 namespace spa {
 namespace opt {
 
@@ -45,13 +47,49 @@ struct OptResult
     std::vector<std::pair<std::vector<int>, double>> evaluations;
 };
 
+/**
+ * Parallel-evaluation knobs for the batched optimizer variants.
+ *
+ * Points of a batch are proposed sequentially from the deterministic
+ * RNG, evaluated concurrently on the pool, then reduced in proposal
+ * order — so a given (seed, batch) always produces the same trace
+ * regardless of the pool's width (including no pool at all).
+ */
+struct BatchEval
+{
+    ThreadPool* pool = nullptr;  ///< null: evaluate serially on the caller
+    int batch = 1;               ///< proposals evaluated per round
+};
+
 /** Uniform random sampling. */
 OptResult RandomSearch(const Space& space, const Objective& objective, int iterations,
                        uint64_t seed);
 
+/**
+ * Batched random search. The trace is identical to the serial
+ * RandomSearch for every (pool, batch) combination: proposals draw from
+ * the RNG in the same order and results are recorded in proposal order.
+ */
+OptResult RandomSearch(const Space& space, const Objective& objective, int iterations,
+                       uint64_t seed, const BatchEval& batch_eval);
+
 /** Simulated annealing with single-coordinate moves. */
 OptResult SimulatedAnnealing(const Space& space, const Objective& objective,
                              int iterations, uint64_t seed, double t0 = 1.0,
+                             double cooling = 0.97);
+
+/**
+ * Batched simulated annealing: each round speculatively proposes
+ * `batch` single-coordinate moves from the round's starting point,
+ * evaluates them in parallel, then applies the usual Metropolis
+ * acceptance to each in proposal order. batch=1 reproduces the serial
+ * SimulatedAnnealing trace exactly; batch>1 is a (deterministic)
+ * speculative variant whose trace depends on `batch` but never on the
+ * pool width.
+ */
+OptResult SimulatedAnnealing(const Space& space, const Objective& objective,
+                             int iterations, uint64_t seed,
+                             const BatchEval& batch_eval, double t0 = 1.0,
                              double cooling = 0.97);
 
 /** Knobs for the GP Bayesian optimizer. */
@@ -63,6 +101,13 @@ struct BayesOptions
     double noise = 1e-6;
     /** GP conditioning set cap: most recent observations kept. */
     int max_gp_points = 160;
+    /**
+     * Optional pool for scoring the EI acquisition candidates in
+     * parallel. Candidates are proposed before scoring and the argmax
+     * scans scores in proposal order, so the chosen point is identical
+     * with or without a pool.
+     */
+    ThreadPool* pool = nullptr;
 };
 
 /** Gaussian-process (RBF kernel) expected-improvement optimizer. */

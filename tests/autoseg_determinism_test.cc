@@ -1,0 +1,118 @@
+// Regression tests for the parallel co-design engine: Engine::Run with
+// jobs=1 (strictly serial) and jobs=8 must produce identical
+// CoDesignResults — same winning design, same metrics, and the same
+// explored-candidate trace in the same enumeration order.
+
+#include <gtest/gtest.h>
+
+#include "autoseg/autoseg.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace autoseg {
+namespace {
+
+CoDesignOptions
+FastOptions(int jobs)
+{
+    CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    options.jobs = jobs;
+    return options;
+}
+
+void
+ExpectIdenticalResults(const CoDesignResult& a, const CoDesignResult& b,
+                       alloc::DesignGoal goal)
+{
+    ASSERT_EQ(a.ok, b.ok);
+    if (a.ok) {
+        EXPECT_EQ(a.assignment.num_segments, b.assignment.num_segments);
+        EXPECT_EQ(a.assignment.num_pus, b.assignment.num_pus);
+        EXPECT_EQ(a.assignment.segment_of, b.assignment.segment_of);
+        EXPECT_EQ(a.assignment.pu_of, b.assignment.pu_of);
+        EXPECT_EQ(a.alloc.latency_seconds, b.alloc.latency_seconds);
+        EXPECT_EQ(a.alloc.throughput_fps, b.alloc.throughput_fps);
+        EXPECT_EQ(a.alloc.pe_utilization, b.alloc.pe_utilization);
+        EXPECT_EQ(a.alloc.config.ToString(), b.alloc.config.ToString());
+        EXPECT_EQ(a.metrics.min_ctc, b.metrics.min_ctc);
+        EXPECT_EQ(a.metrics.sod, b.metrics.sod);
+        EXPECT_EQ(a.GoalValue(goal), b.GoalValue(goal));
+    }
+    // The explored trace must match entry for entry, in order.
+    ASSERT_EQ(a.explored.size(), b.explored.size());
+    for (size_t i = 0; i < a.explored.size(); ++i) {
+        const CandidateRecord& ra = a.explored[i];
+        const CandidateRecord& rb = b.explored[i];
+        EXPECT_EQ(ra.num_segments, rb.num_segments) << "entry " << i;
+        EXPECT_EQ(ra.num_pus, rb.num_pus) << "entry " << i;
+        EXPECT_EQ(ra.feasible, rb.feasible) << "entry " << i;
+        EXPECT_EQ(ra.latency_seconds, rb.latency_seconds) << "entry " << i;
+        EXPECT_EQ(ra.throughput_fps, rb.throughput_fps) << "entry " << i;
+        EXPECT_EQ(ra.min_ctc, rb.min_ctc) << "entry " << i;
+        EXPECT_EQ(ra.sod, rb.sod) << "entry " << i;
+    }
+}
+
+void
+CheckModel(nn::Graph graph, const hw::Platform& budget, alloc::DesignGoal goal)
+{
+    nn::Workload w = nn::ExtractWorkload(std::move(graph));
+    cost::CostModel cost_model;
+    Engine serial(cost_model, FastOptions(1));
+    Engine parallel(cost_model, FastOptions(8));
+    const auto a = serial.Run(w, budget, goal);
+    const auto b = parallel.Run(w, budget, goal);
+    ASSERT_TRUE(a.ok);
+    ExpectIdenticalResults(a, b, goal);
+}
+
+TEST(EngineDeterminismTest, SqueezeNetLatency)
+{
+    CheckModel(nn::BuildSqueezeNet(), hw::EyerissBudget(),
+               alloc::DesignGoal::kLatency);
+}
+
+TEST(EngineDeterminismTest, AlexNetLatency)
+{
+    CheckModel(nn::BuildAlexNet(), hw::NvdlaSmallBudget(),
+               alloc::DesignGoal::kLatency);
+}
+
+TEST(EngineDeterminismTest, SqueezeNetThroughput)
+{
+    CheckModel(nn::BuildSqueezeNet(), hw::NvdlaSmallBudget(),
+               alloc::DesignGoal::kThroughput);
+}
+
+TEST(EngineDeterminismTest, RepeatedRunsAreStable)
+{
+    // Same engine, same inputs, run twice: the segmentation cache is
+    // warm the second time, which must not change the result.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions(8));
+    const auto first = engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    const auto second =
+        engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(first.ok);
+    ExpectIdenticalResults(first, second, alloc::DesignGoal::kLatency);
+}
+
+TEST(EngineDeterminismTest, HardwareDefaultJobsMatchesSerial)
+{
+    // jobs=0 (hardware concurrency) must agree with jobs=1 too.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel cost_model;
+    Engine serial(cost_model, FastOptions(1));
+    Engine hardware(cost_model, FastOptions(0));
+    const auto a = serial.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    const auto b = hardware.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_TRUE(a.ok);
+    ExpectIdenticalResults(a, b, alloc::DesignGoal::kLatency);
+}
+
+}  // namespace
+}  // namespace autoseg
+}  // namespace spa

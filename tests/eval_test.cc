@@ -1,0 +1,231 @@
+// Tests for the unified evaluation layer: the thread-safe segmentation
+// cache, the memoized cost model, and the Evaluator front end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "eval/seg_cache.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace eval {
+namespace {
+
+TEST(SegmentationCacheTest, StoreLookupRoundtrip)
+{
+    SegmentationCache cache;
+    std::optional<seg::Assignment> out;
+    EXPECT_FALSE(cache.Lookup("net", 2, 3, out));
+
+    seg::Assignment a;
+    a.num_segments = 2;
+    a.num_pus = 3;
+    a.segment_of = {0, 0, 1};
+    a.pu_of = {0, 1, 0};
+    cache.Store("net", 2, 3, a);
+    cache.Store("net", 4, 3, std::nullopt);  // infeasible entry
+
+    ASSERT_TRUE(cache.Lookup("net", 2, 3, out));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->num_segments, 2);
+    EXPECT_EQ(out->segment_of, (std::vector<int>{0, 0, 1}));
+
+    ASSERT_TRUE(cache.Lookup("net", 4, 3, out));
+    EXPECT_FALSE(out.has_value());
+    EXPECT_EQ(cache.Size(), 2u);
+}
+
+TEST(SegmentationCacheTest, ConcurrentHammerIsConsistent)
+{
+    // Satellite requirement: hammer Lookup/Store from many threads.
+    // Every thread stores its own keys and re-reads everyone's; any
+    // entry that is found must carry the value its key implies.
+    SegmentationCache cache;
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 64;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &bad, t] {
+            for (int round = 0; round < 50; ++round) {
+                for (int k = 0; k < kKeys; ++k) {
+                    seg::Assignment a;
+                    a.num_segments = k + 1;
+                    a.num_pus = t + 1;
+                    cache.Store("m" + std::to_string(t), k, 1, a);
+                    std::optional<seg::Assignment> out;
+                    const int peer = (t + round) % kThreads;
+                    if (cache.Lookup("m" + std::to_string(peer), k, 1, out)) {
+                        if (!out.has_value() || out->num_segments != k + 1 ||
+                            out->num_pus != peer + 1)
+                            bad++;
+                    }
+                }
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(cache.Size(), static_cast<size_t>(kThreads * kKeys));
+}
+
+TEST(CostMemoTest, MemoMatchesUncachedExactly)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel plain;
+    cost::CostModel memoized;
+    memoized.EnableMemo();
+    ASSERT_TRUE(memoized.memo_enabled());
+
+    const std::vector<hw::PuConfig> shapes = {{8, 8}, {16, 8}, {12, 24}};
+    for (const auto& l : w.layers) {
+        for (const auto& pu : shapes) {
+            for (hw::Dataflow df : {hw::Dataflow::kWeightStationary,
+                                    hw::Dataflow::kOutputStationary}) {
+                const int64_t expect = plain.ComputeCycles(l, pu, df);
+                // Twice: once filling the memo, once hitting it.
+                EXPECT_EQ(memoized.ComputeCycles(l, pu, df), expect);
+                EXPECT_EQ(memoized.ComputeCycles(l, pu, df), expect);
+            }
+        }
+    }
+    EXPECT_GT(memoized.MemoSize(), 0u);
+}
+
+TEST(CostMemoTest, CopiesShareOneMemo)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel model;
+    model.EnableMemo();
+    cost::CostModel copy = model;  // shares the memo
+    const hw::PuConfig pu{16, 16};
+    for (const auto& l : w.layers)
+        copy.ComputeCycles(l, pu, hw::Dataflow::kWeightStationary);
+    EXPECT_GT(model.MemoSize(), 0u);
+    EXPECT_EQ(model.MemoSize(), copy.MemoSize());
+}
+
+TEST(CostMemoTest, ConcurrentComputeCyclesAgree)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel plain;
+    cost::CostModel memoized;
+    memoized.EnableMemo();
+    const hw::PuConfig pu{8, 8};
+
+    std::vector<int64_t> expect;
+    for (const auto& l : w.layers)
+        expect.push_back(plain.ComputeCycles(l, pu, hw::Dataflow::kWeightStationary));
+
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int round = 0; round < 20; ++round)
+                for (size_t i = 0; i < w.layers.size(); ++i)
+                    if (memoized.ComputeCycles(w.layers[i], pu,
+                                               hw::Dataflow::kWeightStationary) !=
+                        expect[i])
+                        bad++;
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(EvaluatorTest, MatchesDirectAllocatorPath)
+{
+    // The Evaluator must reproduce exactly what a hand-rolled
+    // allocator + metrics loop produces (that is the refactor's
+    // contract: call sites migrate without result drift).
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    alloc::Allocator direct(cost_model);
+    Evaluator evaluator(cost_model, EvalOptions{4, true});
+
+    const hw::Platform budget = hw::EyerissBudget();
+    seg::Assignment a = seg::EvenSegmentation(w, 4, 2);
+    const auto want = direct.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
+    const auto got = evaluator.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
+    ASSERT_EQ(got.ok, want.ok);
+    if (want.ok) {
+        EXPECT_EQ(got.latency_seconds, want.latency_seconds);
+        EXPECT_EQ(got.throughput_fps, want.throughput_fps);
+        EXPECT_EQ(got.config.ToString(), want.config.ToString());
+    }
+
+    const auto full =
+        evaluator.EvaluateCandidate(w, a, budget, alloc::DesignGoal::kLatency);
+    EXPECT_EQ(full.ok(), want.ok);
+    const auto metrics = seg::ComputeMetrics(w, a);
+    EXPECT_EQ(full.metrics.min_ctc, metrics.min_ctc);
+    EXPECT_EQ(full.metrics.sod, metrics.sod);
+}
+
+TEST(EvaluatorTest, BatchEvaluationPreservesInputOrder)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Evaluator serial(cost_model, EvalOptions{1, true});
+    Evaluator parallel(cost_model, EvalOptions{8, true});
+
+    std::vector<seg::Assignment> candidates;
+    for (int layers_per_seg : {2, 3, 4, 5, 6})
+        candidates.push_back(seg::EvenSegmentation(w, layers_per_seg, 2));
+
+    const hw::Platform budget = hw::EyerissBudget();
+    const auto a =
+        serial.EvaluateCandidates(w, candidates, budget, alloc::DesignGoal::kLatency);
+    const auto b = parallel.EvaluateCandidates(w, candidates, budget,
+                                               alloc::DesignGoal::kLatency);
+    ASSERT_EQ(a.size(), candidates.size());
+    ASSERT_EQ(b.size(), candidates.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ok(), b[i].ok());
+        if (a[i].ok()) {
+            EXPECT_EQ(a[i].alloc.latency_seconds, b[i].alloc.latency_seconds);
+            EXPECT_EQ(a[i].alloc.config.ToString(), b[i].alloc.config.ToString());
+            EXPECT_EQ(a[i].metrics.min_ctc, b[i].metrics.min_ctc);
+        }
+    }
+}
+
+TEST(EvaluatorTest, ObjectivesReturnInputOrder)
+{
+    cost::CostModel cost_model;
+    Evaluator evaluator(cost_model, EvalOptions{8, false});
+    std::vector<std::vector<int>> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back({i, 2 * i});
+    const auto ys = evaluator.Objectives(
+        xs, [](const std::vector<int>& x) { return x[0] + 0.5 * x[1]; });
+    ASSERT_EQ(ys.size(), xs.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(ys[static_cast<size_t>(i)], 2.0 * i);
+}
+
+TEST(EvaluatorTest, SegmentationCacheIsSharedAndUsable)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Evaluator evaluator(cost_model, EvalOptions{2, true});
+    seg::Assignment a = seg::EvenSegmentation(w, 4, 2);
+    evaluator.segmentation_cache().Store(w.name, a.num_segments, a.num_pus, a);
+    std::optional<seg::Assignment> out;
+    ASSERT_TRUE(evaluator.segmentation_cache().Lookup(w.name, a.num_segments,
+                                                      a.num_pus, out));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->pu_of, a.pu_of);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace spa

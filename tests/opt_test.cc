@@ -119,6 +119,76 @@ TEST(OptimizersTest, SingleCardinalityDims)
     EXPECT_EQ(result.best_x[2], 0);
 }
 
+void
+ExpectIdenticalTraces(const OptResult& a, const OptResult& b)
+{
+    EXPECT_EQ(a.best_x, b.best_x);
+    EXPECT_EQ(a.best_value, b.best_value);
+    EXPECT_EQ(a.history, b.history);
+    ASSERT_EQ(a.evaluations.size(), b.evaluations.size());
+    for (size_t i = 0; i < a.evaluations.size(); ++i) {
+        EXPECT_EQ(a.evaluations[i].first, b.evaluations[i].first) << "eval " << i;
+        EXPECT_EQ(a.evaluations[i].second, b.evaluations[i].second) << "eval " << i;
+    }
+}
+
+TEST(BatchEvalTest, BatchedRandomSearchMatchesSerialExactly)
+{
+    // Batched random search must be trace-identical to the serial
+    // version for any (pool, batch): proposals consume the RNG in the
+    // same order and results are recorded in proposal order.
+    Space space{{9, 9, 5}};
+    const auto serial = RandomSearch(space, Bowl(space), 100, 7);
+    ThreadPool pool(4);
+    for (int batch : {1, 3, 8, 100}) {
+        const auto batched =
+            RandomSearch(space, Bowl(space), 100, 7, BatchEval{&pool, batch});
+        ExpectIdenticalTraces(serial, batched);
+    }
+    const auto no_pool =
+        RandomSearch(space, Bowl(space), 100, 7, BatchEval{nullptr, 8});
+    ExpectIdenticalTraces(serial, no_pool);
+}
+
+TEST(BatchEvalTest, AnnealingBatchOneMatchesSerialExactly)
+{
+    Space space{{9, 9}};
+    const auto serial = SimulatedAnnealing(space, Bowl(space), 120, 13);
+    ThreadPool pool(4);
+    const auto batched =
+        SimulatedAnnealing(space, Bowl(space), 120, 13, BatchEval{&pool, 1});
+    ExpectIdenticalTraces(serial, batched);
+}
+
+TEST(BatchEvalTest, SpeculativeAnnealingIsPoolWidthInvariant)
+{
+    // batch>1 changes the chain (speculative proposals) but the trace
+    // must only depend on (seed, batch), never on the pool width.
+    Space space{{9, 9, 9}};
+    ThreadPool wide(8);
+    ThreadPool narrow(2);
+    const auto a =
+        SimulatedAnnealing(space, Bowl(space), 90, 5, BatchEval{&wide, 4});
+    const auto b =
+        SimulatedAnnealing(space, Bowl(space), 90, 5, BatchEval{&narrow, 4});
+    const auto c =
+        SimulatedAnnealing(space, Bowl(space), 90, 5, BatchEval{nullptr, 4});
+    ExpectIdenticalTraces(a, b);
+    ExpectIdenticalTraces(a, c);
+    EXPECT_EQ(a.evaluations.size(), 90u);
+}
+
+TEST(BatchEvalTest, BayesPooledScoringMatchesSerialExactly)
+{
+    Space space{{7, 7}};
+    const auto serial = BayesianOptimize(space, Bowl(space), 25, 3);
+    ThreadPool pool(4);
+    BayesOptions options;
+    options.pool = &pool;
+    const auto pooled = BayesianOptimize(space, Bowl(space), 25, 3, options);
+    ExpectIdenticalTraces(serial, pooled);
+}
+
 }  // namespace
 }  // namespace opt
 }  // namespace spa

@@ -1,0 +1,125 @@
+// Tests for the deterministic thread pool: result ordering, exception
+// propagation, nested submission, and the jobs=1 serial guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threadpool.h"
+
+namespace spa {
+namespace {
+
+TEST(ThreadPoolTest, HardwareJobsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::HardwareJobs(), 1);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.jobs(), ThreadPool::HardwareJobs());
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(8);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&](int64_t i) { visits[static_cast<size_t>(i)]++; });
+    for (int64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(8);
+    constexpr int64_t kN = 512;
+    const auto out = pool.ParallelMap<int64_t>(kN, [](int64_t i) { return i * i; });
+    ASSERT_EQ(out.size(), static_cast<size_t>(kN));
+    for (int64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonBatches)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.ParallelFor(0, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.ParallelFor(-3, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.ParallelFor(1, [&](int64_t i) { calls += static_cast<int>(i) + 1; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.ParallelFor(100,
+                                  [](int64_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("item 37");
+                                  }),
+                 std::runtime_error);
+    // The pool stays usable after a failed batch.
+    const auto out = pool.ParallelMap<int>(10, [](int64_t i) {
+        return static_cast<int>(i) + 1;
+    });
+    EXPECT_EQ(out.back(), 10);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins)
+{
+    ThreadPool pool(8);
+    for (int trial = 0; trial < 20; ++trial) {
+        try {
+            pool.ParallelFor(64, [](int64_t i) {
+                throw std::runtime_error("item " + std::to_string(i));
+            });
+            FAIL() << "expected a throw";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "item 0");
+        }
+    }
+}
+
+TEST(ThreadPoolTest, NestedSubmissionDoesNotDeadlock)
+{
+    // Every outer item issues an inner ParallelFor on the same pool
+    // while all workers are already inside the outer batch. The caller
+    // participates in its own batches, so this must complete.
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.ParallelFor(16, [&](int64_t) {
+        pool.ParallelFor(16, [&](int64_t j) { total += j; });
+    });
+    EXPECT_EQ(total.load(), 16 * (15 * 16 / 2));
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineInIndexOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1);
+    std::vector<int64_t> order;
+    pool.ParallelFor(100, [&](int64_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 100u);
+    for (int64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesBackToBack)
+{
+    ThreadPool pool(8);
+    int64_t sum = 0;
+    for (int round = 0; round < 200; ++round) {
+        const auto out =
+            pool.ParallelMap<int64_t>(3, [round](int64_t i) { return round + i; });
+        sum += out[0] + out[1] + out[2];
+    }
+    int64_t expected = 0;
+    for (int round = 0; round < 200; ++round)
+        expected += 3 * round + 3;
+    EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace spa

@@ -37,6 +37,8 @@ PrintUsage()
         "                           zu3eg|7z045|ku115>\n"
         "               [--goal latency|throughput]   (default latency)\n"
         "               [--pus N[,N...]]              PU-count candidates\n"
+        "               [--jobs N]                    parallel evaluation width\n"
+        "                                             (default: hardware)\n"
         "               [--record out.json]           design record\n"
         "               [--dot out.dot]               segmentation graph\n"
         "               [--rtl out_dir/]              SystemVerilog bundle\n"
@@ -94,6 +96,8 @@ main(int argc, char** argv)
                         .c_str());
     }
     autoseg::CoDesignOptions options;
+    if (args.count("jobs"))
+        options.jobs = std::stoi(args["jobs"]);
     if (args.count("pus")) {
         options.pu_candidates.clear();
         const std::string& list = args["pus"];
