@@ -43,6 +43,9 @@ SweepModel(const char* model, int num_pus, const hw::Platform& budget)
                          bench::Fmt(result.metrics.min_ctc, "%.1f"),
                          bench::Fmt(result.metrics.sod, "%.3f"),
                          bench::Fmt(static_cast<double>(dram) / 1048576.0)});
+        bench::SetMetric(std::string(model) + "@" + budget.name + ".S" +
+                             std::to_string(s) + ".latency_ms",
+                         result.alloc.latency_seconds * 1e3);
     }
 }
 

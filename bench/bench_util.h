@@ -11,10 +11,23 @@
  * Every harness accepts `--jobs N` (default: hardware concurrency) and
  * feeds it to the evaluation layer; results are bitwise-identical for
  * any jobs value, only wall time changes.
+ *
+ * Telemetry flags, shared by every harness:
+ *   --stats              dump the stats registry table to stderr
+ *   --stats-out PATH     write the stats registry as JSON
+ *   --trace-out PATH     record a Chrome trace of the artifact stage
+ *   --bench-json PATH    override the machine-readable summary path
+ *   --no-bench-json      suppress the summary file
+ *   --log-timestamps     prefix log lines with elapsed time
+ *
+ * Unless suppressed, the artifact stage writes BENCH_<name>.json in the
+ * working directory: wall time, jobs, the harness's own key metrics
+ * (SetMetric), evaluation-cache hit rates, and the full stats registry.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +36,9 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "json/json.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace spa {
 namespace bench {
@@ -62,6 +78,42 @@ JobsStorage()
     return jobs;
 }
 
+/** Telemetry knobs shared by the harness macro and flag parser. */
+struct BenchConfig
+{
+    bool stats_table = false;
+    bool bench_json = true;
+    std::string stats_out;
+    std::string trace_out;
+    std::string bench_json_path;  // empty = BENCH_<name>.json
+};
+
+inline BenchConfig&
+Config()
+{
+    static BenchConfig config;
+    return config;
+}
+
+/** Harness-reported key metrics, in insertion order for the summary. */
+inline json::Object&
+Metrics()
+{
+    static json::Object metrics;
+    return metrics;
+}
+
+/** Hit rate from a pair of registry counters; 0 before any lookup. */
+inline double
+RegistryHitRate(const char* hits_name, const char* misses_name)
+{
+    obs::Registry& r = obs::Registry::Default();
+    const int64_t hits = r.GetCounter(hits_name, "")->value();
+    const int64_t total = hits + r.GetCounter(misses_name, "")->value();
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+}
+
 }  // namespace detail
 
 /** The harness-wide parallel evaluation width (the --jobs flag). */
@@ -73,12 +125,24 @@ Jobs()
 }
 
 /**
- * Consumes `--jobs N` / `--jobs=N` from argv (before google-benchmark
- * sees the remainder).
+ * Records one harness-level result metric (iterations, objective,
+ * speedup, ...) for the BENCH_<name>.json summary. Numbers, strings
+ * and booleans all work; later calls with the same key overwrite.
+ */
+inline void
+SetMetric(const std::string& key, json::Value value)
+{
+    detail::Metrics()[key] = std::move(value);
+}
+
+/**
+ * Consumes the shared harness flags (`--jobs N`, telemetry knobs) from
+ * argv before google-benchmark sees the remainder.
  */
 inline void
 ParseJobs(int* argc, char** argv)
 {
+    detail::BenchConfig& config = detail::Config();
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         const char* arg = argv[i];
@@ -86,6 +150,18 @@ ParseJobs(int* argc, char** argv)
             detail::JobsStorage() = std::atoi(argv[++i]);
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             detail::JobsStorage() = std::atoi(arg + 7);
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            config.stats_table = true;
+        } else if (std::strcmp(arg, "--stats-out") == 0 && i + 1 < *argc) {
+            config.stats_out = argv[++i];
+        } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < *argc) {
+            config.trace_out = argv[++i];
+        } else if (std::strcmp(arg, "--bench-json") == 0 && i + 1 < *argc) {
+            config.bench_json_path = argv[++i];
+        } else if (std::strcmp(arg, "--no-bench-json") == 0) {
+            config.bench_json = false;
+        } else if (std::strcmp(arg, "--log-timestamps") == 0) {
+            spa::detail::SetLogTimestamps(true);
         } else {
             argv[out++] = argv[i];
         }
@@ -93,13 +169,63 @@ ParseJobs(int* argc, char** argv)
     *argc = out;
 }
 
+namespace detail {
+
+/** Wraps the artifact stage: tracing, timing, stats + summary dump. */
+inline void
+RunArtifact(const char* argv0, void (*print_fn)())
+{
+    BenchConfig& config = Config();
+    if (!config.trace_out.empty())
+        obs::TraceSession::Get().Start();
+    const auto start = std::chrono::steady_clock::now();
+    print_fn();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!config.trace_out.empty()) {
+        obs::TraceSession::Get().Stop();
+        obs::TraceSession::Get().WriteFile(config.trace_out);
+    }
+    const std::string base = [&] {
+        std::string name = argv0;
+        const size_t slash = name.find_last_of("/\\");
+        return slash == std::string::npos ? name : name.substr(slash + 1);
+    }();
+    if (config.stats_table)
+        std::fprintf(stderr, "%s", obs::Registry::Default().DumpTable().c_str());
+    if (!config.stats_out.empty())
+        json::SaveFile(config.stats_out, obs::Registry::Default().ToJson());
+    if (config.bench_json) {
+        json::Object top;
+        top["name"] = base;
+        top["jobs"] = Jobs();
+        top["wall_seconds"] = wall;
+        top["metrics"] = json::Value(Metrics());
+        json::Object caches;
+        caches["seg_cache_hit_rate"] =
+            RegistryHitRate("eval.seg_cache.hits", "eval.seg_cache.misses");
+        caches["cost_memo_hit_rate"] =
+            RegistryHitRate("cost.memo.hits", "cost.memo.misses");
+        top["caches"] = json::Value(std::move(caches));
+        top["stats"] = obs::Registry::Default().ToJson();
+        const std::string path = config.bench_json_path.empty()
+                                     ? "BENCH_" + base + ".json"
+                                     : config.bench_json_path;
+        json::SaveFile(path, json::Value(std::move(top)));
+        std::fprintf(stderr, "bench json: %s\n", path.c_str());
+    }
+}
+
+}  // namespace detail
+
 /** Standard bench main: print the artifact, then run benchmarks. */
 #define SPA_BENCH_MAIN(print_fn)                                   \
     int main(int argc, char** argv)                                \
     {                                                              \
         ::spa::detail::SetQuiet(true);                             \
         ::spa::bench::ParseJobs(&argc, argv);                      \
-        print_fn();                                                \
+        ::spa::bench::detail::RunArtifact(argv[0], print_fn);      \
         ::benchmark::Initialize(&argc, argv);                      \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \
             return 1;                                              \

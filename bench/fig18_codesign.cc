@@ -248,12 +248,18 @@ RunCase(const char* model, const hw::Platform& budget)
 
     bench::PrintHeader(std::string("Fig 18: ") + model + " @ " + budget.name);
     bench::PrintRow("method", {"latency(ms)", "energy(e10pJ)", "evals"});
+    const std::string metric_prefix = std::string(model) + "@" + budget.name;
     for (const auto& m : rows) {
         bench::PrintRow(m.name,
                         {m.latency_ms < 1e29 ? bench::Fmt(m.latency_ms, "%.3f")
                                              : "fail",
                          bench::Fmt(m.energy_e10pj, "%.3f"),
                          std::to_string(m.evaluations)});
+        if (m.latency_ms < 1e29)
+            bench::SetMetric(metric_prefix + "." + m.name + ".latency_ms",
+                             m.latency_ms);
+        bench::SetMetric(metric_prefix + "." + m.name + ".evaluations",
+                         m.evaluations);
     }
 }
 

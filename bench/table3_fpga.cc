@@ -60,6 +60,11 @@ PrintTable3()
                          bench::Fmt(100.0 * gops / peak, "%.1f%%"),
                          std::to_string(result.alloc.config.batch)},
                         28);
+        const std::string key = std::string(c.model) + "@" + c.device;
+        bench::SetMetric(key + ".gops", gops);
+        bench::SetMetric(key + ".dsp_efficiency", gops / peak);
+        bench::SetMetric(key + ".explored",
+                         static_cast<int64_t>(result.explored.size()));
     }
 
     bench::PrintHeader("Table III: published baseline rows (literature)");

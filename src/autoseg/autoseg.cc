@@ -6,10 +6,49 @@
 
 #include "common/logging.h"
 #include "common/util.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "seg/segmenter.h"
 
 namespace spa {
 namespace autoseg {
+
+namespace {
+
+/** Engine-wide search counters, registered once per process. */
+struct EngineStats
+{
+    obs::Counter* pairs_evaluated;
+    obs::Counter* pairs_feasible;
+    obs::Counter* pairs_infeasible;
+    obs::Counter* candidates_explored;
+    obs::Counter* candidates_pruned;
+    obs::Timer* pair_ns;
+
+    static const EngineStats&
+    Get()
+    {
+        static const EngineStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return EngineStats{
+                r.GetCounter("autoseg.pairs_evaluated",
+                             "(S, N) pairs walked by Run/Remap"),
+                r.GetCounter("autoseg.pairs_feasible",
+                             "(S, N) pairs with at least one feasible design"),
+                r.GetCounter("autoseg.pairs_infeasible",
+                             "(S, N) pairs with no feasible design"),
+                r.GetCounter("autoseg.candidates_explored",
+                             "candidate assignments fully evaluated"),
+                r.GetCounter("autoseg.candidates_pruned",
+                             "candidate assignments rejected before evaluation"),
+                r.GetTimer("autoseg.pair_ns", "time inside one (S, N) pair"),
+            };
+        }();
+        return stats;
+    }
+};
+
+}  // namespace
 
 double
 CoDesignResult::GoalValue(alloc::DesignGoal goal) const
@@ -42,6 +81,12 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
                      alloc::DesignGoal goal, SegmentationCache* cache,
                      int num_segments, int num_pus) const
 {
+    SPA_TRACE_SCOPE("autoseg", "pair S=" + std::to_string(num_segments) +
+                                    " N=" + std::to_string(num_pus));
+    const EngineStats& stats = EngineStats::Get();
+    obs::Timer::Scope timed(stats.pair_ns);
+    stats.pairs_evaluated->Inc();
+
     PairOutcome outcome;
     CandidateRecord& record = outcome.record;
     record.num_segments = num_segments;
@@ -67,9 +112,12 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
         // The cache keeps only the first candidate; evaluate all of
         // them this time around.
     }
-    if (candidates.empty())
+    if (candidates.empty()) {
+        stats.pairs_infeasible->Inc();
         return outcome;
+    }
 
+    stats.candidates_explored->Inc(static_cast<int64_t>(candidates.size()));
     const std::vector<eval::CandidateEval> evals =
         evaluator_.EvaluateCandidates(w, candidates, budget, goal);
 
@@ -97,6 +145,7 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
             outcome.best = std::move(candidate);
         }
     }
+    (record.feasible ? stats.pairs_feasible : stats.pairs_infeasible)->Inc();
     return outcome;
 }
 
@@ -104,6 +153,7 @@ CoDesignResult
 Engine::Run(const nn::Workload& w, const hw::Platform& budget,
             alloc::DesignGoal goal, SegmentationCache* cache) const
 {
+    SPA_TRACE_SCOPE("autoseg", "run " + w.name + " @ " + budget.name);
     // Enumerate every (S, N) pair up front, then fan the independent
     // evaluations out over the pool. The reduction below walks the
     // outcomes in enumeration order with a strict-< argmin, which is
@@ -148,6 +198,7 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
               const std::vector<std::array<bool, 2>>& allowed_links,
               alloc::DesignGoal goal) const
 {
+    SPA_TRACE_SCOPE("autoseg", "remap " + w.name);
     const int num_pus = config.NumPus();
     auto routable_on_pruned_fabric = [&](const seg::Assignment& assignment) {
         for (int s = 0; s < assignment.num_segments; ++s) {
@@ -173,6 +224,11 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
         evaluator_.pool().ParallelMap<PairOutcome>(
             static_cast<int64_t>(segment_counts.size()), [&](int64_t i) {
                 const int num_segments = segment_counts[static_cast<size_t>(i)];
+                SPA_TRACE_SCOPE("autoseg",
+                                "remap pair S=" + std::to_string(num_segments));
+                const EngineStats& stats = EngineStats::Get();
+                obs::Timer::Scope timed(stats.pair_ns);
+                stats.pairs_evaluated->Inc();
                 PairOutcome outcome;
                 CandidateRecord& record = outcome.record;
                 record.num_segments = num_segments;
@@ -184,8 +240,11 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                 bool any = false;
                 for (const seg::Assignment& assignment :
                      seg::SolveSegmentationCandidates(w, num_segments, num_pus)) {
-                    if (!routable_on_pruned_fabric(assignment))
+                    if (!routable_on_pruned_fabric(assignment)) {
+                        stats.candidates_pruned->Inc();
                         continue;
+                    }
+                    stats.candidates_explored->Inc();
                     const eval::CandidateEval e =
                         evaluator_.EvaluateCandidateOn(w, assignment, config);
                     if (!any ||
@@ -208,6 +267,8 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                         outcome.best = std::move(candidate);
                     }
                 }
+                (record.feasible ? stats.pairs_feasible : stats.pairs_infeasible)
+                    ->Inc();
                 return outcome;
             });
 

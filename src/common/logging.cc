@@ -1,12 +1,45 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 
 namespace spa {
 namespace detail {
 
 namespace {
+
 std::atomic<bool> g_quiet{false};
+std::atomic<bool> g_timestamps{false};
+
+/**
+ * The single sink all inform()/warn() lines go through: one mutex so
+ * lines from pooled workers never interleave mid-line, one place that
+ * applies the optional elapsed-time prefix.
+ */
+void
+Sink(const char* level, const std::string& msg)
+{
+    static std::mutex mutex;
+    static const auto start = std::chrono::steady_clock::now();
+    std::string line;
+    if (g_timestamps.load(std::memory_order_relaxed)) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        char prefix[32];
+        std::snprintf(prefix, sizeof(prefix), "[%9.3fs] ", elapsed);
+        line += prefix;
+    }
+    line += level;
+    line += ": ";
+    line += msg;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(mutex);
+    std::cerr << line << std::flush;
+}
+
 }  // namespace
 
 void
@@ -19,6 +52,18 @@ bool
 IsQuiet()
 {
     return g_quiet.load();
+}
+
+void
+SetLogTimestamps(bool enabled)
+{
+    g_timestamps.store(enabled);
+}
+
+bool
+LogTimestamps()
+{
+    return g_timestamps.load();
 }
 
 void
@@ -39,14 +84,14 @@ void
 InformImpl(const std::string& msg)
 {
     if (!g_quiet.load())
-        std::cerr << "info: " << msg << std::endl;
+        Sink("info", msg);
 }
 
 void
 WarnImpl(const std::string& msg)
 {
     if (!g_quiet.load())
-        std::cerr << "warn: " << msg << std::endl;
+        Sink("warn", msg);
 }
 
 }  // namespace detail

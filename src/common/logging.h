@@ -39,6 +39,14 @@ void WarnImpl(const std::string& msg);
 void SetQuiet(bool quiet);
 bool IsQuiet();
 
+/**
+ * Prefixes every inform()/warn() line with the monotonic time elapsed
+ * since the process first logged (e.g. "[  12.345s]"), so interleaved
+ * output from pooled workers stays attributable (--log-timestamps).
+ */
+void SetLogTimestamps(bool enabled);
+bool LogTimestamps();
+
 }  // namespace detail
 
 }  // namespace spa

@@ -1,10 +1,23 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <limits>
 
 namespace spa {
+
+namespace {
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
 
 /**
  * One ParallelFor call. Workers and the caller claim indices in
@@ -42,10 +55,14 @@ ThreadPool::HardwareJobs()
 ThreadPool::ThreadPool(int jobs)
 {
     jobs_ = jobs > 0 ? jobs : HardwareJobs();
+    created_ns_ = NowNs();
     const int num_workers = jobs_ - 1;
     workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+    if (num_workers > 0)
+        worker_counters_ =
+            std::make_unique<SlotCounters[]>(static_cast<size_t>(num_workers));
     for (int i = 0; i < num_workers; ++i)
-        workers_.emplace_back([this] { WorkerLoop(); });
+        workers_.emplace_back([this, i] { WorkerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -60,25 +77,29 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::WorkerLoop()
+ThreadPool::WorkerLoop(int worker)
 {
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
+            const int64_t wait_start = NowNs();
             std::unique_lock<std::mutex> lock(queue_mutex_);
             queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            idle_ns_.fetch_add(NowNs() - wait_start, std::memory_order_relaxed);
             if (stopping_)
                 return;
             batch = queue_.front();
             queue_.pop_front();
         }
-        DrainBatch(batch);
+        DrainBatch(batch, worker);
     }
 }
 
 void
-ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch)
+ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch, int slot)
 {
+    SlotCounters& counters =
+        slot >= 0 ? worker_counters_[static_cast<size_t>(slot)] : caller_counters_;
     for (;;) {
         int64_t index;
         {
@@ -89,11 +110,15 @@ ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch)
             ++batch->inflight;
         }
         std::exception_ptr error;
+        const int64_t task_start = NowNs();
         try {
             (*batch->fn)(index);
         } catch (...) {
             error = std::current_exception();
         }
+        counters.tasks.fetch_add(1, std::memory_order_relaxed);
+        counters.busy_ns.fetch_add(NowNs() - task_start,
+                                   std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(batch->mutex);
             if (error) {
@@ -117,10 +142,15 @@ ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
 {
     if (n <= 0)
         return;
+    batches_.fetch_add(1, std::memory_order_relaxed);
     if (workers_.empty() || n == 1) {
         // jobs=1 (and trivial batches): exactly the serial loop.
+        const int64_t start = NowNs();
         for (int64_t i = 0; i < n; ++i)
             fn(i);
+        caller_counters_.tasks.fetch_add(n, std::memory_order_relaxed);
+        caller_counters_.busy_ns.fetch_add(NowNs() - start,
+                                           std::memory_order_relaxed);
         return;
     }
 
@@ -146,7 +176,7 @@ ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
 
     // The caller works too: nested ParallelFor from a worker task
     // drains its own batch even when every other worker is busy.
-    DrainBatch(batch);
+    DrainBatch(batch, -1);
 
     {
         std::unique_lock<std::mutex> lock(batch->mutex);
@@ -154,6 +184,30 @@ ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
     }
     if (batch->error)
         std::rethrow_exception(batch->error);
+}
+
+ThreadPool::StatsSnapshot
+ThreadPool::Snapshot() const
+{
+    StatsSnapshot s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.caller_tasks = caller_counters_.tasks.load(std::memory_order_relaxed);
+    s.caller_busy_ns = caller_counters_.busy_ns.load(std::memory_order_relaxed);
+    s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+    s.lifetime_ns = NowNs() - created_ns_;
+    s.tasks = s.caller_tasks;
+    s.busy_ns = s.caller_busy_ns;
+    const size_t num_workers = workers_.size();
+    s.worker_tasks.resize(num_workers);
+    s.worker_busy_ns.resize(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+        s.worker_tasks[i] = worker_counters_[i].tasks.load(std::memory_order_relaxed);
+        s.worker_busy_ns[i] =
+            worker_counters_[i].busy_ns.load(std::memory_order_relaxed);
+        s.tasks += s.worker_tasks[i];
+        s.busy_ns += s.worker_busy_ns[i];
+    }
+    return s;
 }
 
 }  // namespace spa

@@ -25,6 +25,7 @@
  * on the caller (remaining unclaimed items are skipped).
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,28 @@ class ThreadPool
     void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
     /**
+     * Point-in-time telemetry snapshot. Collection is always on: per
+     * task it costs two steady_clock reads plus a few relaxed atomic
+     * adds, which is noise next to the candidate evaluations the pool
+     * runs. Exported into the obs stats registry by the layers above
+     * (common/ cannot depend on obs/).
+     */
+    struct StatsSnapshot
+    {
+        int64_t batches = 0;       ///< ParallelFor calls with n > 0
+        int64_t tasks = 0;         ///< items executed (all slots)
+        int64_t caller_tasks = 0;  ///< items run by submitting threads
+        int64_t busy_ns = 0;       ///< summed task execution time
+        int64_t caller_busy_ns = 0;
+        int64_t idle_ns = 0;       ///< workers blocked waiting for work
+        int64_t lifetime_ns = 0;   ///< ns since pool construction
+        std::vector<int64_t> worker_tasks;    ///< per worker thread
+        std::vector<int64_t> worker_busy_ns;  ///< per worker thread
+    };
+
+    StatsSnapshot Snapshot() const;
+
+    /**
      * ParallelFor that collects fn(i) into slot i of the result, so the
      * output order is the index order regardless of scheduling.
      */
@@ -75,8 +98,16 @@ class ThreadPool
     /** Shared state of one ParallelFor batch. */
     struct Batch;
 
-    void WorkerLoop();
-    static void DrainBatch(const std::shared_ptr<Batch>& batch);
+    /** Per-execution-slot counters, padded against false sharing. */
+    struct alignas(64) SlotCounters
+    {
+        std::atomic<int64_t> tasks{0};
+        std::atomic<int64_t> busy_ns{0};
+    };
+
+    void WorkerLoop(int worker);
+    /** @param slot worker index, or -1 for a submitting caller. */
+    void DrainBatch(const std::shared_ptr<Batch>& batch, int slot);
 
     int jobs_ = 1;
     std::vector<std::thread> workers_;
@@ -84,6 +115,12 @@ class ThreadPool
     std::condition_variable queue_cv_;
     std::deque<std::shared_ptr<Batch>> queue_;
     bool stopping_ = false;
+
+    std::unique_ptr<SlotCounters[]> worker_counters_;
+    SlotCounters caller_counters_;
+    std::atomic<int64_t> batches_{0};
+    std::atomic<int64_t> idle_ns_{0};
+    int64_t created_ns_ = 0;
 };
 
 }  // namespace spa

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/util.h"
+#include "obs/stats.h"
 
 namespace spa {
 namespace cost {
@@ -56,12 +57,19 @@ class ComputeCycleMemo
     bool
     Lookup(const Key& key, int64_t& cycles) const
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        auto it = entries_.find(key);
-        if (it == entries_.end())
-            return false;
-        cycles = it->second;
-        return true;
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                cycles = it->second;
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                GlobalCounters().hits->Inc();
+                return true;
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        GlobalCounters().misses->Inc();
+        return false;
     }
 
     void
@@ -78,8 +86,35 @@ class ComputeCycleMemo
         return entries_.size();
     }
 
+    int64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+
   private:
+    struct Counters
+    {
+        obs::Counter* hits;
+        obs::Counter* misses;
+    };
+
+    /** Process-wide counters shared by every memo instance. */
+    static const Counters&
+    GlobalCounters()
+    {
+        static const Counters counters = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return Counters{
+                r.GetCounter("cost.memo.hits",
+                             "compute-cycle memo lookups that hit"),
+                r.GetCounter("cost.memo.misses",
+                             "compute-cycle memo lookups that missed"),
+            };
+        }();
+        return counters;
+    }
+
     mutable std::shared_mutex mutex_;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
     std::unordered_map<Key, int64_t, KeyHash> entries_;
 };
 
@@ -123,6 +158,18 @@ size_t
 CostModel::MemoSize() const
 {
     return memo_ ? memo_->Size() : 0;
+}
+
+int64_t
+CostModel::MemoHits() const
+{
+    return memo_ ? memo_->Hits() : 0;
+}
+
+int64_t
+CostModel::MemoMisses() const
+{
+    return memo_ ? memo_->Misses() : 0;
 }
 
 int64_t

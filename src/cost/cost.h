@@ -83,6 +83,10 @@ class CostModel
     /** Entries currently memoized (0 when the memo is disabled). */
     size_t MemoSize() const;
 
+    /** Memo lookups that hit / missed (0 when the memo is disabled). */
+    int64_t MemoHits() const;
+    int64_t MemoMisses() const;
+
     /**
      * Exact systolic compute cycles of the layer on an RxC PU. Matches
      * pu::PuDriver::RunConv cycle counts exactly (tested).

@@ -1,5 +1,10 @@
 #include "eval/evaluator.h"
 
+#include <string>
+
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace spa {
 namespace eval {
 
@@ -14,6 +19,22 @@ WithMemo(cost::CostModel& cm, bool enable)
     return cm;
 }
 
+obs::Counter&
+CandidateCounter()
+{
+    static obs::Counter* counter = obs::Registry::Default().GetCounter(
+        "eval.candidates", "full candidate evaluations (allocation + metrics)");
+    return *counter;
+}
+
+obs::Timer&
+CandidateTimer()
+{
+    static obs::Timer* timer = obs::Registry::Default().GetTimer(
+        "eval.candidate_ns", "time inside candidate evaluations");
+    return *timer;
+}
+
 }  // namespace
 
 Evaluator::Evaluator(const cost::CostModel& cost_model, EvalOptions options)
@@ -21,6 +42,11 @@ Evaluator::Evaluator(const cost::CostModel& cost_model, EvalOptions options)
       allocator_(WithMemo(cost_, options.memoize_cost)),
       pool_(options.jobs)
 {
+}
+
+Evaluator::~Evaluator()
+{
+    FlushStats();
 }
 
 alloc::AllocationResult
@@ -42,6 +68,9 @@ Evaluator::EvaluateCandidate(const nn::Workload& w, const seg::Assignment& a,
                              const hw::Platform& budget,
                              alloc::DesignGoal goal) const
 {
+    SPA_TRACE_SCOPE("eval", "candidate");
+    obs::Timer::Scope timed(&CandidateTimer());
+    CandidateCounter().Inc();
     CandidateEval out;
     out.alloc = allocator_.Allocate(w, a, budget, goal);
     out.metrics = seg::ComputeMetrics(w, a);
@@ -52,6 +81,9 @@ CandidateEval
 Evaluator::EvaluateCandidateOn(const nn::Workload& w, const seg::Assignment& a,
                                const hw::SpaConfig& config) const
 {
+    SPA_TRACE_SCOPE("eval", "candidate_on");
+    obs::Timer::Scope timed(&CandidateTimer());
+    CandidateCounter().Inc();
     CandidateEval out;
     out.alloc = allocator_.Evaluate(w, a, config);
     out.metrics = seg::ComputeMetrics(w, a);
@@ -79,6 +111,45 @@ Evaluator::Objectives(
     return pool_.ParallelMap<double>(
         static_cast<int64_t>(xs.size()),
         [&](int64_t i) { return objective(xs[static_cast<size_t>(i)]); });
+}
+
+void
+Evaluator::FlushStats() const
+{
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    const ThreadPool::StatsSnapshot now = pool_.Snapshot();
+    obs::Registry& r = obs::Registry::Default();
+    r.GetCounter("pool.batches", "ParallelFor batches submitted")
+        ->Inc(now.batches - flushed_.batches);
+    r.GetCounter("pool.tasks", "batch items executed (all slots)")
+        ->Inc(now.tasks - flushed_.tasks);
+    r.GetCounter("pool.caller_tasks", "batch items run by submitting threads")
+        ->Inc(now.caller_tasks - flushed_.caller_tasks);
+    r.GetCounter("pool.busy_ns", "summed task execution time, all slots")
+        ->Inc(now.busy_ns - flushed_.busy_ns);
+    r.GetCounter("pool.idle_ns", "worker time blocked waiting for work")
+        ->Inc(now.idle_ns - flushed_.idle_ns);
+    for (size_t i = 0; i < now.worker_tasks.size(); ++i) {
+        const std::string prefix = "pool.worker" + std::to_string(i);
+        const int64_t prev_tasks =
+            i < flushed_.worker_tasks.size() ? flushed_.worker_tasks[i] : 0;
+        const int64_t prev_busy =
+            i < flushed_.worker_busy_ns.size() ? flushed_.worker_busy_ns[i] : 0;
+        r.GetCounter(prefix + ".tasks", "batch items run by this worker")
+            ->Inc(now.worker_tasks[i] - prev_tasks);
+        r.GetCounter(prefix + ".busy_ns", "task execution time on this worker")
+            ->Inc(now.worker_busy_ns[i] - prev_busy);
+    }
+    // Utilization of this pool over its own lifetime: the fraction of
+    // the pool's width x wall product spent executing tasks.
+    if (now.lifetime_ns > 0) {
+        r.GetGauge("pool.utilization",
+                   "task time over (jobs x pool lifetime), last flushed pool")
+            ->Set(static_cast<double>(now.busy_ns) /
+                  (static_cast<double>(now.lifetime_ns) *
+                   static_cast<double>(pool_.jobs())));
+    }
+    flushed_ = now;
 }
 
 }  // namespace eval

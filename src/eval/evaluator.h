@@ -24,6 +24,7 @@
  */
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "alloc/allocator.h"
@@ -59,6 +60,12 @@ class Evaluator
 {
   public:
     explicit Evaluator(const cost::CostModel& cost_model, EvalOptions options = {});
+
+    /** Flushes un-published pool telemetry (see FlushStats). */
+    ~Evaluator();
+
+    Evaluator(const Evaluator&) = delete;
+    Evaluator& operator=(const Evaluator&) = delete;
 
     // ---- Primitive evaluations (no segment metrics). ----
 
@@ -108,11 +115,23 @@ class Evaluator
     const cost::CostModel& cost_model() const { return cost_; }
     int jobs() const { return pool_.jobs(); }
 
+    /**
+     * Publishes this evaluator's thread-pool telemetry into the default
+     * obs registry ("pool.*" counters, including per-worker task and
+     * busy-time counts). Only the delta since the last flush is added,
+     * so calling it repeatedly (or letting the destructor call it) never
+     * double-counts. Cache counters need no flushing -- they feed the
+     * registry live.
+     */
+    void FlushStats() const;
+
   private:
     cost::CostModel cost_;
     alloc::Allocator allocator_;
     mutable SegmentationCache seg_cache_;
     mutable ThreadPool pool_;
+    mutable std::mutex flush_mutex_;
+    mutable ThreadPool::StatsSnapshot flushed_;
 };
 
 }  // namespace eval

@@ -12,8 +12,15 @@
  * thread pool, so Lookup/Store race across worker threads; a shared
  * mutex serializes writers while letting the read-mostly steady state
  * proceed concurrently.
+ *
+ * Effectiveness is observable: every instance counts hits, misses and
+ * inserts (relaxed atomics), and the same events feed the process-wide
+ * obs registry ("eval.seg_cache.*") so --stats / BENCH_*.json report
+ * cache hit rates without any per-call-site plumbing.
  */
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -21,6 +28,7 @@
 #include <string>
 #include <tuple>
 
+#include "obs/stats.h"
 #include "seg/assignment.h"
 
 namespace spa {
@@ -35,20 +43,31 @@ class SegmentationCache
     Lookup(const std::string& model, int s, int n,
            std::optional<seg::Assignment>& out) const
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        auto it = entries_.find({model, s, n});
-        if (it == entries_.end())
-            return false;
-        out = it->second;
-        return true;
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            auto it = entries_.find({model, s, n});
+            if (it != entries_.end()) {
+                out = it->second;
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                GlobalCounters().hits->Inc();
+                return true;
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        GlobalCounters().misses->Inc();
+        return false;
     }
 
     void
     Store(const std::string& model, int s, int n,
           std::optional<seg::Assignment> assignment)
     {
-        std::unique_lock<std::shared_mutex> lock(mutex_);
-        entries_[{model, s, n}] = std::move(assignment);
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            entries_[{model, s, n}] = std::move(assignment);
+        }
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+        GlobalCounters().inserts->Inc();
     }
 
     size_t
@@ -58,8 +77,52 @@ class SegmentationCache
         return entries_.size();
     }
 
+    // ---- Per-instance effectiveness counters. ----
+
+    int64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+    int64_t Inserts() const { return inserts_.load(std::memory_order_relaxed); }
+
+    /** Hits over lookups; 0 before the first lookup. */
+    double
+    HitRate() const
+    {
+        const int64_t hits = Hits();
+        const int64_t total = hits + Misses();
+        return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                         : 0.0;
+    }
+
   private:
+    struct Counters
+    {
+        obs::Counter* hits;
+        obs::Counter* misses;
+        obs::Counter* inserts;
+    };
+
+    /** Process-wide counters shared by every cache instance. */
+    static const Counters&
+    GlobalCounters()
+    {
+        static const Counters counters = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return Counters{
+                r.GetCounter("eval.seg_cache.hits",
+                             "segmentation-cache lookups that hit"),
+                r.GetCounter("eval.seg_cache.misses",
+                             "segmentation-cache lookups that missed"),
+                r.GetCounter("eval.seg_cache.inserts",
+                             "segmentation-cache entries stored"),
+            };
+        }();
+        return counters;
+    }
+
     mutable std::shared_mutex mutex_;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
+    mutable std::atomic<int64_t> inserts_{0};
     std::map<std::tuple<std::string, int, int>, std::optional<seg::Assignment>>
         entries_;
 };

@@ -1,0 +1,307 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace spa {
+namespace obs {
+
+namespace {
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Relaxed CAS min/max update. */
+void
+AtomicMin(std::atomic<int64_t>& slot, int64_t v)
+{
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+AtomicMax(std::atomic<int64_t>& slot, int64_t v)
+{
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+std::string
+FormatNs(double ns)
+{
+    char buf[64];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+    return buf;
+}
+
+}  // namespace
+
+Timer::Scope::Scope(Timer* timer) : timer_(timer), start_ns_(NowNs()) {}
+
+Timer::Scope::~Scope()
+{
+    if (timer_ != nullptr)
+        timer_->Add(NowNs() - start_ns_);
+}
+
+int
+Histogram::BucketIndex(int64_t v)
+{
+    if (v <= 0)
+        return 0;
+    int bits = 0;
+    uint64_t u = static_cast<uint64_t>(v);
+    while (u != 0) {
+        u >>= 1;
+        ++bits;
+    }
+    // v in [2^(bits-1), 2^bits) -> bucket `bits`.
+    return std::min(bits, kNumBuckets - 1);
+}
+
+int64_t
+Histogram::BucketLow(int i)
+{
+    if (i <= 0)
+        return 0;
+    return int64_t{1} << (i - 1);
+}
+
+void
+Histogram::Observe(int64_t v)
+{
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    AtomicMin(min_, v);
+    AtomicMax(max_, v);
+}
+
+int64_t
+Histogram::min() const
+{
+    const int64_t v = min_.load(std::memory_order_relaxed);
+    return v == INT64_MAX ? 0 : v;
+}
+
+int64_t
+Histogram::max() const
+{
+    const int64_t v = max_.load(std::memory_order_relaxed);
+    return v == INT64_MIN ? 0 : v;
+}
+
+void
+Histogram::Reset()
+{
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(INT64_MAX, std::memory_order_relaxed);
+    max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Registry::Entry&
+Registry::GetEntry(const std::string& name, Type type, const std::string& desc)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        if (it->second.type != type)
+            SPA_PANIC("stat '", name, "' re-registered with a different type");
+        return it->second;
+    }
+    Entry& entry = entries_[name];
+    entry.type = type;
+    entry.desc = desc;
+    switch (type) {
+    case Type::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+    case Type::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+    case Type::kTimer:
+        entry.timer = std::make_unique<Timer>();
+        break;
+    case Type::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return entry;
+}
+
+Counter*
+Registry::GetCounter(const std::string& name, const std::string& desc)
+{
+    return GetEntry(name, Type::kCounter, desc).counter.get();
+}
+
+Gauge*
+Registry::GetGauge(const std::string& name, const std::string& desc)
+{
+    return GetEntry(name, Type::kGauge, desc).gauge.get();
+}
+
+Timer*
+Registry::GetTimer(const std::string& name, const std::string& desc)
+{
+    return GetEntry(name, Type::kTimer, desc).timer.get();
+}
+
+Histogram*
+Registry::GetHistogram(const std::string& name, const std::string& desc)
+{
+    return GetEntry(name, Type::kHistogram, desc).histogram.get();
+}
+
+size_t
+Registry::Size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::string
+Registry::DumpTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    char buf[256];
+    for (const auto& [name, entry] : entries_) {
+        std::string value;
+        switch (entry.type) {
+        case Type::kCounter:
+            std::snprintf(buf, sizeof(buf), "%" PRId64, entry.counter->value());
+            value = buf;
+            break;
+        case Type::kGauge:
+            std::snprintf(buf, sizeof(buf), "%.6g", entry.gauge->value());
+            value = buf;
+            break;
+        case Type::kTimer:
+            std::snprintf(buf, sizeof(buf), "%" PRId64, entry.timer->count());
+            value = std::string(buf) + " calls, total " +
+                    FormatNs(static_cast<double>(entry.timer->total_ns())) +
+                    ", mean " + FormatNs(entry.timer->mean_ns());
+            break;
+        case Type::kHistogram:
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRId64 " samples, mean %.1f, min %" PRId64
+                          ", max %" PRId64,
+                          entry.histogram->count(), entry.histogram->mean(),
+                          entry.histogram->min(), entry.histogram->max());
+            value = buf;
+            break;
+        }
+        std::snprintf(buf, sizeof(buf), "%-44s %s", name.c_str(), value.c_str());
+        out += buf;
+        if (!entry.desc.empty())
+            out += std::string("  # ") + entry.desc;
+        out += "\n";
+    }
+    return out;
+}
+
+json::Value
+Registry::ToJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Object stats;
+    for (const auto& [name, entry] : entries_) {
+        json::Object o;
+        o["desc"] = entry.desc;
+        switch (entry.type) {
+        case Type::kCounter:
+            o["type"] = "counter";
+            o["value"] = entry.counter->value();
+            break;
+        case Type::kGauge:
+            o["type"] = "gauge";
+            o["value"] = entry.gauge->value();
+            break;
+        case Type::kTimer:
+            o["type"] = "timer";
+            o["count"] = entry.timer->count();
+            o["total_ns"] = entry.timer->total_ns();
+            o["mean_ns"] = entry.timer->mean_ns();
+            break;
+        case Type::kHistogram: {
+            o["type"] = "histogram";
+            o["count"] = entry.histogram->count();
+            o["sum"] = entry.histogram->sum();
+            o["min"] = entry.histogram->min();
+            o["max"] = entry.histogram->max();
+            o["mean"] = entry.histogram->mean();
+            json::Array buckets;
+            for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+                const int64_t c = entry.histogram->bucket(i);
+                if (c == 0)
+                    continue;
+                json::Object b;
+                b["low"] = Histogram::BucketLow(i);
+                b["count"] = c;
+                buckets.push_back(json::Value(std::move(b)));
+            }
+            o["buckets"] = json::Value(std::move(buckets));
+            break;
+        }
+        }
+        stats[name] = json::Value(std::move(o));
+    }
+    return json::Value(std::move(stats));
+}
+
+void
+Registry::Reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, entry] : entries_) {
+        (void)name;
+        switch (entry.type) {
+        case Type::kCounter:
+            entry.counter->Reset();
+            break;
+        case Type::kGauge:
+            entry.gauge->Reset();
+            break;
+        case Type::kTimer:
+            entry.timer->Reset();
+            break;
+        case Type::kHistogram:
+            entry.histogram->Reset();
+            break;
+        }
+    }
+}
+
+Registry&
+Registry::Default()
+{
+    static Registry* registry = new Registry();  // leaked: outlives all users
+    return *registry;
+}
+
+}  // namespace obs
+}  // namespace spa

@@ -1,0 +1,207 @@
+#ifndef SPA_OBS_STATS_H_
+#define SPA_OBS_STATS_H_
+
+/**
+ * @file
+ * Stats registry in the gem5 idiom: named counters, gauges, timers and
+ * log2-bucketed histograms, registered once and updated lock-free from
+ * any thread. The registry dumps as an aligned text table (for a quick
+ * stderr read) or as JSON (for the machine-readable --stats-out /
+ * BENCH_*.json outputs).
+ *
+ * Overhead policy: updates are relaxed atomic read-modify-writes on
+ * pre-registered objects -- cheap enough to stay on unconditionally in
+ * the search hot paths. Registration (GetCounter etc.) takes a mutex
+ * and is meant to happen once per call site (e.g. a function-local
+ * static); the returned pointers stay valid for the registry's
+ * lifetime. Telemetry never feeds back into search decisions, so
+ * results are bitwise-identical with stats collected or ignored.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "json/json.h"
+
+namespace spa {
+namespace obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    /** Overwrites the value (for snapshot-exported quantities). */
+    void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-written floating-point level (utilizations, hit rates). */
+class Gauge
+{
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Accumulated duration plus invocation count. */
+class Timer
+{
+  public:
+    void Add(int64_t ns)
+    {
+        total_ns_.fetch_add(ns, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    int64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+    int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+    double
+    mean_ns() const
+    {
+        const int64_t n = count();
+        return n > 0 ? static_cast<double>(total_ns()) / static_cast<double>(n) : 0.0;
+    }
+
+    void
+    Reset()
+    {
+        total_ns_.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+    /** RAII scope accumulating its lifetime into the timer. */
+    class Scope
+    {
+      public:
+        explicit Scope(Timer* timer);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        Timer* timer_;
+        int64_t start_ns_;
+    };
+
+  private:
+    std::atomic<int64_t> total_ns_{0};
+    std::atomic<int64_t> count_{0};
+};
+
+/**
+ * Log2-bucketed histogram of non-negative samples (gem5's Histogram
+ * with power-of-two bucket edges). Bucket 0 holds samples <= 0; bucket
+ * i (i >= 1) holds samples in [2^(i-1), 2^i). Also tracks count, sum,
+ * min and max exactly.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kNumBuckets = 64;
+
+    void Observe(int64_t v);
+
+    int64_t count() const { return count_.load(std::memory_order_relaxed); }
+    int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    /** Smallest observed sample; 0 when empty. */
+    int64_t min() const;
+    /** Largest observed sample; 0 when empty. */
+    int64_t max() const;
+    int64_t bucket(int i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+    double
+    mean() const
+    {
+        const int64_t n = count();
+        return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+    }
+
+    /** Index of the bucket a sample lands in (exposed for tests). */
+    static int BucketIndex(int64_t v);
+    /** Inclusive lower edge of bucket i (0 for bucket 0). */
+    static int64_t BucketLow(int i);
+
+    void Reset();
+
+  private:
+    std::atomic<int64_t> buckets_[kNumBuckets] = {};
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> min_{INT64_MAX};
+    std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/**
+ * Name -> stat registry. Registration is idempotent: the first call
+ * with a name creates the stat, later calls return the same object
+ * (and panic if the type disagrees -- two call sites fighting over one
+ * name is a bug).
+ */
+class Registry
+{
+  public:
+    Counter* GetCounter(const std::string& name, const std::string& desc = "");
+    Gauge* GetGauge(const std::string& name, const std::string& desc = "");
+    Timer* GetTimer(const std::string& name, const std::string& desc = "");
+    Histogram* GetHistogram(const std::string& name, const std::string& desc = "");
+
+    /** Number of registered stats. */
+    size_t Size() const;
+
+    /**
+     * Aligned text table, one stat per line, sorted by name. Timers
+     * show count/total/mean; histograms show count/mean/min/max.
+     */
+    std::string DumpTable() const;
+
+    /**
+     * JSON object keyed by stat name; every entry carries "type" and
+     * "desc" plus type-specific fields (see DESIGN.md section 6).
+     */
+    json::Value ToJson() const;
+
+    /** Zeroes every registered stat (registrations are kept). */
+    void Reset();
+
+    /** The process-wide registry all library instrumentation targets. */
+    static Registry& Default();
+
+  private:
+    enum class Type { kCounter, kGauge, kTimer, kHistogram };
+
+    struct Entry
+    {
+        Type type;
+        std::string desc;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Timer> timer;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& GetEntry(const std::string& name, Type type, const std::string& desc);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace spa
+
+#endif  // SPA_OBS_STATS_H_

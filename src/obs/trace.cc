@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace spa {
+namespace obs {
+
+namespace {
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Per-thread cached buffer, invalidated by session epoch. Shared
+ * ownership keeps a racing recorder's buffer alive across a concurrent
+ * Start() (its events just land in an orphaned buffer and are dropped).
+ */
+struct ThreadCache
+{
+    std::shared_ptr<void> buf;
+    uint64_t epoch = ~uint64_t{0};
+};
+
+thread_local ThreadCache tl_cache;
+
+}  // namespace
+
+TraceSession::TraceSession()
+{
+    if (std::getenv("SPA_TELEMETRY") != nullptr)
+        Start();
+}
+
+TraceSession&
+TraceSession::Get()
+{
+    static TraceSession* session = new TraceSession();  // leaked: outlives users
+    return *session;
+}
+
+void
+TraceSession::Start()
+{
+    {
+        std::lock_guard<std::mutex> lock(bufs_mutex_);
+        bufs_.clear();
+        next_tid_ = 0;
+        epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    start_ns_.store(NowNs(), std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::Stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::shared_ptr<TraceSession::ThreadBuf>
+TraceSession::BufForThisThread()
+{
+    if (tl_cache.buf != nullptr &&
+        tl_cache.epoch == epoch_.load(std::memory_order_relaxed))
+        return std::static_pointer_cast<ThreadBuf>(tl_cache.buf);
+    std::lock_guard<std::mutex> lock(bufs_mutex_);
+    auto buf = std::make_shared<ThreadBuf>();
+    buf->tid = next_tid_++;
+    bufs_.push_back(buf);
+    tl_cache.buf = buf;
+    tl_cache.epoch = epoch_.load(std::memory_order_relaxed);
+    return buf;
+}
+
+void
+TraceSession::Record(char ph, const char* cat, std::string name)
+{
+    if (!enabled())
+        return;
+    const std::shared_ptr<ThreadBuf> buf = BufForThisThread();
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = cat;
+    event.ph = ph;
+    event.ts_ns = NowNs() - start_ns_.load(std::memory_order_relaxed);
+    event.tid = buf->tid;
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceSession::Snapshot() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(bufs_mutex_);
+        for (const auto& buf : bufs_) {
+            std::lock_guard<std::mutex> buf_lock(buf->mutex);
+            out.insert(out.end(), buf->events.begin(), buf->events.end());
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.ts_ns != b.ts_ns)
+                             return a.ts_ns < b.ts_ns;
+                         return a.tid < b.tid;
+                     });
+    return out;
+}
+
+size_t
+TraceSession::NumEvents() const
+{
+    std::lock_guard<std::mutex> lock(bufs_mutex_);
+    size_t n = 0;
+    for (const auto& buf : bufs_) {
+        std::lock_guard<std::mutex> buf_lock(buf->mutex);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+json::Value
+TraceSession::ToJson() const
+{
+    json::Array events;
+    {
+        // Perfetto wants a process name; emit it as metadata up front.
+        json::Object meta;
+        meta["name"] = "process_name";
+        meta["ph"] = "M";
+        meta["pid"] = 1;
+        meta["tid"] = 0;
+        json::Object args;
+        args["name"] = "spa";
+        meta["args"] = json::Value(std::move(args));
+        events.push_back(json::Value(std::move(meta)));
+    }
+    for (const TraceEvent& e : Snapshot()) {
+        json::Object o;
+        o["name"] = e.name;
+        o["cat"] = std::string(e.cat);
+        o["ph"] = std::string(1, e.ph);
+        o["ts"] = static_cast<double>(e.ts_ns) / 1e3;  // microseconds
+        o["pid"] = 1;
+        o["tid"] = e.tid;
+        events.push_back(json::Value(std::move(o)));
+    }
+    json::Object top;
+    top["traceEvents"] = json::Value(std::move(events));
+    top["displayTimeUnit"] = "ms";
+    return json::Value(std::move(top));
+}
+
+void
+TraceSession::WriteFile(const std::string& path) const
+{
+    json::SaveFile(path, ToJson());
+}
+
+void
+TraceSession::RecordEnd(const char* cat, std::string name, uint64_t epoch)
+{
+    // Deliberately not gated on enabled(): a Stop() between a span's
+    // begin and end must not orphan the 'B' event. Only a Start() in
+    // between (which cleared the buffers) drops the end.
+    if (epoch_.load(std::memory_order_relaxed) != epoch)
+        return;
+    const std::shared_ptr<ThreadBuf> buf = BufForThisThread();
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = cat;
+    event.ph = 'E';
+    event.ts_ns = NowNs() - start_ns_.load(std::memory_order_relaxed);
+    event.tid = buf->tid;
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.push_back(std::move(event));
+}
+
+TraceScope::TraceScope(const char* cat, std::string name)
+{
+    TraceSession& session = TraceSession::Get();
+    if (!session.enabled())
+        return;
+    active_ = true;
+    cat_ = cat;
+    name_ = std::move(name);
+    epoch_ = session.epoch();
+    session.Record('B', cat_, name_);
+}
+
+TraceScope::~TraceScope()
+{
+    if (!active_)
+        return;
+    TraceSession::Get().RecordEnd(cat_, std::move(name_), epoch_);
+}
+
+}  // namespace obs
+}  // namespace spa

@@ -1,0 +1,138 @@
+#ifndef SPA_OBS_TRACE_H_
+#define SPA_OBS_TRACE_H_
+
+/**
+ * @file
+ * Scoped tracing with Chrome trace-event JSON export.
+ *
+ * SPA_TRACE_SCOPE(cat, name) opens an RAII span: a begin ("B") event at
+ * construction and a matching end ("E") event at destruction, tagged
+ * with a small per-thread id, recorded into a per-thread buffer of the
+ * process-wide TraceSession. WriteFile() exports the Chrome trace-event
+ * JSON array format, loadable in Perfetto / chrome://tracing (one track
+ * per thread, spans nested by the RAII discipline).
+ *
+ * Overhead policy: when the session is disabled (the default) a span is
+ * one relaxed atomic load -- the name expression is not evaluated, no
+ * allocation, no lock. Tracing never feeds back into search decisions,
+ * so results are bitwise-identical with tracing on or off.
+ *
+ * Setting the SPA_TELEMETRY environment variable starts the session at
+ * process startup (used by the `stats` CMake test preset to run the
+ * suite with telemetry live).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace spa {
+namespace obs {
+
+/** One trace event (timestamps are ns since session start). */
+struct TraceEvent
+{
+    std::string name;
+    const char* cat = "";
+    char ph = 'B';  ///< 'B' begin, 'E' end, 'I' instant
+    int64_t ts_ns = 0;
+    int tid = 0;
+};
+
+/** The process-wide trace recorder. */
+class TraceSession
+{
+  public:
+    static TraceSession& Get();
+
+    /** Clears previous events and starts recording. */
+    void Start();
+    /** Stops recording (events are kept until the next Start). */
+    void Stop();
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Records one event on the calling thread's buffer. */
+    void Record(char ph, const char* cat, std::string name);
+
+    /**
+     * Records a span's end event even after Stop(), so exported traces
+     * never hold an unmatched begin; dropped if a Start() since `epoch`
+     * already discarded the matching 'B'.
+     */
+    void RecordEnd(const char* cat, std::string name, uint64_t epoch);
+
+    /** Recording generation; bumped by every Start(). */
+    uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+    /** All recorded events, merged and sorted by (ts, tid). */
+    std::vector<TraceEvent> Snapshot() const;
+
+    size_t NumEvents() const;
+
+    /**
+     * Chrome trace-event JSON:
+     * {"traceEvents":[{"name","cat","ph","ts","pid","tid"},...]}
+     * with "ts" in microseconds, as the viewers expect.
+     */
+    json::Value ToJson() const;
+
+    /** Serializes ToJson() to `path`. */
+    void WriteFile(const std::string& path) const;
+
+  private:
+    struct ThreadBuf
+    {
+        std::mutex mutex;
+        std::vector<TraceEvent> events;
+        int tid = 0;
+    };
+
+    TraceSession();
+    std::shared_ptr<ThreadBuf> BufForThisThread();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> epoch_{0};
+    std::atomic<int64_t> start_ns_{0};
+    mutable std::mutex bufs_mutex_;
+    std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+    int next_tid_ = 0;
+};
+
+/** RAII span; records nothing when the session is disabled. */
+class TraceScope
+{
+  public:
+    TraceScope(const char* cat, std::string name);
+    ~TraceScope();
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+  private:
+    bool active_ = false;
+    const char* cat_ = "";
+    std::string name_;
+    uint64_t epoch_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spa
+
+#define SPA_OBS_CONCAT_IMPL(a, b) a##b
+#define SPA_OBS_CONCAT(a, b) SPA_OBS_CONCAT_IMPL(a, b)
+
+/**
+ * Scoped span. `name` may be any expression yielding std::string or
+ * const char*; it is evaluated only while tracing is enabled.
+ */
+#define SPA_TRACE_SCOPE(cat, name)                                      \
+    ::spa::obs::TraceScope SPA_OBS_CONCAT(spa_trace_scope_, __LINE__)(  \
+        cat, ::spa::obs::TraceSession::Get().enabled() ? std::string(name) \
+                                                       : std::string())
+
+#endif  // SPA_OBS_TRACE_H_

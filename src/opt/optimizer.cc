@@ -6,11 +6,45 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "la/matrix.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace spa {
 namespace opt {
 
 namespace {
+
+/** Optimizer-wide counters, registered once per process. */
+struct OptStats
+{
+    obs::Counter* random_evals;
+    obs::Counter* sa_evals;
+    obs::Counter* sa_accepted;
+    obs::Counter* sa_rejected;
+    obs::Counter* bayes_evals;
+    obs::Timer* bayes_ei_ns;
+
+    static const OptStats&
+    Get()
+    {
+        static const OptStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return OptStats{
+                r.GetCounter("opt.random.evaluations",
+                             "objective evaluations by RandomSearch"),
+                r.GetCounter("opt.sa.evaluations",
+                             "objective evaluations by SimulatedAnnealing"),
+                r.GetCounter("opt.sa.accepted", "Metropolis moves accepted"),
+                r.GetCounter("opt.sa.rejected", "Metropolis moves rejected"),
+                r.GetCounter("opt.bayes.evaluations",
+                             "objective evaluations by BayesianOptimize"),
+                r.GetTimer("opt.bayes.ei_ns",
+                           "time scoring expected-improvement candidates"),
+            };
+        }();
+        return stats;
+    }
+};
 
 std::vector<int>
 RandomPoint(const Space& space, Rng& rng)
@@ -115,6 +149,7 @@ OptResult
 RandomSearch(const Space& space, const Objective& objective, int iterations,
              uint64_t seed, const BatchEval& batch_eval)
 {
+    SPA_TRACE_SCOPE("opt", "random_search");
     Rng rng(seed);
     OptResult result;
     const int batch = std::max(1, batch_eval.batch);
@@ -126,6 +161,7 @@ RandomSearch(const Space& space, const Objective& objective, int iterations,
             xs.push_back(RandomPoint(space, rng));
         const std::vector<double> ys =
             EvaluateBatch(xs, objective, batch_eval.pool);
+        OptStats::Get().random_evals->Inc(b);
         for (int i = 0; i < b; ++i)
             Record(result, xs[static_cast<size_t>(i)],
                    ys[static_cast<size_t>(i)]);
@@ -147,12 +183,15 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
                    uint64_t seed, const BatchEval& batch_eval, double t0,
                    double cooling)
 {
+    SPA_TRACE_SCOPE("opt", "simulated_annealing");
+    const OptStats& stats = OptStats::Get();
     Rng rng(seed);
     OptResult result;
     if (iterations <= 0)
         return result;
     std::vector<int> current = RandomPoint(space, rng);
     double current_value = objective(current);
+    stats.sa_evals->Inc();
     Record(result, current, current_value);
     double temperature = t0;
     const int batch = std::max(1, batch_eval.batch);
@@ -183,6 +222,7 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
             xs.push_back(propose(current));
         const std::vector<double> ys =
             EvaluateBatch(xs, objective, batch_eval.pool);
+        stats.sa_evals->Inc(b);
         for (int i = 0; i < b; ++i) {
             const double next_value = ys[static_cast<size_t>(i)];
             Record(result, xs[static_cast<size_t>(i)], next_value);
@@ -191,6 +231,9 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
                 rng.Uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
                 current = xs[static_cast<size_t>(i)];
                 current_value = next_value;
+                stats.sa_accepted->Inc();
+            } else {
+                stats.sa_rejected->Inc();
             }
             temperature *= cooling;
         }
@@ -203,12 +246,15 @@ OptResult
 BayesianOptimize(const Space& space, const Objective& objective, int iterations,
                  uint64_t seed, const BayesOptions& options)
 {
+    SPA_TRACE_SCOPE("opt", "bayesian_optimize");
+    const OptStats& stats = OptStats::Get();
     Rng rng(seed);
     OptResult result;
     std::vector<std::vector<double>> xs_unit;
     std::vector<double> ys;
 
     auto evaluate = [&](const std::vector<int>& x) {
+        stats.bayes_evals->Inc();
         const double y = objective(x);
         Record(result, x, y);
         xs_unit.push_back(ToUnit(space, x));
@@ -288,7 +334,11 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
             const double z = (best_norm - mu) / sigma;
             return sigma * (z * NormCdf(z) + NormPdf(z));
         };
-        const std::vector<double> ei = EvaluateBatch(candidates, score, options.pool);
+        std::vector<double> ei;
+        {
+            obs::Timer::Scope timed(stats.bayes_ei_ns);
+            ei = EvaluateBatch(candidates, score, options.pool);
+        }
 
         std::vector<int> best_candidate;
         double best_ei = -1.0;

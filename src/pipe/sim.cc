@@ -7,6 +7,8 @@
 #include "common/util.h"
 #include "pu/driver.h"
 #include "pu/reference.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace spa {
 namespace pipe {
@@ -55,6 +57,7 @@ SegmentSimulator::Simulate(const nn::Workload& w, const seg::Assignment& a, int 
                "config does not match the assignment");
     SPA_ASSERT(static_cast<int>(dataflow_per_pu.size()) == a.num_pus,
                "dataflow list does not match the assignment");
+    SPA_TRACE_SCOPE("pipe", "segment_sim S" + std::to_string(s));
 
     std::vector<LayerState> states;
     std::map<int, int> state_of;  // workload layer -> state index
@@ -138,6 +141,29 @@ SegmentSimulator::Simulate(const nn::Workload& w, const seg::Assignment& a, int 
     for (int n = 0; n < a.num_pus; ++n)
         result.pu_stall_cycles[static_cast<size_t>(n)] =
             result.total_cycles - result.pu_busy_cycles[static_cast<size_t>(n)];
+
+    // Per-segment stage telemetry: occupancy and stalls per PU slot,
+    // aggregated process-wide (one Observe per PU per simulated segment).
+    {
+        obs::Registry& r = obs::Registry::Default();
+        static obs::Counter* segments = r.GetCounter(
+            "pipe.segments_simulated", "SegmentSimulator::Simulate calls");
+        static obs::Counter* pieces =
+            r.GetCounter("pipe.pieces_executed", "pieces scheduled across segments");
+        static obs::Histogram* busy = r.GetHistogram(
+            "pipe.pu_busy_cycles", "per-PU busy cycles within one segment");
+        static obs::Histogram* stall = r.GetHistogram(
+            "pipe.pu_stall_cycles", "per-PU stall cycles within one segment");
+        static obs::Gauge* efficiency = r.GetGauge(
+            "pipe.last_efficiency", "pipeline efficiency of the last segment");
+        segments->Inc();
+        pieces->Inc(result.pieces_executed);
+        for (int n = 0; n < a.num_pus; ++n) {
+            busy->Observe(result.pu_busy_cycles[static_cast<size_t>(n)]);
+            stall->Observe(result.pu_stall_cycles[static_cast<size_t>(n)]);
+        }
+        efficiency->Set(result.PipelineEfficiency());
+    }
     return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "autoseg/autoseg.h"
 #include "nn/models.h"
+#include "obs/trace.h"
 
 namespace spa {
 namespace autoseg {
@@ -98,6 +99,30 @@ TEST(EngineDeterminismTest, RepeatedRunsAreStable)
         engine.Run(w, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
     ASSERT_TRUE(first.ok);
     ExpectIdenticalResults(first, second, alloc::DesignGoal::kLatency);
+}
+
+TEST(TelemetryDeterminismTest, TracingDoesNotChangeResults)
+{
+    // Trace-invariance contract: running with the trace session live
+    // must produce bitwise-identical CoDesignResults to running with
+    // telemetry off, at jobs=1 and jobs=8 alike.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    const hw::Platform budget = hw::EyerissBudget();
+    for (int jobs : {1, 8}) {
+        cost::CostModel cost_model;
+        Engine engine(cost_model, FastOptions(jobs));
+        obs::TraceSession::Get().Stop();  // SPA_TELEMETRY may have auto-started
+        ASSERT_FALSE(obs::TraceSession::Get().enabled());
+        const auto off = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+
+        obs::TraceSession::Get().Start();
+        const auto on = engine.Run(w, budget, alloc::DesignGoal::kLatency);
+        obs::TraceSession::Get().Stop();
+
+        ASSERT_TRUE(off.ok);
+        ExpectIdenticalResults(off, on, alloc::DesignGoal::kLatency);
+        EXPECT_GT(obs::TraceSession::Get().NumEvents(), 0u);
+    }
 }
 
 TEST(EngineDeterminismTest, HardwareDefaultJobsMatchesSerial)

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "autoseg/autoseg.h"
 #include "eval/evaluator.h"
 #include "eval/seg_cache.h"
 #include "nn/models.h"
@@ -210,6 +211,103 @@ TEST(EvaluatorTest, ObjectivesReturnInputOrder)
     ASSERT_EQ(ys.size(), xs.size());
     for (int i = 0; i < 100; ++i)
         EXPECT_DOUBLE_EQ(ys[static_cast<size_t>(i)], 2.0 * i);
+}
+
+TEST(SegmentationCacheTest, CountersTrackHitsMissesInserts)
+{
+    SegmentationCache cache;
+    std::optional<seg::Assignment> out;
+    EXPECT_FALSE(cache.Lookup("net", 1, 1, out));  // miss
+    EXPECT_EQ(cache.Misses(), 1);
+    EXPECT_EQ(cache.Hits(), 0);
+    EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+
+    seg::Assignment a;
+    a.num_segments = 1;
+    a.num_pus = 1;
+    cache.Store("net", 1, 1, a);
+    EXPECT_EQ(cache.Inserts(), 1);
+    EXPECT_TRUE(cache.Lookup("net", 1, 1, out));  // hit
+    EXPECT_TRUE(cache.Lookup("net", 1, 1, out));  // hit
+    EXPECT_EQ(cache.Hits(), 2);
+    EXPECT_EQ(cache.Misses(), 1);
+    EXPECT_DOUBLE_EQ(cache.HitRate(), 2.0 / 3.0);
+}
+
+TEST(CostMemoTest, CountsHitsAndMisses)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel model;
+    model.EnableMemo();
+    const hw::PuConfig pu{16, 16};
+    model.ComputeCycles(w.layers[0], pu, hw::Dataflow::kWeightStationary);
+    EXPECT_EQ(model.MemoHits(), 0);
+    EXPECT_EQ(model.MemoMisses(), 1);
+    model.ComputeCycles(w.layers[0], pu, hw::Dataflow::kWeightStationary);
+    EXPECT_EQ(model.MemoHits(), 1);
+    EXPECT_EQ(model.MemoMisses(), 1);
+}
+
+TEST(EvaluatorTest, EngineRerunHitsSegmentationCache)
+{
+    // Satellite requirement: a second engine run over the same model
+    // with the same external cache must actually hit it (> 0 hits) and
+    // must return bitwise-identical results -- the reuse the paper's
+    // Sec. V promises across hardware budgets.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    options.jobs = 2;
+    autoseg::Engine engine(cost_model, options);
+    autoseg::SegmentationCache cache;
+
+    const hw::Platform budget = hw::EyerissBudget();
+    const auto first = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+    ASSERT_TRUE(first.ok);
+    EXPECT_GT(cache.Inserts(), 0);
+    const int64_t hits_before = cache.Hits();
+
+    const auto second = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+    ASSERT_TRUE(second.ok);
+    EXPECT_GT(cache.Hits(), hits_before);
+
+    // Warm pairs evaluate only the cached shape (cold pairs sweep all
+    // shapes), so the explored trace may differ -- but the winning
+    // design must not.
+    EXPECT_EQ(first.alloc.latency_seconds, second.alloc.latency_seconds);
+    EXPECT_EQ(first.alloc.config.ToString(), second.alloc.config.ToString());
+    EXPECT_EQ(first.assignment.segment_of, second.assignment.segment_of);
+    EXPECT_EQ(first.assignment.pu_of, second.assignment.pu_of);
+
+    // Two warm runs see identical cache state: fully identical results,
+    // explored trace included.
+    const auto third = engine.Run(w, budget, alloc::DesignGoal::kLatency, &cache);
+    ASSERT_TRUE(third.ok);
+    EXPECT_EQ(second.alloc.latency_seconds, third.alloc.latency_seconds);
+    EXPECT_EQ(second.alloc.config.ToString(), third.alloc.config.ToString());
+    ASSERT_EQ(second.explored.size(), third.explored.size());
+    for (size_t i = 0; i < second.explored.size(); ++i) {
+        EXPECT_EQ(second.explored[i].latency_seconds,
+                  third.explored[i].latency_seconds);
+        EXPECT_EQ(second.explored[i].feasible, third.explored[i].feasible);
+    }
+}
+
+TEST(EvaluatorTest, RepeatedEvaluationHitsCostMemo)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel cost_model;
+    Evaluator evaluator(cost_model, EvalOptions{2, true});
+    seg::Assignment a = seg::EvenSegmentation(w, 4, 2);
+    const hw::Platform budget = hw::EyerissBudget();
+    const auto first =
+        evaluator.EvaluateCandidate(w, a, budget, alloc::DesignGoal::kLatency);
+    const auto second =
+        evaluator.EvaluateCandidate(w, a, budget, alloc::DesignGoal::kLatency);
+    EXPECT_GT(evaluator.cost_model().MemoHits(), 0);
+    EXPECT_EQ(first.alloc.latency_seconds, second.alloc.latency_seconds);
 }
 
 TEST(EvaluatorTest, SegmentationCacheIsSharedAndUsable)

@@ -1,0 +1,284 @@
+// Tests for the telemetry subsystem: the stats registry (counters,
+// gauges, timers, log2 histograms), its table/JSON dumps, and the
+// scoped Chrome-trace session. Concurrency cases run real updates
+// under the thread pool; the trace golden check verifies every
+// begin event has a matching, properly nested end on its thread.
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "json/json.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace spa {
+namespace obs {
+namespace {
+
+TEST(ObsStatsTest, RegistrationIsIdempotent)
+{
+    Registry r;
+    Counter* a = r.GetCounter("x.count", "a counter");
+    Counter* b = r.GetCounter("x.count");
+    EXPECT_EQ(a, b);  // same object, stable pointer
+    a->Inc(3);
+    EXPECT_EQ(b->value(), 3);
+    EXPECT_EQ(r.Size(), 1u);
+
+    Gauge* g = r.GetGauge("x.level");
+    EXPECT_EQ(g, r.GetGauge("x.level"));
+    Timer* t = r.GetTimer("x.time");
+    EXPECT_EQ(t, r.GetTimer("x.time"));
+    Histogram* h = r.GetHistogram("x.dist");
+    EXPECT_EQ(h, r.GetHistogram("x.dist"));
+    EXPECT_EQ(r.Size(), 4u);
+}
+
+TEST(ObsStatsTest, RegistryResetZeroesButKeepsStats)
+{
+    Registry r;
+    Counter* c = r.GetCounter("c");
+    Gauge* g = r.GetGauge("g");
+    Timer* t = r.GetTimer("t");
+    Histogram* h = r.GetHistogram("h");
+    c->Inc(7);
+    g->Set(2.5);
+    t->Add(100);
+    h->Observe(42);
+    r.Reset();
+    EXPECT_EQ(c->value(), 0);
+    EXPECT_EQ(g->value(), 0.0);
+    EXPECT_EQ(t->count(), 0);
+    EXPECT_EQ(h->count(), 0);
+    EXPECT_EQ(r.Size(), 4u);          // registrations survive
+    EXPECT_EQ(c, r.GetCounter("c"));  // and pointers stay valid
+}
+
+TEST(ObsStatsTest, DumpTableListsEveryStat)
+{
+    Registry r;
+    r.GetCounter("alpha.count", "events seen")->Inc(12);
+    r.GetGauge("beta.rate")->Set(0.5);
+    r.GetTimer("gamma.time")->Add(1500);
+    r.GetHistogram("delta.sizes")->Observe(9);
+    const std::string table = r.DumpTable();
+    EXPECT_NE(table.find("alpha.count"), std::string::npos);
+    EXPECT_NE(table.find("12"), std::string::npos);
+    EXPECT_NE(table.find("events seen"), std::string::npos);
+    EXPECT_NE(table.find("beta.rate"), std::string::npos);
+    EXPECT_NE(table.find("gamma.time"), std::string::npos);
+    EXPECT_NE(table.find("delta.sizes"), std::string::npos);
+}
+
+TEST(ObsStatsTest, JsonRoundTripPreservesValues)
+{
+    Registry r;
+    r.GetCounter("c", "count")->Inc(41);
+    r.GetGauge("g")->Set(0.25);
+    Timer* t = r.GetTimer("t");
+    t->Add(1000);
+    t->Add(3000);
+    Histogram* h = r.GetHistogram("h");
+    h->Observe(1);
+    h->Observe(100);
+
+    // Serialize, re-parse, and verify the values survive the trip.
+    const std::string text = r.ToJson().Dump();
+    json::Value parsed = json::ParseOrDie(text);
+    EXPECT_EQ(parsed.At("c").GetString("type", ""), "counter");
+    EXPECT_EQ(parsed.At("c").GetInt("value", -1), 41);
+    EXPECT_EQ(parsed.At("c").GetString("desc", ""), "count");
+    EXPECT_DOUBLE_EQ(parsed.At("g").GetDouble("value", -1.0), 0.25);
+    EXPECT_EQ(parsed.At("t").GetInt("count", -1), 2);
+    EXPECT_EQ(parsed.At("t").GetInt("total_ns", -1), 4000);
+    EXPECT_DOUBLE_EQ(parsed.At("t").GetDouble("mean_ns", -1.0), 2000.0);
+    EXPECT_EQ(parsed.At("h").GetInt("count", -1), 2);
+    EXPECT_EQ(parsed.At("h").GetInt("sum", -1), 101);
+    EXPECT_EQ(parsed.At("h").GetInt("min", -1), 1);
+    EXPECT_EQ(parsed.At("h").GetInt("max", -1), 100);
+}
+
+TEST(ObsHistogramTest, BucketEdges)
+{
+    // Bucket 0 holds <= 0; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(Histogram::BucketIndex(INT64_MIN), 0);
+    EXPECT_EQ(Histogram::BucketIndex(-1), 0);
+    EXPECT_EQ(Histogram::BucketIndex(0), 0);
+    EXPECT_EQ(Histogram::BucketIndex(1), 1);
+    EXPECT_EQ(Histogram::BucketIndex(2), 2);
+    EXPECT_EQ(Histogram::BucketIndex(3), 2);
+    EXPECT_EQ(Histogram::BucketIndex(4), 3);
+    EXPECT_EQ(Histogram::BucketIndex(7), 3);
+    EXPECT_EQ(Histogram::BucketIndex(8), 4);
+    EXPECT_EQ(Histogram::BucketIndex((1LL << 62) - 1), 62);
+    EXPECT_EQ(Histogram::BucketIndex(1LL << 62), 63);
+    EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), 63);
+
+    EXPECT_EQ(Histogram::BucketLow(0), 0);
+    EXPECT_EQ(Histogram::BucketLow(1), 1);
+    EXPECT_EQ(Histogram::BucketLow(2), 2);
+    EXPECT_EQ(Histogram::BucketLow(3), 4);
+    EXPECT_EQ(Histogram::BucketLow(63), 1LL << 62);
+
+    // BucketIndex and BucketLow agree: every power of two opens its
+    // own bucket and is that bucket's lower edge.
+    for (int i = 1; i < Histogram::kNumBuckets; ++i)
+        EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLow(i)), i) << i;
+}
+
+TEST(ObsHistogramTest, ObserveTracksExactAggregates)
+{
+    Histogram h;
+    for (int64_t v : {0LL, 1LL, 5LL, 5LL, 1024LL, -3LL})
+        h.Observe(v);
+    EXPECT_EQ(h.count(), 6);
+    EXPECT_EQ(h.sum(), 0 + 1 + 5 + 5 + 1024 - 3);
+    EXPECT_EQ(h.min(), -3);
+    EXPECT_EQ(h.max(), 1024);
+    EXPECT_EQ(h.bucket(0), 2);                             // 0 and -3
+    EXPECT_EQ(h.bucket(1), 1);                             // 1
+    EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 2);     // both 5s
+    EXPECT_EQ(h.bucket(Histogram::BucketIndex(1024)), 1);  // 1024
+}
+
+TEST(ObsStatsTest, ConcurrentIncrementsAreExact)
+{
+    Registry r;
+    Counter* c = r.GetCounter("hammer.count");
+    Timer* t = r.GetTimer("hammer.time");
+    Histogram* h = r.GetHistogram("hammer.dist");
+    constexpr int64_t kItems = 10000;
+    ThreadPool pool(8);
+    pool.ParallelFor(kItems, [&](int64_t i) {
+        c->Inc();
+        t->Add(1);
+        h->Observe(i % 128);
+    });
+    EXPECT_EQ(c->value(), kItems);
+    EXPECT_EQ(t->count(), kItems);
+    EXPECT_EQ(t->total_ns(), kItems);
+    EXPECT_EQ(h->count(), kItems);
+    EXPECT_EQ(h->max(), 127);
+    EXPECT_EQ(h->min(), 0);
+}
+
+TEST(ObsTraceTest, DisabledSessionRecordsNothing)
+{
+    TraceSession& session = TraceSession::Get();
+    session.Stop();
+    const size_t before = session.NumEvents();
+    {
+        SPA_TRACE_SCOPE("test", "ignored");
+    }
+    EXPECT_EQ(session.NumEvents(), before);
+}
+
+TEST(ObsTraceTest, SpansMatchAndNestPerThread)
+{
+    TraceSession& session = TraceSession::Get();
+    session.Start();
+    {
+        SPA_TRACE_SCOPE("test", "outer");
+        {
+            SPA_TRACE_SCOPE("test", "inner");
+        }
+    }
+    // Spans opened on pool threads land on their own tracks.
+    ThreadPool pool(4);
+    pool.ParallelFor(64, [&](int64_t i) {
+        SPA_TRACE_SCOPE("test", "task " + std::to_string(i));
+    });
+    session.Stop();
+
+    // Golden structural check: per thread, every 'E' closes the most
+    // recent 'B' of the same name (RAII nesting), and no 'B' is left
+    // open at the end of any track.
+    const std::vector<TraceEvent> events = session.Snapshot();
+    ASSERT_GE(events.size(), 2u + 2u * 64u);
+    std::map<int, std::vector<std::string>> stacks;
+    int64_t last_ts = INT64_MIN;
+    for (const TraceEvent& e : events) {
+        EXPECT_GE(e.ts_ns, last_ts);  // Snapshot is time-sorted
+        last_ts = e.ts_ns;
+        if (e.ph == 'B') {
+            stacks[e.tid].push_back(e.name);
+        } else if (e.ph == 'E') {
+            ASSERT_FALSE(stacks[e.tid].empty()) << "unmatched E on " << e.tid;
+            EXPECT_EQ(stacks[e.tid].back(), e.name);
+            stacks[e.tid].pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+}
+
+TEST(ObsTraceTest, ExportsValidChromeTraceJson)
+{
+    TraceSession& session = TraceSession::Get();
+    session.Start();
+    {
+        SPA_TRACE_SCOPE("cat_a", "span one");
+        SPA_TRACE_SCOPE("cat_b", "span two");
+    }
+    session.Stop();
+    json::Value parsed = json::ParseOrDie(session.ToJson().Dump());
+    ASSERT_TRUE(parsed.Has("traceEvents"));
+    const json::Array& events = parsed.At("traceEvents").AsArray();
+    int begins = 0, ends = 0;
+    for (const json::Value& e : events) {
+        const std::string ph = e.GetString("ph", "");
+        if (ph == "M")
+            continue;  // metadata
+        EXPECT_TRUE(e.Has("name"));
+        EXPECT_TRUE(e.Has("ts"));
+        EXPECT_TRUE(e.Has("pid"));
+        EXPECT_TRUE(e.Has("tid"));
+        begins += ph == "B";
+        ends += ph == "E";
+    }
+    EXPECT_EQ(begins, 2);
+    EXPECT_EQ(ends, 2);
+}
+
+TEST(ObsTraceTest, StopBetweenBeginAndEndKeepsSpansMatched)
+{
+    TraceSession& session = TraceSession::Get();
+    session.Start();
+    {
+        SPA_TRACE_SCOPE("test", "interrupted");
+        session.Stop();  // span still open
+    }                    // 'E' must still be recorded
+    int begins = 0, ends = 0;
+    for (const TraceEvent& e : session.Snapshot()) {
+        begins += e.ph == 'B';
+        ends += e.ph == 'E';
+    }
+    EXPECT_EQ(begins, ends);
+}
+
+TEST(ObsTraceTest, StartDiscardsPreviousEvents)
+{
+    TraceSession& session = TraceSession::Get();
+    session.Start();
+    {
+        SPA_TRACE_SCOPE("test", "old");
+    }
+    session.Start();  // new recording generation
+    {
+        SPA_TRACE_SCOPE("test", "new");
+    }
+    session.Stop();
+    const std::vector<TraceEvent> events = session.Snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "new");
+    EXPECT_EQ(events[1].name, "new");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace spa

@@ -3,10 +3,13 @@
 //   autoseg --model squeezenet --platform eyeriss --goal latency
 //   autoseg --model-json my_net.json --platform ku115 --goal throughput
 //           --record design.json --dot design.dot --rtl rtl_out/
+//   autoseg --model alexnet --platform eyeriss --stats
+//           --stats-out stats.json --trace-out trace.json
 //
 // Runs segmentation + allocation, prints the design summary, and
 // optionally writes the machine-readable record, a Graphviz view of the
-// segmentation, and the generated SystemVerilog bundle.
+// segmentation, the generated SystemVerilog bundle, the search-stack
+// telemetry (stats registry) and a Chrome trace of the search.
 
 #include <cstdio>
 #include <cstring>
@@ -14,11 +17,16 @@
 #include <map>
 #include <string>
 
+#include <chrono>
+
 #include "autoseg/autoseg.h"
 #include "common/logging.h"
 #include "autoseg/energy.h"
 #include "autoseg/record.h"
 #include "cost/profile.h"
+#include "json/json.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "nn/loader.h"
 #include "nn/models.h"
 #include "rtl/emit.h"
@@ -43,6 +51,10 @@ PrintUsage()
         "               [--dot out.dot]               segmentation graph\n"
         "               [--rtl out_dir/]              SystemVerilog bundle\n"
         "               [--profile]                   per-layer profile table\n"
+        "               [--stats]                     stats table on stderr\n"
+        "               [--stats-out out.json]        stats registry as JSON\n"
+        "               [--trace-out out.json]        Chrome trace of the search\n"
+        "               [--log-timestamps]            elapsed-time log prefix\n"
         "               [--quiet]\n");
 }
 
@@ -54,12 +66,17 @@ main(int argc, char** argv)
     std::map<std::string, std::string> args;
     bool quiet = false;
     bool profile = false;
+    bool stats_table = false;
     for (int i = 1; i < argc; ++i) {
         const std::string key = argv[i];
         if (key == "--quiet") {
             quiet = true;
         } else if (key == "--profile") {
             profile = true;
+        } else if (key == "--stats") {
+            stats_table = true;
+        } else if (key == "--log-timestamps") {
+            spa::detail::SetLogTimestamps(true);
         } else if (key == "--help" || key == "-h") {
             PrintUsage();
             return 0;
@@ -110,8 +127,78 @@ main(int argc, char** argv)
             pos = comma + 1;
         }
     }
+    const bool tracing = args.count("trace-out") > 0;
+    if (tracing)
+        obs::TraceSession::Get().Start();
+    const auto run_start = std::chrono::steady_clock::now();
     autoseg::Engine engine(cost_model, options);
     autoseg::CoDesignResult result = engine.Run(workload, platform, goal);
+    const double run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+            .count();
+    if (tracing) {
+        obs::TraceSession::Get().Stop();
+        obs::TraceSession::Get().WriteFile(args["trace-out"]);
+    }
+    // Publish pool telemetry and derived cache rates before any dump.
+    engine.evaluator().FlushStats();
+    {
+        obs::Registry& r = obs::Registry::Default();
+        const auto& cache = engine.evaluator().segmentation_cache();
+        r.GetGauge("eval.seg_cache.hit_rate",
+                   "hits / lookups of the engine's segmentation cache")
+            ->Set(cache.HitRate());
+        const cost::CostModel& cm = engine.evaluator().cost_model();
+        const int64_t memo_total = cm.MemoHits() + cm.MemoMisses();
+        r.GetGauge("cost.memo.hit_rate",
+                   "hits / lookups of the compute-cycle memo")
+            ->Set(memo_total > 0
+                      ? static_cast<double>(cm.MemoHits()) /
+                            static_cast<double>(memo_total)
+                      : 0.0);
+    }
+    if (stats_table)
+        std::fprintf(stderr, "%s", obs::Registry::Default().DumpTable().c_str());
+    if (args.count("stats-out")) {
+        json::Object top;
+        json::Object run;
+        run["model"] = workload.name;
+        run["platform"] = platform.name;
+        run["goal"] = goal == alloc::DesignGoal::kThroughput ? "throughput"
+                                                             : "latency";
+        run["jobs"] = engine.evaluator().jobs();
+        run["wall_seconds"] = run_seconds;
+        run["ok"] = result.ok;
+        if (result.ok)
+            run["goal_value"] = result.GoalValue(goal);
+        // Best-so-far trajectory over the explored (S, N) records, in
+        // enumeration order -- what the search "saw" as it went.
+        json::Array trajectory;
+        double best = 1e30;
+        for (const auto& rec : result.explored) {
+            if (!rec.feasible)
+                continue;
+            const double v = goal == alloc::DesignGoal::kThroughput
+                                 ? (rec.throughput_fps > 0.0
+                                        ? 1.0 / rec.throughput_fps
+                                        : 1e30)
+                                 : rec.latency_seconds;
+            if (v < best) {
+                best = v;
+                json::Object point;
+                point["num_segments"] = rec.num_segments;
+                point["num_pus"] = rec.num_pus;
+                point["goal_value"] = v;
+                trajectory.push_back(json::Value(std::move(point)));
+            }
+        }
+        run["explored"] = static_cast<int64_t>(result.explored.size());
+        run["best_trajectory"] = json::Value(std::move(trajectory));
+        top["run"] = json::Value(std::move(run));
+        top["stats"] = obs::Registry::Default().ToJson();
+        json::SaveFile(args["stats-out"], json::Value(std::move(top)));
+        std::fprintf(stderr, "stats:      %s\n", args["stats-out"].c_str());
+    }
     if (!result.ok) {
         std::fprintf(stderr, "no feasible SPA design for %s on %s\n",
                      workload.name.c_str(), platform.name.c_str());
