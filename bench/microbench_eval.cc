@@ -1,0 +1,148 @@
+// Microbenchmark: raw candidate-evaluation throughput of the
+// incremental allocation engine. Evaluates a fixed pool of ResNet-50
+// segmentation candidates through the full Alg. 1 + metrics path at
+// jobs = 1/4/8 and reports candidate-evals/sec, plus the
+// fixed-configuration evaluation rate of the AssignmentIndex-backed
+// path against the retained naive-scan reference oracle. Design
+// points are identical across jobs widths and across the two
+// fixed-config paths; only the rates differ.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/evaluator.h"
+#include "nn/models.h"
+#include "seg/segmenter.h"
+
+namespace {
+
+using namespace spa;
+
+constexpr int kNumPus = 4;
+
+std::vector<seg::Assignment>
+CandidatePool(const nn::Workload& w)
+{
+    seg::HeuristicSegmenter segmenter;
+    std::vector<seg::Assignment> pool;
+    for (int s = 1; s <= 8; ++s) {
+        seg::Assignment a;
+        if (segmenter.Solve(w, s, kNumPus, a))
+            pool.push_back(a);
+    }
+    return pool;
+}
+
+double
+SecondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+void
+RunCandidateRate(const nn::Workload& w,
+                 const std::vector<seg::Assignment>& pool_candidates)
+{
+    const hw::Platform budget = hw::NvdlaLargeBudget();
+    bench::PrintHeader("Candidate evaluations/sec (resnet50, full Alg. 1 + "
+                       "metrics)");
+    bench::PrintRow("jobs", {"evals/s", "evals", "seconds"});
+    for (int jobs : {1, 4, 8}) {
+        cost::CostModel cost_model;
+        eval::Evaluator evaluator(cost_model, eval::EvalOptions{jobs, true});
+        // Warm the cost memo once so every timed round sees the same
+        // steady-state cache behaviour.
+        evaluator.EvaluateCandidates(w, pool_candidates, budget,
+                                     alloc::DesignGoal::kLatency);
+        constexpr int kRounds = 400;
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < kRounds; ++r)
+            evaluator.EvaluateCandidates(w, pool_candidates, budget,
+                                         alloc::DesignGoal::kLatency);
+        const double seconds = SecondsSince(start);
+        const double evals =
+            static_cast<double>(kRounds * pool_candidates.size());
+        const double rate = evals / seconds;
+        bench::PrintRow(std::to_string(jobs),
+                        {bench::Fmt(rate, "%.0f"), bench::Fmt(evals, "%.0f"),
+                         bench::Fmt(seconds, "%.3f")});
+        bench::SetMetric("resnet50.jobs" + std::to_string(jobs) +
+                             ".candidate_evals_per_sec",
+                         rate);
+    }
+}
+
+void
+RunFixedConfigRate(const nn::Workload& w,
+                   const std::vector<seg::Assignment>& pool_candidates)
+{
+    // Indexed evaluation vs the naive-scan oracle on one fixed design
+    // point: same results, different asymptotics.
+    const hw::Platform budget = hw::NvdlaLargeBudget();
+    cost::CostModel cost_model;
+    alloc::Allocator allocator{cost_model};
+    const seg::Assignment& a = pool_candidates.back();
+    const auto allocated =
+        allocator.Allocate(w, a, budget, alloc::DesignGoal::kLatency);
+    if (!allocated.ok)
+        return;
+
+    constexpr int kRounds = 20000;
+    const seg::AssignmentIndex index(w, a);
+    auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRounds; ++r)
+        allocator.Evaluate(w, index, allocated.config);
+    const double indexed_s = SecondsSince(start);
+
+    start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRounds; ++r)
+        allocator.EvaluateReference(w, a, allocated.config);
+    const double reference_s = SecondsSince(start);
+
+    bench::PrintHeader("Fixed-config evaluations/sec (resnet50)");
+    bench::PrintRow("path", {"evals/s"});
+    bench::PrintRow("indexed", {bench::Fmt(kRounds / indexed_s, "%.0f")});
+    bench::PrintRow("reference", {bench::Fmt(kRounds / reference_s, "%.0f")});
+    bench::SetMetric("resnet50.indexed_evals_per_sec", kRounds / indexed_s);
+    bench::SetMetric("resnet50.reference_evals_per_sec",
+                     kRounds / reference_s);
+}
+
+void
+PrintMicrobench()
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet50());
+    const std::vector<seg::Assignment> pool_candidates = CandidatePool(w);
+    if (pool_candidates.empty())
+        return;
+    RunCandidateRate(w, pool_candidates);
+    RunFixedConfigRate(w, pool_candidates);
+    std::printf("\n(rates are machine-dependent; design points are identical "
+                "for every jobs value and for indexed vs reference)\n");
+}
+
+void
+BM_CandidateEvaluation(benchmark::State& state)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildResNet50());
+    cost::CostModel cost_model;
+    eval::Evaluator evaluator(cost_model, eval::EvalOptions{1, true});
+    seg::HeuristicSegmenter segmenter;
+    seg::Assignment a;
+    segmenter.Solve(w, 4, kNumPus, a);
+    const hw::Platform budget = hw::NvdlaLargeBudget();
+    for (auto _ : state) {
+        auto r = evaluator.EvaluateCandidate(w, a, budget,
+                                             alloc::DesignGoal::kLatency);
+        benchmark::DoNotOptimize(r.alloc.latency_seconds);
+    }
+}
+BENCHMARK(BM_CandidateEvaluation);
+
+}  // namespace
+
+SPA_BENCH_MAIN(PrintMicrobench)

@@ -21,6 +21,7 @@
  * Per-PU, per-segment dataflows are chosen by the cost model (line 12).
  */
 
+#include <memory>
 #include <vector>
 
 #include "cost/cost.h"
@@ -28,6 +29,7 @@
 #include "hw/platform.h"
 #include "nn/workload.h"
 #include "seg/assignment.h"
+#include "seg/assignment_index.h"
 
 namespace spa {
 namespace alloc {
@@ -58,6 +60,12 @@ struct AllocationResult
     double throughput_fps = 0.0;      ///< with batch replication
     double pe_utilization = 0.0;      ///< useful MACs over offered MAC slots
     std::vector<double> v_hat;        ///< the Step-1 PE quota indicator
+    /**
+     * The Step-1 segment metrics (Alg. 1 computes them anyway); shared
+     * so result copies stay cheap. Null from Evaluate-style calls that
+     * never needed them.
+     */
+    std::shared_ptr<const seg::SegmentMetrics> metrics;
 };
 
 /** Pipeline fill/drain model: segments stream in pieces (Fig. 8). */
@@ -83,6 +91,10 @@ class Allocator
     AllocationResult Allocate(const nn::Workload& w, const seg::Assignment& assignment,
                               const hw::Platform& budget, DesignGoal goal) const;
 
+    /** Alg. 1 on a prebuilt index (saves the per-call index build). */
+    AllocationResult Allocate(const nn::Workload& w, const seg::AssignmentIndex& index,
+                              const hw::Platform& budget, DesignGoal goal) const;
+
     /**
      * Evaluates a *given* configuration (used by the co-design baseline
      * methods of Fig. 18, which search hardware parameters directly).
@@ -90,9 +102,25 @@ class Allocator
     AllocationResult Evaluate(const nn::Workload& w, const seg::Assignment& assignment,
                               const hw::SpaConfig& config) const;
 
+    /** Fixed-configuration evaluation on a prebuilt index. */
+    AllocationResult Evaluate(const nn::Workload& w, const seg::AssignmentIndex& index,
+                              const hw::SpaConfig& config) const;
+
+    /**
+     * Naive-scan reference evaluation: rescans every layer per
+     * (segment, PU) instead of using an AssignmentIndex or cycle-sum
+     * cache. Kept as the differential-testing oracle for the
+     * incremental path; results must match Evaluate() bitwise.
+     */
+    AllocationResult EvaluateReference(const nn::Workload& w,
+                                       const seg::Assignment& assignment,
+                                       const hw::SpaConfig& config) const;
+
   private:
-    void EvaluateInto(const nn::Workload& w, const seg::Assignment& assignment,
-                      AllocationResult& result) const;
+    struct CycleCache;
+
+    void EvaluateInto(const nn::Workload& w, const seg::AssignmentIndex& index,
+                      AllocationResult& result, CycleCache* cache) const;
 
     cost::CostModel cost_;
     PipelineModel pipeline_;

@@ -67,7 +67,18 @@ bool LogTimestamps();
 #define SPA_WARN(...) \
     ::spa::detail::WarnImpl(::spa::detail::FormatMessage(__VA_ARGS__))
 
-/** Checked invariant: panics with the stringified condition on failure. */
+/**
+ * Checked invariant: panics with the stringified condition on failure.
+ * Compiled out entirely under -DSPA_DISABLE_ASSERTS (the `perf` CMake
+ * preset); the condition is not evaluated there, so it must be free of
+ * side effects.
+ */
+#ifdef SPA_DISABLE_ASSERTS
+#define SPA_ASSERT(cond, ...)      \
+    do {                           \
+        (void)sizeof((cond));      \
+    } while (0)
+#else
 #define SPA_ASSERT(cond, ...)                                                        \
     do {                                                                             \
         if (!(cond)) {                                                               \
@@ -76,5 +87,6 @@ bool LogTimestamps();
                                              ##__VA_ARGS__));                        \
         }                                                                            \
     } while (0)
+#endif
 
 #endif  // SPA_COMMON_LOGGING_H_

@@ -1,6 +1,7 @@
 #include "cost/cost.h"
 
 #include <algorithm>
+#include <array>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
@@ -19,6 +20,14 @@ namespace detail {
  * layer's (cin, cout, hout, wout, kernel, groups), the PU's rows/cols,
  * and the dataflow, so that tuple is the key; distinct layers with the
  * same dimensions correctly share an entry.
+ *
+ * The table is striped into kShards independently locked shards,
+ * selected by the key hash, so pooled evaluations at jobs=8+ stop
+ * serializing on a single mutex (even a shared_mutex bounces its
+ * cache line on every reader-count update). 16 shards keeps the
+ * per-lock contention probability at jobs=16 below 1/16 per lookup
+ * while the whole array of lock words still fits a few cache lines;
+ * hit/miss counts are kept per shard and aggregated on read.
  */
 class ComputeCycleMemo
 {
@@ -57,17 +66,18 @@ class ComputeCycleMemo
     bool
     Lookup(const Key& key, int64_t& cycles) const
     {
+        const Shard& shard = ShardFor(key);
         {
-            std::shared_lock<std::shared_mutex> lock(mutex_);
-            auto it = entries_.find(key);
-            if (it != entries_.end()) {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            auto it = shard.entries.find(key);
+            if (it != shard.entries.end()) {
                 cycles = it->second;
-                hits_.fetch_add(1, std::memory_order_relaxed);
+                shard.hits.fetch_add(1, std::memory_order_relaxed);
                 GlobalCounters().hits->Inc();
                 return true;
             }
         }
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
         GlobalCounters().misses->Inc();
         return false;
     }
@@ -75,21 +85,73 @@ class ComputeCycleMemo
     void
     Store(const Key& key, int64_t cycles)
     {
-        std::unique_lock<std::shared_mutex> lock(mutex_);
-        entries_.emplace(key, cycles);
+        Shard& shard = ShardFor(key);
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        shard.entries.emplace(key, cycles);
     }
 
     size_t
     Size() const
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        return entries_.size();
+        size_t total = 0;
+        for (const Shard& shard : shards_) {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            total += shard.entries.size();
+        }
+        return total;
     }
 
-    int64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
-    int64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+    int64_t
+    Hits() const
+    {
+        int64_t total = 0;
+        for (const Shard& shard : shards_)
+            total += shard.hits.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    int64_t
+    Misses() const
+    {
+        int64_t total = 0;
+        for (const Shard& shard : shards_)
+            total += shard.misses.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    static constexpr size_t kShards = 16;
 
   private:
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        mutable std::atomic<int64_t> hits{0};
+        mutable std::atomic<int64_t> misses{0};
+        std::unordered_map<Key, int64_t, KeyHash> entries;
+    };
+
+    Shard&
+    ShardFor(const Key& key)
+    {
+        return shards_[ShardIndex(key)];
+    }
+
+    const Shard&
+    ShardFor(const Key& key) const
+    {
+        return shards_[ShardIndex(key)];
+    }
+
+    /**
+     * High hash bits pick the shard; the map consumes the full hash, so
+     * keys inside one shard still spread across its buckets.
+     */
+    static size_t
+    ShardIndex(const Key& key)
+    {
+        return (KeyHash{}(key) >> 48) & (kShards - 1);
+    }
+
     struct Counters
     {
         obs::Counter* hits;
@@ -112,10 +174,7 @@ class ComputeCycleMemo
         return counters;
     }
 
-    mutable std::shared_mutex mutex_;
-    mutable std::atomic<int64_t> hits_{0};
-    mutable std::atomic<int64_t> misses_{0};
-    std::unordered_map<Key, int64_t, KeyHash> entries_;
+    std::array<Shard, kShards> shards_;
 };
 
 }  // namespace detail

@@ -4,6 +4,7 @@
 
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "seg/assignment_index.h"
 
 namespace spa {
 namespace eval {
@@ -73,7 +74,11 @@ Evaluator::EvaluateCandidate(const nn::Workload& w, const seg::Assignment& a,
     CandidateCounter().Inc();
     CandidateEval out;
     out.alloc = allocator_.Allocate(w, a, budget, goal);
-    out.metrics = seg::ComputeMetrics(w, a);
+    // Alg. 1 already computed the metrics; reuse instead of rescanning.
+    if (out.alloc.metrics)
+        out.metrics = *out.alloc.metrics;
+    else
+        out.metrics = seg::ComputeMetrics(w, a);
     return out;
 }
 
@@ -85,8 +90,9 @@ Evaluator::EvaluateCandidateOn(const nn::Workload& w, const seg::Assignment& a,
     obs::Timer::Scope timed(&CandidateTimer());
     CandidateCounter().Inc();
     CandidateEval out;
-    out.alloc = allocator_.Evaluate(w, a, config);
-    out.metrics = seg::ComputeMetrics(w, a);
+    const seg::AssignmentIndex index(w, a);
+    out.alloc = allocator_.Evaluate(w, index, config);
+    out.metrics = seg::ComputeMetrics(w, index);
     return out;
 }
 

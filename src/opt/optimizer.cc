@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -90,6 +94,48 @@ RbfKernel(const std::vector<double>& a, const std::vector<double>& b,
     }
     return std::exp(-0.5 * d2 / (length_scale * length_scale));
 }
+
+/**
+ * Memoizes std::exp by the argument's bit pattern. Acquisition points
+ * and conditioning points both live on the unit-mapped grid, so the
+ * squared distances feeding the RBF kernel -- and hence the exp
+ * arguments -- repeat heavily within a scoring batch. Hits return the
+ * stored std::exp result for the identical argument, so scores are
+ * bit-for-bit the same as calling std::exp every time. Every argument
+ * is -0.5 * d2 / ls^2 <= -0.0 (sign bit set), leaving the zero bit
+ * pattern free as the empty-slot sentinel.
+ */
+class ExpMemo
+{
+  public:
+    double
+    operator()(double arg)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &arg, sizeof bits);
+        size_t slot = (bits * 0x9E3779B97F4A7C15ull) >> (64 - kSlotBits);
+        for (int probe = 0; probe < kMaxProbes; ++probe) {
+            if (keys_[slot] == bits)
+                return values_[slot];
+            if (keys_[slot] == 0) {
+                const double value = std::exp(arg);
+                keys_[slot] = bits;
+                values_[slot] = value;
+                return value;
+            }
+            slot = (slot + 1) & (kSlots - 1);
+        }
+        return std::exp(arg);  // cluster full: compute without caching
+    }
+
+  private:
+    static constexpr int kSlotBits = 11;
+    static constexpr size_t kSlots = size_t{1} << kSlotBits;
+    static constexpr int kMaxProbes = 8;
+
+    uint64_t keys_[kSlots] = {};
+    double values_[kSlots] = {};
+};
 
 /** Standard normal pdf / cdf for expected improvement. */
 double
@@ -242,6 +288,216 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
     return result;
 }
 
+namespace {
+
+/**
+ * Incremental Cholesky factor of the GP kernel matrix. Entry (i, j) of
+ * a Cholesky factor depends only on the leading (max(i,j)+1)-order
+ * block of the input, and the conditioning set only ever *appends*
+ * points between window slides, so rows computed for n points are
+ * reused verbatim for n+1 — each iteration factors one new row (O(n^2))
+ * instead of the whole matrix (O(n^3) plus n^2 kernel exps). Row
+ * entries are computed with exactly la::Cholesky's loop (same sum
+ * order, same jitter placement), so the factor is bitwise-identical to
+ * refactorizing from scratch.
+ */
+class GpFactor
+{
+  public:
+    size_t rows() const { return num_rows_; }
+
+    /** Drops every factored row (window slides invalidate the prefix). */
+    void
+    Reset()
+    {
+        flat_.clear();
+        num_rows_ = 0;
+    }
+
+    /**
+     * Appends rows [rows(), xs.size()), mirroring la::Cholesky row by
+     * row. @return false when a new diagonal is not positive (the
+     * not-positive-definite case); already-appended rows stay valid.
+     */
+    bool
+    Extend(const std::vector<std::vector<double>>& xs, double length_scale,
+           double jitter)
+    {
+        for (size_t i = num_rows_; i < xs.size(); ++i) {
+            // Build row i at the end of the packed buffer; it only
+            // becomes part of the factor once it completes.
+            flat_.resize(RowOffset(i) + i + 1, 0.0);
+            double* row = flat_.data() + RowOffset(i);
+            for (size_t j = 0; j <= i; ++j) {
+                // Row j of the factor; for the diagonal (j == i) that is
+                // the row currently being built.
+                const double* lj = j == i ? row : flat_.data() + RowOffset(j);
+                double sum = RbfKernel(xs[i], xs[j], length_scale);
+                if (i == j)
+                    sum += jitter;
+                for (size_t k = 0; k < j; ++k)
+                    sum -= row[k] * lj[k];
+                if (i == j) {
+                    if (sum <= 0.0) {
+                        flat_.resize(RowOffset(i));
+                        return false;
+                    }
+                    row[j] = std::sqrt(sum);
+                } else {
+                    row[j] = sum / lj[j];
+                }
+            }
+            ++num_rows_;
+        }
+        return true;
+    }
+
+    /** Forward substitution, la::SolveLower's arithmetic. */
+    void
+    SolveLowerInto(const std::vector<double>& b, std::vector<double>& y) const
+    {
+        const size_t n = num_rows_;
+        y.assign(n, 0.0);
+        const double* flat = flat_.data();
+        for (size_t i = 0; i < n; ++i) {
+            const double* row = flat + RowOffset(i);
+            double sum = b[i];
+            for (size_t k = 0; k < i; ++k)
+                sum -= row[k] * y[k];
+            y[i] = sum / row[i];
+        }
+    }
+
+    /**
+     * Forward-substitutes `cols` right-hand sides stored column-
+     * interleaved (element i of column g at b[i * stride + g]), writing
+     * solutions into y with the same layout and each column's squared
+     * norm into vv[g]. Per column this performs exactly SolveLowerInto's
+     * operations in the same order (and vv accumulates ascending like
+     * la::Dot(v, v)), so results are bitwise-identical to solving the
+     * columns one at a time; batching only amortizes streaming the
+     * factor row across the columns.
+     */
+    /**
+     * @return false when the batch was abandoned early because no
+     * column could reach an expected improvement of `stop_below` (see
+     * SolveLowerMultiImpl); y and vv are then partial garbage. Pass
+     * mu == nullptr to disable pruning (always returns true).
+     */
+    bool
+    SolveLowerMulti(const double* b, size_t stride, size_t cols, double* y,
+                    double* vv, const double* mu = nullptr,
+                    double best_norm = 0.0, double stop_below = -1.0) const
+    {
+        SPA_ASSERT(cols <= kMaxSolveCols, "cols ", cols, " over batch limit");
+        // Full groups run the compile-time-width body: the column loops
+        // unroll completely, which is where the batch speedup comes
+        // from. Same operations either way.
+        if (cols == kMaxSolveCols && stride == kMaxSolveCols) {
+            return SolveLowerMultiImpl<kMaxSolveCols>(b, kMaxSolveCols, y, vv,
+                                                      kMaxSolveCols, mu,
+                                                      best_norm, stop_below);
+        }
+        return SolveLowerMultiImpl<0>(b, stride, y, vv, cols, mu, best_norm,
+                                      stop_below);
+    }
+
+    static constexpr size_t kMaxSolveCols = 8;
+
+    /** Backward substitution, la::SolveLowerTransposed's arithmetic. */
+    void
+    SolveLowerTransposedInto(const std::vector<double>& y,
+                             std::vector<double>& x) const
+    {
+        const size_t n = num_rows_;
+        x.assign(n, 0.0);
+        const double* flat = flat_.data();
+        for (size_t ii = 0; ii < n; ++ii) {
+            const size_t i = n - 1 - ii;
+            double sum = y[i];
+            for (size_t k = i + 1; k < n; ++k)
+                sum -= flat[RowOffset(k) + i] * x[k];
+            x[i] = sum / flat[RowOffset(i) + i];
+        }
+    }
+
+  private:
+    /**
+     * Shared SolveLowerMulti body. Cols > 0 fixes the column count at
+     * compile time (stride must equal Cols); Cols == 0 reads the
+     * runtime `cols` argument.
+     *
+     * When mu is non-null the solve prunes: every kPruneCheckRows rows
+     * it forms each column's still-attainable expected improvement from
+     * the partial norm -- the running vv[g] only grows, so
+     * sqrt(max(1 - vv[g], 1e-10)) upper-bounds the final sigma, and EI
+     * is nondecreasing in sigma at fixed mu (dEI/dsigma = pdf(z) >= 0).
+     * Once every column's bound falls below `stop_below` no column can
+     * change an argmax already at `stop_below`, and the solve abandons
+     * the batch (@return false, y/vv left partial). Completed batches
+     * produce bitwise-identical values to the unpruned path.
+     */
+    template <size_t Cols>
+    bool
+    SolveLowerMultiImpl(const double* b, size_t stride, double* y, double* vv,
+                        size_t runtime_cols, const double* mu,
+                        double best_norm, double stop_below) const
+    {
+        const size_t cols = Cols > 0 ? Cols : runtime_cols;
+        stride = Cols > 0 ? Cols : stride;
+        const size_t n = num_rows_;
+        double sums[kMaxSolveCols];
+        for (size_t g = 0; g < cols; ++g)
+            vv[g] = 0.0;
+        const double* flat = flat_.data();
+        for (size_t i = 0; i < n; ++i) {
+            const double* row = flat + RowOffset(i);
+            for (size_t g = 0; g < cols; ++g)
+                sums[g] = b[i * stride + g];
+            for (size_t k = 0; k < i; ++k) {
+                const double l = row[k];
+                const double* yk = y + k * stride;
+                for (size_t g = 0; g < cols; ++g)
+                    sums[g] -= l * yk[g];
+            }
+            const double diag = row[i];
+            for (size_t g = 0; g < cols; ++g) {
+                const double yi = sums[g] / diag;
+                y[i * stride + g] = yi;
+                vv[g] += yi * yi;
+            }
+            if (mu != nullptr && i % kPruneCheckRows == kPruneCheckRows - 1 &&
+                i + 1 < n) {
+                bool any_alive = false;
+                for (size_t g = 0; g < cols && !any_alive; ++g) {
+                    const double sigma_ub =
+                        std::sqrt(std::max(1.0 - vv[g], 1e-10));
+                    const double z = (best_norm - mu[g]) / sigma_ub;
+                    const double ei_ub =
+                        sigma_ub * (z * NormCdf(z) + NormPdf(z));
+                    any_alive = ei_ub >= stop_below;
+                }
+                if (!any_alive)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    static constexpr size_t kPruneCheckRows = 16;
+
+    /** Start of row i in the packed lower-triangular buffer. */
+    static size_t RowOffset(size_t i) { return i * (i + 1) / 2; }
+
+    /// Rows packed contiguously: row i occupies [i(i+1)/2, i(i+1)/2 + i].
+    /// Contiguous storage keeps the per-candidate forward solves (the EI
+    /// inner loop) streaming instead of pointer-chasing per row.
+    std::vector<double> flat_;
+    size_t num_rows_ = 0;
+};
+
+}  // namespace
+
 OptResult
 BayesianOptimize(const Space& space, const Objective& objective, int iterations,
                  uint64_t seed, const BayesOptions& options)
@@ -252,6 +508,10 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
     OptResult result;
     std::vector<std::vector<double>> xs_unit;
     std::vector<double> ys;
+    GpFactor factor;
+    // exp() results depend only on grid coordinates, never on the GP
+    // state, so one memo serves the whole serial-path run.
+    auto serial_exp_memo = std::make_unique<ExpMemo>();
 
     auto evaluate = [&](const std::vector<int>& x) {
         stats.bayes_evals->Inc();
@@ -282,6 +542,7 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
             ys.erase(ys.begin(), ys.end() - static_cast<long>(keep));
             xs_unit.push_back(best_x_unit);
             ys.push_back(best_y);
+            factor.Reset();  // the factored prefix no longer matches
         }
         // Normalize observations for GP conditioning.
         const size_t n = ys.size();
@@ -298,18 +559,18 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
         for (size_t i = 0; i < n; ++i)
             yn[i] = (ys[i] - mean) / stddev;
 
-        la::Matrix kmat(n, n);
-        for (size_t i = 0; i < n; ++i)
-            for (size_t j = 0; j < n; ++j)
-                kmat(i, j) = RbfKernel(xs_unit[i], xs_unit[j], options.length_scale);
-        la::Matrix lmat;
-        if (!la::Cholesky(kmat, lmat, options.noise + 1e-8)) {
+        // Factor only the rows appended since the last iteration. A
+        // failed extension reproduces the full refactorization's
+        // failure (the leading block factored identically before), so
+        // the fallback decision matches the from-scratch path.
+        if (!factor.Extend(xs_unit, options.length_scale, options.noise + 1e-8)) {
             // Degenerate kernel: fall back to a random probe.
             evaluate(RandomPoint(space, rng));
             continue;
         }
-        const auto alpha =
-            la::SolveLowerTransposed(lmat, la::SolveLower(lmat, yn));
+        std::vector<double> alpha, scratch;
+        factor.SolveLowerInto(yn, scratch);
+        factor.SolveLowerTransposedInto(scratch, alpha);
 
         // Expected improvement over random candidates. Candidates are
         // proposed sequentially (fixed RNG stream), scored in parallel
@@ -321,23 +582,110 @@ BayesianOptimize(const Space& space, const Objective& objective, int iterations,
         for (int c = 0; c < options.acquisition_samples; ++c)
             candidates.push_back(RandomPoint(space, rng));
 
-        auto score = [&](const std::vector<int>& candidate) {
-            const auto cu = ToUnit(space, candidate);
-            std::vector<double> kvec(n);
-            for (size_t i = 0; i < n; ++i)
-                kvec[i] = RbfKernel(cu, xs_unit[i], options.length_scale);
-            const double mu = la::Dot(kvec, alpha);
-            const auto v = la::SolveLower(lmat, kvec);
-            double sigma2 = 1.0 - la::Dot(v, v);
-            sigma2 = std::max(sigma2, 1e-10);
-            const double sigma = std::sqrt(sigma2);
-            const double z = (best_norm - mu) / sigma;
-            return sigma * (z * NormCdf(z) + NormPdf(z));
+        // Scoring reuses caller-owned scratch (no allocation per
+        // candidate) and is dispatched in contiguous chunks: one pool
+        // task per ~32 candidates instead of one per candidate, which
+        // matters because a single score is microseconds of work.
+        std::vector<double> ei(candidates.size(), 0.0);
+        const double inv_two_ls2 =
+            -0.5 / (options.length_scale * options.length_scale);
+        // Conditioning points flattened once per iteration so the
+        // distance loop streams contiguously.
+        const size_t dims = static_cast<size_t>(space.dims());
+        std::vector<double> xs_flat(n * dims);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t d = 0; d < dims; ++d)
+                xs_flat[i * dims + d] = xs_unit[i][d];
+
+        // Candidates are scored in groups of up to 8 sharing one pass
+        // over the Cholesky factor (SolveLowerMulti); per candidate the
+        // arithmetic matches the one-at-a-time path exactly.
+        auto score_range = [&](size_t begin, size_t end, ExpMemo& memo) {
+            constexpr size_t kGroup = GpFactor::kMaxSolveCols;
+            std::vector<double> cu(dims, 0.0);
+            std::vector<double> kmat(n * kGroup, 0.0);  // [i][g]
+            std::vector<double> ymat(n * kGroup, 0.0);
+            double mu[kGroup], vv[kGroup];
+            // Best exact score seen so far in this range; groups whose
+            // EI upper bound cannot reach it are abandoned mid-solve.
+            // The witness candidate has a smaller index, so the global
+            // first-wins argmax is unchanged (pruned entries keep the
+            // ei[] initialization of 0.0 <= witness).
+            double range_best = -1.0;
+            for (size_t c0 = begin; c0 < end; c0 += kGroup) {
+                const size_t cols = std::min(kGroup, end - c0);
+                for (size_t g = 0; g < cols; ++g) {
+                    const std::vector<int>& candidate = candidates[c0 + g];
+                    for (size_t i = 0; i < candidate.size(); ++i) {
+                        const int card = space.cardinalities[i];
+                        cu[i] = card > 1 ? static_cast<double>(candidate[i]) /
+                                               (card - 1)
+                                         : 0.0;
+                    }
+                    // RbfKernel inlined, exp memoized (same bit patterns
+                    // in, same std::exp results out); mu accumulates
+                    // ascending like la::Dot(kvec, alpha).
+                    double m = 0.0;
+                    for (size_t i = 0; i < n; ++i) {
+                        const double* xu = xs_flat.data() + i * dims;
+                        double d2 = 0.0;
+                        for (size_t d = 0; d < dims; ++d) {
+                            const double diff = cu[d] - xu[d];
+                            d2 += diff * diff;
+                        }
+                        const double kv = memo(d2 * inv_two_ls2);
+                        kmat[i * kGroup + g] = kv;
+                        m += kv * alpha[i];
+                    }
+                    mu[g] = m;
+                }
+                if (!factor.SolveLowerMulti(kmat.data(), kGroup, cols,
+                                            ymat.data(), vv, mu, best_norm,
+                                            range_best))
+                    continue;  // no column can beat range_best
+                for (size_t g = 0; g < cols; ++g) {
+                    double sigma2 = 1.0 - vv[g];
+                    sigma2 = std::max(sigma2, 1e-10);
+                    const double sigma = std::sqrt(sigma2);
+                    const double z = (best_norm - mu[g]) / sigma;
+                    const double e = sigma * (z * NormCdf(z) + NormPdf(z));
+                    ei[c0 + g] = e;
+                    range_best = std::max(range_best, e);
+                }
+            }
         };
-        std::vector<double> ei;
         {
             obs::Timer::Scope timed(stats.bayes_ei_ns);
-            ei = EvaluateBatch(candidates, score, options.pool);
+            // A candidate's score is pure and depends only on (candidate,
+            // factor, alpha), so the ei array is identical whether the
+            // batch runs serially or chunked across the pool. Dispatch
+            // only when the batch is heavy enough to amortize the
+            // submit/wake round-trip and there is real hardware
+            // parallelism to use; otherwise score in place.
+            static const unsigned hw_threads =
+                std::max(1u, std::thread::hardware_concurrency());
+            const size_t flops_per_candidate = n * dims + n * n / 2;
+            const size_t batch_flops = candidates.size() * flops_per_candidate;
+            constexpr size_t kMinParallelFlops = 1u << 18;
+            ThreadPool* pool = options.pool;
+            if (pool == nullptr || pool->jobs() <= 1 ||
+                candidates.size() <= 1 || hw_threads <= 1 ||
+                batch_flops < kMinParallelFlops) {
+                score_range(0, candidates.size(), *serial_exp_memo);
+            } else {
+                constexpr size_t kGrain = 32;
+                const size_t chunks =
+                    (candidates.size() + kGrain - 1) / kGrain;
+                pool->ParallelFor(
+                    static_cast<int64_t>(chunks), [&](int64_t chunk) {
+                        ExpMemo memo;
+                        const size_t begin =
+                            static_cast<size_t>(chunk) * kGrain;
+                        score_range(begin,
+                                    std::min(candidates.size(), begin + kGrain),
+                                    memo);
+                    });
+            }
         }
 
         std::vector<int> best_candidate;

@@ -1,0 +1,116 @@
+#include "seg/assignment_index.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.h"
+#include "common/util.h"
+
+namespace spa {
+namespace seg {
+
+AssignmentIndex::AssignmentIndex(const nn::Workload& w, const Assignment& a)
+    : w_(&w), a_(&a)
+{
+    SPA_ASSERT(a.SizedFor(w), "assignment size does not match workload");
+    const int num_segments = a.num_segments;
+    const int num_pus = a.num_pus;
+    const int num_layers = w.NumLayers();
+
+    seg_pu_layers_.assign(
+        static_cast<size_t>(num_segments) * static_cast<size_t>(num_pus), {});
+    pu_layers_.assign(static_cast<size_t>(num_pus), {});
+    max_cin_.assign(static_cast<size_t>(num_pus), 0);
+    seg_ops_.assign(static_cast<size_t>(num_segments), 0);
+    seg_access_.assign(static_cast<size_t>(num_segments), 0);
+    min_hout_.assign(static_cast<size_t>(num_segments), INT64_MAX);
+    pu_seg_ops_.assign(
+        static_cast<size_t>(num_pus) * static_cast<size_t>(num_segments), 0);
+
+    // One ascending pass: per-segment and per-PU accumulators see their
+    // member layers in the same order the naive per-(s, n) scans do, so
+    // every sum below is the identical sequence of additions.
+    for (int l = 0; l < num_layers; ++l) {
+        const auto& layer = w.layers[static_cast<size_t>(l)];
+        const int s = a.segment_of[static_cast<size_t>(l)];
+        const int n = a.pu_of[static_cast<size_t>(l)];
+        seg_pu_layers_[static_cast<size_t>(s) * static_cast<size_t>(num_pus) +
+                       static_cast<size_t>(n)]
+            .push_back(l);
+        pu_layers_[static_cast<size_t>(n)].push_back(l);
+        max_cin_[static_cast<size_t>(n)] =
+            std::max(max_cin_[static_cast<size_t>(n)], layer.cin / layer.groups);
+        seg_ops_[static_cast<size_t>(s)] += layer.ops;
+        min_hout_[static_cast<size_t>(s)] =
+            std::min(min_hout_[static_cast<size_t>(s)], layer.hout);
+        pu_seg_ops_[static_cast<size_t>(n) * static_cast<size_t>(num_segments) +
+                    static_cast<size_t>(s)] += layer.ops;
+
+        // DRAM traffic, mirroring SegmentAccessBytes term for term.
+        int64_t bytes = layer.weight_bytes;
+        bool writes_out = w.out_edges[static_cast<size_t>(l)].empty();
+        for (int e : w.out_edges[static_cast<size_t>(l)]) {
+            if (a.segment_of[static_cast<size_t>(
+                    w.edges[static_cast<size_t>(e)].dst)] != s) {
+                writes_out = true;
+            }
+        }
+        if (writes_out)
+            bytes += layer.output_bytes;
+        for (int e : w.in_edges[static_cast<size_t>(l)]) {
+            const auto& edge = w.edges[static_cast<size_t>(e)];
+            if (edge.src < 0 || a.segment_of[static_cast<size_t>(edge.src)] != s)
+                bytes += edge.bytes;
+        }
+        seg_access_[static_cast<size_t>(s)] += bytes;
+    }
+}
+
+SegmentMetrics
+ComputeMetrics(const nn::Workload& w, const AssignmentIndex& index)
+{
+    (void)w;
+    const int num_segments = index.num_segments();
+    const int num_pus = index.num_pus();
+    SegmentMetrics m;
+    m.seg_ops.resize(static_cast<size_t>(num_segments), 0);
+    m.seg_access.resize(static_cast<size_t>(num_segments), 0);
+    m.seg_ctc.resize(static_cast<size_t>(num_segments), 0.0);
+    m.op.assign(static_cast<size_t>(num_pus),
+                std::vector<int64_t>(static_cast<size_t>(num_segments), 0));
+    m.v.assign(static_cast<size_t>(num_segments),
+               std::vector<double>(static_cast<size_t>(num_pus), 0.0));
+
+    for (int n = 0; n < num_pus; ++n)
+        for (int s = 0; s < num_segments; ++s)
+            m.op[static_cast<size_t>(n)][static_cast<size_t>(s)] =
+                index.PuSegmentOps(n, s);
+    m.min_ctc = 1e30;
+    for (int s = 0; s < num_segments; ++s) {
+        m.seg_ops[static_cast<size_t>(s)] = index.SegmentOps(s);
+        m.seg_access[static_cast<size_t>(s)] = index.SegmentAccessBytes(s);
+        m.seg_ctc[static_cast<size_t>(s)] =
+            m.seg_access[static_cast<size_t>(s)] > 0
+                ? static_cast<double>(m.seg_ops[static_cast<size_t>(s)]) /
+                      static_cast<double>(m.seg_access[static_cast<size_t>(s)])
+                : 0.0;
+        m.min_ctc = std::min(m.min_ctc, m.seg_ctc[static_cast<size_t>(s)]);
+        const double total = static_cast<double>(m.seg_ops[static_cast<size_t>(s)]);
+        for (int n = 0; n < num_pus; ++n) {
+            m.v[static_cast<size_t>(s)][static_cast<size_t>(n)] =
+                total > 0.0 ? static_cast<double>(
+                                  m.op[static_cast<size_t>(n)][static_cast<size_t>(s)]) /
+                                  total
+                            : 0.0;
+        }
+    }
+    m.sod = 0.0;
+    for (int s1 = 0; s1 < num_segments; ++s1)
+        for (int s2 = s1 + 1; s2 < num_segments; ++s2)
+            m.sod += ManhattanDistance(m.v[static_cast<size_t>(s1)],
+                                       m.v[static_cast<size_t>(s2)]);
+    return m;
+}
+
+}  // namespace seg
+}  // namespace spa

@@ -1,0 +1,103 @@
+#ifndef SPA_SEG_ASSIGNMENT_INDEX_H_
+#define SPA_SEG_ASSIGNMENT_INDEX_H_
+
+/**
+ * @file
+ * Inverted view of an Assignment, built once per (workload, assignment).
+ *
+ * Every consumer of an assignment — Alg. 1's dozens of EvaluateInto
+ * calls, the metric bundle, the evaluator front end — used to rescan
+ * all L layers per (segment, PU) query, making each full evaluation
+ * O(S*N*L). The index performs the scans once, in ascending layer
+ * order, so downstream sums visit exactly the same layers in exactly
+ * the same order and stay bitwise-identical with the naive path:
+ *
+ *  - per-(segment, PU) and per-PU layer lists,
+ *  - per-PU max input-channel depth (the WS row cap of ShapeArray),
+ *  - per-segment ops, DRAM access bytes and minimum hout,
+ *  - per-(PU, segment) op sums (Eq. 10's numerators).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/workload.h"
+#include "seg/assignment.h"
+
+namespace spa {
+namespace seg {
+
+/** Precomputed per-(segment, PU) structure of one assignment. */
+class AssignmentIndex
+{
+  public:
+    AssignmentIndex(const nn::Workload& w, const Assignment& a);
+
+    const nn::Workload& workload() const { return *w_; }
+    const Assignment& assignment() const { return *a_; }
+    int num_segments() const { return a_->num_segments; }
+    int num_pus() const { return a_->num_pus; }
+
+    /** Layers of (segment s, PU n), ascending workload order. */
+    const std::vector<int>&
+    Layers(int s, int n) const
+    {
+        return seg_pu_layers_[static_cast<size_t>(s) *
+                                  static_cast<size_t>(a_->num_pus) +
+                              static_cast<size_t>(n)];
+    }
+
+    /** All layers hosted by PU n, ascending workload order. */
+    const std::vector<int>&
+    PuLayers(int n) const
+    {
+        return pu_layers_[static_cast<size_t>(n)];
+    }
+
+    /** Largest per-group input-channel depth among PU n's layers. */
+    int64_t MaxCin(int n) const { return max_cin_[static_cast<size_t>(n)]; }
+
+    /** MACs of segment s (== seg::SegmentOps). */
+    int64_t SegmentOps(int s) const { return seg_ops_[static_cast<size_t>(s)]; }
+
+    /** DRAM bytes of segment s (== seg::SegmentAccessBytes). */
+    int64_t
+    SegmentAccessBytes(int s) const
+    {
+        return seg_access_[static_cast<size_t>(s)];
+    }
+
+    /** Minimum hout over segment s's layers; INT64_MAX when empty. */
+    int64_t MinHout(int s) const { return min_hout_[static_cast<size_t>(s)]; }
+
+    /** MACs PU n executes inside segment s (metrics' op[n][s]). */
+    int64_t
+    PuSegmentOps(int n, int s) const
+    {
+        return pu_seg_ops_[static_cast<size_t>(n) *
+                               static_cast<size_t>(a_->num_segments) +
+                           static_cast<size_t>(s)];
+    }
+
+  private:
+    const nn::Workload* w_;
+    const Assignment* a_;
+    std::vector<std::vector<int>> seg_pu_layers_;  ///< [s * N + n]
+    std::vector<std::vector<int>> pu_layers_;      ///< [n]
+    std::vector<int64_t> max_cin_;                 ///< [n]
+    std::vector<int64_t> seg_ops_;                 ///< [s]
+    std::vector<int64_t> seg_access_;              ///< [s]
+    std::vector<int64_t> min_hout_;                ///< [s]
+    std::vector<int64_t> pu_seg_ops_;              ///< [n * S + s]
+};
+
+/**
+ * SegmentMetrics from the index, bitwise-identical to
+ * ComputeMetrics(w, a) for the assignment the index was built from.
+ */
+SegmentMetrics ComputeMetrics(const nn::Workload& w, const AssignmentIndex& index);
+
+}  // namespace seg
+}  // namespace spa
+
+#endif  // SPA_SEG_ASSIGNMENT_INDEX_H_

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/util.h"
@@ -56,6 +60,83 @@ RangeAccess(const nn::Workload& w)
         }
     }
     return acc;
+}
+
+using RangeAccessMatrix = std::vector<std::vector<int64_t>>;
+
+/**
+ * FNV-1a over every field RangeAccess reads: the matrix is a pure
+ * function of the layer weight/output bytes and the edge list, so two
+ * workloads with equal digests produce the same matrix.
+ */
+uint64_t
+RangeAccessFingerprint(const nn::Workload& w)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    for (char c : w.name)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    mix(static_cast<uint64_t>(w.NumLayers()));
+    for (const auto& layer : w.layers) {
+        mix(static_cast<uint64_t>(layer.weight_bytes));
+        mix(static_cast<uint64_t>(layer.output_bytes));
+    }
+    mix(static_cast<uint64_t>(w.edges.size()));
+    for (const auto& e : w.edges) {
+        mix(static_cast<uint64_t>(static_cast<int64_t>(e.src)));
+        mix(static_cast<uint64_t>(static_cast<int64_t>(e.dst)));
+        mix(static_cast<uint64_t>(e.bytes));
+    }
+    return h;
+}
+
+/**
+ * Process-wide cache of RangeAccess results. The engine's S-sweep calls
+ * SolveCandidates for every (S, N) pair of the same workload; the O(L^2)
+ * matrix depends on neither S nor N, so one build serves the sweep.
+ * Thread-safe (SolveCandidates runs on pool workers); on a racing miss
+ * both threads build the identical matrix and the second insert is
+ * dropped. A small bound keeps multi-model benches from accumulating.
+ */
+std::shared_ptr<const RangeAccessMatrix>
+CachedRangeAccess(const nn::Workload& w)
+{
+    struct Entry
+    {
+        uint64_t fingerprint;
+        std::shared_ptr<const RangeAccessMatrix> acc;
+    };
+    constexpr size_t kMaxEntries = 8;
+    static std::mutex mutex;
+    static std::vector<Entry>* entries = new std::vector<Entry>();
+
+    const uint64_t fingerprint = RangeAccessFingerprint(w);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (size_t i = 0; i < entries->size(); ++i) {
+            if ((*entries)[i].fingerprint == fingerprint) {
+                // Move-to-front so the bound evicts the stalest model.
+                Entry hit = (*entries)[i];
+                entries->erase(entries->begin() + static_cast<long>(i));
+                entries->insert(entries->begin(), hit);
+                return hit.acc;
+            }
+        }
+    }
+    auto built = std::make_shared<const RangeAccessMatrix>(RangeAccess(w));
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const Entry& e : *entries)
+            if (e.fingerprint == fingerprint)
+                return e.acc;
+        entries->insert(entries->begin(), Entry{fingerprint, built});
+        if (entries->size() > kMaxEntries)
+            entries->pop_back();
+    }
+    return built;
 }
 
 /** Min-max 1/CTC partition of [0, L) into S contiguous ranges. */
@@ -381,9 +462,9 @@ HeuristicSegmenter::SolveCandidates(const nn::Workload& w, int num_segments,
     if (num_layers < num_segments * num_pus)
         return result;  // Eq. 2 cannot hold
 
-    const auto acc = RangeAccess(w);
+    const std::shared_ptr<const RangeAccessMatrix> acc = CachedRangeAccess(w);
     std::vector<std::vector<int>> cut_seeds;
-    cut_seeds.push_back(DpCuts(w, num_segments, num_pus, acc));
+    cut_seeds.push_back(DpCuts(w, num_segments, num_pus, *acc));
     cut_seeds.push_back(BalancedCuts(w, num_segments, num_pus));
 
     // Power-of-two-friendly target shapes for the PU quota (which one

@@ -4,9 +4,11 @@
 
 #include "alloc/allocator.h"
 
+#include "common/rng.h"
 #include "common/util.h"
 #include "hw/platform.h"
 #include "nn/models.h"
+#include "seg/assignment_index.h"
 #include "seg/segmenter.h"
 
 namespace spa {
@@ -147,6 +149,134 @@ TEST(AllocatorTest, UtilizationInUnitRange)
     ASSERT_TRUE(result.ok);
     EXPECT_GT(result.pe_utilization, 0.0);
     EXPECT_LE(result.pe_utilization, 1.0);
+}
+
+void
+ExpectBitwiseEqualResults(const AllocationResult& got,
+                          const AllocationResult& want)
+{
+    ASSERT_EQ(got.ok, want.ok);
+    EXPECT_EQ(got.latency_seconds, want.latency_seconds);
+    EXPECT_EQ(got.throughput_fps, want.throughput_fps);
+    EXPECT_EQ(got.pe_utilization, want.pe_utilization);
+    EXPECT_EQ(got.v_hat, want.v_hat);
+    EXPECT_EQ(got.config.ToString(), want.config.ToString());
+    EXPECT_EQ(got.config.batch, want.config.batch);
+    ASSERT_EQ(got.segments.size(), want.segments.size());
+    for (size_t s = 0; s < got.segments.size(); ++s) {
+        const SegmentEval& g = got.segments[s];
+        const SegmentEval& e = want.segments[s];
+        EXPECT_EQ(g.pu_cycles, e.pu_cycles) << "segment " << s;
+        EXPECT_EQ(g.max_pu_cycles, e.max_pu_cycles) << "segment " << s;
+        EXPECT_EQ(g.access_bytes, e.access_bytes) << "segment " << s;
+        EXPECT_EQ(g.compute_seconds, e.compute_seconds) << "segment " << s;
+        EXPECT_EQ(g.memory_seconds, e.memory_seconds) << "segment " << s;
+        EXPECT_EQ(g.latency_seconds, e.latency_seconds) << "segment " << s;
+        EXPECT_EQ(g.bandwidth_usage, e.bandwidth_usage) << "segment " << s;
+        EXPECT_EQ(g.dataflow, e.dataflow) << "segment " << s;
+    }
+}
+
+/**
+ * Property: the AssignmentIndex-backed evaluation path must reproduce
+ * the retained naive-scan oracle (EvaluateReference) bitwise over
+ * randomized workloads, assignments and configurations — every double
+ * equal by ==, every integer and dataflow choice identical.
+ */
+TEST(AllocatorPropertyTest, IndexedEvaluateMatchesReferenceBitwise)
+{
+    Rng rng(20260806);
+    Allocator allocator{cost::CostModel()};
+    int checked = 0;
+    for (const char* model : {"alexnet", "squeezenet", "mobilenet_v1"}) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        for (int trial = 0; trial < 12; ++trial) {
+            const int num_pus = static_cast<int>(rng.UniformInt(1, 4));
+            const int lps = static_cast<int>(rng.UniformInt(2, 6));
+            seg::Assignment a = seg::EvenSegmentation(w, lps, num_pus);
+            if (!seg::CheckConstraints(w, a).empty())
+                continue;
+            // Random constraint-preserving PU reassignments.
+            for (int k = 0; k < 8; ++k) {
+                seg::Assignment b = a;
+                b.pu_of[static_cast<size_t>(
+                    rng.UniformInt(0, w.NumLayers() - 1))] =
+                    static_cast<int>(rng.UniformInt(0, num_pus - 1));
+                if (seg::CheckConstraints(w, b).empty())
+                    a = b;
+            }
+            hw::SpaConfig cfg;
+            cfg.freq_ghz = 0.2 * static_cast<double>(rng.UniformInt(1, 5));
+            cfg.bandwidth_gbps = static_cast<double>(rng.UniformInt(5, 25));
+            cfg.pus.resize(static_cast<size_t>(num_pus));
+            for (auto& pu : cfg.pus) {
+                pu.rows = int64_t{1} << rng.UniformInt(2, 5);
+                pu.cols = int64_t{1} << rng.UniformInt(2, 5);
+                pu.act_buffer_bytes = int64_t{1} << rng.UniformInt(14, 19);
+                pu.weight_buffer_bytes = int64_t{1} << rng.UniformInt(14, 19);
+            }
+            ExpectBitwiseEqualResults(allocator.Evaluate(w, a, cfg),
+                                      allocator.EvaluateReference(w, a, cfg));
+            ++checked;
+        }
+    }
+    EXPECT_GE(checked, 15);  // the property actually exercised
+}
+
+/** The index-backed metric bundle equals the naive-scan one exactly. */
+TEST(AllocatorPropertyTest, IndexedMetricsMatchNaiveScan)
+{
+    Rng rng(7);
+    for (const char* model : {"alexnet", "squeezenet"}) {
+        nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        for (int trial = 0; trial < 6; ++trial) {
+            const int num_pus = static_cast<int>(rng.UniformInt(1, 4));
+            seg::Assignment a = seg::EvenSegmentation(
+                w, static_cast<int>(rng.UniformInt(2, 6)), num_pus);
+            if (!seg::CheckConstraints(w, a).empty())
+                continue;
+            const seg::AssignmentIndex index(w, a);
+            const seg::SegmentMetrics got = seg::ComputeMetrics(w, index);
+            const seg::SegmentMetrics want = seg::ComputeMetrics(w, a);
+            EXPECT_EQ(got.seg_ops, want.seg_ops);
+            EXPECT_EQ(got.seg_access, want.seg_access);
+            EXPECT_EQ(got.seg_ctc, want.seg_ctc);
+            EXPECT_EQ(got.min_ctc, want.min_ctc);
+            EXPECT_EQ(got.sod, want.sod);
+            EXPECT_EQ(got.v, want.v);
+            EXPECT_EQ(got.op, want.op);
+        }
+    }
+}
+
+/**
+ * Delta re-evaluation contract: the result Allocate() returns must be
+ * exactly what a from-scratch naive evaluation of its final
+ * configuration produces — the per-(segment, PU) cycle-sum cache and
+ * the removal of the trailing re-evaluation change nothing.
+ */
+TEST(AllocatorPropertyTest, AllocateResultMatchesReferenceReEvaluation)
+{
+    for (const char* model : {"alexnet", "squeezenet"}) {
+        for (DesignGoal goal : {DesignGoal::kLatency, DesignGoal::kThroughput}) {
+            AllocCase s = MakeCase(model, 3, 2);
+            Allocator allocator{cost::CostModel()};
+            auto result = allocator.Allocate(s.w, s.a, hw::NvdlaSmallBudget(),
+                                             goal);
+            ASSERT_TRUE(result.ok);
+            ASSERT_NE(result.metrics, nullptr);
+            auto ref = allocator.EvaluateReference(s.w, s.a, result.config);
+            EXPECT_EQ(result.latency_seconds, ref.latency_seconds);
+            EXPECT_EQ(result.throughput_fps, ref.throughput_fps);
+            EXPECT_EQ(result.pe_utilization, ref.pe_utilization);
+            ASSERT_EQ(result.segments.size(), ref.segments.size());
+            for (size_t i = 0; i < ref.segments.size(); ++i) {
+                EXPECT_EQ(result.segments[i].latency_seconds,
+                          ref.segments[i].latency_seconds);
+                EXPECT_EQ(result.segments[i].dataflow, ref.segments[i].dataflow);
+            }
+        }
+    }
 }
 
 }  // namespace

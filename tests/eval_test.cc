@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "autoseg/autoseg.h"
+#include "common/threadpool.h"
 #include "eval/evaluator.h"
 #include "eval/seg_cache.h"
 #include "nn/models.h"
@@ -169,6 +170,95 @@ TEST(EvaluatorTest, MatchesDirectAllocatorPath)
     const auto metrics = seg::ComputeMetrics(w, a);
     EXPECT_EQ(full.metrics.min_ctc, metrics.min_ctc);
     EXPECT_EQ(full.metrics.sod, metrics.sod);
+}
+
+TEST(CostMemoTest, StripedShardsAccountHitsAndMissesExactly)
+{
+    // The sharded memo must keep exact books. Phase 1 (serial fill):
+    // every distinct key is one miss, every repeat is one hit, so
+    // misses == Size() and hits == lookups - Size(). Phase 2 (pool
+    // hammer of resident keys at jobs=8): hits grow by exactly the
+    // number of lookups, misses and Size() stay put.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel memoized;
+    memoized.EnableMemo();
+    const std::vector<hw::PuConfig> shapes = {{4, 4}, {8, 8}, {16, 8}};
+
+    int64_t lookups = 0;
+    for (const auto& l : w.layers) {
+        for (const auto& pu : shapes) {
+            memoized.ComputeCycles(l, pu, hw::Dataflow::kWeightStationary);
+            ++lookups;
+        }
+    }
+    const int64_t distinct = static_cast<int64_t>(memoized.MemoSize());
+    EXPECT_GT(distinct, 0);
+    EXPECT_EQ(memoized.MemoMisses(), distinct);
+    EXPECT_EQ(memoized.MemoHits(), lookups - distinct);
+
+    ThreadPool pool(8);
+    constexpr int64_t kRounds = 50;
+    const int64_t num_layers = static_cast<int64_t>(w.layers.size());
+    pool.ParallelFor(kRounds * num_layers, [&](int64_t i) {
+        const auto& l = w.layers[static_cast<size_t>(i % num_layers)];
+        for (const auto& pu : shapes)
+            memoized.ComputeCycles(l, pu, hw::Dataflow::kWeightStationary);
+    });
+    const int64_t hammer_lookups =
+        kRounds * num_layers * static_cast<int64_t>(shapes.size());
+    EXPECT_EQ(memoized.MemoSize(), static_cast<size_t>(distinct));
+    EXPECT_EQ(memoized.MemoMisses(), distinct);
+    EXPECT_EQ(memoized.MemoHits(), lookups - distinct + hammer_lookups);
+}
+
+TEST(CostMemoTest, ConcurrentFillKeepsBooksConsistent)
+{
+    // Concurrent first-touch of fresh keys may race (both threads miss,
+    // one insert wins), but the invariants survive: Size() is the
+    // distinct-key count and hits + misses equals total lookups.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    cost::CostModel serial_model;
+    serial_model.EnableMemo();
+    const std::vector<hw::PuConfig> shapes = {{8, 8}, {32, 4}};
+    for (const auto& l : w.layers)
+        for (const auto& pu : shapes)
+            serial_model.ComputeCycles(l, pu, hw::Dataflow::kOutputStationary);
+    const size_t distinct = serial_model.MemoSize();
+
+    cost::CostModel memoized;
+    memoized.EnableMemo();
+    ThreadPool pool(8);
+    const int64_t num_layers = static_cast<int64_t>(w.layers.size());
+    pool.ParallelFor(8 * num_layers, [&](int64_t i) {
+        const auto& l = w.layers[static_cast<size_t>(i % num_layers)];
+        for (const auto& pu : shapes)
+            memoized.ComputeCycles(l, pu, hw::Dataflow::kOutputStationary);
+    });
+    const int64_t total =
+        8 * num_layers * static_cast<int64_t>(shapes.size());
+    EXPECT_EQ(memoized.MemoSize(), distinct);
+    EXPECT_EQ(memoized.MemoHits() + memoized.MemoMisses(), total);
+    EXPECT_GE(memoized.MemoMisses(), static_cast<int64_t>(distinct));
+}
+
+TEST(EvaluatorTest, CandidateMetricsReusedFromAllocation)
+{
+    // EvaluateCandidate must hand back the metric bundle Alg. 1 already
+    // computed (AllocationResult::metrics) instead of rescanning — and
+    // that bundle must equal the naive recomputation.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel cost_model;
+    Evaluator evaluator(cost_model, EvalOptions{1, true});
+    seg::Assignment a = seg::EvenSegmentation(w, 3, 2);
+    const auto full = evaluator.EvaluateCandidate(
+        w, a, hw::EyerissBudget(), alloc::DesignGoal::kLatency);
+    ASSERT_NE(full.alloc.metrics, nullptr);
+    const auto naive = seg::ComputeMetrics(w, a);
+    EXPECT_EQ(full.metrics.min_ctc, naive.min_ctc);
+    EXPECT_EQ(full.metrics.sod, naive.sod);
+    EXPECT_EQ(full.metrics.seg_ops, naive.seg_ops);
+    EXPECT_EQ(full.metrics.seg_access, naive.seg_access);
+    EXPECT_EQ(full.metrics.v, naive.v);
 }
 
 TEST(EvaluatorTest, BatchEvaluationPreservesInputOrder)
