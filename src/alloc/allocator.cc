@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/util.h"
 
@@ -311,6 +312,7 @@ AllocationResult
 Allocator::Allocate(const nn::Workload& w, const seg::AssignmentIndex& index,
                     const hw::Platform& budget, DesignGoal goal) const
 {
+    SPA_FAULT_POINT("alloc.allocate");
     AllocationResult result;
     const int num_segments = index.num_segments();
     const int num_pus = index.num_pus();

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "autoseg/checkpoint.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/util.h"
 #include "obs/stats.h"
@@ -92,6 +94,8 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
     record.num_segments = num_segments;
     record.num_pus = num_pus;
 
+    SPA_FAULT_POINT("autoseg.candidate");
+
     // Candidate assignments for this (S, N): different pow2-friendly
     // distribution shapes; the allocator decides which one the budget
     // realizes best. The cache keeps the shape list's best-scoring
@@ -102,7 +106,19 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
         if (cached.has_value())
             candidates.push_back(*cached);
     } else {
-        candidates = seg::SolveSegmentationCandidates(w, num_segments, num_pus);
+        seg::SegmenterOptions seg_options;
+        seg_options.mip_node_budget = options_.mip_node_budget;
+        seg_options.deadline = options_.deadline;
+        StatusOr<seg::SegmentationOutcome> seg =
+            seg::SolveSegmentationRobust(w, num_segments, num_pus, seg_options);
+        if (!seg.ok()) {
+            record.status = seg.status();
+            stats.pairs_infeasible->Inc();
+            return outcome;
+        }
+        candidates = std::move(seg->candidates);
+        record.tier = seg->tier;
+        record.fallbacks = seg->fallbacks;
         if (cache != nullptr) {
             cache->Store(w.name, num_segments, num_pus,
                          candidates.empty()
@@ -118,12 +134,21 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
     }
 
     stats.candidates_explored->Inc(static_cast<int64_t>(candidates.size()));
-    const std::vector<eval::CandidateEval> evals =
-        evaluator_.EvaluateCandidates(w, candidates, budget, goal);
+    const std::vector<StatusOr<eval::CandidateEval>> evals =
+        evaluator_.EvaluateCandidatesOr(w, candidates, budget, goal);
 
     bool any = false;
     for (size_t i = 0; i < candidates.size(); ++i) {
-        const eval::CandidateEval& e = evals[i];
+        // A candidate whose evaluation failed (injected fault, escaped
+        // numerical panic) is skipped and counted; the survivors decide
+        // the pair exactly as if the list had been shorter.
+        if (!evals[i].ok()) {
+            ++record.failed_candidates;
+            if (record.status.ok())
+                record.status = evals[i].status();
+            continue;
+        }
+        const eval::CandidateEval& e = *evals[i];
         if (!e.alloc.ok)
             continue;
         if (!any || e.alloc.latency_seconds < record.latency_seconds) {
@@ -171,23 +196,191 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
             pairs.push_back({num_segments, num_pus});
     }
 
-    const std::vector<PairOutcome> outcomes =
-        evaluator_.pool().ParallelMap<PairOutcome>(
-            static_cast<int64_t>(pairs.size()), [&](int64_t i) {
-                const Pair& p = pairs[static_cast<size_t>(i)];
-                return EvaluatePair(w, budget, goal, cache, p.num_segments,
-                                    p.num_pus);
-            });
-
     CoDesignResult best;
+    const std::string goal_name =
+        goal == alloc::DesignGoal::kThroughput ? "throughput" : "latency";
+
+    // One pair, hardened: an injected fault (or any escaped exception)
+    // fails that pair alone, never the walk.
+    auto eval_pair = [&](int64_t i) -> PairOutcome {
+        const Pair& p = pairs[static_cast<size_t>(i)];
+        try {
+            return EvaluatePair(w, budget, goal, cache, p.num_segments,
+                                p.num_pus);
+        } catch (const fault::InjectedFault& e) {
+            PairOutcome o;
+            o.record.num_segments = p.num_segments;
+            o.record.num_pus = p.num_pus;
+            o.record.status = FaultInjected(e.what());
+            return o;
+        } catch (const std::exception& e) {
+            PairOutcome o;
+            o.record.num_segments = p.num_segments;
+            o.record.num_pus = p.num_pus;
+            o.record.status = Internal(e.what());
+            return o;
+        }
+    };
+
+    std::vector<PairOutcome> outcomes;
+    const bool incremental =
+        !options_.checkpoint_path.empty() || !options_.resume_path.empty() ||
+        options_.max_pairs >= 0 || !options_.deadline.unlimited();
+    if (!incremental) {
+        // The historical one-shot walk: one batch over every pair.
+        try {
+            outcomes = evaluator_.pool().ParallelMap<PairOutcome>(
+                static_cast<int64_t>(pairs.size()), eval_pair);
+        } catch (const fault::InjectedFault& e) {
+            best.status = FaultInjected(e.what());
+            return best;
+        } catch (const std::exception& e) {
+            best.status = Internal(e.what());
+            return best;
+        }
+    } else {
+        // Checkpointed / budgeted walk: pairs run in enumeration-order
+        // chunks so there is a serial point to persist the frontier and
+        // consult the deadline. Chunking never changes values -- each
+        // pair's outcome is independent -- so the final result matches
+        // the one-shot walk bitwise.
+        size_t done = 0;
+        if (!options_.resume_path.empty()) {
+            StatusOr<EngineCheckpoint> ck =
+                LoadCheckpoint(options_.resume_path);
+            if (!ck.ok()) {
+                best.status = ck.status();
+                return best;
+            }
+            bool matches = ck->model == w.name &&
+                           ck->platform == budget.name &&
+                           ck->goal == goal_name &&
+                           ck->pairs.size() == pairs.size();
+            for (size_t i = 0; matches && i < pairs.size(); ++i) {
+                matches = ck->pairs[i].first == pairs[i].num_segments &&
+                          ck->pairs[i].second == pairs[i].num_pus;
+            }
+            if (!matches) {
+                best.status = InvalidArgument(
+                    options_.resume_path +
+                    ": checkpoint belongs to a different search "
+                    "(model/platform/goal/pair walk mismatch)");
+                return best;
+            }
+            for (const EngineCheckpoint::Entry& entry : ck->completed) {
+                PairOutcome o;
+                o.record = entry.record;
+                if (entry.best.has_value()) {
+                    // Re-evaluating the stored winner is deterministic,
+                    // so the restored design is bitwise-identical to
+                    // the one the killed run held in memory.
+                    CoDesignResult candidate;
+                    candidate.ok = true;
+                    candidate.assignment = *entry.best;
+                    const eval::CandidateEval e = evaluator_.EvaluateCandidate(
+                        w, candidate.assignment, budget, goal);
+                    candidate.metrics = e.metrics;
+                    candidate.alloc = e.alloc;
+                    o.best = std::move(candidate);
+                }
+                outcomes.push_back(std::move(o));
+            }
+            done = outcomes.size();
+        }
+
+        size_t limit = pairs.size();
+        if (options_.max_pairs >= 0)
+            limit = std::min(limit, static_cast<size_t>(options_.max_pairs));
+        const size_t chunk_size =
+            static_cast<size_t>(std::max(1, options_.checkpoint_every));
+        Deadline deadline = options_.deadline;  // copies share the budget
+        while (done < limit) {
+            if (deadline.Exhausted()) {
+                if (best.status.ok())
+                    best.status = DeadlineExceeded(
+                        "search budget exhausted after " +
+                        std::to_string(done) + " of " +
+                        std::to_string(pairs.size()) + " pairs");
+                best.truncated = true;
+                break;
+            }
+            const size_t chunk = std::min(chunk_size, limit - done);
+            std::vector<PairOutcome> chunk_outcomes;
+            try {
+                chunk_outcomes = evaluator_.pool().ParallelMap<PairOutcome>(
+                    static_cast<int64_t>(chunk), [&](int64_t i) {
+                        return eval_pair(static_cast<int64_t>(done) + i);
+                    });
+            } catch (const fault::InjectedFault& e) {
+                if (best.status.ok())
+                    best.status = FaultInjected(e.what());
+                best.truncated = true;
+                break;
+            } catch (const std::exception& e) {
+                if (best.status.ok())
+                    best.status = Internal(e.what());
+                best.truncated = true;
+                break;
+            }
+            for (PairOutcome& o : chunk_outcomes)
+                outcomes.push_back(std::move(o));
+            done += chunk;
+
+            if (!options_.checkpoint_path.empty()) {
+                EngineCheckpoint ck;
+                ck.model = w.name;
+                ck.platform = budget.name;
+                ck.goal = goal_name;
+                ck.pairs.reserve(pairs.size());
+                for (const Pair& p : pairs)
+                    ck.pairs.emplace_back(p.num_segments, p.num_pus);
+                ck.completed.reserve(outcomes.size());
+                for (const PairOutcome& o : outcomes) {
+                    EngineCheckpoint::Entry entry;
+                    entry.record = o.record;
+                    if (o.best.has_value())
+                        entry.best = o.best->assignment;
+                    ck.completed.push_back(std::move(entry));
+                }
+                const Status saved =
+                    SaveCheckpoint(options_.checkpoint_path, ck);
+                if (!saved.ok()) {
+                    // A lost checkpoint degrades resumability, not the
+                    // search itself: keep going, surface the Status.
+                    SPA_WARN("checkpoint write failed: ", saved.ToString());
+                    if (best.status.ok())
+                        best.status = saved;
+                }
+            }
+        }
+        if (limit < pairs.size())
+            best.truncated = true;
+    }
+
     for (const PairOutcome& outcome : outcomes) {
         if (outcome.best &&
             (!best.ok || outcome.best->GoalValue(goal) < best.GoalValue(goal))) {
+            // Adopt the better design but keep the walk-level fields
+            // (trace, degradation summary) accumulated on `best`.
             auto explored = std::move(best.explored);
+            Status status = std::move(best.status);
+            const bool truncated = best.truncated;
             best = *outcome.best;
             best.explored = std::move(explored);
+            best.status = std::move(status);
+            best.truncated = truncated;
         }
         best.explored.push_back(outcome.record);
+    }
+    for (const CandidateRecord& record : best.explored) {
+        best.fallbacks += record.fallbacks;
+        best.failed_candidates += record.failed_candidates;
+        if (!record.status.ok()) {
+            if (!record.feasible)
+                ++best.pairs_failed;
+            if (best.status.ok())
+                best.status = record.status;
+        }
     }
     return best;
 }
@@ -220,8 +413,10 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
     const std::vector<int> segment_counts =
         SegmentCandidates(w.NumLayers(), num_pus);
 
-    const std::vector<PairOutcome> outcomes =
-        evaluator_.pool().ParallelMap<PairOutcome>(
+    CoDesignResult best;
+    std::vector<PairOutcome> outcomes;
+    try {
+        outcomes = evaluator_.pool().ParallelMap<PairOutcome>(
             static_cast<int64_t>(segment_counts.size()), [&](int64_t i) {
                 const int num_segments = segment_counts[static_cast<size_t>(i)];
                 SPA_TRACE_SCOPE("autoseg",
@@ -245,8 +440,21 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                         continue;
                     }
                     stats.candidates_explored->Inc();
-                    const eval::CandidateEval e =
-                        evaluator_.EvaluateCandidateOn(w, assignment, config);
+                    eval::CandidateEval e;
+                    try {
+                        e = evaluator_.EvaluateCandidateOn(w, assignment,
+                                                           config);
+                    } catch (const fault::InjectedFault& fault) {
+                        ++record.failed_candidates;
+                        if (record.status.ok())
+                            record.status = FaultInjected(fault.what());
+                        continue;
+                    } catch (const std::exception& err) {
+                        ++record.failed_candidates;
+                        if (record.status.ok())
+                            record.status = Internal(err.what());
+                        continue;
+                    }
                     if (!any ||
                         e.alloc.latency_seconds < record.latency_seconds) {
                         record.feasible = true;
@@ -271,16 +479,34 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                     ->Inc();
                 return outcome;
             });
+    } catch (const fault::InjectedFault& e) {
+        best.status = FaultInjected(e.what());
+        return best;
+    } catch (const std::exception& e) {
+        best.status = Internal(e.what());
+        return best;
+    }
 
-    CoDesignResult best;
     for (const PairOutcome& outcome : outcomes) {
         if (outcome.best &&
             (!best.ok || outcome.best->GoalValue(goal) < best.GoalValue(goal))) {
             auto explored = std::move(best.explored);
+            Status status = std::move(best.status);
             best = *outcome.best;
             best.explored = std::move(explored);
+            best.status = std::move(status);
         }
         best.explored.push_back(outcome.record);
+    }
+    for (const CandidateRecord& record : best.explored) {
+        best.fallbacks += record.fallbacks;
+        best.failed_candidates += record.failed_candidates;
+        if (!record.status.ok()) {
+            if (!record.feasible)
+                ++best.pairs_failed;
+            if (best.status.ok())
+                best.status = record.status;
+        }
     }
     return best;
 }

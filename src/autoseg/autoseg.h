@@ -27,12 +27,15 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "common/deadline.h"
+#include "common/status.h"
 #include "eval/evaluator.h"
 #include "eval/seg_cache.h"
 #include "hw/platform.h"
 #include "noc/benes.h"
 #include "nn/workload.h"
 #include "seg/assignment.h"
+#include "seg/segmenter.h"
 
 namespace spa {
 namespace autoseg {
@@ -53,6 +56,18 @@ struct CandidateRecord
     double throughput_fps = 0.0;
     double min_ctc = 0.0;
     double sod = 0.0;
+    /** Highest solver tier that contributed this pair's candidates. */
+    seg::SegmenterTier tier = seg::SegmenterTier::kDp;
+    /** Solver-tier downgrades taken while segmenting this pair. */
+    int fallbacks = 0;
+    /** Candidate evaluations lost to faults (skipped, not fatal). */
+    int failed_candidates = 0;
+    /**
+     * First failure observed while evaluating this pair. May coexist
+     * with feasible=true: the pair degraded (some candidates lost) but
+     * the survivors still produced a design.
+     */
+    Status status;
 };
 
 /** Final co-design outcome. */
@@ -63,6 +78,23 @@ struct CoDesignResult
     seg::SegmentMetrics metrics;
     alloc::AllocationResult alloc;
     std::vector<CandidateRecord> explored;
+
+    /**
+     * Degradation summary. `status` stays OK on a clean run; a search
+     * that lost work to faults, ran out of budget, or could not read
+     * its resume file reports the first such condition here while still
+     * returning the best design found (ok may be true alongside a
+     * non-OK status).
+     */
+    Status status;
+    /** The (S, N) walk stopped early (max_pairs or deadline). */
+    bool truncated = false;
+    /** Pairs whose evaluation failed outright. */
+    int pairs_failed = 0;
+    /** Total solver-tier downgrades across pairs. */
+    int fallbacks = 0;
+    /** Total candidate evaluations skipped due to faults. */
+    int failed_candidates = 0;
 
     /** Goal value (seconds for latency designs, 1/fps for throughput). */
     double GoalValue(alloc::DesignGoal goal) const;
@@ -77,6 +109,24 @@ struct CoDesignOptions
     std::vector<int> extra_segment_candidates;
     /** Parallel evaluation width; <= 0 means hardware concurrency. */
     int jobs = 0;
+
+    // ---- Robustness / resumability knobs. ----
+
+    /** When set, Run() checkpoints its frontier here (atomic writes). */
+    std::string checkpoint_path;
+    /** Pairs evaluated between checkpoints. */
+    int checkpoint_every = 8;
+    /** When set, Run() restores completed pairs from this checkpoint. */
+    std::string resume_path;
+    /**
+     * Stop after this many (S, N) pairs have results (including
+     * resumed ones); < 0 means no cap. The result is marked truncated.
+     */
+    int64_t max_pairs = -1;
+    /** Search budget; consulted between pairs and inside sub-solvers. */
+    Deadline deadline;
+    /** Branch-and-bound node budget handed to the MIP segmenter. */
+    int64_t mip_node_budget = 4000;
 };
 
 /** The co-design engine. */

@@ -1,0 +1,221 @@
+#include "autoseg/checkpoint.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace autoseg {
+
+namespace {
+
+constexpr const char* kFormat = "spa.autoseg.checkpoint.v1";
+
+const StatusCode kAllCodes[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument,
+    StatusCode::kInfeasible,   StatusCode::kUnbounded,
+    StatusCode::kIterLimit,    StatusCode::kNodeLimit,
+    StatusCode::kDeadlineExceeded, StatusCode::kNumerical,
+    StatusCode::kFaultInjected,    StatusCode::kIoError,
+    StatusCode::kInternal,
+};
+
+const seg::SegmenterTier kAllTiers[] = {
+    seg::SegmenterTier::kExhaustive,
+    seg::SegmenterTier::kMip,
+    seg::SegmenterTier::kDp,
+    seg::SegmenterTier::kGreedy,
+};
+
+bool
+ParseStatusCode(const std::string& name, StatusCode& out)
+{
+    for (StatusCode code : kAllCodes) {
+        if (name == StatusCodeName(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ParseTier(const std::string& name, seg::SegmenterTier& out)
+{
+    for (seg::SegmenterTier tier : kAllTiers) {
+        if (name == seg::SegmenterTierName(tier)) {
+            out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+json::Value
+RecordToJson(const CandidateRecord& r)
+{
+    json::Value o;
+    o["num_segments"] = r.num_segments;
+    o["num_pus"] = r.num_pus;
+    o["feasible"] = r.feasible;
+    o["latency_seconds"] = r.latency_seconds;
+    o["throughput_fps"] = r.throughput_fps;
+    o["min_ctc"] = r.min_ctc;
+    o["sod"] = r.sod;
+    o["tier"] = std::string(seg::SegmenterTierName(r.tier));
+    o["fallbacks"] = r.fallbacks;
+    o["failed_candidates"] = r.failed_candidates;
+    o["status_code"] = std::string(StatusCodeName(r.status.code()));
+    o["status_message"] = r.status.message();
+    return o;
+}
+
+Status
+RecordFromJson(const json::Value& o, CandidateRecord& r)
+{
+    r.num_segments = static_cast<int>(o.GetInt("num_segments", 0));
+    r.num_pus = static_cast<int>(o.GetInt("num_pus", 0));
+    r.feasible = o.GetBool("feasible", false);
+    r.latency_seconds = o.GetDouble("latency_seconds", 0.0);
+    r.throughput_fps = o.GetDouble("throughput_fps", 0.0);
+    r.min_ctc = o.GetDouble("min_ctc", 0.0);
+    r.sod = o.GetDouble("sod", 0.0);
+    r.fallbacks = static_cast<int>(o.GetInt("fallbacks", 0));
+    r.failed_candidates = static_cast<int>(o.GetInt("failed_candidates", 0));
+    if (!ParseTier(o.GetString("tier", "dp"), r.tier))
+        return InvalidArgument("checkpoint record: unknown solver tier");
+    StatusCode code = StatusCode::kOk;
+    if (!ParseStatusCode(o.GetString("status_code", "OK"), code))
+        return InvalidArgument("checkpoint record: unknown status code");
+    r.status = Status(code, o.GetString("status_message", ""));
+    return Status::Ok();
+}
+
+json::Value
+CheckpointToJsonImpl(const EngineCheckpoint& checkpoint)
+{
+    json::Value doc;
+    doc["format"] = kFormat;
+    doc["model"] = checkpoint.model;
+    doc["platform"] = checkpoint.platform;
+    doc["goal"] = checkpoint.goal;
+
+    json::Array pairs;
+    for (const auto& [s, n] : checkpoint.pairs)
+        pairs.push_back(json::Value(json::Array{json::Value(s), json::Value(n)}));
+    doc["pairs"] = json::Value(std::move(pairs));
+
+    json::Array completed;
+    for (const EngineCheckpoint::Entry& entry : checkpoint.completed) {
+        json::Value e;
+        e["record"] = RecordToJson(entry.record);
+        if (entry.best.has_value()) {
+            json::Value best;
+            json::Array segment_of;
+            for (int s : entry.best->segment_of)
+                segment_of.push_back(json::Value(s));
+            json::Array pu_of;
+            for (int p : entry.best->pu_of)
+                pu_of.push_back(json::Value(p));
+            best["num_segments"] = entry.best->num_segments;
+            best["num_pus"] = entry.best->num_pus;
+            best["segment_of"] = json::Value(std::move(segment_of));
+            best["pu_of"] = json::Value(std::move(pu_of));
+            e["best"] = std::move(best);
+        } else {
+            e["best"] = json::Value(nullptr);
+        }
+        completed.push_back(std::move(e));
+    }
+    doc["completed"] = json::Value(std::move(completed));
+    return doc;
+}
+
+StatusOr<EngineCheckpoint>
+CheckpointFromJsonImpl(const json::Value& doc)
+{
+    if (!doc.IsObject() || doc.GetString("format", "") != kFormat)
+        return InvalidArgument("not a spa.autoseg checkpoint (bad format tag)");
+    EngineCheckpoint ck;
+    ck.model = doc.GetString("model", "");
+    ck.platform = doc.GetString("platform", "");
+    ck.goal = doc.GetString("goal", "");
+    if (!doc.Has("pairs") || !doc.At("pairs").IsArray() ||
+        !doc.Has("completed") || !doc.At("completed").IsArray()) {
+        return InvalidArgument("checkpoint: missing pairs/completed arrays");
+    }
+    for (const json::Value& jp : doc.At("pairs").AsArray()) {
+        if (!jp.IsArray() || jp.size() != 2 || !jp[0].IsNumber() ||
+            !jp[1].IsNumber()) {
+            return InvalidArgument("checkpoint: malformed (S, N) pair");
+        }
+        ck.pairs.emplace_back(static_cast<int>(jp[0].AsInt()),
+                              static_cast<int>(jp[1].AsInt()));
+    }
+    for (const json::Value& je : doc.At("completed").AsArray()) {
+        if (!je.IsObject() || !je.Has("record") || !je.Has("best"))
+            return InvalidArgument("checkpoint: malformed completed entry");
+        EngineCheckpoint::Entry entry;
+        SPA_RETURN_IF_ERROR(RecordFromJson(je.At("record"), entry.record));
+        const json::Value& jb = je.At("best");
+        if (!jb.IsNull()) {
+            if (!jb.IsObject() || !jb.Has("segment_of") || !jb.Has("pu_of"))
+                return InvalidArgument("checkpoint: malformed best assignment");
+            seg::Assignment a;
+            a.num_segments = static_cast<int>(jb.GetInt("num_segments", 0));
+            a.num_pus = static_cast<int>(jb.GetInt("num_pus", 0));
+            for (const json::Value& v : jb.At("segment_of").AsArray())
+                a.segment_of.push_back(static_cast<int>(v.AsInt()));
+            for (const json::Value& v : jb.At("pu_of").AsArray())
+                a.pu_of.push_back(static_cast<int>(v.AsInt()));
+            if (a.segment_of.size() != a.pu_of.size())
+                return InvalidArgument("checkpoint: best assignment length skew");
+            entry.best = std::move(a);
+        }
+        ck.completed.push_back(std::move(entry));
+    }
+    if (ck.completed.size() > ck.pairs.size())
+        return InvalidArgument("checkpoint: more completed entries than pairs");
+    return ck;
+}
+
+}  // namespace
+
+json::Value
+CheckpointToJson(const EngineCheckpoint& checkpoint)
+{
+    return CheckpointToJsonImpl(checkpoint);
+}
+
+StatusOr<EngineCheckpoint>
+CheckpointFromJson(const json::Value& doc)
+{
+    // The typed JSON accessors panic on mistyped members; the capture
+    // scope converts any such slip in a hand-edited or truncated file
+    // into a clean parse error.
+    try {
+        detail::ScopedFailureCapture capture;
+        return CheckpointFromJsonImpl(doc);
+    } catch (const CapturedFailure& e) {
+        return InvalidArgument(std::string("checkpoint: ") + e.what());
+    }
+}
+
+Status
+SaveCheckpoint(const std::string& path, const EngineCheckpoint& checkpoint)
+{
+    return json::SaveFileOr(path, CheckpointToJson(checkpoint));
+}
+
+StatusOr<EngineCheckpoint>
+LoadCheckpoint(const std::string& path)
+{
+    StatusOr<json::Value> doc = json::LoadFileOr(path);
+    if (!doc.ok())
+        return doc.status();
+    StatusOr<EngineCheckpoint> ck = CheckpointFromJson(*doc);
+    if (!ck.ok())
+        return Status(ck.status().code(), path + ": " + ck.status().message());
+    return ck;
+}
+
+}  // namespace autoseg
+}  // namespace spa

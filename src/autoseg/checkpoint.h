@@ -1,0 +1,69 @@
+#ifndef SPA_AUTOSEG_CHECKPOINT_H_
+#define SPA_AUTOSEG_CHECKPOINT_H_
+
+/**
+ * @file
+ * Crash-safe engine checkpoints.
+ *
+ * Engine::Run periodically serializes its explored-pair frontier — the
+ * per-pair CandidateRecords plus each pair's goal-best assignment — so
+ * a killed search can resume instead of restarting. Records round-trip
+ * exactly (doubles are printed with %.17g); the winning designs are
+ * restored by deterministically re-evaluating the stored assignments,
+ * so a resumed run finishes bitwise-identical to an uninterrupted one.
+ *
+ * Files are written with json::SaveFileOr (write-temp-then-rename): a
+ * crash mid-checkpoint leaves the previous complete checkpoint behind,
+ * never a torn file.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autoseg/autoseg.h"
+#include "common/status.h"
+#include "json/json.h"
+
+namespace spa {
+namespace autoseg {
+
+/** A completed-pair prefix of one Engine::Run invocation. */
+struct EngineCheckpoint
+{
+    /** One finished (S, N) pair. */
+    struct Entry
+    {
+        CandidateRecord record;
+        /** The pair's goal-best assignment; absent if infeasible. */
+        std::optional<seg::Assignment> best;
+    };
+
+    // Run fingerprint: a checkpoint only resumes the exact same search.
+    std::string model;
+    std::string platform;
+    std::string goal;
+    /** Full (S, N) enumeration of the run, in walk order. */
+    std::vector<std::pair<int, int>> pairs;
+
+    /** Results for the first completed.size() pairs of the walk. */
+    std::vector<Entry> completed;
+};
+
+/** Serializes a checkpoint. */
+json::Value CheckpointToJson(const EngineCheckpoint& checkpoint);
+
+/** Parses a checkpoint; malformed documents report kInvalidArgument. */
+StatusOr<EngineCheckpoint> CheckpointFromJson(const json::Value& doc);
+
+/** Atomically writes `checkpoint` to `path`. */
+Status SaveCheckpoint(const std::string& path, const EngineCheckpoint& checkpoint);
+
+/** Reads and parses a checkpoint file. */
+StatusOr<EngineCheckpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_AUTOSEG_CHECKPOINT_H_

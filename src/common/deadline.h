@@ -1,0 +1,116 @@
+#ifndef SPA_COMMON_DEADLINE_H_
+#define SPA_COMMON_DEADLINE_H_
+
+/**
+ * @file
+ * Budgets for long-running solver loops, checked at pivot / B&B-node /
+ * candidate granularity.
+ *
+ * Two modes, combinable:
+ *
+ *  - A *tick budget*: a shared counter decremented on every Charge().
+ *    Fully deterministic — the same search exhausts the budget at the
+ *    same pivot no matter the wall clock or thread count, so tests of
+ *    the fallback chain replay bitwise. Several solver invocations can
+ *    share one budget (the counter lives behind a shared_ptr).
+ *
+ *  - A *wall-clock limit*: best effort and inherently nondeterministic;
+ *    meant for interactive use (--deadline). The clock is only sampled
+ *    every kWallStride charges to keep the hot path at one relaxed
+ *    atomic decrement.
+ *
+ * A default-constructed Deadline is unlimited and free to copy around.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace spa {
+
+class Deadline
+{
+  public:
+    /** Unlimited: Exhausted() is always false. */
+    Deadline() = default;
+
+    /** Deterministic budget of `ticks` Charge() calls (shared by copies). */
+    static Deadline
+    AfterTicks(int64_t ticks)
+    {
+        Deadline d;
+        d.ticks_ = std::make_shared<std::atomic<int64_t>>(ticks);
+        return d;
+    }
+
+    /** Best-effort wall-clock limit from now. */
+    static Deadline
+    AfterSeconds(double seconds)
+    {
+        Deadline d;
+        d.wall_deadline_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+        d.has_wall_ = true;
+        d.wall_charges_ = std::make_shared<std::atomic<int64_t>>(0);
+        return d;
+    }
+
+    bool unlimited() const { return !ticks_ && !has_wall_; }
+
+    /**
+     * Consumes one unit of budget and reports whether the deadline has
+     * now passed. Solvers call this once per pivot/node/candidate and
+     * bail out with kDeadlineExceeded when it returns true.
+     */
+    bool
+    Charge()
+    {
+        if (ticks_) {
+            if (ticks_->fetch_sub(1, std::memory_order_relaxed) <= 0)
+                return true;
+        }
+        if (has_wall_) {
+            const int64_t n =
+                wall_charges_->fetch_add(1, std::memory_order_relaxed);
+            if (n % kWallStride == 0 && Clock::now() >= wall_deadline_)
+                return true;
+        }
+        return false;
+    }
+
+    /** Whether the budget is already spent, without consuming any. */
+    bool
+    Exhausted() const
+    {
+        if (ticks_ && ticks_->load(std::memory_order_relaxed) <= 0)
+            return true;
+        if (has_wall_ && Clock::now() >= wall_deadline_)
+            return true;
+        return false;
+    }
+
+    /** Remaining ticks, or -1 when no tick budget is set. */
+    int64_t
+    TicksLeft() const
+    {
+        if (!ticks_)
+            return -1;
+        const int64_t left = ticks_->load(std::memory_order_relaxed);
+        return left > 0 ? left : 0;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    static constexpr int64_t kWallStride = 256;
+
+    std::shared_ptr<std::atomic<int64_t>> ticks_;
+    std::shared_ptr<std::atomic<int64_t>> wall_charges_;
+    Clock::time_point wall_deadline_{};
+    bool has_wall_ = false;
+};
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_DEADLINE_H_

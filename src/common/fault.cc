@@ -1,0 +1,162 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace spa {
+namespace fault {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/**
+ * splitmix64 finalizer, as used by rng.h for seeding: a cheap bijective
+ * hash making the fire pattern look arbitrary while staying a pure
+ * function of (seed, visit index).
+ */
+uint64_t
+Mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+struct Registry
+{
+    std::mutex mutex;
+    // Leaked-on-exit stable pointers: fault points cache Site* in
+    // function-local statics that may outlive any destruction order.
+    std::map<std::string, Site*> sites;
+};
+
+Registry&
+TheRegistry()
+{
+    static Registry* r = new Registry;
+    return *r;
+}
+
+// Keep in sync with every SPA_FAULT_POINT in the tree; sweep tests arm
+// these one at a time.
+const char* const kKnownSites[] = {
+    "alloc.allocate",
+    "autoseg.candidate",
+    "cost.compute",
+    "cost.memo.shard",
+    "eval.seg_cache.lookup",
+    "mip.bnb.node",
+    "mip.simplex.pivot",
+    "pool.task",
+    "seg.dp.cuts",
+    "seg.mip.solve",
+};
+
+}  // namespace
+
+void
+Site::Visit()
+{
+    const int64_t visit = visits_.fetch_add(1, std::memory_order_relaxed);
+    if (!armed_.load(std::memory_order_acquire))
+        return;
+    if (Mix(seed_ ^ static_cast<uint64_t>(visit)) %
+            static_cast<uint64_t>(period_) !=
+        0)
+        return;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault(name_, visit);
+}
+
+int64_t
+Site::visits() const
+{
+    return visits_.load(std::memory_order_relaxed);
+}
+
+int64_t
+Site::hits() const
+{
+    return hits_.load(std::memory_order_relaxed);
+}
+
+void
+SetEnabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_release);
+}
+
+bool
+Enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+Site*
+GetSite(const std::string& name)
+{
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    Site*& slot = r.sites[name];
+    if (!slot)
+        slot = new Site(name);
+    return slot;
+}
+
+void
+Arm(const std::string& site, uint64_t seed, int64_t period)
+{
+    Site* s = GetSite(site);
+    if (period < 1)
+        period = 1;
+    s->seed_ = seed;
+    s->period_ = period;
+    s->visits_.store(0, std::memory_order_relaxed);
+    s->hits_.store(0, std::memory_order_relaxed);
+    s->armed_.store(true, std::memory_order_release);
+}
+
+void
+DisarmAll()
+{
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& [name, site] : r.sites) {
+        site->armed_.store(false, std::memory_order_release);
+        site->visits_.store(0, std::memory_order_relaxed);
+        site->hits_.store(0, std::memory_order_relaxed);
+    }
+}
+
+int64_t
+Visits(const std::string& site)
+{
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second->visits();
+}
+
+int64_t
+Hits(const std::string& site)
+{
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second->hits();
+}
+
+std::vector<std::string>
+KnownSites()
+{
+    std::vector<std::string> out;
+    for (const char* name : kKnownSites)
+        out.emplace_back(name);
+    return out;
+}
+
+}  // namespace fault
+}  // namespace spa

@@ -1,0 +1,140 @@
+#ifndef SPA_COMMON_FAULT_H_
+#define SPA_COMMON_FAULT_H_
+
+/**
+ * @file
+ * Deterministic fault-injection harness for robustness testing.
+ *
+ * Named fault *sites* are compiled into the search stack with
+ * SPA_FAULT_POINT("mip.simplex.pivot") and friends. A site is inert
+ * until armed; armed sites decide whether to fire from a pure function
+ * of (seed, per-site visit index), so a single-threaded run replays the
+ * exact same failure set every time (the splitmix64 hash mirrors
+ * common/rng.h seeding). Firing throws InjectedFault, which the
+ * evaluation layer converts to StatusCode::kFaultInjected — a sweep
+ * must degrade, never crash.
+ *
+ * Cost discipline: the whole subsystem is compiled out unless
+ * SPA_FAULT_INJECTION is defined (a CMake option, OFF in the `perf`
+ * preset). When compiled in but not enabled, every fault point costs
+ * one relaxed atomic load. Artifacts produced in that state must be
+ * bitwise-identical to a build without the harness.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace fault {
+
+/** Thrown when an armed site fires. Caught at candidate granularity. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(std::string site, int64_t visit)
+        : std::runtime_error("injected fault at " + site + " (visit " +
+                             std::to_string(visit) + ")"),
+          site_(std::move(site)),
+          visit_(visit)
+    {
+    }
+
+    const std::string& site() const { return site_; }
+    int64_t visit() const { return visit_; }
+
+  private:
+    std::string site_;
+    int64_t visit_;
+};
+
+/** One named injection point; registered lazily, never destroyed. */
+class Site
+{
+  public:
+    explicit Site(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Records a visit and decides, deterministically from the armed
+     * (seed, period) and this visit's index, whether to fire. Throws
+     * InjectedFault on fire.
+     */
+    void Visit();
+
+    const std::string& name() const { return name_; }
+    int64_t visits() const;
+    int64_t hits() const;
+
+  private:
+    friend void Arm(const std::string&, uint64_t, int64_t);
+    friend void DisarmAll();
+
+    std::string name_;
+    std::atomic<int64_t> visits_{0};
+    std::atomic<int64_t> hits_{0};
+    std::atomic<bool> armed_{false};
+    // Written only while globally disabled (Arm/DisarmAll), read by
+    // Visit(); the armed_ flag orders the accesses.
+    uint64_t seed_ = 0;
+    int64_t period_ = 1;
+};
+
+/**
+ * Master switch. Off by default; when off, fault points are one relaxed
+ * atomic load. Enable only in tests/controlled sweeps.
+ */
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/**
+ * Arms `site` to fire on visits where hash(seed, visit_index) % period
+ * == 0; period 1 fires on every visit. Registers the site if it has not
+ * been visited yet. Arm/DisarmAll must not race with active solver
+ * threads (arm, run, inspect, disarm).
+ */
+void Arm(const std::string& site, uint64_t seed, int64_t period = 1);
+
+/** Disarms every site and resets visit/hit counters. */
+void DisarmAll();
+
+/** Visits recorded at `site` since the last DisarmAll (0 if unknown). */
+int64_t Visits(const std::string& site);
+
+/** Faults fired at `site` since the last DisarmAll (0 if unknown). */
+int64_t Hits(const std::string& site);
+
+/**
+ * The canonical site list compiled into this build, for sweep tests
+ * that arm each site one at a time. Kept in fault.cc next to the
+ * registry; adding a SPA_FAULT_POINT means adding its name here.
+ */
+std::vector<std::string> KnownSites();
+
+/** Registry lookup, creating the site on first use (stable pointer). */
+Site* GetSite(const std::string& name);
+
+}  // namespace fault
+}  // namespace spa
+
+#ifdef SPA_FAULT_INJECTION
+/**
+ * A fault point: when the harness is enabled and this site is armed and
+ * elects to fire, throws fault::InjectedFault.
+ */
+#define SPA_FAULT_POINT(site_name)                                          \
+    do {                                                                    \
+        if (::spa::fault::Enabled()) {                                      \
+            static ::spa::fault::Site* spa_fault_site_ =                    \
+                ::spa::fault::GetSite(site_name);                           \
+            spa_fault_site_->Visit();                                       \
+        }                                                                   \
+    } while (0)
+#else
+#define SPA_FAULT_POINT(site_name) \
+    do {                           \
+    } while (0)
+#endif
+
+#endif  // SPA_COMMON_FAULT_H_

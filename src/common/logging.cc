@@ -66,9 +66,33 @@ LogTimestamps()
     return g_timestamps.load();
 }
 
+namespace {
+
+thread_local int g_capture_depth = 0;
+
+}  // namespace
+
+ScopedFailureCapture::ScopedFailureCapture()
+{
+    ++g_capture_depth;
+}
+
+ScopedFailureCapture::~ScopedFailureCapture()
+{
+    --g_capture_depth;
+}
+
+bool
+FailureCaptureActive()
+{
+    return g_capture_depth > 0;
+}
+
 void
 PanicImpl(const char* file, int line, const std::string& msg)
 {
+    if (FailureCaptureActive())
+        throw CapturedFailure(msg);
     std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line << std::endl;
     std::abort();
 }
@@ -76,6 +100,8 @@ PanicImpl(const char* file, int line, const std::string& msg)
 void
 FatalImpl(const char* file, int line, const std::string& msg)
 {
+    if (FailureCaptureActive())
+        throw CapturedFailure(msg);
     std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line << std::endl;
     std::exit(1);
 }

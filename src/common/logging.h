@@ -14,9 +14,26 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace spa {
+
+/**
+ * What PanicImpl/FatalImpl throw instead of aborting while a
+ * ScopedFailureCapture is active on the calling thread. Lets frontends
+ * (model loaders, record readers) turn deep validation panics into
+ * structured errors without teaching every construction helper about
+ * Status.
+ */
+class CapturedFailure : public std::runtime_error
+{
+  public:
+    explicit CapturedFailure(std::string message)
+        : std::runtime_error(std::move(message))
+    {
+    }
+};
 
 namespace detail {
 
@@ -46,6 +63,27 @@ bool IsQuiet();
  */
 void SetLogTimestamps(bool enabled);
 bool LogTimestamps();
+
+/**
+ * While alive, SPA_PANIC / SPA_FATAL (and SPA_ASSERT failures) on this
+ * thread throw CapturedFailure instead of terminating the process.
+ * Strictly thread-local and non-reentrant state: scopes may nest, and
+ * other threads keep the abort behavior. Use only around self-contained
+ * validation work (parsing a model file) where every touched object is
+ * discarded on failure.
+ */
+class ScopedFailureCapture
+{
+  public:
+    ScopedFailureCapture();
+    ~ScopedFailureCapture();
+
+    ScopedFailureCapture(const ScopedFailureCapture&) = delete;
+    ScopedFailureCapture& operator=(const ScopedFailureCapture&) = delete;
+};
+
+/** True when a ScopedFailureCapture is active on this thread. */
+bool FailureCaptureActive();
 
 }  // namespace detail
 

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace spa {
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kUnbounded: return "UNBOUNDED";
+    case StatusCode::kIterLimit: return "ITER_LIMIT";
+    case StatusCode::kNodeLimit: return "NODE_LIMIT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNumerical: return "NUMERICAL";
+    case StatusCode::kFaultInjected: return "FAULT_INJECTED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+}  // namespace spa

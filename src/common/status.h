@@ -1,0 +1,135 @@
+#ifndef SPA_COMMON_STATUS_H_
+#define SPA_COMMON_STATUS_H_
+
+/**
+ * @file
+ * Structured error propagation for the search stack.
+ *
+ * Timeloop-style evaluators and commercial MIP solvers expose explicit
+ * status codes and budgets; this is our equivalent discipline. A
+ * Status classifies how a sub-solver ended (optimal, infeasible,
+ * budget exhausted, numerical trouble, injected fault, ...) so that a
+ * degenerate candidate degrades a search instead of killing it.
+ * StatusOr<T> carries either a value or the Status explaining its
+ * absence; both are cheap value types safe to move across threads.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spa {
+
+/** Why an operation did not produce (or fully prove) its result. */
+enum class StatusCode
+{
+    kOk = 0,
+    kInvalidArgument,    ///< malformed input (bad model file, S < 1, ...)
+    kInfeasible,         ///< no solution exists under the constraints
+    kUnbounded,          ///< objective unbounded below
+    kIterLimit,          ///< iteration cap hit (simplex pivots)
+    kNodeLimit,          ///< branch-and-bound node budget exhausted
+    kDeadlineExceeded,   ///< wall-clock or tick deadline expired
+    kNumerical,          ///< degenerate basis / zero pivot / lost precision
+    kFaultInjected,      ///< deterministic fault-injection harness fired
+    kIoError,            ///< file could not be read or written
+    kInternal,           ///< invariant violated (a bug, surfaced cleanly)
+};
+
+/** Stable upper-case name of a code ("ITER_LIMIT"). */
+const char* StatusCodeName(StatusCode code);
+
+/** Outcome classification plus a human-readable detail message. */
+class Status
+{
+  public:
+    Status() = default;  // OK
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status Ok() { return Status(); }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "OK" or "<CODE>: <message>" on one line. */
+    std::string ToString() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+// Terse constructors, one per non-OK code.
+inline Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+inline Status Infeasible(std::string m) { return {StatusCode::kInfeasible, std::move(m)}; }
+inline Status Unbounded(std::string m) { return {StatusCode::kUnbounded, std::move(m)}; }
+inline Status IterLimit(std::string m) { return {StatusCode::kIterLimit, std::move(m)}; }
+inline Status NodeLimit(std::string m) { return {StatusCode::kNodeLimit, std::move(m)}; }
+inline Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+inline Status Numerical(std::string m) { return {StatusCode::kNumerical, std::move(m)}; }
+inline Status FaultInjected(std::string m) { return {StatusCode::kFaultInjected, std::move(m)}; }
+inline Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+inline Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+/**
+ * A value or the Status explaining why there is none. Construction from
+ * an OK status is a bug (an OK StatusOr must carry a value).
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Default: an error slot (lets containers pre-size, as Abseil's). */
+    StatusOr() : status_(StatusCode::kInternal, "uninitialized StatusOr") {}
+
+    StatusOr(Status status) : status_(std::move(status))  // NOLINT: implicit
+    {
+        SPA_ASSERT(!status_.ok(), "StatusOr constructed from an OK status");
+    }
+
+    StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+    bool ok() const { return status_.ok(); }
+    const Status& status() const { return status_; }
+
+    const T&
+    value() const
+    {
+        SPA_ASSERT(ok(), "value() on error StatusOr: ", status_.ToString());
+        return *value_;
+    }
+
+    T&
+    value()
+    {
+        SPA_ASSERT(ok(), "value() on error StatusOr: ", status_.ToString());
+        return *value_;
+    }
+
+    const T& operator*() const { return value(); }
+    T& operator*() { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+}  // namespace spa
+
+/** Propagates a non-OK Status out of the current function. */
+#define SPA_RETURN_IF_ERROR(expr)          \
+    do {                                   \
+        ::spa::Status status_ = (expr);    \
+        if (!status_.ok())                 \
+            return status_;                \
+    } while (0)
+
+#endif  // SPA_COMMON_STATUS_H_

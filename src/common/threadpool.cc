@@ -5,6 +5,8 @@
 #include <exception>
 #include <limits>
 
+#include "common/fault.h"
+
 namespace spa {
 
 namespace {
@@ -112,6 +114,7 @@ ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch, int slot)
         std::exception_ptr error;
         const int64_t task_start = NowNs();
         try {
+            SPA_FAULT_POINT("pool.task");
             (*batch->fn)(index);
         } catch (...) {
             error = std::current_exception();
@@ -144,10 +147,14 @@ ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
         return;
     batches_.fetch_add(1, std::memory_order_relaxed);
     if (workers_.empty() || n == 1) {
-        // jobs=1 (and trivial batches): exactly the serial loop.
+        // jobs=1 (and trivial batches): exactly the serial loop. The
+        // fault point throws to the caller directly, matching the
+        // pooled path's lowest-index rethrow.
         const int64_t start = NowNs();
-        for (int64_t i = 0; i < n; ++i)
+        for (int64_t i = 0; i < n; ++i) {
+            SPA_FAULT_POINT("pool.task");
             fn(i);
+        }
         caller_counters_.tasks.fetch_add(n, std::memory_order_relaxed);
         caller_counters_.busy_ns.fetch_add(NowNs() - start,
                                            std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/util.h"
 #include "obs/stats.h"
@@ -236,6 +237,7 @@ CostModel::ComputeCycles(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
                          hw::Dataflow df) const
 {
     if (memo_) {
+        SPA_FAULT_POINT("cost.memo.shard");
         const detail::ComputeCycleMemo::Key key{
             l.cin,      l.cout,  l.hout,  l.wout, l.kernel,
             l.groups,   pu.rows, pu.cols, static_cast<int>(df)};
@@ -253,6 +255,7 @@ int64_t
 CostModel::ComputeCyclesUncached(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
                                  hw::Dataflow df) const
 {
+    SPA_FAULT_POINT("cost.compute");
     const Dims d = DimsOf(l);
     const int64_t r = pu.rows;
     const int64_t c = pu.cols;

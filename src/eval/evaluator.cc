@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/fault.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "seg/assignment_index.h"
@@ -106,6 +107,25 @@ Evaluator::EvaluateCandidates(const nn::Workload& w,
         static_cast<int64_t>(assignments.size()), [&](int64_t i) {
             return EvaluateCandidate(w, assignments[static_cast<size_t>(i)],
                                      budget, goal);
+        });
+}
+
+std::vector<StatusOr<CandidateEval>>
+Evaluator::EvaluateCandidatesOr(
+    const nn::Workload& w, const std::vector<seg::Assignment>& assignments,
+    const hw::Platform& budget, alloc::DesignGoal goal) const
+{
+    return pool_.ParallelMap<StatusOr<CandidateEval>>(
+        static_cast<int64_t>(assignments.size()),
+        [&](int64_t i) -> StatusOr<CandidateEval> {
+            try {
+                return EvaluateCandidate(
+                    w, assignments[static_cast<size_t>(i)], budget, goal);
+            } catch (const fault::InjectedFault& e) {
+                return FaultInjected(e.what());
+            } catch (const std::exception& e) {
+                return Internal(e.what());
+            }
         });
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "common/status.h"
 #include "common/threadpool.h"
 #include "eval/seg_cache.h"
 #include "hw/platform.h"
@@ -98,6 +99,18 @@ class Evaluator
     EvaluateCandidates(const nn::Workload& w,
                        const std::vector<seg::Assignment>& assignments,
                        const hw::Platform& budget, alloc::DesignGoal goal) const;
+
+    /**
+     * Fault-tolerant batch: like EvaluateCandidates, but a candidate
+     * whose evaluation throws (injected fault, numerical panic escaping
+     * a sub-solver) comes back as a Status in its slot instead of
+     * tearing down the whole batch. Slot i always corresponds to
+     * assignments[i]; healthy candidates are unaffected by failed ones.
+     */
+    std::vector<StatusOr<CandidateEval>>
+    EvaluateCandidatesOr(const nn::Workload& w,
+                         const std::vector<seg::Assignment>& assignments,
+                         const hw::Platform& budget, alloc::DesignGoal goal) const;
 
     /**
      * Generic deterministic objective batch: objective(xs[i]) for every

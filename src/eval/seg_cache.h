@@ -28,6 +28,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/fault.h"
 #include "obs/stats.h"
 #include "seg/assignment.h"
 
@@ -43,6 +44,7 @@ class SegmentationCache
     Lookup(const std::string& model, int s, int n,
            std::optional<seg::Assignment>& out) const
     {
+        SPA_FAULT_POINT("eval.seg_cache.lookup");
         {
             std::shared_lock<std::shared_mutex> lock(mutex_);
             auto it = entries_.find({model, s, n});

@@ -1,10 +1,13 @@
 #include "json/json.h"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -547,21 +550,59 @@ ParseOrDie(const std::string& text)
 Value
 LoadFile(const std::string& path)
 {
+    StatusOr<Value> loaded = LoadFileOr(path);
+    if (!loaded.ok())
+        SPA_FATAL(loaded.status().message());
+    return std::move(*loaded);
+}
+
+StatusOr<Value>
+LoadFileOr(const std::string& path)
+{
     std::ifstream in(path);
     if (!in)
-        SPA_FATAL("cannot open json file '", path, "'");
+        return IoError("cannot open json file '" + path + "'");
     std::ostringstream ss;
     ss << in.rdbuf();
-    return ParseOrDie(ss.str());
+    ParseResult r = Parse(ss.str());
+    if (!r.ok) {
+        return InvalidArgument(path + ": json parse error at byte offset " +
+                               std::to_string(r.error_pos) + ": " + r.error);
+    }
+    return std::move(r.value);
 }
 
 void
 SaveFile(const std::string& path, const Value& value)
 {
-    std::ofstream out(path);
-    if (!out)
-        SPA_FATAL("cannot write json file '", path, "'");
-    out << value.Pretty() << "\n";
+    const Status status = SaveFileOr(path, value);
+    if (!status.ok())
+        SPA_FATAL(status.message());
+}
+
+Status
+SaveFileOr(const std::string& path, const Value& value)
+{
+    const std::string text = value.Pretty() + "\n";
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return IoError("cannot write json file '" + tmp + "'");
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fflush(f) == 0 && ok;
+    // Flush file content to stable storage before the rename publishes
+    // it; otherwise a crash could expose a zero-length renamed file.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return IoError("short write to json file '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return IoError("cannot rename '" + tmp + "' over '" + path + "'");
+    }
+    return Status::Ok();
 }
 
 }  // namespace json

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spa {
 namespace json {
 
@@ -126,6 +128,21 @@ Value LoadFile(const std::string& path);
 
 /** Serializes value to a file; fatal()s on IO failure. */
 void SaveFile(const std::string& path, const Value& value);
+
+/**
+ * Reads and parses a JSON file. An unreadable file reports kIoError; a
+ * syntax error reports kInvalidArgument with the byte offset of the
+ * first offending character.
+ */
+StatusOr<Value> LoadFileOr(const std::string& path);
+
+/**
+ * Crash-safe SaveFile: serializes to `path + ".tmp"`, flushes to disk,
+ * then atomically renames over `path`. Readers never observe a partial
+ * file — after a crash, `path` holds either the previous complete
+ * artifact or the new one.
+ */
+Status SaveFileOr(const std::string& path, const Value& value);
 
 }  // namespace json
 }  // namespace spa

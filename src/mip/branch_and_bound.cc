@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "mip/simplex.h"
 
@@ -50,29 +51,50 @@ struct Search
     bool have_incumbent = false;
     int64_t nodes = 0;
     bool budget_hit = false;
+    // First non-optimal reason the search stopped for (node budget,
+    // stalled/degenerate relaxation, expired deadline).
+    SolveStatus stop_reason = SolveStatus::kLimit;
+    Deadline deadline = options.deadline;
+
+    void
+    Stop(SolveStatus reason)
+    {
+        if (!budget_hit)
+            stop_reason = reason;
+        budget_hit = true;
+    }
 
     void
     Dfs()
     {
         if (nodes >= options.max_nodes) {
-            budget_hit = true;
+            Stop(SolveStatus::kLimit);
             return;
         }
+        if (deadline.Charge()) {
+            Stop(SolveStatus::kDeadline);
+            return;
+        }
+        SPA_FAULT_POINT("mip.bnb.node");
         ++nodes;
-        Solution relax = SolveLp(working);
+        SimplexOptions lp;
+        lp.deadline = options.deadline;
+        Solution relax = SolveLp(working, lp);
         if (relax.status == SolveStatus::kInfeasible)
             return;
-        if (relax.status == SolveStatus::kLimit) {
+        if (relax.status == SolveStatus::kIterLimit ||
+            relax.status == SolveStatus::kNumerical ||
+            relax.status == SolveStatus::kDeadline) {
             // The relaxation could not be solved within budget: abandon
             // the whole search rather than risk a wrong bound.
-            budget_hit = true;
+            Stop(relax.status);
             return;
         }
         if (relax.status == SolveStatus::kUnbounded) {
             // Unbounded relaxation of a node: treat as no useful bound;
             // only sensible at the root of genuinely unbounded MIPs.
             best.status = SolveStatus::kUnbounded;
-            budget_hit = true;
+            Stop(SolveStatus::kUnbounded);
             return;
         }
         if (have_incumbent && relax.objective >= best.objective - options.gap_tol)
@@ -170,18 +192,34 @@ Problem::IsFeasible(const std::vector<double>& x, double tol) const
 Solution
 SolveMip(const Problem& p, const MipOptions& options)
 {
-    Search search{options, p, Solution{}, false, 0, false};
+    Search search{options, p, Solution{}};
     search.Dfs();
     Solution result = search.best;
     result.nodes = search.nodes;
     if (!search.have_incumbent) {
         if (result.status != SolveStatus::kUnbounded)
-            result.status = search.budget_hit ? SolveStatus::kLimit
+            result.status = search.budget_hit ? search.stop_reason
                                               : SolveStatus::kInfeasible;
-    } else if (search.budget_hit) {
-        result.status = SolveStatus::kLimit;  // incumbent without proof
+    } else if (search.budget_hit &&
+               search.stop_reason != SolveStatus::kUnbounded) {
+        result.status = search.stop_reason;  // incumbent without proof
     }
     return result;
+}
+
+const char*
+SolveStatusName(SolveStatus status)
+{
+    switch (status) {
+    case SolveStatus::kOptimal: return "OPTIMAL";
+    case SolveStatus::kInfeasible: return "INFEASIBLE";
+    case SolveStatus::kUnbounded: return "UNBOUNDED";
+    case SolveStatus::kLimit: return "NODE_LIMIT";
+    case SolveStatus::kIterLimit: return "ITER_LIMIT";
+    case SolveStatus::kNumerical: return "NUMERICAL";
+    case SolveStatus::kDeadline: return "DEADLINE";
+    }
+    return "UNKNOWN";
 }
 
 }  // namespace mip

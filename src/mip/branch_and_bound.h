@@ -10,6 +10,7 @@
  * incumbent is returned with status kLimit.
  */
 
+#include "common/deadline.h"
 #include "mip/problem.h"
 
 namespace spa {
@@ -21,6 +22,13 @@ struct MipOptions
     int64_t max_nodes = 200000;
     double integrality_tol = 1e-6;
     double gap_tol = 1e-9;  ///< stop when bound and incumbent meet
+
+    /**
+     * Charged at every B&B node and every simplex pivot beneath it;
+     * expiry stops the search with kDeadline (the incumbent, if any,
+     * stays attached so Solution::usable() callers can keep it).
+     */
+    Deadline deadline;
 };
 
 /** Solves the MIP; status kOptimal requires proof within the budget. */

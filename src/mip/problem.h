@@ -109,8 +109,27 @@ class Problem
     std::vector<Row> rows_;
 };
 
-/** Solver outcome classification. */
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+/**
+ * Solver outcome classification. The non-optimal stop reasons are kept
+ * distinct so the caller can tell a proof gap (kLimit: node budget, an
+ * incumbent may exist) from a stalled LP (kIterLimit: simplex pivot cap
+ * — previously folded into kLimit), lost precision (kNumerical: a
+ * pivot landed on a numerically zero element), or an expired budget
+ * (kDeadline), and pick the right fallback.
+ */
+enum class SolveStatus
+{
+    kOptimal,
+    kInfeasible,
+    kUnbounded,
+    kLimit,       ///< branch-and-bound node budget exhausted
+    kIterLimit,   ///< simplex iteration cap hit
+    kNumerical,   ///< zero pivot / degenerate basis beyond recovery
+    kDeadline,    ///< Deadline expired mid-solve
+};
+
+/** Stable upper-case name ("ITER_LIMIT") for logs and run records. */
+const char* SolveStatusName(SolveStatus status);
 
 /** LP / MIP result. */
 struct Solution
@@ -121,6 +140,22 @@ struct Solution
     int64_t nodes = 0;  ///< branch-and-bound nodes explored
 
     bool ok() const { return status == SolveStatus::kOptimal; }
+
+    /**
+     * True when x holds a feasible (if unproven) incumbent: optimal, or
+     * stopped by a budget with the best point found so far attached.
+     */
+    bool
+    usable() const
+    {
+        if (status == SolveStatus::kOptimal)
+            return true;
+        if (x.empty())
+            return false;
+        return status == SolveStatus::kLimit ||
+               status == SolveStatus::kIterLimit ||
+               status == SolveStatus::kDeadline;
+    }
 };
 
 }  // namespace mip

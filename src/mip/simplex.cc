@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace spa {
@@ -22,7 +23,10 @@ constexpr double kEps = 1e-9;
 class Tableau
 {
   public:
-    explicit Tableau(const Problem& p) : p_(p) {}
+    Tableau(const Problem& p, const SimplexOptions& options)
+        : p_(p), options_(options)
+    {
+    }
 
     Solution
     Solve()
@@ -32,8 +36,8 @@ class Tableau
         if (num_artificials_ > 0) {
             SetPhase1Objective();
             const SolveStatus p1 = Iterate();
-            if (p1 == SolveStatus::kLimit)
-                return Finish(SolveStatus::kLimit);
+            if (p1 != SolveStatus::kOptimal && p1 != SolveStatus::kUnbounded)
+                return Finish(p1);
             if (ObjectiveValue() > 1e-7)
                 return Finish(SolveStatus::kInfeasible);
             PinArtificials();
@@ -211,14 +215,20 @@ class Tableau
     /**
      * Simplex loop: Dantzig pricing for speed, switching to Bland's
      * rule after a degenerate stall so termination is guaranteed.
-     * @return kOptimal, kUnbounded, or kLimit on budget exhaustion.
+     * @return kOptimal, kUnbounded, kIterLimit on pivot-cap exhaustion,
+     *         kDeadline on budget expiry, or kNumerical on a zero pivot.
      */
     SolveStatus
     Iterate()
     {
-        const int64_t max_iters = 20000 + 200LL * (total_cols_ + m_);
+        const int64_t max_iters = options_.max_iters >= 0
+                                      ? options_.max_iters
+                                      : 20000 + 200LL * (total_cols_ + m_);
         int64_t degenerate_run = 0;
         for (int64_t iter = 0; iter < max_iters; ++iter) {
+            if (deadline_.Charge())
+                return SolveStatus::kDeadline;
+            SPA_FAULT_POINT("mip.simplex.pivot");
             const bool bland = degenerate_run > 2 * (m_ + 1);
             int enter = -1;
             if (bland) {
@@ -262,16 +272,22 @@ class Tableau
             if (leave < 0)
                 return SolveStatus::kUnbounded;
             degenerate_run = (best_ratio < kEps) ? degenerate_run + 1 : 0;
-            Pivot(leave, enter);
+            if (!Pivot(leave, enter))
+                return SolveStatus::kNumerical;
         }
-        return SolveStatus::kLimit;
+        return SolveStatus::kIterLimit;
     }
 
-    void
+    /**
+     * @return false when the pivot element is numerically zero — the
+     *         basis is too degenerate to continue (previously a panic).
+     */
+    bool
     Pivot(int row, int col)
     {
         const double piv = a_[static_cast<size_t>(row)][static_cast<size_t>(col)];
-        SPA_ASSERT(std::fabs(piv) > 1e-12, "pivot on a zero element");
+        if (std::fabs(piv) <= 1e-12)
+            return false;
         for (int j = 0; j < total_cols_; ++j)
             a_[static_cast<size_t>(row)][static_cast<size_t>(j)] /= piv;
         b_[static_cast<size_t>(row)] /= piv;
@@ -294,6 +310,7 @@ class Tableau
             obj_rhs_ -= fo * b_[static_cast<size_t>(row)];
         }
         basis_[static_cast<size_t>(row)] = col;
+        return true;
     }
 
     Solution
@@ -315,6 +332,10 @@ class Tableau
     }
 
     const Problem& p_;
+    const SimplexOptions& options_;
+    // Copies share the budget counter, so charging the copy is charging
+    // the caller's deadline.
+    Deadline deadline_ = options_.deadline;
     int m_ = 0;
     int total_cols_ = 0;
     int num_artificials_ = 0;
@@ -331,12 +352,18 @@ class Tableau
 }  // namespace
 
 Solution
-SolveLp(const Problem& p)
+SolveLp(const Problem& p, const SimplexOptions& options)
 {
     for (int j = 0; j < p.NumVars(); ++j)
         SPA_ASSERT(p.lo(j) > -kInf, "simplex requires finite lower bounds (var ", j,
                    ")");
-    return Tableau(p).Solve();
+    return Tableau(p, options).Solve();
+}
+
+Solution
+SolveLp(const Problem& p)
+{
+    return SolveLp(p, SimplexOptions{});
 }
 
 }  // namespace mip

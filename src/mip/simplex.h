@@ -9,12 +9,33 @@
  * relaxations the segmentation formulations produce.
  */
 
+#include <cstdint>
+
+#include "common/deadline.h"
 #include "mip/problem.h"
 
 namespace spa {
 namespace mip {
 
+/** Simplex knobs; the defaults reproduce the historical behavior. */
+struct SimplexOptions
+{
+    /**
+     * Pivot cap; < 0 selects the size-scaled default
+     * 20000 + 200 * (columns + rows). Hitting the cap returns
+     * kIterLimit (a distinct status — the cap used to masquerade as the
+     * generic kLimit).
+     */
+    int64_t max_iters = -1;
+
+    /** Charged once per pivot; expiry returns kDeadline. */
+    Deadline deadline;
+};
+
 /** Solves the LP relaxation of `p` (integrality ignored). */
+Solution SolveLp(const Problem& p, const SimplexOptions& options);
+
+/** Default-option overload kept for the common call sites. */
 Solution SolveLp(const Problem& p);
 
 }  // namespace mip

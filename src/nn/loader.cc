@@ -66,6 +66,42 @@ LoadGraph(const std::string& path)
     return GraphFromJson(json::LoadFile(path));
 }
 
+StatusOr<Graph>
+GraphFromJsonOr(const json::Value& doc)
+{
+    if (!doc.IsObject())
+        return InvalidArgument("model description: top-level value is not an object");
+    if (!doc.Has("input"))
+        return InvalidArgument("model description: missing \"input\" object");
+    if (!doc.Has("layers") || !doc.At("layers").IsArray())
+        return InvalidArgument("model description: missing \"layers\" array");
+    // The construction helpers validate shapes and references with
+    // panic/fatal; the capture scope turns those (and the JSON typed
+    // accessors' panics) into a Status without duplicating every check.
+    try {
+        detail::ScopedFailureCapture capture;
+        return GraphFromJson(doc);
+    } catch (const CapturedFailure& e) {
+        return InvalidArgument(std::string("model description: ") + e.what());
+    } catch (const std::exception& e) {
+        return InvalidArgument(std::string("model description: ") + e.what());
+    }
+}
+
+StatusOr<Graph>
+LoadGraphOr(const std::string& path)
+{
+    StatusOr<json::Value> doc = json::LoadFileOr(path);
+    if (!doc.ok())
+        return doc.status();
+    StatusOr<Graph> graph = GraphFromJsonOr(*doc);
+    if (!graph.ok()) {
+        return Status(graph.status().code(),
+                      path + ": " + graph.status().message());
+    }
+    return graph;
+}
+
 json::Value
 GraphToJson(const Graph& graph)
 {

@@ -24,6 +24,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "json/json.h"
 #include "nn/graph.h"
 
@@ -35,6 +36,21 @@ Graph GraphFromJson(const json::Value& doc);
 
 /** Loads a model description file. */
 Graph LoadGraph(const std::string& path);
+
+/**
+ * Builds a Graph from a parsed JSON description, reporting malformed
+ * input as kInvalidArgument instead of terminating: missing/mistyped
+ * fields, unknown layer types, dangling input references and graph
+ * validation failures all come back as a one-line Status.
+ */
+StatusOr<Graph> GraphFromJsonOr(const json::Value& doc);
+
+/**
+ * Loads a model description file. An unreadable file is kIoError; a
+ * JSON syntax error is kInvalidArgument with the byte offset of the
+ * first offending character; schema errors are as GraphFromJsonOr.
+ */
+StatusOr<Graph> LoadGraphOr(const std::string& path);
 
 /** Serializes a graph back to the JSON description format. */
 json::Value GraphToJson(const Graph& graph);

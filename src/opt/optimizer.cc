@@ -199,19 +199,29 @@ RandomSearch(const Space& space, const Objective& objective, int iterations,
     Rng rng(seed);
     OptResult result;
     const int batch = std::max(1, batch_eval.batch);
+    Deadline deadline = batch_eval.deadline;  // copies share the budget
     for (int done = 0; done < iterations;) {
         const int b = std::min(batch, iterations - done);
         std::vector<std::vector<int>> xs;
         xs.reserve(static_cast<size_t>(b));
-        for (int i = 0; i < b; ++i)
+        for (int i = 0; i < b; ++i) {
+            // Candidate-granular budget: stop proposing when exhausted.
+            if (deadline.Charge())
+                break;
             xs.push_back(RandomPoint(space, rng));
+        }
+        if (xs.empty())
+            return result;
+        const int proposed = static_cast<int>(xs.size());
         const std::vector<double> ys =
             EvaluateBatch(xs, objective, batch_eval.pool);
-        OptStats::Get().random_evals->Inc(b);
-        for (int i = 0; i < b; ++i)
+        OptStats::Get().random_evals->Inc(proposed);
+        for (int i = 0; i < proposed; ++i)
             Record(result, xs[static_cast<size_t>(i)],
                    ys[static_cast<size_t>(i)]);
-        done += b;
+        done += proposed;
+        if (proposed < b)
+            return result;  // deadline cut the round short
     }
     return result;
 }
@@ -241,6 +251,7 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
     Record(result, current, current_value);
     double temperature = t0;
     const int batch = std::max(1, batch_eval.batch);
+    Deadline deadline = batch_eval.deadline;  // copies share the budget
 
     auto propose = [&](const std::vector<int>& base) {
         std::vector<int> next = base;
@@ -264,12 +275,19 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
         const int b = std::min(batch, iterations - done);
         std::vector<std::vector<int>> xs;
         xs.reserve(static_cast<size_t>(b));
-        for (int i = 0; i < b; ++i)
+        for (int i = 0; i < b; ++i) {
+            // Candidate-granular budget: stop proposing when exhausted.
+            if (deadline.Charge())
+                break;
             xs.push_back(propose(current));
+        }
+        if (xs.empty())
+            return result;
+        const int proposed = static_cast<int>(xs.size());
         const std::vector<double> ys =
             EvaluateBatch(xs, objective, batch_eval.pool);
-        stats.sa_evals->Inc(b);
-        for (int i = 0; i < b; ++i) {
+        stats.sa_evals->Inc(proposed);
+        for (int i = 0; i < proposed; ++i) {
             const double next_value = ys[static_cast<size_t>(i)];
             Record(result, xs[static_cast<size_t>(i)], next_value);
             const double delta = next_value - current_value;
@@ -283,7 +301,9 @@ SimulatedAnnealing(const Space& space, const Objective& objective, int iteration
             }
             temperature *= cooling;
         }
-        done += b;
+        done += proposed;
+        if (proposed < b)
+            return result;  // deadline cut the round short
     }
     return result;
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/threadpool.h"
 
 namespace spa {
@@ -59,6 +60,12 @@ struct BatchEval
 {
     ThreadPool* pool = nullptr;  ///< null: evaluate serially on the caller
     int batch = 1;               ///< proposals evaluated per round
+    /**
+     * Optional search budget, charged once per proposed candidate. An
+     * exhausted deadline ends the run early with the trace collected so
+     * far; the default unlimited deadline changes nothing.
+     */
+    Deadline deadline;
 };
 
 /** Uniform random sampling. */

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/util.h"
 
@@ -144,6 +145,7 @@ std::vector<int>
 DpCuts(const nn::Workload& w, int num_segments, int min_per_segment,
        const std::vector<std::vector<int64_t>>& acc)
 {
+    SPA_FAULT_POINT("seg.dp.cuts");
     const int num_layers = w.NumLayers();
     std::vector<int64_t> ops_prefix(static_cast<size_t>(num_layers) + 1, 0);
     for (int l = 0; l < num_layers; ++l)
@@ -540,6 +542,28 @@ HeuristicSegmenter::SolveCandidates(const nn::Workload& w, int num_segments,
             result.push_back(std::move(a));
     }
     return result;
+}
+
+bool
+GreedyAssignment(const nn::Workload& w, int num_segments, int num_pus,
+                 Assignment& out)
+{
+    if (num_segments < 1 || num_pus < 1 ||
+        w.NumLayers() < num_segments * num_pus) {
+        return false;
+    }
+    Assignment a;
+    a.num_segments = num_segments;
+    a.num_pus = num_pus;
+    a.segment_of = SegmentsFromCuts(
+        w.NumLayers(), BalancedCuts(w, num_segments, num_pus));
+    const std::vector<double> h(static_cast<size_t>(num_pus),
+                                1.0 / static_cast<double>(num_pus));
+    BindPus(w, a.segment_of, num_segments, num_pus, h, a.pu_of);
+    if (!CheckConstraints(w, a).empty())
+        return false;
+    out = std::move(a);
+    return true;
 }
 
 void

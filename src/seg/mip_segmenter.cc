@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "mip/branch_and_bound.h"
+#include "obs/stats.h"
 
 namespace spa {
 namespace seg {
@@ -25,6 +28,7 @@ struct PhaseA
     const nn::Workload& w;
     int num_segments;
     int64_t node_budget;
+    Deadline deadline;
 
     /** Builds and solves the feasibility MIP for target CTC q. */
     bool
@@ -165,11 +169,10 @@ struct PhaseA
 
         mip::MipOptions options;
         options.max_nodes = node_budget;
+        options.deadline = deadline;
         mip::Solution sol = mip::SolveMip(p, options);
-        if (sol.status != mip::SolveStatus::kOptimal &&
-            !(sol.status == mip::SolveStatus::kLimit && !sol.x.empty())) {
+        if (!sol.usable())
             return false;
-        }
         segment_of.assign(static_cast<size_t>(num_layers), 0);
         for (int l = 0; l < num_layers; ++l) {
             for (int s = 0; s < num_segments; ++s) {
@@ -194,7 +197,7 @@ struct PhaseA
 bool
 SolvePhaseB(const nn::Workload& w, const std::vector<int>& segment_of,
             int num_segments, int num_pus, int64_t node_budget,
-            std::vector<int>& pu_of)
+            const Deadline& deadline, std::vector<int>& pu_of)
 {
     const int num_layers = w.NumLayers();
     mip::Problem p;
@@ -313,6 +316,7 @@ SolvePhaseB(const nn::Workload& w, const std::vector<int>& segment_of,
     }
     mip::MipOptions options;
     options.max_nodes = node_budget;
+    options.deadline = deadline;
     mip::Solution sol = mip::SolveMip(p, options);
     if (sol.x.empty())
         return false;
@@ -333,8 +337,9 @@ MipSegmenter::Solve(const nn::Workload& w, int num_segments, int num_pus,
 {
     if (w.NumLayers() < num_segments * num_pus)
         return false;
+    SPA_FAULT_POINT("seg.mip.solve");
 
-    PhaseA phase_a{w, num_segments, node_budget_};
+    PhaseA phase_a{w, num_segments, node_budget_, deadline_};
     // CTC bisection bounds: worst layerwise CTC .. full-pipeline CTC.
     double lo = 1e30, hi;
     {
@@ -364,7 +369,8 @@ MipSegmenter::Solve(const nn::Workload& w, int num_segments, int num_pus,
         }
     }
     std::vector<int> pu_of;
-    if (!SolvePhaseB(w, best_segments, num_segments, num_pus, node_budget_, pu_of))
+    if (!SolvePhaseB(w, best_segments, num_segments, num_pus, node_budget_,
+                     deadline_, pu_of))
         return false;
     out.num_segments = num_segments;
     out.num_pus = num_pus;
@@ -428,25 +434,175 @@ ExhaustiveSolve(const nn::Workload& w, int num_segments, int num_pus,
 
 }  // namespace
 
+namespace {
+
+obs::Counter&
+FallbackDpCounter()
+{
+    static obs::Counter* counter = obs::Registry::Default().GetCounter(
+        "robust.fallback.dp",
+        "MIP segmenter failures absorbed by the DP heuristic tier");
+    return *counter;
+}
+
+obs::Counter&
+FallbackGreedyCounter()
+{
+    static obs::Counter* counter = obs::Registry::Default().GetCounter(
+        "robust.fallback.greedy",
+        "DP heuristic failures absorbed by the greedy last-resort tier");
+    return *counter;
+}
+
+}  // namespace
+
+const char*
+SegmenterTierName(SegmenterTier tier)
+{
+    switch (tier) {
+    case SegmenterTier::kExhaustive: return "exhaustive";
+    case SegmenterTier::kMip: return "mip";
+    case SegmenterTier::kDp: return "dp";
+    case SegmenterTier::kGreedy: return "greedy";
+    }
+    return "unknown";
+}
+
+StatusOr<SegmentationOutcome>
+SolveSegmentationRobust(const nn::Workload& w, int num_segments, int num_pus,
+                        const SegmenterOptions& options)
+{
+    if (num_segments < 1 || num_pus < 1) {
+        return InvalidArgument("segmentation needs S >= 1 and N >= 1, got S=" +
+                               std::to_string(num_segments) + " N=" +
+                               std::to_string(num_pus));
+    }
+    if (w.NumLayers() == 0)
+        return InvalidArgument("workload '" + w.name + "' has no layers");
+    if (w.NumLayers() < num_segments * num_pus) {
+        return Infeasible("Eq. 2 cannot hold: " + std::to_string(w.NumLayers()) +
+                          " layers < S*N = " +
+                          std::to_string(num_segments * num_pus));
+    }
+
+    SegmentationOutcome out;
+
+    // Tiny instances are solved exactly by enumeration (the exhaustive
+    // tier never consults the deadline: it is gated to ~2e6 states).
+    Assignment exact;
+    if (ExhaustiveSolve(w, num_segments, num_pus, exact)) {
+        out.candidates.push_back(std::move(exact));
+        out.tier = SegmenterTier::kExhaustive;
+        return out;
+    }
+
+    // DP heuristic tier: the deterministic candidate list the engine's
+    // tie-breaking depends on. Candidate order here must match the
+    // historical SolveSegmentationCandidates exactly on healthy runs.
+    bool dp_failed = false;
+    bool fault_fired = false;
+    std::string first_error;
+    size_t dp_count = 0;
+    try {
+        HeuristicSegmenter heuristic;
+        out.candidates = heuristic.SolveCandidates(w, num_segments, num_pus);
+        dp_count = out.candidates.size();
+    } catch (const fault::InjectedFault& e) {
+        dp_failed = true;
+        fault_fired = true;
+        first_error = e.what();
+    } catch (const std::exception& e) {
+        dp_failed = true;
+        first_error = e.what();
+    }
+
+    // MIP tier, appended after the heuristic candidates on small
+    // instances. An ordinary "found nothing within budget" return is
+    // normal operation, not a fallback; only errors (fault, deadline,
+    // unexpected throw) count as forced downgrades.
+    const int64_t binaries =
+        static_cast<int64_t>(w.NumLayers()) * (num_segments + num_pus);
+    bool mip_contributed = false;
+    if (binaries <= 64) {
+        bool mip_failed = false;
+        if (options.deadline.Exhausted()) {
+            mip_failed = true;
+            if (first_error.empty())
+                first_error = "deadline exhausted before the MIP tier";
+        } else {
+            try {
+                MipSegmenter solver(options.mip_node_budget, options.deadline);
+                Assignment b;
+                if (solver.Solve(w, num_segments, num_pus, b)) {
+                    out.candidates.push_back(std::move(b));
+                    mip_contributed = true;
+                }
+            } catch (const fault::InjectedFault& e) {
+                mip_failed = true;
+                fault_fired = true;
+                if (first_error.empty())
+                    first_error = e.what();
+            } catch (const std::exception& e) {
+                mip_failed = true;
+                if (first_error.empty())
+                    first_error = e.what();
+            }
+        }
+        if (mip_failed) {
+            ++out.fallbacks;
+            FallbackDpCounter().Inc();
+        }
+    }
+
+    // Greedy last resort, only when the DP tier errored out (a clean
+    // empty DP result keeps historical behavior: no candidates added).
+    bool greedy_contributed = false;
+    if (dp_failed) {
+        ++out.fallbacks;
+        FallbackGreedyCounter().Inc();
+        try {
+            Assignment g;
+            if (GreedyAssignment(w, num_segments, num_pus, g)) {
+                out.candidates.push_back(std::move(g));
+                greedy_contributed = true;
+            }
+        } catch (const std::exception& e) {
+            if (first_error.empty())
+                first_error = e.what();
+        }
+    }
+
+    if (out.candidates.empty()) {
+        if (options.deadline.Exhausted() && !fault_fired)
+            return DeadlineExceeded("segmentation budget exhausted for (S=" +
+                                    std::to_string(num_segments) + ", N=" +
+                                    std::to_string(num_pus) + ")");
+        if (fault_fired)
+            return FaultInjected(first_error);
+        if (!first_error.empty())
+            return Internal(first_error);
+        return Infeasible("no valid assignment for (S=" +
+                          std::to_string(num_segments) + ", N=" +
+                          std::to_string(num_pus) + ") within budget");
+    }
+
+    if (mip_contributed)
+        out.tier = SegmenterTier::kMip;
+    else if (dp_count > 0)
+        out.tier = SegmenterTier::kDp;
+    else if (greedy_contributed)
+        out.tier = SegmenterTier::kGreedy;
+    return out;
+}
+
 std::vector<Assignment>
 SolveSegmentationCandidates(const nn::Workload& w, int num_segments, int num_pus)
 {
-    // Tiny instances are solved exactly by enumeration.
-    Assignment exact;
-    if (ExhaustiveSolve(w, num_segments, num_pus, exact))
-        return {exact};
-    HeuristicSegmenter heuristic;
-    std::vector<Assignment> candidates =
-        heuristic.SolveCandidates(w, num_segments, num_pus);
-    const int64_t binaries =
-        static_cast<int64_t>(w.NumLayers()) * (num_segments + num_pus);
-    if (binaries <= 64) {
-        MipSegmenter exact;
-        Assignment b;
-        if (exact.Solve(w, num_segments, num_pus, b))
-            candidates.push_back(std::move(b));
-    }
-    return candidates;
+    StatusOr<SegmentationOutcome> outcome =
+        SolveSegmentationRobust(w, num_segments, num_pus);
+    if (!outcome.ok())
+        return {};
+    return std::move(outcome->candidates);
 }
 
 bool

@@ -24,6 +24,10 @@
  *    returning whichever assignment scores better.
  */
 
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/status.h"
 #include "seg/assignment.h"
 
 namespace spa {
@@ -51,12 +55,17 @@ class MipSegmenter : public Segmenter
 {
   public:
     explicit MipSegmenter(int64_t node_budget = 4000) : node_budget_(node_budget) {}
+    MipSegmenter(int64_t node_budget, Deadline deadline)
+        : node_budget_(node_budget), deadline_(std::move(deadline))
+    {
+    }
     bool Solve(const nn::Workload& w, int num_segments, int num_pus,
                Assignment& out) override;
     const char* name() const override { return "mip"; }
 
   private:
     int64_t node_budget_;
+    Deadline deadline_;  ///< charged at every B&B node / simplex pivot
 };
 
 /** Scalable DP + local-search solver. */
@@ -78,6 +87,67 @@ class HeuristicSegmenter : public Segmenter
 
     const char* name() const override { return "heuristic"; }
 };
+
+/**
+ * Which solver tier ultimately produced the strongest candidate, in
+ * decreasing order of solution quality. The chain degrades
+ * exhaustive/MIP -> DP heuristic -> greedy seed; each downgrade that
+ * was forced by a failure (fault, deadline, numerical stall) is counted
+ * in the robust.fallback.* obs counters and in the run record.
+ */
+enum class SegmenterTier
+{
+    kExhaustive = 0,  ///< tiny instance enumerated exactly
+    kMip,             ///< paper MIP contributed a candidate
+    kDp,              ///< min-max CTC partition DP + local search
+    kGreedy,          ///< balanced cuts + chunk binding, last resort
+};
+
+/** Stable lower-case name ("dp") for records and logs. */
+const char* SegmenterTierName(SegmenterTier tier);
+
+/** Knobs for the robust segmentation chain. */
+struct SegmenterOptions
+{
+    int64_t mip_node_budget = 4000;
+
+    /** Shared budget charged inside MIP solves (node/pivot granularity). */
+    Deadline deadline;
+};
+
+/** Candidate set plus provenance from the fallback chain. */
+struct SegmentationOutcome
+{
+    /**
+     * Valid assignments in deterministic order: heuristic shape
+     * variants first, then the MIP solution on small instances (the
+     * order is tie-breaking-significant downstream; the healthy path
+     * must match SolveSegmentationCandidates exactly).
+     */
+    std::vector<Assignment> candidates;
+
+    SegmenterTier tier = SegmenterTier::kDp;  ///< strongest contributor
+    int fallbacks = 0;  ///< forced tier downgrades while solving
+};
+
+/**
+ * Robust entry point for the co-design engine: validates the instance,
+ * runs the tier chain, and degrades instead of crashing. Never throws;
+ * injected faults and expired deadlines come back as statuses
+ * (kFaultInjected / kDeadlineExceeded), impossible shapes as
+ * kInvalidArgument / kInfeasible.
+ */
+StatusOr<SegmentationOutcome>
+SolveSegmentationRobust(const nn::Workload& w, int num_segments, int num_pus,
+                        const SegmenterOptions& options = SegmenterOptions());
+
+/**
+ * Last-resort tier: equal-MACs contiguous cuts plus uniform chunk PU
+ * binding. No search, no DP table — constructively valid whenever
+ * L >= S*N, so it survives faults in the cleverer tiers.
+ */
+bool GreedyAssignment(const nn::Workload& w, int num_segments, int num_pus,
+                      Assignment& out);
 
 /**
  * Production entry point: MIP for small instances, heuristic always,

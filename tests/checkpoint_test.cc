@@ -1,0 +1,228 @@
+// Crash-safe checkpoint/resume: EngineCheckpoint JSON round-trips
+// exactly, and a run killed after a checkpoint resumes to a result
+// bitwise-identical to an uninterrupted run, at jobs=1 and jobs=8.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "autoseg/autoseg.h"
+#include "autoseg/checkpoint.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace autoseg {
+namespace {
+
+CoDesignOptions
+FastOptions(int jobs)
+{
+    CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    options.jobs = jobs;
+    // Small node budget: these tests exercise robustness plumbing, not
+    // MIP solution quality, and the budget knob keeps them fast.
+    options.mip_node_budget = 256;
+    return options;
+}
+
+void
+ExpectIdenticalResults(const CoDesignResult& a, const CoDesignResult& b,
+                       alloc::DesignGoal goal)
+{
+    ASSERT_EQ(a.ok, b.ok);
+    if (a.ok) {
+        EXPECT_EQ(a.assignment.num_segments, b.assignment.num_segments);
+        EXPECT_EQ(a.assignment.num_pus, b.assignment.num_pus);
+        EXPECT_EQ(a.assignment.segment_of, b.assignment.segment_of);
+        EXPECT_EQ(a.assignment.pu_of, b.assignment.pu_of);
+        EXPECT_EQ(a.alloc.latency_seconds, b.alloc.latency_seconds);
+        EXPECT_EQ(a.alloc.throughput_fps, b.alloc.throughput_fps);
+        EXPECT_EQ(a.alloc.pe_utilization, b.alloc.pe_utilization);
+        EXPECT_EQ(a.alloc.config.ToString(), b.alloc.config.ToString());
+        EXPECT_EQ(a.metrics.min_ctc, b.metrics.min_ctc);
+        EXPECT_EQ(a.metrics.sod, b.metrics.sod);
+        EXPECT_EQ(a.GoalValue(goal), b.GoalValue(goal));
+    }
+    ASSERT_EQ(a.explored.size(), b.explored.size());
+    for (size_t i = 0; i < a.explored.size(); ++i) {
+        const CandidateRecord& ra = a.explored[i];
+        const CandidateRecord& rb = b.explored[i];
+        EXPECT_EQ(ra.num_segments, rb.num_segments) << "entry " << i;
+        EXPECT_EQ(ra.num_pus, rb.num_pus) << "entry " << i;
+        EXPECT_EQ(ra.feasible, rb.feasible) << "entry " << i;
+        EXPECT_EQ(ra.latency_seconds, rb.latency_seconds) << "entry " << i;
+        EXPECT_EQ(ra.throughput_fps, rb.throughput_fps) << "entry " << i;
+        EXPECT_EQ(ra.min_ctc, rb.min_ctc) << "entry " << i;
+        EXPECT_EQ(ra.sod, rb.sod) << "entry " << i;
+        EXPECT_EQ(ra.tier, rb.tier) << "entry " << i;
+        EXPECT_EQ(ra.status.code(), rb.status.code()) << "entry " << i;
+    }
+}
+
+TEST(CheckpointTest, JsonRoundTripIsExact)
+{
+    EngineCheckpoint ck;
+    ck.model = "alexnet";
+    ck.platform = "nvdla-small";
+    ck.goal = "latency";
+    ck.pairs = {{2, 2}, {4, 2}, {4, 4}};
+
+    EngineCheckpoint::Entry feasible;
+    feasible.record.num_segments = 2;
+    feasible.record.num_pus = 2;
+    feasible.record.feasible = true;
+    feasible.record.latency_seconds = 0.012345678901234567;
+    feasible.record.throughput_fps = 81.5;
+    feasible.record.min_ctc = 3.25;
+    feasible.record.sod = 0.5;
+    feasible.record.tier = seg::SegmenterTier::kMip;
+    feasible.record.fallbacks = 1;
+    seg::Assignment a;
+    a.num_segments = 2;
+    a.num_pus = 2;
+    a.segment_of = {0, 0, 1, 1};
+    a.pu_of = {0, 1, 0, 1};
+    feasible.best = a;
+    ck.completed.push_back(feasible);
+
+    EngineCheckpoint::Entry failed;
+    failed.record.num_segments = 4;
+    failed.record.num_pus = 2;
+    failed.record.failed_candidates = 3;
+    failed.record.status = FaultInjected("injected fault at cost.compute");
+    ck.completed.push_back(failed);
+
+    StatusOr<EngineCheckpoint> back = CheckpointFromJson(CheckpointToJson(ck));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->model, ck.model);
+    EXPECT_EQ(back->platform, ck.platform);
+    EXPECT_EQ(back->goal, ck.goal);
+    EXPECT_EQ(back->pairs, ck.pairs);
+    ASSERT_EQ(back->completed.size(), 2u);
+
+    const EngineCheckpoint::Entry& f = back->completed[0];
+    EXPECT_TRUE(f.record.feasible);
+    EXPECT_EQ(f.record.latency_seconds, feasible.record.latency_seconds);
+    EXPECT_EQ(f.record.throughput_fps, feasible.record.throughput_fps);
+    EXPECT_EQ(f.record.tier, seg::SegmenterTier::kMip);
+    EXPECT_EQ(f.record.fallbacks, 1);
+    ASSERT_TRUE(f.best.has_value());
+    EXPECT_EQ(f.best->segment_of, a.segment_of);
+    EXPECT_EQ(f.best->pu_of, a.pu_of);
+
+    const EngineCheckpoint::Entry& g = back->completed[1];
+    EXPECT_FALSE(g.best.has_value());
+    EXPECT_EQ(g.record.failed_candidates, 3);
+    EXPECT_EQ(g.record.status.code(), StatusCode::kFaultInjected);
+    EXPECT_EQ(g.record.status.message(), failed.record.status.message());
+}
+
+TEST(CheckpointTest, MalformedDocumentsAreRejected)
+{
+    json::Value not_a_checkpoint;
+    not_a_checkpoint["format"] = "something-else";
+    EXPECT_EQ(CheckpointFromJson(not_a_checkpoint).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(CheckpointFromJson(json::Value(3)).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, KillAndResumeMatchesUninterrupted)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    const hw::Platform budget = hw::NvdlaSmallBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    cost::CostModel cost_model;
+
+    for (int jobs : {1, 8}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        const std::string path = testing::TempDir() + "spa_ckpt_j" +
+                                 std::to_string(jobs) + ".json";
+
+        // The reference: one uninterrupted, non-incremental run.
+        Engine plain(cost_model, FastOptions(jobs));
+        const CoDesignResult full = plain.Run(w, budget, goal);
+        ASSERT_TRUE(full.ok);
+
+        // "Kill" after three pairs: max_pairs plays the role of the
+        // crash, the checkpoint is what a killed run leaves on disk.
+        CoDesignOptions partial_options = FastOptions(jobs);
+        partial_options.checkpoint_path = path;
+        partial_options.checkpoint_every = 2;
+        partial_options.max_pairs = 3;
+        Engine partial(cost_model, partial_options);
+        const CoDesignResult truncated = partial.Run(w, budget, goal);
+        EXPECT_TRUE(truncated.truncated);
+        EXPECT_EQ(truncated.explored.size(), 3u);
+
+        // Resume from the checkpoint and run to completion.
+        CoDesignOptions resume_options = FastOptions(jobs);
+        resume_options.resume_path = path;
+        Engine resumed_engine(cost_model, resume_options);
+        const CoDesignResult resumed = resumed_engine.Run(w, budget, goal);
+        EXPECT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+        EXPECT_FALSE(resumed.truncated);
+        ExpectIdenticalResults(full, resumed, goal);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(CheckpointTest, ResumeRejectsForeignCheckpoint)
+{
+    const std::string path = testing::TempDir() + "spa_ckpt_foreign.json";
+    cost::CostModel cost_model;
+
+    CoDesignOptions write_options = FastOptions(1);
+    write_options.checkpoint_path = path;
+    write_options.max_pairs = 2;
+    Engine writer(cost_model, write_options);
+    nn::Workload alexnet = nn::ExtractWorkload(nn::BuildAlexNet());
+    writer.Run(alexnet, hw::NvdlaSmallBudget(), alloc::DesignGoal::kLatency);
+
+    // Same checkpoint, different model: the fingerprint must refuse it.
+    CoDesignOptions resume_options = FastOptions(1);
+    resume_options.resume_path = path;
+    Engine resumer(cost_model, resume_options);
+    nn::Workload squeezenet = nn::ExtractWorkload(nn::BuildSqueezeNet());
+    const CoDesignResult result =
+        resumer.Run(squeezenet, hw::NvdlaSmallBudget(), alloc::DesignGoal::kLatency);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResumeSurfacesFileErrors)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel cost_model;
+
+    CoDesignOptions missing = FastOptions(1);
+    missing.resume_path = "/nonexistent-spa-ckpt.json";
+    const CoDesignResult a =
+        Engine(cost_model, missing).Run(w, hw::NvdlaSmallBudget(),
+                                        alloc::DesignGoal::kLatency);
+    EXPECT_FALSE(a.ok);
+    EXPECT_EQ(a.status.code(), StatusCode::kIoError);
+
+    const std::string path = testing::TempDir() + "spa_ckpt_torn.json";
+    {
+        std::ofstream out(path);
+        out << "{\"format\": \"spa.autoseg.checkpoint.v1\", \"pairs\": [[";
+    }
+    CoDesignOptions torn = FastOptions(1);
+    torn.resume_path = path;
+    const CoDesignResult b =
+        Engine(cost_model, torn).Run(w, hw::NvdlaSmallBudget(),
+                                     alloc::DesignGoal::kLatency);
+    EXPECT_FALSE(b.ok);
+    EXPECT_EQ(b.status.code(), StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autoseg
+}  // namespace spa

@@ -1,0 +1,145 @@
+// Fault-sweep regression: with each compiled fault site armed one at a
+// time, a full Engine::Run must either finish with a degraded-but-valid
+// result (fallbacks / skipped candidates / failed pairs counted) or
+// return a clean non-OK Status — it must never crash. With the harness
+// compiled in but disabled, results are identical to an unarmed run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "autoseg/autoseg.h"
+#include "common/fault.h"
+#include "nn/models.h"
+
+#ifdef SPA_FAULT_INJECTION
+
+namespace spa {
+namespace autoseg {
+namespace {
+
+CoDesignOptions
+FastOptions(int jobs)
+{
+    CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 8;
+    options.jobs = jobs;
+    // Small node budget: these tests exercise robustness plumbing, not
+    // MIP solution quality, and the budget knob keeps them fast.
+    options.mip_node_budget = 256;
+    return options;
+}
+
+CoDesignResult
+RunAlexNet(int jobs)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    cost::CostModel cost_model;
+    Engine engine(cost_model, FastOptions(jobs));
+    return engine.Run(w, hw::NvdlaSmallBudget(), alloc::DesignGoal::kLatency);
+}
+
+void
+ExpectIdentical(const CoDesignResult& a, const CoDesignResult& b)
+{
+    ASSERT_EQ(a.ok, b.ok);
+    if (a.ok) {
+        EXPECT_EQ(a.assignment.segment_of, b.assignment.segment_of);
+        EXPECT_EQ(a.assignment.pu_of, b.assignment.pu_of);
+        EXPECT_EQ(a.alloc.latency_seconds, b.alloc.latency_seconds);
+        EXPECT_EQ(a.alloc.throughput_fps, b.alloc.throughput_fps);
+        EXPECT_EQ(a.alloc.config.ToString(), b.alloc.config.ToString());
+    }
+    EXPECT_EQ(a.status.code(), b.status.code());
+    EXPECT_EQ(a.status.message(), b.status.message());
+    EXPECT_EQ(a.truncated, b.truncated);
+    EXPECT_EQ(a.pairs_failed, b.pairs_failed);
+    EXPECT_EQ(a.fallbacks, b.fallbacks);
+    EXPECT_EQ(a.failed_candidates, b.failed_candidates);
+    ASSERT_EQ(a.explored.size(), b.explored.size());
+    for (size_t i = 0; i < a.explored.size(); ++i) {
+        const CandidateRecord& ra = a.explored[i];
+        const CandidateRecord& rb = b.explored[i];
+        EXPECT_EQ(ra.num_segments, rb.num_segments) << "entry " << i;
+        EXPECT_EQ(ra.num_pus, rb.num_pus) << "entry " << i;
+        EXPECT_EQ(ra.feasible, rb.feasible) << "entry " << i;
+        EXPECT_EQ(ra.latency_seconds, rb.latency_seconds) << "entry " << i;
+        EXPECT_EQ(ra.throughput_fps, rb.throughput_fps) << "entry " << i;
+        EXPECT_EQ(ra.tier, rb.tier) << "entry " << i;
+        EXPECT_EQ(ra.fallbacks, rb.fallbacks) << "entry " << i;
+        EXPECT_EQ(ra.failed_candidates, rb.failed_candidates) << "entry " << i;
+        EXPECT_EQ(ra.status.code(), rb.status.code()) << "entry " << i;
+    }
+}
+
+class FaultSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        fault::DisarmAll();
+        fault::SetEnabled(false);
+    }
+};
+
+TEST_F(FaultSweepTest, EverySiteDegradesGracefully)
+{
+    for (const std::string& site : fault::KnownSites()) {
+        SCOPED_TRACE("armed site: " + site);
+        fault::DisarmAll();
+        fault::Arm(site, /*seed=*/1, /*period=*/1);
+        fault::SetEnabled(true);
+        // Must not crash or hang; everything else is degradation policy.
+        const CoDesignResult result = RunAlexNet(/*jobs=*/1);
+        if (fault::Hits(site) > 0) {
+            // The fault actually fired somewhere in this run, so the
+            // damage has to be visible: a non-OK status, counted
+            // fallbacks / skipped candidates / failed pairs, or an
+            // unusable result.
+            EXPECT_TRUE(!result.status.ok() || result.fallbacks > 0 ||
+                        result.failed_candidates > 0 ||
+                        result.pairs_failed > 0 || !result.ok)
+                << "fault fired " << fault::Hits(site)
+                << " times but left no trace";
+        }
+    }
+}
+
+TEST_F(FaultSweepTest, ArmedRunReplaysExactly)
+{
+    // Same seed, same arming, jobs=1: the fault pattern — and therefore
+    // the whole degraded result — replays bitwise.
+    auto degraded_run = []() {
+        fault::DisarmAll();
+        fault::Arm("cost.compute", /*seed=*/3, /*period=*/7);
+        fault::SetEnabled(true);
+        return RunAlexNet(/*jobs=*/1);
+    };
+    const CoDesignResult first = degraded_run();
+    const CoDesignResult second = degraded_run();
+    ExpectIdentical(first, second);
+}
+
+TEST_F(FaultSweepTest, CompiledInButDisabledChangesNothing)
+{
+    fault::SetEnabled(false);
+    const CoDesignResult off = RunAlexNet(/*jobs=*/1);
+
+    // Enabled master switch with no armed site must also be inert.
+    fault::SetEnabled(true);
+    const CoDesignResult unarmed = RunAlexNet(/*jobs=*/1);
+    fault::SetEnabled(false);
+
+    ASSERT_TRUE(off.ok);
+    EXPECT_TRUE(off.status.ok());
+    ExpectIdentical(off, unarmed);
+}
+
+}  // namespace
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_FAULT_INJECTION

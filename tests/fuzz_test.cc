@@ -175,5 +175,58 @@ TEST(SegmenterOptimalityTest, MipMatchesExhaustiveOnBranchyGraph)
     EXPECT_LE(seg::ComputeMetrics(w, a).Objective(), optimum * 1.15 + 1e-9);
 }
 
+TEST(DegenerateGraphFuzzTest, EmptyWorkloadIsInvalidArgument)
+{
+    nn::Workload w;
+    w.name = "empty";
+    EXPECT_EQ(seg::SolveSegmentationRobust(w, 2, 2).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(seg::SolveSegmentationRobust(w, 1, 1).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(DegenerateGraphFuzzTest, SingleLayerHandledCleanly)
+{
+    nn::Graph g("one");
+    nn::LayerId in = g.AddInput("input", {4, 12, 12});
+    g.AddConv("c0", in, 4, 3, 1, 1);
+    nn::Workload w = nn::ExtractWorkload(g);
+
+    auto fits = seg::SolveSegmentationRobust(w, 1, 1);
+    ASSERT_TRUE(fits.ok()) << fits.status().ToString();
+    EXPECT_FALSE(fits->candidates.empty());
+
+    // One layer cannot fill two segment slots: infeasible, not fatal.
+    EXPECT_EQ(seg::SolveSegmentationRobust(w, 2, 1).status().code(),
+              StatusCode::kInfeasible);
+}
+
+TEST(DegenerateGraphFuzzTest, ArbitraryShapesNeverCrashTheRobustChain)
+{
+    // Random DAGs against shape requests sweeping from nonsense to
+    // oversubscribed: every call must come back with either valid
+    // candidates or a clean structured Status.
+    Rng rng(4242);
+    seg::SegmenterOptions options;
+    options.mip_node_budget = 64;  // shape coverage, not solver quality
+    for (int trial = 0; trial < 40; ++trial) {
+        nn::Graph g = RandomGraph(rng, 3 + static_cast<int>(rng.UniformInt(0, 6)));
+        nn::Workload w = nn::ExtractWorkload(g);
+        const int segments = static_cast<int>(rng.UniformInt(0, 4));
+        const int pus = static_cast<int>(rng.UniformInt(0, 4));
+        auto outcome = seg::SolveSegmentationRobust(w, segments, pus, options);
+        if (outcome.ok()) {
+            ASSERT_FALSE(outcome->candidates.empty()) << "trial " << trial;
+            for (const seg::Assignment& a : outcome->candidates)
+                EXPECT_EQ(seg::CheckConstraints(w, a), "") << "trial " << trial;
+        } else {
+            const StatusCode code = outcome.status().code();
+            EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                        code == StatusCode::kInfeasible)
+                << "trial " << trial << ": " << outcome.status().ToString();
+        }
+    }
+}
+
 }  // namespace
 }  // namespace spa

@@ -234,6 +234,82 @@ TEST(MipTest, NodeBudgetReportsLimit)
     EXPECT_NE(s.status, SolveStatus::kOptimal);
 }
 
+TEST(SimplexTest, IterationCapReportsIterLimit)
+{
+    // The textbook LP needs several pivots; a one-pivot cap must return
+    // the dedicated kIterLimit status (not the generic node limit).
+    Problem p;
+    const int x = p.AddVariable(0, kInf, -3.0);
+    const int y = p.AddVariable(0, kInf, -5.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+    p.AddConstraint({{y, 2.0}}, Sense::kLe, 12.0);
+    p.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+    SimplexOptions options;
+    options.max_iters = 1;
+    EXPECT_EQ(SolveLp(p, options).status, SolveStatus::kIterLimit);
+}
+
+TEST(SimplexTest, DegenerateProblemUnderIterationCapStopsCleanly)
+{
+    // Beale's cycling-prone LP with a tiny pivot budget: the cap must
+    // fire as kIterLimit instead of spinning or misreporting.
+    Problem p;
+    const int x1 = p.AddVariable(0, kInf, -0.75);
+    const int x2 = p.AddVariable(0, kInf, 150.0);
+    const int x3 = p.AddVariable(0, kInf, -0.02);
+    const int x4 = p.AddVariable(0, kInf, 6.0);
+    p.AddConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, Sense::kLe, 0.0);
+    p.AddConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, Sense::kLe, 0.0);
+    p.AddConstraint({{x3, 1.0}}, Sense::kLe, 1.0);
+    SimplexOptions options;
+    options.max_iters = 2;
+    EXPECT_EQ(SolveLp(p, options).status, SolveStatus::kIterLimit);
+}
+
+TEST(SimplexTest, ExhaustedDeadlineReportsDeadline)
+{
+    Problem p;
+    const int x = p.AddVariable(0, kInf, -1.0);
+    p.AddConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+    SimplexOptions options;
+    options.deadline = Deadline::AfterTicks(0);
+    EXPECT_EQ(SolveLp(p, options).status, SolveStatus::kDeadline);
+}
+
+TEST(MipTest, ExhaustedDeadlineStopsSearch)
+{
+    Problem p;
+    const int a = p.AddBinary(-1.0);
+    const int b = p.AddBinary(-1.0);
+    p.AddConstraint({{a, 1.0}, {b, 1.0}}, Sense::kLe, 1.5);
+    MipOptions options;
+    options.deadline = Deadline::AfterTicks(0);
+    EXPECT_EQ(SolveMip(p, options).status, SolveStatus::kDeadline);
+}
+
+TEST(MipTest, SolveStatusNamesAreStable)
+{
+    EXPECT_STREQ(SolveStatusName(SolveStatus::kOptimal), "OPTIMAL");
+    EXPECT_STREQ(SolveStatusName(SolveStatus::kLimit), "NODE_LIMIT");
+    EXPECT_STREQ(SolveStatusName(SolveStatus::kIterLimit), "ITER_LIMIT");
+    EXPECT_STREQ(SolveStatusName(SolveStatus::kNumerical), "NUMERICAL");
+    EXPECT_STREQ(SolveStatusName(SolveStatus::kDeadline), "DEADLINE");
+}
+
+TEST(MipTest, UsableDistinguishesIncumbentsFromFailures)
+{
+    Solution s;
+    EXPECT_FALSE(s.usable());  // infeasible, no point
+    s.status = SolveStatus::kOptimal;
+    EXPECT_TRUE(s.usable());
+    s.status = SolveStatus::kIterLimit;
+    EXPECT_FALSE(s.usable());  // budget hit with no incumbent attached
+    s.x = {1.0};
+    EXPECT_TRUE(s.usable());  // budget hit, incumbent attached
+    s.status = SolveStatus::kNumerical;
+    EXPECT_FALSE(s.usable());  // numerical trouble is never usable
+}
+
 TEST(ProblemTest, EvaluateAndFeasible)
 {
     Problem p;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
 #include "nn/loader.h"
 #include "nn/models.h"
 
@@ -103,6 +108,77 @@ TEST(LoaderTest, ZooModelsSurviveRoundTrip)
         EXPECT_EQ(g.TotalMacs(), g2.TotalMacs()) << name;
         EXPECT_EQ(g.TotalWeightElems(), g2.TotalWeightElems()) << name;
     }
+}
+
+// The StatusOr loader surface: the same failures the death tests pin
+// down must come back as structured errors instead of a process exit.
+
+TEST(LoaderRobustnessTest, ValidFileLoads)
+{
+    const std::string path = testing::TempDir() + "spa_loader_ok.json";
+    {
+        std::ofstream out(path);
+        out << kTinyModel;
+    }
+    StatusOr<Graph> g = LoadGraphOr(path);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(g->name(), "tiny");
+    std::remove(path.c_str());
+}
+
+TEST(LoaderRobustnessTest, MissingFileIsIoError)
+{
+    StatusOr<Graph> g = LoadGraphOr("/nonexistent-spa-model.json");
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+    // The path must appear in the diagnostic.
+    EXPECT_NE(g.status().message().find("nonexistent-spa-model"),
+              std::string::npos);
+}
+
+TEST(LoaderRobustnessTest, SyntaxErrorReportsByteOffset)
+{
+    const std::string path = testing::TempDir() + "spa_loader_syntax.json";
+    {
+        std::ofstream out(path);
+        out << "{\"input\": {\"c\": 3,, }";
+    }
+    StatusOr<Graph> g = LoadGraphOr(path);
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(g.status().message().find("byte offset"), std::string::npos)
+        << g.status().message();
+    std::remove(path.c_str());
+}
+
+TEST(LoaderRobustnessTest, SchemaErrorsAreInvalidArgument)
+{
+    // Not an object at all.
+    EXPECT_EQ(GraphFromJsonOr(json::Value(7)).status().code(),
+              StatusCode::kInvalidArgument);
+    // Missing the layers array.
+    EXPECT_EQ(
+        GraphFromJsonOr(json::ParseOrDie(R"({"input": {"c": 1, "h": 2, "w": 2}})"))
+            .status()
+            .code(),
+        StatusCode::kInvalidArgument);
+    // Unknown layer type: fatal in GraphFromJson, structured here.
+    StatusOr<Graph> bad = GraphFromJsonOr(json::ParseOrDie(R"({
+      "input": {"c": 3, "h": 8, "w": 8},
+      "layers": [{"name": "x", "type": "warp", "out": 3}]
+    })"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bad.status().message().find("unsupported layer type"),
+              std::string::npos)
+        << bad.status().message();
+    // Dangling input reference.
+    EXPECT_EQ(GraphFromJsonOr(json::ParseOrDie(R"({
+      "input": {"c": 3, "h": 8, "w": 8},
+      "layers": [{"name": "c", "type": "conv", "out": 4, "k": 3,
+                  "inputs": ["missing"]}]
+    })")).status().code(),
+              StatusCode::kInvalidArgument);
 }
 
 }  // namespace

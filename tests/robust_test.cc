@@ -1,0 +1,310 @@
+// Robustness primitives: Status/StatusOr semantics, deterministic
+// deadline budgets, the fault-injection harness's replay guarantee,
+// atomic JSON artifact writes, and the segmentation fallback chain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/status.h"
+#include "json/json.h"
+#include "nn/models.h"
+#include "nn/workload.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, TerseConstructorsCarryCodeAndMessage)
+{
+    const Status s = DeadlineExceeded("budget spent");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(s.message(), "budget spent");
+    EXPECT_EQ(s.ToString(), "DEADLINE_EXCEEDED: budget spent");
+    EXPECT_EQ(IterLimit("x").code(), StatusCode::kIterLimit);
+    EXPECT_EQ(Numerical("x").code(), StatusCode::kNumerical);
+    EXPECT_EQ(FaultInjected("x").code(), StatusCode::kFaultInjected);
+    EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, CodeNamesAreStable)
+{
+    EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+    EXPECT_STREQ(StatusCodeName(StatusCode::kIterLimit), "ITER_LIMIT");
+    EXPECT_STREQ(StatusCodeName(StatusCode::kFaultInjected), "FAULT_INJECTED");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus)
+{
+    StatusOr<int> good = 7;
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(*good, 7);
+
+    StatusOr<int> bad = Infeasible("no partition");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInfeasible);
+
+    // Default construction (container pre-sizing) is an error slot.
+    StatusOr<int> empty;
+    EXPECT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates)
+{
+    auto inner = [](bool fail) {
+        return fail ? Unbounded("below") : Status::Ok();
+    };
+    auto outer = [&](bool fail) -> Status {
+        SPA_RETURN_IF_ERROR(inner(fail));
+        return Status::Ok();
+    };
+    EXPECT_TRUE(outer(false).ok());
+    EXPECT_EQ(outer(true).code(), StatusCode::kUnbounded);
+}
+
+// -------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultIsUnlimited)
+{
+    Deadline d;
+    EXPECT_TRUE(d.unlimited());
+    EXPECT_FALSE(d.Exhausted());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(d.Charge());
+    EXPECT_EQ(d.TicksLeft(), -1);
+}
+
+TEST(DeadlineTest, TickBudgetIsDeterministic)
+{
+    Deadline d = Deadline::AfterTicks(3);
+    EXPECT_FALSE(d.unlimited());
+    EXPECT_FALSE(d.Charge());
+    EXPECT_FALSE(d.Charge());
+    EXPECT_FALSE(d.Charge());
+    EXPECT_TRUE(d.Charge());  // budget spent
+    EXPECT_TRUE(d.Exhausted());
+    EXPECT_EQ(d.TicksLeft(), 0);
+}
+
+TEST(DeadlineTest, CopiesShareTheBudget)
+{
+    Deadline a = Deadline::AfterTicks(2);
+    Deadline b = a;
+    EXPECT_FALSE(a.Charge());
+    EXPECT_FALSE(b.Charge());
+    EXPECT_TRUE(a.Charge());
+    EXPECT_TRUE(b.Exhausted());
+}
+
+TEST(DeadlineTest, ExpiredWallClockExhausts)
+{
+    Deadline d = Deadline::AfterSeconds(-1.0);
+    EXPECT_TRUE(d.Exhausted());
+}
+
+// ------------------------------------------------------- Fault injection
+
+#ifdef SPA_FAULT_INJECTION
+
+class FaultInjectionTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        fault::DisarmAll();
+        fault::SetEnabled(false);
+    }
+};
+
+TEST_F(FaultInjectionTest, DisabledSitesNeverFire)
+{
+    fault::SetEnabled(false);
+    for (int i = 0; i < 100; ++i)
+        SPA_FAULT_POINT("test.robust.site");
+    EXPECT_EQ(fault::Hits("test.robust.site"), 0);
+}
+
+TEST_F(FaultInjectionTest, ArmedPeriodOneFiresEveryVisit)
+{
+    fault::SetEnabled(true);
+    fault::Arm("test.robust.every", 42, 1);
+    EXPECT_THROW(SPA_FAULT_POINT("test.robust.every"), fault::InjectedFault);
+    EXPECT_EQ(fault::Hits("test.robust.every"), 1);
+    EXPECT_EQ(fault::Visits("test.robust.every"), 1);
+}
+
+TEST_F(FaultInjectionTest, FirePatternReplaysExactly)
+{
+    fault::SetEnabled(true);
+    auto run = [](uint64_t seed) {
+        fault::DisarmAll();
+        fault::Arm("test.robust.replay", seed, 5);
+        std::vector<int> fired;
+        for (int i = 0; i < 200; ++i) {
+            try {
+                SPA_FAULT_POINT("test.robust.replay");
+            } catch (const fault::InjectedFault&) {
+                fired.push_back(i);
+            }
+        }
+        return fired;
+    };
+    const std::vector<int> first = run(7);
+    const std::vector<int> second = run(7);
+    EXPECT_EQ(first, second);     // same seed: bitwise replay
+    EXPECT_FALSE(first.empty());  // period 5 over 200 visits must fire
+    EXPECT_LT(first.size(), 200u);
+    EXPECT_NE(run(8), first);     // different seed: different pattern
+}
+
+TEST_F(FaultInjectionTest, KnownSitesListsTheCompiledPoints)
+{
+    const std::vector<std::string> sites = fault::KnownSites();
+    EXPECT_GE(sites.size(), 10u);
+    auto has = [&](const std::string& s) {
+        return std::find(sites.begin(), sites.end(), s) != sites.end();
+    };
+    EXPECT_TRUE(has("mip.simplex.pivot"));
+    EXPECT_TRUE(has("seg.dp.cuts"));
+    EXPECT_TRUE(has("cost.compute"));
+    EXPECT_TRUE(has("pool.task"));
+    EXPECT_TRUE(has("autoseg.candidate"));
+}
+
+#endif  // SPA_FAULT_INJECTION
+
+// ------------------------------------------------------- Atomic artifacts
+
+TEST(AtomicSaveTest, WritesFileAndLeavesNoTemp)
+{
+    const std::string path = testing::TempDir() + "spa_atomic_save.json";
+    json::Value doc;
+    doc["answer"] = 42;
+    ASSERT_TRUE(json::SaveFileOr(path, doc).ok());
+
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+
+    StatusOr<json::Value> back = json::LoadFileOr(path);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->At("answer").AsInt(), 42);
+    std::remove(path.c_str());
+}
+
+TEST(AtomicSaveTest, UnwritableDirectoryReportsIoError)
+{
+    json::Value doc;
+    doc["x"] = 1;
+    const Status s =
+        json::SaveFileOr("/nonexistent-dir-spa/out.json", doc);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(AtomicSaveTest, MissingFileIsIoErrorMalformedIsInvalidArgument)
+{
+    EXPECT_EQ(json::LoadFileOr("/nonexistent-spa.json").status().code(),
+              StatusCode::kIoError);
+
+    const std::string path = testing::TempDir() + "spa_malformed.json";
+    {
+        std::ofstream out(path);
+        out << "{\"a\": [1, 2,,]}";
+    }
+    StatusOr<json::Value> r = json::LoadFileOr(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("byte offset"), std::string::npos)
+        << r.status().message();
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------- Robust segmentation chain
+
+TEST(RobustSegmentationTest, RejectsImpossibleShapesCleanly)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    EXPECT_EQ(seg::SolveSegmentationRobust(w, 0, 2).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(seg::SolveSegmentationRobust(w, 2, 0).status().code(),
+              StatusCode::kInvalidArgument);
+    // More segment-slots than layers: infeasible, not fatal.
+    EXPECT_EQ(
+        seg::SolveSegmentationRobust(w, w.NumLayers(), 2).status().code(),
+        StatusCode::kInfeasible);
+}
+
+TEST(RobustSegmentationTest, HealthyPathMatchesLegacyCandidates)
+{
+    // (2, 2) lands in the exhaustive tier on AlexNet; (4, 2) is big
+    // enough to skip it yet small enough for the MIP tier.
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    for (const auto& [S, N] : {std::pair{2, 2}, std::pair{4, 2}}) {
+        const auto legacy = seg::SolveSegmentationCandidates(w, S, N);
+        auto robust = seg::SolveSegmentationRobust(w, S, N);
+        ASSERT_TRUE(robust.ok());
+        ASSERT_EQ(robust->candidates.size(), legacy.size());
+        for (size_t i = 0; i < legacy.size(); ++i) {
+            EXPECT_EQ(robust->candidates[i].segment_of, legacy[i].segment_of);
+            EXPECT_EQ(robust->candidates[i].pu_of, legacy[i].pu_of);
+        }
+        EXPECT_EQ(robust->fallbacks, 0);
+    }
+}
+
+#ifdef SPA_FAULT_INJECTION
+
+TEST(RobustSegmentationTest, MipFaultFallsBackToDp)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    fault::SetEnabled(true);
+    fault::Arm("seg.mip.solve", 3, 1);
+    auto outcome = seg::SolveSegmentationRobust(w, 4, 2);
+    fault::DisarmAll();
+    fault::SetEnabled(false);
+
+    // AlexNet at (4, 2) skips the exhaustive tier but fits the MIP
+    // tier (L*(S+N) = 48 binaries), so the armed
+    // fault must force a counted downgrade -- and the DP tier still
+    // delivers candidates.
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome->candidates.empty());
+    EXPECT_GE(outcome->fallbacks, 1);
+    EXPECT_EQ(outcome->tier, seg::SegmenterTier::kDp);
+}
+
+#endif  // SPA_FAULT_INJECTION
+
+TEST(RobustSegmentationTest, ExhaustedDeadlineSkipsMipTier)
+{
+    nn::Workload w = nn::ExtractWorkload(nn::BuildAlexNet());
+    seg::SegmenterOptions options;
+    options.deadline = Deadline::AfterTicks(0);
+    auto outcome = seg::SolveSegmentationRobust(w, 4, 2, options);
+    // DP (which holds no budget) still provides candidates; the missed
+    // MIP attempt is a recorded fallback.
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome->candidates.empty());
+    EXPECT_GE(outcome->fallbacks, 1);
+}
+
+}  // namespace
+}  // namespace spa

@@ -48,6 +48,11 @@ PrintUsage()
         "               [--jobs N]                    parallel evaluation width\n"
         "                                             (default: hardware)\n"
         "               [--record out.json]           design record\n"
+        "               [--checkpoint ck.json]        crash-safe search checkpoint\n"
+        "               [--checkpoint-every N]        pairs between checkpoints\n"
+        "               [--resume ck.json]            continue a killed search\n"
+        "               [--max-pairs N]               stop after N (S, N) pairs\n"
+        "               [--deadline-s SEC]            wall-clock search budget\n"
         "               [--dot out.dot]               segmentation graph\n"
         "               [--rtl out_dir/]              SystemVerilog bundle\n"
         "               [--profile]                   per-layer profile table\n"
@@ -95,9 +100,19 @@ main(int argc, char** argv)
         return 1;
     }
 
-    nn::Graph graph = args.count("model-json")
-                          ? nn::LoadGraph(args["model-json"])
-                          : nn::BuildModel(args["model"]);
+    nn::Graph graph("empty");
+    if (args.count("model-json")) {
+        // Malformed model files get one diagnostic line (with the byte
+        // offset for syntax errors) and a clean nonzero exit.
+        StatusOr<nn::Graph> loaded = nn::LoadGraphOr(args["model-json"]);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+            return 1;
+        }
+        graph = std::move(*loaded);
+    } else {
+        graph = nn::BuildModel(args["model"]);
+    }
     nn::Workload workload = nn::ExtractWorkload(graph);
     const hw::Platform platform =
         hw::PlatformByName(args.count("platform") ? args["platform"] : "eyeriss");
@@ -115,6 +130,16 @@ main(int argc, char** argv)
     autoseg::CoDesignOptions options;
     if (args.count("jobs"))
         options.jobs = std::stoi(args["jobs"]);
+    if (args.count("checkpoint"))
+        options.checkpoint_path = args["checkpoint"];
+    if (args.count("checkpoint-every"))
+        options.checkpoint_every = std::stoi(args["checkpoint-every"]);
+    if (args.count("resume"))
+        options.resume_path = args["resume"];
+    if (args.count("max-pairs"))
+        options.max_pairs = std::stoll(args["max-pairs"]);
+    if (args.count("deadline-s"))
+        options.deadline = Deadline::AfterSeconds(std::stod(args["deadline-s"]));
     if (args.count("pus")) {
         options.pu_candidates.clear();
         const std::string& list = args["pus"];
@@ -169,6 +194,11 @@ main(int argc, char** argv)
         run["jobs"] = engine.evaluator().jobs();
         run["wall_seconds"] = run_seconds;
         run["ok"] = result.ok;
+        run["status"] = result.status.ToString();
+        run["truncated"] = result.truncated;
+        run["pairs_failed"] = result.pairs_failed;
+        run["fallbacks"] = result.fallbacks;
+        run["failed_candidates"] = result.failed_candidates;
         if (result.ok)
             run["goal_value"] = result.GoalValue(goal);
         // Best-so-far trajectory over the explored (S, N) records, in
@@ -198,6 +228,21 @@ main(int argc, char** argv)
         top["stats"] = obs::Registry::Default().ToJson();
         json::SaveFile(args["stats-out"], json::Value(std::move(top)));
         std::fprintf(stderr, "stats:      %s\n", args["stats-out"].c_str());
+    }
+    if (!result.status.ok()) {
+        // A degraded-but-successful run reports its first failure and
+        // continues; a failed run exits nonzero with the same line.
+        std::fprintf(stderr, "search degraded: %s\n",
+                     result.status.ToString().c_str());
+    }
+    if (result.fallbacks > 0 || result.failed_candidates > 0 ||
+        result.pairs_failed > 0) {
+        std::fprintf(stderr,
+                     "search health: %d solver fallbacks, %d candidates "
+                     "skipped, %d pairs failed%s\n",
+                     result.fallbacks, result.failed_candidates,
+                     result.pairs_failed,
+                     result.truncated ? ", walk truncated" : "");
     }
     if (!result.ok) {
         std::fprintf(stderr, "no feasible SPA design for %s on %s\n",

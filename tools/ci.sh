@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local CI: tier-1 build + tests, then the sanitizer presets over the
+# robustness- and concurrency-sensitive suites (which include the
+# fault-injection sweep and checkpoint/resume tests).
+#
+# Usage: tools/ci.sh [tier1|asan|tsan|all]   (default: all)
+#   JOBS=<n> overrides the parallel width.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+run_preset() {
+    local preset="$1"
+    echo "==== [$preset] configure + build"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$JOBS"
+    echo "==== [$preset] ctest"
+    ctest --preset "$preset" -j "$JOBS"
+}
+
+case "$STAGE" in
+  tier1) run_preset default ;;
+  asan)  run_preset asan ;;
+  tsan)  run_preset tsan ;;
+  all)
+    run_preset default
+    run_preset asan
+    run_preset tsan
+    ;;
+  *)
+    echo "unknown stage '$STAGE' (want tier1|asan|tsan|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "==== ci.sh: all requested stages passed"
