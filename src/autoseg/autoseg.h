@@ -12,131 +12,25 @@
  * user's goal (latency or throughput). No iterative loop couples the
  * two stages: segmentation results are reused across budgets.
  *
- * Candidate (S, N) evaluations fan out over the eval::Evaluator's
- * thread pool; the argmin reduction runs on the caller in enumeration
- * order, so results (including the `explored` record order) are
- * bitwise-identical to a serial run for any jobs value.
- *
- * It also implements the Sec. VI-F generality mode: remapping a new
- * model onto an existing SPA accelerator, keeping the hardware fixed
- * and constraining inter-PU traffic to the pruned fabric.
+ * The search implementation lives in autoseg::Session (session.h),
+ * which serves any number of requests against shared caches. Engine is
+ * the historical one-shot facade: fixed options at construction, one
+ * call per result, bitwise-identical to pre-Session behavior.
  */
 
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "alloc/allocator.h"
-#include "common/deadline.h"
-#include "common/status.h"
-#include "eval/evaluator.h"
-#include "eval/seg_cache.h"
-#include "hw/platform.h"
-#include "noc/benes.h"
-#include "nn/workload.h"
-#include "seg/assignment.h"
-#include "seg/segmenter.h"
+#include "autoseg/session.h"
 
 namespace spa {
 namespace autoseg {
 
-/**
- * Cross-budget segmentation memo (now thread-safe and shared with the
- * evaluation layer; kept under its historical name for call sites).
- */
-using SegmentationCache = eval::SegmentationCache;
-
-/** One explored (S, N) candidate, for method-comparison plots. */
-struct CandidateRecord
-{
-    int num_segments = 0;
-    int num_pus = 0;
-    bool feasible = false;
-    double latency_seconds = 0.0;
-    double throughput_fps = 0.0;
-    double min_ctc = 0.0;
-    double sod = 0.0;
-    /** Highest solver tier that contributed this pair's candidates. */
-    seg::SegmenterTier tier = seg::SegmenterTier::kDp;
-    /** Solver-tier downgrades taken while segmenting this pair. */
-    int fallbacks = 0;
-    /** Candidate evaluations lost to faults (skipped, not fatal). */
-    int failed_candidates = 0;
-    /**
-     * First failure observed while evaluating this pair. May coexist
-     * with feasible=true: the pair degraded (some candidates lost) but
-     * the survivors still produced a design.
-     */
-    Status status;
-};
-
-/** Final co-design outcome. */
-struct CoDesignResult
-{
-    bool ok = false;
-    seg::Assignment assignment;
-    seg::SegmentMetrics metrics;
-    alloc::AllocationResult alloc;
-    std::vector<CandidateRecord> explored;
-
-    /**
-     * Degradation summary. `status` stays OK on a clean run; a search
-     * that lost work to faults, ran out of budget, or could not read
-     * its resume file reports the first such condition here while still
-     * returning the best design found (ok may be true alongside a
-     * non-OK status).
-     */
-    Status status;
-    /** The (S, N) walk stopped early (max_pairs or deadline). */
-    bool truncated = false;
-    /** Pairs whose evaluation failed outright. */
-    int pairs_failed = 0;
-    /** Total solver-tier downgrades across pairs. */
-    int fallbacks = 0;
-    /** Total candidate evaluations skipped due to faults. */
-    int failed_candidates = 0;
-
-    /** Goal value (seconds for latency designs, 1/fps for throughput). */
-    double GoalValue(alloc::DesignGoal goal) const;
-};
-
-/** Engine knobs. */
-struct CoDesignOptions
-{
-    std::vector<int> pu_candidates{1, 2, 3, 4, 6, 8};
-    int max_segments = 16;
-    /** Extra segment-count candidates besides the built-in spread. */
-    std::vector<int> extra_segment_candidates;
-    /** Parallel evaluation width; <= 0 means hardware concurrency. */
-    int jobs = 0;
-
-    // ---- Robustness / resumability knobs. ----
-
-    /** When set, Run() checkpoints its frontier here (atomic writes). */
-    std::string checkpoint_path;
-    /** Pairs evaluated between checkpoints. */
-    int checkpoint_every = 8;
-    /** When set, Run() restores completed pairs from this checkpoint. */
-    std::string resume_path;
-    /**
-     * Stop after this many (S, N) pairs have results (including
-     * resumed ones); < 0 means no cap. The result is marked truncated.
-     */
-    int64_t max_pairs = -1;
-    /** Search budget; consulted between pairs and inside sub-solvers. */
-    Deadline deadline;
-    /** Branch-and-bound node budget handed to the MIP segmenter. */
-    int64_t mip_node_budget = 4000;
-};
-
-/** The co-design engine. */
+/** The one-shot co-design engine (a Session with fixed options). */
 class Engine
 {
   public:
     explicit Engine(const cost::CostModel& cost_model,
                     CoDesignOptions options = CoDesignOptions())
         : options_(std::move(options)),
-          evaluator_(cost_model, eval::EvalOptions{options_.jobs, true})
+          session_(cost_model, SessionOptions{options_.jobs, true})
     {
     }
 
@@ -144,9 +38,13 @@ class Engine
      * Full AutoSeg run: segmentation x allocation over (S, N).
      * @param cache optional cross-budget segmentation memo.
      */
-    CoDesignResult Run(const nn::Workload& w, const hw::Platform& budget,
-                       alloc::DesignGoal goal,
-                       SegmentationCache* cache = nullptr) const;
+    CoDesignResult
+    Run(const nn::Workload& w, const hw::Platform& budget,
+        alloc::DesignGoal goal, SegmentationCache* cache = nullptr) const
+    {
+        return session_.Run(w, budget, goal, options_,
+                            SessionCaches{cache, nullptr});
+    }
 
     /**
      * Generality mode (Sec. VI-F): maps `w` onto an existing design.
@@ -154,32 +52,27 @@ class Engine
      * are swept; comm patterns must route on `fabric` restricted to
      * `allowed_links` (the pruned network of the dedicated model).
      */
-    CoDesignResult Remap(const nn::Workload& w, const hw::SpaConfig& config,
-                         const noc::BenesNetwork& fabric,
-                         const std::vector<std::array<bool, 2>>& allowed_links,
-                         alloc::DesignGoal goal) const;
+    CoDesignResult
+    Remap(const nn::Workload& w, const hw::SpaConfig& config,
+          const noc::BenesNetwork& fabric,
+          const std::vector<std::array<bool, 2>>& allowed_links,
+          alloc::DesignGoal goal) const
+    {
+        return session_.Remap(w, config, fabric, allowed_links, goal,
+                              options_);
+    }
 
-    const alloc::Allocator& allocator() const { return evaluator_.allocator(); }
+    const alloc::Allocator& allocator() const { return session_.allocator(); }
 
     /** The shared evaluation layer this engine runs on. */
-    const eval::Evaluator& evaluator() const { return evaluator_; }
+    const eval::Evaluator& evaluator() const { return session_.evaluator(); }
+
+    /** The underlying session (shared caches, per-request options). */
+    const Session& session() const { return session_; }
 
   private:
-    /** Outcome of one fully-evaluated (S, N) pair. */
-    struct PairOutcome
-    {
-        CandidateRecord record;
-        std::optional<CoDesignResult> best;
-    };
-
-    std::vector<int> SegmentCandidates(int num_layers, int num_pus) const;
-
-    PairOutcome EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
-                             alloc::DesignGoal goal, SegmentationCache* cache,
-                             int num_segments, int num_pus) const;
-
     CoDesignOptions options_;
-    eval::Evaluator evaluator_;
+    Session session_;
 };
 
 }  // namespace autoseg

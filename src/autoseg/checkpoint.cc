@@ -15,7 +15,7 @@ const StatusCode kAllCodes[] = {
     StatusCode::kIterLimit,    StatusCode::kNodeLimit,
     StatusCode::kDeadlineExceeded, StatusCode::kNumerical,
     StatusCode::kFaultInjected,    StatusCode::kIoError,
-    StatusCode::kInternal,
+    StatusCode::kInternal,         StatusCode::kUnavailable,
 };
 
 const seg::SegmenterTier kAllTiers[] = {

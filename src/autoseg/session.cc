@@ -1,6 +1,7 @@
-#include "autoseg/autoseg.h"
+#include "autoseg/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 
@@ -16,6 +17,8 @@ namespace spa {
 namespace autoseg {
 
 namespace {
+
+constexpr const char* kWarmCacheFormat = "spa.autoseg.warmcache.v1";
 
 /** Engine-wide search counters, registered once per process. */
 struct EngineStats
@@ -50,6 +53,60 @@ struct EngineStats
     }
 };
 
+const seg::SegmenterTier kAllTiers[] = {
+    seg::SegmenterTier::kExhaustive,
+    seg::SegmenterTier::kMip,
+    seg::SegmenterTier::kDp,
+    seg::SegmenterTier::kGreedy,
+};
+
+bool
+ParseTierName(const std::string& name, seg::SegmenterTier& out)
+{
+    for (seg::SegmenterTier tier : kAllTiers) {
+        if (name == seg::SegmenterTierName(tier)) {
+            out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+json::Value
+AssignmentToJson(const seg::Assignment& a)
+{
+    json::Value out;
+    out["num_segments"] = a.num_segments;
+    out["num_pus"] = a.num_pus;
+    json::Array segment_of;
+    for (int s : a.segment_of)
+        segment_of.push_back(json::Value(s));
+    json::Array pu_of;
+    for (int p : a.pu_of)
+        pu_of.push_back(json::Value(p));
+    out["segment_of"] = json::Value(std::move(segment_of));
+    out["pu_of"] = json::Value(std::move(pu_of));
+    return out;
+}
+
+Status
+AssignmentFromJson(const json::Value& v, seg::Assignment& out)
+{
+    if (!v.IsObject() || !v.Has("segment_of") || !v.Has("pu_of"))
+        return InvalidArgument("warm cache: malformed assignment");
+    out.num_segments = static_cast<int>(v.GetInt("num_segments", 0));
+    out.num_pus = static_cast<int>(v.GetInt("num_pus", 0));
+    out.segment_of.clear();
+    out.pu_of.clear();
+    for (const json::Value& s : v.At("segment_of").AsArray())
+        out.segment_of.push_back(static_cast<int>(s.AsInt()));
+    for (const json::Value& p : v.At("pu_of").AsArray())
+        out.pu_of.push_back(static_cast<int>(p.AsInt()));
+    if (out.segment_of.size() != out.pu_of.size())
+        return InvalidArgument("warm cache: assignment length skew");
+    return Status::Ok();
+}
+
 }  // namespace
 
 double
@@ -62,26 +119,68 @@ CoDesignResult::GoalValue(alloc::DesignGoal goal) const
                : (alloc.throughput_fps > 0.0 ? 1.0 / alloc.throughput_fps : 1e30);
 }
 
-std::vector<int>
-Engine::SegmentCandidates(int num_layers, int num_pus) const
+Session::Session(const cost::CostModel& cost_model, SessionOptions options)
+    : evaluator_(cost_model,
+                 eval::EvalOptions{options.jobs, options.memoize_cost})
 {
-    const int max_s = std::min(options_.max_segments,
+}
+
+std::string
+Session::WorkloadFingerprint(const nn::Workload& w)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](int64_t v) {
+        h ^= static_cast<uint64_t>(v);
+        h *= 0x100000001b3ULL;
+    };
+    mix(w.bytes_per_elem);
+    for (const nn::WorkloadLayer& l : w.layers) {
+        mix(l.cin);
+        mix(l.hin);
+        mix(l.win);
+        mix(l.cout);
+        mix(l.hout);
+        mix(l.wout);
+        mix(l.kernel);
+        mix(l.stride);
+        mix(l.groups);
+        mix(l.is_fc ? 1 : 0);
+        mix(l.is_depthwise ? 1 : 0);
+    }
+    for (const nn::WorkloadEdge& e : w.edges) {
+        mix(e.src);
+        mix(e.dst);
+        mix(e.bytes);
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return w.name + "#" + std::to_string(w.NumLayers()) + "#" + buf;
+}
+
+std::vector<int>
+Session::SegmentCandidates(int num_layers, int num_pus,
+                           const CoDesignOptions& search) const
+{
+    const int max_s = std::min(search.max_segments,
                                std::max(1, num_layers / std::max(1, num_pus)));
     std::set<int> candidates;
     for (int s : {1, 2, 3, 4, 6, 8, 12, 16})
         if (s <= max_s)
             candidates.insert(s);
     candidates.insert(max_s);
-    for (int s : options_.extra_segment_candidates)
+    for (int s : search.extra_segment_candidates)
         if (s >= 1 && s <= max_s)
             candidates.insert(s);
     return {candidates.begin(), candidates.end()};
 }
 
-Engine::PairOutcome
-Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
-                     alloc::DesignGoal goal, SegmentationCache* cache,
-                     int num_segments, int num_pus) const
+Session::PairOutcome
+Session::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
+                      alloc::DesignGoal goal, const CoDesignOptions& search,
+                      const SessionCaches& caches,
+                      const std::string& fingerprint, int num_segments,
+                      int num_pus) const
 {
     SPA_TRACE_SCOPE("autoseg", "pair S=" + std::to_string(num_segments) +
                                     " N=" + std::to_string(num_pus));
@@ -98,17 +197,27 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
 
     // Candidate assignments for this (S, N): different pow2-friendly
     // distribution shapes; the allocator decides which one the budget
-    // realizes best. The cache keeps the shape list's best-scoring
-    // member to seed other budgets.
+    // realizes best. The outcome cache replays a complete prior solve;
+    // the seed cache keeps only the best-scoring member to seed other
+    // budgets.
     std::vector<seg::Assignment> candidates;
+    const OutcomeCache::Key outcome_key{fingerprint, num_segments, num_pus,
+                                        search.mip_node_budget};
+    seg::SegmentationOutcome cached_outcome;
     std::optional<seg::Assignment> cached;
-    if (cache != nullptr && cache->Lookup(w.name, num_segments, num_pus, cached)) {
+    if (caches.outcomes != nullptr &&
+        caches.outcomes->Lookup(outcome_key, cached_outcome)) {
+        candidates = std::move(cached_outcome.candidates);
+        record.tier = cached_outcome.tier;
+        record.fallbacks = cached_outcome.fallbacks;
+    } else if (caches.seed != nullptr &&
+               caches.seed->Lookup(w.name, num_segments, num_pus, cached)) {
         if (cached.has_value())
             candidates.push_back(*cached);
     } else {
         seg::SegmenterOptions seg_options;
-        seg_options.mip_node_budget = options_.mip_node_budget;
-        seg_options.deadline = options_.deadline;
+        seg_options.mip_node_budget = search.mip_node_budget;
+        seg_options.deadline = search.deadline;
         StatusOr<seg::SegmentationOutcome> seg =
             seg::SolveSegmentationRobust(w, num_segments, num_pus, seg_options);
         if (!seg.ok()) {
@@ -119,14 +228,24 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
         candidates = std::move(seg->candidates);
         record.tier = seg->tier;
         record.fallbacks = seg->fallbacks;
-        if (cache != nullptr) {
-            cache->Store(w.name, num_segments, num_pus,
-                         candidates.empty()
-                             ? std::nullopt
-                             : std::optional<seg::Assignment>(candidates.front()));
+        if (caches.outcomes != nullptr) {
+            // Store (the cache itself refuses degraded outcomes) so a
+            // repeat request replays this exact candidate list.
+            seg::SegmentationOutcome to_cache;
+            to_cache.candidates = candidates;
+            to_cache.tier = seg->tier;
+            to_cache.fallbacks = seg->fallbacks;
+            caches.outcomes->Store(outcome_key, to_cache);
         }
-        // The cache keeps only the first candidate; evaluate all of
-        // them this time around.
+        if (caches.seed != nullptr) {
+            caches.seed->Store(
+                w.name, num_segments, num_pus,
+                candidates.empty()
+                    ? std::nullopt
+                    : std::optional<seg::Assignment>(candidates.front()));
+        }
+        // The seed cache keeps only the first candidate; evaluate all
+        // of them this time around.
     }
     if (candidates.empty()) {
         stats.pairs_infeasible->Inc();
@@ -175,8 +294,9 @@ Engine::EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
 }
 
 CoDesignResult
-Engine::Run(const nn::Workload& w, const hw::Platform& budget,
-            alloc::DesignGoal goal, SegmentationCache* cache) const
+Session::Run(const nn::Workload& w, const hw::Platform& budget,
+             alloc::DesignGoal goal, const CoDesignOptions& search,
+             const SessionCaches& caches) const
 {
     SPA_TRACE_SCOPE("autoseg", "run " + w.name + " @ " + budget.name);
     // Enumerate every (S, N) pair up front, then fan the independent
@@ -189,24 +309,27 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
         int num_pus;
     };
     std::vector<Pair> pairs;
-    for (int num_pus : options_.pu_candidates) {
+    for (int num_pus : search.pu_candidates) {
         if (num_pus > w.NumLayers())
             continue;
-        for (int num_segments : SegmentCandidates(w.NumLayers(), num_pus))
+        for (int num_segments :
+             SegmentCandidates(w.NumLayers(), num_pus, search))
             pairs.push_back({num_segments, num_pus});
     }
 
     CoDesignResult best;
     const std::string goal_name =
         goal == alloc::DesignGoal::kThroughput ? "throughput" : "latency";
+    const std::string fingerprint =
+        caches.outcomes != nullptr ? WorkloadFingerprint(w) : std::string();
 
     // One pair, hardened: an injected fault (or any escaped exception)
     // fails that pair alone, never the walk.
     auto eval_pair = [&](int64_t i) -> PairOutcome {
         const Pair& p = pairs[static_cast<size_t>(i)];
         try {
-            return EvaluatePair(w, budget, goal, cache, p.num_segments,
-                                p.num_pus);
+            return EvaluatePair(w, budget, goal, search, caches, fingerprint,
+                                p.num_segments, p.num_pus);
         } catch (const fault::InjectedFault& e) {
             PairOutcome o;
             o.record.num_segments = p.num_segments;
@@ -224,8 +347,8 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
 
     std::vector<PairOutcome> outcomes;
     const bool incremental =
-        !options_.checkpoint_path.empty() || !options_.resume_path.empty() ||
-        options_.max_pairs >= 0 || !options_.deadline.unlimited();
+        !search.checkpoint_path.empty() || !search.resume_path.empty() ||
+        search.max_pairs >= 0 || !search.deadline.unlimited();
     if (!incremental) {
         // The historical one-shot walk: one batch over every pair.
         try {
@@ -245,9 +368,8 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
         // pair's outcome is independent -- so the final result matches
         // the one-shot walk bitwise.
         size_t done = 0;
-        if (!options_.resume_path.empty()) {
-            StatusOr<EngineCheckpoint> ck =
-                LoadCheckpoint(options_.resume_path);
+        if (!search.resume_path.empty()) {
+            StatusOr<EngineCheckpoint> ck = LoadCheckpoint(search.resume_path);
             if (!ck.ok()) {
                 best.status = ck.status();
                 return best;
@@ -262,7 +384,7 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
             }
             if (!matches) {
                 best.status = InvalidArgument(
-                    options_.resume_path +
+                    search.resume_path +
                     ": checkpoint belongs to a different search "
                     "(model/platform/goal/pair walk mismatch)");
                 return best;
@@ -289,13 +411,17 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
         }
 
         size_t limit = pairs.size();
-        if (options_.max_pairs >= 0)
-            limit = std::min(limit, static_cast<size_t>(options_.max_pairs));
+        if (search.max_pairs >= 0)
+            limit = std::min(limit, static_cast<size_t>(search.max_pairs));
         const size_t chunk_size =
-            static_cast<size_t>(std::max(1, options_.checkpoint_every));
-        Deadline deadline = options_.deadline;  // copies share the budget
+            static_cast<size_t>(std::max(1, search.checkpoint_every));
+        Deadline deadline = search.deadline;  // copies share the budget
         while (done < limit) {
-            if (deadline.Exhausted()) {
+            // Each chunk costs one tick up front, so a tick budget
+            // bounds the walk even when every sub-solve below stays in
+            // budget-free tiers (tiny instances are solved exhaustively
+            // without ever consulting the deadline).
+            if (deadline.Charge()) {
                 if (best.status.ok())
                     best.status = DeadlineExceeded(
                         "search budget exhausted after " +
@@ -326,7 +452,7 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
                 outcomes.push_back(std::move(o));
             done += chunk;
 
-            if (!options_.checkpoint_path.empty()) {
+            if (!search.checkpoint_path.empty()) {
                 EngineCheckpoint ck;
                 ck.model = w.name;
                 ck.platform = budget.name;
@@ -342,8 +468,7 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
                         entry.best = o.best->assignment;
                     ck.completed.push_back(std::move(entry));
                 }
-                const Status saved =
-                    SaveCheckpoint(options_.checkpoint_path, ck);
+                const Status saved = SaveCheckpoint(search.checkpoint_path, ck);
                 if (!saved.ok()) {
                     // A lost checkpoint degrades resumability, not the
                     // search itself: keep going, surface the Status.
@@ -386,10 +511,10 @@ Engine::Run(const nn::Workload& w, const hw::Platform& budget,
 }
 
 CoDesignResult
-Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
-              const noc::BenesNetwork& fabric,
-              const std::vector<std::array<bool, 2>>& allowed_links,
-              alloc::DesignGoal goal) const
+Session::Remap(const nn::Workload& w, const hw::SpaConfig& config,
+               const noc::BenesNetwork& fabric,
+               const std::vector<std::array<bool, 2>>& allowed_links,
+               alloc::DesignGoal goal, const CoDesignOptions& search) const
 {
     SPA_TRACE_SCOPE("autoseg", "remap " + w.name);
     const int num_pus = config.NumPus();
@@ -411,7 +536,7 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
     };
 
     const std::vector<int> segment_counts =
-        SegmentCandidates(w.NumLayers(), num_pus);
+        SegmentCandidates(w.NumLayers(), num_pus, search);
 
     CoDesignResult best;
     std::vector<PairOutcome> outcomes;
@@ -434,7 +559,8 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                 // constraints").
                 bool any = false;
                 for (const seg::Assignment& assignment :
-                     seg::SolveSegmentationCandidates(w, num_segments, num_pus)) {
+                     seg::SolveSegmentationCandidates(w, num_segments,
+                                                      num_pus)) {
                     if (!routable_on_pruned_fabric(assignment)) {
                         stats.candidates_pruned->Inc();
                         continue;
@@ -475,7 +601,8 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
                         outcome.best = std::move(candidate);
                     }
                 }
-                (record.feasible ? stats.pairs_feasible : stats.pairs_infeasible)
+                (record.feasible ? stats.pairs_feasible
+                                 : stats.pairs_infeasible)
                     ->Inc();
                 return outcome;
             });
@@ -509,6 +636,124 @@ Engine::Remap(const nn::Workload& w, const hw::SpaConfig& config,
         }
     }
     return best;
+}
+
+// ---- Warm-cache persistence. ----
+
+json::Value
+Session::WarmCacheToJson() const
+{
+    json::Value doc;
+    doc["format"] = kWarmCacheFormat;
+
+    json::Array outcomes;
+    for (const OutcomeCache::SnapshotEntry& e : outcome_cache_.Snapshot()) {
+        json::Value jo;
+        jo["workload"] = e.key.workload;
+        jo["s"] = e.key.s;
+        jo["n"] = e.key.n;
+        jo["node_budget"] = e.key.node_budget;
+        jo["tier"] = std::string(seg::SegmenterTierName(e.outcome.tier));
+        json::Array candidates;
+        for (const seg::Assignment& a : e.outcome.candidates)
+            candidates.push_back(AssignmentToJson(a));
+        jo["candidates"] = json::Value(std::move(candidates));
+        outcomes.push_back(std::move(jo));
+    }
+    doc["outcomes"] = json::Value(std::move(outcomes));
+
+    json::Array memo;
+    for (const cost::CostModel::MemoEntry& e :
+         evaluator_.cost_model().MemoSnapshot()) {
+        json::Value jm;
+        jm["cin"] = e.cin;
+        jm["cout"] = e.cout;
+        jm["hout"] = e.hout;
+        jm["wout"] = e.wout;
+        jm["kernel"] = e.kernel;
+        jm["groups"] = e.groups;
+        jm["rows"] = e.rows;
+        jm["cols"] = e.cols;
+        jm["df"] = e.dataflow;
+        jm["cycles"] = e.cycles;
+        memo.push_back(std::move(jm));
+    }
+    doc["cost_memo"] = json::Value(std::move(memo));
+    return doc;
+}
+
+Status
+Session::SaveWarmCache(const std::string& path) const
+{
+    return json::SaveFileOr(path, WarmCacheToJson());
+}
+
+Status
+Session::LoadWarmCache(const std::string& path) const
+{
+    StatusOr<json::Value> doc = json::LoadFileOr(path);
+    if (!doc.ok())
+        return doc.status();
+
+    // Parse everything into local vectors first: a malformed document
+    // must leave the session's caches untouched.
+    std::vector<OutcomeCache::SnapshotEntry> outcomes;
+    std::vector<cost::CostModel::MemoEntry> memo;
+    try {
+        detail::ScopedFailureCapture capture;
+        if (!doc->IsObject() || doc->GetString("format", "") != kWarmCacheFormat)
+            return InvalidArgument(path +
+                                   ": not a spa.autoseg warm-cache file");
+        if (!doc->Has("outcomes") || !doc->At("outcomes").IsArray() ||
+            !doc->Has("cost_memo") || !doc->At("cost_memo").IsArray()) {
+            return InvalidArgument(path +
+                                   ": warm cache missing outcomes/cost_memo");
+        }
+        for (const json::Value& jo : doc->At("outcomes").AsArray()) {
+            if (!jo.IsObject() || !jo.Has("candidates") ||
+                !jo.At("candidates").IsArray()) {
+                return InvalidArgument(path +
+                                       ": warm cache: malformed outcome entry");
+            }
+            OutcomeCache::SnapshotEntry e;
+            e.key.workload = jo.GetString("workload", "");
+            e.key.s = static_cast<int>(jo.GetInt("s", 0));
+            e.key.n = static_cast<int>(jo.GetInt("n", 0));
+            e.key.node_budget = jo.GetInt("node_budget", 0);
+            if (!ParseTierName(jo.GetString("tier", "dp"), e.outcome.tier))
+                return InvalidArgument(path +
+                                       ": warm cache: unknown solver tier");
+            for (const json::Value& jc : jo.At("candidates").AsArray()) {
+                seg::Assignment a;
+                SPA_RETURN_IF_ERROR(AssignmentFromJson(jc, a));
+                e.outcome.candidates.push_back(std::move(a));
+            }
+            outcomes.push_back(std::move(e));
+        }
+        for (const json::Value& jm : doc->At("cost_memo").AsArray()) {
+            if (!jm.IsObject())
+                return InvalidArgument(path +
+                                       ": warm cache: malformed memo entry");
+            cost::CostModel::MemoEntry e;
+            e.cin = jm.GetInt("cin", 0);
+            e.cout = jm.GetInt("cout", 0);
+            e.hout = jm.GetInt("hout", 0);
+            e.wout = jm.GetInt("wout", 0);
+            e.kernel = jm.GetInt("kernel", 0);
+            e.groups = jm.GetInt("groups", 0);
+            e.rows = jm.GetInt("rows", 0);
+            e.cols = jm.GetInt("cols", 0);
+            e.dataflow = static_cast<int>(jm.GetInt("df", 0));
+            e.cycles = jm.GetInt("cycles", 0);
+            memo.push_back(e);
+        }
+    } catch (const CapturedFailure& e) {
+        return InvalidArgument(path + ": warm cache: " + e.what());
+    }
+
+    outcome_cache_.Preload(outcomes);
+    evaluator_.cost_model().MemoPreload(memo);
+    return Status::Ok();
 }
 
 }  // namespace autoseg

@@ -1,0 +1,272 @@
+#ifndef SPA_AUTOSEG_SESSION_H_
+#define SPA_AUTOSEG_SESSION_H_
+
+/**
+ * @file
+ * The long-lived co-design session.
+ *
+ * A Session owns the shared evaluation substrate — the pooled
+ * eval::Evaluator (thread pool, Alg. 1 allocator, sharded compute-cycle
+ * memo) plus a full-outcome segmentation cache — and answers any number
+ * of co-design requests against it. It is the unit of state behind the
+ * `autoseg_served` daemon: concurrent requests from different tenants
+ * run through one Session and share its caches, and the caches can be
+ * serialized to disk ("warm cache") so a restarted daemon answers
+ * repeat workloads from memoized state.
+ *
+ * Determinism contract, extended from the one-shot Engine:
+ *
+ *  - a Run() with empty caches is bitwise-identical to the historical
+ *    Engine::Run for any jobs value;
+ *  - a Run() whose outcome cache hits replays the exact solver outcome
+ *    the cold run computed, so warm answers are bitwise-identical to
+ *    cold ones;
+ *  - only budget-clean solver outcomes are cached, so results never
+ *    depend on which concurrent request's deadline truncated a solve.
+ *
+ * The one-shot Engine (autoseg.h) is now a thin wrapper holding a
+ * private Session plus fixed search options.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "eval/evaluator.h"
+#include "eval/seg_cache.h"
+#include "hw/platform.h"
+#include "json/json.h"
+#include "noc/benes.h"
+#include "nn/workload.h"
+#include "seg/assignment.h"
+#include "seg/segmenter.h"
+
+namespace spa {
+namespace autoseg {
+
+/**
+ * Cross-budget segmentation memo (now thread-safe and shared with the
+ * evaluation layer; kept under its historical name for call sites).
+ */
+using SegmentationCache = eval::SegmentationCache;
+
+/** Full-outcome segmentation memo (the serving-session hot path). */
+using OutcomeCache = eval::SegmentationOutcomeCache;
+
+/** One explored (S, N) candidate, for method-comparison plots. */
+struct CandidateRecord
+{
+    int num_segments = 0;
+    int num_pus = 0;
+    bool feasible = false;
+    double latency_seconds = 0.0;
+    double throughput_fps = 0.0;
+    double min_ctc = 0.0;
+    double sod = 0.0;
+    /** Highest solver tier that contributed this pair's candidates. */
+    seg::SegmenterTier tier = seg::SegmenterTier::kDp;
+    /** Solver-tier downgrades taken while segmenting this pair. */
+    int fallbacks = 0;
+    /** Candidate evaluations lost to faults (skipped, not fatal). */
+    int failed_candidates = 0;
+    /**
+     * First failure observed while evaluating this pair. May coexist
+     * with feasible=true: the pair degraded (some candidates lost) but
+     * the survivors still produced a design.
+     */
+    Status status;
+};
+
+/** Final co-design outcome. */
+struct CoDesignResult
+{
+    bool ok = false;
+    seg::Assignment assignment;
+    seg::SegmentMetrics metrics;
+    alloc::AllocationResult alloc;
+    std::vector<CandidateRecord> explored;
+
+    /**
+     * Degradation summary. `status` stays OK on a clean run; a search
+     * that lost work to faults, ran out of budget, or could not read
+     * its resume file reports the first such condition here while still
+     * returning the best design found (ok may be true alongside a
+     * non-OK status).
+     */
+    Status status;
+    /** The (S, N) walk stopped early (max_pairs or deadline). */
+    bool truncated = false;
+    /** Pairs whose evaluation failed outright. */
+    int pairs_failed = 0;
+    /** Total solver-tier downgrades across pairs. */
+    int fallbacks = 0;
+    /** Total candidate evaluations skipped due to faults. */
+    int failed_candidates = 0;
+
+    /** Goal value (seconds for latency designs, 1/fps for throughput). */
+    double GoalValue(alloc::DesignGoal goal) const;
+};
+
+/** Per-request search knobs (MetaML-style: clients pick budgets per call). */
+struct CoDesignOptions
+{
+    std::vector<int> pu_candidates{1, 2, 3, 4, 6, 8};
+    int max_segments = 16;
+    /** Extra segment-count candidates besides the built-in spread. */
+    std::vector<int> extra_segment_candidates;
+    /**
+     * Parallel evaluation width; <= 0 means hardware concurrency. Read
+     * only at Engine construction — a Session's width is fixed by its
+     * SessionOptions and shared by every request.
+     */
+    int jobs = 0;
+
+    // ---- Robustness / resumability knobs. ----
+
+    /** When set, Run() checkpoints its frontier here (atomic writes). */
+    std::string checkpoint_path;
+    /** Pairs evaluated between checkpoints. */
+    int checkpoint_every = 8;
+    /** When set, Run() restores completed pairs from this checkpoint. */
+    std::string resume_path;
+    /**
+     * Stop after this many (S, N) pairs have results (including
+     * resumed ones); < 0 means no cap. The result is marked truncated.
+     */
+    int64_t max_pairs = -1;
+    /** Search budget; consulted between pairs and inside sub-solvers. */
+    Deadline deadline;
+    /** Branch-and-bound node budget handed to the MIP segmenter. */
+    int64_t mip_node_budget = 4000;
+};
+
+/** Session-lifetime knobs (fixed at construction, shared by requests). */
+struct SessionOptions
+{
+    /** Parallel evaluation width; <= 0 means hardware concurrency. */
+    int jobs = 0;
+    /** Memoize cost-model compute cycles across evaluations. */
+    bool memoize_cost = true;
+};
+
+/** The caches one Run() consults; both optional and independently so. */
+struct SessionCaches
+{
+    /**
+     * Historical cross-budget seed cache: a hit evaluates only the
+     * best-scoring stored candidate (an intended approximation that
+     * lets one segmentation seed other budgets).
+     */
+    SegmentationCache* seed = nullptr;
+    /**
+     * Full-outcome cache: a hit replays the complete solver outcome,
+     * keeping warm results bitwise-identical to cold ones. Consulted
+     * before `seed`.
+     */
+    OutcomeCache* outcomes = nullptr;
+};
+
+/** A persistent co-design session: shared caches, many requests. */
+class Session
+{
+  public:
+    explicit Session(const cost::CostModel& cost_model,
+                     SessionOptions options = SessionOptions());
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /**
+     * Full AutoSeg run: segmentation x allocation over (S, N), under
+     * per-request search options. With empty `caches` this is bitwise-
+     * identical to the one-shot Engine::Run.
+     */
+    CoDesignResult Run(const nn::Workload& w, const hw::Platform& budget,
+                       alloc::DesignGoal goal, const CoDesignOptions& search,
+                       const SessionCaches& caches = SessionCaches()) const;
+
+    /** Run() against this session's own shared outcome cache. */
+    CoDesignResult
+    RunShared(const nn::Workload& w, const hw::Platform& budget,
+              alloc::DesignGoal goal, const CoDesignOptions& search) const
+    {
+        return Run(w, budget, goal, search,
+                   SessionCaches{nullptr, &outcome_cache_});
+    }
+
+    /**
+     * Generality mode (Sec. VI-F): maps `w` onto an existing design.
+     * The PU count and resources are fixed by `config`; segment counts
+     * are swept; comm patterns must route on `fabric` restricted to
+     * `allowed_links` (the pruned network of the dedicated model).
+     */
+    CoDesignResult Remap(const nn::Workload& w, const hw::SpaConfig& config,
+                         const noc::BenesNetwork& fabric,
+                         const std::vector<std::array<bool, 2>>& allowed_links,
+                         alloc::DesignGoal goal,
+                         const CoDesignOptions& search) const;
+
+    /** The shared evaluation layer requests run on. */
+    const eval::Evaluator& evaluator() const { return evaluator_; }
+
+    /** The session-owned full-outcome segmentation cache. */
+    OutcomeCache& outcome_cache() const { return outcome_cache_; }
+
+    const alloc::Allocator& allocator() const { return evaluator_.allocator(); }
+
+    /**
+     * Structural fingerprint of a workload: name plus a hash over the
+     * layer dimensions and edges. Outcome-cache keys use this instead
+     * of the bare model name so two tenants submitting different
+     * models under the same name cannot poison each other's entries.
+     */
+    static std::string WorkloadFingerprint(const nn::Workload& w);
+
+    // ---- Warm-cache persistence. ----
+
+    /**
+     * Serializes the shared state worth keeping across restarts: the
+     * full-outcome segmentation cache and the compute-cycle memo, in
+     * deterministic order.
+     */
+    json::Value WarmCacheToJson() const;
+
+    /** Atomically writes WarmCacheToJson() to `path`. */
+    Status SaveWarmCache(const std::string& path) const;
+
+    /**
+     * Restores a warm-cache file into the session's caches. A torn,
+     * foreign or malformed file reports a Status and leaves the
+     * session's caches untouched (the daemon continues cold).
+     */
+    Status LoadWarmCache(const std::string& path) const;
+
+  private:
+    /** Outcome of one fully-evaluated (S, N) pair. */
+    struct PairOutcome
+    {
+        CandidateRecord record;
+        std::optional<CoDesignResult> best;
+    };
+
+    std::vector<int> SegmentCandidates(int num_layers, int num_pus,
+                                       const CoDesignOptions& search) const;
+
+    PairOutcome EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
+                             alloc::DesignGoal goal,
+                             const CoDesignOptions& search,
+                             const SessionCaches& caches,
+                             const std::string& fingerprint, int num_segments,
+                             int num_pus) const;
+
+    eval::Evaluator evaluator_;
+    mutable OutcomeCache outcome_cache_;
+};
+
+}  // namespace autoseg
+}  // namespace spa
+
+#endif  // SPA_AUTOSEG_SESSION_H_

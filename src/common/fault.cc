@@ -53,6 +53,9 @@ const char* const kKnownSites[] = {
     "pool.task",
     "seg.dp.cuts",
     "seg.mip.solve",
+    "serve.request.parse",
+    "serve.request.run",
+    "serve.warmcache.load",
 };
 
 }  // namespace

@@ -17,6 +17,7 @@ StatusCodeName(StatusCode code)
     case StatusCode::kFaultInjected: return "FAULT_INJECTED";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }

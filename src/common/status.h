@@ -36,6 +36,7 @@ enum class StatusCode
     kFaultInjected,      ///< deterministic fault-injection harness fired
     kIoError,            ///< file could not be read or written
     kInternal,           ///< invariant violated (a bug, surfaced cleanly)
+    kUnavailable,        ///< service at capacity / shutting down; retry later
 };
 
 /** Stable upper-case name of a code ("ITER_LIMIT"). */
@@ -76,6 +77,7 @@ inline Status Numerical(std::string m) { return {StatusCode::kNumerical, std::mo
 inline Status FaultInjected(std::string m) { return {StatusCode::kFaultInjected, std::move(m)}; }
 inline Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
 inline Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+inline Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
 
 /**
  * A value or the Status explaining why there is none. Construction from

@@ -4,7 +4,10 @@
 #include <array>
 #include <mutex>
 #include <shared_mutex>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/logging.h"
@@ -120,6 +123,30 @@ class ComputeCycleMemo
         return total;
     }
 
+    /** Every (key, cycles) entry across the shards (unordered). */
+    std::vector<std::pair<Key, int64_t>>
+    Entries() const
+    {
+        std::vector<std::pair<Key, int64_t>> out;
+        for (const Shard& shard : shards_) {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            for (const auto& [key, cycles] : shard.entries)
+                out.emplace_back(key, cycles);
+        }
+        return out;
+    }
+
+    /** Bulk insert that bypasses the hit/miss accounting. */
+    void
+    Preload(const std::vector<std::pair<Key, int64_t>>& entries)
+    {
+        for (const auto& [key, cycles] : entries) {
+            Shard& shard = ShardFor(key);
+            std::unique_lock<std::shared_mutex> lock(shard.mutex);
+            shard.entries.emplace(key, cycles);
+        }
+    }
+
     static constexpr size_t kShards = 16;
 
   private:
@@ -230,6 +257,52 @@ int64_t
 CostModel::MemoMisses() const
 {
     return memo_ ? memo_->Misses() : 0;
+}
+
+std::vector<CostModel::MemoEntry>
+CostModel::MemoSnapshot() const
+{
+    std::vector<MemoEntry> out;
+    if (!memo_)
+        return out;
+    for (const auto& [key, cycles] : memo_->Entries()) {
+        MemoEntry e;
+        e.cin = key.cin;
+        e.cout = key.cout;
+        e.hout = key.hout;
+        e.wout = key.wout;
+        e.kernel = key.kernel;
+        e.groups = key.groups;
+        e.rows = key.rows;
+        e.cols = key.cols;
+        e.dataflow = key.df;
+        e.cycles = cycles;
+        out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(), [](const MemoEntry& a, const MemoEntry& b) {
+        return std::tie(a.cin, a.cout, a.hout, a.wout, a.kernel, a.groups,
+                        a.rows, a.cols, a.dataflow) <
+               std::tie(b.cin, b.cout, b.hout, b.wout, b.kernel, b.groups,
+                        b.rows, b.cols, b.dataflow);
+    });
+    return out;
+}
+
+void
+CostModel::MemoPreload(const std::vector<MemoEntry>& entries) const
+{
+    if (!memo_)
+        return;
+    std::vector<std::pair<detail::ComputeCycleMemo::Key, int64_t>> raw;
+    raw.reserve(entries.size());
+    for (const MemoEntry& e : entries) {
+        raw.emplace_back(
+            detail::ComputeCycleMemo::Key{e.cin, e.cout, e.hout, e.wout,
+                                          e.kernel, e.groups, e.rows, e.cols,
+                                          e.dataflow},
+            e.cycles);
+    }
+    memo_->Preload(raw);
 }
 
 int64_t

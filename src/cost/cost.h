@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "hw/config.h"
 #include "hw/tech.h"
@@ -86,6 +87,33 @@ class CostModel
     /** Memo lookups that hit / missed (0 when the memo is disabled). */
     int64_t MemoHits() const;
     int64_t MemoMisses() const;
+
+    /**
+     * One exported memo entry: the full key tuple plus the memoized
+     * cycle count. Used by warm-cache persistence (a served session
+     * snapshots its memo on shutdown and preloads it on restart).
+     */
+    struct MemoEntry
+    {
+        int64_t cin = 0, cout = 0, hout = 0, wout = 0;
+        int64_t kernel = 0, groups = 0, rows = 0, cols = 0;
+        int dataflow = 0;
+        int64_t cycles = 0;
+    };
+
+    /**
+     * All memoized entries in deterministic (key-sorted) order; empty
+     * when the memo is disabled.
+     */
+    std::vector<MemoEntry> MemoSnapshot() const;
+
+    /**
+     * Bulk-inserts exported entries into the shared memo. A no-op when
+     * the memo is disabled. Hit/miss counters are untouched. Entries
+     * must come from the same cost-model formulas (same build), which
+     * the warm-cache format tag enforces at the call site.
+     */
+    void MemoPreload(const std::vector<MemoEntry>& entries) const;
 
     /**
      * Exact systolic compute cycles of the layer on an RxC PU. Matches

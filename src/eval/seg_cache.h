@@ -27,10 +27,12 @@
 #include <shared_mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/fault.h"
 #include "obs/stats.h"
 #include "seg/assignment.h"
+#include "seg/segmenter.h"
 
 namespace spa {
 namespace eval {
@@ -77,6 +79,44 @@ class SegmentationCache
     {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         return entries_.size();
+    }
+
+    // ---- Persistence (warm-cache save/restore across restarts). ----
+
+    /** One exported cache entry. */
+    struct SnapshotEntry
+    {
+        std::string model;
+        int s = 0;
+        int n = 0;
+        std::optional<seg::Assignment> assignment;
+    };
+
+    /** All entries in key order (deterministic, for stable files). */
+    std::vector<SnapshotEntry>
+    Snapshot() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        std::vector<SnapshotEntry> out;
+        out.reserve(entries_.size());
+        for (const auto& [key, assignment] : entries_) {
+            out.push_back({std::get<0>(key), std::get<1>(key),
+                           std::get<2>(key), assignment});
+        }
+        return out;
+    }
+
+    /**
+     * Bulk-restores exported entries under one lock. Existing keys are
+     * overwritten; the effectiveness counters are untouched, so a warm
+     * restart starts its hit/miss accounting from zero.
+     */
+    void
+    Preload(const std::vector<SnapshotEntry>& entries)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        for (const SnapshotEntry& e : entries)
+            entries_[{e.model, e.s, e.n}] = e.assignment;
     }
 
     // ---- Per-instance effectiveness counters. ----
@@ -127,6 +167,166 @@ class SegmentationCache
     mutable std::atomic<int64_t> inserts_{0};
     std::map<std::tuple<std::string, int, int>, std::optional<seg::Assignment>>
         entries_;
+};
+
+/**
+ * Memo of *complete* segmentation-solver outcomes, keyed by
+ * (workload fingerprint, S, N, MIP node budget).
+ *
+ * The single-assignment SegmentationCache above deliberately keeps only
+ * the best-scoring candidate to seed other budgets -- a hit evaluates a
+ * shorter candidate list than a miss, which is the intended cross-budget
+ * approximation. A serving session needs the opposite guarantee: a
+ * repeat request must reproduce the cold run bitwise. This cache stores
+ * the full candidate list plus its provenance (tier, fallbacks), so a
+ * hit replays exactly the solver outcome a miss would compute.
+ *
+ * Two policies keep shared use deterministic across request
+ * interleavings:
+ *
+ *  - only budget-clean outcomes (no forced fallbacks) are stored, so an
+ *    entry is a pure function of its key and never depends on which
+ *    client's deadline happened to truncate the solve;
+ *  - the key carries a structural workload fingerprint, not just the
+ *    model name, so two tenants submitting different models under the
+ *    same name cannot poison each other.
+ */
+class SegmentationOutcomeCache
+{
+  public:
+    /** Cache key; `workload` is a structural fingerprint string. */
+    struct Key
+    {
+        std::string workload;
+        int s = 0;
+        int n = 0;
+        int64_t node_budget = 0;
+
+        bool
+        operator<(const Key& o) const
+        {
+            return std::tie(workload, s, n, node_budget) <
+                   std::tie(o.workload, o.s, o.n, o.node_budget);
+        }
+    };
+
+    /** @return true and fills `out` when a clean outcome is cached. */
+    bool
+    Lookup(const Key& key, seg::SegmentationOutcome& out) const
+    {
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                out = it->second;
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                GlobalCounters().hits->Inc();
+                return true;
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        GlobalCounters().misses->Inc();
+        return false;
+    }
+
+    /**
+     * Stores a solver outcome. Degraded outcomes (forced fallbacks) are
+     * rejected: they reflect one request's budget, not the key.
+     */
+    void
+    Store(const Key& key, const seg::SegmentationOutcome& outcome)
+    {
+        if (outcome.fallbacks != 0)
+            return;
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            entries_[key] = outcome;
+        }
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+        GlobalCounters().inserts->Inc();
+    }
+
+    size_t
+    Size() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    /** One exported entry (for warm-cache persistence). */
+    struct SnapshotEntry
+    {
+        Key key;
+        seg::SegmentationOutcome outcome;
+    };
+
+    /** All entries in key order (deterministic, for stable files). */
+    std::vector<SnapshotEntry>
+    Snapshot() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        std::vector<SnapshotEntry> out;
+        out.reserve(entries_.size());
+        for (const auto& [key, outcome] : entries_)
+            out.push_back({key, outcome});
+        return out;
+    }
+
+    /** Bulk-restores exported entries; counters stay untouched. */
+    void
+    Preload(const std::vector<SnapshotEntry>& entries)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        for (const SnapshotEntry& e : entries) {
+            if (e.outcome.fallbacks == 0)
+                entries_[e.key] = e.outcome;
+        }
+    }
+
+    int64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+    int64_t Inserts() const { return inserts_.load(std::memory_order_relaxed); }
+
+    /** Hits over lookups; 0 before the first lookup. */
+    double
+    HitRate() const
+    {
+        const int64_t hits = Hits();
+        const int64_t total = hits + Misses();
+        return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                         : 0.0;
+    }
+
+  private:
+    struct Counters
+    {
+        obs::Counter* hits;
+        obs::Counter* misses;
+        obs::Counter* inserts;
+    };
+
+    static const Counters&
+    GlobalCounters()
+    {
+        static const Counters counters = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return Counters{
+                r.GetCounter("eval.outcome_cache.hits",
+                             "segmentation-outcome lookups that hit"),
+                r.GetCounter("eval.outcome_cache.misses",
+                             "segmentation-outcome lookups that missed"),
+                r.GetCounter("eval.outcome_cache.inserts",
+                             "segmentation-outcome entries stored"),
+            };
+        }();
+        return counters;
+    }
+
+    mutable std::shared_mutex mutex_;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
+    mutable std::atomic<int64_t> inserts_{0};
+    std::map<Key, seg::SegmentationOutcome> entries_;
 };
 
 }  // namespace eval

@@ -111,6 +111,43 @@ Histogram::max() const
     return v == INT64_MIN ? 0 : v;
 }
 
+double
+Histogram::Percentile(double p) const
+{
+    const int64_t n = count();
+    if (n <= 0)
+        return 0.0;
+    p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    // Rank of the p-th sample, 1-based; walk buckets until reached.
+    const double rank = p * static_cast<double>(n);
+    int64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const int64_t in_bucket = bucket(i);
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            // Interpolate linearly inside [low, high) by the fraction
+            // of the bucket's samples below the rank.
+            const double low = static_cast<double>(BucketLow(i));
+            const double high =
+                i + 1 < kNumBuckets ? static_cast<double>(BucketLow(i + 1))
+                                    : static_cast<double>(max());
+            const double frac =
+                in_bucket > 0
+                    ? (rank - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket)
+                    : 0.0;
+            double v = low + frac * (high - low);
+            // The exact extremes are tracked; never report beyond them.
+            v = std::max(v, static_cast<double>(min()));
+            v = std::min(v, static_cast<double>(max()));
+            return v;
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(max());
+}
+
 void
 Histogram::Reset()
 {

@@ -132,6 +132,15 @@ class Histogram
         return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
     }
 
+    /**
+     * Approximate p-quantile (p in [0, 1]) from the log2 buckets:
+     * linear interpolation inside the bucket holding the p-th sample,
+     * clamped to the exact observed min/max. Good to a factor of two by
+     * construction, which is plenty for service latency dashboards
+     * (p50/p99 of a log2 histogram). 0 when empty.
+     */
+    double Percentile(double p) const;
+
     /** Index of the bucket a sample lands in (exposed for tests). */
     static int BucketIndex(int64_t v);
     /** Inclusive lower edge of bucket i (0 for bucket 0). */

@@ -1,0 +1,101 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spa {
+namespace serve {
+
+Status
+Client::Connect(int port)
+{
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return IoError(std::string("socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const Status status = IoError("connect 127.0.0.1:" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+        Close();
+        return status;
+    }
+    return Status::Ok();
+}
+
+StatusOr<json::Value>
+Client::Call(const json::Value& request)
+{
+    return CallRaw(request.Dump());
+}
+
+StatusOr<json::Value>
+Client::CallRaw(const std::string& line)
+{
+    if (fd_ < 0)
+        return IoError("not connected");
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoError(std::string("send: ") + std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoError(std::string("recv: ") + std::strerror(errno));
+        }
+        if (n == 0) {
+            if (response.empty())
+                return IoError("connection closed before a response");
+            break;  // EOF flushes the final (unterminated) line
+        }
+        bool done = false;
+        for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == '\n') {
+                done = true;
+                break;
+            }
+            response.push_back(buf[i]);
+        }
+        if (done)
+            break;
+    }
+    json::ParseResult parsed = json::Parse(response);
+    if (!parsed.ok)
+        return InvalidArgument("daemon answered non-JSON: " + parsed.error);
+    return parsed.value;
+}
+
+void
+Client::Close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace serve
+}  // namespace spa

@@ -1,0 +1,65 @@
+#ifndef SPA_SERVE_CLIENT_H_
+#define SPA_SERVE_CLIENT_H_
+
+/**
+ * @file
+ * Blocking client for the autoseg_served daemon: connects to the
+ * loopback listener, sends one JSON request per line, reads one JSON
+ * response per line. Used by the autoseg_client tool and the service
+ * test suite; the protocol itself is documented in protocol.h.
+ */
+
+#include <string>
+
+#include "common/status.h"
+#include "json/json.h"
+
+namespace spa {
+namespace serve {
+
+/** One synchronous connection to a running daemon. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { Close(); }
+
+    Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Client&
+    operator=(Client&& other) noexcept
+    {
+        if (this != &other) {
+            Close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Connects to 127.0.0.1:port; kIoError when refused. */
+    Status Connect(int port);
+
+    /**
+     * Sends one request and blocks for its response. kIoError on a
+     * broken connection; kInvalidArgument when the daemon answers with
+     * something that is not JSON (never expected from a healthy one).
+     */
+    StatusOr<json::Value> Call(const json::Value& request);
+
+    /** Raw-line variant, for tests that send deliberately broken bytes. */
+    StatusOr<json::Value> CallRaw(const std::string& line);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void Close();
+
+  private:
+    int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace spa
+
+#endif  // SPA_SERVE_CLIENT_H_

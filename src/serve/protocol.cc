@@ -1,0 +1,272 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+
+#include "autoseg/record.h"
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "nn/loader.h"
+#include "nn/models.h"
+
+namespace spa {
+namespace serve {
+
+namespace {
+
+/** Method-name table, the wire's source of truth. */
+struct MethodName
+{
+    const char* name;
+    Method method;
+};
+
+constexpr MethodName kMethods[] = {
+    {"codesign", Method::kCoDesign}, {"ping", Method::kPing},
+    {"stats", Method::kStats},       {"save_cache", Method::kSaveCache},
+    {"shutdown", Method::kShutdown},
+};
+
+Status
+ParseMethod(const std::string& name, Method& out)
+{
+    for (const MethodName& m : kMethods) {
+        if (name == m.name) {
+            out = m.method;
+            return Status::Ok();
+        }
+    }
+    return InvalidArgument("unknown method '" + name + "'");
+}
+
+/** Builds the workload from "model" (zoo) or "model_json" (inline). */
+Status
+ParseWorkload(const json::Value& doc, nn::Workload& out)
+{
+    const bool has_zoo = doc.Has("model") && doc.At("model").IsString();
+    const bool has_inline = doc.Has("model_json");
+    if (has_zoo == has_inline) {
+        return InvalidArgument(
+            "codesign needs exactly one of 'model' (zoo name) or "
+            "'model_json' (inline description)");
+    }
+    nn::Graph graph("empty");
+    if (has_zoo) {
+        // The zoo frontend fatal()s on unknown names; capture that into
+        // a structured rejection instead of taking the daemon down.
+        try {
+            detail::ScopedFailureCapture capture;
+            graph = nn::BuildModel(doc.At("model").AsString());
+        } catch (const CapturedFailure& e) {
+            return InvalidArgument(std::string("model: ") + e.what());
+        }
+    } else {
+        StatusOr<nn::Graph> loaded = nn::GraphFromJsonOr(doc.At("model_json"));
+        if (!loaded.ok())
+            return loaded.status();
+        graph = std::move(*loaded);
+    }
+    out = nn::ExtractWorkload(graph);
+    if (out.NumLayers() == 0)
+        return InvalidArgument("model has no compute layers");
+    return Status::Ok();
+}
+
+/** Resolves "platform" (one) or "platforms" (a sweep) by Table II name. */
+Status
+ParsePlatforms(const json::Value& doc, std::vector<hw::Platform>& out)
+{
+    std::vector<std::string> names;
+    if (doc.Has("platform") && doc.Has("platforms"))
+        return InvalidArgument(
+            "give either 'platform' or 'platforms', not both");
+    if (doc.Has("platform") && doc.At("platform").IsString()) {
+        names.push_back(doc.At("platform").AsString());
+    } else if (doc.Has("platforms") && doc.At("platforms").IsArray()) {
+        for (const json::Value& v : doc.At("platforms").AsArray()) {
+            if (!v.IsString())
+                return InvalidArgument("'platforms' entries must be strings");
+            names.push_back(v.AsString());
+        }
+    }
+    if (names.empty())
+        return InvalidArgument(
+            "codesign needs 'platform' or a non-empty 'platforms' array");
+    if (names.size() > kMaxPlatforms)
+        return InvalidArgument("too many platforms (max " +
+                               std::to_string(kMaxPlatforms) + ")");
+    for (const std::string& name : names) {
+        try {
+            detail::ScopedFailureCapture capture;
+            out.push_back(hw::PlatformByName(name));
+        } catch (const CapturedFailure& e) {
+            return InvalidArgument(std::string("platform: ") + e.what());
+        }
+    }
+    return Status::Ok();
+}
+
+/** Per-request budget and search knobs onto CoDesignOptions. */
+Status
+ParseSearch(const json::Value& doc, autoseg::CoDesignOptions& out)
+{
+    if (doc.Has("budget")) {
+        const json::Value& b = doc.At("budget");
+        if (!b.IsObject())
+            return InvalidArgument("'budget' must be an object");
+        const int64_t ticks = b.GetInt("deadline_ticks", 0);
+        const double seconds = b.GetDouble("deadline_s", 0.0);
+        if (ticks < 0 || seconds < 0.0)
+            return InvalidArgument("budget deadlines must be non-negative");
+        if (ticks > 0)
+            out.deadline = Deadline::AfterTicks(ticks);
+        else if (seconds > 0.0)
+            out.deadline = Deadline::AfterSeconds(seconds);
+        out.max_pairs = b.GetInt("max_pairs", out.max_pairs);
+        out.mip_node_budget = b.GetInt("mip_node_budget", out.mip_node_budget);
+        if (out.mip_node_budget < 1)
+            return InvalidArgument("mip_node_budget must be >= 1");
+    }
+    if (doc.Has("search")) {
+        const json::Value& s = doc.At("search");
+        if (!s.IsObject())
+            return InvalidArgument("'search' must be an object");
+        if (s.Has("pus")) {
+            if (!s.At("pus").IsArray())
+                return InvalidArgument("'search.pus' must be an array");
+            out.pu_candidates.clear();
+            for (const json::Value& v : s.At("pus").AsArray()) {
+                if (!v.IsNumber() || v.AsInt() < 1 || v.AsInt() > 1024)
+                    return InvalidArgument(
+                        "'search.pus' entries must be in [1, 1024]");
+                out.pu_candidates.push_back(static_cast<int>(v.AsInt()));
+            }
+            if (out.pu_candidates.empty())
+                return InvalidArgument("'search.pus' must be non-empty");
+        }
+        const int64_t max_segments =
+            s.GetInt("max_segments", out.max_segments);
+        if (max_segments < 1 || max_segments > 256)
+            return InvalidArgument("'search.max_segments' must be in [1, 256]");
+        out.max_segments = static_cast<int>(max_segments);
+        if (s.Has("extra_segments")) {
+            if (!s.At("extra_segments").IsArray())
+                return InvalidArgument("'search.extra_segments' must be an array");
+            for (const json::Value& v : s.At("extra_segments").AsArray()) {
+                if (!v.IsNumber())
+                    return InvalidArgument(
+                        "'search.extra_segments' entries must be numbers");
+                out.extra_segment_candidates.push_back(
+                    static_cast<int>(v.AsInt()));
+            }
+        }
+    }
+    // Server-side resource knobs (checkpoint paths, jobs) are not part
+    // of the wire: a remote client must not write the server's disk or
+    // resize its pool.
+    return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Request>
+ParseRequestOr(const std::string& text)
+{
+    SPA_FAULT_POINT("serve.request.parse");
+    if (text.size() > kMaxRequestBytes) {
+        return InvalidArgument("request of " + std::to_string(text.size()) +
+                               " bytes exceeds the " +
+                               std::to_string(kMaxRequestBytes) + "-byte cap");
+    }
+    json::ParseResult parsed = json::Parse(text);
+    if (!parsed.ok) {
+        return InvalidArgument("request JSON: " + parsed.error + " at byte " +
+                               std::to_string(parsed.error_pos));
+    }
+    if (!parsed.value.IsObject())
+        return InvalidArgument("request must be a JSON object");
+
+    Request request;
+    // The whole semantic walk runs under failure capture: any panic a
+    // hostile document provokes in a frontend becomes a rejection.
+    try {
+        detail::ScopedFailureCapture capture;
+        request.id = parsed.value.GetString("id", "");
+        SPA_RETURN_IF_ERROR(ParseMethod(
+            parsed.value.GetString("method", "codesign"), request.method));
+        if (request.method == Method::kCoDesign) {
+            SPA_RETURN_IF_ERROR(ParseWorkload(parsed.value, request.workload));
+            SPA_RETURN_IF_ERROR(ParsePlatforms(parsed.value, request.platforms));
+            const std::string goal =
+                parsed.value.GetString("goal", "latency");
+            if (goal == "throughput")
+                request.goal = alloc::DesignGoal::kThroughput;
+            else if (goal != "latency")
+                return InvalidArgument("goal must be latency or throughput");
+            SPA_RETURN_IF_ERROR(ParseSearch(parsed.value, request.search));
+        }
+    } catch (const CapturedFailure& e) {
+        return InvalidArgument(std::string("request: ") + e.what());
+    }
+    return request;
+}
+
+std::string
+RequestIdOf(const std::string& text)
+{
+    if (text.size() > kMaxRequestBytes)
+        return "";
+    json::ParseResult parsed = json::Parse(text);
+    if (!parsed.ok || !parsed.value.IsObject())
+        return "";
+    return parsed.value.GetString("id", "");
+}
+
+json::Value
+ResultToJson(const nn::Workload& w, const hw::Platform& platform,
+             alloc::DesignGoal goal, const autoseg::CoDesignResult& result)
+{
+    json::Value out;
+    out["platform"] = platform.name;
+    out["ok"] = result.ok;
+    out["status"] = result.status.ToString();
+    out["status_code"] = std::string(StatusCodeName(result.status.code()));
+    out["truncated"] = result.truncated;
+    out["pairs_failed"] = result.pairs_failed;
+    out["fallbacks"] = result.fallbacks;
+    out["failed_candidates"] = result.failed_candidates;
+    out["explored"] = static_cast<int64_t>(result.explored.size());
+    if (result.ok) {
+        out["goal_value"] = result.GoalValue(goal);
+        out["latency_seconds"] = result.alloc.latency_seconds;
+        out["throughput_fps"] = result.alloc.throughput_fps;
+        // The full machine-readable design (assignment, PU hardware,
+        // dataflow, predicted performance) — the same record the CLI
+        // writes, so served and offline flows feed identical tooling.
+        out["design"] = autoseg::RecordToJson(w, result);
+    }
+    return out;
+}
+
+json::Value
+ErrorResponse(const std::string& id, const Status& status)
+{
+    json::Value out;
+    out["id"] = id;
+    out["ok"] = false;
+    out["code"] = std::string(StatusCodeName(status.code()));
+    out["error"] = status.message();
+    return out;
+}
+
+json::Value
+OkResponse(const std::string& id)
+{
+    json::Value out;
+    out["id"] = id;
+    out["ok"] = true;
+    return out;
+}
+
+}  // namespace serve
+}  // namespace spa

@@ -1,0 +1,117 @@
+#ifndef SPA_SERVE_PROTOCOL_H_
+#define SPA_SERVE_PROTOCOL_H_
+
+/**
+ * @file
+ * Wire protocol of the autoseg_served daemon.
+ *
+ * Requests and responses are single-line JSON documents over a byte
+ * stream (newline-delimited; the framing itself lives in server/client).
+ * A request selects a method and, for "codesign", carries the full
+ * co-design problem: the model (zoo name or inline description), one or
+ * more platform budgets, the design goal and per-request search budgets.
+ *
+ * Request shape:
+ *
+ * {
+ *   "id": "r1",                     // echoed back, optional
+ *   "method": "codesign",           // codesign|ping|stats|save_cache|shutdown
+ *   "model": "alexnet",             // zoo name, or:
+ *   "model_json": { ... },          // inline model description (nn/loader.h)
+ *   "platform": "eyeriss",          // one budget, or:
+ *   "platforms": ["eyeriss", ...],  // a sweep (<= kMaxPlatforms)
+ *   "goal": "latency",              // latency|throughput (default latency)
+ *   "budget": {                     // all optional
+ *     "deadline_ticks": 100000,     // deterministic tick budget
+ *     "deadline_s": 2.5,            // wall-clock budget
+ *     "max_pairs": 12,              // stop after this many (S, N) pairs
+ *     "mip_node_budget": 4000
+ *   },
+ *   "search": {                     // all optional
+ *     "pus": [1, 2, 4],
+ *     "max_segments": 16,
+ *     "extra_segments": [5, 7]
+ *   }
+ * }
+ *
+ * Validation is strict and structured: malformed requests come back as
+ * kInvalidArgument with a one-line reason, never a crash — internal
+ * panics from the model/platform frontends are captured and converted.
+ *
+ * Response shape (codesign):
+ *
+ * {"id": "r1", "ok": true, "results": [per-platform entries...]}
+ *
+ * where each entry carries the platform name, the outcome flags, the
+ * goal value and the full design record (autoseg/record.h). Errors:
+ * {"id": "r1", "ok": false, "code": "INVALID_ARGUMENT", "error": "..."}.
+ */
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "autoseg/session.h"
+#include "common/status.h"
+#include "hw/platform.h"
+#include "json/json.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace serve {
+
+/** Requests larger than this are rejected before parsing (1 MiB). */
+constexpr size_t kMaxRequestBytes = size_t{1} << 20;
+
+/** Platform budgets one codesign request may sweep. */
+constexpr size_t kMaxPlatforms = 16;
+
+/** What the client asked the daemon to do. */
+enum class Method
+{
+    kCoDesign,   ///< run the full co-design flow
+    kPing,       ///< liveness probe
+    kStats,      ///< dump the service stats registry
+    kSaveCache,  ///< persist the warm cache now
+    kShutdown,   ///< stop accepting work and exit
+};
+
+/** A validated request, ready to execute. */
+struct Request
+{
+    std::string id;
+    Method method = Method::kPing;
+
+    // codesign payload (empty/default for other methods):
+    nn::Workload workload;
+    std::vector<hw::Platform> platforms;
+    alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    autoseg::CoDesignOptions search;
+};
+
+/**
+ * Parses and validates one request line. Oversized, syntactically
+ * broken or semantically invalid input reports kInvalidArgument (with
+ * the byte offset for syntax errors); unknown models and platforms are
+ * captured from the frontend and reported the same way.
+ */
+StatusOr<Request> ParseRequestOr(const std::string& text);
+
+/** The "id" of a request line, best-effort (for error responses). */
+std::string RequestIdOf(const std::string& text);
+
+/** One platform's entry in a codesign response. */
+json::Value ResultToJson(const nn::Workload& w, const hw::Platform& platform,
+                         alloc::DesignGoal goal,
+                         const autoseg::CoDesignResult& result);
+
+/** {"id": ..., "ok": false, "code": ..., "error": ...} */
+json::Value ErrorResponse(const std::string& id, const Status& status);
+
+/** {"id": ..., "ok": true, ...fields merged in...} */
+json::Value OkResponse(const std::string& id);
+
+}  // namespace serve
+}  // namespace spa
+
+#endif  // SPA_SERVE_PROTOCOL_H_

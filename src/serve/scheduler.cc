@@ -1,0 +1,170 @@
+#include "serve/scheduler.h"
+
+#include "obs/stats.h"
+
+namespace spa {
+namespace serve {
+
+namespace {
+
+/** Scheduler telemetry, registered once per process. */
+struct SchedStats
+{
+    obs::Counter* admitted;
+    obs::Counter* rejected;
+    obs::Counter* completed;
+    obs::Gauge* queue_depth;
+    obs::Gauge* active;
+
+    static const SchedStats&
+    Get()
+    {
+        static const SchedStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return SchedStats{
+                r.GetCounter("serve.sched.admitted", "jobs admitted"),
+                r.GetCounter("serve.sched.rejected",
+                             "jobs rejected by admission control"),
+                r.GetCounter("serve.sched.completed", "jobs finished"),
+                r.GetGauge("serve.sched.queue_depth",
+                           "jobs waiting for a worker (last sample)"),
+                r.GetGauge("serve.sched.active",
+                           "jobs executing (last sample)"),
+            };
+        }();
+        return stats;
+    }
+};
+
+}  // namespace
+
+JobScheduler::JobScheduler(SchedulerOptions options) : options_(options)
+{
+    if (options_.workers < 1)
+        options_.workers = 1;
+    if (options_.max_pending < 0)
+        options_.max_pending = 0;
+}
+
+JobScheduler::~JobScheduler() { Stop(); }
+
+void
+JobScheduler::Start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return;
+    started_ = true;
+    stopping_ = false;
+    workers_.reserve(static_cast<size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+void
+JobScheduler::Stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = false;
+}
+
+Status
+JobScheduler::Submit(std::function<void()> job)
+{
+    const SchedStats& stats = SchedStats::Get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_ || stopping_) {
+            ++rejected_;
+            stats.rejected->Inc();
+            return Unavailable("scheduler is not accepting jobs");
+        }
+        // Capacity check counts queued-but-unclaimed jobs against the
+        // workers that will take them, so a burst between notify and
+        // pickup cannot overshoot workers + max_pending.
+        const size_t in_flight = static_cast<size_t>(active_) + queue_.size();
+        if (in_flight >= static_cast<size_t>(options_.workers) +
+                             static_cast<size_t>(options_.max_pending)) {
+            ++rejected_;
+            stats.rejected->Inc();
+            return Unavailable(
+                "at capacity: " + std::to_string(active_) + " active, " +
+                std::to_string(queue_.size()) + " pending; retry later");
+        }
+        queue_.push_back(std::move(job));
+        ++admitted_;
+        stats.admitted->Inc();
+        stats.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    cv_.notify_one();
+    return Status::Ok();
+}
+
+void
+JobScheduler::WorkerLoop()
+{
+    const SchedStats& stats = SchedStats::Get();
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+            stats.queue_depth->Set(static_cast<double>(queue_.size()));
+            stats.active->Set(static_cast<double>(active_));
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            stats.active->Set(static_cast<double>(active_));
+        }
+        stats.completed->Inc();
+        cv_.notify_all();
+    }
+}
+
+int
+JobScheduler::ActiveJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+int
+JobScheduler::PendingJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(queue_.size());
+}
+
+int64_t
+JobScheduler::Admitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+int64_t
+JobScheduler::Rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+}  // namespace serve
+}  // namespace spa

@@ -1,0 +1,101 @@
+#ifndef SPA_SERVE_SCHEDULER_H_
+#define SPA_SERVE_SCHEDULER_H_
+
+/**
+ * @file
+ * Multi-tenant job scheduler with admission control.
+ *
+ * A fixed crew of worker threads executes opaque jobs (one job = one
+ * client connection) from a bounded queue. Admission is decided at
+ * Submit time: when every worker is busy and the queue is full, the
+ * job is rejected with kUnavailable so the caller can tell the client
+ * to back off — the daemon never builds an unbounded backlog and never
+ * blocks its accept loop on slow tenants.
+ *
+ * Distinct from common/threadpool.h on purpose: the ThreadPool runs
+ * short deterministic batch items and its callers participate; the
+ * scheduler runs long-lived independent jobs (connections) that
+ * themselves fan out onto the ThreadPool. Mixing the two roles in one
+ * pool would let a flood of connections starve the evaluation substrate.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spa {
+namespace serve {
+
+/** Scheduler sizing; both knobs are admission-control policy. */
+struct SchedulerOptions
+{
+    /** Concurrent jobs (worker threads). */
+    int workers = 2;
+    /** Jobs allowed to wait beyond the running ones; 0 = reject unless
+        a worker is free. */
+    int max_pending = 8;
+};
+
+/** Bounded worker crew executing one job per admitted client. */
+class JobScheduler
+{
+  public:
+    explicit JobScheduler(SchedulerOptions options = SchedulerOptions());
+    ~JobScheduler();
+
+    JobScheduler(const JobScheduler&) = delete;
+    JobScheduler& operator=(const JobScheduler&) = delete;
+
+    /** Spawns the worker crew. Idempotent. */
+    void Start();
+
+    /**
+     * Stops admission, finishes the running jobs, drains the (bounded)
+     * queue, joins the crew. Safe to call twice; must not be called
+     * from inside a job.
+     */
+    void Stop();
+
+    /**
+     * Admits `job` for execution, or rejects it: kUnavailable when the
+     * scheduler is stopped/stopping or saturated (all workers busy and
+     * max_pending jobs already waiting). Admitted jobs always run,
+     * even if Stop() arrives first.
+     */
+    Status Submit(std::function<void()> job);
+
+    /** Jobs currently executing. */
+    int ActiveJobs() const;
+    /** Jobs admitted but not yet started. */
+    int PendingJobs() const;
+    /** Lifetime admitted / rejected counts. */
+    int64_t Admitted() const;
+    int64_t Rejected() const;
+
+    const SchedulerOptions& options() const { return options_; }
+
+  private:
+    void WorkerLoop();
+
+    SchedulerOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    bool stopping_ = false;
+    int active_ = 0;
+    int64_t admitted_ = 0;
+    int64_t rejected_ = 0;
+};
+
+}  // namespace serve
+}  // namespace spa
+
+#endif  // SPA_SERVE_SCHEDULER_H_

@@ -1,0 +1,431 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "obs/stats.h"
+
+namespace spa {
+namespace serve {
+
+namespace {
+
+/** Service telemetry, registered once per process. */
+struct ServeStats
+{
+    obs::Counter* connections;
+    obs::Counter* connections_rejected;
+    obs::Counter* requests;
+    obs::Counter* requests_ok;
+    obs::Counter* requests_error;
+    obs::Histogram* request_ns;
+    obs::Histogram* codesign_ns;
+    obs::Gauge* active_sessions;
+
+    static const ServeStats&
+    Get()
+    {
+        static const ServeStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return ServeStats{
+                r.GetCounter("serve.connections", "connections accepted"),
+                r.GetCounter("serve.connections_rejected",
+                             "connections turned away by admission control"),
+                r.GetCounter("serve.requests", "request lines handled"),
+                r.GetCounter("serve.requests_ok", "requests answered ok"),
+                r.GetCounter("serve.requests_error",
+                             "requests answered with an error"),
+                r.GetHistogram("serve.request_ns",
+                               "end-to-end request handling latency"),
+                r.GetHistogram("serve.codesign_ns",
+                               "codesign request handling latency"),
+                r.GetGauge("serve.active_sessions",
+                           "connections being served (last sample)"),
+            };
+        }();
+        return stats;
+    }
+};
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Writes the whole buffer, riding out short writes and EINTR. */
+bool
+WriteAll(int fd, const std::string& data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Reads one newline-terminated line into `line` (newline stripped).
+ * Polls in 100 ms slices so a worker parked on an idle connection
+ * notices `stopping` and lets Stop() join the crew.
+ * @return 1 on a line, 0 on clean EOF before any byte or shutdown,
+ * -1 on error or an oversized line (beyond the request cap plus slack).
+ */
+int
+ReadLine(int fd, const std::atomic<bool>& stopping, std::string& line)
+{
+    line.clear();
+    const size_t cap = kMaxRequestBytes + 4096;
+    char buf[4096];
+    for (;;) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready == 0) {
+            if (stopping.load(std::memory_order_acquire))
+                return 0;
+            continue;
+        }
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return line.empty() ? 0 : 1;  // EOF flushes a final line
+        for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == '\n')
+                return 1;  // bytes after the newline are dropped: one
+                           // request must be answered before the next
+                           // is sent (the protocol is synchronous)
+            line.push_back(buf[i]);
+            if (line.size() > cap)
+                return -1;
+        }
+    }
+}
+
+}  // namespace
+
+Server::Server(const cost::CostModel& cost_model, ServerOptions options,
+               autoseg::SessionOptions session_options)
+    : options_(options),
+      session_(cost_model, session_options),
+      scheduler_(SchedulerOptions{options.workers, options.max_pending})
+{
+}
+
+Server::~Server() { Stop(); }
+
+Status
+Server::Start()
+{
+    if (started_.load(std::memory_order_acquire))
+        return Status::Ok();
+
+    if (!options_.warm_cache_path.empty()) {
+        // Warm start is best-effort: a missing, torn or foreign file
+        // must leave a cold-but-healthy daemon, so the Status is logged
+        // and dropped (LoadWarmCache already guarantees the caches are
+        // untouched on any failure).
+        try {
+            SPA_FAULT_POINT("serve.warmcache.load");
+            const Status loaded =
+                session_.LoadWarmCache(options_.warm_cache_path);
+            if (loaded.ok()) {
+                started_warm_ = true;
+                SPA_INFORM("serve: warm cache restored from ",
+                        options_.warm_cache_path);
+            } else if (loaded.code() != StatusCode::kIoError) {
+                SPA_WARN("serve: warm cache ignored: ", loaded.ToString());
+            }
+        } catch (const std::exception& e) {
+            SPA_WARN("serve: warm cache load failed: ", e.what());
+        }
+    }
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return IoError(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        const Status status =
+            IoError("bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+                    std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return status;
+    }
+    if (::listen(listen_fd_, 64) < 0) {
+        const Status status =
+            IoError(std::string("listen: ") + std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return status;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    scheduler_.Start();
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    started_.store(true, std::memory_order_release);
+    SPA_INFORM("serve: listening on 127.0.0.1:", port_, " (", options_.workers,
+            " workers, ", options_.max_pending, " pending)");
+    return Status::Ok();
+}
+
+void
+Server::Stop()
+{
+    if (!started_.load(std::memory_order_acquire))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    scheduler_.Stop();
+    started_.store(false, std::memory_order_release);
+    if (!options_.warm_cache_path.empty()) {
+        const Status saved = SaveWarmCacheNow();
+        if (saved.ok())
+            SPA_INFORM("serve: warm cache saved to ", options_.warm_cache_path);
+        else
+            SPA_WARN("serve: warm cache save failed: ", saved.ToString());
+    }
+    // Release anyone blocked in WaitForShutdownRequest.
+    shutdown_cv_.notify_all();
+}
+
+Status
+Server::SaveWarmCacheNow() const
+{
+    if (options_.warm_cache_path.empty())
+        return InvalidArgument("no warm_cache_path configured");
+    return session_.SaveWarmCache(options_.warm_cache_path);
+}
+
+void
+Server::WaitForShutdownRequest()
+{
+    // Periodic re-check (not a pure cv wait) so RequestShutdown() can
+    // stay a bare atomic store, callable from a signal handler.
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    while (!shutdown_requested_.load(std::memory_order_acquire) &&
+           started_.load(std::memory_order_acquire)) {
+        shutdown_cv_.wait_for(lock, std::chrono::milliseconds(200));
+    }
+}
+
+void
+Server::AcceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        // poll with a timeout instead of blocking in accept(): Stop()
+        // only has to flip a flag, never races a close() against a
+        // thread parked inside accept().
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const ServeStats& stats = ServeStats::Get();
+        const Status admitted =
+            scheduler_.Submit([this, fd] { ServeConnection(fd); });
+        if (!admitted.ok()) {
+            // Over capacity: tell the client why before hanging up, so
+            // a kUnavailable is distinguishable from a crash.
+            stats.connections_rejected->Inc();
+            WriteAll(fd, ErrorResponse("", admitted).Dump() + "\n");
+            ::close(fd);
+            continue;
+        }
+        stats.connections->Inc();
+    }
+}
+
+void
+Server::ServeConnection(int fd)
+{
+    const ServeStats& stats = ServeStats::Get();
+    stats.active_sessions->Set(
+        static_cast<double>(scheduler_.ActiveJobs()));
+    std::string line;
+    for (;;) {
+        const int got = ReadLine(fd, stopping_, line);
+        if (got == 0)
+            break;
+        if (got < 0) {
+            WriteAll(fd,
+                     ErrorResponse("", InvalidArgument(
+                                           "request line unreadable or "
+                                           "larger than the request cap"))
+                             .Dump() +
+                         "\n");
+            break;
+        }
+        const json::Value response = HandleRequestLine(line);
+        if (!WriteAll(fd, response.Dump() + "\n"))
+            break;
+        // A connection that asked for shutdown is answered, then the
+        // daemon main thread (woken below) tears the service down.
+        if (shutdown_requested_.load(std::memory_order_acquire))
+            break;
+    }
+    ::close(fd);
+    stats.active_sessions->Set(
+        static_cast<double>(scheduler_.ActiveJobs()) - 1.0);
+}
+
+json::Value
+Server::HandleRequestLine(const std::string& line)
+{
+    const ServeStats& stats = ServeStats::Get();
+    const int64_t start_ns = NowNs();
+    stats.requests->Inc();
+
+    json::Value response;
+    try {
+        StatusOr<Request> request = ParseRequestOr(line);
+        if (!request.ok()) {
+            response = ErrorResponse(RequestIdOf(line), request.status());
+        } else {
+            response = Dispatch(*request);
+        }
+    } catch (const fault::InjectedFault& e) {
+        response = ErrorResponse(RequestIdOf(line), FaultInjected(e.what()));
+    } catch (const std::exception& e) {
+        // Nothing below should leak an exception; if something does,
+        // the connection gets a structured kInternal, not a dead socket.
+        response = ErrorResponse(RequestIdOf(line), Internal(e.what()));
+    }
+
+    const int64_t elapsed_ns = NowNs() - start_ns;
+    stats.request_ns->Observe(elapsed_ns);
+    if (response.GetBool("ok", false))
+        stats.requests_ok->Inc();
+    else
+        stats.requests_error->Inc();
+    return response;
+}
+
+json::Value
+Server::Dispatch(const Request& request)
+{
+    switch (request.method) {
+    case Method::kPing: {
+        json::Value response = OkResponse(request.id);
+        response["pong"] = true;
+        return response;
+    }
+    case Method::kStats: {
+        // Refresh the derived gauges so one stats call gives the whole
+        // service picture: pool, caches, scheduler, request latencies.
+        session_.evaluator().FlushStats();
+        obs::Registry& r = obs::Registry::Default();
+        const cost::CostModel& cm = session_.evaluator().cost_model();
+        const int64_t memo_total = cm.MemoHits() + cm.MemoMisses();
+        r.GetGauge("cost.memo.hit_rate",
+                   "hits / lookups of the compute-cycle memo")
+            ->Set(memo_total > 0 ? static_cast<double>(cm.MemoHits()) /
+                                       static_cast<double>(memo_total)
+                                 : 0.0);
+        r.GetGauge("eval.outcome_cache.hit_rate",
+                   "hits / lookups of the session outcome cache")
+            ->Set(session_.outcome_cache().HitRate());
+        const ServeStats& stats = ServeStats::Get();
+        json::Value response = OkResponse(request.id);
+        response["stats"] = r.ToJson();
+        json::Value latency;
+        latency["count"] = stats.request_ns->count();
+        latency["p50_ns"] = stats.request_ns->Percentile(0.50);
+        latency["p90_ns"] = stats.request_ns->Percentile(0.90);
+        latency["p99_ns"] = stats.request_ns->Percentile(0.99);
+        response["request_latency"] = std::move(latency);
+        response["outcome_cache_entries"] =
+            static_cast<int64_t>(session_.outcome_cache().Size());
+        return response;
+    }
+    case Method::kSaveCache: {
+        const Status saved = SaveWarmCacheNow();
+        if (!saved.ok())
+            return ErrorResponse(request.id, saved);
+        json::Value response = OkResponse(request.id);
+        response["path"] = options_.warm_cache_path;
+        return response;
+    }
+    case Method::kShutdown: {
+        shutdown_requested_.store(true, std::memory_order_release);
+        shutdown_cv_.notify_all();
+        json::Value response = OkResponse(request.id);
+        response["stopping"] = true;
+        return response;
+    }
+    case Method::kCoDesign:
+        return RunCoDesign(request);
+    }
+    return ErrorResponse(request.id, Internal("unhandled method"));
+}
+
+json::Value
+Server::RunCoDesign(const Request& request)
+{
+    const ServeStats& stats = ServeStats::Get();
+    const int64_t start_ns = NowNs();
+    SPA_FAULT_POINT("serve.request.run");
+
+    json::Value response = OkResponse(request.id);
+    json::Array results;
+    for (const hw::Platform& platform : request.platforms) {
+        // Every platform of the sweep shares the session caches: the
+        // segmentation outcomes found for the first budget replay for
+        // the rest (AutoDNNchip-style one-frontend-many-backends).
+        const autoseg::CoDesignResult result = session_.RunShared(
+            request.workload, platform, request.goal, request.search);
+        results.push_back(
+            ResultToJson(request.workload, platform, request.goal, result));
+    }
+    response["results"] = json::Value(std::move(results));
+    stats.codesign_ns->Observe(NowNs() - start_ns);
+    return response;
+}
+
+}  // namespace serve
+}  // namespace spa

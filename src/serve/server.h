@@ -1,0 +1,147 @@
+#ifndef SPA_SERVE_SERVER_H_
+#define SPA_SERVE_SERVER_H_
+
+/**
+ * @file
+ * The co-design server behind the autoseg_served daemon.
+ *
+ * One Server owns one autoseg::Session (the shared evaluation substrate
+ * and caches), a JobScheduler (admission control + worker crew) and a
+ * loopback TCP listener speaking newline-delimited JSON (protocol.h).
+ * Every admitted connection becomes one scheduler job that answers
+ * requests sequentially until the client disconnects; rejected
+ * connections get a structured kUnavailable response before close, so
+ * clients can distinguish "busy, retry" from a dead daemon.
+ *
+ * Warm cache: when ServerOptions.warm_cache_path is set, Start() tries
+ * to restore the session's cost memo and segmentation-outcome cache
+ * from it (a torn or foreign file logs a warning and the daemon starts
+ * cold — never a crash), and Stop()/save_cache persist it atomically.
+ * Because the outcome cache replays complete solver outcomes, a warm
+ * daemon answers repeat workloads bitwise-identically to a cold one,
+ * just faster.
+ *
+ * HandleRequestLine() is the transport-free entry point: tests and the
+ * connection handler share it, so everything above the socket layer is
+ * exercised in-process.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "autoseg/session.h"
+#include "common/status.h"
+#include "cost/cost.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace spa {
+namespace serve {
+
+/** Daemon sizing and persistence knobs. */
+struct ServerOptions
+{
+    /** TCP port to listen on; 0 = pick an ephemeral port. */
+    int port = 0;
+    /** Concurrent connections served (scheduler workers). */
+    int workers = 2;
+    /** Connections allowed to queue beyond the active ones. */
+    int max_pending = 8;
+    /** When set: restore on Start(), persist on Stop()/save_cache. */
+    std::string warm_cache_path;
+};
+
+/** A running (or startable) co-design service instance. */
+class Server
+{
+  public:
+    Server(const cost::CostModel& cost_model, ServerOptions options,
+           autoseg::SessionOptions session_options = autoseg::SessionOptions());
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Loads the warm cache (best-effort), binds the listener, spawns
+     * the accept thread and the worker crew. kIoError when the port
+     * cannot be bound.
+     */
+    Status Start();
+
+    /**
+     * Stops accepting, drains connections in flight, joins threads and
+     * persists the warm cache (when configured). Idempotent. Must be
+     * called from outside the worker crew (the daemon main thread).
+     */
+    void Stop();
+
+    /** The bound port (the ephemeral pick when options.port was 0). */
+    int port() const { return port_; }
+
+    /**
+     * Transport-free request dispatch: one request line in, one
+     * response document out. Thread-safe; shared by every connection.
+     */
+    json::Value HandleRequestLine(const std::string& line);
+
+    /** Persists the warm cache now (kInvalidArgument when unconfigured). */
+    Status SaveWarmCacheNow() const;
+
+    /** True once a shutdown request has been accepted. */
+    bool ShutdownRequested() const
+    {
+        return shutdown_requested_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Flags shutdown exactly as a {"method": "shutdown"} request would.
+     * A single atomic store — safe to call from a signal handler; the
+     * (periodic) WaitForShutdownRequest picks the flag up.
+     */
+    void RequestShutdown()
+    {
+        shutdown_requested_.store(true, std::memory_order_release);
+    }
+
+    /** Blocks until a shutdown request arrives or Stop() is called. */
+    void WaitForShutdownRequest();
+
+    /** The session shared by every request (tests poke its caches). */
+    const autoseg::Session& session() const { return session_; }
+
+    /** Scheduler introspection for tests and stats. */
+    const JobScheduler& scheduler() const { return scheduler_; }
+
+    /** True when Start() restored a warm cache. */
+    bool started_warm() const { return started_warm_; }
+
+  private:
+    void AcceptLoop();
+    void ServeConnection(int fd);
+    json::Value Dispatch(const Request& request);
+    json::Value RunCoDesign(const Request& request);
+
+    ServerOptions options_;
+    autoseg::Session session_;
+    JobScheduler scheduler_;
+
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    bool started_warm_ = false;
+
+    std::atomic<bool> shutdown_requested_{false};
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+};
+
+}  // namespace serve
+}  // namespace spa
+
+#endif  // SPA_SERVE_SERVER_H_

@@ -131,6 +131,35 @@ TEST(ObsHistogramTest, BucketEdges)
         EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLow(i)), i) << i;
 }
 
+TEST(ObsHistogramTest, PercentileInterpolatesAndClampsToExtremes)
+{
+    Registry r;
+    Histogram& h = *r.GetHistogram("lat");
+    EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty
+
+    h.Observe(7);
+    // A single sample answers every quantile exactly (min == max == 7).
+    EXPECT_DOUBLE_EQ(h.Percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(1.0), 7.0);
+
+    // 100 samples in [1, 100]: log2 buckets are good to a factor of
+    // two, so only sanity-bound the interior quantiles...
+    Histogram& u = *r.GetHistogram("u");
+    for (int64_t v = 1; v <= 100; ++v)
+        u.Observe(v);
+    const double p50 = u.Percentile(0.5);
+    EXPECT_GE(p50, 25.0);
+    EXPECT_LE(p50, 100.0);
+    EXPECT_LE(u.Percentile(0.1), p50);
+    EXPECT_LE(p50, u.Percentile(0.9));
+    // ...but the tails clamp to the exact tracked extremes, and
+    // out-of-range p is treated as its nearest valid quantile.
+    EXPECT_DOUBLE_EQ(u.Percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(u.Percentile(2.0), 100.0);
+    EXPECT_DOUBLE_EQ(u.Percentile(-1.0), 1.0);
+}
+
 TEST(ObsHistogramTest, ObserveTracksExactAggregates)
 {
     Histogram h;

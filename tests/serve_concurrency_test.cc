@@ -1,0 +1,281 @@
+// Concurrency tests for the autoseg_served stack, written to run under
+// tsan: several clients hammering one server, admission control turning
+// away over-capacity connections with a structured kUnavailable (never a
+// hang), per-request deadlines firing as kDeadlineExceeded, and — the
+// serving determinism contract — results independent of how concurrent
+// requests interleave on the shared session.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/platform.h"
+#include "json/json.h"
+#include "nn/loader.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+namespace spa {
+namespace serve {
+namespace {
+
+const char* kTinyModelJson = R"({
+  "name": "servenet",
+  "input": {"c": 3, "h": 32, "w": 32},
+  "layers": [
+    {"name": "c1", "type": "conv", "out": 16, "k": 3, "stride": 1, "pad": 1},
+    {"name": "c2", "type": "conv", "out": 16, "k": 3, "stride": 2, "pad": 1},
+    {"name": "c3", "type": "conv", "out": 32, "k": 3, "stride": 1, "pad": 1},
+    {"name": "c4", "type": "conv", "out": 32, "k": 3, "stride": 2, "pad": 1},
+    {"name": "c5", "type": "conv", "out": 64, "k": 3, "stride": 1, "pad": 1},
+    {"name": "fc", "type": "fc", "out": 10}
+  ]
+})";
+
+/** A codesign request; `max_pairs` < 0 means unbudgeted. */
+json::Value
+CodesignRequest(const std::string& id, const std::string& platform,
+                int64_t max_pairs)
+{
+    json::Value req;
+    req["id"] = id;
+    req["method"] = "codesign";
+    req["model_json"] = json::ParseOrDie(kTinyModelJson);
+    req["platform"] = platform;
+    json::Value search;
+    json::Array pus;
+    pus.push_back(json::Value(2));
+    pus.push_back(json::Value(4));
+    search["pus"] = json::Value(std::move(pus));
+    search["max_segments"] = 6;
+    req["search"] = std::move(search);
+    json::Value budget;
+    budget["mip_node_budget"] = 256;
+    if (max_pairs >= 0)
+        budget["max_pairs"] = max_pairs;
+    req["budget"] = std::move(budget);
+    return req;
+}
+
+TEST(ServeConcurrencyTest, SchedulerAdmitsUpToCapacityThenRejects)
+{
+    JobScheduler scheduler(SchedulerOptions{/*workers=*/2, /*max_pending=*/1});
+    scheduler.Start();
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    auto blocker = [&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+    };
+    // 2 workers + 1 queue slot admit exactly three jobs.
+    EXPECT_TRUE(scheduler.Submit(blocker).ok());
+    EXPECT_TRUE(scheduler.Submit(blocker).ok());
+    EXPECT_TRUE(scheduler.Submit(blocker).ok());
+    const Status fourth = scheduler.Submit(blocker);
+    ASSERT_FALSE(fourth.ok());
+    EXPECT_EQ(fourth.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(scheduler.Rejected(), 1);
+    release.store(true);
+    scheduler.Stop();  // drains the admitted three
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(scheduler.Admitted(), 3);
+}
+
+TEST(ServeConcurrencyTest, OverCapacityConnectionGetsStructuredUnavailable)
+{
+    cost::CostModel cost_model;
+    ServerOptions options;
+    options.workers = 1;
+    options.max_pending = 0;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    // Occupy the single worker: a connection holds its worker for its
+    // whole lifetime, even while idle.
+    Client occupant;
+    ASSERT_TRUE(occupant.Connect(server.port()).ok());
+    json::Value ping;
+    ping["method"] = "ping";
+    ASSERT_TRUE(occupant.Call(ping).ok());  // ensures the job started
+    for (int i = 0; i < 100 && server.scheduler().ActiveJobs() < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(server.scheduler().ActiveJobs(), 1);
+
+    // The second connection is rejected before any work: it still gets
+    // a parseable response naming the reason, then the socket closes.
+    Client rejected;
+    ASSERT_TRUE(rejected.Connect(server.port()).ok());
+    StatusOr<json::Value> response = rejected.Call(ping);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->GetBool("ok", true));
+    EXPECT_EQ(response->GetString("code", ""), "UNAVAILABLE");
+
+    occupant.Close();
+    rejected.Close();
+    server.Stop();
+}
+
+TEST(ServeConcurrencyTest, TickDeadlineFiresAsDeadlineExceededNotAHang)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+
+    // alexnet under pus {1,2,4} enumerates 11 (S, N) pairs — more than
+    // one evaluation chunk — and a 1-tick budget expires deterministically
+    // before the second chunk starts.
+    json::Value req;
+    req["id"] = "dl";
+    req["method"] = "codesign";
+    req["model"] = "alexnet";
+    req["platform"] = "eyeriss";
+    json::Value search;
+    json::Array pus;
+    pus.push_back(json::Value(1));
+    pus.push_back(json::Value(2));
+    pus.push_back(json::Value(4));
+    search["pus"] = json::Value(std::move(pus));
+    search["max_segments"] = 6;
+    req["search"] = std::move(search);
+    json::Value budget;
+    budget["mip_node_budget"] = 256;
+    budget["deadline_ticks"] = 1;
+    req["budget"] = std::move(budget);
+
+    const json::Value response = server.HandleRequestLine(req.Dump());
+    // The request itself is answered (ok), carrying a result entry that
+    // reports the budget expiry as a structured status.
+    ASSERT_TRUE(response.GetBool("ok", false));
+    const json::Value& entry = response.At("results")[0];
+    EXPECT_EQ(entry.GetString("status_code", ""), "DEADLINE_EXCEEDED");
+    EXPECT_TRUE(entry.GetBool("truncated", false));
+    server.Stop();
+}
+
+TEST(ServeConcurrencyTest, ConcurrentMixedClientsMatchSerialAnswers)
+{
+    // Serial reference: each distinct request answered by its own cold
+    // server, one at a time.
+    struct Case
+    {
+        std::string id;
+        std::string platform;
+        int64_t max_pairs;
+    };
+    const std::vector<Case> cases = {
+        {"a", "eyeriss", -1},     {"b", "nvdla_small", -1},
+        {"c", "eyeriss", 3},      {"d", "nvdla_large", -1},
+        {"e", "eyeriss", -1},     {"f", "nvdla_small", 3},
+    };
+    std::vector<std::string> reference(cases.size());
+    for (size_t i = 0; i < cases.size(); ++i) {
+        cost::CostModel cost_model;
+        Server server(cost_model, ServerOptions{});
+        ASSERT_TRUE(server.Start().ok());
+        const json::Value response = server.HandleRequestLine(
+            CodesignRequest(cases[i].id, cases[i].platform, cases[i].max_pairs)
+                .Dump());
+        ASSERT_TRUE(response.GetBool("ok", false)) << cases[i].id;
+        reference[i] = response.At("results").Dump();
+        server.Stop();
+    }
+
+    // Concurrent run: all six clients against ONE server (shared
+    // session, shared caches), interleaving freely. Every response must
+    // match its serial reference byte for byte — the outcome cache only
+    // admits budget-clean solves, so no client's budget can leak into
+    // another's answer.
+    cost::CostModel cost_model;
+    ServerOptions options;
+    options.workers = 6;
+    options.max_pending = 6;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::string> served(cases.size());
+    std::vector<Status> failures(cases.size());
+    std::vector<std::thread> clients;
+    clients.reserve(cases.size());
+    for (size_t i = 0; i < cases.size(); ++i) {
+        clients.emplace_back([&, i] {
+            Client client;
+            const Status connected = client.Connect(server.port());
+            if (!connected.ok()) {
+                failures[i] = connected;
+                return;
+            }
+            StatusOr<json::Value> response = client.Call(CodesignRequest(
+                cases[i].id, cases[i].platform, cases[i].max_pairs));
+            if (!response.ok()) {
+                failures[i] = response.status();
+                return;
+            }
+            if (!response->GetBool("ok", false)) {
+                failures[i] =
+                    Internal("response not ok: " + response->Dump());
+                return;
+            }
+            served[i] = response->At("results").Dump();
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    server.Stop();
+
+    for (size_t i = 0; i < cases.size(); ++i) {
+        ASSERT_TRUE(failures[i].ok())
+            << cases[i].id << ": " << failures[i].ToString();
+        EXPECT_EQ(served[i], reference[i]) << cases[i].id;
+    }
+}
+
+TEST(ServeConcurrencyTest, RepeatedConcurrentRunsAreInterleavingIndependent)
+{
+    // The same mixed fleet twice against fresh servers: both rounds
+    // must produce identical bytes even though thread interleavings
+    // differ — nondeterminism would show up as a diff between rounds.
+    auto run_round = [] {
+        cost::CostModel cost_model;
+        ServerOptions options;
+        options.workers = 4;
+        options.max_pending = 4;
+        Server server(cost_model, options);
+        EXPECT_TRUE(server.Start().ok());
+        const std::vector<std::string> platforms = {"eyeriss", "nvdla_small",
+                                                    "eyeriss", "nvdla_small"};
+        std::vector<std::string> results(platforms.size());
+        std::vector<std::thread> clients;
+        for (size_t i = 0; i < platforms.size(); ++i) {
+            clients.emplace_back([&, i] {
+                Client client;
+                if (!client.Connect(server.port()).ok())
+                    return;
+                StatusOr<json::Value> response = client.Call(CodesignRequest(
+                    "r" + std::to_string(i), platforms[i], -1));
+                if (response.ok() && response->GetBool("ok", false))
+                    results[i] = response->At("results").Dump();
+            });
+        }
+        for (std::thread& t : clients)
+            t.join();
+        server.Stop();
+        return results;
+    };
+    const std::vector<std::string> first = run_round();
+    const std::vector<std::string> second = run_round();
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_FALSE(first[i].empty()) << i;
+        EXPECT_EQ(first[i], second[i]) << i;
+    }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace spa

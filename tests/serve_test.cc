@@ -1,0 +1,603 @@
+// Service test suite for the autoseg_served stack: protocol parsing and
+// validation, the Session cache semantics behind the daemon, the full
+// in-process and over-the-socket request lifecycle, golden parity of
+// served answers against the direct Engine path, warm-cache round trips
+// across a simulated restart, and fault-injection robustness of the
+// request path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "autoseg/autoseg.h"
+#include "common/fault.h"
+#include "hw/platform.h"
+#include "json/json.h"
+#include "nn/loader.h"
+#include "nn/workload.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace spa {
+namespace serve {
+namespace {
+
+/** A small conv net: fast to co-design, non-trivial to segment. */
+const char* kTinyModelJson = R"({
+  "name": "servenet",
+  "input": {"c": 3, "h": 32, "w": 32},
+  "layers": [
+    {"name": "c1", "type": "conv", "out": 16, "k": 3, "stride": 1, "pad": 1},
+    {"name": "c2", "type": "conv", "out": 16, "k": 3, "stride": 2, "pad": 1},
+    {"name": "c3", "type": "conv", "out": 32, "k": 3, "stride": 1, "pad": 1},
+    {"name": "c4", "type": "conv", "out": 32, "k": 3, "stride": 2, "pad": 1},
+    {"name": "c5", "type": "conv", "out": 64, "k": 3, "stride": 1, "pad": 1},
+    {"name": "fc", "type": "fc", "out": 10}
+  ]
+})";
+
+/** The request-side twin of FastSearch() below; an empty `platform`
+ * leaves the key out (for tests that set a 'platforms' array). */
+json::Value
+CodesignRequest(const std::string& id,
+                const std::string& platform = "eyeriss")
+{
+    json::Value req;
+    req["id"] = id;
+    req["method"] = "codesign";
+    req["model_json"] = json::ParseOrDie(kTinyModelJson);
+    if (!platform.empty())
+        req["platform"] = platform;
+    json::Value search;
+    json::Array pus;
+    pus.push_back(json::Value(2));
+    pus.push_back(json::Value(4));
+    search["pus"] = json::Value(std::move(pus));
+    search["max_segments"] = 6;
+    req["search"] = std::move(search);
+    json::Value budget;
+    budget["mip_node_budget"] = 256;
+    req["budget"] = std::move(budget);
+    return req;
+}
+
+/** The engine-side twin of CodesignRequest(). */
+autoseg::CoDesignOptions
+FastSearch()
+{
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 6;
+    options.mip_node_budget = 256;
+    return options;
+}
+
+nn::Workload
+TinyWorkload()
+{
+    StatusOr<nn::Graph> graph =
+        nn::GraphFromJsonOr(json::ParseOrDie(kTinyModelJson));
+    EXPECT_TRUE(graph.ok());
+    return nn::ExtractWorkload(*graph);
+}
+
+// ---- Protocol parsing and validation. ----
+
+TEST(ServeProtocolTest, ParsesAFullCodesignRequest)
+{
+    StatusOr<Request> request =
+        ParseRequestOr(CodesignRequest("r7", "ku115").Dump());
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    EXPECT_EQ(request->id, "r7");
+    EXPECT_EQ(request->method, Method::kCoDesign);
+    EXPECT_EQ(request->workload.name, "servenet");
+    ASSERT_EQ(request->platforms.size(), 1u);
+    EXPECT_EQ(request->platforms[0].name, "ku115");
+    EXPECT_EQ(request->search.pu_candidates, (std::vector<int>{2, 4}));
+    EXPECT_EQ(request->search.max_segments, 6);
+    EXPECT_EQ(request->search.mip_node_budget, 256);
+}
+
+TEST(ServeProtocolTest, ParsesEveryControlMethod)
+{
+    const struct
+    {
+        const char* name;
+        Method method;
+    } cases[] = {{"ping", Method::kPing},
+                 {"stats", Method::kStats},
+                 {"save_cache", Method::kSaveCache},
+                 {"shutdown", Method::kShutdown}};
+    for (const auto& c : cases) {
+        StatusOr<Request> request =
+            ParseRequestOr(std::string("{\"method\":\"") + c.name + "\"}");
+        ASSERT_TRUE(request.ok()) << c.name;
+        EXPECT_EQ(request->method, c.method);
+    }
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests)
+{
+    const char* cases[] = {
+        "",                                       // empty
+        "not json",                               // syntax
+        "[1,2,3]",                                // not an object
+        "{\"method\":\"fly\"}",                   // unknown method
+        "{\"method\":\"codesign\"}",              // no model
+        "{\"method\":\"codesign\",\"model\":\"servenet9000\","
+        "\"platform\":\"eyeriss\"}",              // unknown zoo model
+        "{\"method\":\"codesign\",\"model\":\"alexnet\"}",  // no platform
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"platform\":\"tpu9000\"}",              // unknown platform
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"platform\":\"eyeriss\",\"goal\":\"area\"}",      // bad goal
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"platform\":\"eyeriss\",\"budget\":{\"mip_node_budget\":0}}",
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"platform\":\"eyeriss\",\"search\":{\"pus\":[]}}",
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"platform\":\"eyeriss\",\"search\":{\"max_segments\":0}}",
+        "{\"method\":\"codesign\",\"model\":\"alexnet\","
+        "\"model_json\":{},\"platform\":\"eyeriss\"}",      // both model forms
+    };
+    for (const char* text : cases) {
+        StatusOr<Request> request = ParseRequestOr(text);
+        ASSERT_FALSE(request.ok()) << text;
+        EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+            << text;
+    }
+}
+
+TEST(ServeProtocolTest, RejectsOversizedRequests)
+{
+    std::string big = "{\"method\":\"ping\",\"id\":\"";
+    big.append(kMaxRequestBytes, 'x');
+    big += "\"}";
+    StatusOr<Request> request = ParseRequestOr(big);
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RejectsTooManyPlatforms)
+{
+    json::Value req = CodesignRequest("r1", /*platform=*/"");
+    json::Array platforms;
+    for (size_t i = 0; i < kMaxPlatforms + 1; ++i)
+        platforms.push_back(json::Value(std::string("eyeriss")));
+    req["platforms"] = json::Value(std::move(platforms));
+    StatusOr<Request> request = ParseRequestOr(req.Dump());
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RejectsPlatformAndPlatformsTogether)
+{
+    json::Value req = CodesignRequest("r1", "eyeriss");
+    json::Array platforms;
+    platforms.push_back(json::Value(std::string("nvdla_small")));
+    req["platforms"] = json::Value(std::move(platforms));
+    StatusOr<Request> request = ParseRequestOr(req.Dump());
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, SyntaxErrorsCarryTheByteOffset)
+{
+    StatusOr<Request> request = ParseRequestOr("{\"method\": ping}");
+    ASSERT_FALSE(request.ok());
+    EXPECT_NE(request.status().message().find("at byte"), std::string::npos);
+}
+
+// ---- Session semantics the daemon depends on. ----
+
+TEST(ServeSessionTest, FingerprintSeparatesStructurallyDifferentModels)
+{
+    nn::Workload a = TinyWorkload();
+    nn::Workload b = TinyWorkload();
+    EXPECT_EQ(autoseg::Session::WorkloadFingerprint(a),
+              autoseg::Session::WorkloadFingerprint(b));
+    b.layers[0].cout += 1;  // same name, different structure
+    EXPECT_NE(autoseg::Session::WorkloadFingerprint(a),
+              autoseg::Session::WorkloadFingerprint(b));
+}
+
+TEST(ServeSessionTest, SharedCacheReplayIsBitwiseIdentical)
+{
+    const nn::Workload w = TinyWorkload();
+    cost::CostModel cost_model;
+    autoseg::Session session(cost_model);
+    const hw::Platform platform = hw::EyerissBudget();
+
+    const autoseg::CoDesignResult cold = session.RunShared(
+        w, platform, alloc::DesignGoal::kLatency, FastSearch());
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(session.outcome_cache().Hits(), 0);
+    EXPECT_GT(session.outcome_cache().Inserts(), 0);
+
+    const autoseg::CoDesignResult warm = session.RunShared(
+        w, platform, alloc::DesignGoal::kLatency, FastSearch());
+    EXPECT_GT(session.outcome_cache().Hits(), 0);
+    EXPECT_EQ(ResultToJson(w, platform, alloc::DesignGoal::kLatency, cold)
+                  .Dump(),
+              ResultToJson(w, platform, alloc::DesignGoal::kLatency, warm)
+                  .Dump());
+}
+
+TEST(ServeSessionTest, UncachedRunMatchesEngine)
+{
+    const nn::Workload w = TinyWorkload();
+    const hw::Platform platform = hw::EyerissBudget();
+
+    cost::CostModel cm_session;
+    autoseg::Session session(cm_session);
+    const autoseg::CoDesignResult via_session = session.Run(
+        w, platform, alloc::DesignGoal::kLatency, FastSearch());
+
+    cost::CostModel cm_engine;
+    autoseg::Engine engine(cm_engine, FastSearch());
+    const autoseg::CoDesignResult via_engine =
+        engine.Run(w, platform, alloc::DesignGoal::kLatency);
+
+    EXPECT_EQ(
+        ResultToJson(w, platform, alloc::DesignGoal::kLatency, via_session)
+            .Dump(),
+        ResultToJson(w, platform, alloc::DesignGoal::kLatency, via_engine)
+            .Dump());
+}
+
+// ---- Server lifecycle over a real socket. ----
+
+TEST(ServeServerTest, LifecycleServesPingAndCodesign)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_GT(server.port(), 0);
+
+    Client client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+
+    json::Value ping;
+    ping["method"] = "ping";
+    ping["id"] = "p1";
+    StatusOr<json::Value> pong = client.Call(ping);
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_TRUE(pong->GetBool("ok", false));
+    EXPECT_TRUE(pong->GetBool("pong", false));
+    EXPECT_EQ(pong->GetString("id", ""), "p1");
+
+    StatusOr<json::Value> response = client.Call(CodesignRequest("r1"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->GetBool("ok", false));
+    ASSERT_TRUE(response->Has("results"));
+    ASSERT_EQ(response->At("results").size(), 1u);
+    const json::Value& entry = response->At("results")[0];
+    EXPECT_TRUE(entry.GetBool("ok", false));
+    EXPECT_EQ(entry.GetString("platform", ""), "eyeriss");
+    EXPECT_GT(entry.GetDouble("latency_seconds", 0.0), 0.0);
+    EXPECT_TRUE(entry.Has("design"));
+
+    client.Close();
+    server.Stop();
+}
+
+TEST(ServeServerTest, ServedAnswerIsBitwiseIdenticalToEngine)
+{
+    // The served path: socket, protocol, scheduler, shared session.
+    cost::CostModel cm_served;
+    Server server(cm_served, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    Client client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    StatusOr<json::Value> response = client.Call(CodesignRequest("gold"));
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->GetBool("ok", false));
+    const std::string served = response->At("results")[0].Dump();
+    client.Close();
+    server.Stop();
+
+    // The offline path: exactly what autoseg_cli runs.
+    const nn::Workload w = TinyWorkload();
+    const hw::Platform platform = hw::EyerissBudget();
+    cost::CostModel cm_direct;
+    autoseg::Engine engine(cm_direct, FastSearch());
+    const autoseg::CoDesignResult direct =
+        engine.Run(w, platform, alloc::DesignGoal::kLatency);
+    const std::string offline =
+        ResultToJson(w, platform, alloc::DesignGoal::kLatency, direct).Dump();
+
+    EXPECT_EQ(served, offline);
+}
+
+TEST(ServeServerTest, PlatformSweepSharesOneSession)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+
+    json::Value req = CodesignRequest("sweep", /*platform=*/"");
+    json::Array platforms;
+    platforms.push_back(json::Value(std::string("eyeriss")));
+    platforms.push_back(json::Value(std::string("nvdla_small")));
+    req["platforms"] = json::Value(std::move(platforms));
+
+    const json::Value response = server.HandleRequestLine(req.Dump());
+    ASSERT_TRUE(response.GetBool("ok", false));
+    ASSERT_EQ(response.At("results").size(), 2u);
+    EXPECT_EQ(response.At("results")[0].GetString("platform", ""), "eyeriss");
+    EXPECT_EQ(response.At("results")[1].GetString("platform", ""),
+              "nvdla_small");
+    // The sweep's second platform replays the first one's segmentation
+    // outcomes from the shared cache.
+    EXPECT_GT(server.session().outcome_cache().Hits(), 0);
+    server.Stop();
+}
+
+TEST(ServeServerTest, StatsReportServiceTelemetry)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    (void)server.HandleRequestLine(CodesignRequest("s1").Dump());
+
+    const json::Value response =
+        server.HandleRequestLine("{\"method\":\"stats\",\"id\":\"st\"}");
+    ASSERT_TRUE(response.GetBool("ok", false));
+    ASSERT_TRUE(response.Has("stats"));
+    const json::Value& stats = response.At("stats");
+    EXPECT_TRUE(stats.Has("serve.requests"));
+    EXPECT_TRUE(stats.Has("serve.request_ns"));
+    EXPECT_TRUE(stats.Has("eval.outcome_cache.hit_rate"));
+    EXPECT_TRUE(stats.Has("cost.memo.hit_rate"));
+    ASSERT_TRUE(response.Has("request_latency"));
+    EXPECT_GE(response.At("request_latency").GetInt("count", 0), 1);
+    server.Stop();
+}
+
+TEST(ServeServerTest, ShutdownRequestFlagsTheServer)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_FALSE(server.ShutdownRequested());
+    const json::Value response =
+        server.HandleRequestLine("{\"method\":\"shutdown\"}");
+    EXPECT_TRUE(response.GetBool("ok", false));
+    EXPECT_TRUE(server.ShutdownRequested());
+    server.WaitForShutdownRequest();  // returns immediately now
+    server.Stop();
+}
+
+TEST(ServeServerTest, MalformedLinesGetStructuredErrorsNotHangs)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    Client client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    StatusOr<json::Value> response = client.CallRaw("this is not json");
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->GetBool("ok", true));
+    EXPECT_EQ(response->GetString("code", ""), "INVALID_ARGUMENT");
+    client.Close();
+    server.Stop();
+}
+
+// ---- Warm-cache persistence across a simulated restart. ----
+
+TEST(WarmCachePersistenceTest, RestartAnswersRepeatRequestFromWarmCaches)
+{
+    const std::string path =
+        testing::TempDir() + "spa_warm_roundtrip.json";
+    std::remove(path.c_str());
+
+    ServerOptions options;
+    options.warm_cache_path = path;
+
+    std::string cold_results;
+    {
+        cost::CostModel cost_model;
+        Server server(cost_model, options);
+        ASSERT_TRUE(server.Start().ok());
+        EXPECT_FALSE(server.started_warm());
+        const json::Value response =
+            server.HandleRequestLine(CodesignRequest("cold").Dump());
+        ASSERT_TRUE(response.GetBool("ok", false));
+        cold_results = response.At("results").Dump();
+        EXPECT_EQ(server.session().outcome_cache().Hits(), 0);
+        server.Stop();  // persists the warm cache
+    }
+
+    {
+        cost::CostModel cost_model;
+        Server server(cost_model, options);
+        ASSERT_TRUE(server.Start().ok());
+        EXPECT_TRUE(server.started_warm());
+        EXPECT_GT(server.session().outcome_cache().Size(), 0u);
+        // The cost-model memo came back too.
+        EXPECT_FALSE(
+            server.session().evaluator().cost_model().MemoSnapshot().empty());
+
+        const json::Value response =
+            server.HandleRequestLine(CodesignRequest("warm").Dump());
+        ASSERT_TRUE(response.GetBool("ok", false));
+        // The repeat request hit the restored outcome cache and the
+        // restored compute-cycle memo...
+        EXPECT_GT(server.session().outcome_cache().Hits(), 0);
+        EXPECT_GT(server.session().evaluator().cost_model().MemoHits(), 0);
+        // ...and produced the byte-identical answer.
+        EXPECT_EQ(response.At("results").Dump(), cold_results);
+        server.Stop();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WarmCachePersistenceTest, SaveCacheMethodPersistsWithoutStopping)
+{
+    const std::string path = testing::TempDir() + "spa_warm_live.json";
+    std::remove(path.c_str());
+    ServerOptions options;
+    options.warm_cache_path = path;
+    cost::CostModel cost_model;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+    (void)server.HandleRequestLine(CodesignRequest("w1").Dump());
+    const json::Value response =
+        server.HandleRequestLine("{\"method\":\"save_cache\"}");
+    ASSERT_TRUE(response.GetBool("ok", false));
+    StatusOr<json::Value> saved = json::LoadFileOr(path);
+    ASSERT_TRUE(saved.ok());
+    EXPECT_EQ(saved->GetString("format", ""), "spa.autoseg.warmcache.v1");
+    EXPECT_GT(saved->At("outcomes").size(), 0u);
+    EXPECT_GT(saved->At("cost_memo").size(), 0u);
+    server.Stop();
+    std::remove(path.c_str());
+}
+
+TEST(WarmCachePersistenceTest, TornWarmCacheFileStartsColdNotCrashed)
+{
+    const std::string path = testing::TempDir() + "spa_warm_torn.json";
+    {
+        // A truncated artifact, as a crash mid-write would leave
+        // without the atomic rename (SaveFileOr makes this unreachable
+        // in practice; the daemon must still survive a corrupt disk).
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"format\": \"spa.autoseg.warmcache.v1\", \"outc", f);
+        std::fclose(f);
+    }
+    ServerOptions options;
+    options.warm_cache_path = path;
+    cost::CostModel cost_model;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_FALSE(server.started_warm());
+    EXPECT_EQ(server.session().outcome_cache().Size(), 0u);
+    // Still fully serviceable.
+    const json::Value response =
+        server.HandleRequestLine(CodesignRequest("t1").Dump());
+    EXPECT_TRUE(response.GetBool("ok", false));
+    server.Stop();
+    std::remove(path.c_str());
+}
+
+// ---- Fault injection through the request path. ----
+
+#ifdef SPA_FAULT_INJECTION
+
+class ServeFaultSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::DisarmAll();
+        fault::SetEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        fault::SetEnabled(false);
+        fault::DisarmAll();
+    }
+};
+
+TEST_F(ServeFaultSweepTest, ParseFaultBecomesStructuredResponse)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    fault::Arm("serve.request.parse", /*seed=*/1, /*period=*/1);
+    json::Value response = server.HandleRequestLine(CodesignRequest("f1").Dump());
+    EXPECT_FALSE(response.GetBool("ok", true));
+    EXPECT_EQ(response.GetString("code", ""), "FAULT_INJECTED");
+    fault::DisarmAll();
+    // The server survives and serves the next request normally.
+    response = server.HandleRequestLine(CodesignRequest("f2").Dump());
+    EXPECT_TRUE(response.GetBool("ok", false));
+    server.Stop();
+}
+
+TEST_F(ServeFaultSweepTest, RunFaultBecomesStructuredResponse)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    fault::Arm("serve.request.run", /*seed=*/1, /*period=*/1);
+    const json::Value response =
+        server.HandleRequestLine(CodesignRequest("f3").Dump());
+    EXPECT_FALSE(response.GetBool("ok", true));
+    EXPECT_EQ(response.GetString("code", ""), "FAULT_INJECTED");
+    server.Stop();
+}
+
+TEST_F(ServeFaultSweepTest, EveryServeSiteDegradesCleanly)
+{
+    for (const std::string& site : fault::KnownSites()) {
+        if (site.rfind("serve.", 0) != 0)
+            continue;
+        fault::DisarmAll();
+        fault::Arm(site, /*seed=*/7, /*period=*/1);
+        cost::CostModel cost_model;
+        ServerOptions options;
+        options.warm_cache_path = testing::TempDir() + "spa_warm_fault.json";
+        Server server(cost_model, options);
+        // Neither startup (warm-cache load) nor a request may crash.
+        ASSERT_TRUE(server.Start().ok()) << site;
+        const json::Value response =
+            server.HandleRequestLine(CodesignRequest("fs").Dump());
+        EXPECT_TRUE(response.IsObject()) << site;
+        server.Stop();
+        std::remove(options.warm_cache_path.c_str());
+    }
+}
+
+#endif  // SPA_FAULT_INJECTION
+
+// ---- Deterministic request fuzz (the parser never crashes). ----
+
+TEST(ServeRobustnessTest, MutatedRequestsNeverCrashTheParser)
+{
+    const std::string base = CodesignRequest("fz").Dump();
+    uint64_t state = 0x9e3779b97f4a7c15ULL;
+    auto next = [&state]() {
+        // splitmix64: deterministic across platforms and runs.
+        state += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    for (int round = 0; round < 300; ++round) {
+        std::string mutated = base;
+        const int edits = 1 + static_cast<int>(next() % 4);
+        for (int e = 0; e < edits; ++e) {
+            const size_t pos = next() % mutated.size();
+            switch (next() % 3) {
+            case 0:
+                mutated[pos] = static_cast<char>(next() % 256);
+                break;
+            case 1:
+                mutated.erase(pos, 1 + next() % 8);
+                break;
+            default:
+                mutated.insert(pos, 1, static_cast<char>(next() % 256));
+                break;
+            }
+            if (mutated.empty())
+                break;
+        }
+        StatusOr<Request> request = ParseRequestOr(mutated);
+        if (!request.ok()) {
+            EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+                << "round " << round;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace spa

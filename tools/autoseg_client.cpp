@@ -1,0 +1,151 @@
+// autoseg_client: command-line client for the autoseg_served daemon.
+//
+//   autoseg_client --port 7410 --model alexnet --platform eyeriss
+//   autoseg_client --port 7410 --model squeezenet \
+//                  --platforms eyeriss,ku115 --goal throughput
+//   autoseg_client --port 7410 --ping
+//   autoseg_client --port 7410 --stats
+//   autoseg_client --port 7410 --save-cache
+//   autoseg_client --port 7410 --shutdown
+//   autoseg_client --port 7410 --request-json req.json --out resp.json
+//
+// Builds the JSON request (or reads one from a file), sends it over the
+// newline-delimited loopback protocol and pretty-prints the response.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "json/json.h"
+#include "serve/client.h"
+
+using namespace spa;
+
+namespace {
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: autoseg_client --port N [--ping | --stats | --save-cache |\n"
+        "                                --shutdown | --request-json F |\n"
+        "                                --model M --platform P]\n"
+        "                      [--platforms P1,P2,...]\n"
+        "                      [--goal latency|throughput]\n"
+        "                      [--deadline-ticks N] [--deadline-s SEC]\n"
+        "                      [--max-pairs N] [--id STR] [--out F]\n");
+}
+
+json::Value
+SplitList(const std::string& list)
+{
+    json::Array out;
+    size_t pos = 0;
+    while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        out.push_back(json::Value(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    return json::Value(std::move(out));
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    bool ping = false, stats = false, save_cache = false, shutdown = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--ping") {
+            ping = true;
+        } else if (key == "--stats") {
+            stats = true;
+        } else if (key == "--save-cache") {
+            save_cache = true;
+        } else if (key == "--shutdown") {
+            shutdown = true;
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (!args.count("port")) {
+        PrintUsage();
+        return 1;
+    }
+
+    json::Value request;
+    if (args.count("request-json")) {
+        StatusOr<json::Value> loaded = json::LoadFileOr(args["request-json"]);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+            return 1;
+        }
+        request = std::move(*loaded);
+    } else if (ping) {
+        request["method"] = "ping";
+    } else if (stats) {
+        request["method"] = "stats";
+    } else if (save_cache) {
+        request["method"] = "save_cache";
+    } else if (shutdown) {
+        request["method"] = "shutdown";
+    } else if (args.count("model")) {
+        request["method"] = "codesign";
+        request["model"] = args["model"];
+        if (args.count("platforms"))
+            request["platforms"] = SplitList(args["platforms"]);
+        else
+            request["platform"] =
+                args.count("platform") ? args["platform"] : "eyeriss";
+        if (args.count("goal"))
+            request["goal"] = args["goal"];
+        json::Value budget;
+        if (args.count("deadline-ticks"))
+            budget["deadline_ticks"] =
+                static_cast<int64_t>(std::stoll(args["deadline-ticks"]));
+        if (args.count("deadline-s"))
+            budget["deadline_s"] = std::stod(args["deadline-s"]);
+        if (args.count("max-pairs"))
+            budget["max_pairs"] =
+                static_cast<int64_t>(std::stoll(args["max-pairs"]));
+        if (budget.IsObject())
+            request["budget"] = std::move(budget);
+    } else {
+        PrintUsage();
+        return 1;
+    }
+    if (args.count("id"))
+        request["id"] = args["id"];
+
+    serve::Client client;
+    Status connected = client.Connect(std::stoi(args["port"]));
+    if (!connected.ok()) {
+        std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+        return 1;
+    }
+    StatusOr<json::Value> response = client.Call(request);
+    if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+        return 1;
+    }
+    if (args.count("out")) {
+        const Status saved = json::SaveFileOr(args["out"], *response);
+        if (!saved.ok()) {
+            std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+            return 1;
+        }
+    }
+    std::printf("%s\n", response->Pretty().c_str());
+    return response->GetBool("ok", false) ? 0 : 2;
+}

@@ -1,0 +1,122 @@
+// autoseg_served: the co-design daemon.
+//
+//   autoseg_served --port 7410 --workers 4 --pending 8
+//                  --warm-cache /var/tmp/spa_warm.json
+//                  --stats-out stats.json
+//
+// Listens on 127.0.0.1 for newline-delimited JSON co-design requests
+// (see src/serve/protocol.h for the wire format), serves them from a
+// shared autoseg::Session (one evaluation substrate, shared caches),
+// and keeps running until a client sends {"method": "shutdown"} or the
+// process receives SIGINT/SIGTERM. With --warm-cache the segmentation
+// outcomes and cost-model memo survive restarts: a restarted daemon
+// answers repeat workloads from the persisted caches, bitwise-identical
+// to a cold run.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "cost/cost.h"
+#include "json/json.h"
+#include "obs/stats.h"
+#include "serve/server.h"
+
+using namespace spa;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void
+OnSignal(int)
+{
+    // Only an atomic store: the main thread polls the flag in
+    // WaitForShutdownRequest and does the actual teardown.
+    if (g_server != nullptr)
+        g_server->RequestShutdown();
+}
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: autoseg_served [--port N]        (default 0 = ephemeral)\n"
+        "                      [--workers N]     concurrent connections "
+        "(default 2)\n"
+        "                      [--pending N]     admission queue depth "
+        "(default 8)\n"
+        "                      [--jobs N]        evaluation width per request\n"
+        "                      [--warm-cache F]  persist caches across "
+        "restarts\n"
+        "                      [--stats-out F]   write the stats registry on "
+        "exit\n"
+        "                      [--quiet]\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--quiet") {
+            spa::detail::SetQuiet(true);
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+
+    serve::ServerOptions options;
+    if (args.count("port"))
+        options.port = std::stoi(args["port"]);
+    if (args.count("workers"))
+        options.workers = std::stoi(args["workers"]);
+    if (args.count("pending"))
+        options.max_pending = std::stoi(args["pending"]);
+    if (args.count("warm-cache"))
+        options.warm_cache_path = args["warm-cache"];
+    autoseg::SessionOptions session_options;
+    if (args.count("jobs"))
+        session_options.jobs = std::stoi(args["jobs"]);
+
+    cost::CostModel cost_model;
+    serve::Server server(cost_model, options, session_options);
+    const Status started = server.Start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+    }
+    // The bound port on stdout, for scripts that asked for an ephemeral
+    // one (the test harness and ci.sh parse this line).
+    std::printf("PORT %d\n", server.port());
+    std::fflush(stdout);
+
+    g_server = &server;
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+
+    server.WaitForShutdownRequest();
+    server.Stop();
+    g_server = nullptr;
+
+    if (args.count("stats-out")) {
+        const Status saved = json::SaveFileOr(
+            args["stats-out"], obs::Registry::Default().ToJson());
+        if (!saved.ok())
+            std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    }
+    return 0;
+}

@@ -3,8 +3,13 @@
 # robustness- and concurrency-sensitive suites (which include the
 # fault-injection sweep and checkpoint/resume tests).
 #
-# Usage: tools/ci.sh [tier1|asan|tsan|all]   (default: all)
+# Usage: tools/ci.sh [tier1|asan|tsan|serve|all]   (default: all)
 #   JOBS=<n> overrides the parallel width.
+#
+# The serve stage builds both sanitizer presets and runs only the
+# serving-layer suites: protocol fuzzing, warm-cache persistence and the
+# fault sweep under ASan+UBSan; the concurrent-clients / shared-session
+# suites under TSan.
 
 set -euo pipefail
 
@@ -21,17 +26,32 @@ run_preset() {
     ctest --preset "$preset" -j "$JOBS"
 }
 
+run_serve() {
+    local preset="$1" suites="$2"
+    echo "==== [serve/$preset] configure + build"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$JOBS" \
+        --target serve_test serve_concurrency_test
+    echo "==== [serve/$preset] ctest ($suites)"
+    ctest --test-dir "build-$preset" -j "$JOBS" --output-on-failure \
+        -R "$suites"
+}
+
 case "$STAGE" in
   tier1) run_preset default ;;
   asan)  run_preset asan ;;
   tsan)  run_preset tsan ;;
+  serve)
+    run_serve asan "ServeProtocolTest|ServeRobustnessTest|ServeFaultSweepTest|WarmCachePersistenceTest"
+    run_serve tsan "ServeConcurrencyTest|ServeServerTest|ServeSessionTest"
+    ;;
   all)
     run_preset default
     run_preset asan
     run_preset tsan
     ;;
   *)
-    echo "unknown stage '$STAGE' (want tier1|asan|tsan|all)" >&2
+    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|all)" >&2
     exit 2
     ;;
 esac
