@@ -1,9 +1,20 @@
-// Fig. 17: generality analysis. A dedicated SPA accelerator is built
-// per model; every other model is then remapped onto it (hardware and
-// pruned fabric fixed, segmentation re-targeted to latency). Reported
-// as speedup over the NVDLA-Small-budget no-pipeline baseline (the
-// bandwidth regime where pipelining pays; see EXPERIMENTS.md): dedicated
-// designs win, but non-dedicated mappings still beat the baseline.
+// Fig. 17: generality analysis, in two parts.
+//
+// 1. The paper's remap matrix: a dedicated SPA accelerator is built per
+//    model; every other model is then remapped onto it (hardware and
+//    pruned fabric fixed, segmentation re-targeted to latency).
+//    Reported as speedup over the NVDLA-Small-budget no-pipeline
+//    baseline (the bandwidth regime where pipelining pays; see
+//    EXPERIMENTS.md): dedicated designs win, but non-dedicated mappings
+//    still beat the baseline.
+//
+// 2. A scenario matrix over the extended zoo — the CNN set plus the
+//    BERT-base-class and ViT-B/16-class transformer graphs — under both
+//    an ASIC (NVDLA-Small) and an FPGA (ZU3EG) resource frame. Every
+//    scenario runs the full flow end to end: segmentation, allocation,
+//    then the cycle-accurate pipeline simulator over each segment of
+//    the chosen design. This is the AutoDNNchip-style generality claim:
+//    one predictor, every workload family, both resource frames.
 
 #include <map>
 
@@ -11,6 +22,7 @@
 #include "baselines/models.h"
 #include "bench/bench_util.h"
 #include "nn/models.h"
+#include "pipe/sim.h"
 
 namespace {
 
@@ -111,6 +123,88 @@ PrintFig17()
     std::printf("(diagonal = model-dedicated accelerator)\n");
 }
 
+/**
+ * Scenario matrix: {CNN zoo, BERT, ViT} x {ASIC, FPGA}, each scenario
+ * run end to end (segmentation -> allocation -> pipeline sim). Records
+ * one metric block per scenario into BENCH_fig17_generality.json.
+ */
+void
+PrintScenarioMatrix()
+{
+    cost::CostModel cost_model;
+    cost_model.EnableMemo();
+    autoseg::CoDesignOptions options;
+    options.jobs = bench::Jobs();
+    options.pu_candidates = {4};
+    autoseg::Engine engine(cost_model, options);
+    pipe::SegmentSimulator sim(cost_model);
+
+    const hw::Platform frames[] = {hw::NvdlaSmallBudget(), hw::Zu3egBudget()};
+
+    bench::PrintHeader("Fig 17b: scenario matrix (extended zoo x resource frames)");
+    bench::PrintRow("model / frame",
+                    {"kind", "S", "N", "latency", "fps", "pipe eff"}, 26, 10);
+    for (const std::string& model : nn::AllZooModelNames()) {
+        const nn::Workload w = nn::ExtractWorkload(nn::BuildModel(model));
+        for (const hw::Platform& frame : frames) {
+            const std::string key = model + "." + frame.name;
+            const autoseg::CoDesignResult result =
+                engine.Run(w, frame, alloc::DesignGoal::kLatency);
+            if (!result.ok || !result.status.ok()) {
+                bench::PrintRow(model + " / " + frame.name,
+                                {"-", "-", "-", "failed", "-", "-"}, 26, 10);
+                bench::SetMetric(key + ".ok", false);
+                continue;
+            }
+            // Pipeline-simulate every segment of the chosen design with
+            // its allocator-selected per-PU dataflows.
+            int64_t sim_cycles = 0, busy = 0, offered = 0;
+            for (int s = 0; s < result.assignment.num_segments; ++s) {
+                const pipe::SegmentSimResult seg_sim =
+                    sim.Simulate(w, result.assignment, s, result.alloc.config,
+                                 result.alloc.segments[static_cast<size_t>(s)]
+                                     .dataflow);
+                sim_cycles += seg_sim.total_cycles;
+                for (size_t n = 0; n < seg_sim.pu_busy_cycles.size(); ++n) {
+                    busy += seg_sim.pu_busy_cycles[n];
+                    offered += seg_sim.total_cycles;
+                }
+            }
+            const double pipe_eff =
+                offered > 0 ? static_cast<double>(busy) /
+                                  static_cast<double>(offered)
+                            : 0.0;
+            const bool fpga = frame.kind == hw::PlatformKind::kFpga;
+            bench::PrintRow(
+                model + " / " + frame.name,
+                {fpga ? "fpga" : "asic",
+                 std::to_string(result.assignment.num_segments),
+                 std::to_string(result.assignment.num_pus),
+                 bench::Fmt(result.alloc.latency_seconds * 1e3) + "ms",
+                 bench::Fmt(result.alloc.throughput_fps),
+                 bench::Fmt(pipe_eff)},
+                26, 10);
+            bench::SetMetric(key + ".ok", true);
+            bench::SetMetric(key + ".kind", std::string(fpga ? "fpga" : "asic"));
+            bench::SetMetric(key + ".segments", result.assignment.num_segments);
+            bench::SetMetric(key + ".pus", result.assignment.num_pus);
+            bench::SetMetric(key + ".latency_ms",
+                             result.alloc.latency_seconds * 1e3);
+            bench::SetMetric(key + ".throughput_fps",
+                             result.alloc.throughput_fps);
+            bench::SetMetric(key + ".sim_total_cycles", sim_cycles);
+            bench::SetMetric(key + ".pipeline_efficiency", pipe_eff);
+        }
+    }
+}
+
+void
+PrintFig17All()
+{
+    PrintFig17();
+    PrintScenarioMatrix();
+}
+
 void
 BM_RemapSqueezeNetOntoAlexNetDesign(benchmark::State& state)
 {
@@ -137,4 +231,4 @@ BENCHMARK(BM_RemapSqueezeNetOntoAlexNetDesign)
 
 }  // namespace
 
-SPA_BENCH_MAIN(PrintFig17)
+SPA_BENCH_MAIN(PrintFig17All)

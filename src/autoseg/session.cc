@@ -18,7 +18,10 @@ namespace autoseg {
 
 namespace {
 
-constexpr const char* kWarmCacheFormat = "spa.autoseg.warmcache.v1";
+// v2: memo entries carry the GEMM-pass count and fingerprints mix
+// the operator kind (attention-era op support); v1 caches are
+// rejected and simply resolved cold.
+constexpr const char* kWarmCacheFormat = "spa.autoseg.warmcache.v2";
 
 /** Engine-wide search counters, registered once per process. */
 struct EngineStats
@@ -146,6 +149,8 @@ Session::WorkloadFingerprint(const nn::Workload& w)
         mix(l.groups);
         mix(l.is_fc ? 1 : 0);
         mix(l.is_depthwise ? 1 : 0);
+        mix(static_cast<int64_t>(l.op));
+        mix(l.passes);
     }
     for (const nn::WorkloadEdge& e : w.edges) {
         mix(e.src);
@@ -672,6 +677,7 @@ Session::WarmCacheToJson() const
         jm["wout"] = e.wout;
         jm["kernel"] = e.kernel;
         jm["groups"] = e.groups;
+        jm["passes"] = e.passes;
         jm["rows"] = e.rows;
         jm["cols"] = e.cols;
         jm["df"] = e.dataflow;
@@ -741,6 +747,7 @@ Session::LoadWarmCache(const std::string& path) const
             e.wout = jm.GetInt("wout", 0);
             e.kernel = jm.GetInt("kernel", 0);
             e.groups = jm.GetInt("groups", 0);
+            e.passes = jm.GetInt("passes", 1);
             e.rows = jm.GetInt("rows", 0);
             e.cols = jm.GetInt("cols", 0);
             e.dataflow = static_cast<int>(jm.GetInt("df", 0));

@@ -38,7 +38,7 @@ class ComputeCycleMemo
   public:
     struct Key
     {
-        int64_t cin, cout, hout, wout, kernel, groups, rows, cols;
+        int64_t cin, cout, hout, wout, kernel, groups, passes, rows, cols;
         int df;
 
         bool
@@ -46,7 +46,8 @@ class ComputeCycleMemo
         {
             return cin == o.cin && cout == o.cout && hout == o.hout &&
                    wout == o.wout && kernel == o.kernel && groups == o.groups &&
-                   rows == o.rows && cols == o.cols && df == o.df;
+                   passes == o.passes && rows == o.rows && cols == o.cols &&
+                   df == o.df;
         }
     };
 
@@ -58,7 +59,7 @@ class ComputeCycleMemo
             uint64_t h = 0xcbf29ce484222325ULL;
             const int64_t fields[] = {k.cin,    k.cout,   k.hout,
                                       k.wout,   k.kernel, k.groups,
-                                      k.rows,   k.cols,   k.df};
+                                      k.passes, k.rows,   k.cols,   k.df};
             for (int64_t f : fields) {
                 h ^= static_cast<uint64_t>(f);
                 h *= 0x100000001b3ULL;
@@ -216,6 +217,7 @@ struct Dims
     int64_t m;        ///< output pixels: hout * wout
     int64_t cout_pg;  ///< output channels per group
     int64_t groups;
+    int64_t passes;   ///< chained GEMM passes of this shape
     bool depthwise;
 };
 
@@ -228,6 +230,7 @@ DimsOf(const nn::WorkloadLayer& l)
     d.red = cin_pg * l.kernel * l.kernel;
     d.m = l.hout * l.wout;
     d.cout_pg = l.cout / l.groups;
+    d.passes = l.passes;
     d.depthwise = (cin_pg == 1 && l.groups > 1);
     return d;
 }
@@ -273,6 +276,7 @@ CostModel::MemoSnapshot() const
         e.wout = key.wout;
         e.kernel = key.kernel;
         e.groups = key.groups;
+        e.passes = key.passes;
         e.rows = key.rows;
         e.cols = key.cols;
         e.dataflow = key.df;
@@ -281,9 +285,9 @@ CostModel::MemoSnapshot() const
     }
     std::sort(out.begin(), out.end(), [](const MemoEntry& a, const MemoEntry& b) {
         return std::tie(a.cin, a.cout, a.hout, a.wout, a.kernel, a.groups,
-                        a.rows, a.cols, a.dataflow) <
+                        a.passes, a.rows, a.cols, a.dataflow) <
                std::tie(b.cin, b.cout, b.hout, b.wout, b.kernel, b.groups,
-                        b.rows, b.cols, b.dataflow);
+                        b.passes, b.rows, b.cols, b.dataflow);
     });
     return out;
 }
@@ -298,8 +302,8 @@ CostModel::MemoPreload(const std::vector<MemoEntry>& entries) const
     for (const MemoEntry& e : entries) {
         raw.emplace_back(
             detail::ComputeCycleMemo::Key{e.cin, e.cout, e.hout, e.wout,
-                                          e.kernel, e.groups, e.rows, e.cols,
-                                          e.dataflow},
+                                          e.kernel, e.groups, e.passes,
+                                          e.rows, e.cols, e.dataflow},
             e.cycles);
     }
     memo_->Preload(raw);
@@ -312,8 +316,8 @@ CostModel::ComputeCycles(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
     if (memo_) {
         SPA_FAULT_POINT("cost.memo.shard");
         const detail::ComputeCycleMemo::Key key{
-            l.cin,      l.cout,  l.hout,  l.wout, l.kernel,
-            l.groups,   pu.rows, pu.cols, static_cast<int>(df)};
+            l.cin,      l.cout,   l.hout,  l.wout,  l.kernel,
+            l.groups,   l.passes, pu.rows, pu.cols, static_cast<int>(df)};
         int64_t cycles = 0;
         if (memo_->Lookup(key, cycles))
             return cycles;
@@ -342,15 +346,15 @@ CostModel::ComputeCyclesUncached(const nn::WorkloadLayer& l, const hw::PuConfig&
         const int64_t taps = l.kernel * l.kernel;
         const int64_t tiles =
             d.groups * CeilDiv(cin_pg, r) * CeilDiv(d.cout_pg, c) * taps;
-        return tiles * (r + d.m + r + c - 2);
+        return d.passes * tiles * (r + d.m + r + c - 2);
     }
     if (d.depthwise) {
         // Fig. 9(b) per-column mode: pixels x channels tiles.
         const int64_t tiles = CeilDiv(d.m, r) * CeilDiv(d.groups, c);
-        return tiles * (d.red + r + c - 2 + r);
+        return d.passes * tiles * (d.red + r + c - 2 + r);
     }
     const int64_t tiles = d.groups * CeilDiv(d.m, r) * CeilDiv(d.cout_pg, c);
-    return tiles * (d.red + r + c - 2 + r);
+    return d.passes * tiles * (d.red + r + c - 2 + r);
 }
 
 double
@@ -378,27 +382,27 @@ CostModel::OnChipTraffic(const nn::WorkloadLayer& l, const hw::PuConfig& pu,
         const int64_t n_rtile = CeilDiv(cin_pg, r);
         const int64_t n_ctile = CeilDiv(d.cout_pg, c);
         // Each weight fetched once per residency (one tap at a time).
-        t.weight_reads = d.groups * d.red * d.cout_pg;
+        t.weight_reads = d.passes * d.groups * d.red * d.cout_pg;
         // Activations stream once per (cout tile, tap).
-        t.act_reads = d.groups * d.m * d.red * n_ctile;
+        t.act_reads = d.passes * d.groups * d.m * d.red * n_ctile;
         // Partial sums accumulate across taps and cin tiles; all but
         // the first pass read-modify-write the accumulator.
-        t.psum_accesses = d.groups * d.m * d.cout_pg * (taps * n_rtile - 1);
-        t.out_writes = d.groups * d.m * d.cout_pg;
+        t.psum_accesses = d.passes * d.groups * d.m * d.cout_pg * (taps * n_rtile - 1);
+        t.out_writes = d.passes * d.groups * d.m * d.cout_pg;
         return t;
     }
     if (d.depthwise) {
-        t.act_reads = d.m * d.red * d.groups;
-        t.weight_reads = d.red * d.groups * CeilDiv(d.m, r);
-        t.out_writes = d.m * d.groups;
+        t.act_reads = d.passes * d.m * d.red * d.groups;
+        t.weight_reads = d.passes * d.red * d.groups * CeilDiv(d.m, r);
+        t.out_writes = d.passes * d.m * d.groups;
         return t;
     }
     const int64_t n_ptile = CeilDiv(d.m, r);
     const int64_t n_ctile = CeilDiv(d.cout_pg, c);
     // Outputs stay in place; weights stream per pixel tile.
-    t.act_reads = d.groups * d.m * d.red * n_ctile;
-    t.weight_reads = d.groups * d.red * d.cout_pg * n_ptile;
-    t.out_writes = d.groups * d.m * d.cout_pg;
+    t.act_reads = d.passes * d.groups * d.m * d.red * n_ctile;
+    t.weight_reads = d.passes * d.groups * d.red * d.cout_pg * n_ptile;
+    t.out_writes = d.passes * d.groups * d.m * d.cout_pg;
     return t;
 }
 

@@ -96,7 +96,7 @@ class CostModel
     struct MemoEntry
     {
         int64_t cin = 0, cout = 0, hout = 0, wout = 0;
-        int64_t kernel = 0, groups = 0, rows = 0, cols = 0;
+        int64_t kernel = 0, groups = 0, passes = 1, rows = 0, cols = 0;
         int dataflow = 0;
         int64_t cycles = 0;
     };

@@ -1,22 +1,10 @@
 #include "nn/graph.h"
 
 #include "common/logging.h"
+#include "nn/op_registry.h"
 
 namespace spa {
 namespace nn {
-
-namespace {
-
-int64_t
-OutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
-{
-    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
-    SPA_ASSERT(out > 0, "non-positive spatial output dim (in=", in, " k=", kernel,
-               " s=", stride, " p=", pad, ")");
-    return out;
-}
-
-}  // namespace
 
 LayerId
 Graph::Append(const std::string& name, LayerType type, LayerParams params,
@@ -33,6 +21,23 @@ Graph::Append(const std::string& name, LayerType type, LayerParams params,
                          out_shape);
     by_name_[name] = id;
     return id;
+}
+
+LayerId
+Graph::AppendOp(const std::string& name, LayerType type, LayerParams params,
+                std::vector<LayerId> inputs)
+{
+    const OpDescriptor& d = OpInfo(type);
+    SPA_ASSERT(d.infer_shape != nullptr, "op '", d.name,
+               "' has no shape inference (input layers take explicit shapes)");
+    std::vector<Shape> in_shapes;
+    for (LayerId in : inputs) {
+        SPA_ASSERT(in >= 0 && in < static_cast<LayerId>(layers_.size()),
+                   "layer '", name, "' references invalid input ", in);
+        in_shapes.push_back(layers_[static_cast<size_t>(in)].out_shape());
+    }
+    const Shape out = d.infer_shape(name, params, in_shapes);
+    return Append(name, type, params, std::move(inputs), out);
 }
 
 Shape
@@ -53,18 +58,13 @@ Graph::AddConv(const std::string& name, LayerId input, int64_t out_channels,
 {
     if (pad < 0)
         pad = kernel / 2;  // "same"-style default
-    const Shape in = InShape(input);
-    SPA_ASSERT(in.c % groups == 0 && out_channels % groups == 0,
-               "conv '", name, "': channels not divisible by groups");
-    Shape out{out_channels, OutDim(in.h, kernel, stride, pad),
-              OutDim(in.w, kernel, stride, pad)};
     LayerParams p;
     p.out_channels = out_channels;
     p.kernel = kernel;
     p.stride = stride;
     p.pad = pad;
     p.groups = groups;
-    return Append(name, LayerType::kConv, p, {input}, out);
+    return AppendOp(name, LayerType::kConv, p, {input});
 }
 
 LayerId
@@ -86,8 +86,7 @@ Graph::AddFullyConnected(const std::string& name, LayerId input, int64_t out_fea
 {
     LayerParams p;
     p.out_channels = out_features;
-    return Append(name, LayerType::kFullyConnected, p, {input},
-                  Shape{out_features, 1, 1});
+    return AppendOp(name, LayerType::kFullyConnected, p, {input});
 }
 
 LayerId
@@ -96,14 +95,12 @@ Graph::AddMaxPool(const std::string& name, LayerId input, int64_t kernel,
 {
     if (stride < 0)
         stride = kernel;
-    const Shape in = InShape(input);
-    Shape out{in.c, OutDim(in.h, kernel, stride, pad), OutDim(in.w, kernel, stride, pad)};
     LayerParams p;
-    p.out_channels = in.c;
+    p.out_channels = InShape(input).c;
     p.kernel = kernel;
     p.stride = stride;
     p.pad = pad;
-    return Append(name, LayerType::kMaxPool, p, {input}, out);
+    return AppendOp(name, LayerType::kMaxPool, p, {input});
 }
 
 LayerId
@@ -112,14 +109,12 @@ Graph::AddAvgPool(const std::string& name, LayerId input, int64_t kernel,
 {
     if (stride < 0)
         stride = kernel;
-    const Shape in = InShape(input);
-    Shape out{in.c, OutDim(in.h, kernel, stride, pad), OutDim(in.w, kernel, stride, pad)};
     LayerParams p;
-    p.out_channels = in.c;
+    p.out_channels = InShape(input).c;
     p.kernel = kernel;
     p.stride = stride;
     p.pad = pad;
-    return Append(name, LayerType::kAvgPool, p, {input}, out);
+    return AppendOp(name, LayerType::kAvgPool, p, {input});
 }
 
 LayerId
@@ -130,36 +125,78 @@ Graph::AddGlobalAvgPool(const std::string& name, LayerId input)
     p.out_channels = in.c;
     p.kernel = in.h;
     p.stride = in.h;
-    return Append(name, LayerType::kGlobalAvgPool, p, {input}, Shape{in.c, 1, 1});
+    return AppendOp(name, LayerType::kGlobalAvgPool, p, {input});
 }
 
 LayerId
 Graph::AddAdd(const std::string& name, LayerId a, LayerId b)
 {
-    const Shape sa = InShape(a);
-    const Shape sb = InShape(b);
-    SPA_ASSERT(sa == sb, "add '", name, "': shape mismatch ", sa.ToString(), " vs ",
-               sb.ToString());
     LayerParams p;
-    p.out_channels = sa.c;
-    return Append(name, LayerType::kAdd, p, {a, b}, sa);
+    p.out_channels = InShape(a).c;
+    return AppendOp(name, LayerType::kAdd, p, {a, b});
 }
 
 LayerId
 Graph::AddConcat(const std::string& name, const std::vector<LayerId>& inputs)
 {
     SPA_ASSERT(!inputs.empty(), "concat '", name, "' needs inputs");
-    Shape first = InShape(inputs[0]);
     int64_t channels = 0;
-    for (LayerId in : inputs) {
-        const Shape s = InShape(in);
-        SPA_ASSERT(s.h == first.h && s.w == first.w,
-                   "concat '", name, "': spatial mismatch");
-        channels += s.c;
-    }
+    for (LayerId in : inputs)
+        channels += InShape(in).c;
     LayerParams p;
     p.out_channels = channels;
-    return Append(name, LayerType::kConcat, p, inputs, Shape{channels, first.h, first.w});
+    return AppendOp(name, LayerType::kConcat, p, inputs);
+}
+
+LayerId
+Graph::AddMatMul(const std::string& name, LayerId input, int64_t out_features)
+{
+    const Shape in = InShape(input);
+    LayerParams p;
+    p.out_channels = out_features;
+    p.hidden = out_features;
+    p.seq_len = in.h * in.w;
+    return AppendOp(name, LayerType::kMatMul, p, {input});
+}
+
+LayerId
+Graph::AddLayerNorm(const std::string& name, LayerId input, double eps)
+{
+    const Shape in = InShape(input);
+    LayerParams p;
+    p.out_channels = in.c;
+    p.hidden = in.c;
+    p.norm_eps = eps;
+    return AppendOp(name, LayerType::kLayerNorm, p, {input});
+}
+
+LayerId
+Graph::AddSoftmax(const std::string& name, LayerId input)
+{
+    LayerParams p;
+    p.out_channels = InShape(input).c;
+    return AppendOp(name, LayerType::kSoftmax, p, {input});
+}
+
+LayerId
+Graph::AddGelu(const std::string& name, LayerId input)
+{
+    LayerParams p;
+    p.out_channels = InShape(input).c;
+    return AppendOp(name, LayerType::kGelu, p, {input});
+}
+
+LayerId
+Graph::AddAttention(const std::string& name, LayerId q, LayerId k, LayerId v,
+                    int64_t heads)
+{
+    const Shape in = InShape(q);
+    LayerParams p;
+    p.out_channels = in.c;
+    p.hidden = in.c;
+    p.heads = heads;
+    p.seq_len = in.h * in.w;
+    return AppendOp(name, LayerType::kAttention, p, {q, k, v});
 }
 
 LayerId
@@ -221,8 +258,7 @@ Graph::Validate() const
     for (size_t i = 0; i + 1 < layers_.size(); ++i) {
         const auto& l = layers_[i];
         const bool glue = !l.IsCompute() && l.type() != LayerType::kInput;
-        if (glue && consumers[i].empty() &&
-            (l.type() == LayerType::kAdd || l.type() == LayerType::kConcat)) {
+        if (glue && consumers[i].empty() && OpInfo(l.type()).caps.merges_branches) {
             SPA_WARN("dangling glue layer '", l.name(), "'");
         }
     }

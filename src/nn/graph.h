@@ -65,6 +65,25 @@ class Graph
     /** Appends a channel concatenation; H and W must match. */
     LayerId AddConcat(const std::string& name, const std::vector<LayerId>& inputs);
 
+    /**
+     * Appends a token-wise dense projection (seq x cin -> seq x cout).
+     * The spatial extent carries the sequence (tokens = H*W).
+     */
+    LayerId AddMatMul(const std::string& name, LayerId input, int64_t out_features);
+
+    /** Appends a per-token layer normalization. */
+    LayerId AddLayerNorm(const std::string& name, LayerId input, double eps = 1e-5);
+
+    /** Appends a softmax over the feature dim. */
+    LayerId AddSoftmax(const std::string& name, LayerId input);
+
+    /** Appends a GELU activation. */
+    LayerId AddGelu(const std::string& name, LayerId input);
+
+    /** Appends a multi-head self-attention core over equal-shape Q/K/V. */
+    LayerId AddAttention(const std::string& name, LayerId q, LayerId k, LayerId v,
+                         int64_t heads);
+
     const std::vector<Layer>& layers() const { return layers_; }
     const Layer& layer(LayerId id) const { return layers_.at(static_cast<size_t>(id)); }
     size_t size() const { return layers_.size(); }
@@ -90,6 +109,9 @@ class Graph
   private:
     LayerId Append(const std::string& name, LayerType type, LayerParams params,
                    std::vector<LayerId> inputs, Shape out_shape);
+    /** Appends with the output shape inferred by the op's descriptor. */
+    LayerId AppendOp(const std::string& name, LayerType type, LayerParams params,
+                     std::vector<LayerId> inputs);
     Shape InShape(LayerId id) const;
 
     std::string name_;

@@ -1,6 +1,7 @@
 #include "nn/layer.h"
 
 #include "common/logging.h"
+#include "nn/op_registry.h"
 
 namespace spa {
 namespace nn {
@@ -8,31 +9,30 @@ namespace nn {
 const char*
 LayerTypeName(LayerType t)
 {
-    switch (t) {
-      case LayerType::kInput: return "input";
-      case LayerType::kConv: return "conv";
-      case LayerType::kFullyConnected: return "fc";
-      case LayerType::kMaxPool: return "maxpool";
-      case LayerType::kAvgPool: return "avgpool";
-      case LayerType::kGlobalAvgPool: return "globalavgpool";
-      case LayerType::kAdd: return "add";
-      case LayerType::kConcat: return "concat";
-    }
-    return "?";
+    return OpInfo(t).name;
+}
+
+StatusOr<LayerType>
+LayerTypeFromNameOr(const std::string& name)
+{
+    if (const OpDescriptor* d = OpInfoByName(name))
+        return d->type;
+    return InvalidArgument("unknown layer type '" + name + "'");
 }
 
 LayerType
 LayerTypeFromName(const std::string& name)
 {
-    if (name == "input") return LayerType::kInput;
-    if (name == "conv") return LayerType::kConv;
-    if (name == "fc") return LayerType::kFullyConnected;
-    if (name == "maxpool") return LayerType::kMaxPool;
-    if (name == "avgpool") return LayerType::kAvgPool;
-    if (name == "globalavgpool") return LayerType::kGlobalAvgPool;
-    if (name == "add") return LayerType::kAdd;
-    if (name == "concat") return LayerType::kConcat;
-    SPA_FATAL("unknown layer type '", name, "'");
+    StatusOr<LayerType> t = LayerTypeFromNameOr(name);
+    if (!t.ok())
+        SPA_FATAL("unknown layer type '", name, "'");
+    return *t;
+}
+
+bool
+Layer::IsCompute() const
+{
+    return OpInfo(type_).caps.compute;
 }
 
 bool
@@ -45,34 +45,15 @@ Layer::IsDepthwise() const
 int64_t
 Layer::Macs() const
 {
-    switch (type_) {
-      case LayerType::kConv: {
-        const Shape& in = in_shapes_[0];
-        const int64_t cin_per_group = in.c / params_.groups;
-        return out_shape_.Elems() * cin_per_group * params_.kernel * params_.kernel;
-      }
-      case LayerType::kFullyConnected:
-        return in_shapes_[0].Elems() * params_.out_channels;
-      default:
-        return 0;
-    }
+    const OpDescriptor& d = OpInfo(type_);
+    return d.macs ? d.macs(params_, in_shapes_, out_shape_) : 0;
 }
 
 int64_t
 Layer::WeightElems() const
 {
-    switch (type_) {
-      case LayerType::kConv: {
-        const Shape& in = in_shapes_[0];
-        const int64_t cin_per_group = in.c / params_.groups;
-        return params_.out_channels * cin_per_group * params_.kernel * params_.kernel +
-               params_.out_channels;  // bias
-      }
-      case LayerType::kFullyConnected:
-        return in_shapes_[0].Elems() * params_.out_channels + params_.out_channels;
-      default:
-        return 0;
-    }
+    const OpDescriptor& d = OpInfo(type_);
+    return d.weight_elems ? d.weight_elems(params_, in_shapes_, out_shape_) : 0;
 }
 
 int64_t

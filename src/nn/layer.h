@@ -4,14 +4,17 @@
 /**
  * @file
  * Layer node of the DNN DAG: operator type, hyper-parameters and
- * inferred shapes, plus the per-layer analytics (MAC count, weight and
- * feature-map footprints) that drive the whole cost stack.
+ * inferred shapes. Per-layer analytics (MAC count, weight and
+ * feature-map footprints) delegate to the operator's descriptor in
+ * nn/op_registry.h, so adding an operator never touches this file
+ * beyond the enum member.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/shape.h"
 
 namespace spa {
@@ -27,11 +30,21 @@ enum class LayerType {
     kGlobalAvgPool,
     kAdd,             ///< elementwise residual sum
     kConcat,          ///< channel concatenation
+    kMatMul,          ///< token-wise dense projection (seq x cin -> seq x cout)
+    kLayerNorm,       ///< per-token normalization
+    kSoftmax,
+    kGelu,
+    kAttention,       ///< multi-head self-attention core (QK^T softmax V)
 };
+
+/** One past the last LayerType member (registry completeness checks). */
+constexpr int kNumLayerTypes = static_cast<int>(LayerType::kAttention) + 1;
 
 /** Human-readable operator name ("conv", "add", ...). */
 const char* LayerTypeName(LayerType t);
-/** Inverse of LayerTypeName; fatal()s on unknown names. */
+/** Inverse of LayerTypeName; InvalidArgument on unknown names. */
+StatusOr<LayerType> LayerTypeFromNameOr(const std::string& name);
+/** Inverse of LayerTypeName; fatal()s on unknown names (internal callers). */
 LayerType LayerTypeFromName(const std::string& name);
 
 /** Hyper-parameters of a layer; fields not relevant to a type are ignored. */
@@ -42,6 +55,11 @@ struct LayerParams
     int64_t stride = 1;
     int64_t pad = 0;
     int64_t groups = 1;
+    // Attention-era fields (kMatMul / kLayerNorm / kAttention).
+    int64_t seq_len = 0;   ///< sequence length (tokens); 0 = derived from shape
+    int64_t heads = 1;     ///< attention heads
+    int64_t hidden = 0;    ///< feature/hidden dim; 0 = derived from shape
+    double norm_eps = 1e-5;
 };
 
 using LayerId = int32_t;
@@ -67,8 +85,8 @@ class Layer
     const Shape& in_shape(size_t i = 0) const { return in_shapes_.at(i); }
     const Shape& out_shape() const { return out_shape_; }
 
-    /** True for the layer kinds that carry weights and dominate compute. */
-    bool IsCompute() const { return type_ == LayerType::kConv || type_ == LayerType::kFullyConnected; }
+    /** True for the layer kinds that dominate compute (registry `compute` cap). */
+    bool IsCompute() const;
 
     /** True for a convolution whose groups equal its input channels. */
     bool IsDepthwise() const;

@@ -1,6 +1,10 @@
 #include "nn/loader.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.h"
+#include "nn/op_registry.h"
 
 namespace spa {
 namespace nn {
@@ -28,33 +32,17 @@ GraphFromJson(const json::Value& doc)
         }
         SPA_ASSERT(!inputs.empty(), "layer '", name, "' has no inputs");
 
-        const int64_t k = jl.GetInt("k", 1);
-        const int64_t stride = jl.GetInt("stride", type == "conv" ? 1 : -1);
-        const int64_t pad = jl.GetInt("pad", type == "conv" ? -1 : 0);
-
-        LayerId id;
-        if (type == "conv") {
-            id = g.AddConv(name, inputs[0], jl.At("out").AsInt(), k, stride, pad,
-                           jl.GetInt("groups", 1));
-        } else if (type == "dwconv") {
-            id = g.AddDepthwiseConv(name, inputs[0], k, stride, pad);
-        } else if (type == "fc") {
-            id = g.AddFullyConnected(name, inputs[0], jl.At("out").AsInt());
-        } else if (type == "maxpool") {
-            id = g.AddMaxPool(name, inputs[0], k, stride, pad);
-        } else if (type == "avgpool") {
-            id = g.AddAvgPool(name, inputs[0], k, stride, pad);
-        } else if (type == "globalavgpool") {
-            id = g.AddGlobalAvgPool(name, inputs[0]);
-        } else if (type == "add") {
-            SPA_ASSERT(inputs.size() == 2, "add '", name, "' needs exactly 2 inputs");
-            id = g.AddAdd(name, inputs[0], inputs[1]);
-        } else if (type == "concat") {
-            id = g.AddConcat(name, inputs);
-        } else {
-            SPA_FATAL("unsupported layer type '", type, "' for layer '", name, "'");
+        // Aliases ("dwconv") first, then the registry's wire names; an
+        // op without a json_build hook (kInput) cannot appear here.
+        auto* build = OpAliasBuilder(type);
+        if (build == nullptr) {
+            const OpDescriptor* d = OpInfoByName(type);
+            if (d != nullptr)
+                build = d->json_build;
         }
-        prev = id;
+        if (build == nullptr)
+            SPA_FATAL("unsupported layer type '", type, "' for layer '", name, "'");
+        prev = build(g, name, inputs, jl);
     }
     g.Validate();
     return g;
@@ -75,6 +63,22 @@ GraphFromJsonOr(const json::Value& doc)
         return InvalidArgument("model description: missing \"input\" object");
     if (!doc.Has("layers") || !doc.At("layers").IsArray())
         return InvalidArgument("model description: missing \"layers\" array");
+    // Reject unknown operator names up front through the StatusOr name
+    // lookup, so a typo'd op is a structured parse error rather than a
+    // captured fatal (and LoadGraphOr can attach its byte offset).
+    for (const json::Value& jl : doc.At("layers").AsArray()) {
+        if (!jl.IsObject() || !jl.Has("type") || !jl.At("type").IsString())
+            continue;
+        const std::string type = jl.At("type").AsString();
+        if (OpAliasBuilder(type) != nullptr)
+            continue;
+        StatusOr<LayerType> lt = LayerTypeFromNameOr(type);
+        if (!lt.ok()) {
+            return InvalidArgument("model description: unsupported layer type '" +
+                                   type + "' for layer '" +
+                                   jl.GetString("name", "?") + "'");
+        }
+    }
     // The construction helpers validate shapes and references with
     // panic/fatal; the capture scope turns those (and the JSON typed
     // accessors' panics) into a Status without duplicating every check.
@@ -88,6 +92,31 @@ GraphFromJsonOr(const json::Value& doc)
     }
 }
 
+namespace {
+
+/**
+ * Byte offset of the first occurrence of `"token"` (quoted) in the
+ * file at `path`; -1 when unavailable. Used to point structured
+ * unknown-op errors at the offending name, mirroring how JSON syntax
+ * errors already report their position.
+ */
+int64_t
+FindQuotedTokenOffset(const std::string& path, const std::string& token)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return -1;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+    const size_t pos = text.find("\"" + token + "\"");
+    if (pos == std::string::npos)
+        return -1;
+    return static_cast<int64_t>(pos + 1);  // offset of the name itself
+}
+
+}  // namespace
+
 StatusOr<Graph>
 LoadGraphOr(const std::string& path)
 {
@@ -96,8 +125,20 @@ LoadGraphOr(const std::string& path)
         return doc.status();
     StatusOr<Graph> graph = GraphFromJsonOr(*doc);
     if (!graph.ok()) {
-        return Status(graph.status().code(),
-                      path + ": " + graph.status().message());
+        std::string msg = graph.status().message();
+        const std::string marker = "unsupported layer type '";
+        const size_t mpos = msg.find(marker);
+        if (mpos != std::string::npos) {
+            const size_t start = mpos + marker.size();
+            const size_t end = msg.find('\'', start);
+            if (end != std::string::npos) {
+                const int64_t off =
+                    FindQuotedTokenOffset(path, msg.substr(start, end - start));
+                if (off >= 0)
+                    msg += " at byte offset " + std::to_string(off);
+            }
+        }
+        return Status(graph.status().code(), path + ": " + msg);
     }
     return graph;
 }
@@ -121,19 +162,9 @@ GraphToJson(const Graph& graph)
         json::Value jl;
         jl["name"] = l.name();
         jl["type"] = std::string(LayerTypeName(l.type()));
-        if (l.type() == LayerType::kConv) {
-            jl["out"] = l.params().out_channels;
-            jl["k"] = l.params().kernel;
-            jl["stride"] = l.params().stride;
-            jl["pad"] = l.params().pad;
-            jl["groups"] = l.params().groups;
-        } else if (l.type() == LayerType::kFullyConnected) {
-            jl["out"] = l.params().out_channels;
-        } else if (l.type() == LayerType::kMaxPool || l.type() == LayerType::kAvgPool) {
-            jl["k"] = l.params().kernel;
-            jl["stride"] = l.params().stride;
-            jl["pad"] = l.params().pad;
-        }
+        const OpDescriptor& d = OpInfo(l.type());
+        if (d.json_save != nullptr)
+            d.json_save(l, jl);
         json::Array inputs;
         for (LayerId in : l.inputs())
             inputs.push_back(json::Value(graph.layer(in).name()));

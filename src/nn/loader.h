@@ -18,8 +18,10 @@
  * }
  *
  * "inputs" may be omitted for purely sequential models (defaults to the
- * previous layer). Supported types: conv, fc, maxpool, avgpool,
- * globalavgpool, add, concat.
+ * previous layer). Supported types are the op registry's wire names
+ * (conv, fc, maxpool, avgpool, globalavgpool, add, concat, matmul,
+ * layernorm, softmax, gelu, attention) plus the "dwconv" alias; see
+ * nn/op_registry.h.
  */
 
 #include <string>

@@ -31,8 +31,20 @@ Graph BuildSqueezeNet();
 Graph BuildInceptionV1();  ///< a.k.a. GoogleNet
 Graph BuildEfficientNetB0();
 
-/** Names accepted by BuildModel, in the paper's evaluation order. */
+// Attention-era additions (built on the op registry's matmul /
+// layernorm / gelu / attention descriptors).
+Graph BuildBertBase();  ///< BERT-base-class encoder stack (12 x 768 / 12 heads)
+Graph BuildVitB16();    ///< ViT-B/16-class (16x16 patch embed + 12 blocks)
+
+/**
+ * Names accepted by BuildModel, in the paper's evaluation order. This
+ * is the CNN set the frozen fig12/fig13/fig15/fig16 artifacts sweep;
+ * the transformer additions live in AllZooModelNames() only.
+ */
 std::vector<std::string> ZooModelNames();
+
+/** The full zoo: ZooModelNames() plus the transformer-class models. */
+std::vector<std::string> AllZooModelNames();
 
 /** Builds a zoo model by name; fatal()s on unknown names. */
 Graph BuildModel(const std::string& name);

@@ -1,0 +1,56 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+constexpr int64_t kHidden = 768;
+constexpr int64_t kHeads = 12;
+constexpr int64_t kFfHidden = 3072;
+constexpr int64_t kSeqLen = 128;
+constexpr int kBlocks = 12;
+
+/** One pre-LN transformer encoder block; returns the residual stream. */
+LayerId
+EncoderBlock(Graph& g, const std::string& prefix, LayerId in)
+{
+    const LayerId ln1 = g.AddLayerNorm(prefix + "_ln1", in);
+    const LayerId q = g.AddMatMul(prefix + "_q", ln1, kHidden);
+    const LayerId k = g.AddMatMul(prefix + "_k", ln1, kHidden);
+    const LayerId v = g.AddMatMul(prefix + "_v", ln1, kHidden);
+    const LayerId att = g.AddAttention(prefix + "_att", q, k, v, kHeads);
+    const LayerId proj = g.AddMatMul(prefix + "_proj", att, kHidden);
+    const LayerId res1 = g.AddAdd(prefix + "_res1", proj, in);
+    const LayerId ln2 = g.AddLayerNorm(prefix + "_ln2", res1);
+    const LayerId ff1 = g.AddMatMul(prefix + "_ff1", ln2, kFfHidden);
+    const LayerId act = g.AddGelu(prefix + "_gelu", ff1);
+    const LayerId ff2 = g.AddMatMul(prefix + "_ff2", act, kHidden);
+    return g.AddAdd(prefix + "_res2", ff2, res1);
+}
+
+}  // namespace
+
+/**
+ * BERT-base-class encoder stack: 12 pre-LN transformer blocks at hidden
+ * 768 / 12 heads / FF 3072 over a 128-token sequence, followed by mean
+ * pooling and a 2-way classifier head. The token axis rides the H dim
+ * (C = hidden, H = seq, W = 1), so the conv-era glue (add, pooling)
+ * applies unchanged.
+ */
+Graph
+BuildBertBase()
+{
+    Graph g("bert_base");
+    LayerId x = g.AddInput("tokens", Shape{kHidden, kSeqLen, 1});
+    for (int b = 1; b <= kBlocks; ++b)
+        x = EncoderBlock(g, "enc" + std::to_string(b), x);
+    const LayerId ln_f = g.AddLayerNorm("ln_f", x);
+    const LayerId pooled = g.AddGlobalAvgPool("pool", ln_f);
+    const LayerId logits = g.AddFullyConnected("classifier", pooled, 2);
+    g.AddSoftmax("probs", logits);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,56 @@
+#include "nn/models.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+constexpr int64_t kHidden = 768;
+constexpr int64_t kHeads = 12;
+constexpr int64_t kFfHidden = 3072;
+constexpr int kBlocks = 12;
+
+/** One pre-LN transformer encoder block over the 14x14 patch grid. */
+LayerId
+EncoderBlock(Graph& g, const std::string& prefix, LayerId in)
+{
+    const LayerId ln1 = g.AddLayerNorm(prefix + "_ln1", in);
+    const LayerId q = g.AddMatMul(prefix + "_q", ln1, kHidden);
+    const LayerId k = g.AddMatMul(prefix + "_k", ln1, kHidden);
+    const LayerId v = g.AddMatMul(prefix + "_v", ln1, kHidden);
+    const LayerId att = g.AddAttention(prefix + "_att", q, k, v, kHeads);
+    const LayerId proj = g.AddMatMul(prefix + "_proj", att, kHidden);
+    const LayerId res1 = g.AddAdd(prefix + "_res1", proj, in);
+    const LayerId ln2 = g.AddLayerNorm(prefix + "_ln2", res1);
+    const LayerId ff1 = g.AddMatMul(prefix + "_ff1", ln2, kFfHidden);
+    const LayerId act = g.AddGelu(prefix + "_gelu", ff1);
+    const LayerId ff2 = g.AddMatMul(prefix + "_ff2", act, kHidden);
+    return g.AddAdd(prefix + "_res2", ff2, res1);
+}
+
+}  // namespace
+
+/**
+ * ViT-B/16-class: a 16x16/stride-16 conv patch embedding turns the
+ * 3x224x224 image into a 768x14x14 token grid (196 tokens), followed by
+ * 12 transformer encoder blocks (hidden 768 / 12 heads / FF 3072), mean
+ * pooling over the patch grid and a 1000-way classifier. Matmul and
+ * attention treat the spatial dims as the token axis, so the encoder
+ * runs directly on the conv-shaped tensor.
+ */
+Graph
+BuildVitB16()
+{
+    Graph g("vit_b16");
+    const LayerId img = g.AddInput("image", Shape{3, 224, 224});
+    LayerId x = g.AddConv("patch_embed", img, kHidden, 16, 16, 0);
+    for (int b = 1; b <= kBlocks; ++b)
+        x = EncoderBlock(g, "enc" + std::to_string(b), x);
+    const LayerId ln_f = g.AddLayerNorm("ln_f", x);
+    const LayerId pooled = g.AddGlobalAvgPool("pool", ln_f);
+    g.AddFullyConnected("classifier", pooled, 1000);
+    return g;
+}
+
+}  // namespace nn
+}  // namespace spa

@@ -1,0 +1,566 @@
+#include "nn/op_registry.h"
+
+#include "common/logging.h"
+
+namespace spa {
+namespace nn {
+
+namespace {
+
+/** Spatial output extent of a sliding window (shared by conv/pool). */
+int64_t
+OutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    SPA_ASSERT(out > 0, "non-positive spatial output dim (in=", in, " k=", kernel,
+               " s=", stride, " p=", pad, ")");
+    return out;
+}
+
+// ---- Shape inference -------------------------------------------------
+
+Shape
+InferConv(const std::string& name, const LayerParams& p,
+          const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "conv '", name, "' needs exactly 1 input");
+    SPA_ASSERT(in[0].c % p.groups == 0 && p.out_channels % p.groups == 0,
+               "conv '", name, "': channels not divisible by groups");
+    return Shape{p.out_channels, OutDim(in[0].h, p.kernel, p.stride, p.pad),
+                 OutDim(in[0].w, p.kernel, p.stride, p.pad)};
+}
+
+Shape
+InferFullyConnected(const std::string& name, const LayerParams& p,
+                    const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "fc '", name, "' needs exactly 1 input");
+    return Shape{p.out_channels, 1, 1};
+}
+
+Shape
+InferPool(const std::string& name, const LayerParams& p,
+          const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "pool '", name, "' needs exactly 1 input");
+    return Shape{in[0].c, OutDim(in[0].h, p.kernel, p.stride, p.pad),
+                 OutDim(in[0].w, p.kernel, p.stride, p.pad)};
+}
+
+Shape
+InferGlobalPool(const std::string& name, const LayerParams&,
+                const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "pool '", name, "' needs exactly 1 input");
+    return Shape{in[0].c, 1, 1};
+}
+
+Shape
+InferAdd(const std::string& name, const LayerParams&,
+         const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 2, "add '", name, "' needs exactly 2 inputs");
+    SPA_ASSERT(in[0] == in[1], "add '", name, "': shape mismatch ",
+               in[0].ToString(), " vs ", in[1].ToString());
+    return in[0];
+}
+
+Shape
+InferConcat(const std::string& name, const LayerParams&,
+            const std::vector<Shape>& in)
+{
+    SPA_ASSERT(!in.empty(), "concat '", name, "' needs inputs");
+    int64_t channels = 0;
+    for (const Shape& s : in) {
+        SPA_ASSERT(s.h == in[0].h && s.w == in[0].w,
+                   "concat '", name, "': spatial mismatch");
+        channels += s.c;
+    }
+    return Shape{channels, in[0].h, in[0].w};
+}
+
+Shape
+InferMatMul(const std::string& name, const LayerParams& p,
+            const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "matmul '", name, "' needs exactly 1 input");
+    SPA_ASSERT(p.out_channels > 0, "matmul '", name, "' needs out features");
+    // Token-wise projection: every spatial position is one sequence
+    // token, the channel dim is the feature dim. Spatial extent is kept
+    // so residual adds against the producer stay shape-compatible.
+    return Shape{p.out_channels, in[0].h, in[0].w};
+}
+
+Shape
+InferUnaryElementwise(const std::string& name, const LayerParams&,
+                      const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 1, "elementwise op '", name,
+               "' needs exactly 1 input");
+    return in[0];
+}
+
+Shape
+InferAttention(const std::string& name, const LayerParams& p,
+               const std::vector<Shape>& in)
+{
+    SPA_ASSERT(in.size() == 3, "attention '", name,
+               "' needs exactly 3 inputs (q, k, v)");
+    SPA_ASSERT(in[0] == in[1] && in[1] == in[2], "attention '", name,
+               "': q/k/v shape mismatch");
+    SPA_ASSERT(p.heads >= 1 && in[0].c % p.heads == 0, "attention '", name,
+               "': hidden dim not divisible by heads");
+    return in[0];
+}
+
+// ---- Analytics (MACs, weight footprints) -----------------------------
+
+int64_t
+MacsConv(const LayerParams& p, const std::vector<Shape>& in, const Shape& out)
+{
+    const int64_t cin_per_group = in[0].c / p.groups;
+    return out.Elems() * cin_per_group * p.kernel * p.kernel;
+}
+
+int64_t
+MacsFullyConnected(const LayerParams& p, const std::vector<Shape>& in,
+                   const Shape&)
+{
+    return in[0].Elems() * p.out_channels;
+}
+
+int64_t
+MacsMatMul(const LayerParams&, const std::vector<Shape>& in, const Shape& out)
+{
+    // tokens x out_features x in_features
+    return out.Elems() * in[0].c;
+}
+
+int64_t
+MacsAttention(const LayerParams&, const std::vector<Shape>& in, const Shape&)
+{
+    // Two chained GEMMs per head (scores = QK^T, context = PV), each
+    // S x S x head_dim; summed over heads: 2 * S^2 * hidden.
+    const int64_t seq = in[0].h * in[0].w;
+    return 2 * seq * seq * in[0].c;
+}
+
+int64_t
+WeightsConv(const LayerParams& p, const std::vector<Shape>& in, const Shape&)
+{
+    const int64_t cin_per_group = in[0].c / p.groups;
+    return p.out_channels * cin_per_group * p.kernel * p.kernel +
+           p.out_channels;  // bias
+}
+
+int64_t
+WeightsFullyConnected(const LayerParams& p, const std::vector<Shape>& in,
+                      const Shape&)
+{
+    return in[0].Elems() * p.out_channels + p.out_channels;
+}
+
+int64_t
+WeightsMatMul(const LayerParams& p, const std::vector<Shape>& in, const Shape&)
+{
+    return in[0].c * p.out_channels + p.out_channels;
+}
+
+// ---- Lowering onto the cost model's GEMM view ------------------------
+
+GemmView
+LowerConv(const LayerParams& p, const std::vector<Shape>& in, const Shape& out)
+{
+    GemmView v;
+    v.cin = in[0].c;
+    v.hin = in[0].h;
+    v.win = in[0].w;
+    v.cout = out.c;
+    v.hout = out.h;
+    v.wout = out.w;
+    v.kernel = p.kernel;
+    v.stride = p.stride;
+    v.groups = p.groups;
+    v.depthwise = p.groups == in[0].c && p.groups > 1;
+    return v;
+}
+
+GemmView
+LowerFullyConnected(const LayerParams& p, const std::vector<Shape>& in,
+                    const Shape&)
+{
+    GemmView v;
+    v.cin = in[0].Elems();
+    v.cout = p.out_channels;
+    v.fc_like = true;
+    return v;
+}
+
+GemmView
+LowerMatMul(const LayerParams& p, const std::vector<Shape>& in, const Shape&)
+{
+    // One GEMM: seq tokens x (cin -> cout); a 1x1 conv over the token
+    // axis as far as the systolic formulas are concerned.
+    GemmView v;
+    v.cin = in[0].c;
+    v.hin = in[0].h * in[0].w;
+    v.cout = p.out_channels;
+    v.hout = in[0].h * in[0].w;
+    return v;
+}
+
+GemmView
+LowerAttention(const LayerParams& p, const std::vector<Shape>& in, const Shape&)
+{
+    // Per head: scores = Q K^T is an S x S x head_dim GEMM; the context
+    // GEMM P V moves the same MAC volume, modeled as a second pass of
+    // the score shape (grouped by head, reduction depth = head_dim,
+    // S x S outputs per head).
+    const int64_t seq = in[0].h * in[0].w;
+    GemmView v;
+    v.cin = in[0].c;
+    v.hin = seq;
+    v.cout = seq * p.heads;
+    v.hout = seq;
+    v.groups = p.heads;
+    v.passes = 2;
+    return v;
+}
+
+// ---- JSON (de)serialization hooks ------------------------------------
+
+void
+SaveConv(const Layer& l, json::Value& jl)
+{
+    jl["out"] = l.params().out_channels;
+    jl["k"] = l.params().kernel;
+    jl["stride"] = l.params().stride;
+    jl["pad"] = l.params().pad;
+    jl["groups"] = l.params().groups;
+}
+
+void
+SaveOutOnly(const Layer& l, json::Value& jl)
+{
+    jl["out"] = l.params().out_channels;
+}
+
+void
+SavePool(const Layer& l, json::Value& jl)
+{
+    jl["k"] = l.params().kernel;
+    jl["stride"] = l.params().stride;
+    jl["pad"] = l.params().pad;
+}
+
+void
+SaveLayerNorm(const Layer& l, json::Value& jl)
+{
+    jl["eps"] = l.params().norm_eps;
+}
+
+void
+SaveAttention(const Layer& l, json::Value& jl)
+{
+    jl["heads"] = l.params().heads;
+}
+
+LayerId
+BuildConv(Graph& g, const std::string& name, const std::vector<LayerId>& inputs,
+          const json::Value& jl)
+{
+    return g.AddConv(name, inputs[0], jl.At("out").AsInt(), jl.GetInt("k", 1),
+                     jl.GetInt("stride", 1), jl.GetInt("pad", -1),
+                     jl.GetInt("groups", 1));
+}
+
+LayerId
+BuildDepthwiseConv(Graph& g, const std::string& name,
+                   const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddDepthwiseConv(name, inputs[0], jl.GetInt("k", 1),
+                              jl.GetInt("stride", -1), jl.GetInt("pad", 0));
+}
+
+LayerId
+BuildFullyConnected(Graph& g, const std::string& name,
+                    const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddFullyConnected(name, inputs[0], jl.At("out").AsInt());
+}
+
+LayerId
+BuildMaxPool(Graph& g, const std::string& name,
+             const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddMaxPool(name, inputs[0], jl.GetInt("k", 1),
+                        jl.GetInt("stride", -1), jl.GetInt("pad", 0));
+}
+
+LayerId
+BuildAvgPool(Graph& g, const std::string& name,
+             const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddAvgPool(name, inputs[0], jl.GetInt("k", 1),
+                        jl.GetInt("stride", -1), jl.GetInt("pad", 0));
+}
+
+LayerId
+BuildGlobalAvgPool(Graph& g, const std::string& name,
+                   const std::vector<LayerId>& inputs, const json::Value&)
+{
+    return g.AddGlobalAvgPool(name, inputs[0]);
+}
+
+LayerId
+BuildAdd(Graph& g, const std::string& name, const std::vector<LayerId>& inputs,
+         const json::Value&)
+{
+    SPA_ASSERT(inputs.size() == 2, "add '", name, "' needs exactly 2 inputs");
+    return g.AddAdd(name, inputs[0], inputs[1]);
+}
+
+LayerId
+BuildConcat(Graph& g, const std::string& name,
+            const std::vector<LayerId>& inputs, const json::Value&)
+{
+    return g.AddConcat(name, inputs);
+}
+
+LayerId
+BuildMatMul(Graph& g, const std::string& name,
+            const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddMatMul(name, inputs[0], jl.At("out").AsInt());
+}
+
+LayerId
+BuildLayerNorm(Graph& g, const std::string& name,
+               const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    return g.AddLayerNorm(name, inputs[0], jl.GetDouble("eps", 1e-5));
+}
+
+LayerId
+BuildSoftmax(Graph& g, const std::string& name,
+             const std::vector<LayerId>& inputs, const json::Value&)
+{
+    return g.AddSoftmax(name, inputs[0]);
+}
+
+LayerId
+BuildGelu(Graph& g, const std::string& name, const std::vector<LayerId>& inputs,
+          const json::Value&)
+{
+    return g.AddGelu(name, inputs[0]);
+}
+
+LayerId
+BuildAttention(Graph& g, const std::string& name,
+               const std::vector<LayerId>& inputs, const json::Value& jl)
+{
+    SPA_ASSERT(inputs.size() == 3, "attention '", name,
+               "' needs exactly 3 inputs (q, k, v)");
+    return g.AddAttention(name, inputs[0], inputs[1], inputs[2],
+                          jl.GetInt("heads", 1));
+}
+
+// ---- The table -------------------------------------------------------
+
+std::vector<OpDescriptor>
+MakeRegistry()
+{
+    std::vector<OpDescriptor> ops;
+    auto add = [&ops](OpDescriptor d) {
+        SPA_ASSERT(ops.size() == static_cast<size_t>(d.type),
+                   "op registry out of enum order at '", d.name, "'");
+        ops.push_back(d);
+    };
+
+    {
+        OpDescriptor d;
+        d.type = LayerType::kInput;
+        d.name = "input";
+        add(d);  // shape given externally; no analytics, never serialized
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kConv;
+        d.name = "conv";
+        d.caps = {/*has_weights=*/true, /*compute=*/true, false, false, false,
+                  false};
+        d.infer_shape = InferConv;
+        d.macs = MacsConv;
+        d.weight_elems = WeightsConv;
+        d.lower = LowerConv;
+        d.json_save = SaveConv;
+        d.json_build = BuildConv;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kFullyConnected;
+        d.name = "fc";
+        d.caps = {/*has_weights=*/true, /*compute=*/true, false, false, false,
+                  false};
+        d.infer_shape = InferFullyConnected;
+        d.macs = MacsFullyConnected;
+        d.weight_elems = WeightsFullyConnected;
+        d.lower = LowerFullyConnected;
+        d.json_save = SaveOutOnly;
+        d.json_build = BuildFullyConnected;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kMaxPool;
+        d.name = "maxpool";
+        d.caps = {false, false, false, /*reduction=*/true,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferPool;
+        d.json_save = SavePool;
+        d.json_build = BuildMaxPool;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kAvgPool;
+        d.name = "avgpool";
+        d.caps = {false, false, false, /*reduction=*/true,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferPool;
+        d.json_save = SavePool;
+        d.json_build = BuildAvgPool;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kGlobalAvgPool;
+        d.name = "globalavgpool";
+        d.caps = {false, false, false, /*reduction=*/true,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferGlobalPool;
+        d.json_build = BuildGlobalAvgPool;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kAdd;
+        d.name = "add";
+        d.caps = {false, false, /*elementwise=*/true, false, false,
+                  /*merges_branches=*/true};
+        d.infer_shape = InferAdd;
+        d.json_build = BuildAdd;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kConcat;
+        d.name = "concat";
+        d.caps = {false, false, false, false, false, /*merges_branches=*/true};
+        d.infer_shape = InferConcat;
+        d.json_build = BuildConcat;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kMatMul;
+        d.name = "matmul";
+        d.caps = {/*has_weights=*/true, /*compute=*/true, false, false, false,
+                  false};
+        d.infer_shape = InferMatMul;
+        d.macs = MacsMatMul;
+        d.weight_elems = WeightsMatMul;
+        d.lower = LowerMatMul;
+        d.json_save = SaveOutOnly;
+        d.json_build = BuildMatMul;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kLayerNorm;
+        d.name = "layernorm";
+        d.caps = {false, false, /*elementwise=*/true, false,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferUnaryElementwise;
+        d.json_save = SaveLayerNorm;
+        d.json_build = BuildLayerNorm;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kSoftmax;
+        d.name = "softmax";
+        d.caps = {false, false, /*elementwise=*/true, false,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferUnaryElementwise;
+        d.json_build = BuildSoftmax;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kGelu;
+        d.name = "gelu";
+        d.caps = {false, false, /*elementwise=*/true, false,
+                  /*fused_into_producer=*/true, false};
+        d.infer_shape = InferUnaryElementwise;
+        d.json_build = BuildGelu;
+        add(d);
+    }
+    {
+        OpDescriptor d;
+        d.type = LayerType::kAttention;
+        d.name = "attention";
+        d.caps = {/*has_weights=*/false, /*compute=*/true, false, false, false,
+                  false};
+        d.infer_shape = InferAttention;
+        d.macs = MacsAttention;
+        d.lower = LowerAttention;
+        d.json_save = SaveAttention;
+        d.json_build = BuildAttention;
+        add(d);
+    }
+    return ops;
+}
+
+}  // namespace
+
+const std::vector<OpDescriptor>&
+AllOps()
+{
+    static const std::vector<OpDescriptor> registry = MakeRegistry();
+    return registry;
+}
+
+const OpDescriptor&
+OpInfo(LayerType t)
+{
+    const std::vector<OpDescriptor>& ops = AllOps();
+    const size_t idx = static_cast<size_t>(t);
+    SPA_ASSERT(idx < ops.size(), "layer type ", static_cast<int>(t),
+               " has no registered descriptor");
+    return ops[idx];
+}
+
+const OpDescriptor*
+OpInfoByName(const std::string& name)
+{
+    for (const OpDescriptor& d : AllOps())
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
+LayerId (*OpAliasBuilder(const std::string& name))(Graph&, const std::string&,
+                                                   const std::vector<LayerId>&,
+                                                   const json::Value&)
+{
+    // "dwconv" is a builder-level convenience (a conv with groups =
+    // input channels); it round-trips through the "conv" wire name.
+    if (name == "dwconv")
+        return BuildDepthwiseConv;
+    return nullptr;
+}
+
+}  // namespace nn
+}  // namespace spa

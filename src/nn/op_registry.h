@@ -1,0 +1,140 @@
+#ifndef SPA_NN_OP_REGISTRY_H_
+#define SPA_NN_OP_REGISTRY_H_
+
+/**
+ * @file
+ * Central operator-descriptor registry: one table entry per LayerType
+ * carrying everything the rest of the stack needs to know about an
+ * operator — its wire name, capability flags, shape inference, MAC and
+ * weight-footprint formulas, the lowering onto the cost model's GEMM
+ * view, and the JSON (de)serialization hooks.
+ *
+ * Adding an operator means adding one enum member and one descriptor
+ * here; the graph builder, workload extraction, cost model, segmenter,
+ * allocator, pipeline simulator and serving layer all consume the
+ * descriptor instead of switching on the type. The legacy CNN set
+ * (conv / fc / pools / add / concat) keeps its exact historical
+ * formulas, so registry-routed results are bitwise-identical to the
+ * pre-registry code.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/json.h"
+#include "nn/graph.h"
+
+namespace spa {
+namespace nn {
+
+/**
+ * Capability flags of an operator. These answer the questions the
+ * pipeline stack used to answer with hardwired type lists.
+ */
+struct OpCaps
+{
+    /** Carries trained parameters (conv / fc / matmul). */
+    bool has_weights = false;
+    /** Compute-dominant: owns a PU slot and appears in the workload. */
+    bool compute = false;
+    /** Value-wise over its input(s) (add, gelu, layernorm, softmax). */
+    bool elementwise = false;
+    /** Spatial/feature reduction (pools). */
+    bool reduction = false;
+    /**
+     * Streamed by the producer PU as the output is generated, so the
+     * fused chain's final tensor is what reaches a buffer or DRAM
+     * (pools and unary activation/normalization glue). This is the
+     * "fusible with its adjacent compute layer" property the workload
+     * extraction uses when collapsing the graph.
+     */
+    bool fused_into_producer = false;
+    /** Multi-operand glue joining branches (add, concat). */
+    bool merges_branches = false;
+};
+
+/**
+ * The cost stack's view of one compute-layer pass: `passes` repetitions
+ * of a grouped GEMM with reduction depth (cin/groups)*kernel^2 and
+ * m = hout*wout output pixels per group. Convolutions and dense layers
+ * lower with passes = 1; attention lowers its two chained score/context
+ * GEMMs as passes = 2 of the per-head score shape.
+ */
+struct GemmView
+{
+    int64_t cin = 1, hin = 1, win = 1;
+    int64_t cout = 1, hout = 1, wout = 1;
+    int64_t kernel = 1, stride = 1, groups = 1;
+    int64_t passes = 1;
+    bool fc_like = false;     ///< historical is_fc flag (dense classifier)
+    bool depthwise = false;   ///< conv with groups == cin
+};
+
+class Graph;  // graph.h included above; forward kept for readability
+
+/** Everything the stack knows about one operator, as data. */
+struct OpDescriptor
+{
+    LayerType type = LayerType::kInput;
+    const char* name = "?";   ///< wire name ("conv", "attention", ...)
+    OpCaps caps;
+
+    /**
+     * Output shape from hyper-parameters and input shapes; panics (via
+     * SPA_ASSERT) on invalid combinations, naming `layer_name`. Null
+     * for kInput, whose shape is given externally.
+     */
+    Shape (*infer_shape)(const std::string& layer_name, const LayerParams& params,
+                         const std::vector<Shape>& in_shapes) = nullptr;
+
+    /** Multiply-accumulate count of one inference pass. */
+    int64_t (*macs)(const LayerParams& params, const std::vector<Shape>& in_shapes,
+                    const Shape& out_shape) = nullptr;
+
+    /** Weight (+bias) footprint in elements. */
+    int64_t (*weight_elems)(const LayerParams& params,
+                            const std::vector<Shape>& in_shapes,
+                            const Shape& out_shape) = nullptr;
+
+    /**
+     * Lowering onto the cost model's GEMM view; null for non-compute
+     * operators (they never reach the cost model).
+     */
+    GemmView (*lower)(const LayerParams& params, const std::vector<Shape>& in_shapes,
+                      const Shape& out_shape) = nullptr;
+
+    /** Emits the operator's hyper-parameters into a model-JSON layer. */
+    void (*json_save)(const Layer& layer, json::Value& out) = nullptr;
+
+    /**
+     * Appends this operator to `g` from a model-JSON layer object (the
+     * loader's per-op dispatch). Inputs are already resolved.
+     */
+    LayerId (*json_build)(Graph& g, const std::string& name,
+                          const std::vector<LayerId>& inputs,
+                          const json::Value& jl) = nullptr;
+};
+
+/** Descriptor of an operator type; total over the enum (tested). */
+const OpDescriptor& OpInfo(LayerType t);
+
+/** Descriptor by wire name; nullptr for unknown names. */
+const OpDescriptor* OpInfoByName(const std::string& name);
+
+/** Every registered descriptor, in enum order. */
+const std::vector<OpDescriptor>& AllOps();
+
+/**
+ * Loader-level type aliases ("dwconv" builds a depthwise kConv). Maps
+ * an alias to its builder; nullptr when `name` is not an alias.
+ */
+LayerId (*OpAliasBuilder(const std::string& name))(Graph&, const std::string&,
+                                                   const std::vector<LayerId>&,
+                                                   const json::Value&);
+
+}  // namespace nn
+}  // namespace spa
+
+#endif  // SPA_NN_OP_REGISTRY_H_

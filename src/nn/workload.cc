@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "nn/op_registry.h"
 
 namespace spa {
 namespace nn {
@@ -19,8 +20,10 @@ struct Source
 
 /**
  * Expands a graph layer into the compute/input layers it derives from.
- * Pooling scales the branch bytes by its reduction ratio (the producer
- * streams the pooled tensor); add/concat forward all operand branches,
+ * Single-input glue scales the branch bytes by its output/input element
+ * ratio — pools shrink the branch (the producer streams the pooled
+ * tensor), unary elementwise glue passes it through unchanged — while
+ * multi-operand glue (add / concat) forwards all operand branches,
  * since the consumer reads every operand.
  */
 void
@@ -31,30 +34,23 @@ ExpandSources(const Graph& g, LayerId id, double scale, std::vector<Source>& out
         out.push_back({id, scale * static_cast<double>(l.OutputElems())});
         return;
     }
-    switch (l.type()) {
-      case LayerType::kMaxPool:
-      case LayerType::kAvgPool:
-      case LayerType::kGlobalAvgPool: {
+    SPA_ASSERT(!l.inputs().empty(), "glue layer '", l.name(), "' has no inputs");
+    if (l.inputs().size() == 1) {
         const double ratio = static_cast<double>(l.OutputElems()) /
                              static_cast<double>(l.in_shape().Elems());
         ExpandSources(g, l.inputs()[0], scale * ratio, out);
         return;
-      }
-      case LayerType::kAdd:
-      case LayerType::kConcat: {
-        for (LayerId in : l.inputs())
-            ExpandSources(g, in, scale, out);
-        return;
-      }
-      default:
-        SPA_PANIC("unexpected glue layer type");
     }
+    for (LayerId in : l.inputs())
+        ExpandSources(g, in, scale, out);
 }
 
 /**
  * Materialized output elements of a compute layer: its tensor after the
- * chain of pools that are its sole consumers (pooling is fused into the
- * producer PU, so only the pooled tensor ever reaches a buffer or DRAM).
+ * chain of producer-fused glue (pools, unary activations/normalization)
+ * that are its sole consumers — such glue is streamed by the producer
+ * PU, so only the fused chain's final tensor ever reaches a buffer or
+ * DRAM.
  */
 int64_t
 MaterializedOutputElems(const Graph& g, LayerId id,
@@ -66,10 +62,7 @@ MaterializedOutputElems(const Graph& g, LayerId id,
         if (cons.size() != 1)
             break;
         const Layer& next = g.layer(cons[0]);
-        const bool is_pool = next.type() == LayerType::kMaxPool ||
-                             next.type() == LayerType::kAvgPool ||
-                             next.type() == LayerType::kGlobalAvgPool;
-        if (!is_pool)
+        if (!OpInfo(next.type()).caps.fused_into_producer)
             break;
         cur = next.id();
     }
@@ -116,29 +109,23 @@ ExtractWorkload(const Graph& graph, int bytes_per_elem)
         WorkloadLayer wl;
         wl.name = l.name();
         wl.graph_id = id;
-        wl.is_fc = l.type() == LayerType::kFullyConnected;
-        wl.is_depthwise = l.IsDepthwise();
-        const Shape& in = l.in_shape();
-        const Shape& out = l.out_shape();
-        if (wl.is_fc) {
-            wl.cin = in.Elems();
-            wl.hin = wl.win = 1;
-            wl.cout = l.params().out_channels;
-            wl.hout = wl.wout = 1;
-            wl.kernel = 1;
-            wl.stride = 1;
-            wl.groups = 1;
-        } else {
-            wl.cin = in.c;
-            wl.hin = in.h;
-            wl.win = in.w;
-            wl.cout = out.c;
-            wl.hout = out.h;
-            wl.wout = out.w;
-            wl.kernel = l.params().kernel;
-            wl.stride = l.params().stride;
-            wl.groups = l.params().groups;
-        }
+        wl.op = l.type();
+        const OpDescriptor& d = OpInfo(l.type());
+        SPA_ASSERT(d.lower != nullptr, "compute op '", d.name,
+                   "' has no GEMM-view lowering");
+        const GemmView v = d.lower(l.params(), l.in_shapes(), l.out_shape());
+        wl.is_fc = v.fc_like;
+        wl.is_depthwise = v.depthwise;
+        wl.cin = v.cin;
+        wl.hin = v.hin;
+        wl.win = v.win;
+        wl.cout = v.cout;
+        wl.hout = v.hout;
+        wl.wout = v.wout;
+        wl.kernel = v.kernel;
+        wl.stride = v.stride;
+        wl.groups = v.groups;
+        wl.passes = v.passes;
         wl.ops = l.Macs();
         wl.weight_bytes = l.WeightElems() * bytes_per_elem;
         index_of[id] = static_cast<int>(w.layers.size());

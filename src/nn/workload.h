@@ -27,13 +27,17 @@ struct WorkloadLayer
 {
     std::string name;
     LayerId graph_id = -1;   ///< id in the originating Graph
+    LayerType op = LayerType::kConv;  ///< originating operator kind
     bool is_fc = false;
     bool is_depthwise = false;
 
-    // Dimensions (for fc: cin = flattened input, hout = wout = 1).
+    // GEMM-view dimensions from the op descriptor's lowering (for fc:
+    // cin = flattened input, hout = wout = 1; for matmul/attention the
+    // spatial dims carry the token axis).
     int64_t cin = 0, hin = 0, win = 0;
     int64_t cout = 0, hout = 0, wout = 0;
     int64_t kernel = 1, stride = 1, groups = 1;
+    int64_t passes = 1;  ///< chained GEMM passes of this shape (attention = 2)
 
     int64_t ops = 0;            ///< MACs: the paper's ops(l)
     int64_t weight_bytes = 0;   ///< weights + bias at the workload's precision

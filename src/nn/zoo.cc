@@ -14,6 +14,15 @@ ZooModelNames()
     };
 }
 
+std::vector<std::string>
+AllZooModelNames()
+{
+    std::vector<std::string> names = ZooModelNames();
+    names.push_back("bert_base");
+    names.push_back("vit_b16");
+    return names;
+}
+
 Graph
 BuildModel(const std::string& name)
 {
@@ -28,6 +37,8 @@ BuildModel(const std::string& name)
     if (name == "squeezenet") return BuildSqueezeNet();
     if (name == "inception_v1" || name == "googlenet") return BuildInceptionV1();
     if (name == "efficientnet_b0") return BuildEfficientNetB0();
+    if (name == "bert_base") return BuildBertBase();
+    if (name == "vit_b16") return BuildVitB16();
     SPA_FATAL("unknown model '", name, "'");
 }
 

@@ -1,6 +1,7 @@
 #include "pipe/sim.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
 #include "common/logging.h"
@@ -167,6 +168,115 @@ SegmentSimulator::Simulate(const nn::Workload& w, const seg::Assignment& a, int 
     return result;
 }
 
+namespace {
+
+/** Shared state the per-op functional executors operate on. */
+struct FunctionalCtx
+{
+    const seg::Assignment& a;
+    int s;
+    const hw::SpaConfig& config;
+    const std::vector<hw::Dataflow>& dataflow_per_pu;
+    Rng& rng;
+    const std::map<nn::LayerId, int>& workload_of;
+    int requant_shift;
+    std::vector<pu::Tensor3>& values;
+    FunctionalResult& result;
+};
+
+using LayerExecutor = void (*)(const nn::Layer&, FunctionalCtx&);
+
+void
+ExecInput(const nn::Layer& layer, FunctionalCtx& ctx)
+{
+    pu::Tensor3 t(layer.out_shape().c, layer.out_shape().h, layer.out_shape().w);
+    t.FillRandom(ctx.rng);
+    ctx.values[static_cast<size_t>(layer.id())] = std::move(t);
+}
+
+void
+ExecConv(const nn::Layer& layer, FunctionalCtx& ctx)
+{
+    const pu::Tensor3& input = ctx.values[static_cast<size_t>(layer.inputs()[0])];
+    pu::Weights4 weights(layer.params().out_channels,
+                         layer.in_shape().c / layer.params().groups,
+                         layer.params().kernel);
+    weights.FillRandom(ctx.rng);
+    const int widx = ctx.workload_of.at(layer.id());
+    pu::Tensor3i32 acc;
+    if (ctx.a.segment_of[static_cast<size_t>(widx)] == ctx.s) {
+        const int pu_idx = ctx.a.pu_of[static_cast<size_t>(widx)];
+        const auto& pu_cfg = ctx.config.pus[static_cast<size_t>(pu_idx)];
+        pu::PuDriver driver(pu_cfg.rows, pu_cfg.cols);
+        acc = driver
+                  .RunConv(input, weights, layer.params().stride,
+                           layer.params().pad, layer.params().groups,
+                           ctx.dataflow_per_pu[static_cast<size_t>(pu_idx)])
+                  .out;
+    } else {
+        acc = pu::ReferenceConv(input, weights, layer.params().stride,
+                                layer.params().pad, layer.params().groups);
+    }
+    pu::Tensor3 out = pu::Requantize(acc, ctx.requant_shift);
+    ctx.result.outputs[static_cast<size_t>(widx)] = out;
+    ctx.values[static_cast<size_t>(layer.id())] = std::move(out);
+}
+
+void
+ExecMaxPool(const nn::Layer& layer, FunctionalCtx& ctx)
+{
+    ctx.values[static_cast<size_t>(layer.id())] = pu::ReferenceMaxPool(
+        ctx.values[static_cast<size_t>(layer.inputs()[0])],
+        layer.params().kernel, layer.params().stride, layer.params().pad);
+}
+
+void
+ExecAdd(const nn::Layer& layer, FunctionalCtx& ctx)
+{
+    ctx.values[static_cast<size_t>(layer.id())] =
+        pu::ReferenceAdd(ctx.values[static_cast<size_t>(layer.inputs()[0])],
+                         ctx.values[static_cast<size_t>(layer.inputs()[1])]);
+}
+
+void
+ExecConcat(const nn::Layer& layer, FunctionalCtx& ctx)
+{
+    const auto& out_shape = layer.out_shape();
+    pu::Tensor3 out(out_shape.c, out_shape.h, out_shape.w);
+    int64_t offset = 0;
+    for (nn::LayerId in : layer.inputs()) {
+        const pu::Tensor3& part = ctx.values[static_cast<size_t>(in)];
+        for (int64_t c = 0; c < part.c(); ++c)
+            for (int64_t hh = 0; hh < part.h(); ++hh)
+                for (int64_t ww = 0; ww < part.w(); ++ww)
+                    out.at(offset + c, hh, ww) = part.at(c, hh, ww);
+        offset += part.c();
+    }
+    ctx.values[static_cast<size_t>(layer.id())] = std::move(out);
+}
+
+/**
+ * Functional executor of an operator, or nullptr when the bit-exact
+ * path has no reference kernel for it (the caller reports a structured
+ * error). The table is indexed by LayerType, one slot per registry op.
+ */
+LayerExecutor
+FunctionalExecutorFor(nn::LayerType t)
+{
+    static const std::array<LayerExecutor, nn::kNumLayerTypes> table = [] {
+        std::array<LayerExecutor, nn::kNumLayerTypes> ops{};
+        ops[static_cast<size_t>(nn::LayerType::kInput)] = ExecInput;
+        ops[static_cast<size_t>(nn::LayerType::kConv)] = ExecConv;
+        ops[static_cast<size_t>(nn::LayerType::kMaxPool)] = ExecMaxPool;
+        ops[static_cast<size_t>(nn::LayerType::kAdd)] = ExecAdd;
+        ops[static_cast<size_t>(nn::LayerType::kConcat)] = ExecConcat;
+        return ops;
+    }();
+    return table[static_cast<size_t>(t)];
+}
+
+}  // namespace
+
 FunctionalResult
 RunSegmentFunctional(const nn::Graph& graph, const nn::Workload& w,
                      const seg::Assignment& a, int s, const hw::SpaConfig& config,
@@ -203,74 +313,18 @@ RunSegmentFunctional(const nn::Graph& graph, const nn::Workload& w,
 
     std::vector<pu::Tensor3> values(graph.size());
     result.outputs.resize(w.layers.size());
+    FunctionalCtx ctx{a,   s,           config,        dataflow_per_pu,
+                      rng, workload_of, requant_shift, values,
+                      result};
     for (const nn::Layer& layer : graph.layers()) {
-        switch (layer.type()) {
-          case nn::LayerType::kInput: {
-            pu::Tensor3 t(layer.out_shape().c, layer.out_shape().h,
-                          layer.out_shape().w);
-            t.FillRandom(rng);
-            values[static_cast<size_t>(layer.id())] = std::move(t);
-            break;
-          }
-          case nn::LayerType::kConv: {
-            const pu::Tensor3& input =
-                values[static_cast<size_t>(layer.inputs()[0])];
-            pu::Weights4 weights(layer.params().out_channels,
-                                 layer.in_shape().c / layer.params().groups,
-                                 layer.params().kernel);
-            weights.FillRandom(rng);
-            const int widx = workload_of.at(layer.id());
-            pu::Tensor3i32 acc;
-            if (a.segment_of[static_cast<size_t>(widx)] == s) {
-                const int pu_idx = a.pu_of[static_cast<size_t>(widx)];
-                const auto& pu_cfg = config.pus[static_cast<size_t>(pu_idx)];
-                pu::PuDriver driver(pu_cfg.rows, pu_cfg.cols);
-                acc = driver
-                          .RunConv(input, weights, layer.params().stride,
-                                   layer.params().pad, layer.params().groups,
-                                   dataflow_per_pu[static_cast<size_t>(pu_idx)])
-                          .out;
-            } else {
-                acc = pu::ReferenceConv(input, weights, layer.params().stride,
-                                        layer.params().pad, layer.params().groups);
-            }
-            pu::Tensor3 out = pu::Requantize(acc, requant_shift);
-            result.outputs[static_cast<size_t>(widx)] = out;
-            values[static_cast<size_t>(layer.id())] = std::move(out);
-            break;
-          }
-          case nn::LayerType::kMaxPool: {
-            values[static_cast<size_t>(layer.id())] = pu::ReferenceMaxPool(
-                values[static_cast<size_t>(layer.inputs()[0])],
-                layer.params().kernel, layer.params().stride, layer.params().pad);
-            break;
-          }
-          case nn::LayerType::kAdd: {
-            values[static_cast<size_t>(layer.id())] = pu::ReferenceAdd(
-                values[static_cast<size_t>(layer.inputs()[0])],
-                values[static_cast<size_t>(layer.inputs()[1])]);
-            break;
-          }
-          case nn::LayerType::kConcat: {
-            const auto& out_shape = layer.out_shape();
-            pu::Tensor3 out(out_shape.c, out_shape.h, out_shape.w);
-            int64_t offset = 0;
-            for (nn::LayerId in : layer.inputs()) {
-                const pu::Tensor3& part = values[static_cast<size_t>(in)];
-                for (int64_t c = 0; c < part.c(); ++c)
-                    for (int64_t hh = 0; hh < part.h(); ++hh)
-                        for (int64_t ww = 0; ww < part.w(); ++ww)
-                            out.at(offset + c, hh, ww) = part.at(c, hh, ww);
-                offset += part.c();
-            }
-            values[static_cast<size_t>(layer.id())] = std::move(out);
-            break;
-          }
-          default:
+        const LayerExecutor exec =
+            FunctionalExecutorFor(layer.type());
+        if (exec == nullptr) {
             result.error = std::string("functional path does not support '") +
                            nn::LayerTypeName(layer.type()) + "'";
             return result;
         }
+        exec(layer, ctx);
     }
     result.ok = true;
     return result;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "nn/op_registry.h"
 
 namespace spa {
 namespace seg {
@@ -34,15 +35,16 @@ GraphToDot(const nn::Graph& graph)
     os << "digraph \"" << Escape(graph.name()) << "\" {\n"
        << "  rankdir=TB;\n  node [fontsize=10];\n";
     for (const nn::Layer& l : graph.layers()) {
-        const char* shape = "box";
-        switch (l.type()) {
-          case nn::LayerType::kInput: shape = "ellipse"; break;
-          case nn::LayerType::kConv:
-          case nn::LayerType::kFullyConnected: shape = "box"; break;
-          case nn::LayerType::kAdd:
-          case nn::LayerType::kConcat: shape = "diamond"; break;
-          default: shape = "oval"; break;
-        }
+        // Shape by registry capability: inputs are ellipses, compute
+        // layers boxes, branch-merging glue diamonds, other glue ovals.
+        const nn::OpCaps& caps = nn::OpInfo(l.type()).caps;
+        const char* shape = "oval";
+        if (l.type() == nn::LayerType::kInput)
+            shape = "ellipse";
+        else if (caps.compute)
+            shape = "box";
+        else if (caps.merges_branches)
+            shape = "diamond";
         os << "  n" << l.id() << " [label=\"" << Escape(l.name()) << "\\n"
            << nn::LayerTypeName(l.type()) << " " << l.out_shape().ToString()
            << "\" shape=" << shape << "];\n";

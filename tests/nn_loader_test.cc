@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -179,6 +180,37 @@ TEST(LoaderRobustnessTest, SchemaErrorsAreInvalidArgument)
                   "inputs": ["missing"]}]
     })")).status().code(),
               StatusCode::kInvalidArgument);
+}
+
+TEST(LoaderRobustnessTest, UnknownOpInFileReportsByteOffset)
+{
+    const std::string doc = R"({
+      "input": {"c": 3, "h": 8, "w": 8},
+      "layers": [
+        {"name": "c1", "type": "conv", "out": 4, "k": 3},
+        {"name": "x", "type": "warp", "out": 3}
+      ]
+    })";
+    const std::string path = testing::TempDir() + "spa_loader_unknown_op.json";
+    {
+        std::ofstream out(path);
+        out << doc;
+    }
+    StatusOr<Graph> g = LoadGraphOr(path);
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+    // The diagnostic names the offending op, the layer, and where the
+    // op name sits in the file.
+    EXPECT_NE(g.status().message().find("unsupported layer type 'warp'"),
+              std::string::npos)
+        << g.status().message();
+    EXPECT_NE(g.status().message().find("'x'"), std::string::npos);
+    const size_t pos = g.status().message().find("at byte offset ");
+    ASSERT_NE(pos, std::string::npos) << g.status().message();
+    const long offset =
+        std::stol(g.status().message().substr(pos + std::strlen("at byte offset ")));
+    EXPECT_EQ(doc.substr(static_cast<size_t>(offset), 4), "warp");
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Op-descriptor registry invariants plus zoo-wide round-trip
+ * properties: every enum member must carry a complete descriptor, and
+ * serializing any zoo model through the JSON frontend must preserve
+ * shapes, workload fingerprints and cost totals exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autoseg/session.h"
+#include "cost/cost.h"
+#include "hw/config.h"
+#include "nn/loader.h"
+#include "nn/models.h"
+#include "nn/op_registry.h"
+#include "nn/workload.h"
+
+namespace spa {
+namespace {
+
+TEST(OpRegistry, EveryEnumMemberHasACompleteDescriptor)
+{
+    const auto& ops = nn::AllOps();
+    ASSERT_EQ(static_cast<int>(ops.size()), nn::kNumLayerTypes);
+    for (int i = 0; i < nn::kNumLayerTypes; ++i) {
+        const nn::OpDescriptor& d = ops[static_cast<size_t>(i)];
+        SCOPED_TRACE(d.name);
+        EXPECT_EQ(static_cast<int>(d.type), i) << "table out of enum order";
+        EXPECT_STRNE(d.name, "?");
+        EXPECT_GT(std::string(d.name).size(), 0u);
+
+        // The wire name must round-trip through the by-name lookup.
+        const nn::OpDescriptor* by_name = nn::OpInfoByName(d.name);
+        ASSERT_NE(by_name, nullptr);
+        EXPECT_EQ(by_name->type, d.type);
+        StatusOr<nn::LayerType> parsed = nn::LayerTypeFromNameOr(d.name);
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(*parsed, d.type);
+
+        // Inputs get their shape externally; everything else infers it.
+        if (d.type == nn::LayerType::kInput) {
+            EXPECT_EQ(d.infer_shape, nullptr);
+            continue;
+        }
+        EXPECT_NE(d.infer_shape, nullptr);
+        EXPECT_NE(d.json_build, nullptr);
+
+        // Compute ops must know their work and how to reach the cost
+        // model; weight-carrying ops must know their footprint.
+        if (d.caps.compute) {
+            EXPECT_NE(d.macs, nullptr);
+            EXPECT_NE(d.lower, nullptr);
+        } else {
+            EXPECT_EQ(d.lower, nullptr);
+        }
+        if (d.caps.has_weights) {
+            EXPECT_TRUE(d.caps.compute);
+            EXPECT_NE(d.weight_elems, nullptr);
+        }
+    }
+}
+
+TEST(OpRegistry, UnknownNamesAreStructuredErrors)
+{
+    EXPECT_EQ(nn::OpInfoByName("warp"), nullptr);
+    StatusOr<nn::LayerType> r = nn::LayerTypeFromNameOr("warp");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("warp"), std::string::npos);
+}
+
+TEST(OpRegistry, DwconvAliasBuildsDepthwiseConv)
+{
+    EXPECT_NE(nn::OpAliasBuilder("dwconv"), nullptr);
+    EXPECT_EQ(nn::OpAliasBuilder("conv"), nullptr) << "real ops are not aliases";
+}
+
+/** Cost fingerprint of a workload: cycles + traffic over a fixed PU. */
+int64_t
+CostTotal(const cost::CostModel& cost_model, const nn::Workload& w)
+{
+    hw::PuConfig pu;
+    pu.rows = 8;
+    pu.cols = 8;
+    pu.act_buffer_bytes = 64 << 10;
+    pu.weight_buffer_bytes = 64 << 10;
+    int64_t total = 0;
+    for (const nn::WorkloadLayer& l : w.layers) {
+        for (hw::Dataflow df :
+             {hw::Dataflow::kWeightStationary, hw::Dataflow::kOutputStationary}) {
+            total += cost_model.ComputeCycles(l, pu, df);
+            const cost::BufferTraffic t = cost_model.OnChipTraffic(l, pu, df);
+            total += t.weight_reads + t.act_reads + t.psum_accesses + t.out_writes;
+        }
+    }
+    return total;
+}
+
+TEST(ZooRoundTrip, JsonPreservesShapesFingerprintsAndCost)
+{
+    cost::CostModel cost_model;
+    for (const std::string& name : nn::AllZooModelNames()) {
+        SCOPED_TRACE(name);
+        const nn::Graph graph = nn::BuildModel(name);
+        StatusOr<nn::Graph> reloaded =
+            nn::GraphFromJsonOr(nn::GraphToJson(graph));
+        ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+        ASSERT_EQ(graph.layers().size(), reloaded->layers().size());
+        for (size_t i = 0; i < graph.layers().size(); ++i) {
+            const nn::Layer& a = graph.layers()[i];
+            const nn::Layer& b = reloaded->layers()[i];
+            SCOPED_TRACE(a.name());
+            EXPECT_EQ(a.type(), b.type());
+            EXPECT_EQ(a.out_shape(), b.out_shape());
+            EXPECT_EQ(a.Macs(), b.Macs());
+            EXPECT_EQ(a.WeightElems(), b.WeightElems());
+        }
+
+        const nn::Workload w = nn::ExtractWorkload(graph);
+        const nn::Workload w2 = nn::ExtractWorkload(*reloaded);
+        EXPECT_EQ(autoseg::Session::WorkloadFingerprint(w),
+                  autoseg::Session::WorkloadFingerprint(w2));
+        EXPECT_EQ(CostTotal(cost_model, w), CostTotal(cost_model, w2));
+    }
+}
+
+}  // namespace
+}  // namespace spa

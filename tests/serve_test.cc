@@ -15,6 +15,7 @@
 #include "hw/platform.h"
 #include "json/json.h"
 #include "nn/loader.h"
+#include "nn/models.h"
 #include "nn/workload.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -449,7 +450,7 @@ TEST(WarmCachePersistenceTest, SaveCacheMethodPersistsWithoutStopping)
     ASSERT_TRUE(response.GetBool("ok", false));
     StatusOr<json::Value> saved = json::LoadFileOr(path);
     ASSERT_TRUE(saved.ok());
-    EXPECT_EQ(saved->GetString("format", ""), "spa.autoseg.warmcache.v1");
+    EXPECT_EQ(saved->GetString("format", ""), "spa.autoseg.warmcache.v2");
     EXPECT_GT(saved->At("outcomes").size(), 0u);
     EXPECT_GT(saved->At("cost_memo").size(), 0u);
     server.Stop();
@@ -481,6 +482,75 @@ TEST(WarmCachePersistenceTest, TornWarmCacheFileStartsColdNotCrashed)
     EXPECT_TRUE(response.GetBool("ok", false));
     server.Stop();
     std::remove(path.c_str());
+}
+
+TEST(WarmCachePersistenceTest, StaleFormatTagStartsColdNotCrashed)
+{
+    // A complete, well-formed cache carrying the pre-op-registry v1 tag:
+    // its memo entries lack the per-layer pass count, so replaying it
+    // could silently change costs. The daemon must discard it and solve
+    // cold instead.
+    const std::string path = testing::TempDir() + "spa_warm_stale.json";
+    {
+        json::Value cache;
+        cache["format"] = "spa.autoseg.warmcache.v1";
+        cache["outcomes"] = json::Value(json::Array{});
+        cache["cost_memo"] = json::Value(json::Array{});
+        ASSERT_TRUE(json::SaveFileOr(path, cache).ok());
+    }
+    ServerOptions options;
+    options.warm_cache_path = path;
+    cost::CostModel cost_model;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_FALSE(server.started_warm());
+    const json::Value response =
+        server.HandleRequestLine(CodesignRequest("v1").Dump());
+    EXPECT_TRUE(response.GetBool("ok", false));
+    server.Stop();
+    std::remove(path.c_str());
+}
+
+// ---- Transformer workloads through the served path. ----
+
+/** A codesign request for the BERT-base-class zoo model, with a search
+ * small enough for a unit test. */
+json::Value
+BertRequest(const std::string& id)
+{
+    json::Value req;
+    req["id"] = id;
+    req["method"] = "codesign";
+    req["model_json"] = nn::GraphToJson(nn::BuildBertBase());
+    req["platform"] = "nvdla_small";
+    json::Value search;
+    json::Array pus;
+    pus.push_back(json::Value(2));
+    search["pus"] = json::Value(std::move(pus));
+    search["max_segments"] = 2;
+    req["search"] = std::move(search);
+    return req;
+}
+
+TEST(ServeTransformerTest, WarmBertRepeatIsBitwiseIdenticalToCold)
+{
+    cost::CostModel cost_model;
+    Server server(cost_model, ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+
+    const json::Value cold = server.HandleRequestLine(BertRequest("cold").Dump());
+    ASSERT_TRUE(cold.GetBool("ok", false)) << cold.Dump();
+    ASSERT_TRUE(cold.At("results")[0].GetBool("ok", false));
+    const int64_t cold_hits = server.session().outcome_cache().Hits();
+
+    const json::Value warm = server.HandleRequestLine(BertRequest("warm").Dump());
+    ASSERT_TRUE(warm.GetBool("ok", false));
+    // The repeat was answered from the session caches (the attention /
+    // matmul / layernorm descriptors fingerprint identically)...
+    EXPECT_GT(server.session().outcome_cache().Hits(), cold_hits);
+    // ...and byte-for-byte matches the cold answer.
+    EXPECT_EQ(warm.At("results").Dump(), cold.At("results").Dump());
+    server.Stop();
 }
 
 // ---- Fault injection through the request path. ----

@@ -3,13 +3,18 @@
 # robustness- and concurrency-sensitive suites (which include the
 # fault-injection sweep and checkpoint/resume tests).
 #
-# Usage: tools/ci.sh [tier1|asan|tsan|serve|all]   (default: all)
+# Usage: tools/ci.sh [tier1|asan|tsan|serve|zoo|all]   (default: all)
 #   JOBS=<n> overrides the parallel width.
 #
 # The serve stage builds both sanitizer presets and runs only the
 # serving-layer suites: protocol fuzzing, warm-cache persistence and the
 # fault sweep under ASan+UBSan; the concurrent-clients / shared-session
 # suites under TSan.
+#
+# The zoo stage builds tools/zoo_smoke under ASan+UBSan and runs it:
+# every zoo model (CNN and transformer) is loaded, round-tripped through
+# the JSON frontend, and given one small (S, N) co-design evaluation on
+# an ASIC and an FPGA budget. Any Status error fails the stage.
 
 set -euo pipefail
 
@@ -37,21 +42,34 @@ run_serve() {
         -R "$suites"
 }
 
+run_zoo() {
+    local preset="$1"
+    echo "==== [zoo/$preset] configure + build"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$JOBS" --target zoo_smoke
+    echo "==== [zoo/$preset] zoo_smoke"
+    "build-$preset/tools/zoo_smoke"
+}
+
 case "$STAGE" in
   tier1) run_preset default ;;
   asan)  run_preset asan ;;
   tsan)  run_preset tsan ;;
   serve)
-    run_serve asan "ServeProtocolTest|ServeRobustnessTest|ServeFaultSweepTest|WarmCachePersistenceTest"
-    run_serve tsan "ServeConcurrencyTest|ServeServerTest|ServeSessionTest"
+    run_serve asan "ServeProtocolTest|ServeRobustnessTest|ServeFaultSweepTest|WarmCachePersistenceTest|ServeTransformerTest"
+    run_serve tsan "ServeConcurrencyTest|ServeServerTest|ServeSessionTest|ServeTransformerTest"
+    ;;
+  zoo)
+    run_zoo asan
     ;;
   all)
     run_preset default
     run_preset asan
     run_preset tsan
+    run_zoo asan
     ;;
   *)
-    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|all)" >&2
+    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|zoo|all)" >&2
     exit 2
     ;;
 esac

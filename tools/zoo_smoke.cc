@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CI zoo smoke: loads every zoo model (CNN and transformer), round-trips
+ * it through the JSON frontend, and runs one small (S, N) co-design
+ * evaluation per model on one ASIC and one FPGA budget. Exits non-zero
+ * on any Status error, failed design, or round-trip mismatch — the
+ * `tools/ci.sh zoo` stage runs this under ASan to catch op-descriptor
+ * regressions across the whole operator set.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "autoseg/session.h"
+#include "cost/cost.h"
+#include "hw/platform.h"
+#include "nn/loader.h"
+#include "nn/models.h"
+#include "nn/workload.h"
+
+namespace {
+
+using namespace spa;
+
+bool
+CheckModel(const std::string& name, const autoseg::Session& session,
+           const autoseg::CoDesignOptions& search)
+{
+    nn::Graph graph = nn::BuildModel(name);
+
+    // JSON round trip must preserve the workload-relevant structure.
+    StatusOr<nn::Graph> reloaded = nn::GraphFromJsonOr(nn::GraphToJson(graph));
+    if (!reloaded.ok()) {
+        std::fprintf(stderr, "FAIL %s: round trip: %s\n", name.c_str(),
+                     reloaded.status().ToString().c_str());
+        return false;
+    }
+    const nn::Workload w = nn::ExtractWorkload(graph);
+    const nn::Workload w2 = nn::ExtractWorkload(*reloaded);
+    if (autoseg::Session::WorkloadFingerprint(w) !=
+        autoseg::Session::WorkloadFingerprint(w2)) {
+        std::fprintf(stderr, "FAIL %s: fingerprint changed across round trip\n",
+                     name.c_str());
+        return false;
+    }
+
+    const hw::Platform budgets[] = {hw::NvdlaSmallBudget(), hw::Zu3egBudget()};
+    for (const hw::Platform& budget : budgets) {
+        const autoseg::CoDesignResult result = session.Run(
+            w, budget, alloc::DesignGoal::kLatency, search);
+        if (!result.status.ok()) {
+            std::fprintf(stderr, "FAIL %s on %s: %s\n", name.c_str(),
+                         budget.name.c_str(), result.status.ToString().c_str());
+            return false;
+        }
+        if (!result.ok) {
+            std::fprintf(stderr, "FAIL %s on %s: no feasible design\n",
+                         name.c_str(), budget.name.c_str());
+            return false;
+        }
+        std::printf("ok   %-16s %-12s S=%d N=%d latency=%.6f ms\n",
+                    name.c_str(), budget.name.c_str(),
+                    result.assignment.num_segments, result.assignment.num_pus,
+                    result.alloc.latency_seconds * 1e3);
+    }
+    return true;
+}
+
+}  // namespace
+
+int
+main()
+{
+    cost::CostModel cost_model;
+    cost_model.EnableMemo();
+    autoseg::Session session(cost_model, autoseg::SessionOptions{1, true});
+
+    // One small evaluation per model: two PU candidates, few segments.
+    autoseg::CoDesignOptions search;
+    search.pu_candidates = {2};
+    search.max_segments = 2;
+    search.jobs = 1;
+
+    int failures = 0;
+    for (const std::string& name : nn::AllZooModelNames())
+        if (!CheckModel(name, session, search))
+            ++failures;
+    if (failures > 0) {
+        std::fprintf(stderr, "zoo smoke: %d model(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("zoo smoke: all models passed\n");
+    return 0;
+}
