@@ -1,0 +1,12 @@
+#include "common/context.h"
+
+namespace spa {
+
+RequestContext&
+CurrentRequestContext()
+{
+    static thread_local RequestContext ctx;
+    return ctx;
+}
+
+}  // namespace spa

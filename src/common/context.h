@@ -1,0 +1,91 @@
+#ifndef SPA_COMMON_CONTEXT_H_
+#define SPA_COMMON_CONTEXT_H_
+
+/**
+ * @file
+ * Request-scoped execution context, propagated across ThreadPool task
+ * boundaries.
+ *
+ * A RequestContext names the request a thread is currently working for
+ * (trace_id) and points at that request's accounting block
+ * (RequestCounters). The serving layer installs one per request; the
+ * ThreadPool captures the submitting thread's context into each batch
+ * and re-installs it on every helper, so engine/solver work that fans
+ * out over the pool stays attributable to the request that submitted
+ * it.
+ *
+ * Rules that keep this layer inert with respect to results:
+ *
+ *  - The context is *observational only*. Nothing in the search stack
+ *    may read it to make a decision; writers only bump counters or tag
+ *    telemetry records. Results therefore stay bitwise-identical with
+ *    the context installed or absent, at any jobs count.
+ *  - Counter updates are relaxed atomics on a per-request block, so
+ *    concurrent pool tasks of one request never contend on a lock.
+ *  - common/ cannot depend on obs/; trace-id generation, formatting
+ *    and the recording sinks live in obs::, this header only carries
+ *    the raw identifier and counters.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace spa {
+
+/** Per-request accounting, bumped by relaxed atomics from any thread. */
+struct RequestCounters
+{
+    std::atomic<int64_t> cache_hits{0};
+    std::atomic<int64_t> cache_misses{0};
+    std::atomic<int64_t> deadline_ticks{0};  ///< Deadline::Charge calls
+};
+
+/**
+ * The identity a thread is currently working under. trace_id == 0
+ * means "no request": free-standing CLI/bench/test work.
+ */
+struct RequestContext
+{
+    uint64_t trace_id = 0;
+    RequestCounters* counters = nullptr;
+
+    bool active() const { return trace_id != 0; }
+};
+
+/** The calling thread's current context (zero when none installed). */
+RequestContext& CurrentRequestContext();
+
+/**
+ * RAII: installs `ctx` on this thread for the scope's lifetime and
+ * restores the previous context on exit. ThreadPool::DrainBatch uses
+ * the same type to install the submitter's context on helpers.
+ */
+class ScopedRequestContext
+{
+  public:
+    explicit ScopedRequestContext(const RequestContext& ctx)
+        : saved_(CurrentRequestContext())
+    {
+        CurrentRequestContext() = ctx;
+    }
+    ~ScopedRequestContext() { CurrentRequestContext() = saved_; }
+
+    ScopedRequestContext(const ScopedRequestContext&) = delete;
+    ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+  private:
+    RequestContext saved_;
+};
+
+/** Bumps a RequestCounters field of the current context, if any. */
+inline void
+ChargeRequestCounter(std::atomic<int64_t> RequestCounters::* field,
+                     int64_t n = 1)
+{
+    if (RequestCounters* c = CurrentRequestContext().counters)
+        (c->*field).fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace spa
+
+#endif  // SPA_COMMON_CONTEXT_H_

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/context.h"
+
 namespace spa {
 
 class Deadline
@@ -67,6 +69,7 @@ class Deadline
     bool
     Charge()
     {
+        ChargeRequestCounter(&RequestCounters::deadline_ticks);
         if (ticks_) {
             if (ticks_->fetch_sub(1, std::memory_order_relaxed) <= 0)
                 return true;

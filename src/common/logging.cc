@@ -88,12 +88,36 @@ FailureCaptureActive()
     return g_capture_depth > 0;
 }
 
+namespace {
+
+std::atomic<CrashHook> g_crash_hook{nullptr};
+
+/** Runs the crash hook at most once per process, reentrancy-guarded. */
+void
+RunCrashHook(const std::string& msg)
+{
+    static std::atomic<bool> ran{false};
+    if (ran.exchange(true))
+        return;
+    if (CrashHook hook = g_crash_hook.load())
+        hook(msg.c_str());
+}
+
+}  // namespace
+
+void
+SetCrashHook(CrashHook hook)
+{
+    g_crash_hook.store(hook);
+}
+
 void
 PanicImpl(const char* file, int line, const std::string& msg)
 {
     if (FailureCaptureActive())
         throw CapturedFailure(msg);
     std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    RunCrashHook(msg);
     std::abort();
 }
 
@@ -103,6 +127,7 @@ FatalImpl(const char* file, int line, const std::string& msg)
     if (FailureCaptureActive())
         throw CapturedFailure(msg);
     std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line << std::endl;
+    RunCrashHook(msg);
     std::exit(1);
 }
 

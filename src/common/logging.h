@@ -85,6 +85,17 @@ class ScopedFailureCapture
 /** True when a ScopedFailureCapture is active on this thread. */
 bool FailureCaptureActive();
 
+/**
+ * Hook invoked once, with the failure message, just before an
+ * uncaptured SPA_PANIC aborts or SPA_FATAL exits. Lets the process dump
+ * post-mortem state (the obs flight recorder) on the way down. The hook
+ * must be async-signal-unsafe-tolerant only in the sense that it runs
+ * on the failing thread with the process otherwise still alive; it must
+ * not itself panic. Pass nullptr to uninstall.
+ */
+using CrashHook = void (*)(const char* message);
+void SetCrashHook(CrashHook hook);
+
 }  // namespace detail
 
 }  // namespace spa

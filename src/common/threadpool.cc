@@ -5,6 +5,7 @@
 #include <exception>
 #include <limits>
 
+#include "common/context.h"
 #include "common/fault.h"
 
 namespace spa {
@@ -31,6 +32,9 @@ struct ThreadPool::Batch
 {
     const std::function<void(int64_t)>* fn = nullptr;
     int64_t n = 0;
+    /// Submitter's request context, re-installed on every helper so
+    /// pool tasks stay attributable to the request that fanned out.
+    RequestContext context;
 
     std::mutex mutex;
     std::condition_variable done_cv;
@@ -102,6 +106,11 @@ ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch, int slot)
 {
     SlotCounters& counters =
         slot >= 0 ? worker_counters_[static_cast<size_t>(slot)] : caller_counters_;
+    // The caller already runs under the submitting context; helpers
+    // adopt it for the duration of the batch. Observational only —
+    // see common/context.h for the inertness contract.
+    ScopedRequestContext scoped_context(
+        slot >= 0 ? batch->context : CurrentRequestContext());
     for (;;) {
         int64_t index;
         {
@@ -164,6 +173,7 @@ ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn)
     auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
     batch->n = n;
+    batch->context = CurrentRequestContext();
 
     // One queue entry per potential helper; late-arriving helpers see
     // an exhausted batch and return immediately.

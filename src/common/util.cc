@@ -1,5 +1,7 @@
 #include "common/util.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 namespace spa {
@@ -20,6 +22,31 @@ WithUnit(double value, const char* const* units, int num_units, double step)
 }
 
 }  // namespace
+
+Status
+WriteFileAtomicOr(const std::string& path, const std::string& contents)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return IoError("cannot write file '" + tmp + "'");
+    bool ok =
+        std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+    ok = std::fflush(f) == 0 && ok;
+    // Flush content to stable storage before the rename publishes it;
+    // otherwise a crash could expose a zero-length renamed file.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return IoError("short write to file '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return IoError("cannot rename '" + tmp + "' over '" + path + "'");
+    }
+    return Status::Ok();
+}
 
 std::string
 BytesToString(double bytes)

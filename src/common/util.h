@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spa {
 
 /** Ceiling division for non-negative integers. */
@@ -97,6 +99,14 @@ GeoMean(const std::vector<double>& v)
         acc += std::log(x);
     return std::exp(acc / static_cast<double>(v.size()));
 }
+
+/**
+ * Writes `contents` to `path` atomically (temp file + fsync + rename),
+ * so a reader or a mid-write kill never observes a torn file. The
+ * text-file sibling of json::SaveFileOr; every artifact writer (trace
+ * dumps, RTL bundles, DOT files) should go through one of the two.
+ */
+Status WriteFileAtomicOr(const std::string& path, const std::string& contents);
 
 /** Human-readable byte count ("1.5 MB"). */
 std::string BytesToString(double bytes);

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/context.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/util.h"
@@ -79,11 +80,13 @@ class ComputeCycleMemo
                 cycles = it->second;
                 shard.hits.fetch_add(1, std::memory_order_relaxed);
                 GlobalCounters().hits->Inc();
+                ChargeRequestCounter(&RequestCounters::cache_hits);
                 return true;
             }
         }
         shard.misses.fetch_add(1, std::memory_order_relaxed);
         GlobalCounters().misses->Inc();
+        ChargeRequestCounter(&RequestCounters::cache_misses);
         return false;
     }
 

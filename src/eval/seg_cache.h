@@ -29,6 +29,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/context.h"
 #include "common/fault.h"
 #include "obs/stats.h"
 #include "seg/assignment.h"
@@ -54,11 +55,13 @@ class SegmentationCache
                 out = it->second;
                 hits_.fetch_add(1, std::memory_order_relaxed);
                 GlobalCounters().hits->Inc();
+                ChargeRequestCounter(&RequestCounters::cache_hits);
                 return true;
             }
         }
         misses_.fetch_add(1, std::memory_order_relaxed);
         GlobalCounters().misses->Inc();
+        ChargeRequestCounter(&RequestCounters::cache_misses);
         return false;
     }
 
@@ -221,11 +224,13 @@ class SegmentationOutcomeCache
                 out = it->second;
                 hits_.fetch_add(1, std::memory_order_relaxed);
                 GlobalCounters().hits->Inc();
+                ChargeRequestCounter(&RequestCounters::cache_hits);
                 return true;
             }
         }
         misses_.fetch_add(1, std::memory_order_relaxed);
         GlobalCounters().misses->Inc();
+        ChargeRequestCounter(&RequestCounters::cache_misses);
         return false;
     }
 

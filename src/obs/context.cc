@@ -1,0 +1,103 @@
+#include "obs/context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+
+namespace spa {
+namespace obs {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+ProcessSeed()
+{
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= static_cast<uint64_t>(::getpid()) << 32;
+    return seed;
+}
+
+}  // namespace
+
+uint64_t
+GenerateTraceId()
+{
+    static std::atomic<uint64_t> state{ProcessSeed()};
+    uint64_t id = 0;
+    while (id == 0) {
+        uint64_t s = state.fetch_add(0x9e3779b97f4a7c15ULL,
+                                     std::memory_order_relaxed);
+        id = SplitMix64(s);
+    }
+    return id;
+}
+
+std::string
+TraceIdToString(uint64_t id)
+{
+    if (id == 0)
+        return "";
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+uint64_t
+TraceIdFromString(const std::string& s)
+{
+    if (s.empty() || s.size() > 16)
+        return 0;
+    uint64_t id = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return 0;
+        id = (id << 4) | static_cast<uint64_t>(digit);
+    }
+    return id;
+}
+
+std::string
+CurrentTraceId()
+{
+    return TraceIdToString(CurrentRequestContext().trace_id);
+}
+
+RequestScope::RequestScope(uint64_t trace_id, const std::string& what)
+    : context_{trace_id, &counters_}, scoped_(context_), what_(what)
+{
+    FlightRecorder& recorder = FlightRecorder::Get();
+    if (recorder.enabled())
+        recorder.Record(FlightRecorder::Kind::kSpanBegin, what_);
+}
+
+RequestScope::~RequestScope()
+{
+    FlightRecorder& recorder = FlightRecorder::Get();
+    if (recorder.enabled())
+        recorder.Record(FlightRecorder::Kind::kSpanEnd, what_);
+}
+
+}  // namespace obs
+}  // namespace spa

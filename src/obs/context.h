@@ -1,0 +1,72 @@
+#ifndef SPA_OBS_CONTEXT_H_
+#define SPA_OBS_CONTEXT_H_
+
+/**
+ * @file
+ * Trace-context layer over the raw common/context.h identifier: wire
+ * formatting of trace ids, server-side generation, and the RAII
+ * RequestScope the serving layer installs around each request.
+ *
+ * A trace id on the wire is 1..16 lowercase hex characters (a uint64,
+ * zero reserved for "no request"). The daemon accepts a caller-supplied
+ * id, generates one when absent, and echoes it in every response and
+ * error, so a client can correlate its request with the server's wide
+ * event log, flight-recorder dumps and trace spans.
+ *
+ * Generation uses a process-random seed: ids only name requests, they
+ * never feed a search decision, so nondeterminism here cannot perturb
+ * results (the determinism contract of common/context.h).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/context.h"
+
+namespace spa {
+namespace obs {
+
+/** Fresh nonzero request id (splitmix64 over a process-random state). */
+uint64_t GenerateTraceId();
+
+/** 16 lowercase hex chars ("00c0ffee00c0ffee"); empty for id 0. */
+std::string TraceIdToString(uint64_t id);
+
+/**
+ * Parses a wire trace id: 1..16 hex chars (case-insensitive).
+ * Returns 0 for anything malformed or for the reserved zero id.
+ */
+uint64_t TraceIdFromString(const std::string& s);
+
+/** The calling thread's current trace id as a wire string ("" if none). */
+std::string CurrentTraceId();
+
+/**
+ * RAII: installs a request context (trace id + fresh counters) on this
+ * thread for the scope's lifetime; pool fan-out inherits it via
+ * ThreadPool batch propagation. Also notes begin/end markers into the
+ * flight recorder so a post-mortem dump shows the request boundary.
+ */
+class RequestScope
+{
+  public:
+    RequestScope(uint64_t trace_id, const std::string& what);
+    ~RequestScope();
+
+    RequestScope(const RequestScope&) = delete;
+    RequestScope& operator=(const RequestScope&) = delete;
+
+    uint64_t trace_id() const { return context_.trace_id; }
+    const RequestCounters& counters() const { return counters_; }
+
+  private:
+    RequestCounters counters_;
+    RequestContext context_;
+    ScopedRequestContext scoped_;
+    std::string what_;
+};
+
+}  // namespace obs
+}  // namespace spa
+
+#endif  // SPA_OBS_CONTEXT_H_

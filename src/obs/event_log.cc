@@ -1,0 +1,167 @@
+#include "obs/event_log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/stats.h"
+
+namespace spa {
+namespace obs {
+
+namespace {
+
+struct EventLogStats
+{
+    Counter* events;
+    Counter* flushes;
+    Counter* rotations;
+    Counter* dropped;
+
+    EventLogStats()
+    {
+        Registry& r = Registry::Default();
+        events = r.GetCounter("obs.eventlog.events", "wide events appended");
+        flushes = r.GetCounter("obs.eventlog.flushes", "buffer flushes");
+        rotations = r.GetCounter("obs.eventlog.rotations", "log rotations");
+        dropped =
+            r.GetCounter("obs.eventlog.dropped", "events dropped (log closed)");
+    }
+};
+
+EventLogStats&
+Stats()
+{
+    static EventLogStats* stats = new EventLogStats();  // leaked
+    return *stats;
+}
+
+}  // namespace
+
+EventLog::~EventLog()
+{
+    (void)Close();
+}
+
+Status
+EventLog::Open(const std::string& path, EventLogOptions options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr)
+        return InvalidArgument("event log already open at '" + path_ + "'");
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr)
+        return IoError("cannot open event log '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    const long pos = std::ftell(f);
+    path_ = path;
+    options_ = options;
+    file_ = f;
+    file_bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+    return Status::Ok();
+}
+
+bool
+EventLog::IsOpen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return file_ != nullptr;
+}
+
+void
+EventLog::Append(const json::Value& event)
+{
+    std::string line = event.Dump();
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) {
+        Stats().dropped->Inc();
+        return;
+    }
+    buffered_bytes_ += line.size();
+    buffer_.push_back(std::move(line));
+    ++events_;
+    Stats().events->Inc();
+    if (buffer_.size() >= options_.max_buffered) {
+        const Status status = FlushLocked();
+        if (!status.ok())
+            std::fprintf(stderr, "event log flush failed: %s\n",
+                         status.message().c_str());
+    }
+}
+
+Status
+EventLog::Flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr)
+        return Status::Ok();
+    return FlushLocked();
+}
+
+Status
+EventLog::FlushLocked()
+{
+    for (const std::string& line : buffer_) {
+        if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+            return IoError("short write to event log '" + path_ + "'");
+        file_bytes_ += line.size();
+    }
+    buffer_.clear();
+    buffered_bytes_ = 0;
+    if (std::fflush(file_) != 0)
+        return IoError("cannot flush event log '" + path_ + "'");
+    Stats().flushes->Inc();
+    if (file_bytes_ > options_.rotate_bytes)
+        return RotateLocked();
+    return Status::Ok();
+}
+
+Status
+EventLog::RotateLocked()
+{
+    // The rename is atomic: readers see the complete old log under
+    // "<path>.1" or the fresh file under "<path>", never a torn mix.
+    if (::fsync(::fileno(file_)) != 0 || std::fclose(file_) != 0) {
+        file_ = nullptr;
+        return IoError("cannot close event log '" + path_ + "' for rotation");
+    }
+    file_ = nullptr;
+    const std::string rotated = path_ + ".1";
+    if (std::rename(path_.c_str(), rotated.c_str()) != 0)
+        return IoError("cannot rotate '" + path_ + "' to '" + rotated + "'");
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr)
+        return IoError("cannot reopen event log '" + path_ + "'");
+    file_ = f;
+    file_bytes_ = 0;
+    Stats().rotations->Inc();
+    return Status::Ok();
+}
+
+Status
+EventLog::Close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr)
+        return Status::Ok();
+    Status status = FlushLocked();
+    if (file_ != nullptr) {
+        if (std::fclose(file_) != 0 && status.ok())
+            status = IoError("cannot close event log '" + path_ + "'");
+        file_ = nullptr;
+    }
+    buffer_.clear();
+    buffered_bytes_ = 0;
+    return status;
+}
+
+int64_t
+EventLog::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+}  // namespace obs
+}  // namespace spa

@@ -1,0 +1,91 @@
+#ifndef SPA_OBS_EVENT_LOG_H_
+#define SPA_OBS_EVENT_LOG_H_
+
+/**
+ * @file
+ * Wide-event sink: one JSON object per line (NDJSON), appended to a
+ * log file with bounded in-memory buffering and size-triggered atomic
+ * rotation. The serving daemon writes one wide event per request
+ * (trace id, fingerprint, stage timings, cache counters, final
+ * status); see DESIGN.md section 6 for the schema.
+ *
+ * Guarantees:
+ *
+ *  - Append() never blocks on IO beyond the flush it may trigger; the
+ *    buffer bound (EventLogOptions::max_buffered) caps both memory and
+ *    the latency until an event is durable.
+ *  - Rotation is atomic: the live file is renamed to "<path>.1"
+ *    (replacing any previous rotation) and a fresh file is started, so
+ *    a concurrent reader sees either the complete old log or the new
+ *    one, never a truncated hybrid.
+ *  - Thread-safe; a single mutex serializes appends (request
+ *    granularity, far off any search hot path).
+ */
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/json.h"
+
+namespace spa {
+namespace obs {
+
+struct EventLogOptions
+{
+    /** Events buffered in memory before an implicit Flush(). */
+    size_t max_buffered = 16;
+    /** Rotate to "<path>.1" when the live file exceeds this. */
+    size_t rotate_bytes = 64u << 20;
+};
+
+class EventLog
+{
+  public:
+    EventLog() = default;
+    ~EventLog();
+
+    EventLog(const EventLog&) = delete;
+    EventLog& operator=(const EventLog&) = delete;
+
+    /** Opens (creating or appending to) the log at `path`. */
+    Status Open(const std::string& path, EventLogOptions options = {});
+
+    bool IsOpen() const;
+
+    /**
+     * Queues one event (serialized compact, newline-terminated);
+     * flushes when the buffer bound is reached. Silently drops events
+     * (counted in obs.eventlog.dropped) while the log is closed.
+     */
+    void Append(const json::Value& event);
+
+    /** Writes every buffered line to disk; rotates when oversized. */
+    Status Flush();
+
+    /** Flush + close. Reopenable. */
+    Status Close();
+
+    /** Events appended since Open (this process). */
+    int64_t events() const;
+
+  private:
+    Status FlushLocked();
+    Status RotateLocked();
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    EventLogOptions options_;
+    std::FILE* file_ = nullptr;
+    std::vector<std::string> buffer_;
+    size_t buffered_bytes_ = 0;
+    size_t file_bytes_ = 0;
+    int64_t events_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spa
+
+#endif  // SPA_OBS_EVENT_LOG_H_

@@ -1,0 +1,204 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/util.h"
+#include "obs/context.h"
+
+namespace spa {
+namespace obs {
+
+namespace {
+
+int64_t
+NowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+const char*
+KindName(FlightRecorder::Kind kind)
+{
+    switch (kind) {
+    case FlightRecorder::Kind::kSpanBegin:
+        return "B";
+    case FlightRecorder::Kind::kSpanEnd:
+        return "E";
+    case FlightRecorder::Kind::kEvent:
+        return "I";
+    }
+    return "?";
+}
+
+/** Crash hook installed by SetDumpPath: best-effort post-mortem dump. */
+void
+CrashDump(const char* message)
+{
+    FlightRecorder& recorder = FlightRecorder::Get();
+    const std::string path = recorder.dump_path();
+    if (path.empty())
+        return;
+    const Status status =
+        recorder.DumpToFile(path, std::string("fatal: ") + message);
+    if (!status.ok())
+        std::fprintf(stderr, "flight recorder dump failed: %s\n",
+                     status.message().c_str());
+}
+
+}  // namespace
+
+FlightRecorder&
+FlightRecorder::Get()
+{
+    static FlightRecorder* recorder = new FlightRecorder();  // leaked
+    return *recorder;
+}
+
+void
+FlightRecorder::SetEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring*
+FlightRecorder::RingForThisThread()
+{
+    // One ring per thread for the recorder's lifetime; the shared_ptr
+    // in rings_ keeps it reachable for dumps after the thread exits.
+    static thread_local std::shared_ptr<Ring> tl_ring;
+    if (tl_ring != nullptr)
+        return tl_ring.get();
+    auto ring = std::make_shared<Ring>();
+    {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        ring->tid = next_tid_++;
+        rings_.push_back(ring);
+    }
+    tl_ring = ring;
+    return tl_ring.get();
+}
+
+void
+FlightRecorder::Record(Kind kind, std::string name)
+{
+    if (!enabled())
+        return;
+    Ring* ring = RingForThisThread();
+    // The ring has exactly one writer (this thread); the try-lock only
+    // fails while a dump is snapshotting, in which case the entry is
+    // dropped rather than stalling the recording thread.
+    std::unique_lock<std::mutex> lock(ring->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Entry& slot = ring->entries[ring->next % kRingSize];
+    slot.ts_ns = NowNs();
+    slot.trace_id = CurrentRequestContext().trace_id;
+    slot.kind = kind;
+    slot.tid = ring->tid;
+    slot.name = std::move(name);
+    ++ring->next;
+}
+
+std::vector<FlightRecorder::Entry>
+FlightRecorder::Snapshot() const
+{
+    std::vector<Entry> out;
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        rings = rings_;
+    }
+    for (const auto& ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        const uint64_t n = std::min<uint64_t>(ring->next, kRingSize);
+        const uint64_t start = ring->next - n;
+        for (uint64_t i = 0; i < n; ++i)
+            out.push_back(ring->entries[(start + i) % kRingSize]);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Entry& a, const Entry& b) {
+                         if (a.ts_ns != b.ts_ns)
+                             return a.ts_ns < b.ts_ns;
+                         return a.tid < b.tid;
+                     });
+    return out;
+}
+
+json::Value
+FlightRecorder::ToJson(const std::string& reason) const
+{
+    json::Object top;
+    top["reason"] = reason;
+    top["dropped"] = dropped();
+    json::Array entries;
+    for (const Entry& e : Snapshot()) {
+        json::Object o;
+        o["ts_ns"] = e.ts_ns;
+        o["trace_id"] = TraceIdToString(e.trace_id);
+        o["kind"] = std::string(KindName(e.kind));
+        o["tid"] = e.tid;
+        o["name"] = e.name;
+        entries.push_back(json::Value(std::move(o)));
+    }
+    top["entries"] = json::Value(std::move(entries));
+    return json::Value(std::move(top));
+}
+
+Status
+FlightRecorder::DumpToFile(const std::string& path,
+                           const std::string& reason) const
+{
+    return json::SaveFileOr(path, ToJson(reason));
+}
+
+void
+FlightRecorder::SetDumpPath(const std::string& path)
+{
+    {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        dump_path_ = path;
+    }
+    detail::SetCrashHook(path.empty() ? nullptr : &CrashDump);
+}
+
+std::string
+FlightRecorder::dump_path() const
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    return dump_path_;
+}
+
+Status
+FlightRecorder::DumpNow(const std::string& reason) const
+{
+    const std::string path = dump_path();
+    if (path.empty())
+        return Status::Ok();
+    return DumpToFile(path, reason);
+}
+
+void
+FlightRecorder::Clear()
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        rings = rings_;
+    }
+    for (const auto& ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        ring->next = 0;
+        for (Entry& e : ring->entries)
+            e = Entry();
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace spa

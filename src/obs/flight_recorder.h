@@ -1,0 +1,128 @@
+#ifndef SPA_OBS_FLIGHT_RECORDER_H_
+#define SPA_OBS_FLIGHT_RECORDER_H_
+
+/**
+ * @file
+ * Always-on flight recorder: a fixed-size ring of the most recent
+ * spans/events per thread, kept in memory at all times and dumped to a
+ * post-mortem JSON file when the process is dying (SPA_FATAL / SPA_PANIC
+ * via the logging crash hook, a fault-injection trip, or SIGTERM). A
+ * crashed or killed request leaves a reconstructable timeline: every
+ * entry carries the trace id of the request the recording thread was
+ * working for.
+ *
+ * Concurrency/overhead contract:
+ *
+ *  - Recording takes a per-thread ring's try-lock. The lock is only
+ *    ever contended by a dump in progress (each ring has exactly one
+ *    writer); a writer that loses the race drops the entry and bumps a
+ *    counter instead of blocking. Recording therefore never stalls the
+ *    search hot path, and the scheme is clean under TSan.
+ *  - Ring capacity is fixed (kRingSize); old entries are overwritten.
+ *    Memory use is bounded regardless of uptime.
+ *  - Disabled (the default for CLI/bench runs) a record attempt is one
+ *    relaxed atomic load. The serving daemon enables it at startup.
+ *  - Like every obs sink, the recorder is observational only: results
+ *    are bitwise-identical with the recorder on or off.
+ */
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/json.h"
+
+namespace spa {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    static constexpr int kRingSize = 256;
+
+    enum class Kind : uint8_t { kSpanBegin, kSpanEnd, kEvent };
+
+    struct Entry
+    {
+        int64_t ts_ns = 0;      ///< steady-clock ns (process-relative)
+        uint64_t trace_id = 0;  ///< request the thread worked for; 0 = none
+        Kind kind = Kind::kEvent;
+        int tid = 0;  ///< small recorder-local thread id
+        std::string name;
+    };
+
+    /** The process-wide recorder. */
+    static FlightRecorder& Get();
+
+    void SetEnabled(bool enabled);
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Appends an entry to the calling thread's ring, tagged with the
+     * current request context's trace id. Drops (and counts) the entry
+     * if a dump holds the ring's lock. No-op while disabled.
+     */
+    void Record(Kind kind, std::string name);
+
+    /** Entries dropped because a concurrent dump held a ring lock. */
+    int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+    /** All live entries, merged across rings and sorted by (ts, tid). */
+    std::vector<Entry> Snapshot() const;
+
+    /**
+     * Post-mortem document: {"reason", "dropped", "entries":[{"ts_ns",
+     * "trace_id", "kind", "tid", "name"},...]} with entries in time
+     * order and trace ids in wire format.
+     */
+    json::Value ToJson(const std::string& reason) const;
+
+    /** Atomically writes ToJson(reason) to `path`. */
+    Status DumpToFile(const std::string& path, const std::string& reason) const;
+
+    /**
+     * Configures the post-mortem path and installs the SPA_FATAL /
+     * SPA_PANIC crash hook that dumps to it. An empty path uninstalls.
+     */
+    void SetDumpPath(const std::string& path);
+    std::string dump_path() const;
+
+    /** Dumps to the configured path now (no-op Status if none is set). */
+    Status DumpNow(const std::string& reason) const;
+
+    /** Drops every recorded entry (for tests). */
+    void Clear();
+
+  private:
+    struct Ring
+    {
+        mutable std::mutex mutex;  ///< contended only by a dump
+        std::array<Entry, kRingSize> entries;
+        uint64_t next = 0;  ///< total appended; next slot = next % size
+        int tid = 0;
+    };
+
+    FlightRecorder() = default;
+    Ring* RingForThisThread();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<int64_t> dropped_{0};
+    mutable std::mutex rings_mutex_;  ///< guards the ring list + dump path
+    std::vector<std::shared_ptr<Ring>> rings_;
+    int next_tid_ = 0;
+    std::string dump_path_;
+};
+
+}  // namespace obs
+}  // namespace spa
+
+#endif  // SPA_OBS_FLIGHT_RECORDER_H_

@@ -310,6 +310,104 @@ Registry::ToJson() const
     return json::Value(std::move(stats));
 }
 
+namespace {
+
+/** "cost.memo.hits" -> "spa_cost_memo_hits". */
+std::string
+PrometheusName(const std::string& name)
+{
+    std::string out = "spa_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+PrometheusHeader(std::string& out, const std::string& name,
+                 const std::string& desc, const char* type)
+{
+    if (!desc.empty())
+        out += "# HELP " + name + " " + desc + "\n";
+    out += "# TYPE " + name + " ";
+    out += type;
+    out += "\n";
+}
+
+}  // namespace
+
+std::string
+Registry::ToPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    char buf[128];
+    for (const auto& [name, entry] : entries_) {
+        const std::string prom = PrometheusName(name);
+        switch (entry.type) {
+        case Type::kCounter:
+            PrometheusHeader(out, prom, entry.desc, "counter");
+            std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", prom.c_str(),
+                          entry.counter->value());
+            out += buf;
+            break;
+        case Type::kGauge:
+            PrometheusHeader(out, prom, entry.desc, "gauge");
+            std::snprintf(buf, sizeof(buf), "%s %.17g\n", prom.c_str(),
+                          entry.gauge->value());
+            out += buf;
+            break;
+        case Type::kTimer:
+            PrometheusHeader(out, prom + "_ns_total", entry.desc, "counter");
+            std::snprintf(buf, sizeof(buf), "%s_ns_total %" PRId64 "\n",
+                          prom.c_str(), entry.timer->total_ns());
+            out += buf;
+            PrometheusHeader(out, prom + "_count", entry.desc, "counter");
+            std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n",
+                          prom.c_str(), entry.timer->count());
+            out += buf;
+            break;
+        case Type::kHistogram: {
+            const Histogram* h = entry.histogram.get();
+            PrometheusHeader(out, prom, entry.desc, "histogram");
+            // Cumulative counts at the log2 upper edges. Empty buckets
+            // are skipped; the cumulative value at every emitted edge
+            // is still exact.
+            int64_t cumulative = 0;
+            for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+                const int64_t c = h->bucket(i);
+                if (c == 0)
+                    continue;
+                cumulative += c;
+                // Bucket i holds [2^(i-1), 2^i); its inclusive "le"
+                // edge is 2^i - 1, approximated by the next power edge.
+                const int64_t high = i + 1 < Histogram::kNumBuckets
+                                         ? Histogram::BucketLow(i + 1)
+                                         : h->max();
+                std::snprintf(buf, sizeof(buf),
+                              "%s_bucket{le=\"%" PRId64 "\"} %" PRId64 "\n",
+                              prom.c_str(), high, cumulative);
+                out += buf;
+            }
+            std::snprintf(buf, sizeof(buf),
+                          "%s_bucket{le=\"+Inf\"} %" PRId64 "\n", prom.c_str(),
+                          h->count());
+            out += buf;
+            std::snprintf(buf, sizeof(buf), "%s_sum %" PRId64 "\n",
+                          prom.c_str(), h->sum());
+            out += buf;
+            std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n",
+                          prom.c_str(), h->count());
+            out += buf;
+            break;
+        }
+        }
+    }
+    return out;
+}
+
 void
 Registry::Reset()
 {

@@ -185,6 +185,15 @@ class Registry
      */
     json::Value ToJson() const;
 
+    /**
+     * Prometheus text exposition (version 0.0.4): every stat name is
+     * prefixed with "spa_" and sanitized ('.' -> '_'). Counters and
+     * gauges map directly; a Timer becomes <name>_ns_total +
+     * <name>_count; a Histogram becomes cumulative <name>_bucket{le=}
+     * lines (log2 upper edges) plus <name>_sum / <name>_count.
+     */
+    std::string ToPrometheus() const;
+
     /** Zeroes every registered stat (registrations are kept). */
     void Reset();
 

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "common/context.h"
+#include "obs/context.h"
+
 namespace spa {
 namespace obs {
 
@@ -91,6 +94,7 @@ TraceSession::Record(char ph, const char* cat, std::string name)
     event.ph = ph;
     event.ts_ns = NowNs() - start_ns_.load(std::memory_order_relaxed);
     event.tid = buf->tid;
+    event.trace_id = CurrentRequestContext().trace_id;
     std::lock_guard<std::mutex> lock(buf->mutex);
     buf->events.push_back(std::move(event));
 }
@@ -151,6 +155,11 @@ TraceSession::ToJson() const
         o["ts"] = static_cast<double>(e.ts_ns) / 1e3;  // microseconds
         o["pid"] = 1;
         o["tid"] = e.tid;
+        if (e.trace_id != 0) {
+            json::Object args;
+            args["trace_id"] = TraceIdToString(e.trace_id);
+            o["args"] = json::Value(std::move(args));
+        }
         events.push_back(json::Value(std::move(o)));
     }
     json::Object top;
@@ -163,6 +172,12 @@ void
 TraceSession::WriteFile(const std::string& path) const
 {
     json::SaveFile(path, ToJson());
+}
+
+Status
+TraceSession::WriteFileOr(const std::string& path) const
+{
+    return json::SaveFileOr(path, ToJson());
 }
 
 void
@@ -180,6 +195,7 @@ TraceSession::RecordEnd(const char* cat, std::string name, uint64_t epoch)
     event.ph = 'E';
     event.ts_ns = NowNs() - start_ns_.load(std::memory_order_relaxed);
     event.tid = buf->tid;
+    event.trace_id = CurrentRequestContext().trace_id;
     std::lock_guard<std::mutex> lock(buf->mutex);
     buf->events.push_back(std::move(event));
 }
@@ -187,20 +203,26 @@ TraceSession::RecordEnd(const char* cat, std::string name, uint64_t epoch)
 TraceScope::TraceScope(const char* cat, std::string name)
 {
     TraceSession& session = TraceSession::Get();
-    if (!session.enabled())
+    session_active_ = session.enabled();
+    recorder_active_ = FlightRecorder::Get().enabled();
+    if (!session_active_ && !recorder_active_)
         return;
-    active_ = true;
     cat_ = cat;
     name_ = std::move(name);
-    epoch_ = session.epoch();
-    session.Record('B', cat_, name_);
+    if (session_active_) {
+        epoch_ = session.epoch();
+        session.Record('B', cat_, name_);
+    }
+    if (recorder_active_)
+        FlightRecorder::Get().Record(FlightRecorder::Kind::kSpanBegin, name_);
 }
 
 TraceScope::~TraceScope()
 {
-    if (!active_)
-        return;
-    TraceSession::Get().RecordEnd(cat_, std::move(name_), epoch_);
+    if (recorder_active_)
+        FlightRecorder::Get().Record(FlightRecorder::Kind::kSpanEnd, name_);
+    if (session_active_)
+        TraceSession::Get().RecordEnd(cat_, std::move(name_), epoch_);
 }
 
 }  // namespace obs

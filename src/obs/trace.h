@@ -29,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "json/json.h"
+#include "obs/flight_recorder.h"
 
 namespace spa {
 namespace obs {
@@ -42,6 +44,9 @@ struct TraceEvent
     char ph = 'B';  ///< 'B' begin, 'E' end, 'I' instant
     int64_t ts_ns = 0;
     int tid = 0;
+    /// Request the recording thread worked for (0 = none); exported as
+    /// args.trace_id so Perfetto can filter one request's spans.
+    uint64_t trace_id = 0;
 };
 
 /** The process-wide trace recorder. */
@@ -82,8 +87,11 @@ class TraceSession
      */
     json::Value ToJson() const;
 
-    /** Serializes ToJson() to `path`. */
+    /** Serializes ToJson() to `path` (atomic write); fatal on failure. */
     void WriteFile(const std::string& path) const;
+
+    /** Like WriteFile but reports IO failure instead of exiting. */
+    Status WriteFileOr(const std::string& path) const;
 
   private:
     struct ThreadBuf
@@ -104,7 +112,10 @@ class TraceSession
     int next_tid_ = 0;
 };
 
-/** RAII span; records nothing when the session is disabled. */
+/**
+ * RAII span; records into the trace session and/or the flight recorder,
+ * whichever is enabled. Records nothing when both are off.
+ */
 class TraceScope
 {
   public:
@@ -114,11 +125,19 @@ class TraceScope
     TraceScope& operator=(const TraceScope&) = delete;
 
   private:
-    bool active_ = false;
+    bool session_active_ = false;
+    bool recorder_active_ = false;
     const char* cat_ = "";
     std::string name_;
     uint64_t epoch_ = 0;
 };
+
+/** True when any span sink (trace session, flight recorder) is live. */
+inline bool
+TracingActive()
+{
+    return TraceSession::Get().enabled() || FlightRecorder::Get().enabled();
+}
 
 }  // namespace obs
 }  // namespace spa
@@ -128,11 +147,11 @@ class TraceScope
 
 /**
  * Scoped span. `name` may be any expression yielding std::string or
- * const char*; it is evaluated only while tracing is enabled.
+ * const char*; it is evaluated only while a span sink (trace session
+ * or flight recorder) is live.
  */
-#define SPA_TRACE_SCOPE(cat, name)                                      \
-    ::spa::obs::TraceScope SPA_OBS_CONCAT(spa_trace_scope_, __LINE__)(  \
-        cat, ::spa::obs::TraceSession::Get().enabled() ? std::string(name) \
-                                                       : std::string())
+#define SPA_TRACE_SCOPE(cat, name)                                     \
+    ::spa::obs::TraceScope SPA_OBS_CONCAT(spa_trace_scope_, __LINE__)( \
+        cat, ::spa::obs::TracingActive() ? std::string(name) : std::string())
 
 #endif  // SPA_OBS_TRACE_H_

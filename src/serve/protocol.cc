@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "nn/loader.h"
 #include "nn/models.h"
+#include "obs/context.h"
 
 namespace spa {
 namespace serve {
@@ -24,7 +25,7 @@ struct MethodName
 constexpr MethodName kMethods[] = {
     {"codesign", Method::kCoDesign}, {"ping", Method::kPing},
     {"stats", Method::kStats},       {"save_cache", Method::kSaveCache},
-    {"shutdown", Method::kShutdown},
+    {"metrics", Method::kMetrics},   {"shutdown", Method::kShutdown},
 };
 
 Status
@@ -192,6 +193,16 @@ ParseRequestOr(const std::string& text)
     try {
         detail::ScopedFailureCapture capture;
         request.id = parsed.value.GetString("id", "");
+        if (parsed.value.Has("trace_id")) {
+            if (!parsed.value.At("trace_id").IsString())
+                return InvalidArgument("'trace_id' must be a string");
+            const uint64_t trace_id =
+                obs::TraceIdFromString(parsed.value.At("trace_id").AsString());
+            if (trace_id == 0)
+                return InvalidArgument(
+                    "'trace_id' must be 1..16 hex characters (nonzero)");
+            request.trace_id = obs::TraceIdToString(trace_id);
+        }
         SPA_RETURN_IF_ERROR(ParseMethod(
             parsed.value.GetString("method", "codesign"), request.method));
         if (request.method == Method::kCoDesign) {
@@ -220,6 +231,17 @@ RequestIdOf(const std::string& text)
     if (!parsed.ok || !parsed.value.IsObject())
         return "";
     return parsed.value.GetString("id", "");
+}
+
+uint64_t
+TraceIdOf(const std::string& text)
+{
+    if (text.size() > kMaxRequestBytes)
+        return 0;
+    json::ParseResult parsed = json::Parse(text);
+    if (!parsed.ok || !parsed.value.IsObject())
+        return 0;
+    return obs::TraceIdFromString(parsed.value.GetString("trace_id", ""));
 }
 
 json::Value

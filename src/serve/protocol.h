@@ -15,7 +15,10 @@
  *
  * {
  *   "id": "r1",                     // echoed back, optional
- *   "method": "codesign",           // codesign|ping|stats|save_cache|shutdown
+ *   "trace_id": "00c0ffee",         // 1..16 hex chars, optional; the
+ *                                   // server generates one when absent
+ *   "method": "codesign",           // codesign|ping|stats|save_cache|
+ *                                   // metrics|shutdown
  *   "model": "alexnet",             // zoo name, or:
  *   "model_json": { ... },          // inline model description (nn/loader.h)
  *   "platform": "eyeriss",          // one budget, or:
@@ -40,11 +43,15 @@
  *
  * Response shape (codesign):
  *
- * {"id": "r1", "ok": true, "results": [per-platform entries...]}
+ * {"id": "r1", "trace_id": "...", "ok": true, "results": [...]}
  *
  * where each entry carries the platform name, the outcome flags, the
  * goal value and the full design record (autoseg/record.h). Errors:
  * {"id": "r1", "ok": false, "code": "INVALID_ARGUMENT", "error": "..."}.
+ * Every response — success or error — echoes the request's trace id
+ * (canonical 16-hex form, server-generated when the request had none),
+ * so clients can correlate answers with the server's request log,
+ * flight-recorder dumps and trace spans.
  */
 
 #include <string>
@@ -73,6 +80,7 @@ enum class Method
     kPing,       ///< liveness probe
     kStats,      ///< dump the service stats registry
     kSaveCache,  ///< persist the warm cache now
+    kMetrics,    ///< Prometheus text exposition + slow-request exemplars
     kShutdown,   ///< stop accepting work and exit
 };
 
@@ -80,6 +88,8 @@ enum class Method
 struct Request
 {
     std::string id;
+    /** Canonical (16 lowercase hex) trace id; empty when none was sent. */
+    std::string trace_id;
     Method method = Method::kPing;
 
     // codesign payload (empty/default for other methods):
@@ -99,6 +109,13 @@ StatusOr<Request> ParseRequestOr(const std::string& text);
 
 /** The "id" of a request line, best-effort (for error responses). */
 std::string RequestIdOf(const std::string& text);
+
+/**
+ * The "trace_id" of a request line as a parsed id, best-effort: 0 when
+ * the line is unparseable or carries no valid trace id. Used so even a
+ * malformed request's error response echoes the caller's trace id.
+ */
+uint64_t TraceIdOf(const std::string& text);
 
 /** One platform's entry in a codesign response. */
 json::Value ResultToJson(const nn::Workload& w, const hw::Platform& platform,

@@ -7,13 +7,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
 #include <cstring>
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "obs/context.h"
+#include "obs/flight_recorder.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace spa {
 namespace serve {
@@ -30,6 +35,7 @@ struct ServeStats
     obs::Counter* requests_error;
     obs::Histogram* request_ns;
     obs::Histogram* codesign_ns;
+    obs::Histogram* queue_wait_ns;
     obs::Gauge* active_sessions;
 
     static const ServeStats&
@@ -49,6 +55,8 @@ struct ServeStats
                                "end-to-end request handling latency"),
                 r.GetHistogram("serve.codesign_ns",
                                "codesign request handling latency"),
+                r.GetHistogram("serve.queue_wait_ns",
+                               "admission-to-dispatch wait per connection"),
                 r.GetGauge("serve.active_sessions",
                            "connections being served (last sample)"),
             };
@@ -63,6 +71,48 @@ NowNs()
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+/** Wall-clock ms since the Unix epoch (wide-event timestamps). */
+int64_t
+WallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Wire name of a parsed method (wide-event / exemplar labels). */
+const char*
+MethodLabel(Method method)
+{
+    switch (method) {
+    case Method::kCoDesign:
+        return "codesign";
+    case Method::kPing:
+        return "ping";
+    case Method::kStats:
+        return "stats";
+    case Method::kSaveCache:
+        return "save_cache";
+    case Method::kMetrics:
+        return "metrics";
+    case Method::kShutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+/** p50/p90/p99 summary of a histogram (stats-method JSON). */
+json::Value
+PercentileSummary(const obs::Histogram* h)
+{
+    json::Value out;
+    out["count"] = h->count();
+    out["p50_ns"] = h->Percentile(0.50);
+    out["p90_ns"] = h->Percentile(0.90);
+    out["p99_ns"] = h->Percentile(0.99);
+    return out;
 }
 
 /** Writes the whole buffer, riding out short writes and EINTR. */
@@ -147,6 +197,23 @@ Server::Start()
     if (started_.load(std::memory_order_acquire))
         return Status::Ok();
 
+    if (!options_.request_log_path.empty()) {
+        // Best-effort like the warm cache: a log that cannot open must
+        // not keep the daemon from serving.
+        const Status opened = request_log_.Open(options_.request_log_path);
+        if (opened.ok())
+            SPA_INFORM("serve: request log at ", options_.request_log_path);
+        else
+            SPA_WARN("serve: request log disabled: ", opened.ToString());
+    }
+    if (!options_.flight_recorder_path.empty()) {
+        obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+        recorder.SetDumpPath(options_.flight_recorder_path);
+        recorder.SetEnabled(true);
+        SPA_INFORM("serve: flight recorder armed, dumps to ",
+                options_.flight_recorder_path);
+    }
+
     if (!options_.warm_cache_path.empty()) {
         // Warm start is best-effort: a missing, torn or foreign file
         // must leave a cold-but-healthy daemon, so the Status is logged
@@ -228,6 +295,16 @@ Server::Stop()
         else
             SPA_WARN("serve: warm cache save failed: ", saved.ToString());
     }
+    const Status closed = request_log_.Close();
+    if (!closed.ok())
+        SPA_WARN("serve: request log close failed: ", closed.ToString());
+    if (!options_.flight_recorder_path.empty()) {
+        // Disarm so a later server instance (tests run several per
+        // process) starts from a clean global recorder.
+        obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+        recorder.SetEnabled(false);
+        recorder.SetDumpPath("");
+    }
     // Release anyone blocked in WaitForShutdownRequest.
     shutdown_cv_.notify_all();
 }
@@ -267,8 +344,12 @@ Server::AcceptLoop()
         if (fd < 0)
             continue;
         const ServeStats& stats = ServeStats::Get();
-        const Status admitted =
-            scheduler_.Submit([this, fd] { ServeConnection(fd); });
+        // Stamp admission time; the job measures the admission-to-
+        // dispatch gap (serve.queue_wait_ns) when a worker picks it up.
+        const int64_t admitted_ns = NowNs();
+        const Status admitted = scheduler_.Submit([this, fd, admitted_ns] {
+            ServeConnection(fd, NowNs() - admitted_ns);
+        });
         if (!admitted.ok()) {
             // Over capacity: tell the client why before hanging up, so
             // a kUnavailable is distinguishable from a crash.
@@ -282,9 +363,10 @@ Server::AcceptLoop()
 }
 
 void
-Server::ServeConnection(int fd)
+Server::ServeConnection(int fd, int64_t queue_wait_ns)
 {
     const ServeStats& stats = ServeStats::Get();
+    stats.queue_wait_ns->Observe(queue_wait_ns);
     stats.active_sessions->Set(
         static_cast<double>(scheduler_.ActiveJobs()));
     std::string line;
@@ -301,8 +383,16 @@ Server::ServeConnection(int fd)
                          "\n");
             break;
         }
-        const json::Value response = HandleRequestLine(line);
-        if (!WriteAll(fd, response.Dump() + "\n"))
+        json::Value event;
+        const json::Value response = HandleRequest(line, &event);
+        const int64_t respond_start = NowNs();
+        const bool wrote = WriteAll(fd, response.Dump() + "\n");
+        // The socket path knows two stages the transport-free path
+        // cannot: the admission wait and the response write.
+        event["queue_wait_ns"] = queue_wait_ns;
+        event["respond_ns"] = NowNs() - respond_start;
+        EmitRequestEvent(std::move(event));
+        if (!wrote)
             break;
         // A connection that asked for shutdown is answered, then the
         // daemon main thread (woken below) tears the service down.
@@ -317,25 +407,66 @@ Server::ServeConnection(int fd)
 json::Value
 Server::HandleRequestLine(const std::string& line)
 {
+    json::Value event;
+    json::Value response = HandleRequest(line, &event);
+    EmitRequestEvent(std::move(event));
+    return response;
+}
+
+json::Value
+Server::HandleRequest(const std::string& line, json::Value* event_out)
+{
     const ServeStats& stats = ServeStats::Get();
     const int64_t start_ns = NowNs();
     stats.requests->Inc();
 
+    // Resolve the trace id up front so even a parse failure echoes the
+    // caller's id; absent or invalid ids get a server-generated one.
+    uint64_t trace_id = TraceIdOf(line);
+    if (trace_id == 0)
+        trace_id = obs::GenerateTraceId();
+    const std::string trace_hex = obs::TraceIdToString(trace_id);
+
+    // Everything below — including engine work fanned out over the
+    // thread pool — runs attributed to this trace id.
+    obs::RequestScope scope(trace_id, "request " + trace_hex);
+    SPA_TRACE_SCOPE("serve", "request " + trace_hex);
+
+    std::string method = "invalid";
+    std::string fingerprint;
+    int64_t parse_ns = 0;
+    int64_t solve_ns = 0;
+
     json::Value response;
     try {
         StatusOr<Request> request = ParseRequestOr(line);
+        parse_ns = NowNs() - start_ns;
         if (!request.ok()) {
             response = ErrorResponse(RequestIdOf(line), request.status());
         } else {
+            method = MethodLabel(request->method);
+            if (request->method == Method::kCoDesign)
+                fingerprint =
+                    autoseg::Session::WorkloadFingerprint(request->workload);
+            const int64_t solve_start = NowNs();
             response = Dispatch(*request);
+            solve_ns = NowNs() - solve_start;
         }
     } catch (const fault::InjectedFault& e) {
+        // A tripped fault site is exactly the in-flight failure the
+        // flight recorder exists for: dump before answering, while the
+        // dying request's spans are still in the rings.
+        const Status dumped = obs::FlightRecorder::Get().DumpNow(
+            std::string("fault: ") + e.what());
+        if (!dumped.ok() && !obs::FlightRecorder::Get().dump_path().empty())
+            SPA_WARN("serve: flight-recorder dump failed: ", dumped.ToString());
         response = ErrorResponse(RequestIdOf(line), FaultInjected(e.what()));
     } catch (const std::exception& e) {
         // Nothing below should leak an exception; if something does,
         // the connection gets a structured kInternal, not a dead socket.
         response = ErrorResponse(RequestIdOf(line), Internal(e.what()));
     }
+    response["trace_id"] = trace_hex;
 
     const int64_t elapsed_ns = NowNs() - start_ns;
     stats.request_ns->Observe(elapsed_ns);
@@ -343,7 +474,104 @@ Server::HandleRequestLine(const std::string& line)
         stats.requests_ok->Inc();
     else
         stats.requests_error->Inc();
+    NoteSlowRequest(elapsed_ns, trace_hex, method);
+
+    if (event_out != nullptr) {
+        // One wide event per request: identity, stage timings, the
+        // request's own cache/deadline accounting, and the degradation
+        // summary — everything needed to explain one slow request
+        // without correlating other sources.
+        json::Value event;
+        event["ts_ms"] = WallMs();
+        event["trace_id"] = trace_hex;
+        event["id"] = response.GetString("id", "");
+        event["method"] = method;
+        event["ok"] = response.GetBool("ok", false);
+        if (!fingerprint.empty())
+            event["workload"] = fingerprint;
+        json::Value stages;
+        stages["parse_ns"] = parse_ns;
+        stages["solve_ns"] = solve_ns;
+        stages["total_ns"] = elapsed_ns;
+        event["stage_ns"] = std::move(stages);
+        const RequestCounters& counters = scope.counters();
+        event["cache_hits"] =
+            counters.cache_hits.load(std::memory_order_relaxed);
+        event["cache_misses"] =
+            counters.cache_misses.load(std::memory_order_relaxed);
+        event["deadline_ticks"] =
+            counters.deadline_ticks.load(std::memory_order_relaxed);
+        // Final status: the error code, or the worst per-platform
+        // status of an ok codesign sweep (deadline truncation shows up
+        // here even though the response as a whole is ok).
+        std::string status = "OK";
+        if (!response.GetBool("ok", false))
+            status = response.GetString("code", "INTERNAL");
+        int64_t fallbacks = 0;
+        bool truncated = false;
+        if (response.Has("results") && response.At("results").IsArray()) {
+            for (const json::Value& r : response.At("results").AsArray()) {
+                fallbacks += r.GetInt("fallbacks", 0);
+                truncated = truncated || r.GetBool("truncated", false);
+                const std::string code = r.GetString("status_code", "OK");
+                if (code != "OK" && status == "OK")
+                    status = code;
+            }
+        }
+        event["status"] = status;
+        event["fallbacks"] = fallbacks;
+        event["truncated"] = truncated;
+        *event_out = std::move(event);
+    }
     return response;
+}
+
+void
+Server::EmitRequestEvent(json::Value event)
+{
+    if (request_log_.IsOpen())
+        request_log_.Append(event);
+}
+
+void
+Server::NoteSlowRequest(int64_t ns, const std::string& trace_id,
+                        const std::string& method)
+{
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (slow_requests_.size() >= kMaxExemplars &&
+        ns <= slow_requests_.back().ns)
+        return;
+    slow_requests_.push_back({ns, trace_id, method});
+    std::sort(slow_requests_.begin(), slow_requests_.end(),
+              [](const SlowRequest& a, const SlowRequest& b) {
+                  return a.ns > b.ns;
+              });
+    if (slow_requests_.size() > kMaxExemplars)
+        slow_requests_.resize(kMaxExemplars);
+}
+
+std::vector<Server::SlowRequest>
+Server::SlowRequests() const
+{
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    return slow_requests_;
+}
+
+void
+Server::RefreshDerivedGauges()
+{
+    session_.evaluator().FlushStats();
+    obs::Registry& r = obs::Registry::Default();
+    const cost::CostModel& cm = session_.evaluator().cost_model();
+    const int64_t memo_total = cm.MemoHits() + cm.MemoMisses();
+    r.GetGauge("cost.memo.hit_rate",
+               "hits / lookups of the compute-cycle memo")
+        ->Set(memo_total > 0 ? static_cast<double>(cm.MemoHits()) /
+                                   static_cast<double>(memo_total)
+                             : 0.0);
+    r.GetGauge("eval.outcome_cache.hit_rate",
+               "hits / lookups of the session outcome cache")
+        ->Set(session_.outcome_cache().HitRate());
 }
 
 json::Value
@@ -358,29 +586,47 @@ Server::Dispatch(const Request& request)
     case Method::kStats: {
         // Refresh the derived gauges so one stats call gives the whole
         // service picture: pool, caches, scheduler, request latencies.
-        session_.evaluator().FlushStats();
-        obs::Registry& r = obs::Registry::Default();
-        const cost::CostModel& cm = session_.evaluator().cost_model();
-        const int64_t memo_total = cm.MemoHits() + cm.MemoMisses();
-        r.GetGauge("cost.memo.hit_rate",
-                   "hits / lookups of the compute-cycle memo")
-            ->Set(memo_total > 0 ? static_cast<double>(cm.MemoHits()) /
-                                       static_cast<double>(memo_total)
-                                 : 0.0);
-        r.GetGauge("eval.outcome_cache.hit_rate",
-                   "hits / lookups of the session outcome cache")
-            ->Set(session_.outcome_cache().HitRate());
+        RefreshDerivedGauges();
         const ServeStats& stats = ServeStats::Get();
         json::Value response = OkResponse(request.id);
-        response["stats"] = r.ToJson();
-        json::Value latency;
-        latency["count"] = stats.request_ns->count();
-        latency["p50_ns"] = stats.request_ns->Percentile(0.50);
-        latency["p90_ns"] = stats.request_ns->Percentile(0.90);
-        latency["p99_ns"] = stats.request_ns->Percentile(0.99);
-        response["request_latency"] = std::move(latency);
+        response["stats"] = obs::Registry::Default().ToJson();
+        response["request_latency"] = PercentileSummary(stats.request_ns);
+        response["queue_wait"] = PercentileSummary(stats.queue_wait_ns);
         response["outcome_cache_entries"] =
             static_cast<int64_t>(session_.outcome_cache().Size());
+        return response;
+    }
+    case Method::kMetrics: {
+        RefreshDerivedGauges();
+        std::string text = obs::Registry::Default().ToPrometheus();
+        // Slow-request exemplars: the top-K latencies with their trace
+        // ids, so a scrape points straight at the requests worth
+        // pulling from the request log.
+        const std::vector<SlowRequest> slow = SlowRequests();
+        json::Array exemplars;
+        if (!slow.empty()) {
+            text += "# HELP spa_slow_request_ns slowest requests by latency\n";
+            text += "# TYPE spa_slow_request_ns gauge\n";
+            char buf[192];
+            for (size_t i = 0; i < slow.size(); ++i) {
+                std::snprintf(buf, sizeof(buf),
+                              "spa_slow_request_ns{rank=\"%zu\",trace_id="
+                              "\"%s\",method=\"%s\"} %" PRId64 "\n",
+                              i, slow[i].trace_id.c_str(),
+                              slow[i].method.c_str(), slow[i].ns);
+                text += buf;
+                json::Value e;
+                e["rank"] = static_cast<int64_t>(i);
+                e["trace_id"] = slow[i].trace_id;
+                e["method"] = slow[i].method;
+                e["ns"] = slow[i].ns;
+                exemplars.push_back(std::move(e));
+            }
+        }
+        json::Value response = OkResponse(request.id);
+        response["content_type"] = "text/plain; version=0.0.4";
+        response["exposition"] = text;
+        response["exemplars"] = json::Value(std::move(exemplars));
         return response;
     }
     case Method::kSaveCache: {

@@ -31,10 +31,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "autoseg/session.h"
 #include "common/status.h"
 #include "cost/cost.h"
+#include "obs/event_log.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 
@@ -52,6 +54,13 @@ struct ServerOptions
     int max_pending = 8;
     /** When set: restore on Start(), persist on Stop()/save_cache. */
     std::string warm_cache_path;
+    /** When set: one wide JSON event per request, appended here. */
+    std::string request_log_path;
+    /**
+     * When set: enables the flight recorder and dumps it here on
+     * SPA_FATAL/SPA_PANIC, fault-injection trips and daemon SIGTERM.
+     */
+    std::string flight_recorder_path;
 };
 
 /** A running (or startable) co-design service instance. */
@@ -85,8 +94,13 @@ class Server
     /**
      * Transport-free request dispatch: one request line in, one
      * response document out. Thread-safe; shared by every connection.
+     * Every response echoes the request's trace id (server-generated
+     * when absent) and emits one wide event into the request log.
      */
     json::Value HandleRequestLine(const std::string& line);
+
+    /** The wide-event request log (open only when configured). */
+    const obs::EventLog& request_log() const { return request_log_; }
 
     /** Persists the warm cache now (kInvalidArgument when unconfigured). */
     Status SaveWarmCacheNow() const;
@@ -120,14 +134,36 @@ class Server
     bool started_warm() const { return started_warm_; }
 
   private:
+    /** One slow-request exemplar (metrics method, top-K by latency). */
+    struct SlowRequest
+    {
+        int64_t ns = 0;
+        std::string trace_id;
+        std::string method;
+    };
+    static constexpr size_t kMaxExemplars = 8;
+
     void AcceptLoop();
-    void ServeConnection(int fd);
+    void ServeConnection(int fd, int64_t queue_wait_ns);
     json::Value Dispatch(const Request& request);
     json::Value RunCoDesign(const Request& request);
+    /** Dispatch plus wide-event assembly; `event_out` is ready to emit. */
+    json::Value HandleRequest(const std::string& line, json::Value* event_out);
+    /** Appends a finished wide event to the request log (if open). */
+    void EmitRequestEvent(json::Value event);
+    /** Updates cost.memo/outcome-cache hit-rate gauges (stats/metrics). */
+    void RefreshDerivedGauges();
+    void NoteSlowRequest(int64_t ns, const std::string& trace_id,
+                         const std::string& method);
+    std::vector<SlowRequest> SlowRequests() const;
 
     ServerOptions options_;
     autoseg::Session session_;
     JobScheduler scheduler_;
+    obs::EventLog request_log_;
+
+    mutable std::mutex slow_mutex_;
+    std::vector<SlowRequest> slow_requests_;
 
     int listen_fd_ = -1;
     int port_ = 0;

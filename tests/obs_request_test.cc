@@ -1,0 +1,419 @@
+// Request-scoped observability tests: trace-id wire format and
+// generation, request-context propagation across thread-pool fan-out,
+// the wide-event log (append, flush, rotation), the flight recorder
+// (ring capture, trace attribution, post-mortem dumps), the daemon's
+// trace-id echo on every response, and the golden guarantee that the
+// whole telemetry layer is observational only — codesign answers are
+// bitwise-identical with it on or off, serial or parallel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/context.h"
+#include "common/threadpool.h"
+#include "cost/cost.h"
+#include "json/json.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace spa {
+namespace {
+
+std::string
+TempPath(const std::string& name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIdTest, WireFormatRoundTrip)
+{
+    EXPECT_EQ(obs::TraceIdToString(0), "");
+    EXPECT_EQ(obs::TraceIdToString(0xc0ffee), "0000000000c0ffee");
+    EXPECT_EQ(obs::TraceIdFromString("0000000000c0ffee"), 0xc0ffeeu);
+    // Short forms and uppercase parse; canonical form is 16 lower hex.
+    EXPECT_EQ(obs::TraceIdFromString("c0ffee"), 0xc0ffeeu);
+    EXPECT_EQ(obs::TraceIdFromString("C0FFEE"), 0xc0ffeeu);
+    EXPECT_EQ(obs::TraceIdFromString("f"), 0xfu);
+    EXPECT_EQ(obs::TraceIdFromString("ffffffffffffffff"), UINT64_MAX);
+    // Malformed or reserved: empty, too long, non-hex, zero.
+    EXPECT_EQ(obs::TraceIdFromString(""), 0u);
+    EXPECT_EQ(obs::TraceIdFromString("0"), 0u);
+    EXPECT_EQ(obs::TraceIdFromString("00000000000000000"), 0u);
+    EXPECT_EQ(obs::TraceIdFromString("xyz"), 0u);
+    EXPECT_EQ(obs::TraceIdFromString("12 34"), 0u);
+
+    for (uint64_t id : {uint64_t{1}, uint64_t{0xdeadbeef}, UINT64_MAX})
+        EXPECT_EQ(obs::TraceIdFromString(obs::TraceIdToString(id)), id);
+}
+
+TEST(TraceIdTest, GeneratedIdsAreNonzeroAndDistinct)
+{
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t id = obs::GenerateTraceId();
+        EXPECT_NE(id, 0u);
+        seen.insert(id);
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RequestContextTest, DefaultContextIsInactive)
+{
+    EXPECT_FALSE(CurrentRequestContext().active());
+    EXPECT_EQ(obs::CurrentTraceId(), "");
+    // Charging with no context installed is a harmless no-op.
+    ChargeRequestCounter(&RequestCounters::cache_hits);
+}
+
+TEST(RequestContextTest, ScopePropagatesAcrossPoolFanOut)
+{
+    obs::RequestScope scope(0xabc123, "test request");
+    EXPECT_EQ(obs::CurrentTraceId(), "0000000000abc123");
+
+    // Every pool task — whichever worker claims it, including the
+    // caller draining its own batch — sees the submitting request's
+    // context and charges the same counters.
+    constexpr int64_t kItems = 512;
+    std::atomic<int64_t> attributed{0};
+    ThreadPool pool(8);
+    pool.ParallelFor(kItems, [&](int64_t) {
+        if (CurrentRequestContext().trace_id == 0xabc123)
+            attributed.fetch_add(1, std::memory_order_relaxed);
+        ChargeRequestCounter(&RequestCounters::cache_misses);
+    });
+    EXPECT_EQ(attributed.load(), kItems);
+    EXPECT_EQ(scope.counters().cache_misses.load(), kItems);
+}
+
+TEST(RequestContextTest, ScopesNestAndRestore)
+{
+    EXPECT_EQ(obs::CurrentTraceId(), "");
+    {
+        obs::RequestScope outer(0x111, "outer");
+        {
+            obs::RequestScope inner(0x222, "inner");
+            EXPECT_EQ(CurrentRequestContext().trace_id, 0x222u);
+            ChargeRequestCounter(&RequestCounters::deadline_ticks);
+            EXPECT_EQ(inner.counters().deadline_ticks.load(), 1);
+            EXPECT_EQ(outer.counters().deadline_ticks.load(), 0);
+        }
+        EXPECT_EQ(CurrentRequestContext().trace_id, 0x111u);
+    }
+    EXPECT_FALSE(CurrentRequestContext().active());
+}
+
+TEST(EventLogTest, AppendsOneParseableLinePerEvent)
+{
+    const std::string path = TempPath("event_log_basic.ndjson");
+    std::remove(path.c_str());
+    obs::EventLog log;
+    ASSERT_TRUE(log.Open(path).ok());
+    for (int i = 0; i < 5; ++i) {
+        json::Value e;
+        e["trace_id"] = obs::TraceIdToString(static_cast<uint64_t>(i + 1));
+        e["seq"] = i;
+        log.Append(e);
+    }
+    EXPECT_EQ(log.events(), 5);
+    ASSERT_TRUE(log.Close().ok());
+
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        json::ParseResult parsed = json::Parse(line);
+        ASSERT_TRUE(parsed.ok) << line;
+        EXPECT_EQ(parsed.value.GetInt("seq", -1), lines);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 5);
+    std::remove(path.c_str());
+}
+
+TEST(EventLogTest, RotatesAtomicallyWhenOversized)
+{
+    const std::string path = TempPath("event_log_rotate.ndjson");
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    obs::EventLogOptions options;
+    options.max_buffered = 1;   // flush (and size-check) every event
+    options.rotate_bytes = 64;  // a couple of events per generation
+    obs::EventLog log;
+    ASSERT_TRUE(log.Open(path, options).ok());
+    for (int i = 0; i < 20; ++i) {
+        json::Value e;
+        e["seq"] = i;
+        e["pad"] = std::string(16, 'x');
+        log.Append(e);
+    }
+    ASSERT_TRUE(log.Close().ok());
+
+    // Only the two newest generations are kept (each rotation replaces
+    // "<path>.1"); both must exist, every surviving line parses whole —
+    // rotation never tears an event across files — and the newest
+    // event is always in the live file.
+    int total = 0;
+    int max_seq = -1;
+    for (const std::string& p : {path + ".1", path}) {
+        std::ifstream in(p);
+        ASSERT_TRUE(in.good()) << p;
+        std::string line;
+        while (std::getline(in, line)) {
+            json::ParseResult parsed = json::Parse(line);
+            ASSERT_TRUE(parsed.ok) << line;
+            max_seq = std::max(max_seq,
+                               static_cast<int>(parsed.value.GetInt("seq", -1)));
+            ++total;
+        }
+    }
+    EXPECT_GT(total, 0);
+    EXPECT_LE(total, 20);
+    EXPECT_EQ(max_seq, 19);
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
+TEST(EventLogTest, ClosedLogDropsSilently)
+{
+    obs::EventLog log;
+    EXPECT_FALSE(log.IsOpen());
+    json::Value e;
+    e["ignored"] = true;
+    log.Append(e);  // must not crash or write anywhere
+    EXPECT_EQ(log.events(), 0);
+}
+
+TEST(FlightRecorderTest, DisabledRecordsNothing)
+{
+    obs::FlightRecorder& rec = obs::FlightRecorder::Get();
+    rec.SetEnabled(false);
+    rec.Clear();
+    rec.Record(obs::FlightRecorder::Kind::kEvent, "ignored");
+    EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, CapturesAttributedSpansAcrossThreads)
+{
+    obs::FlightRecorder& rec = obs::FlightRecorder::Get();
+    rec.Clear();
+    rec.SetEnabled(true);
+    {
+        obs::RequestScope scope(0xfeed, "request feed");
+        ThreadPool pool(4);
+        pool.ParallelFor(64, [&](int64_t i) {
+            rec.Record(obs::FlightRecorder::Kind::kEvent,
+                       "task " + std::to_string(i));
+        });
+    }
+    rec.SetEnabled(false);
+
+    const std::vector<obs::FlightRecorder::Entry> entries = rec.Snapshot();
+    // RequestScope begin/end plus one event per task (ring capacity is
+    // 256 per thread, far above this workload — nothing was evicted).
+    ASSERT_GE(entries.size(), 66u);
+    int64_t last_ts = 0;
+    int attributed = 0;
+    for (const obs::FlightRecorder::Entry& e : entries) {
+        EXPECT_GE(e.ts_ns, last_ts);  // Snapshot is time-sorted
+        last_ts = e.ts_ns;
+        attributed += e.trace_id == 0xfeed;
+    }
+    EXPECT_EQ(attributed, static_cast<int>(entries.size()));
+    rec.Clear();
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestBeyondCapacity)
+{
+    obs::FlightRecorder& rec = obs::FlightRecorder::Get();
+    rec.Clear();
+    rec.SetEnabled(true);
+    const int kTotal = obs::FlightRecorder::kRingSize + 50;
+    for (int i = 0; i < kTotal; ++i)
+        rec.Record(obs::FlightRecorder::Kind::kEvent, std::to_string(i));
+    rec.SetEnabled(false);
+
+    // This thread's ring holds exactly the newest kRingSize entries.
+    std::set<std::string> names;
+    for (const obs::FlightRecorder::Entry& e : rec.Snapshot())
+        names.insert(e.name);
+    EXPECT_EQ(names.size(), static_cast<size_t>(obs::FlightRecorder::kRingSize));
+    EXPECT_TRUE(names.count(std::to_string(kTotal - 1)));
+    EXPECT_FALSE(names.count("0"));
+    rec.Clear();
+}
+
+TEST(FlightRecorderTest, DumpNowWritesSchemaCompleteJson)
+{
+    const std::string path = TempPath("flight_dump.json");
+    std::remove(path.c_str());
+    obs::FlightRecorder& rec = obs::FlightRecorder::Get();
+    rec.Clear();
+    rec.SetEnabled(true);
+    {
+        obs::RequestScope scope(0xd1e5, "dying request");
+        rec.Record(obs::FlightRecorder::Kind::kEvent, "last words");
+    }
+    rec.SetDumpPath(path);
+    ASSERT_TRUE(rec.DumpNow("test provoked").ok());
+    rec.SetDumpPath("");
+    rec.SetEnabled(false);
+
+    StatusOr<json::Value> doc = json::LoadFileOr(path);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->GetString("reason", ""), "test provoked");
+    EXPECT_TRUE(doc->Has("dropped"));
+    ASSERT_TRUE(doc->At("entries").IsArray());
+    // The dying request's timeline is reconstructable by trace id.
+    int span_begins = 0, span_ends = 0, events = 0;
+    for (const json::Value& e : doc->At("entries").AsArray()) {
+        if (e.GetString("trace_id", "") != "000000000000d1e5")
+            continue;
+        const std::string kind = e.GetString("kind", "");
+        span_begins += kind == "B";
+        span_ends += kind == "E";
+        events += kind == "I";
+    }
+    EXPECT_GE(span_begins, 1);
+    EXPECT_GE(span_ends, 1);
+    EXPECT_GE(events, 1);
+    rec.Clear();
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpNowWithoutPathIsANoOp)
+{
+    obs::FlightRecorder& rec = obs::FlightRecorder::Get();
+    rec.SetDumpPath("");
+    EXPECT_TRUE(rec.DumpNow("nowhere to go").ok());
+}
+
+/** A 3-layer model: the fastest codesign that still segments. */
+json::Value
+TinyRequest()
+{
+    json::Value req = json::ParseOrDie(R"({
+      "id": "obs-parity",
+      "method": "codesign",
+      "model_json": {
+        "name": "obsnet",
+        "input": {"c": 3, "h": 16, "w": 16},
+        "layers": [
+          {"name": "c1", "type": "conv", "out": 8, "k": 3, "stride": 1, "pad": 1},
+          {"name": "c2", "type": "conv", "out": 16, "k": 3, "stride": 2, "pad": 1},
+          {"name": "fc", "type": "fc", "out": 10}
+        ]
+      },
+      "platform": "eyeriss",
+      "search": {"pus": [2], "max_segments": 4},
+      "budget": {"mip_node_budget": 128}
+    })");
+    return req;
+}
+
+TEST(ServeTraceTest, EchoesCallerTraceIdCanonically)
+{
+    cost::CostModel cost_model;
+    serve::Server server(cost_model, serve::ServerOptions{});
+    json::Value req;
+    req["method"] = std::string("ping");
+    req["trace_id"] = std::string("C0FFEE");  // short + uppercase
+    const json::Value response = server.HandleRequestLine(req.Dump());
+    EXPECT_TRUE(response.GetBool("ok", false));
+    EXPECT_EQ(response.GetString("trace_id", ""), "0000000000c0ffee");
+}
+
+TEST(ServeTraceTest, GeneratesTraceIdWhenAbsentOrInvalid)
+{
+    cost::CostModel cost_model;
+    serve::Server server(cost_model, serve::ServerOptions{});
+
+    // Absent: the server mints one (16 hex chars, nonzero).
+    const json::Value pinged =
+        server.HandleRequestLine("{\"method\":\"ping\"}");
+    const std::string minted = pinged.GetString("trace_id", "");
+    EXPECT_EQ(minted.size(), 16u);
+    EXPECT_NE(obs::TraceIdFromString(minted), 0u);
+
+    // Invalid: the request is rejected, but the error still carries a
+    // server-generated id so the failure is findable in the log.
+    const json::Value rejected = server.HandleRequestLine(
+        "{\"method\":\"ping\",\"trace_id\":\"not-hex\"}");
+    EXPECT_FALSE(rejected.GetBool("ok", true));
+    EXPECT_EQ(rejected.GetString("trace_id", "").size(), 16u);
+
+    // Unparseable line: same story.
+    const json::Value garbled = server.HandleRequestLine("{nope");
+    EXPECT_FALSE(garbled.GetBool("ok", true));
+    EXPECT_EQ(garbled.GetString("trace_id", "").size(), 16u);
+}
+
+TEST(ServeTraceTest, MetricsMethodExposesPrometheusText)
+{
+    cost::CostModel cost_model;
+    serve::Server server(cost_model, serve::ServerOptions{});
+    (void)server.HandleRequestLine("{\"method\":\"ping\",\"id\":\"warm\"}");
+    const json::Value response =
+        server.HandleRequestLine("{\"method\":\"metrics\",\"id\":\"m\"}");
+    ASSERT_TRUE(response.GetBool("ok", false));
+    EXPECT_EQ(response.GetString("content_type", ""),
+              "text/plain; version=0.0.4");
+    const std::string text = response.GetString("exposition", "");
+    EXPECT_NE(text.find("# TYPE spa_serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_slow_request_ns{rank=\"0\""), std::string::npos);
+    ASSERT_TRUE(response.At("exemplars").IsArray());
+    ASSERT_FALSE(response.At("exemplars").AsArray().empty());
+    const json::Value& top = response.At("exemplars").AsArray()[0];
+    EXPECT_EQ(top.GetString("trace_id", "").size(), 16u);
+    EXPECT_GE(top.GetInt("ns", -1), 0);
+}
+
+/** One full codesign through the serve stack; returns the results doc. */
+std::string
+RunCodesign(bool obs_on, int jobs)
+{
+    if (obs_on) {
+        obs::TraceSession::Get().Start();
+        obs::FlightRecorder::Get().Clear();
+        obs::FlightRecorder::Get().SetEnabled(true);
+    }
+    cost::CostModel cost_model;
+    autoseg::SessionOptions session_options;
+    session_options.jobs = jobs;
+    serve::Server server(cost_model, serve::ServerOptions{}, session_options);
+    const json::Value response = server.HandleRequestLine(TinyRequest().Dump());
+    if (obs_on) {
+        obs::TraceSession::Get().Stop();
+        obs::FlightRecorder::Get().SetEnabled(false);
+        obs::FlightRecorder::Get().Clear();
+    }
+    EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+    EXPECT_TRUE(response.Has("results"));
+    return response.At("results").Dump();
+}
+
+TEST(ServeTraceTest, TelemetryNeverPerturbsResults)
+{
+    // The whole observability layer is observational only: the design
+    // a request gets back is bitwise-identical with telemetry off or
+    // on, serial or parallel — the acceptance gate for this subsystem.
+    const std::string baseline = RunCodesign(/*obs_on=*/false, /*jobs=*/1);
+    EXPECT_EQ(baseline, RunCodesign(/*obs_on=*/true, /*jobs=*/1));
+    EXPECT_EQ(baseline, RunCodesign(/*obs_on=*/false, /*jobs=*/8));
+    EXPECT_EQ(baseline, RunCodesign(/*obs_on=*/true, /*jobs=*/8));
+}
+
+}  // namespace
+}  // namespace spa

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <climits>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/threadpool.h"
@@ -173,6 +175,99 @@ TEST(ObsHistogramTest, ObserveTracksExactAggregates)
     EXPECT_EQ(h.bucket(1), 1);                             // 1
     EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 2);     // both 5s
     EXPECT_EQ(h.bucket(Histogram::BucketIndex(1024)), 1);  // 1024
+}
+
+TEST(ObsHistogramTest, PercentileAllSamplesInOneBucket)
+{
+    // Everything in one log2 bucket [4, 8): the interpolation has no
+    // neighboring buckets to lean on, the exact tracked extremes must
+    // still bound (and for p=0/1, equal) the answer.
+    Histogram h;
+    for (int64_t v = 4; v <= 7; ++v)
+        h.Observe(v);
+    EXPECT_DOUBLE_EQ(h.Percentile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(1.0), 7.0);
+    const double p50 = h.Percentile(0.5);
+    EXPECT_GE(p50, 4.0);
+    EXPECT_LE(p50, 7.0);
+
+    // Degenerate one-bucket case: identical samples answer every
+    // quantile with exactly that value (min == max pins the clamp).
+    Histogram same;
+    for (int i = 0; i < 1000; ++i)
+        same.Observe(5);
+    for (double p : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(same.Percentile(p), 5.0) << p;
+}
+
+TEST(ObsStatsTest, PrometheusExpositionFormat)
+{
+    Registry r;
+    r.GetCounter("serve.requests_ok", "ok answers")->Inc(3);
+    r.GetGauge("pool.active")->Set(2.0);
+    r.GetTimer("eval.time", "evaluation wall time")->Add(1500);
+    Histogram* h = r.GetHistogram("serve.request_ns");
+    h->Observe(3);     // bucket [2,4), le edge 4
+    h->Observe(5);     // bucket [4,8), le edge 8
+    h->Observe(1000);  // bucket [512,1024), le edge 1024
+    const std::string text = r.ToPrometheus();
+
+    // Names are sanitized and spa_-prefixed; each family gets HELP/TYPE.
+    EXPECT_NE(text.find("# TYPE spa_serve_requests_ok counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# HELP spa_serve_requests_ok ok answers"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_requests_ok 3\n"), std::string::npos);
+    EXPECT_NE(text.find("spa_pool_active 2\n"), std::string::npos);
+    // Timers decompose into the two Prometheus-native counters.
+    EXPECT_NE(text.find("spa_eval_time_ns_total 1500\n"), std::string::npos);
+    EXPECT_NE(text.find("spa_eval_time_count 1\n"), std::string::npos);
+    // Histogram: cumulative buckets at log2 edges, +Inf, sum, count.
+    EXPECT_NE(text.find("# TYPE spa_serve_request_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_bucket{le=\"4\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_bucket{le=\"8\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_bucket{le=\"1024\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_sum 1008\n"), std::string::npos);
+    EXPECT_NE(text.find("spa_serve_request_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ObsStatsTest, DumpsStayWellFormedUnderConcurrentObserve)
+{
+    // Scrapes race live updates by design (the daemon's metrics method
+    // runs against in-flight requests). Values may be mid-change, but
+    // every dump must stay structurally sound, and the final dump must
+    // be exact once writers stop.
+    Registry r;
+    Counter* c = r.GetCounter("race.count");
+    Histogram* h = r.GetHistogram("race.dist");
+    constexpr int64_t kItems = 20000;
+    ThreadPool pool(8);
+    std::atomic<bool> done{false};
+    std::thread scraper([&] {
+        while (!done.load()) {
+            json::Value parsed = json::ParseOrDie(r.ToJson().Dump());
+            EXPECT_TRUE(parsed.Has("race.count"));
+            const std::string prom = r.ToPrometheus();
+            EXPECT_NE(prom.find("spa_race_count"), std::string::npos);
+            EXPECT_FALSE(r.DumpTable().empty());
+        }
+    });
+    pool.ParallelFor(kItems, [&](int64_t i) {
+        c->Inc();
+        h->Observe(i % 4096);
+    });
+    done.store(true);
+    scraper.join();
+    EXPECT_EQ(c->value(), kItems);
+    EXPECT_EQ(h->count(), kItems);
+    json::Value parsed = json::ParseOrDie(r.ToJson().Dump());
+    EXPECT_EQ(parsed.At("race.count").GetInt("value", -1), kItems);
 }
 
 TEST(ObsStatsTest, ConcurrentIncrementsAreExact)

@@ -21,6 +21,7 @@
 
 #include "autoseg/autoseg.h"
 #include "common/logging.h"
+#include "common/util.h"
 #include "autoseg/energy.h"
 #include "autoseg/record.h"
 #include "cost/profile.h"
@@ -278,8 +279,10 @@ main(int argc, char** argv)
         std::printf("record:     %s\n", args["record"].c_str());
     }
     if (args.count("dot")) {
-        std::ofstream out(args["dot"]);
-        out << seg::SegmentationToDot(workload, result.assignment);
+        const Status written = WriteFileAtomicOr(
+            args["dot"], seg::SegmentationToDot(workload, result.assignment));
+        if (!written.ok())
+            SPA_FATAL(written.message());
         std::printf("dot:        %s\n", args["dot"].c_str());
     }
     if (args.count("rtl")) {

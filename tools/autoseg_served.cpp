@@ -19,9 +19,11 @@
 #include <map>
 #include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "cost/cost.h"
 #include "json/json.h"
+#include "obs/flight_recorder.h"
 #include "obs/stats.h"
 #include "serve/server.h"
 
@@ -54,7 +56,51 @@ PrintUsage()
         "restarts\n"
         "                      [--stats-out F]   write the stats registry on "
         "exit\n"
+        "                      [--request-log F] one wide JSON event per "
+        "request\n"
+        "                      [--flight-recorder F]  post-mortem span dump "
+        "on\n"
+        "                                        fatal/fault/shutdown\n"
+        "                      [--arm-fault site,seed,period]  arm one "
+        "injection\n"
+        "                                        site (needs a fault-injection "
+        "build)\n"
         "                      [--quiet]\n");
+}
+
+/** Parses "site,seed,period" and arms that one fault site. */
+bool
+ArmFault(const std::string& spec)
+{
+    const size_t first = spec.find(',');
+    const size_t second = first == std::string::npos
+                              ? std::string::npos
+                              : spec.find(',', first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+        std::fprintf(stderr,
+                     "--arm-fault wants site,seed,period (got '%s')\n",
+                     spec.c_str());
+        return false;
+    }
+    const std::string site = spec.substr(0, first);
+    uint64_t seed = 0;
+    int64_t period = 0;
+    try {
+        seed = std::stoull(spec.substr(first + 1, second - first - 1));
+        period = std::stoll(spec.substr(second + 1));
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "--arm-fault: bad seed/period in '%s'\n",
+                     spec.c_str());
+        return false;
+    }
+    if (site.empty() || period < 1) {
+        std::fprintf(stderr,
+                     "--arm-fault: site must be non-empty, period >= 1\n");
+        return false;
+    }
+    fault::SetEnabled(true);
+    fault::Arm(site, seed, period);
+    return true;
 }
 
 }  // namespace
@@ -88,6 +134,12 @@ main(int argc, char** argv)
         options.max_pending = std::stoi(args["pending"]);
     if (args.count("warm-cache"))
         options.warm_cache_path = args["warm-cache"];
+    if (args.count("request-log"))
+        options.request_log_path = args["request-log"];
+    if (args.count("flight-recorder"))
+        options.flight_recorder_path = args["flight-recorder"];
+    if (args.count("arm-fault") && !ArmFault(args["arm-fault"]))
+        return 1;
     autoseg::SessionOptions session_options;
     if (args.count("jobs"))
         session_options.jobs = std::stoi(args["jobs"]);
@@ -109,6 +161,16 @@ main(int argc, char** argv)
     std::signal(SIGTERM, OnSignal);
 
     server.WaitForShutdownRequest();
+    // Dump the flight recorder while the rings still hold the final
+    // requests' spans — Stop() disarms the recorder. This is the
+    // SIGTERM post-mortem path; a clean {"method":"shutdown"} exit
+    // writes the same document (reason tells them apart).
+    if (!options.flight_recorder_path.empty()) {
+        const Status dumped =
+            obs::FlightRecorder::Get().DumpNow("shutdown requested");
+        if (!dumped.ok())
+            std::fprintf(stderr, "%s\n", dumped.ToString().c_str());
+    }
     server.Stop();
     g_server = nullptr;
 

@@ -3,7 +3,7 @@
 # robustness- and concurrency-sensitive suites (which include the
 # fault-injection sweep and checkpoint/resume tests).
 #
-# Usage: tools/ci.sh [tier1|asan|tsan|serve|zoo|all]   (default: all)
+# Usage: tools/ci.sh [tier1|asan|tsan|serve|zoo|obs|all]   (default: all)
 #   JOBS=<n> overrides the parallel width.
 #
 # The serve stage builds both sanitizer presets and runs only the
@@ -15,6 +15,13 @@
 # every zoo model (CNN and transformer) is loaded, round-tripped through
 # the JSON frontend, and given one small (S, N) co-design evaluation on
 # an ASIC and an FPGA budget. Any Status error fails the stage.
+#
+# The obs stage drives a live daemon end to end: a mixed warm/cold/
+# deadline-expired workload with caller-supplied trace ids, a metrics
+# scrape, a provoked fault-injection trip whose flight-recorder dump
+# must name the dying request, and a SIGTERM post-mortem — then
+# obs_check schema-validates the request log, the Prometheus exposition
+# and the flight dumps, and cross-checks trace ids between all three.
 
 set -euo pipefail
 
@@ -51,6 +58,122 @@ run_zoo() {
     "build-$preset/tools/zoo_smoke"
 }
 
+# Starts a daemon ($1 = extra flags as one array name), waits for its
+# PORT line, and exports OBS_PID/OBS_PORT.
+obs_start_daemon() {
+    local out="$1"; shift
+    build/tools/autoseg_served --workers 1 --pending 8 --quiet "$@" \
+        > "$out" &
+    OBS_PID=$!
+    OBS_PORT=""
+    for _ in $(seq 1 100); do
+        OBS_PORT="$(sed -n 's/^PORT //p' "$out" 2>/dev/null | head -1)"
+        [ -n "$OBS_PORT" ] && return 0
+        kill -0 "$OBS_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "obs: daemon failed to report a port" >&2
+    return 1
+}
+
+run_obs() {
+    echo "==== [obs] configure + build"
+    cmake --preset default
+    cmake --build --preset default -j "$JOBS" \
+        --target autoseg_served autoseg_client spa_metrics obs_check
+    local dir
+    dir="$(mktemp -d)"
+    trap 'kill $OBS_PID 2>/dev/null || true; rm -rf "$dir"' RETURN
+
+    # Request set: cold codesign, warm repeat (cache hits), a
+    # deadline-expired run, and a ping — each with a known trace id.
+    cat > "$dir/model.json" <<'EOF'
+{
+  "name": "cinet",
+  "input": {"c": 3, "h": 16, "w": 16},
+  "layers": [
+    {"name": "c1", "type": "conv", "out": 8, "k": 3, "stride": 1, "pad": 1},
+    {"name": "c2", "type": "conv", "out": 16, "k": 3, "stride": 2, "pad": 1},
+    {"name": "fc", "type": "fc", "out": 10}
+  ]
+}
+EOF
+    local model search
+    model="$(cat "$dir/model.json")"
+    search='"search": {"pus": [2], "max_segments": 4}'
+    cat > "$dir/req_cold.json" <<EOF
+{"id": "cold", "trace_id": "aaaaaaaaaaaaaa01", "method": "codesign",
+ "model_json": $model, "platform": "eyeriss", $search}
+EOF
+    sed 's/"cold"/"warm"/; s/aaaaaaaaaaaaaa01/aaaaaaaaaaaaaa02/' \
+        "$dir/req_cold.json" > "$dir/req_warm.json"
+    cat > "$dir/req_deadline.json" <<EOF
+{"id": "deadline", "trace_id": "aaaaaaaaaaaaaa03", "method": "codesign",
+ "model_json": $model, "platform": "eyeriss", $search,
+ "budget": {"deadline_ticks": 1}}
+EOF
+    echo '{"id": "ping", "trace_id": "aaaaaaaaaaaaaa04", "method": "ping"}' \
+        > "$dir/req_ping.json"
+
+    echo "==== [obs] mixed workload against a live daemon"
+    obs_start_daemon "$dir/daemon.out" \
+        --request-log "$dir/requests.ndjson" \
+        --flight-recorder "$dir/flight.json"
+    local req
+    for req in cold warm deadline ping; do
+        build/tools/autoseg_client --port "$OBS_PORT" \
+            --request-json "$dir/req_$req.json" \
+            --out "$dir/resp_$req.json" >/dev/null
+        grep -q "\"trace_id\": \"$(sed -n 's/.*"trace_id": "\([0-9a-f]*\)".*/\1/p' \
+            "$dir/req_$req.json" | head -1)\"" "$dir/resp_$req.json" || {
+            echo "obs: response for '$req' does not echo its trace id" >&2
+            return 1
+        }
+    done
+    echo "==== [obs] metrics scrape"
+    build/tools/spa_metrics --port "$OBS_PORT" --out "$dir/metrics.prom"
+    grep -q "spa_serve_requests_ok" "$dir/metrics.prom"
+    echo "==== [obs] SIGTERM post-mortem"
+    kill -TERM "$OBS_PID"
+    wait "$OBS_PID"
+    build/tools/obs_check \
+        --request-log "$dir/requests.ndjson" \
+        --metrics "$dir/metrics.prom" \
+        --flight "$dir/flight.json" \
+        --min-events 4 \
+        --expect-trace aaaaaaaaaaaaaa01 --expect-trace aaaaaaaaaaaaaa02 \
+        --expect-trace aaaaaaaaaaaaaa03 --expect-trace aaaaaaaaaaaaaa04
+
+    # A provoked in-flight failure: every request trips the armed parse
+    # site, and the flight dump written at trip time must reconstruct
+    # the dying request's timeline by its trace id.
+    echo "==== [obs] provoked fault trip"
+    obs_start_daemon "$dir/daemon_fault.out" \
+        --request-log "$dir/requests_fault.ndjson" \
+        --flight-recorder "$dir/flight_fault.json" \
+        --arm-fault serve.request.parse,7,1
+    echo '{"id": "doomed", "trace_id": "aaaaaaaaaaaaaaff", "method": "ping"}' \
+        > "$dir/req_doomed.json"
+    if build/tools/autoseg_client --port "$OBS_PORT" \
+        --request-json "$dir/req_doomed.json" \
+        --out "$dir/resp_doomed.json" >/dev/null; then
+        echo "obs: armed request unexpectedly succeeded" >&2
+        return 1
+    fi
+    grep -q '"code": "FAULT_INJECTED"' "$dir/resp_doomed.json"
+    # Save the trip-time dump before the shutdown dump replaces it.
+    cp "$dir/flight_fault.json" "$dir/flight_trip.json"
+    kill -TERM "$OBS_PID"
+    wait "$OBS_PID"
+    build/tools/obs_check \
+        --request-log "$dir/requests_fault.ndjson" \
+        --flight "$dir/flight_trip.json" \
+        --min-events 1 \
+        --expect-trace aaaaaaaaaaaaaaff
+    grep -q '"reason": "fault:' "$dir/flight_trip.json"
+    echo "==== [obs] ok"
+}
+
 case "$STAGE" in
   tier1) run_preset default ;;
   asan)  run_preset asan ;;
@@ -62,14 +185,18 @@ case "$STAGE" in
   zoo)
     run_zoo asan
     ;;
+  obs)
+    run_obs
+    ;;
   all)
     run_preset default
     run_preset asan
     run_preset tsan
     run_zoo asan
+    run_obs
     ;;
   *)
-    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|zoo|all)" >&2
+    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|zoo|obs|all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,323 @@
+// obs_check: schema validator for the serving observability artifacts.
+//
+//   obs_check --request-log F          NDJSON wide-event request log
+//             [--metrics F]            Prometheus text exposition
+//             [--flight F]             flight-recorder post-mortem JSON
+//             [--expect-trace HEX]...  trace id that must appear in every
+//                                      artifact given (repeatable)
+//             [--min-events N]         request log must hold >= N events
+//
+// Used by the ci.sh `obs` stage: after driving a mixed workload through
+// autoseg_served it checks that (a) every request-log line is a
+// well-formed wide event, (b) the metrics exposition parses and carries
+// the spa_ families, (c) the flight dump reconstructs timelines whose
+// trace ids are consistent with the request log, and (d) specific trace
+// ids (e.g. the one a provoked fault killed) show up everywhere. Exit 0
+// on success; prints one line per violation and exits 1 otherwise.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+using namespace spa;
+
+namespace {
+
+int g_failures = 0;
+
+void
+Fail(const std::string& what)
+{
+    std::fprintf(stderr, "obs_check: %s\n", what.c_str());
+    ++g_failures;
+}
+
+bool
+IsHexTraceId(const std::string& s)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    for (char c : s)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** One wide event: required fields, right types, sane stage timings. */
+void
+CheckEvent(const json::Value& e, size_t line_no, std::set<std::string>& traces)
+{
+    const std::string where = "request log line " + std::to_string(line_no);
+    if (!e.IsObject()) {
+        Fail(where + ": not a JSON object");
+        return;
+    }
+    const char* string_fields[] = {"trace_id", "method", "status"};
+    for (const char* f : string_fields)
+        if (!e.Has(f) || !e.At(f).IsString())
+            Fail(where + ": missing string field '" + f + "'");
+    const char* int_fields[] = {"ts_ms", "cache_hits", "cache_misses",
+                                "deadline_ticks", "fallbacks"};
+    for (const char* f : int_fields)
+        if (!e.Has(f) || !e.At(f).IsNumber())
+            Fail(where + ": missing numeric field '" + f + "'");
+    if (!e.Has("ok") || !e.At("ok").IsBool())
+        Fail(where + ": missing bool field 'ok'");
+    const std::string trace = e.GetString("trace_id", "");
+    if (trace.size() != 16 || !IsHexTraceId(trace))
+        Fail(where + ": trace_id '" + trace + "' is not 16 hex chars");
+    else
+        traces.insert(trace);
+    if (!e.Has("stage_ns") || !e.At("stage_ns").IsObject()) {
+        Fail(where + ": missing object field 'stage_ns'");
+        return;
+    }
+    const json::Value& stages = e.At("stage_ns");
+    for (const char* f : {"parse_ns", "solve_ns", "total_ns"})
+        if (!stages.Has(f) || !stages.At(f).IsNumber())
+            Fail(where + ": stage_ns missing '" + f + "'");
+    const int64_t total = stages.GetInt("total_ns", -1);
+    if (total < 0 ||
+        total < stages.GetInt("parse_ns", 0) + stages.GetInt("solve_ns", 0))
+        Fail(where + ": stage_ns.total_ns smaller than its parts");
+}
+
+/** Every line parses; every event passes CheckEvent. */
+std::set<std::string>
+CheckRequestLog(const std::string& path, int64_t min_events)
+{
+    std::set<std::string> traces;
+    std::ifstream in(path);
+    if (!in) {
+        Fail("cannot open request log '" + path + "'");
+        return traces;
+    }
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        json::ParseResult parsed = json::Parse(line);
+        if (!parsed.ok) {
+            Fail("request log line " + std::to_string(line_no) +
+                 ": bad JSON: " + parsed.error);
+            continue;
+        }
+        CheckEvent(parsed.value, line_no, traces);
+    }
+    if (static_cast<int64_t>(line_no) < min_events)
+        Fail("request log holds " + std::to_string(line_no) +
+             " events, expected >= " + std::to_string(min_events));
+    return traces;
+}
+
+/**
+ * Prometheus text exposition 0.0.4: comment lines start with '#',
+ * sample lines are `name{labels} value` or `name value`. Requires the
+ * core spa_ families the daemon always exports.
+ */
+std::set<std::string>
+CheckMetrics(const std::string& path)
+{
+    std::set<std::string> exemplar_traces;
+    std::ifstream in(path);
+    if (!in) {
+        Fail("cannot open metrics exposition '" + path + "'");
+        return exemplar_traces;
+    }
+    std::set<std::string> families;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::string where = "metrics line " + std::to_string(line_no);
+        const size_t brace = line.find('{');
+        const size_t space = line.find(' ');
+        const size_t name_end = std::min(brace, space);
+        if (name_end == std::string::npos || name_end == 0) {
+            Fail(where + ": no metric name in '" + line + "'");
+            continue;
+        }
+        const std::string name = line.substr(0, name_end);
+        for (char c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+                c != ':')
+                Fail(where + ": bad character in metric name '" + name + "'");
+        families.insert(name);
+        const size_t value_at = line.rfind(' ');
+        if (value_at == std::string::npos || value_at + 1 >= line.size()) {
+            Fail(where + ": no sample value in '" + line + "'");
+            continue;
+        }
+        try {
+            (void)std::stod(line.substr(value_at + 1));
+        } catch (const std::exception&) {
+            Fail(where + ": sample value '" + line.substr(value_at + 1) +
+                 "' is not a number");
+        }
+        if (name == "spa_slow_request_ns") {
+            const size_t tag = line.find("trace_id=\"");
+            if (tag != std::string::npos) {
+                const size_t begin = tag + 10;
+                const size_t end = line.find('"', begin);
+                if (end != std::string::npos)
+                    exemplar_traces.insert(line.substr(begin, end - begin));
+            }
+        }
+    }
+    for (const char* family :
+         {"spa_serve_requests_ok", "spa_serve_request_ns_count",
+          "spa_serve_queue_wait_ns_count"})
+        if (!families.count(family))
+            Fail("metrics exposition lacks required family '" +
+                 std::string(family) + "'");
+    return exemplar_traces;
+}
+
+/** Flight dump: document shape plus per-entry schema. */
+std::set<std::string>
+CheckFlightDump(const std::string& path)
+{
+    std::set<std::string> traces;
+    StatusOr<json::Value> doc = json::LoadFileOr(path);
+    if (!doc.ok()) {
+        Fail("flight dump: " + doc.status().ToString());
+        return traces;
+    }
+    if (!doc->IsObject() || !doc->Has("reason") ||
+        !doc->At("reason").IsString() || !doc->Has("dropped") ||
+        !doc->At("dropped").IsNumber()) {
+        Fail("flight dump: missing reason/dropped header");
+        return traces;
+    }
+    if (!doc->Has("entries") || !doc->At("entries").IsArray()) {
+        Fail("flight dump: missing 'entries' array");
+        return traces;
+    }
+    int64_t last_ts = 0;
+    size_t index = 0;
+    for (const json::Value& e : doc->At("entries").AsArray()) {
+        const std::string where = "flight entry " + std::to_string(index++);
+        if (!e.IsObject()) {
+            Fail(where + ": not an object");
+            continue;
+        }
+        if (!e.Has("ts_ns") || !e.At("ts_ns").IsNumber() || !e.Has("tid") ||
+            !e.At("tid").IsNumber() || !e.Has("name") ||
+            !e.At("name").IsString())
+            Fail(where + ": missing ts_ns/tid/name");
+        const std::string kind = e.GetString("kind", "");
+        if (kind != "B" && kind != "E" && kind != "I")
+            Fail(where + ": kind '" + kind + "' not one of B/E/I");
+        const int64_t ts = e.GetInt("ts_ns", 0);
+        if (ts < last_ts)
+            Fail(where + ": entries not in time order");
+        last_ts = ts;
+        const std::string trace = e.GetString("trace_id", "");
+        if (!trace.empty()) {
+            if (!IsHexTraceId(trace))
+                Fail(where + ": bad trace_id '" + trace + "'");
+            else
+                traces.insert(trace);
+        }
+    }
+    if (index == 0)
+        Fail("flight dump holds no entries");
+    return traces;
+}
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: obs_check --request-log F   NDJSON wide-event log\n"
+        "                 [--metrics F]     Prometheus exposition text\n"
+        "                 [--flight F]      flight-recorder dump JSON\n"
+        "                 [--expect-trace HEX]  must appear in every given\n"
+        "                                   artifact (repeatable)\n"
+        "                 [--min-events N]  request log size floor\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    std::vector<std::string> expected_traces;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key == "--expect-trace" && i + 1 < argc) {
+            expected_traces.push_back(argv[++i]);
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (!args.count("request-log")) {
+        PrintUsage();
+        return 1;
+    }
+
+    int64_t min_events = 1;
+    if (args.count("min-events"))
+        min_events = std::stoll(args["min-events"]);
+
+    const std::set<std::string> log_traces =
+        CheckRequestLog(args["request-log"], min_events);
+
+    std::set<std::string> exemplar_traces;
+    if (args.count("metrics")) {
+        exemplar_traces = CheckMetrics(args["metrics"]);
+        // Every exemplar names a request the daemon served, so it must
+        // have a wide event.
+        for (const std::string& t : exemplar_traces)
+            if (!log_traces.count(t))
+                Fail("metrics exemplar trace_id " + t +
+                     " has no request-log event");
+    }
+
+    std::set<std::string> flight_traces;
+    if (args.count("flight")) {
+        flight_traces = CheckFlightDump(args["flight"]);
+        // Every request-attributed span in the dump belongs to a
+        // request the log knows about (rings also hold unattributed
+        // spans with no trace_id — those are fine).
+        for (const std::string& t : flight_traces)
+            if (!log_traces.count(t))
+                Fail("flight-dump trace_id " + t +
+                     " has no request-log event");
+        if (flight_traces.empty())
+            Fail("flight dump holds no request-attributed spans");
+    }
+
+    for (const std::string& t : expected_traces) {
+        if (!log_traces.count(t))
+            Fail("expected trace_id " + t + " missing from request log");
+        if (args.count("flight") && !flight_traces.count(t))
+            Fail("expected trace_id " + t + " missing from flight dump");
+    }
+
+    if (g_failures > 0) {
+        std::fprintf(stderr, "obs_check: %d violation(s)\n", g_failures);
+        return 1;
+    }
+    std::printf("obs_check: ok (%zu traced requests)\n", log_traces.size());
+    return 0;
+}

@@ -1,0 +1,90 @@
+// spa_metrics: scrape a running autoseg_served's metrics.
+//
+//   spa_metrics --port 7410 [--out metrics.prom] [--json]
+//
+// Calls the daemon's "metrics" method and prints (or atomically writes)
+// the Prometheus text exposition, slow-request exemplars included. With
+// --json the raw response document is emitted instead, which carries
+// the exemplars as structured records ({trace_id, method, ns}) for
+// tooling that wants to join them against the request log.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/util.h"
+#include "json/json.h"
+#include "serve/client.h"
+
+using namespace spa;
+
+namespace {
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: spa_metrics --port N   daemon port (required)\n"
+        "                   [--out F]  write instead of printing (atomic)\n"
+        "                   [--json]   emit the raw response document\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    bool as_json = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--json") {
+            as_json = true;
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (!args.count("port")) {
+        PrintUsage();
+        return 1;
+    }
+
+    serve::Client client;
+    const Status connected = client.Connect(std::stoi(args["port"]));
+    if (!connected.ok()) {
+        std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+        return 1;
+    }
+    json::Value request;
+    request["method"] = std::string("metrics");
+    request["id"] = std::string("spa_metrics");
+    StatusOr<json::Value> response = client.Call(request);
+    if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+        return 1;
+    }
+    if (!response->GetBool("ok", false)) {
+        std::fprintf(stderr, "daemon refused: %s\n", response->Dump().c_str());
+        return 2;
+    }
+
+    const std::string text =
+        as_json ? response->Dump() + "\n" : response->GetString("exposition", "");
+    if (args.count("out")) {
+        const Status written = WriteFileAtomicOr(args["out"], text);
+        if (!written.ok()) {
+            std::fprintf(stderr, "%s\n", written.ToString().c_str());
+            return 1;
+        }
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+}
