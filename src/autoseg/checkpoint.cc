@@ -1,5 +1,7 @@
 #include "autoseg/checkpoint.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace spa {
@@ -97,6 +99,8 @@ CheckpointToJsonImpl(const EngineCheckpoint& checkpoint)
     doc["model"] = checkpoint.model;
     doc["platform"] = checkpoint.platform;
     doc["goal"] = checkpoint.goal;
+    doc["shard_begin"] = checkpoint.shard_begin;
+    doc["shard_end"] = checkpoint.shard_end;
 
     json::Array pairs;
     for (const auto& [s, n] : checkpoint.pairs)
@@ -138,6 +142,8 @@ CheckpointFromJsonImpl(const json::Value& doc)
     ck.model = doc.GetString("model", "");
     ck.platform = doc.GetString("platform", "");
     ck.goal = doc.GetString("goal", "");
+    ck.shard_begin = doc.GetInt("shard_begin", 0);
+    ck.shard_end = doc.GetInt("shard_end", -1);
     if (!doc.Has("pairs") || !doc.At("pairs").IsArray() ||
         !doc.Has("completed") || !doc.At("completed").IsArray()) {
         return InvalidArgument("checkpoint: missing pairs/completed arrays");
@@ -174,6 +180,17 @@ CheckpointFromJsonImpl(const json::Value& doc)
     }
     if (ck.completed.size() > ck.pairs.size())
         return InvalidArgument("checkpoint: more completed entries than pairs");
+    const int64_t num_pairs = static_cast<int64_t>(ck.pairs.size());
+    if (ck.shard_begin < 0 || ck.shard_begin > num_pairs ||
+        (ck.shard_end >= 0 &&
+         (ck.shard_end < ck.shard_begin || ck.shard_end > num_pairs))) {
+        return InvalidArgument("checkpoint: shard range outside the pair walk");
+    }
+    if (static_cast<int64_t>(ck.completed.size()) >
+        ck.ResolvedShardEnd() - ck.shard_begin) {
+        return InvalidArgument(
+            "checkpoint: more completed entries than the shard range holds");
+    }
     return ck;
 }
 
@@ -215,6 +232,90 @@ LoadCheckpoint(const std::string& path)
     if (!ck.ok())
         return Status(ck.status().code(), path + ": " + ck.status().message());
     return ck;
+}
+
+StatusOr<EngineCheckpoint>
+MergeShardCheckpoints(std::vector<EngineCheckpoint> shards)
+{
+    if (shards.empty())
+        return InvalidArgument("shard merge: no shard checkpoints given");
+
+    const EngineCheckpoint& first = shards.front();
+    for (const EngineCheckpoint& s : shards) {
+        const bool same = s.model == first.model &&
+                          s.platform == first.platform &&
+                          s.goal == first.goal &&
+                          s.pairs == first.pairs;
+        if (!same) {
+            return InvalidArgument(
+                "shard merge: foreign shard checkpoint (model '" + s.model +
+                "' platform '" + s.platform + "' goal '" + s.goal +
+                "' does not match '" + first.model + "'/'" + first.platform +
+                "'/'" + first.goal + "' or the pair walks differ)");
+        }
+    }
+
+    std::sort(shards.begin(), shards.end(),
+              [](const EngineCheckpoint& a, const EngineCheckpoint& b) {
+                  return a.shard_begin < b.shard_begin;
+              });
+
+    const int64_t num_pairs = static_cast<int64_t>(first.pairs.size());
+    EngineCheckpoint merged;
+    merged.model = first.model;
+    merged.platform = first.platform;
+    merged.goal = first.goal;
+    merged.pairs = first.pairs;
+    merged.shard_begin = 0;
+    merged.shard_end = num_pairs;
+    merged.completed.reserve(static_cast<size_t>(num_pairs));
+
+    int64_t covered = 0;  // exclusive end of the merged prefix so far
+    for (size_t i = 0; i < shards.size(); ++i) {
+        EngineCheckpoint& s = shards[i];
+        if (i > 0 && s.shard_begin == shards[i - 1].shard_begin) {
+            return InvalidArgument(
+                "shard merge: duplicate shard at pair " +
+                std::to_string(s.shard_begin));
+        }
+        if (s.shard_begin > covered) {
+            return InvalidArgument(
+                "shard merge: gap in shard coverage at pairs [" +
+                std::to_string(covered) + ", " +
+                std::to_string(s.shard_begin) + ")");
+        }
+        if (s.shard_begin < covered) {
+            return InvalidArgument(
+                "shard merge: overlapping shard ranges at pair " +
+                std::to_string(s.shard_begin) + " (already covered up to " +
+                std::to_string(covered) + ")");
+        }
+        for (size_t k = 0; k < s.completed.size(); ++k) {
+            const int64_t at = s.shard_begin + static_cast<int64_t>(k);
+            const CandidateRecord& r = s.completed[k].record;
+            if (r.num_segments != merged.pairs[static_cast<size_t>(at)].first ||
+                r.num_pus != merged.pairs[static_cast<size_t>(at)].second) {
+                return InvalidArgument(
+                    "shard merge: entry at pair " + std::to_string(at) +
+                    " records (S=" + std::to_string(r.num_segments) +
+                    ", N=" + std::to_string(r.num_pus) +
+                    "), walk expects (S=" +
+                    std::to_string(merged.pairs[static_cast<size_t>(at)].first) +
+                    ", N=" +
+                    std::to_string(
+                        merged.pairs[static_cast<size_t>(at)].second) +
+                    ")");
+            }
+            merged.completed.push_back(std::move(s.completed[k]));
+        }
+        covered = s.shard_begin + static_cast<int64_t>(s.completed.size());
+    }
+    if (covered != num_pairs) {
+        return InvalidArgument(
+            "shard merge: shards cover only " + std::to_string(covered) +
+            " of " + std::to_string(num_pairs) + " pairs");
+    }
+    return merged;
 }
 
 }  // namespace autoseg

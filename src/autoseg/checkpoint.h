@@ -29,7 +29,7 @@
 namespace spa {
 namespace autoseg {
 
-/** A completed-pair prefix of one Engine::Run invocation. */
+/** A completed-pair prefix of one Engine::Run invocation (or shard). */
 struct EngineCheckpoint
 {
     /** One finished (S, N) pair. */
@@ -47,7 +47,25 @@ struct EngineCheckpoint
     /** Full (S, N) enumeration of the run, in walk order. */
     std::vector<std::pair<int, int>> pairs;
 
-    /** Results for the first completed.size() pairs of the walk. */
+    /**
+     * Shard range of this checkpoint within the full walk. A full-run
+     * checkpoint covers [0, pairs.size()); a shard checkpoint produced
+     * by a distributed worker covers [shard_begin, shard_end). The
+     * `completed` entries always describe the walk prefix of the range:
+     * pairs [shard_begin, shard_begin + completed.size()).
+     */
+    int64_t shard_begin = 0;
+    /** Exclusive end of the shard range; -1 means pairs.size(). */
+    int64_t shard_end = -1;
+
+    /** The resolved exclusive range end. */
+    int64_t
+    ResolvedShardEnd() const
+    {
+        return shard_end < 0 ? static_cast<int64_t>(pairs.size()) : shard_end;
+    }
+
+    /** Results for the first completed.size() pairs of the shard range. */
     std::vector<Entry> completed;
 };
 
@@ -62,6 +80,28 @@ Status SaveCheckpoint(const std::string& path, const EngineCheckpoint& checkpoin
 
 /** Reads and parses a checkpoint file. */
 StatusOr<EngineCheckpoint> LoadCheckpoint(const std::string& path);
+
+/**
+ * Merges shard checkpoints of one search into a single full-run
+ * checkpoint whose resume is bitwise-identical to an uninterrupted
+ * single-process run. Strict by design — the merge is the last line of
+ * defense against a confused distributed run, so every anomaly is a
+ * structured kInvalidArgument rather than a silent merge:
+ *
+ *  - foreign shard: model/platform/goal/pair-walk fingerprint differs;
+ *  - duplicate shard: two checkpoints with the same shard_begin;
+ *  - overlapping shards: a shard's completed entries reach into the
+ *    next shard's range;
+ *  - gap: the covered ranges do not tile [0, pairs.size()) — including
+ *    a shard whose completed prefix stopped short of the next shard;
+ *  - record skew: an entry's (S, N) does not match the walk position.
+ *
+ * Partial shards are legal as long as the NEXT shard begins exactly
+ * where the partial prefix ended (the work-stealing split: a cancelled
+ * straggler's prefix plus the thief's remainder tile exactly).
+ */
+StatusOr<EngineCheckpoint>
+MergeShardCheckpoints(std::vector<EngineCheckpoint> shards);
 
 }  // namespace autoseg
 }  // namespace spa

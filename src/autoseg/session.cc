@@ -165,7 +165,7 @@ Session::WorkloadFingerprint(const nn::Workload& w)
 
 std::vector<int>
 Session::SegmentCandidates(int num_layers, int num_pus,
-                           const CoDesignOptions& search) const
+                           const CoDesignOptions& search)
 {
     const int max_s = std::min(search.max_segments,
                                std::max(1, num_layers / std::max(1, num_pus)));
@@ -178,6 +178,20 @@ Session::SegmentCandidates(int num_layers, int num_pus,
         if (s >= 1 && s <= max_s)
             candidates.insert(s);
     return {candidates.begin(), candidates.end()};
+}
+
+std::vector<std::pair<int, int>>
+Session::EnumeratePairs(const nn::Workload& w, const CoDesignOptions& search)
+{
+    std::vector<std::pair<int, int>> pairs;
+    for (int num_pus : search.pu_candidates) {
+        if (num_pus > w.NumLayers())
+            continue;
+        for (int num_segments :
+             SegmentCandidates(w.NumLayers(), num_pus, search))
+            pairs.emplace_back(num_segments, num_pus);
+    }
+    return pairs;
 }
 
 Session::PairOutcome
@@ -308,19 +322,18 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
     // evaluations out over the pool. The reduction below walks the
     // outcomes in enumeration order with a strict-< argmin, which is
     // exactly the serial loop's first-best-wins behavior.
-    struct Pair
-    {
-        int num_segments;
-        int num_pus;
-    };
-    std::vector<Pair> pairs;
-    for (int num_pus : search.pu_candidates) {
-        if (num_pus > w.NumLayers())
-            continue;
-        for (int num_segments :
-             SegmentCandidates(w.NumLayers(), num_pus, search))
-            pairs.push_back({num_segments, num_pus});
-    }
+    const std::vector<std::pair<int, int>> pairs = EnumeratePairs(w, search);
+
+    // Normalized shard range within the walk. A plain Run covers the
+    // whole walk; a distributed worker covers a sub-range and writes a
+    // range-stamped checkpoint (see MergeShardCheckpoints).
+    const int64_t num_pairs = static_cast<int64_t>(pairs.size());
+    const int64_t shard_begin =
+        std::min(std::max<int64_t>(search.shard_begin, 0), num_pairs);
+    const int64_t shard_end =
+        search.shard_end < 0
+            ? num_pairs
+            : std::min(std::max(search.shard_end, shard_begin), num_pairs);
 
     CoDesignResult best;
     const std::string goal_name =
@@ -331,20 +344,20 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
     // One pair, hardened: an injected fault (or any escaped exception)
     // fails that pair alone, never the walk.
     auto eval_pair = [&](int64_t i) -> PairOutcome {
-        const Pair& p = pairs[static_cast<size_t>(i)];
+        const std::pair<int, int>& p = pairs[static_cast<size_t>(i)];
         try {
             return EvaluatePair(w, budget, goal, search, caches, fingerprint,
-                                p.num_segments, p.num_pus);
+                                p.first, p.second);
         } catch (const fault::InjectedFault& e) {
             PairOutcome o;
-            o.record.num_segments = p.num_segments;
-            o.record.num_pus = p.num_pus;
+            o.record.num_segments = p.first;
+            o.record.num_pus = p.second;
             o.record.status = FaultInjected(e.what());
             return o;
         } catch (const std::exception& e) {
             PairOutcome o;
-            o.record.num_segments = p.num_segments;
-            o.record.num_pus = p.num_pus;
+            o.record.num_segments = p.first;
+            o.record.num_pus = p.second;
             o.record.status = Internal(e.what());
             return o;
         }
@@ -353,7 +366,9 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
     std::vector<PairOutcome> outcomes;
     const bool incremental =
         !search.checkpoint_path.empty() || !search.resume_path.empty() ||
-        search.max_pairs >= 0 || !search.deadline.unlimited();
+        search.max_pairs >= 0 || !search.deadline.unlimited() ||
+        shard_begin > 0 || shard_end < num_pairs ||
+        search.progress != nullptr || search.cancel != nullptr;
     if (!incremental) {
         // The historical one-shot walk: one batch over every pair.
         try {
@@ -372,7 +387,7 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
         // consult the deadline. Chunking never changes values -- each
         // pair's outcome is independent -- so the final result matches
         // the one-shot walk bitwise.
-        size_t done = 0;
+        int64_t done = 0;  // pairs completed within the shard range
         if (!search.resume_path.empty()) {
             StatusOr<EngineCheckpoint> ck = LoadCheckpoint(search.resume_path);
             if (!ck.ok()) {
@@ -381,17 +396,22 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
             }
             bool matches = ck->model == w.name &&
                            ck->platform == budget.name &&
-                           ck->goal == goal_name &&
-                           ck->pairs.size() == pairs.size();
-            for (size_t i = 0; matches && i < pairs.size(); ++i) {
-                matches = ck->pairs[i].first == pairs[i].num_segments &&
-                          ck->pairs[i].second == pairs[i].num_pus;
-            }
+                           ck->goal == goal_name && ck->pairs == pairs;
             if (!matches) {
                 best.status = InvalidArgument(
                     search.resume_path +
                     ": checkpoint belongs to a different search "
                     "(model/platform/goal/pair walk mismatch)");
+                return best;
+            }
+            if (ck->shard_begin != shard_begin ||
+                ck->ResolvedShardEnd() != shard_end) {
+                best.status = InvalidArgument(
+                    search.resume_path + ": checkpoint covers shard [" +
+                    std::to_string(ck->shard_begin) + ", " +
+                    std::to_string(ck->ResolvedShardEnd()) +
+                    ") but this run covers [" + std::to_string(shard_begin) +
+                    ", " + std::to_string(shard_end) + ")");
                 return best;
             }
             for (const EngineCheckpoint::Entry& entry : ck->completed) {
@@ -412,16 +432,35 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
                 }
                 outcomes.push_back(std::move(o));
             }
-            done = outcomes.size();
+            done = static_cast<int64_t>(outcomes.size());
         }
+        if (search.progress != nullptr)
+            search.progress->store(done, std::memory_order_release);
 
-        size_t limit = pairs.size();
+        // `limit` is in walk coordinates: the first pair this run will
+        // NOT evaluate. max_pairs caps results (including resumed ones)
+        // within the shard.
+        int64_t limit = shard_end;
         if (search.max_pairs >= 0)
-            limit = std::min(limit, static_cast<size_t>(search.max_pairs));
-        const size_t chunk_size =
-            static_cast<size_t>(std::max(1, search.checkpoint_every));
+            limit = std::min(limit, shard_begin + search.max_pairs);
+        const int64_t chunk_size =
+            static_cast<int64_t>(std::max(1, search.checkpoint_every));
         Deadline deadline = search.deadline;  // copies share the budget
-        while (done < limit) {
+        while (shard_begin + done < limit) {
+            // Cooperative cancel: a coordinator reclaiming a straggler's
+            // tail flags this between chunks. The checkpoint written at
+            // the previous chunk boundary is the authoritative prefix;
+            // the coordinator re-dispatches the remainder elsewhere.
+            if (search.cancel != nullptr &&
+                search.cancel->load(std::memory_order_acquire)) {
+                if (best.status.ok())
+                    best.status = Unavailable(
+                        "shard run cancelled after " + std::to_string(done) +
+                        " of " + std::to_string(shard_end - shard_begin) +
+                        " pairs");
+                best.truncated = true;
+                break;
+            }
             // Each chunk costs one tick up front, so a tick budget
             // bounds the walk even when every sub-solve below stays in
             // budget-free tiers (tiny instances are solved exhaustively
@@ -431,16 +470,17 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
                     best.status = DeadlineExceeded(
                         "search budget exhausted after " +
                         std::to_string(done) + " of " +
-                        std::to_string(pairs.size()) + " pairs");
+                        std::to_string(shard_end - shard_begin) + " pairs");
                 best.truncated = true;
                 break;
             }
-            const size_t chunk = std::min(chunk_size, limit - done);
+            const int64_t chunk =
+                std::min(chunk_size, limit - (shard_begin + done));
             std::vector<PairOutcome> chunk_outcomes;
             try {
                 chunk_outcomes = evaluator_.pool().ParallelMap<PairOutcome>(
-                    static_cast<int64_t>(chunk), [&](int64_t i) {
-                        return eval_pair(static_cast<int64_t>(done) + i);
+                    chunk, [&](int64_t i) {
+                        return eval_pair(shard_begin + done + i);
                     });
             } catch (const fault::InjectedFault& e) {
                 if (best.status.ok())
@@ -456,15 +496,16 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
             for (PairOutcome& o : chunk_outcomes)
                 outcomes.push_back(std::move(o));
             done += chunk;
+            bool persisted = true;
 
             if (!search.checkpoint_path.empty()) {
                 EngineCheckpoint ck;
                 ck.model = w.name;
                 ck.platform = budget.name;
                 ck.goal = goal_name;
-                ck.pairs.reserve(pairs.size());
-                for (const Pair& p : pairs)
-                    ck.pairs.emplace_back(p.num_segments, p.num_pus);
+                ck.pairs = pairs;
+                ck.shard_begin = shard_begin;
+                ck.shard_end = shard_end;
                 ck.completed.reserve(outcomes.size());
                 for (const PairOutcome& o : outcomes) {
                     EngineCheckpoint::Entry entry;
@@ -480,10 +521,16 @@ Session::Run(const nn::Workload& w, const hw::Platform& budget,
                     SPA_WARN("checkpoint write failed: ", saved.ToString());
                     if (best.status.ok())
                         best.status = saved;
+                    persisted = false;
                 }
             }
+            // Published progress promises "this many pairs are safely
+            // on disk" — a coordinator splits shards at this boundary,
+            // so it must never run ahead of a failed checkpoint write.
+            if (search.progress != nullptr && persisted)
+                search.progress->store(done, std::memory_order_release);
         }
-        if (limit < pairs.size())
+        if (limit < shard_end)
             best.truncated = true;
     }
 

@@ -28,8 +28,10 @@
  * private Session plus fixed search options.
  */
 
+#include <atomic>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.h"
@@ -132,6 +134,32 @@ struct CoDesignOptions
     int checkpoint_every = 8;
     /** When set, Run() restores completed pairs from this checkpoint. */
     std::string resume_path;
+
+    // ---- Distribution knobs (src/dist). Not wire-accessible. ----
+
+    /**
+     * Shard range within the canonical EnumeratePairs() walk: Run()
+     * evaluates only pairs [shard_begin, shard_end) and its checkpoint
+     * carries the range, so per-shard checkpoints from independent
+     * workers merge (MergeShardCheckpoints) into a full-run checkpoint.
+     * Defaults cover the whole walk; shard_end < 0 means "to the end".
+     */
+    int64_t shard_begin = 0;
+    int64_t shard_end = -1;
+    /**
+     * When set, Run() publishes the number of pairs completed within
+     * the shard after every chunk (worker progress reporting; read by
+     * heartbeat responses and work-stealing decisions).
+     */
+    std::atomic<int64_t>* progress = nullptr;
+    /**
+     * When set and flagged, Run() stops at the next chunk boundary
+     * after writing its checkpoint, reporting kUnavailable. This is the
+     * cooperative cancel a coordinator uses to reclaim the tail of a
+     * straggler's shard (the written prefix plus the re-dispatched
+     * remainder merge exactly).
+     */
+    const std::atomic<bool>* cancel = nullptr;
     /**
      * Stop after this many (S, N) pairs have results (including
      * resumed ones); < 0 means no cap. The result is marked truncated.
@@ -225,6 +253,16 @@ class Session
      */
     static std::string WorkloadFingerprint(const nn::Workload& w);
 
+    /**
+     * The canonical (S, N) walk Run() evaluates for `w` under `search`,
+     * in enumeration order. This is the single source of truth the
+     * distributed layer shards: a coordinator partitions this exact
+     * sequence, workers evaluate sub-ranges of it, and the merged
+     * result is bitwise-identical to one process walking it whole.
+     */
+    static std::vector<std::pair<int, int>>
+    EnumeratePairs(const nn::Workload& w, const CoDesignOptions& search);
+
     // ---- Warm-cache persistence. ----
 
     /**
@@ -252,8 +290,8 @@ class Session
         std::optional<CoDesignResult> best;
     };
 
-    std::vector<int> SegmentCandidates(int num_layers, int num_pus,
-                                       const CoDesignOptions& search) const;
+    static std::vector<int> SegmentCandidates(int num_layers, int num_pus,
+                                              const CoDesignOptions& search);
 
     PairOutcome EvaluatePair(const nn::Workload& w, const hw::Platform& budget,
                              alloc::DesignGoal goal,

@@ -47,6 +47,9 @@ const char* const kKnownSites[] = {
     "autoseg.candidate",
     "cost.compute",
     "cost.memo.shard",
+    "dist.dispatch",
+    "dist.heartbeat",
+    "dist.merge",
     "eval.seg_cache.lookup",
     "mip.bnb.node",
     "mip.simplex.pivot",

@@ -1,0 +1,116 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spa {
+namespace net {
+
+void
+IgnoreSigpipe()
+{
+    // Plain signal() is fine here: SIG_IGN is inherited across fork and
+    // exec-ed children reset it themselves; repeated calls are no-ops.
+    static const bool ignored = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)ignored;
+}
+
+Status
+SendAll(int fd, const std::string& data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoError(std::string("send: ") + std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+}
+
+ReadResult
+ReadLineFd(int fd, const std::atomic<bool>* stop, std::string& line,
+           size_t cap, int64_t idle_timeout_ms)
+{
+    line.clear();
+    char buf[4096];
+    int64_t idle_ms = 0;
+    for (;;) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready == 0) {
+            if (stop != nullptr && stop->load(std::memory_order_acquire))
+                return ReadResult::kEof;
+            if (idle_timeout_ms > 0) {
+                idle_ms += 100;
+                if (idle_ms >= idle_timeout_ms)
+                    return ReadResult::kIdle;
+            }
+            continue;
+        }
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::kError;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadResult::kError;
+        }
+        if (n == 0)
+            return line.empty() ? ReadResult::kEof : ReadResult::kLine;
+        idle_ms = 0;  // bytes arrived: the peer is alive, reset the budget
+        for (ssize_t i = 0; i < n; ++i) {
+            if (buf[i] == '\n')
+                return ReadResult::kLine;  // bytes after the newline are
+                                           // dropped: the protocol is
+                                           // strictly request/response
+            line.push_back(buf[i]);
+            if (line.size() > cap)
+                return ReadResult::kError;
+        }
+    }
+}
+
+StatusOr<int>
+DialLoopback(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return IoError(std::string("socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        const Status status = IoError("connect 127.0.0.1:" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+        ::close(fd);
+        return status;
+    }
+    return fd;
+}
+
+}  // namespace net
+}  // namespace spa

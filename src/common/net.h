@@ -1,0 +1,71 @@
+#ifndef SPA_COMMON_NET_H_
+#define SPA_COMMON_NET_H_
+
+/**
+ * @file
+ * Hardened POSIX socket helpers shared by the serving and distribution
+ * layers (serve::Server, serve::Client, dist::WorkerServer, the
+ * coordinator). Everything here rides out the failure modes a
+ * long-running daemon actually meets:
+ *
+ *  - EINTR: every read/write/poll retries interrupted syscalls;
+ *  - SIGPIPE: writes use MSG_NOSIGNAL, and IgnoreSigpipe() additionally
+ *    ignores the signal process-wide so no unflagged write path (stdio,
+ *    third-party code) can kill a daemon whose peer vanished;
+ *  - short writes: SendAll loops until the buffer is drained;
+ *  - hung peers: ReadLineFd polls in short slices and enforces an
+ *    optional idle budget, so a slow-loris client cannot pin a server
+ *    slot forever.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace spa {
+namespace net {
+
+/** ReadLineFd outcomes (values < 0 are distinct failure kinds). */
+enum class ReadResult
+{
+    kLine,     ///< one newline-terminated line delivered
+    kEof,      ///< clean EOF before any byte, or `stop` was flagged
+    kError,    ///< socket error or the line exceeded `cap`
+    kIdle,     ///< no byte arrived within `idle_timeout_ms`
+};
+
+/**
+ * Ignores SIGPIPE for the whole process. Idempotent; call it once at
+ * daemon/worker startup (and before any socket writes in tools). A
+ * write to a dead peer then reports EPIPE instead of killing us.
+ */
+void IgnoreSigpipe();
+
+/** Writes the whole buffer, riding out short writes and EINTR. */
+Status SendAll(int fd, const std::string& data);
+
+/**
+ * Reads one newline-terminated line into `line` (newline stripped).
+ * Polls in 100 ms slices so a caller parked on an idle connection
+ * notices `stop` (when given) and so the idle budget can be enforced:
+ * with `idle_timeout_ms` > 0, kIdle is returned when that many
+ * milliseconds pass without a single byte arriving (the budget resets
+ * whenever bytes arrive). Lines longer than `cap` report kError.
+ */
+ReadResult ReadLineFd(int fd, const std::atomic<bool>* stop,
+                      std::string& line, size_t cap,
+                      int64_t idle_timeout_ms = 0);
+
+/**
+ * Connects to 127.0.0.1:`port`. kIoError (with errno text) when the
+ * port is closed — callers distinguish "daemon not up yet" from a
+ * protocol error by the code.
+ */
+StatusOr<int> DialLoopback(int port);
+
+}  // namespace net
+}  // namespace spa
+
+#endif  // SPA_COMMON_NET_H_

@@ -1,0 +1,73 @@
+#ifndef SPA_DIST_BACKOFF_H_
+#define SPA_DIST_BACKOFF_H_
+
+/**
+ * @file
+ * Deterministic exponential backoff with jitter.
+ *
+ * Retry delays grow geometrically with the attempt number and carry a
+ * jitter term that is a pure function of (seed, attempt): two retry
+ * loops armed with different seeds desynchronize (no thundering herd
+ * against a recovering worker), while the same seed always reproduces
+ * the same delay sequence — chaos schedules and tests replay exactly.
+ */
+
+#include <cstdint>
+
+namespace spa {
+namespace dist {
+
+/** Backoff shape; delays are base * 2^attempt, capped, plus jitter. */
+struct BackoffPolicy
+{
+    int64_t base_ms = 50;
+    int64_t max_ms = 2000;
+    /** Jitter span as a fraction of the pre-jitter delay (0 = none). */
+    double jitter = 0.5;
+};
+
+namespace detail {
+
+/** splitmix64 finalizer (same bijection fault.cc uses). */
+inline uint64_t
+Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/**
+ * Delay before retry `attempt` (0-based: the delay after the first
+ * failure is attempt 0). Monotone in expectation, capped at max_ms
+ * before jitter; jitter adds up to policy.jitter * delay, derived from
+ * Mix64(seed, attempt) so it is reproducible and per-caller distinct.
+ */
+inline int64_t
+BackoffDelayMs(const BackoffPolicy& policy, int attempt, uint64_t seed)
+{
+    if (attempt < 0)
+        attempt = 0;
+    int64_t delay = policy.base_ms;
+    for (int i = 0; i < attempt && delay < policy.max_ms; ++i)
+        delay *= 2;
+    if (delay > policy.max_ms)
+        delay = policy.max_ms;
+    if (policy.jitter > 0.0 && delay > 0) {
+        const uint64_t r =
+            detail::Mix64(seed ^ (static_cast<uint64_t>(attempt) << 32));
+        const int64_t span =
+            static_cast<int64_t>(policy.jitter * static_cast<double>(delay));
+        if (span > 0)
+            delay += static_cast<int64_t>(r % static_cast<uint64_t>(span + 1));
+    }
+    return delay;
+}
+
+}  // namespace dist
+}  // namespace spa
+
+#endif  // SPA_DIST_BACKOFF_H_

@@ -1,0 +1,636 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "nn/models.h"
+#include "obs/stats.h"
+#include "serve/client.h"
+
+namespace spa {
+namespace dist {
+
+namespace {
+
+/** Coordinator-side fleet telemetry, registered once per process. */
+struct DistStats
+{
+    obs::Counter* leases_issued;
+    obs::Counter* leases_expired;
+    obs::Counter* redispatches;
+    obs::Counter* steals;
+    obs::Counter* merge_rejections;
+    obs::Counter* shards_completed;
+    obs::Counter* workers_lost;
+    obs::Counter* local_runs;
+    obs::Gauge* workers_live;
+
+    static const DistStats&
+    Get()
+    {
+        static const DistStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return DistStats{
+                r.GetCounter("dist.leases_issued",
+                             "shards dispatched to workers"),
+                r.GetCounter("dist.leases_expired",
+                             "leases lost to dead or stalled workers"),
+                r.GetCounter("dist.redispatches",
+                             "orphaned shards dispatched again (resume)"),
+                r.GetCounter("dist.steals",
+                             "stragglers cancelled to feed idle workers"),
+                r.GetCounter("dist.merge_rejections",
+                             "shard-checkpoint merges refused (torn/foreign/"
+                             "overlap)"),
+                r.GetCounter("dist.shards_completed",
+                             "shard fragments accepted for merging"),
+                r.GetCounter("dist.workers_lost",
+                             "workers that stopped answering"),
+                r.GetCounter("dist.local_runs",
+                             "shards executed coordinator-local (degraded)"),
+                r.GetGauge("dist.workers_live",
+                           "fleet members answering (last sweep sample)"),
+            };
+        }();
+        return stats;
+    }
+};
+
+int64_t
+NowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+const char*
+GoalName(alloc::DesignGoal goal)
+{
+    return goal == alloc::DesignGoal::kThroughput ? "throughput" : "latency";
+}
+
+/** Stable per-shard jitter stream: distinct shards desynchronize. */
+uint64_t
+ShardSeed(uint64_t seed, const ShardSpec& spec)
+{
+    return seed ^ (static_cast<uint64_t>(spec.begin) << 20) ^
+           static_cast<uint64_t>(spec.end);
+}
+
+}  // namespace
+
+json::Value
+DistTelemetry::ToJson() const
+{
+    json::Value out;
+    out["leases_issued"] = leases_issued;
+    out["leases_expired"] = leases_expired;
+    out["redispatches"] = redispatches;
+    out["steals"] = steals;
+    out["merge_rejections"] = merge_rejections;
+    out["shards_completed"] = shards_completed;
+    out["workers_lost"] = workers_lost;
+    out["local_runs"] = local_runs;
+    return out;
+}
+
+Coordinator::Coordinator(const cost::CostModel& cost_model,
+                         CoordinatorOptions options)
+    : options_(options),
+      session_(cost_model, autoseg::SessionOptions{options.jobs, true})
+{
+    for (int port : options_.worker_ports) {
+        WorkerState w;
+        w.port = port;
+        workers_.push_back(w);
+    }
+}
+
+StatusOr<json::Value>
+Coordinator::CallWorker(int port, const json::Value& request)
+{
+    serve::Client client;
+    SPA_RETURN_IF_ERROR(client.Connect(port));
+    StatusOr<json::Value> response = client.Call(request);
+    if (!response.ok())
+        return response.status();
+    return response;
+}
+
+json::Value
+Coordinator::ShardRequest(const char* method, const UnitContext& unit,
+                          const ShardState& shard, bool resume) const
+{
+    json::Value request;
+    request["method"] = std::string(method);
+    json::Value sh;
+    sh["task"] = unit.task;
+    sh["begin"] = shard.spec.begin;
+    sh["end"] = shard.spec.end;
+    if (resume)
+        sh["resume"] = true;
+    request["shard"] = std::move(sh);
+    if (std::string(method) == "shard_run") {
+        request["model"] = unit.model;
+        request["platform"] = unit.platform;
+        request["goal"] = unit.goal;
+        const autoseg::CoDesignOptions& search = *unit.search;
+        json::Value budget;
+        budget["mip_node_budget"] = search.mip_node_budget;
+        request["budget"] = std::move(budget);
+        json::Value s;
+        json::Array pus;
+        for (int n : search.pu_candidates)
+            pus.push_back(json::Value(static_cast<int64_t>(n)));
+        s["pus"] = json::Value(std::move(pus));
+        s["max_segments"] = static_cast<int64_t>(search.max_segments);
+        if (!search.extra_segment_candidates.empty()) {
+            json::Array extra;
+            for (int n : search.extra_segment_candidates)
+                extra.push_back(json::Value(static_cast<int64_t>(n)));
+            s["extra_segments"] = json::Value(std::move(extra));
+        }
+        request["search"] = std::move(s);
+    }
+    return request;
+}
+
+Status
+Coordinator::DispatchShard(const UnitContext& unit, ShardState& shard,
+                           WorkerState& worker)
+{
+    const bool resume = shard.attempts > 0;
+    try {
+        SPA_FAULT_POINT("dist.dispatch");
+        const json::Value request =
+            ShardRequest("shard_run", unit, shard, resume);
+        StatusOr<json::Value> response = CallWorker(worker.port, request);
+        if (!response.ok())
+            return response.status();
+        if (!response->GetBool("ok", false)) {
+            return Status(StatusCode::kUnavailable,
+                          "worker :" + std::to_string(worker.port) +
+                              " refused shard: " +
+                              response->GetString("error", "?"));
+        }
+    } catch (const fault::InjectedFault& e) {
+        return FaultInjected(e.what());
+    }
+    shard.phase = ShardState::Phase::kRunning;
+    shard.cancelling = false;
+    shard.stolen = false;
+    shard.pairs_done = 0;
+    shard.last_advance_ms = NowMs();
+    if (shard.attempts > 0) {
+        ++telemetry_.redispatches;
+        DistStats::Get().redispatches->Inc();
+    }
+    ++shard.attempts;
+    ++telemetry_.leases_issued;
+    DistStats::Get().leases_issued->Inc();
+    return Status::Ok();
+}
+
+void
+Coordinator::OnWorkerLost(WorkerState& worker, ShardState* shard)
+{
+    if (worker.alive) {
+        worker.alive = false;
+        ++telemetry_.workers_lost;
+        DistStats::Get().workers_lost->Inc();
+        SPA_WARN("dist: worker :", worker.port, " lost");
+    }
+    ++worker.failures;
+    worker.retry_at_ms =
+        NowMs() + BackoffDelayMs(options_.backoff, worker.failures - 1,
+                                 options_.seed ^
+                                     static_cast<uint64_t>(worker.port));
+    worker.shard = -1;
+    if (shard != nullptr && shard->phase == ShardState::Phase::kRunning) {
+        ++telemetry_.leases_expired;
+        DistStats::Get().leases_expired->Inc();
+        OrphanShard(*shard);
+    }
+}
+
+void
+Coordinator::OrphanShard(ShardState& shard)
+{
+    shard.phase = ShardState::Phase::kPending;
+    shard.worker = -1;
+    shard.cancelling = false;
+    shard.stolen = false;
+    shard.not_before_ms =
+        NowMs() + BackoffDelayMs(options_.backoff,
+                                 std::max(0, shard.attempts - 1),
+                                 ShardSeed(options_.seed, shard.spec));
+}
+
+void
+Coordinator::CompleteShard(std::vector<ShardState>& shards, size_t index)
+{
+    ShardState& shard = shards[index];
+    shard.phase = ShardState::Phase::kDone;
+    if (shard.worker >= 0)
+        workers_[static_cast<size_t>(shard.worker)].shard = -1;
+    shard.worker = -1;
+    ++telemetry_.shards_completed;
+    DistStats::Get().shards_completed->Inc();
+}
+
+void
+Coordinator::SplitShard(std::vector<ShardState>& shards, size_t index,
+                        int64_t pairs_done)
+{
+    // The cancelled attempt's checkpoint holds pairs [begin, begin +
+    // pairs_done) of [begin, end): keep it as a partial fragment and
+    // queue the remainder as a fresh shard. The two tile exactly, which
+    // is what MergeShardCheckpoints demands.
+    ShardState& shard = shards[index];
+    ShardState rest;
+    rest.spec.task = shard.spec.task;
+    rest.spec.begin = shard.spec.begin + pairs_done;
+    rest.spec.end = shard.spec.end;
+    rest.not_before_ms = 0;
+    shard.pairs_done = pairs_done;
+    CompleteShard(shards, index);
+    shards.push_back(rest);
+}
+
+void
+Coordinator::PollShard(const UnitContext& unit, std::vector<ShardState>& shards,
+                       size_t index, WorkerState& worker)
+{
+    ShardState& shard = shards[index];
+    StatusOr<json::Value> response =
+        CallWorker(worker.port, ShardRequest("shard_poll", unit, shard, false));
+    if (!response.ok()) {
+        OnWorkerLost(worker, &shard);
+        return;
+    }
+    const json::Value& r = *response;
+    const std::string state = r.GetString("state", "idle");
+    const bool matches = r.GetString("task", "") == unit.task &&
+                         r.GetInt("begin", -1) == shard.spec.begin &&
+                         r.GetInt("end", -1) == shard.spec.end;
+    const int64_t now = NowMs();
+
+    if (!r.GetBool("ok", false) || !matches || state == "idle") {
+        // The worker is answering but no longer holds our lease — a
+        // SIGKILL + restart (its slot is empty) or a foreign shard.
+        // The shard is an orphan; the worker itself is healthy.
+        worker.shard = -1;
+        ++telemetry_.leases_expired;
+        DistStats::Get().leases_expired->Inc();
+        OrphanShard(shard);
+        return;
+    }
+    if (state == "done") {
+        shard.pairs_done = shard.spec.NumPairs();
+        CompleteShard(shards, index);
+        return;
+    }
+    if (state == "failed") {
+        const int64_t pairs_done = r.GetInt("pairs_done", 0);
+        worker.shard = -1;
+        if (shard.cancelling && pairs_done > 0) {
+            // The cancel we sent (steal or lease expiry) landed: the
+            // prefix is on disk, the remainder re-enters the queue.
+            SplitShard(shards, index, pairs_done);
+        } else {
+            ++shard.attempts;  // a worker-side failure consumed a try
+            OrphanShard(shard);
+        }
+        return;
+    }
+    // state == "running"
+    const int64_t pairs_done = r.GetInt("pairs_done", 0);
+    if (pairs_done > shard.pairs_done) {
+        shard.pairs_done = pairs_done;
+        shard.last_advance_ms = now;
+    } else if (!shard.cancelling && options_.lease_ms > 0 &&
+               now - shard.last_advance_ms > options_.lease_ms) {
+        // Alive but not checkpointing: expire the lease. The cancel
+        // stops it at a chunk boundary; the poll loop above collects
+        // the prefix and re-queues the tail.
+        ++telemetry_.leases_expired;
+        DistStats::Get().leases_expired->Inc();
+        SPA_WARN("dist: lease expired on :", worker.port, " for ", unit.task,
+                 " [", shard.spec.begin, ", ", shard.spec.end, ")");
+        StatusOr<json::Value> cancel = CallWorker(
+            worker.port, ShardRequest("shard_cancel", unit, shard, false));
+        if (!cancel.ok()) {
+            OnWorkerLost(worker, &shard);
+            return;
+        }
+        shard.cancelling = true;
+        shard.last_advance_ms = now;  // grace for the cancel to land
+    }
+}
+
+Status
+Coordinator::RunShardLocally(const UnitContext& unit, ShardState& shard)
+{
+    ++telemetry_.local_runs;
+    DistStats::Get().local_runs->Inc();
+    SPA_INFORM("dist: running ", unit.task, " [", shard.spec.begin, ", ",
+               shard.spec.end, ") locally (degraded)");
+
+    autoseg::CoDesignOptions local = *unit.search;
+    local.shard_begin = shard.spec.begin;
+    local.shard_end = shard.spec.end;
+    local.checkpoint_every = options_.checkpoint_every;
+    local.checkpoint_path = ShardCheckpointFile(
+        options_.shard_dir, unit.task, shard.spec.begin, shard.spec.end);
+    std::error_code ec;
+    if (shard.attempts > 0 &&
+        std::filesystem::exists(local.checkpoint_path, ec)) {
+        local.resume_path = local.checkpoint_path;
+    }
+    std::atomic<int64_t> progress{0};
+    local.progress = &progress;
+
+    ++shard.attempts;
+    // Same empty-caches discipline as the workers: the fragment must be
+    // identical no matter where it was computed.
+    const autoseg::CoDesignResult result = session_.Run(
+        *unit.workload, *unit.budget, unit.design_goal, local);
+    if (progress.load(std::memory_order_acquire) < shard.spec.NumPairs()) {
+        return result.status.ok()
+                   ? Internal("local shard run stopped early")
+                   : result.status;
+    }
+    return Status::Ok();
+}
+
+StatusOr<autoseg::CoDesignResult>
+Coordinator::RunUnit(const std::string& model, const hw::Platform& platform,
+                     alloc::DesignGoal goal,
+                     const autoseg::CoDesignOptions& search)
+{
+    if (options_.shard_dir.empty())
+        return InvalidArgument("coordinator needs a shard directory");
+    if (!search.checkpoint_path.empty() || !search.resume_path.empty())
+        return InvalidArgument(
+            "distributed units own their checkpoint paths; leave "
+            "checkpoint_path/resume_path empty");
+    if (search.max_pairs >= 0 || !search.deadline.unlimited())
+        return InvalidArgument(
+            "distributed units must be budget-free (no max_pairs or "
+            "deadline): a budget would truncate different pairs on "
+            "different fleets");
+    std::error_code ec;
+    std::filesystem::create_directories(options_.shard_dir, ec);
+    if (ec)
+        return IoError("shard dir " + options_.shard_dir + ": " + ec.message());
+
+    // The zoo frontend fatal()s on unknown names; capture into a Status.
+    nn::Workload workload;
+    try {
+        spa::detail::ScopedFailureCapture capture;
+        workload = nn::ExtractWorkload(nn::BuildModel(model));
+    } catch (const CapturedFailure& e) {
+        return InvalidArgument(std::string("model: ") + e.what());
+    }
+
+    UnitContext unit;
+    unit.model = model;
+    unit.platform = platform.name;
+    unit.goal = GoalName(goal);
+    unit.task = TaskId(model, platform.name, unit.goal);
+    unit.search = &search;
+    unit.workload = &workload;
+    unit.budget = &platform;
+    unit.design_goal = goal;
+
+    const std::vector<std::pair<int, int>> pairs =
+        autoseg::Session::EnumeratePairs(workload, search);
+    if (pairs.empty())
+        return session_.Run(workload, platform, goal, search);
+
+    std::vector<ShardState> shards;
+    for (const auto& [begin, end] :
+         PartitionRange(static_cast<int64_t>(pairs.size()),
+                        options_.shard_pairs)) {
+        ShardState s;
+        s.spec = ShardSpec{unit.task, begin, end};
+        shards.push_back(s);
+    }
+    SPA_INFORM("dist: ", unit.task, ": ", pairs.size(), " pairs in ",
+               shards.size(), " shards over ", workers_.size(), " workers");
+
+    // ---- The lease loop. ----
+    const int64_t started_ms = NowMs();
+    for (;;) {
+        const int64_t now = NowMs();
+
+        // Revive dead workers whose backoff gate passed.
+        int live = 0;
+        for (WorkerState& w : workers_) {
+            if (!w.alive && now >= w.retry_at_ms) {
+                json::Value ping;
+                ping["method"] = std::string("ping");
+                if (CallWorker(w.port, ping).ok()) {
+                    w.alive = true;
+                    w.failures = 0;
+                    SPA_INFORM("dist: worker :", w.port, " back");
+                } else {
+                    ++w.failures;
+                    w.retry_at_ms =
+                        now + BackoffDelayMs(
+                                  options_.backoff, w.failures - 1,
+                                  options_.seed ^
+                                      static_cast<uint64_t>(w.port));
+                }
+            }
+            if (w.alive)
+                ++live;
+        }
+        DistStats::Get().workers_live->Set(static_cast<double>(live));
+
+        // Heartbeat every running shard.
+        for (size_t i = 0; i < shards.size(); ++i) {
+            if (shards[i].phase != ShardState::Phase::kRunning)
+                continue;
+            PollShard(unit, shards, i, workers_[static_cast<size_t>(
+                                           shards[i].worker)]);
+        }
+
+        size_t pending = 0, running = 0, done = 0;
+        for (const ShardState& s : shards) {
+            pending += s.phase == ShardState::Phase::kPending;
+            running += s.phase == ShardState::Phase::kRunning;
+            done += s.phase == ShardState::Phase::kDone;
+        }
+        if (done == shards.size())
+            break;
+
+        // Steal: idle live workers, nothing pending — cancel the
+        // straggler with the most pairs left and split its shard.
+        if (options_.allow_steal && pending == 0) {
+            bool idle_worker = false;
+            for (const WorkerState& w : workers_)
+                idle_worker = idle_worker || (w.alive && w.shard < 0);
+            if (idle_worker) {
+                size_t best = shards.size();
+                int64_t best_left = options_.steal_min_pairs - 1;
+                for (size_t i = 0; i < shards.size(); ++i) {
+                    const ShardState& s = shards[i];
+                    if (s.phase != ShardState::Phase::kRunning ||
+                        s.cancelling)
+                        continue;
+                    const int64_t left = s.spec.NumPairs() - s.pairs_done;
+                    if (left > best_left) {
+                        best_left = left;
+                        best = i;
+                    }
+                }
+                if (best < shards.size()) {
+                    ShardState& victim = shards[best];
+                    WorkerState& w =
+                        workers_[static_cast<size_t>(victim.worker)];
+                    StatusOr<json::Value> cancel = CallWorker(
+                        w.port,
+                        ShardRequest("shard_cancel", unit, victim, false));
+                    if (cancel.ok()) {
+                        victim.cancelling = true;
+                        victim.stolen = true;
+                        victim.last_advance_ms = NowMs();
+                        ++telemetry_.steals;
+                        DistStats::Get().steals->Inc();
+                        SPA_INFORM("dist: stealing tail of ", unit.task, " [",
+                                   victim.spec.begin, ", ", victim.spec.end,
+                                   ") from :", w.port);
+                    } else {
+                        OnWorkerLost(w, &victim);
+                    }
+                }
+            }
+        }
+
+        // Dispatch pending shards to idle live workers.
+        for (ShardState& s : shards) {
+            if (s.phase != ShardState::Phase::kPending ||
+                NowMs() < s.not_before_ms)
+                continue;
+            if (s.attempts >= options_.max_attempts) {
+                // This shard burned its distributed budget; finishing
+                // beats failing, so it goes local (still resumable).
+                if (!options_.allow_local) {
+                    return Status(
+                        StatusCode::kUnavailable,
+                        unit.task + " [" + std::to_string(s.spec.begin) +
+                            ", " + std::to_string(s.spec.end) + ") failed " +
+                            std::to_string(s.attempts) + " dispatch attempts");
+                }
+                ShardState& target = s;
+                const Status ran = RunShardLocally(unit, target);
+                if (!ran.ok())
+                    return ran;
+                target.pairs_done = target.spec.NumPairs();
+                CompleteShard(shards, static_cast<size_t>(&target -
+                                                          shards.data()));
+                continue;
+            }
+            for (WorkerState& w : workers_) {
+                if (!w.alive || w.shard >= 0)
+                    continue;
+                const Status dispatched = DispatchShard(unit, s, w);
+                if (dispatched.ok()) {
+                    w.shard = static_cast<int>(&s - shards.data());
+                    s.worker = static_cast<int>(&w - workers_.data());
+                    break;
+                }
+                if (dispatched.code() == StatusCode::kFaultInjected ||
+                    dispatched.code() == StatusCode::kUnavailable) {
+                    // Coordinator-side fault or a busy worker: back the
+                    // shard off without declaring the worker dead.
+                    ++s.attempts;
+                    OrphanShard(s);
+                    break;
+                }
+                OnWorkerLost(w, nullptr);
+            }
+        }
+
+        // All workers gone and work still pending: degrade to local,
+        // one shard per pass so revived workers get work again. (The
+        // polls above may have marked workers dead — recount.)
+        live = 0;
+        for (const WorkerState& w : workers_)
+            live += w.alive ? 1 : 0;
+        if (live == 0 && options_.allow_local) {
+            for (ShardState& s : shards) {
+                if (s.phase != ShardState::Phase::kPending)
+                    continue;
+                const Status ran = RunShardLocally(unit, s);
+                if (!ran.ok())
+                    return ran;
+                s.pairs_done = s.spec.NumPairs();
+                CompleteShard(shards,
+                              static_cast<size_t>(&s - shards.data()));
+                break;
+            }
+        }
+        if (live == 0 && !options_.allow_local && running == 0) {
+            return Status(StatusCode::kUnavailable,
+                          "every worker is lost and local execution is "
+                          "disabled");
+        }
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.heartbeat_ms));
+    }
+    SPA_INFORM("dist: ", unit.task, " shards done in ", NowMs() - started_ms,
+               " ms; merging");
+
+    // ---- Merge + finalize. ----
+    std::vector<autoseg::EngineCheckpoint> fragments;
+    try {
+        SPA_FAULT_POINT("dist.merge");
+        for (const ShardState& s : shards) {
+            const std::string file = ShardCheckpointFile(
+                options_.shard_dir, unit.task, s.spec.begin, s.spec.end);
+            StatusOr<autoseg::EngineCheckpoint> ck =
+                autoseg::LoadCheckpoint(file);
+            if (!ck.ok()) {
+                ++telemetry_.merge_rejections;
+                DistStats::Get().merge_rejections->Inc();
+                return Status(ck.status().code(),
+                              "shard fragment " + file + ": " +
+                                  ck.status().message());
+            }
+            fragments.push_back(std::move(*ck));
+        }
+    } catch (const fault::InjectedFault& e) {
+        ++telemetry_.merge_rejections;
+        DistStats::Get().merge_rejections->Inc();
+        return FaultInjected(e.what());
+    }
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(fragments));
+    if (!merged.ok()) {
+        ++telemetry_.merge_rejections;
+        DistStats::Get().merge_rejections->Inc();
+        return merged.status();
+    }
+    const std::string merged_file =
+        MergedCheckpointFile(options_.shard_dir, unit.task);
+    SPA_RETURN_IF_ERROR(autoseg::SaveCheckpoint(merged_file, *merged));
+
+    // The final answer: resume the merged full-walk checkpoint through
+    // the local session. Resume re-evaluates each stored winner
+    // deterministically (PR 5), so this result is bitwise-identical to
+    // an uninterrupted single-process run of the same search.
+    autoseg::CoDesignOptions final_search = search;
+    final_search.resume_path = merged_file;
+    return session_.Run(workload, platform, goal, final_search);
+}
+
+}  // namespace dist
+}  // namespace spa

@@ -1,0 +1,207 @@
+#ifndef SPA_DIST_COORDINATOR_H_
+#define SPA_DIST_COORDINATOR_H_
+
+/**
+ * @file
+ * The fault-tolerant sweep coordinator.
+ *
+ * A Coordinator distributes one co-design walk (one model @ one
+ * platform budget) over a fleet of autoseg_worker daemons: it cuts the
+ * canonical (S, N) enumeration into leased shards, dispatches them over
+ * the serve protocol, heartbeats the leases, and merges the workers'
+ * fingerprint-validated shard checkpoints into one full-run checkpoint.
+ * The final answer is produced by resuming that merged checkpoint
+ * locally, which makes it bitwise-identical to an uninterrupted
+ * single-process Session::Run — at ANY worker count, under ANY
+ * interleaving of worker deaths.
+ *
+ * Failure handling, in one place per mechanism:
+ *
+ *  - Lease liveness: every running shard is polled each heartbeat. A
+ *    worker that stops answering is marked lost and its shard becomes
+ *    an orphan; a worker that answers but makes no checkpointed
+ *    progress within lease_ms has its lease expired (cancel + shard
+ *    reassignment).
+ *  - Orphan re-dispatch: an orphaned shard is re-dispatched with
+ *    resume=true after a deterministic exponential backoff with jitter
+ *    (backoff.h) — the next worker continues from the dead attempt's
+ *    last complete checkpoint in the shared shard directory.
+ *  - Work stealing: when workers sit idle and the pending queue is
+ *    empty, the straggler with the most remaining pairs is cancelled;
+ *    it stops at a chunk boundary leaving a prefix checkpoint, and the
+ *    remainder [begin + done, end) is dispatched to the idle worker.
+ *    Prefix and remainder tile exactly, so the merge stays strict.
+ *  - Degradation to local: when no live worker can take a shard (all
+ *    lost, or a shard exhausted its attempts), the coordinator runs it
+ *    through its own Session with the same checkpoint discipline, so a
+ *    sweep always completes — slower, never wrong. Worker revival is
+ *    re-checked between local shards.
+ *  - Merge strictness: torn files, foreign checkpoints, duplicates,
+ *    overlaps and gaps are rejected with a structured Status
+ *    (checkpoint.h MergeShardCheckpoints); the coordinator never
+ *    guesses its way past a confused distributed run.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autoseg/checkpoint.h"
+#include "autoseg/session.h"
+#include "common/status.h"
+#include "cost/cost.h"
+#include "dist/backoff.h"
+#include "dist/shard.h"
+#include "hw/platform.h"
+#include "json/json.h"
+
+namespace spa {
+namespace dist {
+
+/** Fleet shape and fault-tolerance policy. */
+struct CoordinatorOptions
+{
+    /** Worker daemon ports on loopback (the fleet roster). */
+    std::vector<int> worker_ports;
+    /** Directory shared with every worker for shard checkpoints. */
+    std::string shard_dir;
+    /** (S, N) pairs per shard (lease granularity). */
+    int64_t shard_pairs = 8;
+    /** Poll cadence for running shards and dead-worker revival. */
+    int64_t heartbeat_ms = 100;
+    /** Lease expiry: no checkpointed progress for this long. */
+    int64_t lease_ms = 5000;
+    /** Dispatch attempts per shard before it is forced local. */
+    int max_attempts = 6;
+    /** Steal only when a straggler has at least this many pairs left. */
+    int64_t steal_min_pairs = 2;
+    /** Allow cancelling stragglers to feed idle workers. */
+    bool allow_steal = true;
+    /** Allow coordinator-local execution as the last resort. */
+    bool allow_local = true;
+    /** Jitter seed for the deterministic re-dispatch backoff. */
+    uint64_t seed = 1;
+    BackoffPolicy backoff;
+    /** Local-fallback evaluation width; <= 0 = hardware concurrency. */
+    int jobs = 0;
+    /** Local-fallback checkpoint cadence (pairs). */
+    int checkpoint_every = 4;
+};
+
+/** Per-sweep fault-tolerance tally (also exported as dist.* stats). */
+struct DistTelemetry
+{
+    int64_t leases_issued = 0;
+    int64_t leases_expired = 0;
+    int64_t redispatches = 0;
+    int64_t steals = 0;
+    int64_t merge_rejections = 0;
+    int64_t shards_completed = 0;
+    int64_t workers_lost = 0;
+    int64_t local_runs = 0;
+
+    json::Value ToJson() const;
+};
+
+/** Sharded, leased, self-healing execution of co-design walks. */
+class Coordinator
+{
+  public:
+    Coordinator(const cost::CostModel& cost_model, CoordinatorOptions options);
+
+    Coordinator(const Coordinator&) = delete;
+    Coordinator& operator=(const Coordinator&) = delete;
+
+    /**
+     * Distributes the (model, platform, goal) walk and returns a result
+     * bitwise-identical to `Session::Run(w, platform, goal, search)`
+     * with empty caches. `model` must be a zoo name (the wire carries
+     * names, not paths). `search` must be budget-free (no deadline /
+     * max_pairs / checkpoint knobs): a wall-clock budget would truncate
+     * different pairs on different fleets, forfeiting bitwise identity.
+     */
+    StatusOr<autoseg::CoDesignResult> RunUnit(
+        const std::string& model, const hw::Platform& platform,
+        alloc::DesignGoal goal, const autoseg::CoDesignOptions& search);
+
+    /** Tally across every RunUnit so far. */
+    const DistTelemetry& telemetry() const { return telemetry_; }
+
+    /** The local session (the degradation path and the final resume). */
+    const autoseg::Session& session() const { return session_; }
+
+  private:
+    /** One fleet member's liveness view. */
+    struct WorkerState
+    {
+        int port = 0;
+        bool alive = true;
+        int failures = 0;       ///< consecutive RPC failures (backoff)
+        int64_t retry_at_ms = 0;  ///< next revival probe when dead
+        int shard = -1;         ///< index of the running shard, -1 = idle
+    };
+
+    /** One shard's lifecycle on the coordinator. */
+    struct ShardState
+    {
+        enum class Phase
+        {
+            kPending,  ///< waiting for a worker (or the local fallback)
+            kRunning,  ///< leased to worker_ports[worker]
+            kDone,     ///< fragment recorded for the merge
+        };
+        ShardSpec spec;
+        Phase phase = Phase::kPending;
+        int worker = -1;
+        int attempts = 0;        ///< dispatches so far (resume after the 1st)
+        int64_t not_before_ms = 0;  ///< re-dispatch backoff gate
+        int64_t pairs_done = 0;
+        int64_t last_advance_ms = 0;
+        bool cancelling = false;  ///< cancel sent (steal or lease expiry)
+        bool stolen = false;      ///< this cancel feeds an idle worker
+    };
+
+    /** Everything a dispatch needs to phrase the shard_run request. */
+    struct UnitContext
+    {
+        std::string model;
+        std::string platform;
+        std::string goal;
+        std::string task;
+        const autoseg::CoDesignOptions* search = nullptr;
+        const nn::Workload* workload = nullptr;
+        const hw::Platform* budget = nullptr;
+        alloc::DesignGoal design_goal = alloc::DesignGoal::kLatency;
+    };
+
+    StatusOr<json::Value> CallWorker(int port, const json::Value& request);
+    json::Value ShardRequest(const char* method, const UnitContext& unit,
+                             const ShardState& shard, bool resume) const;
+    Status DispatchShard(const UnitContext& unit, ShardState& shard,
+                         WorkerState& worker);
+    /** Polls one running shard; mutates shard/worker state machines. */
+    void PollShard(const UnitContext& unit, std::vector<ShardState>& shards,
+                   size_t index, WorkerState& worker);
+    void OnWorkerLost(WorkerState& worker, ShardState* shard);
+    void OrphanShard(ShardState& shard);
+    /** Runs one shard through the local session (the last resort). */
+    Status RunShardLocally(const UnitContext& unit, ShardState& shard);
+    /** Records a finished fragment and frees its worker slot. */
+    void CompleteShard(std::vector<ShardState>& shards, size_t index);
+    /**
+     * Splits a cancelled straggler: keep its checkpointed prefix as a
+     * fragment, append the remainder as a fresh pending shard.
+     */
+    void SplitShard(std::vector<ShardState>& shards, size_t index,
+                    int64_t pairs_done);
+
+    CoordinatorOptions options_;
+    autoseg::Session session_;
+    std::vector<WorkerState> workers_;
+    DistTelemetry telemetry_;
+};
+
+}  // namespace dist
+}  // namespace spa
+
+#endif  // SPA_DIST_COORDINATOR_H_

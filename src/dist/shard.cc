@@ -1,0 +1,44 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+
+namespace spa {
+namespace dist {
+
+std::string
+TaskId(const std::string& model, const std::string& platform,
+       const std::string& goal)
+{
+    // Matches the charset ParseShard accepts ([A-Za-z0-9_.@:-]): zoo
+    // model and Table II platform names are already in it.
+    return model + "@" + platform + ":" + goal;
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+PartitionRange(int64_t num_pairs, int64_t shard_pairs)
+{
+    std::vector<std::pair<int64_t, int64_t>> shards;
+    if (num_pairs <= 0)
+        return shards;
+    shard_pairs = std::max<int64_t>(1, shard_pairs);
+    for (int64_t begin = 0; begin < num_pairs; begin += shard_pairs)
+        shards.emplace_back(begin, std::min(begin + shard_pairs, num_pairs));
+    return shards;
+}
+
+std::string
+ShardCheckpointFile(const std::string& dir, const std::string& task,
+                    int64_t begin, int64_t end)
+{
+    return dir + "/" + task + "." + std::to_string(begin) + "-" +
+           std::to_string(end) + ".shard.json";
+}
+
+std::string
+MergedCheckpointFile(const std::string& dir, const std::string& task)
+{
+    return dir + "/" + task + ".merged.json";
+}
+
+}  // namespace dist
+}  // namespace spa

@@ -1,0 +1,63 @@
+#ifndef SPA_DIST_SHARD_H_
+#define SPA_DIST_SHARD_H_
+
+/**
+ * @file
+ * Shard planning for the distributed sweep.
+ *
+ * One sweep unit is one (model, platform, goal) co-design walk; its
+ * canonical (S, N) enumeration (Session::EnumeratePairs) is cut into
+ * contiguous shards that workers evaluate independently. Shard
+ * checkpoint files live in a directory shared by the coordinator and
+ * every worker; their names are derived here, on the server side, from
+ * the opaque task id plus the range — file paths never travel on the
+ * wire (serve/protocol.h posture).
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spa {
+namespace dist {
+
+/** One dispatchable unit of work: a [begin, end) slice of a task walk. */
+struct ShardSpec
+{
+    std::string task;
+    int64_t begin = 0;
+    int64_t end = 0;
+
+    int64_t NumPairs() const { return end - begin; }
+};
+
+/** The wire-safe task id of one sweep unit ("model@platform:goal"). */
+std::string TaskId(const std::string& model, const std::string& platform,
+                   const std::string& goal);
+
+/**
+ * Cuts [0, num_pairs) into contiguous shards of at most `shard_pairs`
+ * pairs each (the final shard takes the remainder). shard_pairs < 1 is
+ * treated as 1; num_pairs == 0 yields no shards.
+ */
+std::vector<std::pair<int64_t, int64_t>> PartitionRange(int64_t num_pairs,
+                                                        int64_t shard_pairs);
+
+/**
+ * The checkpoint file a worker (or the coordinator running locally)
+ * writes for one shard. Distinct ranges map to distinct files, so a
+ * stolen remainder never clobbers the straggler's prefix.
+ */
+std::string ShardCheckpointFile(const std::string& dir,
+                                const std::string& task, int64_t begin,
+                                int64_t end);
+
+/** The merged full-walk checkpoint file of one task. */
+std::string MergedCheckpointFile(const std::string& dir,
+                                 const std::string& task);
+
+}  // namespace dist
+}  // namespace spa
+
+#endif  // SPA_DIST_SHARD_H_

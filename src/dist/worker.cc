@@ -1,0 +1,412 @@
+#include "dist/worker.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/net.h"
+#include "dist/shard.h"
+#include "obs/stats.h"
+
+namespace spa {
+namespace dist {
+
+namespace {
+
+/** Worker-side shard telemetry, registered once per process. */
+struct WorkerStats
+{
+    obs::Counter* accepted;
+    obs::Counter* completed;
+    obs::Counter* failed;
+    obs::Counter* cancelled;
+    obs::Counter* resumed;
+
+    static const WorkerStats&
+    Get()
+    {
+        static const WorkerStats stats = [] {
+            obs::Registry& r = obs::Registry::Default();
+            return WorkerStats{
+                r.GetCounter("dist.worker.shards_accepted",
+                             "shard_run requests admitted to the slot"),
+                r.GetCounter("dist.worker.shards_completed",
+                             "shards that checkpointed their full range"),
+                r.GetCounter("dist.worker.shards_failed",
+                             "shards that stopped early (cancel or failure)"),
+                r.GetCounter("dist.worker.shards_cancelled",
+                             "cancel directives applied to a running shard"),
+                r.GetCounter("dist.worker.shards_resumed",
+                             "accepted shards that restored a prior prefix"),
+            };
+        }();
+        return stats;
+    }
+};
+
+const char*
+SlotStateName(int state)
+{
+    switch (state) {
+    case 0:
+        return "idle";
+    case 1:
+        return "running";
+    case 2:
+        return "done";
+    case 3:
+        return "failed";
+    }
+    return "?";
+}
+
+}  // namespace
+
+WorkerServer::WorkerServer(const cost::CostModel& cost_model,
+                           WorkerOptions options)
+    : options_(options),
+      session_(cost_model, autoseg::SessionOptions{options.jobs, true}),
+      scheduler_(serve::SchedulerOptions{options.control_workers, 8})
+{
+}
+
+WorkerServer::~WorkerServer() { Stop(); }
+
+Status
+WorkerServer::Start()
+{
+    if (started_.load(std::memory_order_acquire))
+        return Status::Ok();
+    if (options_.shard_dir.empty())
+        return InvalidArgument("worker needs a shard directory");
+    net::IgnoreSigpipe();
+    // Register the shard counter families up front so a scrape of an
+    // idle worker still reports them (at zero) instead of omitting them.
+    (void)WorkerStats::Get();
+
+    std::error_code ec;
+    std::filesystem::create_directories(options_.shard_dir, ec);
+    if (ec) {
+        return IoError("shard dir " + options_.shard_dir + ": " +
+                       ec.message());
+    }
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return IoError(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        const Status status =
+            IoError("bind 127.0.0.1:" + std::to_string(options_.port) + ": " +
+                    std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return status;
+    }
+    if (::listen(listen_fd_, 16) < 0) {
+        const Status status =
+            IoError(std::string("listen: ") + std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return status;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    scheduler_.Start();
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    started_.store(true, std::memory_order_release);
+    SPA_INFORM("dist: worker on 127.0.0.1:", port_, ", shards in ",
+               options_.shard_dir);
+    return Status::Ok();
+}
+
+void
+WorkerServer::Stop()
+{
+    if (!started_.load(std::memory_order_acquire))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    // A running shard stops at its next chunk boundary; its last
+    // complete checkpoint survives for whoever resumes the shard.
+    slot_cancel_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    scheduler_.Stop();
+    // Join the runner with slot_mutex_ released: a still-running shard
+    // acquires it to publish its final slot state, so joining under the
+    // lock deadlocks against the cancellation we just requested.
+    std::thread runner;
+    {
+        std::lock_guard<std::mutex> lock(slot_mutex_);
+        if (!runner_joined_ && runner_.joinable()) {
+            runner = std::move(runner_);
+            runner_joined_ = true;
+        }
+    }
+    if (runner.joinable())
+        runner.join();
+    started_.store(false, std::memory_order_release);
+}
+
+void
+WorkerServer::WaitForShutdownRequest()
+{
+    while (!shutdown_requested_.load(std::memory_order_acquire) &&
+           started_.load(std::memory_order_acquire)) {
+        ::poll(nullptr, 0, 100);
+    }
+}
+
+void
+WorkerServer::AcceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const Status admitted =
+            scheduler_.Submit([this, fd] { ServeConnection(fd); });
+        if (!admitted.ok()) {
+            net::SendAll(fd, serve::ErrorResponse("", admitted).Dump() + "\n");
+            ::close(fd);
+        }
+    }
+}
+
+void
+WorkerServer::ServeConnection(int fd)
+{
+    std::string line;
+    for (;;) {
+        const net::ReadResult got =
+            net::ReadLineFd(fd, &stopping_, line,
+                            serve::kMaxRequestBytes + 4096,
+                            options_.idle_timeout_ms);
+        if (got != net::ReadResult::kLine)
+            break;
+        const json::Value response = HandleRequestLine(line);
+        if (!net::SendAll(fd, response.Dump() + "\n").ok())
+            break;
+        if (shutdown_requested_.load(std::memory_order_acquire))
+            break;
+    }
+    ::close(fd);
+}
+
+json::Value
+WorkerServer::HandleRequestLine(const std::string& line)
+{
+    try {
+        StatusOr<serve::Request> request = serve::ParseRequestOr(line);
+        if (!request.ok())
+            return serve::ErrorResponse(serve::RequestIdOf(line),
+                                        request.status());
+        return Dispatch(*request);
+    } catch (const fault::InjectedFault& e) {
+        return serve::ErrorResponse(serve::RequestIdOf(line),
+                                    FaultInjected(e.what()));
+    } catch (const std::exception& e) {
+        return serve::ErrorResponse(serve::RequestIdOf(line),
+                                    Internal(e.what()));
+    }
+}
+
+json::Value
+WorkerServer::Dispatch(const serve::Request& request)
+{
+    switch (request.method) {
+    case serve::Method::kPing: {
+        json::Value response = serve::OkResponse(request.id);
+        response["pong"] = true;
+        response["worker"] = true;
+        return response;
+    }
+    case serve::Method::kMetrics: {
+        json::Value response = serve::OkResponse(request.id);
+        response["content_type"] = "text/plain; version=0.0.4";
+        response["exposition"] = obs::Registry::Default().ToPrometheus();
+        return response;
+    }
+    case serve::Method::kShutdown: {
+        shutdown_requested_.store(true, std::memory_order_release);
+        json::Value response = serve::OkResponse(request.id);
+        response["stopping"] = true;
+        return response;
+    }
+    case serve::Method::kShardRun:
+        return ShardRun(request);
+    case serve::Method::kShardPoll:
+        return ShardPoll(request);
+    case serve::Method::kShardCancel:
+        return ShardCancel(request);
+    default:
+        return serve::ErrorResponse(
+            request.id,
+            InvalidArgument("method not served by autoseg_worker"));
+    }
+}
+
+void
+WorkerServer::ReapRunnerLocked()
+{
+    // Joining is cheap once the runner finished; the flag keeps a
+    // kDone/kFailed slot joinable exactly once.
+    if (!runner_joined_ &&
+        (slot_state_ == SlotState::kDone || slot_state_ == SlotState::kFailed)) {
+        runner_.join();
+        runner_joined_ = true;
+    }
+}
+
+json::Value
+WorkerServer::ShardRun(const serve::Request& request)
+{
+    const serve::ShardDirective& shard = request.shard;
+    if (shard.end < 0) {
+        return serve::ErrorResponse(
+            request.id, InvalidArgument("shard_run needs an explicit "
+                                        "'shard.end' (the coordinator knows "
+                                        "the walk length)"));
+    }
+
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    ReapRunnerLocked();
+    if (slot_state_ == SlotState::kRunning) {
+        return serve::ErrorResponse(
+            request.id,
+            Unavailable("shard slot busy with " + slot_shard_.task + " [" +
+                        std::to_string(slot_shard_.begin) + ", " +
+                        std::to_string(slot_shard_.end) + ")"));
+    }
+
+    autoseg::CoDesignOptions search = request.search;
+    search.shard_begin = shard.begin;
+    search.shard_end = shard.end;
+    search.checkpoint_every = options_.checkpoint_every;
+    search.checkpoint_path = ShardCheckpointFile(options_.shard_dir,
+                                                 shard.task, shard.begin,
+                                                 shard.end);
+    search.progress = &slot_progress_;
+    search.cancel = &slot_cancel_;
+    bool resumed = false;
+    if (shard.resume) {
+        // Orphan re-dispatch: continue from whatever prefix the dead
+        // (or cancelled) attempt checkpointed. A missing file just
+        // means it died before the first checkpoint — start cold.
+        std::error_code ec;
+        if (std::filesystem::exists(search.checkpoint_path, ec)) {
+            search.resume_path = search.checkpoint_path;
+            resumed = true;
+        }
+    }
+
+    slot_state_ = SlotState::kRunning;
+    slot_shard_ = shard;
+    slot_status_ = Status::Ok();
+    slot_progress_.store(0, std::memory_order_release);
+    slot_cancel_.store(false, std::memory_order_release);
+    WorkerStats::Get().accepted->Inc();
+    if (resumed)
+        WorkerStats::Get().resumed->Inc();
+
+    const nn::Workload workload = request.workload;
+    const hw::Platform platform = request.platforms.front();
+    const alloc::DesignGoal goal = request.goal;
+    runner_joined_ = false;
+    runner_ = std::thread([this, workload, platform, goal, search] {
+        // EMPTY caches: every pair's outcome must be independent of
+        // which worker ran it (the merge's bitwise-identity contract).
+        Status status;
+        try {
+            const autoseg::CoDesignResult result =
+                session_.Run(workload, platform, goal, search);
+            status = result.status;
+        } catch (const std::exception& e) {
+            status = Internal(e.what());
+        }
+        const int64_t size = search.shard_end - search.shard_begin;
+        const bool complete =
+            slot_progress_.load(std::memory_order_acquire) >= size;
+        std::lock_guard<std::mutex> lock(slot_mutex_);
+        slot_state_ = complete ? SlotState::kDone : SlotState::kFailed;
+        slot_status_ = complete ? Status::Ok() : status;
+        (complete ? WorkerStats::Get().completed : WorkerStats::Get().failed)
+            ->Inc();
+    });
+
+    json::Value response = serve::OkResponse(request.id);
+    response["accepted"] = true;
+    response["task"] = shard.task;
+    response["begin"] = shard.begin;
+    response["end"] = shard.end;
+    response["resumed"] = resumed;
+    return response;
+}
+
+json::Value
+WorkerServer::ShardPoll(const serve::Request& request)
+{
+    SPA_FAULT_POINT("dist.heartbeat");
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    ReapRunnerLocked();
+    json::Value response = serve::OkResponse(request.id);
+    response["state"] = std::string(SlotStateName(static_cast<int>(slot_state_)));
+    response["task"] = slot_shard_.task;
+    response["begin"] = slot_shard_.begin;
+    response["end"] = slot_shard_.end;
+    response["pairs_done"] = slot_progress_.load(std::memory_order_acquire);
+    response["cancelling"] = slot_cancel_.load(std::memory_order_acquire);
+    if (slot_state_ == SlotState::kFailed)
+        response["status"] = slot_status_.ToString();
+    return response;
+}
+
+json::Value
+WorkerServer::ShardCancel(const serve::Request& request)
+{
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    ReapRunnerLocked();
+    const serve::ShardDirective& shard = request.shard;
+    if (slot_state_ != SlotState::kRunning || slot_shard_.task != shard.task ||
+        slot_shard_.begin != shard.begin || slot_shard_.end != shard.end) {
+        return serve::ErrorResponse(
+            request.id,
+            InvalidArgument("no running shard matches " + shard.task + " [" +
+                            std::to_string(shard.begin) + ", " +
+                            std::to_string(shard.end) + ")"));
+    }
+    slot_cancel_.store(true, std::memory_order_release);
+    WorkerStats::Get().cancelled->Inc();
+    json::Value response = serve::OkResponse(request.id);
+    response["cancelling"] = true;
+    response["pairs_done"] = slot_progress_.load(std::memory_order_acquire);
+    return response;
+}
+
+}  // namespace dist
+}  // namespace spa

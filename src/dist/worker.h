@@ -1,0 +1,144 @@
+#ifndef SPA_DIST_WORKER_H_
+#define SPA_DIST_WORKER_H_
+
+/**
+ * @file
+ * The distributed-sweep worker service (the autoseg_worker daemon).
+ *
+ * A WorkerServer is a deliberately small sibling of serve::Server: the
+ * same newline-delimited JSON protocol over loopback TCP, but it serves
+ * the shard methods (shard_run / shard_poll / shard_cancel) the
+ * tenant-facing daemon refuses. It owns one single-slot shard runner —
+ * a worker evaluates exactly one shard at a time, which is what makes
+ * liveness and work-stealing decisions on the coordinator trivial — and
+ * runs every shard with EMPTY session caches, so each (S, N) pair's
+ * outcome is independent of which worker (or how many) evaluated it.
+ * That independence is the whole determinism argument: shard
+ * checkpoints merge into a full-run checkpoint whose resume is
+ * bitwise-identical to an uninterrupted single-process run.
+ *
+ * Crash model: a SIGKILLed worker leaves (at worst) its last complete
+ * shard checkpoint in the shared shard directory (writes are atomic,
+ * PR 5). The coordinator re-dispatches the orphaned shard with
+ * resume=true and the next worker continues from that prefix.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "autoseg/session.h"
+#include "common/status.h"
+#include "cost/cost.h"
+#include "json/json.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace spa {
+namespace dist {
+
+/** Worker sizing and shard-storage knobs. */
+struct WorkerOptions
+{
+    /** TCP port to listen on; 0 = pick an ephemeral port. */
+    int port = 0;
+    /** Directory (shared with the coordinator) for shard checkpoints. */
+    std::string shard_dir;
+    /** Evaluation width of the shard session; <= 0 = hw concurrency. */
+    int jobs = 0;
+    /** Pairs between shard-checkpoint writes (lease/steal granularity). */
+    int checkpoint_every = 4;
+    /** Close connections idle for this long (0 = never). */
+    int64_t idle_timeout_ms = 0;
+    /** Concurrent control connections (poll/cancel while a shard runs). */
+    int control_workers = 2;
+};
+
+/** The shard-serving daemon core. */
+class WorkerServer
+{
+  public:
+    explicit WorkerServer(const cost::CostModel& cost_model,
+                          WorkerOptions options);
+    ~WorkerServer();
+
+    WorkerServer(const WorkerServer&) = delete;
+    WorkerServer& operator=(const WorkerServer&) = delete;
+
+    /** Binds the listener and spawns the accept/control crew. */
+    Status Start();
+
+    /** Stops accepting, cancels a running shard, joins everything. */
+    void Stop();
+
+    /** The bound port (the ephemeral pick when options.port was 0). */
+    int port() const { return port_; }
+
+    /**
+     * Transport-free request dispatch (tests drive this directly).
+     * Thread-safe.
+     */
+    json::Value HandleRequestLine(const std::string& line);
+
+    /** True once a shutdown request has been accepted. */
+    bool ShutdownRequested() const
+    {
+        return shutdown_requested_.load(std::memory_order_acquire);
+    }
+
+    /** Signal-handler-safe shutdown flag (see serve::Server). */
+    void RequestShutdown()
+    {
+        shutdown_requested_.store(true, std::memory_order_release);
+    }
+
+    /** Blocks until a shutdown request arrives or Stop() is called. */
+    void WaitForShutdownRequest();
+
+  private:
+    /** Lifecycle of the single shard slot. */
+    enum class SlotState
+    {
+        kIdle,     ///< no shard accepted yet (or the last one collected)
+        kRunning,  ///< the runner thread is evaluating pairs
+        kDone,     ///< finished; checkpoint covers the full shard range
+        kFailed,   ///< finished early; `status` says why (cancel, fault)
+    };
+
+    void AcceptLoop();
+    void ServeConnection(int fd);
+    json::Value Dispatch(const serve::Request& request);
+    json::Value ShardRun(const serve::Request& request);
+    json::Value ShardPoll(const serve::Request& request);
+    json::Value ShardCancel(const serve::Request& request);
+    /** Joins a finished runner thread (slot mutex must be held). */
+    void ReapRunnerLocked();
+
+    WorkerOptions options_;
+    autoseg::Session session_;
+    serve::JobScheduler scheduler_;
+
+    std::mutex slot_mutex_;
+    SlotState slot_state_ = SlotState::kIdle;
+    serve::ShardDirective slot_shard_;
+    Status slot_status_;
+    std::thread runner_;
+    bool runner_joined_ = true;
+    /** Pairs persisted (checkpointed) within the running shard. */
+    std::atomic<int64_t> slot_progress_{0};
+    std::atomic<bool> slot_cancel_{false};
+
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace dist
+}  // namespace spa
+
+#endif  // SPA_DIST_WORKER_H_

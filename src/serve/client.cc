@@ -1,34 +1,30 @@
 #include "serve/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
+#include "common/net.h"
 
 namespace spa {
 namespace serve {
+
+namespace {
+
+/** Response-line cap: design records for a full sweep are large. */
+constexpr size_t kMaxResponseBytes = size_t{64} << 20;
+
+}  // namespace
 
 Status
 Client::Connect(int port)
 {
     Close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        return IoError(std::string("socket: ") + std::strerror(errno));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-        const Status status = IoError("connect 127.0.0.1:" +
-                                      std::to_string(port) + ": " +
-                                      std::strerror(errno));
-        Close();
-        return status;
-    }
+    // A daemon dying mid-call must surface as a send/recv error, never
+    // a process-killing SIGPIPE in the caller.
+    net::IgnoreSigpipe();
+    StatusOr<int> fd = net::DialLoopback(port);
+    if (!fd.ok())
+        return fd.status();
+    fd_ = *fd;
     return Status::Ok();
 }
 
@@ -43,45 +39,15 @@ Client::CallRaw(const std::string& line)
 {
     if (fd_ < 0)
         return IoError("not connected");
-    std::string framed = line;
-    framed.push_back('\n');
-    size_t off = 0;
-    while (off < framed.size()) {
-        const ssize_t n = ::send(fd_, framed.data() + off,
-                                 framed.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return IoError(std::string("send: ") + std::strerror(errno));
-        }
-        off += static_cast<size_t>(n);
-    }
+    SPA_RETURN_IF_ERROR(net::SendAll(fd_, line + "\n"));
 
     std::string response;
-    char buf[4096];
-    for (;;) {
-        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return IoError(std::string("recv: ") + std::strerror(errno));
-        }
-        if (n == 0) {
-            if (response.empty())
-                return IoError("connection closed before a response");
-            break;  // EOF flushes the final (unterminated) line
-        }
-        bool done = false;
-        for (ssize_t i = 0; i < n; ++i) {
-            if (buf[i] == '\n') {
-                done = true;
-                break;
-            }
-            response.push_back(buf[i]);
-        }
-        if (done)
-            break;
-    }
+    const net::ReadResult got = net::ReadLineFd(
+        fd_, /*stop=*/nullptr, response, kMaxResponseBytes);
+    if (got == net::ReadResult::kEof)
+        return IoError("connection closed before a response");
+    if (got == net::ReadResult::kError)
+        return IoError("recv failed or response exceeded the line cap");
     json::ParseResult parsed = json::Parse(response);
     if (!parsed.ok)
         return InvalidArgument("daemon answered non-JSON: " + parsed.error);

@@ -23,9 +23,15 @@ struct MethodName
 };
 
 constexpr MethodName kMethods[] = {
-    {"codesign", Method::kCoDesign}, {"ping", Method::kPing},
-    {"stats", Method::kStats},       {"save_cache", Method::kSaveCache},
-    {"metrics", Method::kMetrics},   {"shutdown", Method::kShutdown},
+    {"codesign", Method::kCoDesign},
+    {"ping", Method::kPing},
+    {"stats", Method::kStats},
+    {"save_cache", Method::kSaveCache},
+    {"metrics", Method::kMetrics},
+    {"shutdown", Method::kShutdown},
+    {"shard_run", Method::kShardRun},
+    {"shard_poll", Method::kShardPoll},
+    {"shard_cancel", Method::kShardCancel},
 };
 
 Status
@@ -168,6 +174,35 @@ ParseSearch(const json::Value& doc, autoseg::CoDesignOptions& out)
     return Status::Ok();
 }
 
+/** The "shard" object of the distributed-sweep methods. */
+Status
+ParseShard(const json::Value& doc, ShardDirective& out)
+{
+    if (!doc.Has("shard") || !doc.At("shard").IsObject())
+        return InvalidArgument("shard methods need a 'shard' object");
+    const json::Value& s = doc.At("shard");
+    out.task = s.GetString("task", "");
+    if (out.task.empty() || out.task.size() > 256)
+        return InvalidArgument("'shard.task' must be 1..256 characters");
+    // The task string becomes part of a server-side file name; keep it
+    // to a charset that cannot climb directories or confuse a shell.
+    for (char c : out.task) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                        c == '.' || c == '@' || c == ':';
+        if (!ok || out.task == "." || out.task == "..")
+            return InvalidArgument(
+                "'shard.task' may use only [A-Za-z0-9_.@:-]");
+    }
+    out.begin = s.GetInt("begin", 0);
+    out.end = s.GetInt("end", -1);
+    if (out.begin < 0 || (out.end >= 0 && out.end < out.begin))
+        return InvalidArgument(
+            "'shard' range needs 0 <= begin and end in {-1} U [begin, inf)");
+    out.resume = s.GetBool("resume", false);
+    return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<Request>
@@ -205,7 +240,8 @@ ParseRequestOr(const std::string& text)
         }
         SPA_RETURN_IF_ERROR(ParseMethod(
             parsed.value.GetString("method", "codesign"), request.method));
-        if (request.method == Method::kCoDesign) {
+        if (request.method == Method::kCoDesign ||
+            request.method == Method::kShardRun) {
             SPA_RETURN_IF_ERROR(ParseWorkload(parsed.value, request.workload));
             SPA_RETURN_IF_ERROR(ParsePlatforms(parsed.value, request.platforms));
             const std::string goal =
@@ -215,6 +251,17 @@ ParseRequestOr(const std::string& text)
             else if (goal != "latency")
                 return InvalidArgument("goal must be latency or throughput");
             SPA_RETURN_IF_ERROR(ParseSearch(parsed.value, request.search));
+        }
+        if (request.method == Method::kShardRun ||
+            request.method == Method::kShardPoll ||
+            request.method == Method::kShardCancel) {
+            SPA_RETURN_IF_ERROR(ParseShard(parsed.value, request.shard));
+            if (request.method == Method::kShardRun &&
+                request.platforms.size() != 1) {
+                return InvalidArgument(
+                    "shard_run takes exactly one platform (a shard is a "
+                    "sub-range of one model@platform walk)");
+            }
         }
     } catch (const CapturedFailure& e) {
         return InvalidArgument(std::string("request: ") + e.what());

@@ -18,7 +18,9 @@
  *   "trace_id": "00c0ffee",         // 1..16 hex chars, optional; the
  *                                   // server generates one when absent
  *   "method": "codesign",           // codesign|ping|stats|save_cache|
- *                                   // metrics|shutdown
+ *                                   // metrics|shutdown, plus the
+ *                                   // worker-only shard_run|shard_poll|
+ *                                   // shard_cancel (ShardDirective)
  *   "model": "alexnet",             // zoo name, or:
  *   "model_json": { ... },          // inline model description (nn/loader.h)
  *   "platform": "eyeriss",          // one budget, or:
@@ -76,12 +78,36 @@ constexpr size_t kMaxPlatforms = 16;
 /** What the client asked the daemon to do. */
 enum class Method
 {
-    kCoDesign,   ///< run the full co-design flow
-    kPing,       ///< liveness probe
-    kStats,      ///< dump the service stats registry
-    kSaveCache,  ///< persist the warm cache now
-    kMetrics,    ///< Prometheus text exposition + slow-request exemplars
-    kShutdown,   ///< stop accepting work and exit
+    kCoDesign,     ///< run the full co-design flow
+    kPing,         ///< liveness probe
+    kStats,        ///< dump the service stats registry
+    kSaveCache,    ///< persist the warm cache now
+    kMetrics,      ///< Prometheus text exposition + slow-request exemplars
+    kShutdown,     ///< stop accepting work and exit
+    kShardRun,     ///< (worker only) start one shard of a distributed sweep
+    kShardPoll,    ///< (worker only) heartbeat: shard state + pairs done
+    kShardCancel,  ///< (worker only) stop the running shard at a chunk edge
+};
+
+/**
+ * The shard payload of the distributed-sweep methods (src/dist). A
+ * shard names one sweep unit (an opaque `task` string, typically
+ * "model@platform:goal") plus a [begin, end) sub-range of the task's
+ * canonical (S, N) walk. Checkpoint file names are derived server-side
+ * from (task, begin, end) — paths are never wire-accessible, matching
+ * the codesign methods' posture.
+ *
+ * shard_run additionally carries the full codesign problem (model, ONE
+ * platform, goal, budget/search) so the worker can reconstruct the
+ * exact walk; `resume` asks the worker to restore a previous attempt's
+ * checkpoint (orphan re-dispatch after a worker death).
+ */
+struct ShardDirective
+{
+    std::string task;
+    int64_t begin = 0;
+    int64_t end = -1;
+    bool resume = false;
 };
 
 /** A validated request, ready to execute. */
@@ -97,6 +123,9 @@ struct Request
     std::vector<hw::Platform> platforms;
     alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
     autoseg::CoDesignOptions search;
+
+    // shard payload (kShardRun / kShardPoll / kShardCancel only):
+    ShardDirective shard;
 };
 
 /**

@@ -15,6 +15,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/net.h"
 #include "obs/context.h"
 #include "obs/flight_recorder.h"
 #include "obs/stats.h"
@@ -99,6 +100,12 @@ MethodLabel(Method method)
         return "metrics";
     case Method::kShutdown:
         return "shutdown";
+    case Method::kShardRun:
+        return "shard_run";
+    case Method::kShardPoll:
+        return "shard_poll";
+    case Method::kShardCancel:
+        return "shard_cancel";
     }
     return "?";
 }
@@ -119,64 +126,7 @@ PercentileSummary(const obs::Histogram* h)
 bool
 WriteAll(int fd, const std::string& data)
 {
-    size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n =
-            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<size_t>(n);
-    }
-    return true;
-}
-
-/**
- * Reads one newline-terminated line into `line` (newline stripped).
- * Polls in 100 ms slices so a worker parked on an idle connection
- * notices `stopping` and lets Stop() join the crew.
- * @return 1 on a line, 0 on clean EOF before any byte or shutdown,
- * -1 on error or an oversized line (beyond the request cap plus slack).
- */
-int
-ReadLine(int fd, const std::atomic<bool>& stopping, std::string& line)
-{
-    line.clear();
-    const size_t cap = kMaxRequestBytes + 4096;
-    char buf[4096];
-    for (;;) {
-        pollfd pfd{fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-        if (ready == 0) {
-            if (stopping.load(std::memory_order_acquire))
-                return 0;
-            continue;
-        }
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            return -1;
-        }
-        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return -1;
-        }
-        if (n == 0)
-            return line.empty() ? 0 : 1;  // EOF flushes a final line
-        for (ssize_t i = 0; i < n; ++i) {
-            if (buf[i] == '\n')
-                return 1;  // bytes after the newline are dropped: one
-                           // request must be answered before the next
-                           // is sent (the protocol is synchronous)
-            line.push_back(buf[i]);
-            if (line.size() > cap)
-                return -1;
-        }
-    }
+    return net::SendAll(fd, data).ok();
 }
 
 }  // namespace
@@ -196,6 +146,10 @@ Server::Start()
 {
     if (started_.load(std::memory_order_acquire))
         return Status::Ok();
+
+    // A peer dying mid-response must surface as an EPIPE send error on
+    // that one connection, never a process-killing SIGPIPE.
+    net::IgnoreSigpipe();
 
     if (!options_.request_log_path.empty()) {
         // Best-effort like the warm cache: a log that cannot open must
@@ -371,10 +325,24 @@ Server::ServeConnection(int fd, int64_t queue_wait_ns)
         static_cast<double>(scheduler_.ActiveJobs()));
     std::string line;
     for (;;) {
-        const int got = ReadLine(fd, stopping_, line);
-        if (got == 0)
+        const net::ReadResult got =
+            net::ReadLineFd(fd, &stopping_, line, kMaxRequestBytes + 4096,
+                            options_.idle_timeout_ms);
+        if (got == net::ReadResult::kEof)
             break;
-        if (got < 0) {
+        if (got == net::ReadResult::kIdle) {
+            // Tell the (possibly wedged) peer why before hanging up, so
+            // an idle-closed client is distinguishable from a crash.
+            WriteAll(fd, ErrorResponse(
+                             "", DeadlineExceeded(
+                                     "connection idle for " +
+                                     std::to_string(options_.idle_timeout_ms) +
+                                     " ms, closing"))
+                             .Dump() +
+                         "\n");
+            break;
+        }
+        if (got == net::ReadResult::kError) {
             WriteAll(fd,
                      ErrorResponse("", InvalidArgument(
                                            "request line unreadable or "
@@ -646,6 +614,17 @@ Server::Dispatch(const Request& request)
     }
     case Method::kCoDesign:
         return RunCoDesign(request);
+    case Method::kShardRun:
+    case Method::kShardPoll:
+    case Method::kShardCancel:
+        // The shard methods are served by the distributed worker
+        // (dist::WorkerServer), which owns shard checkpoints and the
+        // single-slot shard runner. The tenant-facing daemon refuses
+        // them so a misdirected coordinator fails loudly, not quietly.
+        return ErrorResponse(
+            request.id,
+            InvalidArgument("shard methods are served by autoseg_worker, "
+                            "not this daemon"));
     }
     return ErrorResponse(request.id, Internal("unhandled method"));
 }

@@ -61,6 +61,12 @@ struct ServerOptions
      * SPA_FATAL/SPA_PANIC, fault-injection trips and daemon SIGTERM.
      */
     std::string flight_recorder_path;
+    /**
+     * Close a connection that sends no bytes for this long (0 = never).
+     * A wedged or half-dead client then releases its scheduler worker
+     * instead of pinning it until process exit.
+     */
+    int64_t idle_timeout_ms = 0;
 };
 
 /** A running (or startable) co-design service instance. */

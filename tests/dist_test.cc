@@ -1,0 +1,947 @@
+// Fault-tolerant distributed sweep (src/dist): shard planning, the
+// strict shard-checkpoint merge, the worker service, the coordinator's
+// lease/steal/degrade machinery — and the headline guarantee: a sweep
+// distributed over workers, with workers SIGKILLed mid-run, merges to a
+// result bitwise-identical to an uninterrupted single-process run.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "autoseg/checkpoint.h"
+#include "autoseg/session.h"
+#include "common/fault.h"
+#include "cost/cost.h"
+#include "dist/backoff.h"
+#include "dist/coordinator.h"
+#include "dist/shard.h"
+#include "dist/worker.h"
+#include "hw/platform.h"
+#include "nn/models.h"
+#include "nn/workload.h"
+#include "obs/stats.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace spa {
+namespace dist {
+namespace {
+
+// ---- Shared fixtures. ----
+
+/** The cheapest real unit: 3 pairs, ~1s of evaluation. */
+autoseg::CoDesignOptions
+TinySearch()
+{
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2};
+    options.max_segments = 4;
+    options.mip_node_budget = 64;
+    options.jobs = 2;
+    return options;
+}
+
+/** A meatier unit (10 pairs, a few seconds) for the chaos tests. */
+autoseg::CoDesignOptions
+ChaosSearch()
+{
+    autoseg::CoDesignOptions options;
+    options.pu_candidates = {2, 4};
+    options.max_segments = 6;
+    options.mip_node_budget = 256;
+    options.jobs = 2;
+    return options;
+}
+
+const char* kModel = "alexnet_conv_tower";
+
+nn::Workload
+ConvTowerWorkload()
+{
+    return nn::ExtractWorkload(nn::BuildModel(kModel));
+}
+
+std::string
+FreshDir(const std::string& name)
+{
+    const std::string dir = testing::TempDir() + "spa_dist_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** The canonical bitwise-identity check: the served JSON of both
+ * results must be byte-for-byte equal. */
+void
+ExpectByteIdentical(const autoseg::CoDesignResult& got,
+                    const autoseg::CoDesignResult& want,
+                    const hw::Platform& platform, alloc::DesignGoal goal)
+{
+    const nn::Workload w = ConvTowerWorkload();
+    EXPECT_EQ(serve::ResultToJson(w, platform, goal, got).Dump(),
+              serve::ResultToJson(w, platform, goal, want).Dump());
+}
+
+/** A synthetic shard checkpoint whose entries match the walk. */
+autoseg::EngineCheckpoint
+MakeShard(const std::vector<std::pair<int, int>>& pairs, int64_t begin,
+          int64_t end, int64_t completed)
+{
+    autoseg::EngineCheckpoint ck;
+    ck.model = "m";
+    ck.platform = "p";
+    ck.goal = "latency";
+    ck.pairs = pairs;
+    ck.shard_begin = begin;
+    ck.shard_end = end;
+    for (int64_t i = 0; i < completed; ++i) {
+        autoseg::EngineCheckpoint::Entry entry;
+        entry.record.num_segments = pairs[static_cast<size_t>(begin + i)].first;
+        entry.record.num_pus = pairs[static_cast<size_t>(begin + i)].second;
+        ck.completed.push_back(entry);
+    }
+    return ck;
+}
+
+const std::vector<std::pair<int, int>> kWalk = {{2, 2}, {3, 2}, {4, 2},
+                                                {2, 4}, {4, 4}, {6, 4}};
+
+// ---- Backoff. ----
+
+TEST(BackoffTest, DeterministicGrowingAndCapped)
+{
+    BackoffPolicy policy;  // base 50ms, max 2000ms, jitter 0.5
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        const int64_t a = BackoffDelayMs(policy, attempt, /*seed=*/7);
+        const int64_t b = BackoffDelayMs(policy, attempt, /*seed=*/7);
+        EXPECT_EQ(a, b) << "attempt " << attempt;
+        EXPECT_GE(a, std::min<int64_t>(policy.max_ms,
+                                       policy.base_ms << std::min(attempt, 6)));
+        EXPECT_LE(a, policy.max_ms + policy.max_ms / 2);
+    }
+    // Different seeds jitter differently somewhere in the schedule.
+    bool differs = false;
+    for (int attempt = 0; attempt < 12; ++attempt)
+        differs |= BackoffDelayMs(policy, attempt, 1) !=
+                   BackoffDelayMs(policy, attempt, 2);
+    EXPECT_TRUE(differs);
+}
+
+// ---- Shard planning. ----
+
+TEST(ShardPlanTest, PartitionTilesTheRangeExactly)
+{
+    EXPECT_EQ(PartitionRange(10, 4),
+              (std::vector<std::pair<int64_t, int64_t>>{
+                  {0, 4}, {4, 8}, {8, 10}}));
+    EXPECT_EQ(PartitionRange(3, 100),
+              (std::vector<std::pair<int64_t, int64_t>>{{0, 3}}));
+    // shard_pairs < 1 is clamped, num_pairs == 0 yields no shards.
+    EXPECT_EQ(PartitionRange(2, 0),
+              (std::vector<std::pair<int64_t, int64_t>>{{0, 1}, {1, 2}}));
+    EXPECT_TRUE(PartitionRange(0, 4).empty());
+}
+
+TEST(ShardPlanTest, CheckpointFileNamesAreRangeUnique)
+{
+    const std::string a = ShardCheckpointFile("d", "m@p:latency", 0, 4);
+    const std::string b = ShardCheckpointFile("d", "m@p:latency", 4, 8);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, MergedCheckpointFile("d", "m@p:latency"));
+    EXPECT_EQ(TaskId("m", "p", "latency"), "m@p:latency");
+}
+
+// ---- Merge edge cases (the last line of defense). ----
+
+TEST(MergeTest, TilingShardsMergeIntoTheFullWalk)
+{
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 2, 4, 2));  // out of order on purpose
+    shards.push_back(MakeShard(kWalk, 0, 2, 2));
+    shards.push_back(MakeShard(kWalk, 4, 6, 2));
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged->shard_begin, 0);
+    EXPECT_EQ(merged->ResolvedShardEnd(), 6);
+    ASSERT_EQ(merged->completed.size(), 6u);
+    for (size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(merged->completed[i].record.num_segments, kWalk[i].first);
+        EXPECT_EQ(merged->completed[i].record.num_pus, kWalk[i].second);
+    }
+}
+
+TEST(MergeTest, AcceptsAStealSplitPrefixPlusRemainder)
+{
+    // A straggler cancelled after 1 of [0, 4); the thief ran [1, 4).
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 0, 4, 1));
+    shards.push_back(MakeShard(kWalk, 1, 4, 3));
+    shards.push_back(MakeShard(kWalk, 4, 6, 2));
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged->completed.size(), 6u);
+}
+
+TEST(MergeTest, RejectsForeignFingerprint)
+{
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 0, 3, 3));
+    shards.push_back(MakeShard(kWalk, 3, 6, 3));
+    shards[1].model = "somebody_else";
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, RejectsDuplicateShard)
+{
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 0, 3, 3));
+    shards.push_back(MakeShard(kWalk, 0, 3, 3));
+    shards.push_back(MakeShard(kWalk, 3, 6, 3));
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, RejectsOverlappingShards)
+{
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 0, 4, 4));
+    shards.push_back(MakeShard(kWalk, 2, 6, 4));
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, RejectsGapsIncludingShortPrefixes)
+{
+    {
+        std::vector<autoseg::EngineCheckpoint> shards;
+        shards.push_back(MakeShard(kWalk, 0, 2, 2));
+        shards.push_back(MakeShard(kWalk, 4, 6, 2));  // [2, 4) missing
+        StatusOr<autoseg::EngineCheckpoint> merged =
+            autoseg::MergeShardCheckpoints(std::move(shards));
+        ASSERT_FALSE(merged.ok());
+        EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+    }
+    {
+        // A prefix that stopped short with nobody covering its tail.
+        std::vector<autoseg::EngineCheckpoint> shards;
+        shards.push_back(MakeShard(kWalk, 0, 4, 2));
+        shards.push_back(MakeShard(kWalk, 4, 6, 2));
+        StatusOr<autoseg::EngineCheckpoint> merged =
+            autoseg::MergeShardCheckpoints(std::move(shards));
+        ASSERT_FALSE(merged.ok());
+        EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+    }
+}
+
+TEST(MergeTest, RejectsRecordSkew)
+{
+    std::vector<autoseg::EngineCheckpoint> shards;
+    shards.push_back(MakeShard(kWalk, 0, 3, 3));
+    shards.push_back(MakeShard(kWalk, 3, 6, 3));
+    shards[1].completed[1].record.num_segments = 99;  // not the walk's pair
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(shards));
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, TornShardFileIsAStructuredError)
+{
+    const std::string dir = FreshDir("torn");
+    const std::string path = dir + "/torn.shard.json";
+    {
+        // A checkpoint cut off mid-document, as a crash during a
+        // non-atomic copy would leave it.
+        std::ofstream out(path);
+        out << R"({"format": "spa.autoseg.checkpoint.v1", "model": "m", "pa)";
+    }
+    StatusOr<autoseg::EngineCheckpoint> loaded = autoseg::LoadCheckpoint(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+    {
+        std::ofstream out(path);
+        out << "not json at all\n";
+    }
+    loaded = autoseg::LoadCheckpoint(path);
+    ASSERT_FALSE(loaded.ok());
+}
+
+// ---- Session sharding: the primitive under the whole subsystem. ----
+
+TEST(SessionShardTest, ShardedRunsMergeBitwiseIdenticalToSerial)
+{
+    const cost::CostModel cost_model;
+    const autoseg::Session session(cost_model,
+                                   autoseg::SessionOptions{2, true});
+    const nn::Workload w = ConvTowerWorkload();
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    const autoseg::CoDesignOptions search = TinySearch();
+
+    const autoseg::CoDesignResult serial =
+        session.Run(w, platform, goal, search);
+
+    const std::vector<std::pair<int, int>> pairs =
+        autoseg::Session::EnumeratePairs(w, search);
+    ASSERT_GE(pairs.size(), 2u);
+    const std::string dir = FreshDir("session_shards");
+
+    std::vector<autoseg::EngineCheckpoint> fragments;
+    for (const auto& [begin, end] :
+         PartitionRange(static_cast<int64_t>(pairs.size()), 1)) {
+        autoseg::CoDesignOptions shard = search;
+        shard.shard_begin = begin;
+        shard.shard_end = end;
+        shard.checkpoint_every = 1;
+        shard.checkpoint_path = ShardCheckpointFile(dir, "t", begin, end);
+        const autoseg::CoDesignResult fragment =
+            session.Run(w, platform, goal, shard);
+        EXPECT_TRUE(fragment.status.ok()) << fragment.status.ToString();
+        StatusOr<autoseg::EngineCheckpoint> ck =
+            autoseg::LoadCheckpoint(shard.checkpoint_path);
+        ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+        fragments.push_back(std::move(*ck));
+    }
+
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(fragments));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    const std::string merged_path = MergedCheckpointFile(dir, "t");
+    ASSERT_TRUE(autoseg::SaveCheckpoint(merged_path, *merged).ok());
+
+    autoseg::CoDesignOptions resume = search;
+    resume.resume_path = merged_path;
+    const autoseg::CoDesignResult distributed =
+        session.Run(w, platform, goal, resume);
+    ExpectByteIdentical(distributed, serial, platform, goal);
+}
+
+TEST(SessionShardTest, CancelledShardLeavesAMergeablePrefix)
+{
+    const cost::CostModel cost_model;
+    const autoseg::Session session(cost_model,
+                                   autoseg::SessionOptions{2, true});
+    const nn::Workload w = ConvTowerWorkload();
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    const autoseg::CoDesignOptions search = TinySearch();
+    const int64_t num_pairs = static_cast<int64_t>(
+        autoseg::Session::EnumeratePairs(w, search).size());
+    ASSERT_GE(num_pairs, 2);
+    const std::string dir = FreshDir("cancel");
+
+    // The straggler: cancelled after its first checkpointed pair.
+    std::atomic<int64_t> progress{0};
+    std::atomic<bool> cancel{false};
+    autoseg::CoDesignOptions straggler = search;
+    straggler.shard_begin = 0;
+    straggler.shard_end = num_pairs;
+    straggler.checkpoint_every = 1;
+    straggler.checkpoint_path = ShardCheckpointFile(dir, "t", 0, num_pairs);
+    straggler.progress = &progress;
+    straggler.cancel = &cancel;
+
+    autoseg::CoDesignResult cancelled;
+    std::thread runner([&] {
+        cancelled = session.Run(w, platform, goal, straggler);
+    });
+    while (progress.load() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    cancel.store(true);
+    runner.join();
+
+    const int64_t done = progress.load();
+    ASSERT_GE(done, 1);
+    ASSERT_LT(done, num_pairs) << "cancel landed after the walk finished; "
+                                  "nothing left to steal";
+    EXPECT_EQ(cancelled.status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(cancelled.truncated);
+
+    // The thief: the remainder as its own shard.
+    autoseg::CoDesignOptions thief = search;
+    thief.shard_begin = done;
+    thief.shard_end = num_pairs;
+    thief.checkpoint_every = 1;
+    thief.checkpoint_path = ShardCheckpointFile(dir, "t", done, num_pairs);
+    const autoseg::CoDesignResult remainder =
+        session.Run(w, platform, goal, thief);
+    EXPECT_TRUE(remainder.status.ok()) << remainder.status.ToString();
+
+    std::vector<autoseg::EngineCheckpoint> fragments;
+    for (const std::string& path : {straggler.checkpoint_path,
+                                    thief.checkpoint_path}) {
+        StatusOr<autoseg::EngineCheckpoint> ck = autoseg::LoadCheckpoint(path);
+        ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+        fragments.push_back(std::move(*ck));
+    }
+    StatusOr<autoseg::EngineCheckpoint> merged =
+        autoseg::MergeShardCheckpoints(std::move(fragments));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+    const std::string merged_path = MergedCheckpointFile(dir, "t");
+    ASSERT_TRUE(autoseg::SaveCheckpoint(merged_path, *merged).ok());
+    autoseg::CoDesignOptions resume = search;
+    resume.resume_path = merged_path;
+    ExpectByteIdentical(session.Run(w, platform, goal, resume),
+                        session.Run(w, platform, goal, search), platform,
+                        goal);
+}
+
+// ---- The worker service. ----
+
+json::Value
+ShardRunRequest(const std::string& task, int64_t begin, int64_t end,
+                bool resume = false)
+{
+    json::Value req;
+    req["method"] = "shard_run";
+    req["model"] = kModel;
+    req["platform"] = "eyeriss";
+    req["goal"] = "latency";
+    json::Value search;
+    json::Array pus;
+    pus.push_back(json::Value(2));
+    search["pus"] = json::Value(std::move(pus));
+    search["max_segments"] = 4;
+    req["search"] = std::move(search);
+    json::Value budget;
+    budget["mip_node_budget"] = 64;
+    req["budget"] = std::move(budget);
+    json::Value shard;
+    shard["task"] = task;
+    shard["begin"] = begin;
+    shard["end"] = end;
+    if (resume)
+        shard["resume"] = true;
+    req["shard"] = std::move(shard);
+    return req;
+}
+
+json::Value
+ShardControlRequest(const char* method, const std::string& task,
+                    int64_t begin = 0, int64_t end = -1)
+{
+    json::Value req;
+    req["method"] = std::string(method);
+    json::Value shard;
+    shard["task"] = task;
+    if (begin != 0)
+        shard["begin"] = begin;
+    if (end >= 0)
+        shard["end"] = end;
+    req["shard"] = std::move(shard);
+    return req;
+}
+
+TEST(WorkerServerTest, RunsAShardToCompletionOverTheWire)
+{
+    const std::string dir = FreshDir("worker");
+    cost::CostModel cost_model;
+    WorkerOptions options;
+    options.shard_dir = dir;
+    options.jobs = 2;
+    options.checkpoint_every = 1;
+    WorkerServer worker(cost_model, options);
+    ASSERT_TRUE(worker.Start().ok());
+
+    serve::Client client;
+    ASSERT_TRUE(client.Connect(worker.port()).ok());
+
+    json::Value ping;
+    ping["method"] = std::string("ping");
+    StatusOr<json::Value> pong = client.Call(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->GetBool("worker", false));
+
+    StatusOr<json::Value> accepted =
+        client.Call(ShardRunRequest("t", 0, 2));
+    ASSERT_TRUE(accepted.ok());
+    ASSERT_TRUE(accepted->GetBool("ok", false))
+        << accepted->GetString("error", "");
+    EXPECT_TRUE(accepted->GetBool("accepted", false));
+    EXPECT_FALSE(accepted->GetBool("resumed", true));
+
+    // Heartbeat until the slot reports done.
+    std::string state;
+    for (int i = 0; i < 600; ++i) {
+        StatusOr<json::Value> poll =
+            client.Call(ShardControlRequest("shard_poll", "t"));
+        ASSERT_TRUE(poll.ok());
+        state = poll->GetString("state", "");
+        if (state == "done" || state == "failed")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(state, "done");
+
+    StatusOr<autoseg::EngineCheckpoint> ck =
+        autoseg::LoadCheckpoint(ShardCheckpointFile(dir, "t", 0, 2));
+    ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+    EXPECT_EQ(ck->shard_begin, 0);
+    EXPECT_EQ(ck->shard_end, 2);
+    EXPECT_EQ(ck->completed.size(), 2u);
+
+    // The worker's exposition carries the dist.worker families.
+    json::Value metrics;
+    metrics["method"] = std::string("metrics");
+    StatusOr<json::Value> exposition = client.Call(metrics);
+    ASSERT_TRUE(exposition.ok());
+    EXPECT_NE(exposition->GetString("exposition", "").find(
+                  "spa_dist_worker_shards_accepted"),
+              std::string::npos);
+    worker.Stop();
+}
+
+TEST(WorkerServerTest, RefusesWhatItCannotServe)
+{
+    const std::string dir = FreshDir("worker_refuse");
+    cost::CostModel cost_model;
+    WorkerOptions options;
+    options.shard_dir = dir;
+    WorkerServer worker(cost_model, options);
+    ASSERT_TRUE(worker.Start().ok());
+
+    // Tenant methods belong to autoseg_served.
+    json::Value stats;
+    stats["method"] = std::string("stats");
+    json::Value response = worker.HandleRequestLine(stats.Dump());
+    EXPECT_FALSE(response.GetBool("ok", true));
+    EXPECT_NE(response.GetString("error", "").find("autoseg_worker"),
+              std::string::npos);
+
+    // shard_run must carry an explicit end.
+    response = worker.HandleRequestLine(ShardRunRequest("t", 0, -1).Dump());
+    EXPECT_FALSE(response.GetBool("ok", true));
+    EXPECT_EQ(response.GetString("code", ""), "INVALID_ARGUMENT");
+
+    // Cancelling a shard that is not running is an error, not a no-op.
+    response = worker.HandleRequestLine(
+        ShardControlRequest("shard_cancel", "ghost", 0, 2).Dump());
+    EXPECT_FALSE(response.GetBool("ok", true));
+    EXPECT_EQ(response.GetString("code", ""), "INVALID_ARGUMENT");
+    worker.Stop();
+}
+
+TEST(WorkerServerTest, SingleSlotRejectsConcurrentShards)
+{
+    const std::string dir = FreshDir("worker_busy");
+    cost::CostModel cost_model;
+    WorkerOptions options;
+    options.shard_dir = dir;
+    options.jobs = 1;
+    WorkerServer worker(cost_model, options);
+    ASSERT_TRUE(worker.Start().ok());
+
+    json::Value first = worker.HandleRequestLine(
+        ShardRunRequest("t", 0, 3).Dump());
+    ASSERT_TRUE(first.GetBool("ok", false)) << first.GetString("error", "");
+    json::Value second = worker.HandleRequestLine(
+        ShardRunRequest("t", 0, 3).Dump());
+    // The slot may have finished already on a fast machine; busy is the
+    // expected answer while it runs.
+    if (!second.GetBool("ok", false))
+        EXPECT_EQ(second.GetString("code", ""), "UNAVAILABLE");
+    worker.Stop();
+}
+
+TEST(ServeDaemonTest, TenantDaemonRejectsShardMethods)
+{
+    cost::CostModel cost_model;
+    serve::Server server(cost_model, serve::ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    serve::Client client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    StatusOr<json::Value> response =
+        client.Call(ShardControlRequest("shard_poll", "t"));
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->GetBool("ok", true));
+    EXPECT_NE(response->GetString("error", "").find("autoseg_worker"),
+              std::string::npos);
+    server.Stop();
+}
+
+// ---- The coordinator. ----
+
+TEST(CoordinatorTest, FleetRunMatchesSerialBitwise)
+{
+    const std::string dir = FreshDir("coord_fleet");
+    cost::CostModel cost_model;
+
+    WorkerOptions wopt;
+    wopt.shard_dir = dir;
+    wopt.jobs = 2;
+    wopt.checkpoint_every = 1;
+    WorkerServer worker_a(cost_model, wopt);
+    WorkerServer worker_b(cost_model, wopt);
+    ASSERT_TRUE(worker_a.Start().ok());
+    ASSERT_TRUE(worker_b.Start().ok());
+
+    CoordinatorOptions copt;
+    copt.worker_ports = {worker_a.port(), worker_b.port()};
+    copt.shard_dir = dir;
+    copt.shard_pairs = 1;
+    copt.heartbeat_ms = 20;
+    copt.lease_ms = 60000;
+    copt.jobs = 2;
+    copt.checkpoint_every = 1;
+    Coordinator coordinator(cost_model, copt);
+
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    StatusOr<autoseg::CoDesignResult> distributed =
+        coordinator.RunUnit(kModel, platform, goal, TinySearch());
+    ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+
+    const autoseg::Session serial(cost_model,
+                                  autoseg::SessionOptions{2, true});
+    ExpectByteIdentical(
+        *distributed,
+        serial.Run(ConvTowerWorkload(), platform, goal, TinySearch()),
+        platform, goal);
+    EXPECT_GT(coordinator.telemetry().leases_issued, 0);
+    EXPECT_GT(coordinator.telemetry().shards_completed, 0);
+    worker_a.Stop();
+    worker_b.Stop();
+}
+
+TEST(CoordinatorTest, EmptyFleetDegradesToLocalExecution)
+{
+    const std::string dir = FreshDir("coord_local");
+    cost::CostModel cost_model;
+    CoordinatorOptions copt;
+    copt.shard_dir = dir;  // no worker_ports at all
+    copt.shard_pairs = 2;
+    copt.heartbeat_ms = 10;
+    copt.jobs = 2;
+    Coordinator coordinator(cost_model, copt);
+
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    StatusOr<autoseg::CoDesignResult> result =
+        coordinator.RunUnit(kModel, platform, goal, TinySearch());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(coordinator.telemetry().local_runs, 0);
+
+    const autoseg::Session serial(cost_model,
+                                  autoseg::SessionOptions{2, true});
+    ExpectByteIdentical(
+        *result, serial.Run(ConvTowerWorkload(), platform, goal, TinySearch()),
+        platform, goal);
+}
+
+TEST(CoordinatorTest, DeadRosterFallsBackAndStaysCorrect)
+{
+    // A port with no listener: every dispatch fails, the worker is
+    // marked lost, and the shards all run locally.
+    const std::string dir = FreshDir("coord_dead");
+    cost::CostModel cost_model;
+    CoordinatorOptions copt;
+    copt.worker_ports = {1};  // connect refused (privileged, unbound)
+    copt.shard_dir = dir;
+    copt.shard_pairs = 2;
+    copt.heartbeat_ms = 10;
+    copt.max_attempts = 2;
+    copt.backoff.base_ms = 1;
+    copt.backoff.max_ms = 5;
+    copt.jobs = 2;
+    Coordinator coordinator(cost_model, copt);
+
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    StatusOr<autoseg::CoDesignResult> result =
+        coordinator.RunUnit(kModel, platform, goal, TinySearch());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(coordinator.telemetry().workers_lost, 0);
+    EXPECT_GT(coordinator.telemetry().local_runs, 0);
+
+    const autoseg::Session serial(cost_model,
+                                  autoseg::SessionOptions{2, true});
+    ExpectByteIdentical(
+        *result, serial.Run(ConvTowerWorkload(), platform, goal, TinySearch()),
+        platform, goal);
+}
+
+TEST(CoordinatorTest, RejectsBudgetedOrPathedSearches)
+{
+    const std::string dir = FreshDir("coord_reject");
+    cost::CostModel cost_model;
+    CoordinatorOptions copt;
+    copt.shard_dir = dir;
+    Coordinator coordinator(cost_model, copt);
+    const hw::Platform platform = hw::EyerissBudget();
+
+    autoseg::CoDesignOptions budgeted = TinySearch();
+    budgeted.max_pairs = 2;
+    EXPECT_EQ(coordinator
+                  .RunUnit(kModel, platform, alloc::DesignGoal::kLatency,
+                           budgeted)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    autoseg::CoDesignOptions pathed = TinySearch();
+    pathed.checkpoint_path = dir + "/mine.json";
+    EXPECT_EQ(coordinator
+                  .RunUnit(kModel, platform, alloc::DesignGoal::kLatency,
+                           pathed)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    EXPECT_EQ(coordinator
+                  .RunUnit("no_such_model", platform,
+                           alloc::DesignGoal::kLatency, TinySearch())
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+}
+
+#ifdef SPA_FAULT_INJECTION
+TEST(CoordinatorTest, DispatchFaultsAreRetriedNotFatal)
+{
+    const std::string dir = FreshDir("coord_fault");
+    cost::CostModel cost_model;
+    WorkerOptions wopt;
+    wopt.shard_dir = dir;
+    wopt.jobs = 2;
+    wopt.checkpoint_every = 1;
+    WorkerServer worker(cost_model, wopt);
+    ASSERT_TRUE(worker.Start().ok());
+
+    CoordinatorOptions copt;
+    copt.worker_ports = {worker.port()};
+    copt.shard_dir = dir;
+    copt.shard_pairs = 1;
+    copt.heartbeat_ms = 10;
+    copt.backoff.base_ms = 1;
+    copt.backoff.max_ms = 5;
+    copt.jobs = 2;
+    Coordinator coordinator(cost_model, copt);
+
+    fault::SetEnabled(true);
+    fault::Arm("dist.dispatch", /*seed=*/3, /*period=*/2);
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    StatusOr<autoseg::CoDesignResult> result =
+        coordinator.RunUnit(kModel, platform, goal, TinySearch());
+    const int64_t dispatch_visits = fault::Visits("dist.dispatch");
+    fault::DisarmAll();
+    fault::SetEnabled(false);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(dispatch_visits, 0);
+
+    const autoseg::Session serial(cost_model,
+                                  autoseg::SessionOptions{2, true});
+    ExpectByteIdentical(
+        *result, serial.Run(ConvTowerWorkload(), platform, goal, TinySearch()),
+        platform, goal);
+    worker.Stop();
+}
+
+TEST(CoordinatorTest, MergeFaultSurfacesAsMergeRejection)
+{
+    const std::string dir = FreshDir("coord_merge_fault");
+    cost::CostModel cost_model;
+    CoordinatorOptions copt;
+    copt.shard_dir = dir;  // local-only: only dist.merge is armed
+    copt.shard_pairs = 2;
+    copt.heartbeat_ms = 10;
+    copt.jobs = 2;
+    Coordinator coordinator(cost_model, copt);
+
+    fault::SetEnabled(true);
+    fault::Arm("dist.merge", /*seed=*/5, /*period=*/1);
+    StatusOr<autoseg::CoDesignResult> result = coordinator.RunUnit(
+        kModel, hw::EyerissBudget(), alloc::DesignGoal::kLatency,
+        TinySearch());
+    fault::DisarmAll();
+    fault::SetEnabled(false);
+    EXPECT_FALSE(result.ok());
+    EXPECT_GT(coordinator.telemetry().merge_rejections, 0);
+}
+#endif  // SPA_FAULT_INJECTION
+
+TEST(CoordinatorTest, DistCountersReachThePrometheusExposition)
+{
+    // One local-only unit exercises the dist counters; the process-wide
+    // registry must then export them (ctest runs each case in its own
+    // process, so the counters cannot be inherited from other tests).
+    const std::string dir = FreshDir("coord_metrics");
+    cost::CostModel cost_model;
+    CoordinatorOptions copt;
+    copt.shard_dir = dir;
+    copt.shard_pairs = 2;
+    copt.heartbeat_ms = 10;
+    copt.jobs = 2;
+    Coordinator coordinator(cost_model, copt);
+    ASSERT_TRUE(coordinator
+                    .RunUnit(kModel, hw::EyerissBudget(),
+                             alloc::DesignGoal::kLatency, TinySearch())
+                    .ok());
+    const std::string exposition = obs::Registry::Default().ToPrometheus();
+    EXPECT_NE(exposition.find("spa_dist_leases_issued"), std::string::npos);
+    EXPECT_NE(exposition.find("spa_dist_shards_completed"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("spa_dist_workers_live"), std::string::npos);
+}
+
+// ---- Chaos: SIGKILL real worker processes mid-sweep. ----
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int port = 0;
+};
+
+std::string
+WorkerBinary()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    const std::filesystem::path tools =
+        std::filesystem::path(buf).parent_path().parent_path() / "tools" /
+        "autoseg_worker";
+    std::error_code ec;
+    if (std::filesystem::exists(tools, ec))
+        return tools.string();
+    return "";
+}
+
+/** fork/execs one autoseg_worker and parses its PORT line. */
+WorkerProc
+SpawnWorker(const std::string& binary, const std::string& dir, int port)
+{
+    WorkerProc proc;
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return proc;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        const std::string port_arg = std::to_string(port);
+        ::execl(binary.c_str(), "autoseg_worker", "--shard-dir", dir.c_str(),
+                "--port", port_arg.c_str(), "--checkpoint-every", "1",
+                "--jobs", "2", "--quiet", static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    ::close(fds[1]);
+    std::string line;
+    char c;
+    while (::read(fds[0], &c, 1) == 1 && c != '\n')
+        line.push_back(c);
+    ::close(fds[0]);
+    if (line.rfind("PORT ", 0) == 0) {
+        proc.pid = pid;
+        proc.port = std::stoi(line.substr(5));
+    } else if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+    }
+    return proc;
+}
+
+void
+KillWorker(WorkerProc& proc)
+{
+    if (proc.pid > 0) {
+        ::kill(proc.pid, SIGKILL);
+        ::waitpid(proc.pid, nullptr, 0);
+        proc.pid = -1;
+    }
+}
+
+TEST(ChaosTest, EveryWorkerKilledMidSweepStillBitwiseIdentical)
+{
+    const std::string binary = WorkerBinary();
+    if (binary.empty())
+        GTEST_SKIP() << "autoseg_worker binary not found next to the tests";
+    const std::string dir = FreshDir("chaos");
+    cost::CostModel cost_model;
+    const hw::Platform platform = hw::EyerissBudget();
+    const alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    const autoseg::CoDesignOptions search = ChaosSearch();
+
+    // The uninterrupted single-process reference.
+    const autoseg::Session serial(cost_model,
+                                  autoseg::SessionOptions{2, true});
+    const autoseg::CoDesignResult reference =
+        serial.Run(ConvTowerWorkload(), platform, goal, search);
+
+    std::vector<WorkerProc> fleet;
+    for (int i = 0; i < 4; ++i) {
+        WorkerProc proc = SpawnWorker(binary, dir, /*port=*/0);
+        ASSERT_GT(proc.pid, 0) << "worker " << i << " failed to spawn";
+        fleet.push_back(proc);
+    }
+
+    CoordinatorOptions copt;
+    for (const WorkerProc& proc : fleet)
+        copt.worker_ports.push_back(proc.port);
+    copt.shard_dir = dir;
+    copt.shard_pairs = 2;
+    copt.heartbeat_ms = 20;
+    copt.lease_ms = 60000;  // death is detected by RPC failure, not lease
+    copt.max_attempts = 8;
+    copt.backoff.base_ms = 5;
+    copt.backoff.max_ms = 50;
+    copt.jobs = 2;
+    copt.checkpoint_every = 1;
+    Coordinator coordinator(cost_model, copt);
+
+    StatusOr<autoseg::CoDesignResult> distributed;
+    std::thread sweep([&] {
+        distributed = coordinator.RunUnit(kModel, platform, goal, search);
+    });
+
+    // Kill every worker once, staggered so each dies mid-lease; revive
+    // the first two on their old ports so the fleet partially recovers.
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        KillWorker(fleet[i]);
+        if (i < 2) {
+            WorkerProc revived = SpawnWorker(binary, dir, fleet[i].port);
+            if (revived.pid > 0)
+                fleet[i] = revived;
+        }
+    }
+    sweep.join();
+    for (WorkerProc& proc : fleet)
+        KillWorker(proc);
+
+    ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+    ExpectByteIdentical(*distributed, reference, platform, goal);
+    // The sweep must have noticed at least one death (all four workers
+    // were killed while shards were in flight).
+    EXPECT_GT(coordinator.telemetry().workers_lost, 0);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace spa

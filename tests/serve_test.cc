@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "autoseg/autoseg.h"
 #include "common/fault.h"
@@ -383,6 +385,41 @@ TEST(ServeServerTest, MalformedLinesGetStructuredErrorsNotHangs)
     EXPECT_FALSE(response->GetBool("ok", true));
     EXPECT_EQ(response->GetString("code", ""), "INVALID_ARGUMENT");
     client.Close();
+    server.Stop();
+}
+
+TEST(ServeServerTest, IdleConnectionsAreReapedNotLeaked)
+{
+    cost::CostModel cost_model;
+    ServerOptions options;
+    options.idle_timeout_ms = 100;
+    Server server(cost_model, options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+
+    // Say nothing past the timeout: the server announces the reap and
+    // closes. Depending on when the client reads, it sees either the
+    // DEADLINE_EXCEEDED notice or the closed connection — never a hang.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    json::Value ping;
+    ping["method"] = std::string("ping");
+    StatusOr<json::Value> late = client.Call(ping);
+    if (late.ok()) {
+        EXPECT_FALSE(late->GetBool("ok", true));
+        EXPECT_EQ(late->GetString("code", ""), "DEADLINE_EXCEEDED");
+    } else {
+        EXPECT_EQ(late.status().code(), StatusCode::kIoError);
+    }
+    client.Close();
+
+    // A fresh connection that speaks promptly is served normally.
+    Client fresh;
+    ASSERT_TRUE(fresh.Connect(server.port()).ok());
+    StatusOr<json::Value> pong = fresh.Call(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->GetBool("ok", false));
+    fresh.Close();
     server.Stop();
 }
 

@@ -11,11 +11,22 @@
 //
 // Builds the JSON request (or reads one from a file), sends it over the
 // newline-delimited loopback protocol and pretty-prints the response.
+//
+// With --max-retries N a refused connection, a broken transport or an
+// UNAVAILABLE answer (saturated admission queue, busy worker slot) is
+// retried up to N more times under deterministic exponential backoff
+// with jitter (dist/backoff.h). Exhaustion produces a structured
+// failure document on stdout — scripts never have to scrape stderr to
+// tell "the daemon was busy" from "the request was malformed".
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 
+#include "common/status.h"
+#include "dist/backoff.h"
 #include "json/json.h"
 #include "serve/client.h"
 
@@ -33,7 +44,10 @@ PrintUsage()
         "                      [--platforms P1,P2,...]\n"
         "                      [--goal latency|throughput]\n"
         "                      [--deadline-ticks N] [--deadline-s SEC]\n"
-        "                      [--max-pairs N] [--id STR] [--out F]\n");
+        "                      [--max-pairs N] [--id STR] [--out F]\n"
+        "                      [--max-retries N]  retry refused/UNAVAILABLE\n"
+        "                                         with backoff + jitter\n"
+        "                      [--retry-base-ms N] [--retry-seed N]\n");
 }
 
 json::Value
@@ -128,24 +142,63 @@ main(int argc, char** argv)
     if (args.count("id"))
         request["id"] = args["id"];
 
-    serve::Client client;
-    Status connected = client.Connect(std::stoi(args["port"]));
-    if (!connected.ok()) {
-        std::fprintf(stderr, "%s\n", connected.ToString().c_str());
-        return 1;
+    const int port = std::stoi(args["port"]);
+    const int max_retries =
+        args.count("max-retries") ? std::stoi(args["max-retries"]) : 0;
+    dist::BackoffPolicy backoff;
+    if (args.count("retry-base-ms"))
+        backoff.base_ms = std::stoll(args["retry-base-ms"]);
+    const uint64_t retry_seed = args.count("retry-seed")
+                                    ? std::stoull(args["retry-seed"])
+                                    : static_cast<uint64_t>(port);
+
+    // One fresh connection per attempt: a refused dial, a torn
+    // transport and an UNAVAILABLE answer are all retryable; anything
+    // else (a malformed request, a real result) is final immediately.
+    json::Value response_doc;
+    Status failure;
+    int attempts = 0;
+    for (int attempt = 0;; ++attempt) {
+        ++attempts;
+        serve::Client client;
+        failure = client.Connect(port);
+        bool retryable = !failure.ok();
+        if (failure.ok()) {
+            StatusOr<json::Value> response = client.Call(request);
+            if (!response.ok()) {
+                failure = response.status();
+                retryable = true;
+            } else if (!response->GetBool("ok", true) &&
+                       response->GetString("code", "") == "UNAVAILABLE") {
+                failure = Unavailable(
+                    response->GetString("error", "daemon unavailable"));
+                retryable = true;
+            } else {
+                response_doc = std::move(*response);
+                failure = Status();
+            }
+        }
+        if (failure.ok() || !retryable || attempt >= max_retries)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            dist::BackoffDelayMs(backoff, attempt, retry_seed)));
     }
-    StatusOr<json::Value> response = client.Call(request);
-    if (!response.ok()) {
-        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
-        return 1;
+    if (!failure.ok()) {
+        // The structured exhaustion report (stdout, like any response).
+        response_doc = json::Value();
+        response_doc["ok"] = false;
+        response_doc["code"] = StatusCodeName(failure.code());
+        response_doc["error"] = failure.message();
+        response_doc["attempts"] = static_cast<int64_t>(attempts);
+        response_doc["retries_exhausted"] = max_retries > 0;
     }
     if (args.count("out")) {
-        const Status saved = json::SaveFileOr(args["out"], *response);
+        const Status saved = json::SaveFileOr(args["out"], response_doc);
         if (!saved.ok()) {
             std::fprintf(stderr, "%s\n", saved.ToString().c_str());
             return 1;
         }
     }
-    std::printf("%s\n", response->Pretty().c_str());
-    return response->GetBool("ok", false) ? 0 : 2;
+    std::printf("%s\n", response_doc.Pretty().c_str());
+    return response_doc.GetBool("ok", false) ? 0 : 2;
 }

@@ -1,0 +1,300 @@
+// autoseg_coordinator: drives a distributed co-design sweep over a
+// fleet of autoseg_worker daemons — or serially, as the byte-compare
+// reference the chaos CI stage diffs against.
+//
+//   autoseg_coordinator --workers 7411,7412,7413,7414
+//                       --shard-dir /var/tmp/spa_shards
+//                       --zoo --platforms asic,fpga --out dist.json
+//   autoseg_coordinator --serial --zoo --platforms asic,fpga
+//                       --out serial.json
+//
+// Every (model, platform) unit is one canonical (S, N) walk; the
+// coordinator shards it, leases the shards to workers, survives worker
+// deaths (orphan re-dispatch with backoff), steals work from
+// stragglers, degrades to local execution when the whole fleet is gone,
+// and merges the shard checkpoints into a result bitwise-identical to
+// an uninterrupted single-process run. The --out document is built from
+// serve::ResultToJson, whose field set and formatting are deterministic
+// — a dist run and a --serial run of the same sweep must produce
+// byte-identical files, which is exactly what `ci.sh dist` asserts
+// while SIGKILLing workers mid-sweep.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "autoseg/session.h"
+#include "common/logging.h"
+#include "cost/cost.h"
+#include "dist/coordinator.h"
+#include "dist/shard.h"
+#include "hw/platform.h"
+#include "json/json.h"
+#include "nn/models.h"
+#include "nn/workload.h"
+#include "obs/stats.h"
+#include "serve/protocol.h"
+
+using namespace spa;
+
+namespace {
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: autoseg_coordinator --shard-dir D\n"
+        "           [--workers P1,P2,...]  fleet ports (none = local only)\n"
+        "           [--serial]             plain Session runs (reference)\n"
+        "           [--models M1,M2,... | --zoo]   (default alexnet)\n"
+        "           [--platforms P1,...]   names plus the tokens asic,fpga\n"
+        "           [--goal latency|throughput]\n"
+        "           [--pus N1,N2,...] [--max-segments N]\n"
+        "           [--mip-node-budget N]  deterministic MIP budget\n"
+        "           [--shard-pairs N] [--heartbeat-ms N] [--lease-ms N]\n"
+        "           [--max-attempts N] [--steal-min-pairs N]\n"
+        "           [--no-steal] [--no-local] [--seed N]\n"
+        "           [--jobs N] [--checkpoint-every N]\n"
+        "           [--out F]              results JSON (byte-comparable)\n"
+        "           [--telemetry-out F]    fault-tolerance tally JSON\n"
+        "           [--metrics-out F]      Prometheus exposition text\n"
+        "           [--quiet]\n");
+}
+
+std::vector<std::string>
+SplitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > pos)
+            out.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Platform names, with "asic" / "fpga" expanding to the Table II rows. */
+StatusOr<std::vector<hw::Platform>>
+ResolvePlatforms(const std::string& list)
+{
+    std::vector<hw::Platform> out;
+    for (const std::string& name : SplitList(list)) {
+        if (name == "asic") {
+            for (const hw::Platform& p : hw::AsicBudgets())
+                out.push_back(p);
+        } else if (name == "fpga") {
+            for (const hw::Platform& p : hw::FpgaBudgets())
+                out.push_back(p);
+        } else {
+            try {
+                spa::detail::ScopedFailureCapture capture;
+                out.push_back(hw::PlatformByName(name));
+            } catch (const CapturedFailure& e) {
+                return InvalidArgument(std::string("platform: ") + e.what());
+            }
+        }
+    }
+    if (out.empty())
+        return InvalidArgument("no platforms given");
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    bool serial = false, zoo = false, no_steal = false, no_local = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--quiet") {
+            spa::detail::SetQuiet(true);
+        } else if (key == "--serial") {
+            serial = true;
+        } else if (key == "--zoo") {
+            zoo = true;
+        } else if (key == "--no-steal") {
+            no_steal = true;
+        } else if (key == "--no-local") {
+            no_local = true;
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (!serial && !args.count("shard-dir")) {
+        PrintUsage();
+        return 1;
+    }
+
+    std::vector<std::string> models;
+    if (zoo)
+        models = nn::ZooModelNames();
+    else if (args.count("models"))
+        models = SplitList(args["models"]);
+    else
+        models = {"alexnet"};
+    if (models.empty()) {
+        std::fprintf(stderr, "no models given\n");
+        return 1;
+    }
+
+    StatusOr<std::vector<hw::Platform>> platforms =
+        ResolvePlatforms(args.count("platforms") ? args["platforms"]
+                                                 : "eyeriss");
+    if (!platforms.ok()) {
+        std::fprintf(stderr, "%s\n", platforms.status().ToString().c_str());
+        return 1;
+    }
+
+    const std::string goal_name =
+        args.count("goal") ? args["goal"] : "latency";
+    alloc::DesignGoal goal = alloc::DesignGoal::kLatency;
+    if (goal_name == "throughput")
+        goal = alloc::DesignGoal::kThroughput;
+    else if (goal_name != "latency") {
+        std::fprintf(stderr, "goal must be latency or throughput\n");
+        return 1;
+    }
+
+    autoseg::CoDesignOptions search;
+    if (args.count("pus")) {
+        search.pu_candidates.clear();
+        for (const std::string& n : SplitList(args["pus"]))
+            search.pu_candidates.push_back(std::stoi(n));
+    }
+    if (args.count("max-segments"))
+        search.max_segments = std::stoi(args["max-segments"]);
+    if (args.count("mip-node-budget"))
+        search.mip_node_budget = std::stoll(args["mip-node-budget"]);
+
+    dist::CoordinatorOptions options;
+    options.shard_dir = args["shard-dir"];
+    for (const std::string& p : SplitList(
+             args.count("workers") ? args["workers"] : ""))
+        options.worker_ports.push_back(std::stoi(p));
+    if (args.count("shard-pairs"))
+        options.shard_pairs = std::stoll(args["shard-pairs"]);
+    if (args.count("heartbeat-ms"))
+        options.heartbeat_ms = std::stoll(args["heartbeat-ms"]);
+    if (args.count("lease-ms"))
+        options.lease_ms = std::stoll(args["lease-ms"]);
+    if (args.count("max-attempts"))
+        options.max_attempts = std::stoi(args["max-attempts"]);
+    if (args.count("steal-min-pairs"))
+        options.steal_min_pairs = std::stoll(args["steal-min-pairs"]);
+    if (args.count("seed"))
+        options.seed = std::stoull(args["seed"]);
+    if (args.count("jobs"))
+        options.jobs = std::stoi(args["jobs"]);
+    if (args.count("checkpoint-every"))
+        options.checkpoint_every = std::stoi(args["checkpoint-every"]);
+    options.allow_steal = !no_steal;
+    options.allow_local = !no_local;
+
+    cost::CostModel cost_model;
+    autoseg::SessionOptions session_options;
+    session_options.jobs = options.jobs;
+    // The serial reference: the exact computation the coordinator's
+    // merged-checkpoint resume must reproduce byte-for-byte.
+    autoseg::Session serial_session(cost_model, session_options);
+    dist::Coordinator coordinator(cost_model, options);
+
+    json::Array results;
+    int failures = 0;
+    for (const std::string& model : models) {
+        // One workload build per model; PlatformByName-style capture
+        // turns zoo fatal()s into a structured error.
+        nn::Workload workload;
+        try {
+            spa::detail::ScopedFailureCapture capture;
+            workload = nn::ExtractWorkload(nn::BuildModel(model));
+        } catch (const CapturedFailure& e) {
+            std::fprintf(stderr, "model %s: %s\n", model.c_str(), e.what());
+            return 1;
+        }
+        for (const hw::Platform& platform : *platforms) {
+            const std::string task =
+                dist::TaskId(model, platform.name, goal_name);
+            StatusOr<autoseg::CoDesignResult> result = [&] {
+                if (serial)
+                    return StatusOr<autoseg::CoDesignResult>(
+                        serial_session.Run(workload, platform, goal, search));
+                return coordinator.RunUnit(model, platform, goal, search);
+            }();
+            if (!result.ok()) {
+                std::fprintf(stderr, "%s: %s\n", task.c_str(),
+                             result.status().ToString().c_str());
+                ++failures;
+                continue;
+            }
+            if (!result->status.ok()) {
+                std::fprintf(stderr, "%s: %s\n", task.c_str(),
+                             result->status.ToString().c_str());
+                ++failures;
+            }
+            results.push_back(
+                serve::ResultToJson(workload, platform, goal, *result));
+            if (!spa::detail::IsQuiet())
+                std::printf("UNIT %s %s\n", task.c_str(),
+                            result->status.ok() ? "ok" : "failed");
+        }
+    }
+
+    json::Value doc;
+    doc["ok"] = failures == 0;
+    doc["results"] = json::Value(std::move(results));
+    if (args.count("out")) {
+        const Status saved = json::SaveFileOr(args["out"], doc);
+        if (!saved.ok()) {
+            std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+            return 1;
+        }
+    }
+    if (args.count("telemetry-out")) {
+        const Status saved = json::SaveFileOr(
+            args["telemetry-out"], coordinator.telemetry().ToJson());
+        if (!saved.ok()) {
+            std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+            return 1;
+        }
+    }
+    if (args.count("metrics-out")) {
+        const std::string text = obs::Registry::Default().ToPrometheus();
+        std::FILE* f = std::fopen(args["metrics-out"].c_str(), "w");
+        if (f == nullptr ||
+            std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+            std::fprintf(stderr, "cannot write metrics exposition '%s'\n",
+                         args["metrics-out"].c_str());
+            if (f != nullptr)
+                std::fclose(f);
+            return 1;
+        }
+        std::fclose(f);
+    }
+    if (!spa::detail::IsQuiet() && !serial) {
+        const dist::DistTelemetry& t = coordinator.telemetry();
+        std::printf("TELEMETRY leases=%lld expired=%lld redispatch=%lld "
+                    "steals=%lld merge_rejects=%lld local=%lld\n",
+                    static_cast<long long>(t.leases_issued),
+                    static_cast<long long>(t.leases_expired),
+                    static_cast<long long>(t.redispatches),
+                    static_cast<long long>(t.steals),
+                    static_cast<long long>(t.merge_rejections),
+                    static_cast<long long>(t.local_runs));
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -52,6 +52,9 @@ PrintUsage()
         "                      [--pending N]     admission queue depth "
         "(default 8)\n"
         "                      [--jobs N]        evaluation width per request\n"
+        "                      [--idle-timeout-ms N]  close connections idle\n"
+        "                                        that long (default 0 = "
+        "never)\n"
         "                      [--warm-cache F]  persist caches across "
         "restarts\n"
         "                      [--stats-out F]   write the stats registry on "
@@ -132,6 +135,8 @@ main(int argc, char** argv)
         options.workers = std::stoi(args["workers"]);
     if (args.count("pending"))
         options.max_pending = std::stoi(args["pending"]);
+    if (args.count("idle-timeout-ms"))
+        options.idle_timeout_ms = std::stoll(args["idle-timeout-ms"]);
     if (args.count("warm-cache"))
         options.warm_cache_path = args["warm-cache"];
     if (args.count("request-log"))

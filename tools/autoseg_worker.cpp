@@ -1,0 +1,167 @@
+// autoseg_worker: one member of a distributed-sweep fleet.
+//
+//   autoseg_worker --port 0 --shard-dir /var/tmp/spa_shards
+//
+// Serves the shard methods (shard_run / shard_poll / shard_cancel) of
+// the loopback JSON protocol — the methods autoseg_served refuses — and
+// evaluates one shard of a co-design walk at a time with empty session
+// caches (src/dist/worker.h explains why that empties-caches discipline
+// is what makes the merged sweep bitwise-identical to a serial run).
+//
+// A worker is designed to be killed: SIGKILL at any moment leaves at
+// worst the last complete shard checkpoint in --shard-dir, and the
+// coordinator re-dispatches the orphaned shard (resume=true) to any
+// other worker. Restarting a worker on the same port re-joins the
+// fleet; the coordinator's revival probe picks it up.
+
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "cost/cost.h"
+#include "dist/worker.h"
+#include "json/json.h"
+#include "obs/stats.h"
+
+using namespace spa;
+
+namespace {
+
+dist::WorkerServer* g_worker = nullptr;
+
+void
+OnSignal(int)
+{
+    // Only an atomic store: the main thread polls the flag in
+    // WaitForShutdownRequest and does the actual teardown.
+    if (g_worker != nullptr)
+        g_worker->RequestShutdown();
+}
+
+void
+PrintUsage()
+{
+    std::printf(
+        "usage: autoseg_worker --shard-dir D    shared shard-checkpoint dir\n"
+        "                      [--port N]       (default 0 = ephemeral)\n"
+        "                      [--jobs N]       evaluation width per shard\n"
+        "                      [--checkpoint-every N]  pairs between shard\n"
+        "                                       checkpoint writes (default 4)\n"
+        "                      [--idle-timeout-ms N]   close idle connections\n"
+        "                      [--control-workers N]   concurrent control\n"
+        "                                       connections (default 2)\n"
+        "                      [--stats-out F]  write the stats registry on "
+        "exit\n"
+        "                      [--arm-fault site,seed,period]  arm one "
+        "injection\n"
+        "                                       site (fault-injection builds)\n"
+        "                      [--quiet]\n");
+}
+
+/** Parses "site,seed,period" and arms that one fault site. */
+bool
+ArmFault(const std::string& spec)
+{
+    const size_t first = spec.find(',');
+    const size_t second = first == std::string::npos
+                              ? std::string::npos
+                              : spec.find(',', first + 1);
+    if (first == std::string::npos || second == std::string::npos) {
+        std::fprintf(stderr,
+                     "--arm-fault wants site,seed,period (got '%s')\n",
+                     spec.c_str());
+        return false;
+    }
+    const std::string site = spec.substr(0, first);
+    uint64_t seed = 0;
+    int64_t period = 0;
+    try {
+        seed = std::stoull(spec.substr(first + 1, second - first - 1));
+        period = std::stoll(spec.substr(second + 1));
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "--arm-fault: bad seed/period in '%s'\n",
+                     spec.c_str());
+        return false;
+    }
+    if (site.empty() || period < 1) {
+        std::fprintf(stderr,
+                     "--arm-fault: site must be non-empty, period >= 1\n");
+        return false;
+    }
+    fault::SetEnabled(true);
+    fault::Arm(site, seed, period);
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::map<std::string, std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key == "--quiet") {
+            spa::detail::SetQuiet(true);
+        } else if (key == "--help" || key == "-h") {
+            PrintUsage();
+            return 0;
+        } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+            args[key.substr(2)] = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            PrintUsage();
+            return 1;
+        }
+    }
+    if (!args.count("shard-dir")) {
+        PrintUsage();
+        return 1;
+    }
+
+    dist::WorkerOptions options;
+    options.shard_dir = args["shard-dir"];
+    if (args.count("port"))
+        options.port = std::stoi(args["port"]);
+    if (args.count("jobs"))
+        options.jobs = std::stoi(args["jobs"]);
+    if (args.count("checkpoint-every"))
+        options.checkpoint_every = std::stoi(args["checkpoint-every"]);
+    if (args.count("idle-timeout-ms"))
+        options.idle_timeout_ms = std::stoll(args["idle-timeout-ms"]);
+    if (args.count("control-workers"))
+        options.control_workers = std::stoi(args["control-workers"]);
+    if (args.count("arm-fault") && !ArmFault(args["arm-fault"]))
+        return 1;
+
+    cost::CostModel cost_model;
+    dist::WorkerServer worker(cost_model, options);
+    const Status started = worker.Start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+    }
+    // The bound port on stdout, for scripts that asked for an ephemeral
+    // one (dist_test and ci.sh parse this line, same as autoseg_served).
+    std::printf("PORT %d\n", worker.port());
+    std::fflush(stdout);
+
+    g_worker = &worker;
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+
+    worker.WaitForShutdownRequest();
+    worker.Stop();
+    g_worker = nullptr;
+
+    if (args.count("stats-out")) {
+        const Status saved = json::SaveFileOr(
+            args["stats-out"], obs::Registry::Default().ToJson());
+        if (!saved.ok())
+            std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    }
+    return 0;
+}

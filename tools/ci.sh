@@ -3,8 +3,9 @@
 # robustness- and concurrency-sensitive suites (which include the
 # fault-injection sweep and checkpoint/resume tests).
 #
-# Usage: tools/ci.sh [tier1|asan|tsan|serve|zoo|obs|all]   (default: all)
+# Usage: tools/ci.sh [tier1|asan|tsan|serve|zoo|obs|dist|all]   (default: all)
 #   JOBS=<n> overrides the parallel width.
+#   CHAOS_SEED=<n> reseeds the dist stage's kill schedule.
 #
 # The serve stage builds both sanitizer presets and runs only the
 # serving-layer suites: protocol fuzzing, warm-cache persistence and the
@@ -15,6 +16,14 @@
 # every zoo model (CNN and transformer) is loaded, round-tripped through
 # the JSON frontend, and given one small (S, N) co-design evaluation on
 # an ASIC and an FPGA budget. Any Status error fails the stage.
+#
+# The dist stage proves the fault-tolerant distributed sweep: the dist
+# suites (shard merge edge cases, worker service, coordinator
+# lease/steal/degrade, in-test chaos) run under ASan+UBSan, then a
+# scripted chaos run starts 4 real autoseg_worker daemons, SIGKILLs
+# every one of them mid-sweep on a seeded schedule (reviving two), and
+# byte-compares the merged results against a serial single-process
+# reference. Any diff fails the stage.
 #
 # The obs stage drives a live daemon end to end: a mixed warm/cold/
 # deadline-expired workload with caller-supplied trace ids, a metrics
@@ -74,6 +83,119 @@ obs_start_daemon() {
     done
     echo "obs: daemon failed to report a port" >&2
     return 1
+}
+
+# Starts an autoseg_worker ($1 = stdout file, rest = extra flags),
+# waits for its PORT line, and exports DIST_PID/DIST_PORT.
+dist_start_worker() {
+    local out="$1"; shift
+    build/tools/autoseg_worker --shard-dir "$DIST_SHARDS" \
+        --jobs 2 --checkpoint-every 1 --quiet "$@" > "$out" &
+    DIST_PID=$!
+    DIST_PORT=""
+    for _ in $(seq 1 100); do
+        DIST_PORT="$(sed -n 's/^PORT //p' "$out" 2>/dev/null | head -1)"
+        [ -n "$DIST_PORT" ] && return 0
+        kill -0 "$DIST_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "dist: worker failed to report a port" >&2
+    return 1
+}
+
+run_dist() {
+    echo "==== [dist/asan] configure + build"
+    cmake --preset asan
+    cmake --build --preset asan -j "$JOBS" --target dist_test autoseg_worker
+    echo "==== [dist/asan] ctest (merge edge cases, worker, coordinator, chaos)"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure \
+        -R "BackoffTest|ShardPlanTest|MergeTest|SessionShardTest|WorkerServerTest|CoordinatorTest|ChaosTest"
+
+    echo "==== [dist] configure + build"
+    cmake --preset default
+    cmake --build --preset default -j "$JOBS" \
+        --target autoseg_worker autoseg_coordinator autoseg_client obs_check
+    local dir
+    dir="$(mktemp -d)"
+    DIST_SHARDS="$dir/shards"
+    mkdir -p "$DIST_SHARDS"
+    local pids=()
+    # shellcheck disable=SC2154  # pids expands inside the trap, not here
+    trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$dir"' RETURN
+
+    # The sweep: 2 (model, platform) units, 10 (S, N) pairs each. Small
+    # enough to finish in tens of seconds, long enough that every kill
+    # below lands mid-sweep.
+    local sweep=(--models alexnet_conv_tower --platforms eyeriss,zu3eg
+                 --pus 2,4 --max-segments 6 --mip-node-budget 256
+                 --jobs 2 --quiet)
+
+    echo "==== [dist] serial reference run"
+    build/tools/autoseg_coordinator --serial "${sweep[@]}" \
+        --out "$dir/serial.json"
+
+    echo "==== [dist] chaos run: 4 workers, every one SIGKILLed mid-sweep"
+    local ports=() wpids=() i
+    for i in 0 1 2 3; do
+        dist_start_worker "$dir/worker$i.out"
+        ports+=("$DIST_PORT"); wpids+=("$DIST_PID"); pids+=("$DIST_PID")
+    done
+    build/tools/autoseg_coordinator --shard-dir "$DIST_SHARDS" \
+        --workers "$(IFS=,; echo "${ports[*]}")" "${sweep[@]}" \
+        --shard-pairs 2 --heartbeat-ms 20 --lease-ms 60000 \
+        --max-attempts 8 --seed "${CHAOS_SEED:-1}" --checkpoint-every 1 \
+        --out "$dir/dist.json" --telemetry-out "$dir/telemetry.json" \
+        --metrics-out "$dir/metrics.prom" > "$dir/coordinator.out" &
+    local coord_pid=$!
+    pids+=("$coord_pid")
+
+    # Seeded kill schedule: SIGKILL each worker in turn at a 0.3-0.9 s
+    # stagger, reviving the first two on their old ports so the fleet
+    # never collapses entirely. CHAOS_SEED varies the offsets.
+    local seed="${CHAOS_SEED:-1}" off
+    for i in 0 1 2 3; do
+        seed=$(( (seed * 1103515245 + 12345) % 2147483648 ))
+        off=$(( 300 + seed % 600 ))
+        sleep "0.$off"
+        kill -9 "${wpids[$i]}" 2>/dev/null || true
+        wait "${wpids[$i]}" 2>/dev/null || true
+        if [ "$i" -lt 2 ]; then
+            dist_start_worker "$dir/worker${i}_revived.out" \
+                --port "${ports[$i]}"
+            wpids[$i]=$DIST_PID; pids+=("$DIST_PID")
+        fi
+    done
+
+    if ! wait "$coord_pid"; then
+        echo "dist: chaos coordinator run failed" >&2
+        sed -n '1,40p' "$dir/coordinator.out" >&2
+        return 1
+    fi
+
+    echo "==== [dist] merged result must be byte-identical to serial"
+    cmp "$dir/serial.json" "$dir/dist.json"
+
+    local lost
+    lost="$(sed -n 's/.*"workers_lost": \([0-9]*\).*/\1/p' \
+        "$dir/telemetry.json" | head -1)"
+    if [ "${lost:-0}" -lt 1 ]; then
+        echo "dist: no worker deaths recorded — kills missed the sweep" >&2
+        return 1
+    fi
+
+    echo "==== [dist] coordinator metrics carry the dist families"
+    build/tools/obs_check --metrics "$dir/metrics.prom" \
+        --require-family spa_dist_leases_issued \
+        --require-family spa_dist_shards_completed \
+        --require-family spa_dist_workers_live
+
+    echo "==== [dist] revived worker exposes its shard counters"
+    echo '{"id": "m", "method": "metrics"}' > "$dir/req_metrics.json"
+    build/tools/autoseg_client --port "${ports[0]}" \
+        --request-json "$dir/req_metrics.json" \
+        --out "$dir/worker_metrics.json" >/dev/null
+    grep -q "spa_dist_worker_shards_accepted" "$dir/worker_metrics.json"
+    echo "==== [dist] ok"
 }
 
 run_obs() {
@@ -188,15 +310,19 @@ case "$STAGE" in
   obs)
     run_obs
     ;;
+  dist)
+    run_dist
+    ;;
   all)
     run_preset default
     run_preset asan
     run_preset tsan
     run_zoo asan
     run_obs
+    run_dist
     ;;
   *)
-    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|zoo|obs|all)" >&2
+    echo "unknown stage '$STAGE' (want tier1|asan|tsan|serve|zoo|obs|dist|all)" >&2
     exit 2
     ;;
 esac

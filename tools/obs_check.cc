@@ -125,7 +125,8 @@ CheckRequestLog(const std::string& path, int64_t min_events)
  * core spa_ families the daemon always exports.
  */
 std::set<std::string>
-CheckMetrics(const std::string& path)
+CheckMetrics(const std::string& path,
+             const std::vector<std::string>& required_families)
 {
     std::set<std::string> exemplar_traces;
     std::ifstream in(path);
@@ -175,12 +176,9 @@ CheckMetrics(const std::string& path)
             }
         }
     }
-    for (const char* family :
-         {"spa_serve_requests_ok", "spa_serve_request_ns_count",
-          "spa_serve_queue_wait_ns_count"})
+    for (const std::string& family : required_families)
         if (!families.count(family))
-            Fail("metrics exposition lacks required family '" +
-                 std::string(family) + "'");
+            Fail("metrics exposition lacks required family '" + family + "'");
     return exemplar_traces;
 }
 
@@ -240,12 +238,16 @@ void
 PrintUsage()
 {
     std::printf(
-        "usage: obs_check --request-log F   NDJSON wide-event log\n"
-        "                 [--metrics F]     Prometheus exposition text\n"
-        "                 [--flight F]      flight-recorder dump JSON\n"
+        "usage: obs_check [--request-log F]  NDJSON wide-event log\n"
+        "                 [--metrics F]      Prometheus exposition text\n"
+        "                 [--flight F]       flight-recorder dump JSON\n"
         "                 [--expect-trace HEX]  must appear in every given\n"
-        "                                   artifact (repeatable)\n"
-        "                 [--min-events N]  request log size floor\n");
+        "                                    artifact (repeatable)\n"
+        "                 [--require-family NAME]  metric family that must\n"
+        "                                    appear (repeatable; default:\n"
+        "                                    the serve core families)\n"
+        "                 [--min-events N]   request log size floor\n"
+        "at least one of --request-log / --metrics is required\n");
 }
 
 }  // namespace
@@ -255,6 +257,7 @@ main(int argc, char** argv)
 {
     std::map<std::string, std::string> args;
     std::vector<std::string> expected_traces;
+    std::vector<std::string> required_families;
     for (int i = 1; i < argc; ++i) {
         const std::string key = argv[i];
         if (key == "--help" || key == "-h") {
@@ -262,6 +265,8 @@ main(int argc, char** argv)
             return 0;
         } else if (key == "--expect-trace" && i + 1 < argc) {
             expected_traces.push_back(argv[++i]);
+        } else if (key == "--require-family" && i + 1 < argc) {
+            required_families.push_back(argv[++i]);
         } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
             args[key.substr(2)] = argv[++i];
         } else {
@@ -270,27 +275,36 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    if (!args.count("request-log")) {
+    if (!args.count("request-log") && !args.count("metrics")) {
         PrintUsage();
         return 1;
     }
+    // A daemon exposition carries the serve core families; expositions
+    // from other processes (the dist coordinator tool) name their own
+    // families explicitly instead.
+    if (required_families.empty())
+        required_families = {"spa_serve_requests_ok",
+                             "spa_serve_request_ns_count",
+                             "spa_serve_queue_wait_ns_count"};
 
     int64_t min_events = 1;
     if (args.count("min-events"))
         min_events = std::stoll(args["min-events"]);
 
-    const std::set<std::string> log_traces =
-        CheckRequestLog(args["request-log"], min_events);
+    std::set<std::string> log_traces;
+    if (args.count("request-log"))
+        log_traces = CheckRequestLog(args["request-log"], min_events);
 
     std::set<std::string> exemplar_traces;
     if (args.count("metrics")) {
-        exemplar_traces = CheckMetrics(args["metrics"]);
+        exemplar_traces = CheckMetrics(args["metrics"], required_families);
         // Every exemplar names a request the daemon served, so it must
         // have a wide event.
-        for (const std::string& t : exemplar_traces)
-            if (!log_traces.count(t))
-                Fail("metrics exemplar trace_id " + t +
-                     " has no request-log event");
+        if (args.count("request-log"))
+            for (const std::string& t : exemplar_traces)
+                if (!log_traces.count(t))
+                    Fail("metrics exemplar trace_id " + t +
+                         " has no request-log event");
     }
 
     std::set<std::string> flight_traces;
@@ -299,16 +313,17 @@ main(int argc, char** argv)
         // Every request-attributed span in the dump belongs to a
         // request the log knows about (rings also hold unattributed
         // spans with no trace_id — those are fine).
-        for (const std::string& t : flight_traces)
-            if (!log_traces.count(t))
-                Fail("flight-dump trace_id " + t +
-                     " has no request-log event");
+        if (args.count("request-log"))
+            for (const std::string& t : flight_traces)
+                if (!log_traces.count(t))
+                    Fail("flight-dump trace_id " + t +
+                         " has no request-log event");
         if (flight_traces.empty())
             Fail("flight dump holds no request-attributed spans");
     }
 
     for (const std::string& t : expected_traces) {
-        if (!log_traces.count(t))
+        if (args.count("request-log") && !log_traces.count(t))
             Fail("expected trace_id " + t + " missing from request log");
         if (args.count("flight") && !flight_traces.count(t))
             Fail("expected trace_id " + t + " missing from flight dump");
